@@ -1,0 +1,22 @@
+//! Fig. 1: inlier vs anomaly variance on the four example datasets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb::variance_probe::probe;
+use uadb_bench::{experiments, setup};
+use uadb_data::suite::{generate_by_name, SuiteScale};
+use uadb_detectors::DetectorKind;
+
+fn bench(c: &mut Criterion) {
+    let cfg = setup::probe_config();
+    experiments::fig1(&cfg);
+
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    let d = generate_by_name("12_glass", SuiteScale::Quick, 0).unwrap().standardized();
+    let teacher = DetectorKind::IForest.build(0).fit_score(&d.x).unwrap();
+    g.bench_function("variance_probe", |b| b.iter(|| probe(&d, &teacher, &cfg).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 10: teacher vs booster boxplots per model (RQ3 ablation reading).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb_bench::{experiments, setup};
+use uadb_detectors::DetectorKind;
+
+fn bench(c: &mut Criterion) {
+    let datasets = setup::datasets();
+    let cfg = setup::experiment_config();
+    // Fig. 10 shares its data with Table IV; recompute on 6 models to
+    // keep this bench independent yet affordable (the bin does all 14).
+    let kinds = [
+        DetectorKind::IForest,
+        DetectorKind::Hbos,
+        DetectorKind::Lof,
+        DetectorKind::Knn,
+        DetectorKind::Ecod,
+        DetectorKind::DeepSvdd,
+    ];
+    let results = uadb::experiment::run_matrix(&kinds, &datasets, &cfg);
+    experiments::fig10(&results, &kinds);
+
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    let d = datasets[0].standardized();
+    g.bench_function("teacher_fit_score_ecod", |b| {
+        b.iter(|| DetectorKind::Ecod.build(0).fit_score(&d.x).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 2: relative variance gap across all 84 datasets (the 71/84
+//! claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb_bench::{experiments, setup};
+use uadb_linalg::vecops::population_variance;
+
+fn bench(c: &mut Criterion) {
+    let cfg = setup::probe_config();
+    let evidence = experiments::fig2(&cfg);
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(20);
+    let flat: Vec<f64> = evidence.iter().flat_map(|e| e.per_instance.iter().copied()).collect();
+    g.bench_function("variance_aggregation", |b| {
+        b.iter(|| population_variance(&flat))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

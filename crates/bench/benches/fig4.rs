@@ -1,0 +1,23 @@
+//! Fig. 4: per-case error-correction trajectories (UADB vs static
+//! student).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb::trajectory::assign_cases;
+use uadb_bench::{experiments, setup};
+use uadb_data::synth::{fig5_dataset, AnomalyType};
+use uadb_detectors::DetectorKind;
+
+fn bench(c: &mut Criterion) {
+    let cfg = setup::experiment_config().booster;
+    experiments::fig4(&cfg);
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(30);
+    let d = fig5_dataset(AnomalyType::Clustered, 0).standardized();
+    let teacher = DetectorKind::IForest.build(0).fit_score(&d.x).unwrap();
+    g.bench_function("case_assignment", |b| b.iter(|| assign_cases(&d, &teacher)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 5: the synthetic study — error correction on the four anomaly
+//! types.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb_bench::{experiments, setup};
+use uadb_data::synth::{fig5_dataset, AnomalyType};
+use uadb_metrics::{count_errors, threshold_by_contamination};
+
+fn bench(c: &mut Criterion) {
+    let cfg = setup::experiment_config().booster;
+    experiments::fig5(&cfg);
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(30);
+    let d = fig5_dataset(AnomalyType::Global, 0).standardized();
+    let labels = d.labels_f64();
+    let scores: Vec<f64> = (0..d.n_samples()).map(|i| i as f64 / d.n_samples() as f64).collect();
+    g.bench_function("error_counting", |b| {
+        b.iter(|| {
+            let thr = threshold_by_contamination(&scores, 0.1);
+            count_errors(&labels, &scores, thr)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

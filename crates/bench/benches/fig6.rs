@@ -1,0 +1,21 @@
+//! Fig. 6: UADB improvement on the datasets where the variance evidence
+//! fails.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb_bench::{experiments, setup};
+use uadb_detectors::DetectorKind;
+use uadb_stats::BoxplotStats;
+
+fn bench(c: &mut Criterion) {
+    let cfg = setup::experiment_config();
+    experiments::fig6(&DetectorKind::ALL, &cfg);
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(50);
+    let values: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 / 100.0).collect();
+    g.bench_function("boxplot_stats", |b| b.iter(|| BoxplotStats::from_values(&values)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

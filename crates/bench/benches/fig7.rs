@@ -1,0 +1,23 @@
+//! Fig. 7: sensitivity to the number of UADB training iterations
+//! (T sweep to 20; the paper saturates at ≈10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb_bench::{experiments, setup};
+use uadb_detectors::DetectorKind;
+use uadb_metrics::roc_auc;
+
+fn bench(c: &mut Criterion) {
+    let datasets = setup::datasets();
+    let cfg = setup::experiment_config();
+    experiments::fig7(&DetectorKind::ALL, &datasets, &cfg, 20);
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(30);
+    let labels: Vec<f64> = (0..2000).map(|i| (i % 10 == 0) as u8 as f64).collect();
+    let scores: Vec<f64> = (0..2000).map(|i| ((i * 31) % 997) as f64 / 997.0).collect();
+    g.bench_function("roc_auc_2000", |b| b.iter(|| roc_auc(&labels, &scores)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 8: sensitivity to booster MLP depth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb_bench::{experiments, setup};
+use uadb_detectors::DetectorKind;
+use uadb_linalg::Matrix;
+use uadb_nn::{Activation, Mlp, MlpConfig};
+
+fn bench(c: &mut Criterion) {
+    let datasets = setup::datasets();
+    let cfg = setup::experiment_config();
+    // Depth sweep is 4 full matrices; restrict to 4 representative models
+    // so the bench stays laptop-sized (the bin runs all 14).
+    let kinds =
+        [DetectorKind::IForest, DetectorKind::Hbos, DetectorKind::Lof, DetectorKind::Knn];
+    experiments::fig8(&kinds, &datasets, &cfg);
+
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(20);
+    let x = Matrix::filled(256, 16, 0.5);
+    for depth in [1usize, 4] {
+        let mlp = Mlp::new(&MlpConfig {
+            input_dim: 16,
+            hidden: vec![128; depth],
+            output_dim: 1,
+            activation: Activation::Sigmoid,
+            seed: 0,
+        });
+        g.bench_function(format!("forward_depth_{depth}"), |b| b.iter(|| mlp.forward(&x)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Fig. 9: per-case ranking development under a LOF teacher, T = 20.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb_bench::{experiments, setup};
+use uadb_metrics::auc::average_ranks;
+
+fn bench(c: &mut Criterion) {
+    let cfg = setup::experiment_config().booster;
+    experiments::fig9(&cfg);
+
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(30);
+    let scores: Vec<f64> = (0..2000).map(|i| ((i * 61) % 997) as f64).collect();
+    g.bench_function("average_ranks_2000", |b| b.iter(|| average_ranks(&scores)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table III: dataset roster regeneration + suite-generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb_bench::{experiments, setup};
+use uadb_data::suite::{generate_by_name, SuiteScale};
+
+fn bench(c: &mut Criterion) {
+    experiments::table3();
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(20);
+    g.bench_function("generate_one_dataset", |b| {
+        b.iter(|| generate_by_name("12_glass", SuiteScale::Quick, setup::seed()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table IV: the main result — UADB improvement over all 14 source UAD
+//! models, plus a per-cell kernel timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb::experiment::run_pair;
+use uadb_bench::{experiments, setup};
+use uadb_detectors::DetectorKind;
+
+fn bench(c: &mut Criterion) {
+    let datasets = setup::datasets();
+    let cfg = setup::experiment_config();
+    let _results = experiments::table4(&DetectorKind::ALL, &datasets, &cfg);
+
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    let small = &datasets[0];
+    g.bench_function("hbos_plus_uadb_cell", |b| {
+        b.iter(|| run_pair(DetectorKind::Hbos, small, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table V: per-iteration booster performance for IForest/HBOS/LOF/KNN
+//! on their most-improved datasets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb::{Uadb, UadbConfig};
+use uadb_bench::{experiments, setup};
+use uadb_detectors::DetectorKind;
+
+fn bench(c: &mut Criterion) {
+    let datasets = setup::datasets();
+    let cfg = setup::experiment_config();
+    experiments::table5(&datasets, &cfg);
+
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    let d = datasets[0].standardized();
+    let teacher = DetectorKind::IForest.build(0).fit_score(&d.x).unwrap();
+    let fast = UadbConfig { t_steps: 2, ..cfg.booster.clone() };
+    g.bench_function("two_uadb_iterations", |b| {
+        b.iter(|| Uadb::new(fast.clone()).fit(&d.x, &teacher).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table VI: booster-scheme ablation (Origin / Naive / Discrepancy /
+//! Self / Discrepancy* / UADB) across all 14 models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uadb::BoosterScheme;
+use uadb_bench::{experiments, setup};
+use uadb_detectors::DetectorKind;
+
+fn bench(c: &mut Criterion) {
+    let datasets = setup::datasets();
+    let cfg = setup::experiment_config();
+    experiments::table6(&DetectorKind::ALL, &datasets, &cfg);
+
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    let d = datasets[0].standardized();
+    let teacher = DetectorKind::Hbos.build(0).fit_score(&d.x).unwrap();
+    g.bench_function("self_booster_run", |b| {
+        b.iter(|| BoosterScheme::SelfBooster.run(&d.x, &teacher, &cfg.booster).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

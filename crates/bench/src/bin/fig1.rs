@@ -1,0 +1,5 @@
+//! Regeneration of Fig. 1 (variance evidence, 4 example datasets).
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    let _ = uadb_bench::experiments::fig1(&uadb_bench::setup::probe_config());
+}

@@ -1,0 +1,9 @@
+//! Regeneration of Fig. 10 (teacher vs booster boxplots, all 14 models).
+use uadb_detectors::DetectorKind;
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    let datasets = uadb_bench::setup::datasets();
+    let cfg = uadb_bench::setup::experiment_config();
+    let results = uadb::experiment::run_matrix(&DetectorKind::ALL, &datasets, &cfg);
+    uadb_bench::experiments::fig10(&results, &DetectorKind::ALL);
+}

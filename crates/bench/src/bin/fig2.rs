@@ -1,0 +1,5 @@
+//! Regeneration of Fig. 2 (variance gap on all 84 datasets).
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    let _ = uadb_bench::experiments::fig2(&uadb_bench::setup::probe_config());
+}

@@ -1,0 +1,5 @@
+//! Regeneration of Fig. 4 (per-case correction trajectories).
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    uadb_bench::experiments::fig4(&uadb_bench::setup::experiment_config().booster);
+}

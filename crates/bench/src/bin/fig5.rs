@@ -1,0 +1,5 @@
+//! Regeneration of Fig. 5 (synthetic anomaly-type study).
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    let _ = uadb_bench::experiments::fig5(&uadb_bench::setup::experiment_config().booster);
+}

@@ -1,0 +1,6 @@
+//! Regeneration of Fig. 6 (improvement where the variance evidence fails).
+use uadb_detectors::DetectorKind;
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    uadb_bench::experiments::fig6(&DetectorKind::ALL, &uadb_bench::setup::experiment_config());
+}

@@ -1,0 +1,8 @@
+//! Regeneration of Fig. 7 (iteration sensitivity, T = 20).
+use uadb_detectors::DetectorKind;
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    let datasets = uadb_bench::setup::datasets();
+    let cfg = uadb_bench::setup::experiment_config();
+    uadb_bench::experiments::fig7(&DetectorKind::ALL, &datasets, &cfg, 20);
+}

@@ -1,0 +1,5 @@
+//! Regeneration of Fig. 9 (ranking development under LOF, T = 20).
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    uadb_bench::experiments::fig9(&uadb_bench::setup::experiment_config().booster);
+}

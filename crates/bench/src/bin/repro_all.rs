@@ -1,0 +1,22 @@
+//! Runs every table and figure in sequence — the one-shot full
+//! reproduction (several minutes on the full suite).
+use uadb_detectors::DetectorKind;
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    let datasets = uadb_bench::setup::datasets();
+    let cfg = uadb_bench::setup::experiment_config();
+    let probe_cfg = uadb_bench::setup::probe_config();
+    uadb_bench::experiments::table3();
+    let _ = uadb_bench::experiments::fig1(&probe_cfg);
+    let _ = uadb_bench::experiments::fig2(&probe_cfg);
+    uadb_bench::experiments::fig4(&cfg.booster);
+    let _ = uadb_bench::experiments::fig5(&cfg.booster);
+    let results = uadb_bench::experiments::table4(&DetectorKind::ALL, &datasets, &cfg);
+    uadb_bench::experiments::fig10(&results, &DetectorKind::ALL);
+    uadb_bench::experiments::table5(&datasets, &cfg);
+    uadb_bench::experiments::table6(&DetectorKind::ALL, &datasets, &cfg);
+    uadb_bench::experiments::fig6(&DetectorKind::ALL, &cfg);
+    uadb_bench::experiments::fig7(&DetectorKind::ALL, &datasets, &cfg, 20);
+    uadb_bench::experiments::fig8(&DetectorKind::ALL, &datasets, &cfg);
+    uadb_bench::experiments::fig9(&cfg.booster);
+}

@@ -1,0 +1,5 @@
+//! Full-suite regeneration of Table III.
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    uadb_bench::experiments::table3();
+}

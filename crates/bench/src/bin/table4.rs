@@ -1,0 +1,8 @@
+//! Full-suite regeneration of Table IV (14 models × 84 datasets).
+use uadb_detectors::DetectorKind;
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    let datasets = uadb_bench::setup::datasets();
+    let cfg = uadb_bench::setup::experiment_config();
+    let _ = uadb_bench::experiments::table4(&DetectorKind::ALL, &datasets, &cfg);
+}

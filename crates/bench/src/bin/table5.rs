@@ -1,0 +1,7 @@
+//! Full-suite regeneration of Table V.
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    let datasets = uadb_bench::setup::datasets();
+    let cfg = uadb_bench::setup::experiment_config();
+    uadb_bench::experiments::table5(&datasets, &cfg);
+}

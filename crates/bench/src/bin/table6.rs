@@ -1,0 +1,8 @@
+//! Full-suite regeneration of Table VI (6 schemes × 14 models).
+use uadb_detectors::DetectorKind;
+fn main() {
+    uadb_bench::setup::prefer_full_suite();
+    let datasets = uadb_bench::setup::datasets();
+    let cfg = uadb_bench::setup::experiment_config();
+    uadb_bench::experiments::table6(&DetectorKind::ALL, &datasets, &cfg);
+}

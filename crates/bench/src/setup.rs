@@ -1,0 +1,76 @@
+//! Environment-driven experiment setup shared by benches and bins.
+
+use uadb::experiment::ExperimentConfig;
+use uadb::UadbConfig;
+use uadb_data::suite::{generate_quick_suite, generate_suite, SuiteScale};
+use uadb_data::Dataset;
+
+/// Master seed from `UADB_SEED` (default 0).
+pub fn seed() -> u64 {
+    std::env::var("UADB_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// `true` when `UADB_SUITE=full`.
+pub fn full_suite() -> bool {
+    matches!(std::env::var("UADB_SUITE").ok().as_deref(), Some("full") | Some("FULL"))
+}
+
+/// The evaluation datasets: the 12-dataset quick subset by default, all
+/// 84 roster entries with `UADB_SUITE=full`.
+pub fn datasets() -> Vec<Dataset> {
+    let scale = SuiteScale::from_env();
+    if full_suite() {
+        generate_suite(scale, seed())
+    } else {
+        generate_quick_suite(scale, seed())
+    }
+}
+
+/// The full 84-entry suite regardless of `UADB_SUITE` (Fig. 2 needs all
+/// datasets to reproduce the "71/84" claim).
+pub fn all_datasets() -> Vec<Dataset> {
+    generate_suite(SuiteScale::from_env(), seed())
+}
+
+/// Paper-default experiment configuration with env-driven runs/seed.
+pub fn experiment_config() -> ExperimentConfig {
+    ExperimentConfig {
+        booster: UadbConfig::with_seed(seed()),
+        n_runs: ExperimentConfig::runs_from_env(),
+        n_threads: 0,
+    }
+}
+
+/// Configuration for the Fig. 1/2 variance probes: the paper's imitation
+/// learner is a *single* static distillation pass, not an iterative
+/// booster, so one well-trained step suffices.
+pub fn probe_config() -> UadbConfig {
+    UadbConfig { t_steps: 1, epochs_per_step: 50, ..UadbConfig::with_seed(seed()) }
+}
+
+/// Full-run binaries default to the complete 84-dataset suite; set
+/// `UADB_SUITE=quick` explicitly to shrink them.
+pub fn prefer_full_suite() {
+    if std::env::var("UADB_SUITE").is_err() {
+        std::env::set_var("UADB_SUITE", "full");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_resolve() {
+        std::env::remove_var("UADB_SUITE");
+        std::env::remove_var("UADB_RUNS");
+        std::env::remove_var("UADB_SEED");
+        assert_eq!(seed(), 0);
+        assert!(!full_suite());
+        let cfg = experiment_config();
+        assert_eq!(cfg.n_runs, 1);
+        assert_eq!(cfg.booster.t_steps, 10);
+        let ds = datasets();
+        assert_eq!(ds.len(), 12);
+    }
+}

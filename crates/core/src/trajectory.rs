@@ -1,0 +1,171 @@
+//! Per-case trajectories during UADB training (Figs. 4 and 9).
+//!
+//! Instances are classified into TP/FN/FP/TN by combining the ground
+//! truth with the *teacher's* thresholded prediction (Table II). The
+//! traces then track how the booster's mean score (Fig. 4) and mean
+//! ranking (Fig. 9) of each case evolve over the iterations — the error
+//! correction story is that FN ranks rise and FP ranks fall.
+
+use crate::booster::{Uadb, UadbConfig, UadbError, UadbModel};
+use uadb_data::preprocess::minmax_vec;
+use uadb_data::Dataset;
+use uadb_metrics::auc::average_ranks;
+use uadb_metrics::{roc_auc, threshold_by_contamination};
+
+/// The four confusion cases of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Case {
+    /// Anomaly, teacher says anomaly.
+    TruePositive,
+    /// Anomaly, teacher says normal — the booster must raise these.
+    FalseNegative,
+    /// Normal, teacher says anomaly — the booster must lower these.
+    FalsePositive,
+    /// Normal, teacher says normal.
+    TrueNegative,
+}
+
+impl Case {
+    /// All cases in the display order of Fig. 4.
+    pub const ALL: [Case; 4] =
+        [Case::TrueNegative, Case::TruePositive, Case::FalsePositive, Case::FalseNegative];
+
+    /// Short label used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Case::TruePositive => "TP",
+            Case::FalseNegative => "FN",
+            Case::FalsePositive => "FP",
+            Case::TrueNegative => "TN",
+        }
+    }
+}
+
+/// Case assignment of every instance w.r.t. the teacher's thresholded
+/// initial pseudo labels. The threshold follows PyOD's contamination
+/// convention with the dataset's true anomaly rate.
+pub fn assign_cases(data: &Dataset, teacher_scores: &[f64]) -> Vec<Case> {
+    let pseudo = minmax_vec(teacher_scores);
+    let contamination =
+        (data.n_anomalies() as f64 / data.n_samples().max(1) as f64).clamp(0.001, 0.5);
+    let thr = threshold_by_contamination(&pseudo, contamination);
+    pseudo
+        .iter()
+        .zip(&data.labels)
+        .map(|(&s, &l)| match (l == 1, s >= thr) {
+            (true, true) => Case::TruePositive,
+            (true, false) => Case::FalseNegative,
+            (false, true) => Case::FalsePositive,
+            (false, false) => Case::TrueNegative,
+        })
+        .collect()
+}
+
+/// One iteration-indexed trace per case, plus the AUCROC development.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// Case of every instance (fixed, from the teacher).
+    pub cases: Vec<Case>,
+    /// Mean booster *score* per case per iteration (Fig. 4), indexed
+    /// `[iteration][case in Case::ALL order]`.
+    pub mean_scores: Vec<[f64; 4]>,
+    /// Mean *rank* per case per iteration (Fig. 9; higher rank = scored
+    /// more anomalous).
+    pub mean_ranks: Vec<[f64; 4]>,
+    /// Booster AUCROC per iteration (Fig. 9 bottom).
+    pub auc_per_iter: Vec<f64>,
+}
+
+/// Fits UADB and records the per-case trajectories.
+pub fn trace(
+    data: &Dataset,
+    teacher_scores: &[f64],
+    cfg: &UadbConfig,
+) -> Result<(Trajectory, UadbModel), UadbError> {
+    let model = Uadb::new(cfg.clone()).fit(&data.x, teacher_scores)?;
+    let cases = assign_cases(data, teacher_scores);
+    let labels = data.labels_f64();
+    let mut mean_scores = Vec::with_capacity(model.booster_history().len());
+    let mut mean_ranks = Vec::with_capacity(model.booster_history().len());
+    let mut auc_per_iter = Vec::with_capacity(model.booster_history().len());
+    for fb in model.booster_history() {
+        mean_scores.push(case_means(fb, &cases));
+        let ranks = average_ranks(fb);
+        mean_ranks.push(case_means(&ranks, &cases));
+        auc_per_iter.push(roc_auc(&labels, fb));
+    }
+    Ok((Trajectory { cases, mean_scores, mean_ranks, auc_per_iter }, model))
+}
+
+/// Mean of `values` within each case bucket (0.0 for empty buckets).
+fn case_means(values: &[f64], cases: &[Case]) -> [f64; 4] {
+    let mut sums = [0.0f64; 4];
+    let mut counts = [0usize; 4];
+    for (&v, &c) in values.iter().zip(cases) {
+        let slot = Case::ALL.iter().position(|&a| a == c).expect("case in ALL");
+        sums[slot] += v;
+        counts[slot] += 1;
+    }
+    let mut out = [0.0f64; 4];
+    for i in 0..4 {
+        if counts[i] > 0 {
+            out[i] = sums[i] / counts[i] as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uadb_data::synth::{fig5_dataset, AnomalyType};
+    use uadb_detectors::DetectorKind;
+
+    #[test]
+    fn cases_partition_dataset() {
+        let d = fig5_dataset(AnomalyType::Global, 0).standardized();
+        let teacher = DetectorKind::Hbos.build(0).fit_score(&d.x).unwrap();
+        let cases = assign_cases(&d, &teacher);
+        assert_eq!(cases.len(), d.n_samples());
+        // anomaly count must equal TP + FN
+        let anoms = cases
+            .iter()
+            .filter(|c| matches!(c, Case::TruePositive | Case::FalseNegative))
+            .count();
+        assert_eq!(anoms, d.n_anomalies());
+    }
+
+    #[test]
+    fn trace_shapes_and_monotone_structure() {
+        let d = fig5_dataset(AnomalyType::Clustered, 2).standardized();
+        let teacher = DetectorKind::IForest.build(0).fit_score(&d.x).unwrap();
+        let cfg = UadbConfig::fast_for_tests(0);
+        let t = cfg.t_steps;
+        let (traj, _model) = trace(&d, &teacher, &cfg).unwrap();
+        assert_eq!(traj.mean_scores.len(), t);
+        assert_eq!(traj.mean_ranks.len(), t);
+        assert_eq!(traj.auc_per_iter.len(), t);
+        for aucs in &traj.auc_per_iter {
+            assert!((0.0..=1.0).contains(aucs));
+        }
+    }
+
+    #[test]
+    fn tp_scores_exceed_tn_scores() {
+        // Knowledge transfer must keep the teacher's correct decisions:
+        // TP mean score stays above TN mean score throughout.
+        let d = fig5_dataset(AnomalyType::Global, 3).standardized();
+        let teacher = DetectorKind::Knn.build(0).fit_score(&d.x).unwrap();
+        let (traj, _) = trace(&d, &teacher, &UadbConfig::fast_for_tests(1)).unwrap();
+        let last = traj.mean_scores.last().unwrap();
+        let tn = last[0]; // Case::ALL order: TN, TP, FP, FN
+        let tp = last[1];
+        assert!(tp > tn, "TP mean {tp} must stay above TN mean {tn}");
+    }
+
+    #[test]
+    fn case_labels() {
+        assert_eq!(Case::TruePositive.label(), "TP");
+        assert_eq!(Case::ALL.len(), 4);
+    }
+}

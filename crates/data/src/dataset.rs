@@ -1,0 +1,114 @@
+//! The labelled dataset container used across the workspace.
+
+use uadb_linalg::Matrix;
+
+/// A tabular anomaly-detection dataset.
+///
+/// Ground-truth labels are carried for **evaluation only** — exactly as in
+/// the paper, no training stage ever reads them.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (roster entries keep the paper's `NN_name` form).
+    pub name: String,
+    /// Feature matrix, rows are samples.
+    pub x: Matrix,
+    /// Ground-truth labels: `1` = anomaly, `0` = inlier.
+    pub labels: Vec<u8>,
+    /// Application-domain category from Table III (e.g. `"Healthcare"`).
+    pub category: &'static str,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking that labels align with rows.
+    ///
+    /// # Panics
+    /// If `labels.len() != x.rows()` — constructing a misaligned dataset
+    /// is a programming error, not a recoverable condition.
+    pub fn new(name: impl Into<String>, x: Matrix, labels: Vec<u8>, category: &'static str) -> Self {
+        assert_eq!(
+            labels.len(),
+            x.rows(),
+            "label count must match sample count"
+        );
+        Self { name: name.into(), x, labels, category }
+    }
+
+    /// Number of samples.
+    pub fn n_samples(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Number of ground-truth anomalies.
+    pub fn n_anomalies(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == 1).count()
+    }
+
+    /// Anomaly ratio in percent, as reported in Table III.
+    pub fn anomaly_pct(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.n_anomalies() as f64 / self.labels.len() as f64
+    }
+
+    /// Ground-truth labels as `f64` (1.0 anomaly / 0.0 inlier), the form
+    /// the metric functions consume.
+    pub fn labels_f64(&self) -> Vec<f64> {
+        self.labels.iter().map(|&l| l as f64).collect()
+    }
+
+    /// Returns a copy with z-score standardised features, the
+    /// preprocessing ADBench applies before fitting any detector.
+    pub fn standardized(&self) -> Dataset {
+        let x = crate::preprocess::zscore(&self.x);
+        Dataset { name: self.name.clone(), x, labels: self.labels.clone(), category: self.category }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 9.0, 9.0]).unwrap();
+        Dataset::new("toy", x, vec![0, 0, 0, 1], "Test")
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.n_samples(), 4);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_anomalies(), 1);
+        assert!((d.anomaly_pct() - 25.0).abs() < 1e-12);
+        assert_eq!(d.labels_f64(), vec![0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn misaligned_labels_panic() {
+        let x = Matrix::zeros(3, 2);
+        let _ = Dataset::new("bad", x, vec![0, 1], "Test");
+    }
+
+    #[test]
+    fn standardized_has_zero_mean_unit_var() {
+        let d = toy().standardized();
+        let col: Vec<f64> = d.x.col(0);
+        let mean = col.iter().sum::<f64>() / col.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_pct_is_zero() {
+        let d = Dataset::new("empty", Matrix::zeros(0, 3), vec![], "Test");
+        assert_eq!(d.anomaly_pct(), 0.0);
+    }
+}

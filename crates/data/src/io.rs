@@ -1,0 +1,254 @@
+//! CSV import/export so the library runs on real tabular data, not just
+//! the simulated suite.
+//!
+//! Format: numeric CSV, optional header row, optional trailing label
+//! column (`0`/`1`). This matches how the ADBench `.npz` tables are
+//! usually flattened for non-Python consumers.
+
+use crate::dataset::Dataset;
+use std::fmt;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+use uadb_linalg::Matrix;
+
+/// CSV loading errors.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as a number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column.
+        column: usize,
+        /// Offending cell text.
+        cell: String,
+    },
+    /// Rows have inconsistent column counts.
+    Ragged {
+        /// 1-based line number.
+        line: usize,
+        /// Expected width from the first data row.
+        expected: usize,
+        /// Actual width.
+        got: usize,
+    },
+    /// The file contains no data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Parse { line, column, cell } => {
+                write!(f, "line {line}, column {column}: cannot parse {cell:?} as a number")
+            }
+            CsvError::Ragged { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} columns, got {got}")
+            }
+            CsvError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Whether the last CSV column holds ground-truth labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelColumn {
+    /// Last column is a 0/1 label (evaluation only, as in the paper).
+    Last,
+    /// All columns are features; labels default to all-zero.
+    None,
+}
+
+/// Reads a dataset from CSV text (any `BufRead`).
+///
+/// A first line containing any unparsable cell is treated as a header
+/// and skipped; every later parse failure is an error.
+pub fn read_csv<R: BufRead>(
+    reader: R,
+    name: impl Into<String>,
+    labels: LabelColumn,
+) -> Result<Dataset, CsvError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let mut parsed = Vec::with_capacity(cells.len());
+        let mut failed: Option<usize> = None;
+        for (c, cell) in cells.iter().enumerate() {
+            match cell.parse::<f64>() {
+                Ok(v) => parsed.push(v),
+                Err(_) => {
+                    failed = Some(c);
+                    break;
+                }
+            }
+        }
+        if let Some(col) = failed {
+            if rows.is_empty() && width.is_none() {
+                // Header row: skip.
+                continue;
+            }
+            return Err(CsvError::Parse {
+                line: i + 1,
+                column: col,
+                cell: cells[col].to_string(),
+            });
+        }
+        match width {
+            None => width = Some(parsed.len()),
+            Some(w) if w != parsed.len() => {
+                return Err(CsvError::Ragged { line: i + 1, expected: w, got: parsed.len() })
+            }
+            _ => {}
+        }
+        rows.push(parsed);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let (features, labels): (Vec<Vec<f64>>, Vec<u8>) = match labels {
+        LabelColumn::None => {
+            let n = rows.len();
+            (rows, vec![0u8; n])
+        }
+        LabelColumn::Last => rows
+            .into_iter()
+            .map(|mut r| {
+                let l = r.pop().unwrap_or(0.0);
+                (r, (l > 0.5) as u8)
+            })
+            .unzip(),
+    };
+    let x = Matrix::from_rows(&features).expect("width checked above");
+    Ok(Dataset::new(name, x, labels, "External"))
+}
+
+/// Reads a dataset from a CSV file on disk.
+pub fn read_csv_file(
+    path: impl AsRef<Path>,
+    labels: LabelColumn,
+) -> Result<Dataset, CsvError> {
+    let file = std::fs::File::open(&path)?;
+    let name = path
+        .as_ref()
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "csv".to_string());
+    read_csv(std::io::BufReader::new(file), name, labels)
+}
+
+/// Writes anomaly scores (one per row, aligned with the dataset) as a
+/// two-column CSV `row_index,score`.
+pub fn write_scores<W: Write>(writer: W, scores: &[f64]) -> std::io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "row,score")?;
+    for (i, s) in scores.iter().enumerate() {
+        writeln!(out, "{i},{s}")?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_plain_csv_with_labels() {
+        let csv = "1.0,2.0,0\n3.0,4.0,1\n5.5,6.5,0\n";
+        let d = read_csv(Cursor::new(csv), "t", LabelColumn::Last).unwrap();
+        assert_eq!(d.n_samples(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.labels, vec![0, 1, 0]);
+        assert_eq!(d.x.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn header_row_is_skipped() {
+        let csv = "f1,f2,label\n1,2,0\n3,4,1\n";
+        let d = read_csv(Cursor::new(csv), "t", LabelColumn::Last).unwrap();
+        assert_eq!(d.n_samples(), 2);
+        assert_eq!(d.n_anomalies(), 1);
+    }
+
+    #[test]
+    fn no_label_column_mode() {
+        let csv = "1,2\n3,4\n";
+        let d = read_csv(Cursor::new(csv), "t", LabelColumn::None).unwrap();
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_anomalies(), 0);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "1,2,0\n3,4\n";
+        let err = read_csv(Cursor::new(csv), "t", LabelColumn::Last).unwrap_err();
+        assert!(matches!(err, CsvError::Ragged { line: 2, expected: 3, got: 2 }));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn bad_cell_mid_file_rejected() {
+        let csv = "1,2,0\nx,4,1\n";
+        let err = read_csv(Cursor::new(csv), "t", LabelColumn::Last).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 2, column: 0, .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let err = read_csv(Cursor::new("\n\n"), "t", LabelColumn::Last).unwrap_err();
+        assert!(matches!(err, CsvError::Empty));
+    }
+
+    #[test]
+    fn blank_lines_and_whitespace_tolerated() {
+        let csv = " 1 , 2 , 1 \n\n 3 ,4, 0\n";
+        let d = read_csv(Cursor::new(csv), "t", LabelColumn::Last).unwrap();
+        assert_eq!(d.n_samples(), 2);
+        assert_eq!(d.labels, vec![1, 0]);
+    }
+
+    #[test]
+    fn score_export_roundtrip() {
+        let mut buf = Vec::new();
+        write_scores(&mut buf, &[0.25, 0.75]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("row,score\n"));
+        assert!(text.contains("0,0.25"));
+        assert!(text.contains("1,0.75"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("uadb_io_test.csv");
+        std::fs::write(&path, "a,b,y\n1,2,1\n3,4,0\n").unwrap();
+        let d = read_csv_file(&path, LabelColumn::Last).unwrap();
+        assert_eq!(d.name, "uadb_io_test");
+        assert_eq!(d.n_samples(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,160 @@
+//! Feature scaling: min-max and z-score, fit/transform style.
+
+use uadb_linalg::colstats::{col_means, col_variances};
+use uadb_linalg::Matrix;
+
+/// Min-max scaler fitted on one matrix and applicable to another — the
+/// UADB pipeline normalises teacher scores and pseudo labels into `[0,1]`
+/// with exactly this transform (Alg. 1 line 8).
+#[derive(Debug, Clone)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Learns per-column minima and ranges.
+    pub fn fit(x: &Matrix) -> Self {
+        let (n, d) = x.shape();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        if n == 0 {
+            return Self { mins: vec![0.0; d], ranges: vec![1.0; d] };
+        }
+        for row in x.row_iter() {
+            for ((lo, hi), &v) in mins.iter_mut().zip(&mut maxs).zip(row) {
+                if v < *lo {
+                    *lo = v;
+                }
+                if v > *hi {
+                    *hi = v;
+                }
+            }
+        }
+        let ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(lo, hi)| {
+                let r = hi - lo;
+                if r > 0.0 {
+                    r
+                } else {
+                    1.0 // constant column maps to 0
+                }
+            })
+            .collect();
+        Self { mins, ranges }
+    }
+
+    /// Applies the learned transform.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, &lo), &rg) in row.iter_mut().zip(&self.mins).zip(&self.ranges) {
+                *v = (*v - lo) / rg;
+            }
+        }
+        out
+    }
+}
+
+/// Min-max scales a single score vector into `[0,1]`.
+///
+/// A constant vector maps to all zeros (matching sklearn's
+/// `MinMaxScaler` behaviour of `(x - min) / 1` when the range is zero
+/// after its guard — every entry becomes 0).
+pub fn minmax_vec(v: &[f64]) -> Vec<f64> {
+    match uadb_linalg::vecops::min_max(v) {
+        None => vec![],
+        Some((lo, hi)) => {
+            let range = hi - lo;
+            if range <= 0.0 {
+                return vec![0.0; v.len()];
+            }
+            v.iter().map(|x| (x - lo) / range).collect()
+        }
+    }
+}
+
+/// Z-score standardisation per column; constant columns become zero.
+pub fn zscore(x: &Matrix) -> Matrix {
+    let means = col_means(x);
+    let vars = col_variances(x);
+    let stds: Vec<f64> = vars.iter().map(|v| if *v > 0.0 { v.sqrt() } else { 1.0 }).collect();
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        for ((v, &m), &s) in row.iter_mut().zip(&means).zip(&stds) {
+            *v = (*v - m) / s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_scaler_maps_to_unit_interval() {
+        let x = Matrix::from_vec(3, 2, vec![0.0, 10.0, 5.0, 20.0, 10.0, 30.0]).unwrap();
+        let s = MinMaxScaler::fit(&x);
+        let t = s.transform(&x);
+        assert_eq!(t.col(0), vec![0.0, 0.5, 1.0]);
+        assert_eq!(t.col(1), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn minmax_scaler_handles_constant_column() {
+        let x = Matrix::from_vec(2, 1, vec![7.0, 7.0]).unwrap();
+        let s = MinMaxScaler::fit(&x);
+        let t = s.transform(&x);
+        assert_eq!(t.col(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn minmax_scaler_applies_to_new_data() {
+        let train = Matrix::from_vec(2, 1, vec![0.0, 10.0]).unwrap();
+        let s = MinMaxScaler::fit(&train);
+        let test = Matrix::from_vec(2, 1, vec![5.0, 20.0]).unwrap();
+        let t = s.transform(&test);
+        assert_eq!(t.col(0), vec![0.5, 2.0]); // extrapolation allowed
+    }
+
+    #[test]
+    fn minmax_vec_basic_and_degenerate() {
+        assert_eq!(minmax_vec(&[1.0, 3.0, 2.0]), vec![0.0, 1.0, 0.5]);
+        assert_eq!(minmax_vec(&[4.0, 4.0]), vec![0.0, 0.0]);
+        assert_eq!(minmax_vec(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn minmax_vec_preserves_order() {
+        let v = vec![0.3, -2.0, 9.0, 0.0];
+        let s = minmax_vec(&v);
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                assert_eq!(v[i] < v[j], s[i] < s[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn zscore_standardises() {
+        let x = Matrix::from_vec(4, 1, vec![2.0, 4.0, 6.0, 8.0]).unwrap();
+        let z = zscore(&x);
+        let col = z.col(0);
+        let mean = col.iter().sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_constant_column_is_zero() {
+        let x = Matrix::from_vec(3, 1, vec![5.0, 5.0, 5.0]).unwrap();
+        let z = zscore(&x);
+        assert!(z.col(0).iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,123 @@
+//! Deterministic k-fold splitting.
+//!
+//! UADB trains 3 booster models in a 3-fold cross-validation manner
+//! (paper §IV-A): each booster sees 2 of the 3 folds; inference averages
+//! all 3 boosters.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One train/holdout split.
+#[derive(Debug, Clone)]
+pub struct Fold {
+    /// Row indices the model trains on.
+    pub train: Vec<usize>,
+    /// Row indices held out of training.
+    pub holdout: Vec<usize>,
+}
+
+/// Produces `k` folds over `n` rows, shuffled with `seed`.
+///
+/// Every row appears in exactly one holdout; fold sizes differ by at most
+/// one. `k` is clamped to `n` so tiny inputs still split cleanly; `k == 1`
+/// degenerates to train == holdout == everything (no ensembling).
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 1, "k must be at least 1");
+    if n == 0 {
+        return vec![Fold { train: vec![], holdout: vec![] }];
+    }
+    let k = k.min(n);
+    if k == 1 {
+        let all: Vec<usize> = (0..n).collect();
+        return vec![Fold { train: all.clone(), holdout: all }];
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    // Round-robin assignment keeps fold sizes within one of each other.
+    let mut assignment = vec![0usize; n];
+    for (pos, &row) in order.iter().enumerate() {
+        assignment[row] = pos % k;
+    }
+    (0..k)
+        .map(|f| {
+            let mut train = Vec::with_capacity(n - n / k);
+            let mut holdout = Vec::with_capacity(n / k + 1);
+            for (row, &a) in assignment.iter().enumerate() {
+                if a == f {
+                    holdout.push(row);
+                } else {
+                    train.push(row);
+                }
+            }
+            Fold { train, holdout }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn folds_partition_rows() {
+        let folds = kfold(10, 3, 7);
+        assert_eq!(folds.len(), 3);
+        let mut seen = HashSet::new();
+        for f in &folds {
+            for &i in &f.holdout {
+                assert!(seen.insert(i), "row {i} in two holdouts");
+            }
+            // train and holdout are disjoint and cover all rows
+            let train: HashSet<_> = f.train.iter().collect();
+            for i in &f.holdout {
+                assert!(!train.contains(i));
+            }
+            assert_eq!(f.train.len() + f.holdout.len(), 10);
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let folds = kfold(10, 3, 1);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.holdout.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = kfold(20, 3, 42);
+        let b = kfold(20, 3, 42);
+        for (fa, fb) in a.iter().zip(&b) {
+            assert_eq!(fa.train, fb.train);
+            assert_eq!(fa.holdout, fb.holdout);
+        }
+        let c = kfold(20, 3, 43);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.holdout != y.holdout));
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let folds = kfold(2, 5, 0);
+        assert_eq!(folds.len(), 2);
+    }
+
+    #[test]
+    fn single_fold_degenerates() {
+        let folds = kfold(4, 1, 0);
+        assert_eq!(folds.len(), 1);
+        assert_eq!(folds[0].train, vec![0, 1, 2, 3]);
+        assert_eq!(folds[0].holdout, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let folds = kfold(0, 3, 0);
+        assert_eq!(folds.len(), 1);
+        assert!(folds[0].train.is_empty());
+    }
+}

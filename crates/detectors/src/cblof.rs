@@ -1,0 +1,182 @@
+//! Cluster-Based Local Outlier Factor (He, Xu & Deng 2003).
+//!
+//! PyOD defaults: k-means with `n_clusters = 8`, `alpha = 0.9`,
+//! `beta = 5`, `use_weights = False`. Clusters are split into large and
+//! small by the (α, β) rule; points in large clusters score their
+//! distance to the own centroid, points in small clusters score the
+//! distance to the nearest *large* centroid.
+
+use crate::kmeans::kmeans;
+use crate::traits::{Detector, DetectorError};
+use uadb_linalg::distance::euclidean;
+use uadb_linalg::Matrix;
+
+/// The CBLOF detector.
+pub struct Cblof {
+    /// k-means cluster count (PyOD default 8).
+    pub n_clusters: usize,
+    /// Cumulative-share boundary (PyOD default 0.9).
+    pub alpha: f64,
+    /// Size-ratio boundary (PyOD default 5.0).
+    pub beta: f64,
+    seed: u64,
+    fitted: Option<Fitted>,
+}
+
+struct Fitted {
+    centroids: Matrix,
+    /// Indices of large clusters.
+    large: Vec<usize>,
+}
+
+impl Cblof {
+    /// PyOD defaults with an explicit k-means seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { n_clusters: 8, alpha: 0.9, beta: 5.0, seed, fitted: None }
+    }
+}
+
+impl Default for Cblof {
+    fn default() -> Self {
+        Self::with_seed(0)
+    }
+}
+
+/// Applies the (α, β) large/small split to descending cluster sizes.
+/// Returns the number of leading (largest) clusters considered "large".
+fn split_boundary(sizes_desc: &[usize], n: usize, alpha: f64, beta: f64) -> usize {
+    let mut cum = 0usize;
+    for i in 0..sizes_desc.len() {
+        cum += sizes_desc[i];
+        let alpha_hit = (cum as f64) >= alpha * n as f64;
+        let beta_hit = i + 1 < sizes_desc.len()
+            && sizes_desc[i + 1] > 0
+            && (sizes_desc[i] as f64 / sizes_desc[i + 1] as f64) >= beta;
+        if alpha_hit || beta_hit {
+            return i + 1;
+        }
+    }
+    sizes_desc.len()
+}
+
+impl Detector for Cblof {
+    fn name(&self) -> &'static str {
+        "CBLOF"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), DetectorError> {
+        let (n, d) = x.shape();
+        if n == 0 || d == 0 {
+            return Err(DetectorError::EmptyInput);
+        }
+        let km = kmeans(x, self.n_clusters, 100, self.seed);
+        let k = km.centroids.rows();
+        // Sort clusters by size descending to apply the (α, β) rule.
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| km.sizes[b].cmp(&km.sizes[a]));
+        let sizes_desc: Vec<usize> = order.iter().map(|&c| km.sizes[c]).collect();
+        let boundary = split_boundary(&sizes_desc, n, self.alpha, self.beta);
+        let large: Vec<usize> = order[..boundary].to_vec();
+        self.fitted = Some(Fitted { centroids: km.centroids, large });
+        Ok(())
+    }
+
+    fn score(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
+        let f = self.fitted.as_ref().ok_or(DetectorError::NotFitted)?;
+        if x.cols() != f.centroids.cols() {
+            return Err(DetectorError::DimensionMismatch {
+                expected: f.centroids.cols(),
+                got: x.cols(),
+            });
+        }
+        let k = f.centroids.rows();
+        Ok(x.row_iter()
+            .map(|row| {
+                // Nearest centroid determines cluster membership.
+                let mut own = 0usize;
+                let mut own_dist = f64::INFINITY;
+                for c in 0..k {
+                    let d = euclidean(row, f.centroids.row(c));
+                    if d < own_dist {
+                        own_dist = d;
+                        own = c;
+                    }
+                }
+                if f.large.contains(&own) {
+                    own_dist
+                } else {
+                    // Small cluster: distance to the nearest large centroid.
+                    f.large
+                        .iter()
+                        .map(|&c| euclidean(row, f.centroids.row(c)))
+                        .fold(f64::INFINITY, f64::min)
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_blob_and_tiny_cluster() -> Matrix {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..60 {
+            rows.push(vec![(i % 10) as f64 * 0.1, (i / 10) as f64 * 0.1]);
+        }
+        // Tiny far-away cluster (clustered anomalies).
+        rows.push(vec![20.0, 20.0]);
+        rows.push(vec![20.1, 20.0]);
+        rows.push(vec![20.0, 20.1]);
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn small_cluster_members_score_high() {
+        let x = big_blob_and_tiny_cluster();
+        let mut c = Cblof { n_clusters: 4, ..Cblof::with_seed(1) };
+        let s = c.fit_score(&x).unwrap();
+        let blob_max = s[..60].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let tiny_min = s[60..].iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            tiny_min > blob_max,
+            "tiny-cluster scores ({tiny_min}) must exceed blob scores ({blob_max})"
+        );
+    }
+
+    #[test]
+    fn split_boundary_alpha_rule() {
+        // 90 + 10: the first cluster alone covers alpha=0.9.
+        assert_eq!(split_boundary(&[90, 10], 100, 0.9, 5.0), 1);
+        // Balanced clusters: need several to reach 90%.
+        assert_eq!(split_boundary(&[25, 25, 25, 25], 100, 0.9, 99.0), 4);
+    }
+
+    #[test]
+    fn split_boundary_beta_rule() {
+        // 50 vs 9: ratio > 5 splits after the first.
+        assert_eq!(split_boundary(&[50, 9, 8], 67, 0.99, 5.0), 1);
+    }
+
+    #[test]
+    fn all_large_when_no_rule_fires() {
+        assert_eq!(split_boundary(&[10, 10, 10], 30, 1.1, 50.0), 3);
+    }
+
+    #[test]
+    fn guards() {
+        let c = Cblof::default();
+        assert_eq!(c.score(&Matrix::zeros(1, 1)), Err(DetectorError::NotFitted));
+        let mut c = Cblof::default();
+        assert_eq!(c.fit(&Matrix::zeros(0, 2)), Err(DetectorError::EmptyInput));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = big_blob_and_tiny_cluster();
+        let a = Cblof::with_seed(9).fit_score(&x).unwrap();
+        let b = Cblof::with_seed(9).fit_score(&x).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,162 @@
+//! ECOD: unsupervised outlier detection using Empirical Cumulative
+//! Distribution functions (Li et al. 2022).
+//!
+//! Parameter-free. Per dimension the left/right tail probabilities come
+//! from the ECDF; per sample ECOD aggregates `−log` tail probabilities
+//! three ways (left, right, skewness-selected) and takes the maximum of
+//! the three aggregates — mirroring PyOD's `ecod.py`.
+
+use crate::traits::{Detector, DetectorError};
+use uadb_linalg::Matrix;
+
+/// Sorted per-dimension training values plus skewness sign.
+pub(crate) struct EcdfDim {
+    sorted: Vec<f64>,
+    /// Sample skewness (biased, `m3 / m2^{3/2}` — SciPy default).
+    pub(crate) skewness: f64,
+}
+
+impl EcdfDim {
+    pub(crate) fn build(mut values: Vec<f64>) -> Self {
+        let skewness = sample_skewness(&values);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Self { sorted: values, skewness }
+    }
+
+    /// Left tail probability `P(X <= v)`, lower-bounded away from zero so
+    /// `-log` stays finite.
+    pub(crate) fn left(&self, v: f64) -> f64 {
+        let n = self.sorted.len() as f64;
+        let count = self.sorted.partition_point(|&s| s <= v) as f64;
+        (count / n).max(1.0 / (n + 1.0))
+    }
+
+    /// Right tail probability `P(X >= v)`.
+    pub(crate) fn right(&self, v: f64) -> f64 {
+        let n = self.sorted.len() as f64;
+        let below = self.sorted.partition_point(|&s| s < v) as f64;
+        ((n - below) / n).max(1.0 / (n + 1.0))
+    }
+}
+
+/// Biased sample skewness `g1 = m3 / m2^{3/2}`; 0 for degenerate input.
+pub(crate) fn sample_skewness(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / n;
+    let m2 = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    if m2 <= 1e-300 {
+        return 0.0;
+    }
+    let m3 = values.iter().map(|v| (v - mean) * (v - mean) * (v - mean)).sum::<f64>() / n;
+    m3 / m2.powf(1.5)
+}
+
+/// The ECOD detector.
+pub struct Ecod {
+    dims: Vec<EcdfDim>,
+}
+
+impl Default for Ecod {
+    fn default() -> Self {
+        Self { dims: Vec::new() }
+    }
+}
+
+impl Detector for Ecod {
+    fn name(&self) -> &'static str {
+        "ECOD"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), DetectorError> {
+        let (n, d) = x.shape();
+        if n == 0 || d == 0 {
+            return Err(DetectorError::EmptyInput);
+        }
+        self.dims = (0..d).map(|j| EcdfDim::build(x.col(j))).collect();
+        Ok(())
+    }
+
+    fn score(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
+        if self.dims.is_empty() {
+            return Err(DetectorError::NotFitted);
+        }
+        if x.cols() != self.dims.len() {
+            return Err(DetectorError::DimensionMismatch {
+                expected: self.dims.len(),
+                got: x.cols(),
+            });
+        }
+        Ok(x.row_iter()
+            .map(|row| {
+                let mut o_left = 0.0;
+                let mut o_right = 0.0;
+                let mut o_auto = 0.0;
+                for (&v, dim) in row.iter().zip(&self.dims) {
+                    let ul = -dim.left(v).ln();
+                    let ur = -dim.right(v).ln();
+                    o_left += ul;
+                    o_right += ur;
+                    // Negative skew: the informative tail is the left one.
+                    o_auto += if dim.skewness < 0.0 { ul } else { ur };
+                }
+                o_left.max(o_right).max(o_auto)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_points_score_higher_than_median() {
+        let x = Matrix::from_vec(101, 1, (0..101).map(|i| i as f64).collect()).unwrap();
+        let s = Ecod::default().fit_score(&x).unwrap();
+        assert!(s[0] > s[50], "left tail {} vs median {}", s[0], s[50]);
+        assert!(s[100] > s[50], "right tail {} vs median {}", s[100], s[50]);
+    }
+
+    #[test]
+    fn skewness_reference() {
+        // Symmetric data has (near) zero skewness.
+        assert!(sample_skewness(&[1.0, 2.0, 3.0]).abs() < 1e-12);
+        // Right-tailed data has positive skewness.
+        assert!(sample_skewness(&[1.0, 1.0, 1.0, 10.0]) > 0.0);
+        // Degenerate cases.
+        assert_eq!(sample_skewness(&[5.0]), 0.0);
+        assert_eq!(sample_skewness(&[2.0, 2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn ecdf_left_right_consistency() {
+        let dim = EcdfDim::build(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((dim.left(2.5) - 0.5).abs() < 1e-12);
+        assert!((dim.right(2.5) - 0.5).abs() < 1e-12);
+        assert!((dim.left(4.0) - 1.0).abs() < 1e-12);
+        // Query below all data: left prob floors at 1/(n+1), not 0.
+        assert!(dim.left(-100.0) > 0.0);
+        assert!((dim.right(-100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_sample_extremes_score_high() {
+        let x = Matrix::from_vec(50, 2, (0..100).map(|i| (i % 10) as f64).collect()).unwrap();
+        let mut e = Ecod::default();
+        e.fit(&x).unwrap();
+        let q = Matrix::from_rows(&[vec![4.0, 5.0], vec![1000.0, -1000.0]]).unwrap();
+        let s = e.score(&q).unwrap();
+        assert!(s[1] > s[0]);
+    }
+
+    #[test]
+    fn guards() {
+        let e = Ecod::default();
+        assert_eq!(e.score(&Matrix::zeros(1, 1)), Err(DetectorError::NotFitted));
+        let mut e = Ecod::default();
+        assert_eq!(e.fit(&Matrix::zeros(0, 1)), Err(DetectorError::EmptyInput));
+    }
+}

@@ -1,0 +1,283 @@
+//! Gaussian Mixture Model anomaly detection.
+//!
+//! PyOD's `GMM` wraps sklearn's full-covariance mixture with
+//! `n_components = 1` by default; the anomaly score is the negative
+//! log-likelihood. The EM loop below supports any component count (tests
+//! exercise k = 2) with k-means initialisation and `reg_covar`-style
+//! diagonal jitter.
+
+use crate::kmeans::kmeans;
+use crate::traits::{Detector, DetectorError};
+use uadb_linalg::lu::LuDecomposition;
+use uadb_linalg::Matrix;
+
+/// Diagonal regulariser added to every covariance (sklearn `reg_covar`).
+const REG_COVAR: f64 = 1e-6;
+
+/// One mixture component in precision form, ready for scoring.
+struct Component {
+    weight_ln: f64,
+    mean: Vec<f64>,
+    precision: Matrix,
+    /// `-0.5 (d ln 2π + ln |Σ|)`.
+    log_norm: f64,
+}
+
+/// The GMM detector.
+pub struct Gmm {
+    /// Mixture size (PyOD default 1).
+    pub n_components: usize,
+    /// EM iterations cap.
+    pub max_iter: usize,
+    seed: u64,
+    components: Vec<Component>,
+    n_features: usize,
+}
+
+impl Gmm {
+    /// PyOD defaults with an explicit seed for the k-means initialiser.
+    pub fn with_seed(seed: u64) -> Self {
+        Self { n_components: 1, max_iter: 100, seed, components: Vec::new(), n_features: 0 }
+    }
+
+    /// Builder-style override of the component count (tests, ablations).
+    pub fn with_components(mut self, k: usize) -> Self {
+        self.n_components = k.max(1);
+        self
+    }
+
+    /// Log density of one sample under one component.
+    fn log_prob(comp: &Component, row: &[f64], scratch: &mut Vec<f64>) -> f64 {
+        let d = comp.mean.len();
+        scratch.clear();
+        scratch.extend(row.iter().zip(&comp.mean).map(|(x, m)| x - m));
+        // Quadratic form (x-μ)ᵀ P (x-μ).
+        let mut q = 0.0;
+        for i in 0..d {
+            let prow = &comp.precision.as_slice()[i * d..(i + 1) * d];
+            let mut acc = 0.0;
+            for (p, c) in prow.iter().zip(scratch.iter()) {
+                acc += p * c;
+            }
+            q += scratch[i] * acc;
+        }
+        comp.weight_ln + comp.log_norm - 0.5 * q
+    }
+
+    /// Builds a precision-form component from a mean and covariance.
+    fn build_component(
+        weight: f64,
+        mean: Vec<f64>,
+        mut cov: Matrix,
+    ) -> Result<Component, DetectorError> {
+        let d = mean.len();
+        for i in 0..d {
+            let v = cov.get(i, i) + REG_COVAR;
+            cov.set(i, i, v);
+        }
+        let lu = LuDecomposition::new(&cov)?;
+        let precision = lu.inverse()?;
+        let log_det = lu.ln_abs_determinant();
+        let log_norm = -0.5 * (d as f64 * (2.0 * std::f64::consts::PI).ln() + log_det);
+        Ok(Component { weight_ln: weight.max(1e-300).ln(), mean, precision, log_norm })
+    }
+}
+
+impl Default for Gmm {
+    fn default() -> Self {
+        Self::with_seed(0)
+    }
+}
+
+impl Detector for Gmm {
+    fn name(&self) -> &'static str {
+        "GMM"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), DetectorError> {
+        let (n, d) = x.shape();
+        if n < 2 || d == 0 {
+            return Err(DetectorError::EmptyInput);
+        }
+        let k = self.n_components.min(n);
+        self.n_features = d;
+
+        // Responsibilities initialised from k-means hard assignment.
+        let km = kmeans(x, k, 50, self.seed);
+        let mut resp = Matrix::zeros(n, k);
+        for (i, &a) in km.assignment.iter().enumerate() {
+            resp.set(i, a, 1.0);
+        }
+
+        let mut components: Vec<Component> = Vec::new();
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut scratch = Vec::with_capacity(d);
+        for _iter in 0..self.max_iter {
+            // M step: weights, means, covariances from responsibilities.
+            components.clear();
+            for c in 0..k {
+                let nk: f64 = (0..n).map(|i| resp.get(i, c)).sum();
+                let nk_safe = nk.max(1e-10);
+                let mut mean = vec![0.0; d];
+                for (i, row) in x.row_iter().enumerate() {
+                    let r = resp.get(i, c);
+                    if r == 0.0 {
+                        continue;
+                    }
+                    for (m, &v) in mean.iter_mut().zip(row) {
+                        *m += r * v;
+                    }
+                }
+                for m in &mut mean {
+                    *m /= nk_safe;
+                }
+                let mut cov = Matrix::zeros(d, d);
+                for (i, row) in x.row_iter().enumerate() {
+                    let r = resp.get(i, c);
+                    if r == 0.0 {
+                        continue;
+                    }
+                    scratch.clear();
+                    scratch.extend(row.iter().zip(&mean).map(|(v, m)| v - m));
+                    for a in 0..d {
+                        let ca = scratch[a] * r;
+                        if ca == 0.0 {
+                            continue;
+                        }
+                        let dst = &mut cov.as_mut_slice()[a * d..(a + 1) * d];
+                        for (slot, &cb) in dst.iter_mut().zip(scratch.iter()) {
+                            *slot += ca * cb;
+                        }
+                    }
+                }
+                cov.scale_inplace(1.0 / nk_safe);
+                components.push(Self::build_component(nk / n as f64, mean, cov)?);
+            }
+
+            // E step: responsibilities and total log-likelihood.
+            let mut ll = 0.0;
+            for (i, row) in x.row_iter().enumerate() {
+                let logs: Vec<f64> = components
+                    .iter()
+                    .map(|comp| Self::log_prob(comp, row, &mut scratch))
+                    .collect();
+                let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let sum_exp: f64 = logs.iter().map(|l| (l - max).exp()).sum();
+                let log_total = max + sum_exp.ln();
+                ll += log_total;
+                for (c, &l) in logs.iter().enumerate() {
+                    resp.set(i, c, (l - log_total).exp());
+                }
+            }
+            if (ll - prev_ll).abs() < 1e-6 * ll.abs().max(1.0) {
+                break;
+            }
+            prev_ll = ll;
+        }
+        self.components = components;
+        Ok(())
+    }
+
+    fn score(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
+        if self.components.is_empty() {
+            return Err(DetectorError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(DetectorError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.cols(),
+            });
+        }
+        let mut scratch = Vec::with_capacity(self.n_features);
+        Ok(x.row_iter()
+            .map(|row| {
+                let logs: Vec<f64> = self
+                    .components
+                    .iter()
+                    .map(|comp| Self::log_prob(comp, row, &mut scratch))
+                    .collect();
+                let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let sum_exp: f64 = logs.iter().map(|l| (l - max).exp()).sum();
+                -(max + sum_exp.ln())
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn gaussian_cloud(seed: u64, n: usize, cx: f64, cy: f64) -> Vec<Vec<f64>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen();
+                let r = (-2.0 * u1.ln()).sqrt();
+                vec![
+                    cx + r * (2.0 * std::f64::consts::PI * u2).cos(),
+                    cy + r * (2.0 * std::f64::consts::PI * u2).sin(),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_component_scores_distance_from_mean() {
+        let mut rows = gaussian_cloud(0, 200, 0.0, 0.0);
+        rows.push(vec![10.0, 10.0]);
+        let x = Matrix::from_rows(&rows).unwrap();
+        let s = Gmm::with_seed(0).fit_score(&x).unwrap();
+        let max_idx = s.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(max_idx, 200);
+    }
+
+    #[test]
+    fn two_components_fit_two_blobs() {
+        let mut rows = gaussian_cloud(1, 100, 0.0, 0.0);
+        rows.extend(gaussian_cloud(2, 100, 20.0, 20.0));
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut g = Gmm::with_seed(3).with_components(2);
+        g.fit(&x).unwrap();
+        // A point between the blobs scores higher (less likely) than blob
+        // members.
+        let q = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 10.0], vec![20.0, 20.0]]).unwrap();
+        let s = g.score(&q).unwrap();
+        assert!(s[1] > s[0], "midpoint {} vs blob centre {}", s[1], s[0]);
+        assert!(s[1] > s[2]);
+    }
+
+    #[test]
+    fn log_likelihood_is_calibrated() {
+        // For a standard 2-d Gaussian the NLL at the mean is
+        // ln(2π) + 0.5 ln|Σ| ≈ ln(2π) for Σ≈I.
+        let rows = gaussian_cloud(4, 3000, 0.0, 0.0);
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut g = Gmm::with_seed(0);
+        g.fit(&x).unwrap();
+        let q = Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let s = g.score(&q).unwrap();
+        let expect = (2.0 * std::f64::consts::PI).ln();
+        assert!((s[0] - expect).abs() < 0.2, "NLL at mean {} vs {}", s[0], expect);
+    }
+
+    #[test]
+    fn near_singular_covariance_survives() {
+        // Perfectly correlated features: reg_covar must rescue the fit.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, i as f64 * 2.0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let s = Gmm::with_seed(0).fit_score(&x).unwrap();
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn guards() {
+        let g = Gmm::default();
+        assert_eq!(g.score(&Matrix::zeros(1, 1)), Err(DetectorError::NotFitted));
+        let mut g = Gmm::default();
+        assert_eq!(g.fit(&Matrix::zeros(1, 2)), Err(DetectorError::EmptyInput));
+    }
+}

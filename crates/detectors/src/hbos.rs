@@ -1,0 +1,164 @@
+//! Histogram-Based Outlier Score (Goldstein & Dengel 2012).
+//!
+//! PyOD defaults: 10 static equal-width bins per dimension, regulariser
+//! `alpha = 0.1`, out-of-range tolerance `tol = 0.5`. The score of a
+//! sample is `Σ_d log(1 / (density_d(x_d) + alpha))` — dimensions are
+//! assumed independent, high density means low outlierness.
+
+use crate::traits::{Detector, DetectorError};
+use uadb_linalg::Matrix;
+
+/// Per-dimension equal-width histogram.
+#[derive(Debug, Clone)]
+struct DimHistogram {
+    lo: f64,
+    width: f64,
+    /// Normalised densities per bin (integrates to 1 over the range).
+    densities: Vec<f64>,
+}
+
+impl DimHistogram {
+    fn build(values: &[f64], n_bins: usize) -> Self {
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let range = (hi - lo).max(1e-12);
+        let width = range / n_bins as f64;
+        let mut counts = vec![0usize; n_bins];
+        for &v in values {
+            let mut b = ((v - lo) / width) as usize;
+            if b >= n_bins {
+                b = n_bins - 1; // v == hi lands in the last bin
+            }
+            counts[b] += 1;
+        }
+        let n = values.len() as f64;
+        let densities = counts.iter().map(|&c| c as f64 / (n * width)).collect();
+        Self { lo, width, densities }
+    }
+
+    /// Density at `v`; out-of-range queries are clamped to the nearest
+    /// edge bin (PyOD's `tol` behaviour for mildly out-of-range points).
+    fn density(&self, v: f64) -> f64 {
+        let n_bins = self.densities.len();
+        let b = ((v - self.lo) / self.width).floor();
+        let idx = if b < 0.0 {
+            0
+        } else if b as usize >= n_bins {
+            n_bins - 1
+        } else {
+            b as usize
+        };
+        self.densities[idx]
+    }
+}
+
+/// The HBOS detector.
+pub struct Hbos {
+    /// Bins per dimension (PyOD default 10).
+    pub n_bins: usize,
+    /// Density regulariser (PyOD default 0.1).
+    pub alpha: f64,
+    histograms: Vec<DimHistogram>,
+}
+
+impl Default for Hbos {
+    fn default() -> Self {
+        Self { n_bins: 10, alpha: 0.1, histograms: Vec::new() }
+    }
+}
+
+impl Detector for Hbos {
+    fn name(&self) -> &'static str {
+        "HBOS"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), DetectorError> {
+        let (n, d) = x.shape();
+        if n == 0 || d == 0 {
+            return Err(DetectorError::EmptyInput);
+        }
+        self.histograms = (0..d)
+            .map(|j| DimHistogram::build(&x.col(j), self.n_bins))
+            .collect();
+        Ok(())
+    }
+
+    fn score(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
+        if self.histograms.is_empty() {
+            return Err(DetectorError::NotFitted);
+        }
+        if x.cols() != self.histograms.len() {
+            return Err(DetectorError::DimensionMismatch {
+                expected: self.histograms.len(),
+                got: x.cols(),
+            });
+        }
+        Ok(x.row_iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&self.histograms)
+                    .map(|(&v, h)| (1.0 / (h.density(v) + self.alpha)).ln())
+                    .sum()
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_density_point_scores_higher() {
+        // Dense cluster at 0..1, single point at 10.
+        let mut vals: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
+        vals.push(10.0);
+        let x = Matrix::from_vec(51, 1, vals).unwrap();
+        let mut h = Hbos::default();
+        let s = h.fit_score(&x).unwrap();
+        let max_idx = s.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(max_idx, 50);
+    }
+
+    #[test]
+    fn multi_dim_scores_sum() {
+        // Two identical dimensions double the (log) score offset structure.
+        let x1 = Matrix::from_vec(4, 1, vec![0.0, 0.1, 0.2, 5.0]).unwrap();
+        let x2 = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.1, 0.1, 0.2, 0.2, 5.0, 5.0]).unwrap();
+        let s1 = Hbos::default().fit_score(&x1).unwrap();
+        let s2 = Hbos::default().fit_score(&x2).unwrap();
+        for (a, b) in s1.iter().zip(&s2) {
+            assert!((2.0 * a - b).abs() < 1e-9, "2*{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_query_clamps() {
+        let x = Matrix::from_vec(10, 1, (0..10).map(|i| i as f64).collect()).unwrap();
+        let mut h = Hbos::default();
+        h.fit(&x).unwrap();
+        let q = Matrix::from_vec(2, 1, vec![-100.0, 100.0]).unwrap();
+        let s = h.score(&q).unwrap();
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn constant_dimension_is_finite() {
+        let x = Matrix::filled(10, 2, 3.0);
+        let s = Hbos::default().fit_score(&x).unwrap();
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn guards() {
+        let h = Hbos::default();
+        assert_eq!(h.score(&Matrix::zeros(1, 1)), Err(DetectorError::NotFitted));
+        let mut h = Hbos::default();
+        assert_eq!(h.fit(&Matrix::zeros(0, 1)), Err(DetectorError::EmptyInput));
+        h.fit(&Matrix::zeros(3, 2)).unwrap();
+        assert!(matches!(
+            h.score(&Matrix::zeros(1, 3)),
+            Err(DetectorError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,299 @@
+//! Isolation Forest (Liu, Ting & Zhou 2008).
+//!
+//! PyOD defaults: 100 trees, subsample size ψ = min(256, n), height limit
+//! ⌈log₂ ψ⌉. Anomaly score `s(x) = 2^(−E[h(x)] / c(ψ))` where `c(·)` is
+//! the expected path length of an unsuccessful BST search; PyOD reports
+//! this directly (higher = more anomalous).
+
+use crate::traits::{Detector, DetectorError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use uadb_linalg::Matrix;
+
+/// One node of an isolation tree, stored in a flat arena.
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    External {
+        /// Number of training points that fell into this leaf.
+        size: usize,
+    },
+}
+
+/// A single isolation tree over a subsample.
+#[derive(Debug, Clone)]
+struct ITree {
+    nodes: Vec<Node>,
+}
+
+impl ITree {
+    /// Builds a tree over the rows of `x` listed in `idx`.
+    fn build(x: &Matrix, idx: &mut [usize], height_limit: usize, rng: &mut StdRng) -> Self {
+        let mut nodes = Vec::with_capacity(2 * idx.len());
+        Self::build_rec(x, idx, 0, height_limit, rng, &mut nodes);
+        Self { nodes }
+    }
+
+    fn build_rec(
+        x: &Matrix,
+        idx: &mut [usize],
+        depth: usize,
+        limit: usize,
+        rng: &mut StdRng,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        if depth >= limit || idx.len() <= 1 {
+            nodes.push(Node::External { size: idx.len() });
+            return nodes.len() - 1;
+        }
+        // Pick a random feature with spread; give up after d tries.
+        let d = x.cols();
+        let mut feature = rng.gen_range(0..d);
+        let (mut lo, mut hi) = feature_range(x, idx, feature);
+        let mut tries = 0;
+        while hi <= lo && tries < d {
+            feature = (feature + 1) % d;
+            let r = feature_range(x, idx, feature);
+            lo = r.0;
+            hi = r.1;
+            tries += 1;
+        }
+        if hi <= lo {
+            // All remaining points identical: isolation is impossible.
+            nodes.push(Node::External { size: idx.len() });
+            return nodes.len() - 1;
+        }
+        let threshold = rng.gen_range(lo..hi);
+        // Partition in place.
+        let mut split = 0;
+        for i in 0..idx.len() {
+            if x.get(idx[i], feature) < threshold {
+                idx.swap(i, split);
+                split += 1;
+            }
+        }
+        // A random threshold strictly inside (lo, hi) guarantees both
+        // sides are non-empty, but guard against float pathology anyway.
+        if split == 0 || split == idx.len() {
+            nodes.push(Node::External { size: idx.len() });
+            return nodes.len() - 1;
+        }
+        let placeholder = nodes.len();
+        nodes.push(Node::External { size: 0 }); // patched below
+        let (left_idx, right_idx) = idx.split_at_mut(split);
+        let left = Self::build_rec(x, left_idx, depth + 1, limit, rng, nodes);
+        let right = Self::build_rec(x, right_idx, depth + 1, limit, rng, nodes);
+        nodes[placeholder] = Node::Internal { feature, threshold, left, right };
+        placeholder
+    }
+
+    /// Path length of a query, including the `c(size)` adjustment at the
+    /// reached leaf.
+    fn path_length(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        let mut depth = 0.0;
+        loop {
+            match &self.nodes[node] {
+                Node::External { size } => return depth + c_factor(*size),
+                Node::Internal { feature, threshold, left, right } => {
+                    node = if row[*feature] < *threshold { *left } else { *right };
+                    depth += 1.0;
+                }
+            }
+        }
+    }
+}
+
+fn feature_range(x: &Matrix, idx: &[usize], feature: usize) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &i in idx {
+        let v = x.get(i, feature);
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    (lo, hi)
+}
+
+/// Expected path length of an unsuccessful BST search over `n` points:
+/// `c(n) = 2 H(n−1) − 2(n−1)/n`, with `c(0) = c(1) = 0`.
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    2.0 * (harmonic(nf - 1.0)) - 2.0 * (nf - 1.0) / nf
+}
+
+/// Harmonic number approximation `H(i) ≈ ln(i) + γ`.
+fn harmonic(i: f64) -> f64 {
+    const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+    i.ln() + EULER_MASCHERONI
+}
+
+/// The Isolation Forest detector.
+pub struct IForest {
+    /// Number of trees (PyOD default 100).
+    pub n_estimators: usize,
+    /// Maximum subsample per tree (PyOD default 256).
+    pub max_samples: usize,
+    seed: u64,
+    trees: Vec<ITree>,
+    c_psi: f64,
+    n_features: usize,
+}
+
+impl IForest {
+    /// PyOD defaults with an explicit RNG seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            n_estimators: 100,
+            max_samples: 256,
+            seed,
+            trees: Vec::new(),
+            c_psi: 0.0,
+            n_features: 0,
+        }
+    }
+}
+
+impl Default for IForest {
+    fn default() -> Self {
+        Self::with_seed(0)
+    }
+}
+
+impl Detector for IForest {
+    fn name(&self) -> &'static str {
+        "IForest"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), DetectorError> {
+        let (n, d) = x.shape();
+        if n == 0 || d == 0 {
+            return Err(DetectorError::EmptyInput);
+        }
+        let psi = self.max_samples.min(n);
+        let height_limit = (psi as f64).log2().ceil().max(1.0) as usize;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut all: Vec<usize> = (0..n).collect();
+        self.trees = (0..self.n_estimators)
+            .map(|_| {
+                all.shuffle(&mut rng);
+                let mut sample: Vec<usize> = all[..psi].to_vec();
+                ITree::build(x, &mut sample, height_limit, &mut rng)
+            })
+            .collect();
+        self.c_psi = c_factor(psi);
+        self.n_features = d;
+        Ok(())
+    }
+
+    fn score(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
+        if self.trees.is_empty() {
+            return Err(DetectorError::NotFitted);
+        }
+        if x.cols() != self.n_features {
+            return Err(DetectorError::DimensionMismatch {
+                expected: self.n_features,
+                got: x.cols(),
+            });
+        }
+        let inv = 1.0 / self.trees.len() as f64;
+        Ok(x.row_iter()
+            .map(|row| {
+                let mean_path: f64 =
+                    self.trees.iter().map(|t| t.path_length(row)).sum::<f64>() * inv;
+                2f64.powf(-mean_path / self.c_psi.max(1e-12))
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_with_outlier() -> Matrix {
+        let mut rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                vec![t.sin() * 0.5, t.cos() * 0.5]
+            })
+            .collect();
+        rows.push(vec![8.0, 8.0]);
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn outlier_scores_highest() {
+        let x = blob_with_outlier();
+        let mut f = IForest::with_seed(7);
+        let scores = f.fit_score(&x).unwrap();
+        let max_idx = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 60, "the far point must get the top score");
+        // Scores live in (0, 1).
+        assert!(scores.iter().all(|&s| s > 0.0 && s < 1.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = blob_with_outlier();
+        let a = IForest::with_seed(3).fit_score(&x).unwrap();
+        let b = IForest::with_seed(3).fit_score(&x).unwrap();
+        assert_eq!(a, b);
+        let c = IForest::with_seed(4).fit_score(&x).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn c_factor_reference_values() {
+        assert_eq!(c_factor(0), 0.0);
+        assert_eq!(c_factor(1), 0.0);
+        // c(2) = 2 H(1) - 1 = 2*gamma - 1 + ... H(1)=ln(1)+gamma = gamma
+        let expect = 2.0 * 0.5772156649015329 - 1.0;
+        assert!((c_factor(2) - expect).abs() < 1e-9);
+        assert!(c_factor(256) > c_factor(128));
+    }
+
+    #[test]
+    fn rejects_unfitted_and_mismatched() {
+        let f = IForest::default();
+        assert_eq!(f.score(&Matrix::zeros(1, 2)), Err(DetectorError::NotFitted));
+        let mut f = IForest::default();
+        f.fit(&blob_with_outlier()).unwrap();
+        assert!(matches!(
+            f.score(&Matrix::zeros(1, 5)),
+            Err(DetectorError::DimensionMismatch { .. })
+        ));
+        let mut f = IForest::default();
+        assert_eq!(f.fit(&Matrix::zeros(0, 2)), Err(DetectorError::EmptyInput));
+    }
+
+    #[test]
+    fn constant_data_degenerates_gracefully() {
+        let x = Matrix::filled(20, 3, 1.0);
+        let mut f = IForest::with_seed(0);
+        let scores = f.fit_score(&x).unwrap();
+        // All points identical: all scores equal, no NaN.
+        assert!(scores.iter().all(|s| s.is_finite()));
+        let first = scores[0];
+        assert!(scores.iter().all(|&s| (s - first).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,43 @@
+//! The 14 source UAD models evaluated in the UADB paper (§IV-A), ported
+//! from scratch with PyOD's default hyper-parameters.
+//!
+//! | Model | Assumption family | Module |
+//! |---|---|---|
+//! | IForest  | isolation / tree ensemble     | [`iforest`] |
+//! | HBOS     | per-dimension density         | [`hbos`] |
+//! | LOF      | local neighbour density       | [`lof`] |
+//! | KNN      | global neighbour distance     | [`knn`] |
+//! | PCA      | linear subspace               | [`pca`] |
+//! | OCSVM    | kernel one-class boundary     | [`ocsvm`] |
+//! | CBLOF    | clustering                    | [`cblof`] |
+//! | COF      | connectivity / chaining       | [`cof`] |
+//! | SOD      | axis-parallel subspaces       | [`sod`] |
+//! | ECOD     | per-dimension ECDF tails      | [`ecod`] |
+//! | GMM      | parametric density            | [`gmm`] |
+//! | LODA     | random-projection histograms  | [`loda`] |
+//! | COPOD    | empirical copula tails        | [`copod`] |
+//! | DeepSVDD | learned one-class hypersphere | [`deep_svdd`] |
+//!
+//! Every model implements the [`Detector`] trait; the UADB framework is
+//! agnostic to which one it wraps (the paper's central design point).
+//! Shared substrates: brute-force [`neighbors`] queries and [`kmeans`].
+
+pub mod cblof;
+pub mod cof;
+pub mod copod;
+pub mod deep_svdd;
+pub mod ecod;
+pub mod gmm;
+pub mod hbos;
+pub mod iforest;
+pub mod kmeans;
+pub mod knn;
+pub mod loda;
+pub mod lof;
+pub mod neighbors;
+pub mod ocsvm;
+pub mod pca;
+pub mod sod;
+pub mod traits;
+
+pub use traits::{Detector, DetectorError, DetectorKind};

@@ -1,0 +1,146 @@
+//! Brute-force k-nearest-neighbour queries.
+//!
+//! Shared by LOF, KNN, COF and SOD. At suite scale (n ≤ a few thousand)
+//! brute force with a bounded max-heap per query beats spatial indexes
+//! and is trivially exact.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use uadb_linalg::distance::sq_euclidean;
+use uadb_linalg::Matrix;
+
+/// Max-heap entry so the heap evicts the *largest* distance first.
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    idx: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.idx.cmp(&other.idx))
+    }
+}
+
+/// Nearest-neighbour result for one query: indices and distances sorted
+/// ascending by distance.
+#[derive(Debug, Clone)]
+pub struct Neighbors {
+    /// Indices into the reference set.
+    pub indices: Vec<usize>,
+    /// Euclidean distances, ascending.
+    pub distances: Vec<f64>,
+}
+
+/// k nearest rows of `train` for each row of `queries`.
+///
+/// `exclude_self_index`: when the queries *are* the training rows, pass
+/// `true` to skip the trivial zero-distance self match by row index.
+/// `k` is clamped to the number of available neighbours.
+pub fn knn_search(
+    train: &Matrix,
+    queries: &Matrix,
+    k: usize,
+    exclude_self_index: bool,
+) -> Vec<Neighbors> {
+    debug_assert_eq!(train.cols(), queries.cols(), "dimension mismatch");
+    let n_train = train.rows();
+    let avail = if exclude_self_index { n_train.saturating_sub(1) } else { n_train };
+    let k = k.min(avail).max(1.min(avail));
+    let mut out = Vec::with_capacity(queries.rows());
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+    for (qi, qrow) in queries.row_iter().enumerate() {
+        heap.clear();
+        for ti in 0..n_train {
+            if exclude_self_index && ti == qi {
+                continue;
+            }
+            let d2 = sq_euclidean(qrow, train.row(ti));
+            if heap.len() < k {
+                heap.push(HeapItem { dist: d2, idx: ti });
+            } else if let Some(top) = heap.peek() {
+                if d2 < top.dist {
+                    heap.pop();
+                    heap.push(HeapItem { dist: d2, idx: ti });
+                }
+            }
+        }
+        let mut pairs: Vec<(f64, usize)> =
+            heap.drain().map(|h| (h.dist, h.idx)).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        out.push(Neighbors {
+            indices: pairs.iter().map(|p| p.1).collect(),
+            distances: pairs.iter().map(|p| p.0.sqrt()).collect(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> Matrix {
+        // Points at x = 0, 1, 2, 10.
+        Matrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 10.0]).unwrap()
+    }
+
+    #[test]
+    fn self_query_excludes_self() {
+        let x = line();
+        let nn = knn_search(&x, &x, 2, true);
+        assert_eq!(nn[0].indices, vec![1, 2]);
+        assert_eq!(nn[0].distances, vec![1.0, 2.0]);
+        assert_eq!(nn[3].indices, vec![2, 1]);
+        assert_eq!(nn[3].distances, vec![8.0, 9.0]);
+    }
+
+    #[test]
+    fn external_query_keeps_closest() {
+        let x = line();
+        let q = Matrix::from_vec(1, 1, vec![1.4]).unwrap();
+        let nn = knn_search(&x, &q, 3, false);
+        assert_eq!(nn[0].indices, vec![1, 2, 0]);
+        assert!((nn[0].distances[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_clamped_to_available() {
+        let x = line();
+        let nn = knn_search(&x, &x, 99, true);
+        assert_eq!(nn[0].indices.len(), 3);
+        let nn2 = knn_search(&x, &x, 99, false);
+        assert_eq!(nn2[0].indices.len(), 4);
+        assert_eq!(nn2[0].indices[0], 0); // self at distance 0
+    }
+
+    #[test]
+    fn distances_sorted_ascending() {
+        let x = Matrix::from_vec(5, 2, vec![0., 0., 3., 0., 1., 1., 5., 5., 0.5, 0.1]).unwrap();
+        let nn = knn_search(&x, &x, 4, true);
+        for n in &nn {
+            for w in n.distances.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_zero_distance() {
+        let x = Matrix::from_vec(3, 1, vec![1.0, 1.0, 2.0]).unwrap();
+        let nn = knn_search(&x, &x, 1, true);
+        assert_eq!(nn[0].distances[0], 0.0);
+        assert_eq!(nn[0].indices[0], 1);
+    }
+}

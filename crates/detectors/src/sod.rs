@@ -1,0 +1,187 @@
+//! Subspace Outlier Detection (Kriegel et al. 2009).
+//!
+//! PyOD defaults: `n_neighbors = 20`, `ref_set = 10`, `alpha = 0.8`.
+//! For each point, a reference set is selected by shared-nearest-
+//! neighbour similarity; the relevant axis-parallel subspace keeps the
+//! dimensions whose reference-set variance is below `alpha` times the
+//! average; the score is the normalised deviation from the reference mean
+//! inside that subspace.
+
+use crate::neighbors::knn_search;
+use crate::traits::{Detector, DetectorError};
+use uadb_linalg::Matrix;
+
+/// The SOD detector.
+pub struct Sod {
+    /// Candidate neighbour count (PyOD default 20).
+    pub n_neighbors: usize,
+    /// Reference set size (PyOD default 10).
+    pub ref_set: usize,
+    /// Variance threshold factor (PyOD default 0.8).
+    pub alpha: f64,
+    fitted: Option<Fitted>,
+}
+
+struct Fitted {
+    train: Matrix,
+    /// kNN index lists of every training point (for SNN similarity).
+    knn_lists: Vec<Vec<usize>>,
+}
+
+impl Default for Sod {
+    fn default() -> Self {
+        Self { n_neighbors: 20, ref_set: 10, alpha: 0.8, fitted: None }
+    }
+}
+
+/// Shared-nearest-neighbour overlap between two sorted-or-not index lists.
+fn snn_overlap(a: &[usize], b: &[usize]) -> usize {
+    // Lists are short (≤ 20); a quadratic scan beats hashing.
+    a.iter().filter(|i| b.contains(i)).count()
+}
+
+impl Sod {
+    /// Scores one point given its candidate neighbourhood in the train set.
+    fn score_point(&self, f: &Fitted, row: &[f64], candidates: &[usize]) -> f64 {
+        let d = f.train.cols();
+        // Reference set: candidates most similar by SNN overlap with the
+        // query's own candidate list.
+        let mut sims: Vec<(usize, usize)> = candidates
+            .iter()
+            .map(|&c| (snn_overlap(candidates, &f.knn_lists[c]), c))
+            .collect();
+        sims.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let take = self.ref_set.min(sims.len()).max(1);
+        let refs: Vec<usize> = sims[..take].iter().map(|s| s.1).collect();
+
+        // Per-dimension mean and variance of the reference set.
+        let m = refs.len() as f64;
+        let mut means = vec![0.0; d];
+        for &r in &refs {
+            for (mu, &v) in means.iter_mut().zip(f.train.row(r)) {
+                *mu += v;
+            }
+        }
+        for mu in &mut means {
+            *mu /= m;
+        }
+        let mut vars = vec![0.0; d];
+        for &r in &refs {
+            for ((var, &v), &mu) in vars.iter_mut().zip(f.train.row(r)).zip(&means) {
+                let c = v - mu;
+                *var += c * c;
+            }
+        }
+        for var in &mut vars {
+            *var /= m;
+        }
+        let avg_var = vars.iter().sum::<f64>() / d as f64;
+        // Relevant subspace: low-variance dimensions.
+        let mut dev = 0.0;
+        let mut n_sel = 0usize;
+        for j in 0..d {
+            if vars[j] < self.alpha * avg_var {
+                let diff = row[j] - means[j];
+                dev += diff * diff;
+                n_sel += 1;
+            }
+        }
+        if n_sel == 0 {
+            return 0.0;
+        }
+        (dev / n_sel as f64).sqrt()
+    }
+}
+
+impl Detector for Sod {
+    fn name(&self) -> &'static str {
+        "SOD"
+    }
+
+    fn fit(&mut self, x: &Matrix) -> Result<(), DetectorError> {
+        let (n, d) = x.shape();
+        if n < 2 || d == 0 {
+            return Err(DetectorError::EmptyInput);
+        }
+        let nn = knn_search(x, x, self.n_neighbors, true);
+        let knn_lists = nn.into_iter().map(|n| n.indices).collect();
+        self.fitted = Some(Fitted { train: x.clone(), knn_lists });
+        Ok(())
+    }
+
+    fn score(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
+        let f = self.fitted.as_ref().ok_or(DetectorError::NotFitted)?;
+        if x.cols() != f.train.cols() {
+            return Err(DetectorError::DimensionMismatch {
+                expected: f.train.cols(),
+                got: x.cols(),
+            });
+        }
+        let self_query =
+            f.train.shape() == x.shape() && f.train.as_slice() == x.as_slice();
+        let nn = knn_search(&f.train, x, self.n_neighbors, self_query);
+        Ok(nn
+            .iter()
+            .enumerate()
+            .map(|(i, n)| self.score_point(f, x.row(i), &n.indices))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn subspace_outlier_detected() {
+        // Inliers: tight in dim 0 (the relevant subspace), uniform noise in
+        // dim 1. The outlier deviates only in dim 0.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rows: Vec<Vec<f64>> = (0..60)
+            .map(|_| vec![rng.gen_range(-0.05..0.05), rng.gen_range(-5.0..5.0)])
+            .collect();
+        rows.push(vec![3.0, 0.0]);
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut sod = Sod { n_neighbors: 12, ref_set: 6, ..Sod::default() };
+        let s = sod.fit_score(&x).unwrap();
+        let max_idx = s.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(max_idx, 60, "scores tail: {:?}", &s[55..]);
+    }
+
+    #[test]
+    fn snn_overlap_counts_shared() {
+        assert_eq!(snn_overlap(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(snn_overlap(&[], &[1]), 0);
+        assert_eq!(snn_overlap(&[5], &[5]), 1);
+    }
+
+    #[test]
+    fn inliers_score_lower_than_outlier_on_average() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rows: Vec<Vec<f64>> = (0..50)
+            .map(|_| vec![rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1), rng.gen_range(-3.0..3.0)])
+            .collect();
+        rows.push(vec![2.0, -2.0, 0.0]);
+        let x = Matrix::from_rows(&rows).unwrap();
+        let s = Sod::default().fit_score(&x).unwrap();
+        let inlier_mean: f64 = s[..50].iter().sum::<f64>() / 50.0;
+        assert!(s[50] > 3.0 * inlier_mean, "outlier {} vs mean {}", s[50], inlier_mean);
+    }
+
+    #[test]
+    fn degenerate_variance_yields_finite_scores() {
+        let x = Matrix::filled(10, 3, 2.0);
+        let s = Sod::default().fit_score(&x).unwrap();
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn guards() {
+        let sod = Sod::default();
+        assert_eq!(sod.score(&Matrix::zeros(1, 1)), Err(DetectorError::NotFitted));
+        let mut sod = Sod::default();
+        assert_eq!(sod.fit(&Matrix::zeros(1, 2)), Err(DetectorError::EmptyInput));
+    }
+}

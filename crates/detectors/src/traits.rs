@@ -1,0 +1,212 @@
+//! The model-agnostic detector interface and the factory over all 14
+//! models.
+
+use std::fmt;
+use uadb_linalg::{LinalgError, Matrix};
+
+/// Errors a detector can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorError {
+    /// `score` was called before `fit`.
+    NotFitted,
+    /// The training matrix had no rows or no columns.
+    EmptyInput,
+    /// Query dimensionality differs from the fitted dimensionality.
+    DimensionMismatch {
+        /// Dimensionality seen at fit time.
+        expected: usize,
+        /// Dimensionality of the query.
+        got: usize,
+    },
+    /// An underlying linear-algebra routine failed.
+    Linalg(LinalgError),
+    /// An iterative solver failed to converge (carried as a warning-level
+    /// error; detectors generally fall back before surfacing this).
+    NoConvergence(&'static str),
+}
+
+impl fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectorError::NotFitted => write!(f, "detector used before fit()"),
+            DetectorError::EmptyInput => write!(f, "training data is empty"),
+            DetectorError::DimensionMismatch { expected, got } => {
+                write!(f, "query has {got} features, model was fitted with {expected}")
+            }
+            DetectorError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            DetectorError::NoConvergence(which) => write!(f, "{which} failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for DetectorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DetectorError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for DetectorError {
+    fn from(e: LinalgError) -> Self {
+        DetectorError::Linalg(e)
+    }
+}
+
+/// An unsupervised anomaly detector: fit on unlabelled data, score any
+/// points (higher = more anomalous). Raw decision scores are on each
+/// model's native scale; the UADB pipeline min-max normalises them into
+/// `[0,1]` pseudo labels exactly as the paper does.
+pub trait Detector: Send {
+    /// Display name matching the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Learns the model from unlabelled rows of `x`.
+    fn fit(&mut self, x: &Matrix) -> Result<(), DetectorError>;
+
+    /// Anomaly scores for the rows of `x` (requires a prior [`fit`]).
+    ///
+    /// [`fit`]: Detector::fit
+    fn score(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError>;
+
+    /// Convenience: fit on `x`, then score the same rows (PyOD's
+    /// `fit` + `decision_scores_`).
+    fn fit_score(&mut self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
+        self.fit(x)?;
+        self.score(x)
+    }
+}
+
+/// Enumeration of the 14 source UAD models, in the paper's table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorKind {
+    /// Isolation Forest (Liu et al. 2008).
+    IForest,
+    /// Histogram-based outlier score (Goldstein & Dengel 2012).
+    Hbos,
+    /// Local outlier factor (Breunig et al. 2000).
+    Lof,
+    /// k-nearest-neighbour distance (Ramaswamy et al. 2000).
+    Knn,
+    /// Principal-component classifier (Shyu et al. 2003).
+    Pca,
+    /// One-class SVM (Schölkopf et al. 1999).
+    Ocsvm,
+    /// Cluster-based LOF (He et al. 2003).
+    Cblof,
+    /// Connectivity-based outlier factor (Tang et al. 2002).
+    Cof,
+    /// Subspace outlier detection (Kriegel et al. 2009).
+    Sod,
+    /// Empirical-CDF outlier detection (Li et al. 2022).
+    Ecod,
+    /// Gaussian mixture model log-likelihood.
+    Gmm,
+    /// Lightweight on-line detector of anomalies (Pevný 2016).
+    Loda,
+    /// Copula-based outlier detection (Li et al. 2020).
+    Copod,
+    /// Deep support vector data description (Ruff et al. 2018).
+    DeepSvdd,
+}
+
+impl DetectorKind {
+    /// All 14 kinds in the column order of Tables IV and VI.
+    pub const ALL: [DetectorKind; 14] = [
+        DetectorKind::IForest,
+        DetectorKind::Hbos,
+        DetectorKind::Lof,
+        DetectorKind::Knn,
+        DetectorKind::Pca,
+        DetectorKind::Ocsvm,
+        DetectorKind::Cblof,
+        DetectorKind::Cof,
+        DetectorKind::Sod,
+        DetectorKind::Ecod,
+        DetectorKind::Gmm,
+        DetectorKind::Loda,
+        DetectorKind::Copod,
+        DetectorKind::DeepSvdd,
+    ];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorKind::IForest => "IForest",
+            DetectorKind::Hbos => "HBOS",
+            DetectorKind::Lof => "LOF",
+            DetectorKind::Knn => "KNN",
+            DetectorKind::Pca => "PCA",
+            DetectorKind::Ocsvm => "OCSVM",
+            DetectorKind::Cblof => "CBLOF",
+            DetectorKind::Cof => "COF",
+            DetectorKind::Sod => "SOD",
+            DetectorKind::Ecod => "ECOD",
+            DetectorKind::Gmm => "GMM",
+            DetectorKind::Loda => "LODA",
+            DetectorKind::Copod => "COPOD",
+            DetectorKind::DeepSvdd => "DeepSVDD",
+        }
+    }
+
+    /// Parses a paper-style name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Instantiates the detector with PyOD default hyper-parameters.
+    /// `seed` feeds the stochastic models (IForest, CBLOF, LODA,
+    /// DeepSVDD); deterministic models ignore it.
+    pub fn build(self, seed: u64) -> Box<dyn Detector> {
+        match self {
+            DetectorKind::IForest => Box::new(crate::iforest::IForest::with_seed(seed)),
+            DetectorKind::Hbos => Box::new(crate::hbos::Hbos::default()),
+            DetectorKind::Lof => Box::new(crate::lof::Lof::default()),
+            DetectorKind::Knn => Box::new(crate::knn::Knn::default()),
+            DetectorKind::Pca => Box::new(crate::pca::Pca::default()),
+            DetectorKind::Ocsvm => Box::new(crate::ocsvm::OcSvm::default()),
+            DetectorKind::Cblof => Box::new(crate::cblof::Cblof::with_seed(seed)),
+            DetectorKind::Cof => Box::new(crate::cof::Cof::default()),
+            DetectorKind::Sod => Box::new(crate::sod::Sod::default()),
+            DetectorKind::Ecod => Box::new(crate::ecod::Ecod::default()),
+            DetectorKind::Gmm => Box::new(crate::gmm::Gmm::with_seed(seed)),
+            DetectorKind::Loda => Box::new(crate::loda::Loda::with_seed(seed)),
+            DetectorKind::Copod => Box::new(crate::copod::Copod::default()),
+            DetectorKind::DeepSvdd => Box::new(crate::deep_svdd::DeepSvdd::with_seed(seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_unique_names() {
+        let mut names: Vec<&str> = DetectorKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn from_name_roundtrip() {
+        for k in DetectorKind::ALL {
+            assert_eq!(DetectorKind::from_name(k.name()), Some(k));
+            assert_eq!(DetectorKind::from_name(&k.name().to_lowercase()), Some(k));
+        }
+        assert_eq!(DetectorKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DetectorError::DimensionMismatch { expected: 3, got: 5 };
+        assert!(e.to_string().contains('3'));
+        assert!(DetectorError::NotFitted.to_string().contains("fit"));
+        let le: DetectorError = LinalgError::Singular { op: "x" }.into();
+        assert!(le.to_string().contains("singular"));
+    }
+}

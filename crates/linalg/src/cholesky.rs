@@ -1,0 +1,120 @@
+//! Cholesky factorisation for symmetric positive-definite matrices.
+//!
+//! Used to sample from full-covariance Gaussians in the synthetic dataset
+//! generators (`x = mu + L z`) and as a fast SPD solve in GMM.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Computes the lower-triangular `L` with `A = L Lᵀ`.
+///
+/// # Errors
+/// [`LinalgError::NotSquare`] for rectangular input;
+/// [`LinalgError::Singular`] when the matrix is not positive definite
+/// within tolerance.
+pub fn cholesky(a: &Matrix) -> Result<Matrix> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(LinalgError::NotSquare { op: "cholesky", shape: a.shape() });
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::Singular { op: "cholesky" });
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Cholesky with diagonal jitter escalation: retries with `A + eps I`,
+/// multiplying `eps` by 10 up to `max_tries` times. Covariance estimates
+/// from small samples are frequently only positive *semi*-definite; the
+/// jitter mirrors what sklearn's GMM does with `reg_covar`.
+pub fn cholesky_jittered(a: &Matrix, mut eps: f64, max_tries: usize) -> Result<Matrix> {
+    match cholesky(a) {
+        Ok(l) => return Ok(l),
+        Err(LinalgError::Singular { .. }) => {}
+        Err(e) => return Err(e),
+    }
+    let n = a.rows();
+    for _ in 0..max_tries {
+        let mut jittered = a.clone();
+        for i in 0..n {
+            let v = jittered.get(i, i) + eps;
+            jittered.set(i, i, v);
+        }
+        match cholesky(&jittered) {
+            Ok(l) => return Ok(l),
+            Err(LinalgError::Singular { .. }) => eps *= 10.0,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(LinalgError::Singular { op: "cholesky_jittered" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorises_spd_matrix() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.0, 2.0, 5.0, 1.0, 0.0, 1.0, 3.0]).unwrap();
+        let l = cholesky(&a).unwrap();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        assert!(recon.max_abs_diff(&a) < 1e-10);
+        // Strictly lower-triangular above the diagonal must be zero.
+        assert_eq!(l.get(0, 1), 0.0);
+        assert_eq!(l.get(0, 2), 0.0);
+        assert_eq!(l.get(1, 2), 0.0);
+    }
+
+    #[test]
+    fn known_2x2_factor() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 10.0]).unwrap();
+        let l = cholesky(&a).unwrap();
+        assert!((l.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((l.get(1, 0) - 1.0).abs() < 1e-12);
+        assert!((l.get(1, 1) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert!(matches!(cholesky(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(cholesky(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-1 PSD matrix: plain Cholesky fails, jittered succeeds.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(cholesky(&a).is_err());
+        let l = cholesky_jittered(&a, 1e-9, 12).unwrap();
+        let recon = l.matmul(&l.transpose()).unwrap();
+        assert!(recon.max_abs_diff(&a) < 1e-3);
+    }
+
+    #[test]
+    fn jitter_gives_up_eventually() {
+        // A matrix with a large negative eigenvalue cannot be rescued with
+        // tiny jitter and few tries.
+        let a = Matrix::from_vec(2, 2, vec![-100.0, 0.0, 0.0, -100.0]).unwrap();
+        assert!(cholesky_jittered(&a, 1e-12, 2).is_err());
+    }
+}

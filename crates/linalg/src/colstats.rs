@@ -1,0 +1,150 @@
+//! Column-wise statistics: means, variances, covariance matrices.
+//!
+//! Needed by PCA (covariance eigendecomposition), GMM (component
+//! covariances), OCSVM (the `gamma='scale'` heuristic) and the dataset
+//! standardisation pipeline.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Column means of `x`.
+pub fn col_means(x: &Matrix) -> Vec<f64> {
+    let (n, d) = x.shape();
+    let mut means = vec![0.0; d];
+    if n == 0 {
+        return means;
+    }
+    for row in x.row_iter() {
+        for (m, &v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    means
+}
+
+/// Column population variances of `x` (divides by `n`).
+pub fn col_variances(x: &Matrix) -> Vec<f64> {
+    let (n, d) = x.shape();
+    let mut vars = vec![0.0; d];
+    if n == 0 {
+        return vars;
+    }
+    let means = col_means(x);
+    for row in x.row_iter() {
+        for ((s, &v), &m) in vars.iter_mut().zip(row).zip(&means) {
+            let c = v - m;
+            *s += c * c;
+        }
+    }
+    for s in &mut vars {
+        *s /= n as f64;
+    }
+    vars
+}
+
+/// Mean of all column variances — the `X.var()` term of sklearn's
+/// `gamma='scale'` for RBF kernels (computed over the flattened matrix
+/// there; we follow the flattened definition exactly).
+pub fn total_variance(x: &Matrix) -> f64 {
+    let n = x.rows() * x.cols();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = x.as_slice().iter().sum::<f64>() / n as f64;
+    x.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64
+}
+
+/// Sample covariance matrix of `x` (divides by `n - 1`; by `n` when a
+/// single row is given, yielding zeros).
+///
+/// Returns [`LinalgError::Empty`] for an empty matrix.
+pub fn covariance(x: &Matrix) -> Result<Matrix> {
+    let (n, d) = x.shape();
+    if n == 0 || d == 0 {
+        return Err(LinalgError::Empty { op: "covariance" });
+    }
+    let means = col_means(x);
+    let mut cov = Matrix::zeros(d, d);
+    let mut centered = vec![0.0; d];
+    for row in x.row_iter() {
+        for ((c, &v), &m) in centered.iter_mut().zip(row).zip(&means) {
+            *c = v - m;
+        }
+        for i in 0..d {
+            let ci = centered[i];
+            if ci == 0.0 {
+                continue;
+            }
+            let out = &mut cov.as_mut_slice()[i * d..(i + 1) * d];
+            for (o, &cj) in out.iter_mut().zip(&centered) {
+                *o += ci * cj;
+            }
+        }
+    }
+    let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
+    cov.scale_inplace(1.0 / denom);
+    Ok(cov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_vec(4, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]).unwrap()
+    }
+
+    #[test]
+    fn means_are_per_column() {
+        assert_eq!(col_means(&sample()), vec![2.5, 25.0]);
+        assert_eq!(col_means(&Matrix::zeros(0, 3)), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn variances_are_population() {
+        let v = col_variances(&sample());
+        assert!((v[0] - 1.25).abs() < 1e-12);
+        assert!((v[1] - 125.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_matches_hand_computation() {
+        let c = covariance(&sample()).unwrap();
+        // sample covariance: var(x)=5/3, cov(x,y)=50/3, var(y)=500/3
+        assert!((c.get(0, 0) - 5.0 / 3.0).abs() < 1e-9);
+        assert!((c.get(0, 1) - 50.0 / 3.0).abs() < 1e-9);
+        assert!((c.get(1, 0) - 50.0 / 3.0).abs() < 1e-9);
+        assert!((c.get(1, 1) - 500.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covariance_is_symmetric() {
+        let x = Matrix::from_vec(
+            5,
+            3,
+            vec![
+                0.1, 2.0, -1.0, 0.4, 1.0, 3.0, -0.5, 0.0, 1.5, 2.2, -1.0, 0.3, 1.0, 1.0, 1.0,
+            ],
+        )
+        .unwrap();
+        let c = covariance(&x).unwrap();
+        assert!(c.max_abs_diff(&c.transpose()) < 1e-12);
+    }
+
+    #[test]
+    fn covariance_rejects_empty() {
+        assert!(covariance(&Matrix::zeros(0, 2)).is_err());
+    }
+
+    #[test]
+    fn total_variance_flattened() {
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        // flattened variance of [1,2,3,4] = 1.25
+        assert!((total_variance(&x) - 1.25).abs() < 1e-12);
+        assert_eq!(total_variance(&Matrix::zeros(0, 0)), 0.0);
+    }
+}

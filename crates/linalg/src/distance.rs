@@ -1,0 +1,115 @@
+//! Euclidean distance kernels for the neighbour-based detectors.
+//!
+//! LOF, KNN, COF, SOD and CBLOF all reduce to (partial) nearest-neighbour
+//! queries over pairwise Euclidean distances. At the suite's scale
+//! (n ≤ a few thousand) a well-vectorised brute-force kernel beats tree
+//! structures, so that is what ships here.
+
+use crate::matrix::Matrix;
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// Full pairwise distance matrix of the rows of `x` (symmetric, zero
+/// diagonal).
+pub fn pairwise(x: &Matrix) -> Matrix {
+    let n = x.rows();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        let ri = x.row(i);
+        for j in (i + 1)..n {
+            let dist = euclidean(ri, x.row(j));
+            d.set(i, j, dist);
+            d.set(j, i, dist);
+        }
+    }
+    d
+}
+
+/// Cross distance matrix: `out[i][j] = ||a_i - b_j||`.
+pub fn cross(a: &Matrix, b: &Matrix) -> Matrix {
+    debug_assert_eq!(a.cols(), b.cols());
+    let mut d = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        let ra = a.row(i);
+        let row = d.row_mut(i);
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = euclidean(ra, b.row(j));
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distances() {
+        assert_eq!(sq_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pairwise_is_symmetric_with_zero_diagonal() {
+        let x = Matrix::from_vec(3, 2, vec![0.0, 0.0, 3.0, 4.0, 0.0, 1.0]).unwrap();
+        let d = pairwise(&x);
+        for i in 0..3 {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(d.get(i, j), d.get(j, i));
+            }
+        }
+        assert!((d.get(0, 1) - 5.0).abs() < 1e-12);
+        assert!((d.get(0, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_matches_pairwise_on_self() {
+        let x = Matrix::from_vec(3, 2, vec![0.0, 0.0, 3.0, 4.0, 0.0, 1.0]).unwrap();
+        let c = cross(&x, &x);
+        let p = pairwise(&x);
+        assert!(c.max_abs_diff(&p) < 1e-12);
+    }
+
+    #[test]
+    fn cross_rectangular_shape() {
+        let a = Matrix::from_vec(2, 1, vec![0.0, 10.0]).unwrap();
+        let b = Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]).unwrap();
+        let c = cross(&a, &b);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.get(0, 2), 3.0);
+        assert_eq!(c.get(1, 0), 9.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let x = Matrix::from_vec(3, 3, vec![1.0, 0.5, -1.0, 2.0, 2.0, 2.0, -3.0, 0.0, 4.0])
+            .unwrap();
+        let d = pairwise(&x);
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    assert!(d.get(i, j) <= d.get(i, k) + d.get(k, j) + 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA and GMM need eigenpairs of covariance matrices. Jacobi rotation is
+//! simple, numerically robust for symmetric matrices, and quadratically
+//! convergent — more than sufficient for the `d ≤ 64` feature spaces this
+//! workspace handles.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Result of a symmetric eigendecomposition.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues sorted descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns, `vectors.col(j)` pairs with
+    /// `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+///
+/// The input is symmetrised as `(A + Aᵀ)/2` to wash out representation
+/// noise. Returns eigenpairs sorted by descending eigenvalue.
+///
+/// # Errors
+/// [`LinalgError::NotSquare`] for non-square input;
+/// [`LinalgError::NoConvergence`] if the off-diagonal mass fails to vanish
+/// within 100 sweeps (practically unreachable for real symmetric input).
+pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
+    let (n, m) = a.shape();
+    if n != m {
+        return Err(LinalgError::NotSquare { op: "sym_eigen", shape: a.shape() });
+    }
+    if n == 0 {
+        return Ok(SymEigen { values: vec![], vectors: Matrix::zeros(0, 0) });
+    }
+
+    // Work on the symmetrised copy.
+    let mut s = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            s.set(i, j, 0.5 * (a.get(i, j) + a.get(j, i)));
+        }
+    }
+    let mut v = Matrix::identity(n);
+
+    const MAX_SWEEPS: usize = 100;
+    let eps = 1e-12 * s.frobenius_norm().max(1.0);
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += s.get(i, j).abs();
+            }
+        }
+        if off <= eps {
+            return Ok(sorted(s, v, n));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = s.get(p, q);
+                if apq.abs() <= eps * 1e-4 {
+                    continue;
+                }
+                let app = s.get(p, p);
+                let aqq = s.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let sn = t * c;
+                rotate(&mut s, p, q, c, sn);
+                rotate_cols(&mut v, p, q, c, sn);
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence { op: "sym_eigen", iterations: MAX_SWEEPS })
+}
+
+/// Applies the two-sided Jacobi rotation `Jᵀ S J` on rows/cols `p`,`q`.
+fn rotate(s: &mut Matrix, p: usize, q: usize, c: f64, sn: f64) {
+    let n = s.rows();
+    for k in 0..n {
+        let skp = s.get(k, p);
+        let skq = s.get(k, q);
+        s.set(k, p, c * skp - sn * skq);
+        s.set(k, q, sn * skp + c * skq);
+    }
+    for k in 0..n {
+        let spk = s.get(p, k);
+        let sqk = s.get(q, k);
+        s.set(p, k, c * spk - sn * sqk);
+        s.set(q, k, sn * spk + c * sqk);
+    }
+}
+
+/// Applies the rotation to the eigenvector accumulator columns `p`,`q`.
+fn rotate_cols(v: &mut Matrix, p: usize, q: usize, c: f64, sn: f64) {
+    let n = v.rows();
+    for k in 0..n {
+        let vkp = v.get(k, p);
+        let vkq = v.get(k, q);
+        v.set(k, p, c * vkp - sn * vkq);
+        v.set(k, q, sn * vkp + c * vkq);
+    }
+}
+
+/// Sorts eigenpairs by descending eigenvalue.
+fn sorted(s: Matrix, v: Matrix, n: usize) -> SymEigen {
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| s.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_col, v.get(r, old_col));
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops::dot;
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]).unwrap();
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for lambda=3 is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        // A = V diag(w) Vt must reproduce the input.
+        let a = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4.0, 1.0, 0.5, 0.0, 1.0, 3.0, 0.2, 0.1, 0.5, 0.2, 2.0, 0.3, 0.0, 0.1, 0.3, 1.0,
+            ],
+        )
+        .unwrap();
+        let e = sym_eigen(&a).unwrap();
+        let n = 4;
+        let mut recon = Matrix::zeros(n, n);
+        for j in 0..n {
+            let v = e.vectors.col(j);
+            for r in 0..n {
+                for c in 0..n {
+                    let cur = recon.get(r, c);
+                    recon.set(r, c, cur + e.values[j] * v[r] * v[c]);
+                }
+            }
+        }
+        assert!(recon.max_abs_diff(&a) < 1e-8);
+        // Orthonormal columns.
+        for i in 0..n {
+            for j in 0..n {
+                let d = dot(&e.vectors.col(i), &e.vectors.col(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-8, "col {i} . col {j} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(sym_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_is_trivial() {
+        let e = sym_eigen(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_vec(3, 3, vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0])
+            .unwrap();
+        let e = sym_eigen(&a).unwrap();
+        let trace = 6.0;
+        assert!((e.values.iter().sum::<f64>() - trace).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Typed errors for linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by the linear-algebra substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// The matrix must be square for this operation.
+    NotSquare {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// A factorisation failed because the matrix is singular (or not SPD
+    /// for Cholesky) within numerical tolerance.
+    Singular {
+        /// Human-readable operation name.
+        op: &'static str,
+    },
+    /// An iterative routine failed to converge within its iteration cap.
+    NoConvergence {
+        /// Human-readable operation name.
+        op: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The operation requires a non-empty input.
+    Empty {
+        /// Human-readable operation name.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: shape mismatch between {}x{} and {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { op, shape } => {
+                write!(f, "{op}: matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { op } => write!(f, "{op}: matrix is singular"),
+            LinalgError::NoConvergence { op, iterations } => {
+                write!(f, "{op}: failed to converge after {iterations} iterations")
+            }
+            LinalgError::Empty { op } => write!(f, "{op}: input is empty"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = LinalgError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("2x3"));
+        let e = LinalgError::NotSquare { op: "lu", shape: (2, 3) };
+        assert!(e.to_string().contains("square"));
+        let e = LinalgError::Singular { op: "inverse" };
+        assert!(e.to_string().contains("singular"));
+        let e = LinalgError::NoConvergence { op: "jacobi", iterations: 99 };
+        assert!(e.to_string().contains("99"));
+        let e = LinalgError::Empty { op: "covariance" };
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            LinalgError::Singular { op: "x" },
+            LinalgError::Singular { op: "x" }
+        );
+        assert_ne!(
+            LinalgError::Singular { op: "x" },
+            LinalgError::Empty { op: "x" }
+        );
+    }
+}

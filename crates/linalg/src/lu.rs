@@ -1,0 +1,195 @@
+//! LU decomposition with partial pivoting: solve, inverse, determinant.
+//!
+//! GMM scoring needs precision matrices (inverse covariances) and
+//! log-determinants; the dependency-anomaly generator needs linear solves.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Compact LU factorisation `PA = LU` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper).
+    lu: Matrix,
+    /// Row permutation applied to the input.
+    piv: Vec<usize>,
+    /// Parity of the permutation (`+1.0` or `-1.0`), for determinants.
+    sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorises a square matrix.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotSquare`] for rectangular input;
+    /// [`LinalgError::Singular`] when a pivot underflows `1e-300`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (n, m) = a.shape();
+        if n != m {
+            return Err(LinalgError::NotSquare { op: "lu", shape: a.shape() });
+        }
+        let mut lu = a.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest |value| in column k at or below row k.
+            let mut p = k;
+            let mut best = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(LinalgError::Singular { op: "lu" });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu.get(k, j);
+                    lu.set(k, j, lu.get(p, j));
+                    lu.set(p, j, tmp);
+                }
+                piv.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in (k + 1)..n {
+                let factor = lu.get(i, k) / pivot;
+                lu.set(i, k, factor);
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let v = lu.get(i, j) - factor * lu.get(k, j);
+                    lu.set(i, j, v);
+                }
+            }
+        }
+        Ok(Self { lu, piv, sign })
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward/backward substitution.
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = sum;
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = sum / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Matrix inverse via `n` unit-vector solves.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            e[c] = 0.0;
+            for r in 0..n {
+                inv.set(r, c, col[r]);
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Determinant of the factorised matrix.
+    pub fn determinant(&self) -> f64 {
+        let n = self.lu.rows();
+        (0..n).map(|i| self.lu.get(i, i)).product::<f64>() * self.sign
+    }
+
+    /// Natural log of |det|; `-inf` only for singular matrices, which the
+    /// constructor already rejects.
+    pub fn ln_abs_determinant(&self) -> f64 {
+        let n = self.lu.rows();
+        (0..n).map(|i| self.lu.get(i, i).abs().ln()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a3() -> Matrix {
+        Matrix::from_vec(3, 3, vec![2.0, 1.0, 1.0, 4.0, -6.0, 0.0, -2.0, 7.0, 2.0]).unwrap()
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let lu = LuDecomposition::new(&a3()).unwrap();
+        // Solution of the textbook system: x = (1, 2, 2) gives b.
+        let b = vec![2.0 * 1.0 + 2.0 + 2.0, 4.0 - 12.0, -2.0 + 14.0 + 4.0];
+        let x = lu.solve(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+        assert!((x[2] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = a3();
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn determinant_known_value() {
+        // det = 2(-12-0) -1(8-0) +1(28-12) = -24 - 8 + 16 = -16
+        let lu = LuDecomposition::new(&a3()).unwrap();
+        assert!((lu.determinant() + 16.0).abs() < 1e-10);
+        assert!((lu.ln_abs_determinant() - 16.0_f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let s = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(
+            LuDecomposition::new(&s),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(LuDecomposition::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let lu = LuDecomposition::new(&a3()).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn permutation_parity_in_determinant() {
+        // A matrix requiring a pivot swap: [[0,1],[1,0]] has det -1.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Small vector kernels shared across the workspace.
+
+/// Dot product of two equally-long slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`, the classic AXPY kernel.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+#[inline]
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().sum::<f64>() / a.len() as f64
+}
+
+/// Population variance (divides by `n`); 0.0 for slices shorter than 1.
+///
+/// The UADB error-correction rule (Alg. 1 line 7) uses the population
+/// variance of the pseudo-label history, matching `numpy.var` defaults.
+#[inline]
+pub fn population_variance(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / a.len() as f64
+}
+
+/// Sample standard deviation (divides by `n-1`); 0.0 if fewer than 2 items.
+#[inline]
+pub fn sample_std(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    (a.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (a.len() - 1) as f64).sqrt()
+}
+
+/// Minimum and maximum of a slice, ignoring NaNs; `None` when empty.
+pub fn min_max(a: &[f64]) -> Option<(f64, f64)> {
+    let mut it = a.iter().copied().filter(|v| !v.is_nan());
+    let first = it.next()?;
+    let (mut lo, mut hi) = (first, first);
+    for v in it {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Indices that would sort `a` ascending (NaNs last, stable).
+pub fn argsort(a: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..a.len()).collect();
+    idx.sort_by(|&i, &j| a[i].partial_cmp(&a[j]).unwrap_or(std::cmp::Ordering::Equal));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+        assert!((norm2(&[3., 4.]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn mean_variance_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        // population variance of [1,2,3] = 2/3
+        assert!((population_variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(population_variance(&[]), 0.0);
+        assert_eq!(sample_std(&[5.0]), 0.0);
+        assert!((sample_std(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_two_entries_matches_paper_formula() {
+        // variance([fS(x), fB(x)]) with fS=0.2, fB=0.8: mean 0.5,
+        // population variance = (0.09 + 0.09)/2 = 0.09.
+        assert!((population_variance(&[0.2, 0.8]) - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_ignores_nan() {
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(min_max(&[2.0, f64::NAN, -1.0, 5.0]), Some((-1.0, 5.0)));
+    }
+
+    #[test]
+    fn argsort_orders_indices() {
+        assert_eq!(argsort(&[3.0, 1.0, 2.0]), vec![1, 2, 0]);
+        assert_eq!(argsort(&[]), Vec::<usize>::new());
+    }
+}

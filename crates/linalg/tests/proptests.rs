@@ -1,0 +1,149 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use uadb_linalg::colstats::covariance;
+use uadb_linalg::distance::{euclidean, pairwise};
+use uadb_linalg::eigen::sym_eigen;
+use uadb_linalg::lu::LuDecomposition;
+use uadb_linalg::vecops::{mean, population_variance};
+use uadb_linalg::Matrix;
+
+/// Strategy: a small matrix with bounded entries.
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in small_matrix(4, 3)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in small_matrix(3, 3),
+        b in small_matrix(3, 3),
+        c in small_matrix(3, 3),
+    ) {
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in small_matrix(3, 4), b in small_matrix(4, 2)) {
+        // (AB)^T == B^T A^T
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(m in small_matrix(4, 4)) {
+        // Symmetrise, decompose, reconstruct.
+        let sym = m.add(&m.transpose()).unwrap().scaled(0.5);
+        let e = sym_eigen(&sym).unwrap();
+        let n = 4;
+        let mut recon = Matrix::zeros(n, n);
+        for j in 0..n {
+            let v = e.vectors.col(j);
+            for r in 0..n {
+                for c in 0..n {
+                    let cur = recon.get(r, c);
+                    recon.set(r, c, cur + e.values[j] * v[r] * v[c]);
+                }
+            }
+        }
+        prop_assert!(recon.max_abs_diff(&sym) < 1e-6);
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_descending(m in small_matrix(5, 5)) {
+        let sym = m.add(&m.transpose()).unwrap().scaled(0.5);
+        let e = sym_eigen(&sym).unwrap();
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn lu_solve_inverts_matvec(m in small_matrix(4, 4), x in prop::collection::vec(-5.0..5.0f64, 4)) {
+        // Make the matrix diagonally dominant so it is invertible.
+        let mut a = m;
+        for i in 0..4 {
+            let v = a.get(i, i) + 50.0;
+            a.set(i, i, v);
+        }
+        let b = a.matvec(&x).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        let got = lu.solve(&b).unwrap();
+        for (g, e) in got.iter().zip(&x) {
+            prop_assert!((g - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn determinant_of_product_multiplies(a in small_matrix(3, 3), b in small_matrix(3, 3)) {
+        let mut da = a;
+        let mut db = b;
+        for i in 0..3 {
+            da.set(i, i, da.get(i, i) + 30.0);
+            db.set(i, i, db.get(i, i) + 30.0);
+        }
+        let det_a = LuDecomposition::new(&da).unwrap().determinant();
+        let det_b = LuDecomposition::new(&db).unwrap().determinant();
+        let det_ab = LuDecomposition::new(&da.matmul(&db).unwrap()).unwrap().determinant();
+        prop_assert!((det_ab - det_a * det_b).abs() / det_ab.abs().max(1.0) < 1e-8);
+    }
+
+    #[test]
+    fn covariance_is_psd_on_diagonal(m in small_matrix(6, 3)) {
+        let c = covariance(&m).unwrap();
+        for i in 0..3 {
+            prop_assert!(c.get(i, i) >= -1e-12);
+        }
+        prop_assert!(c.max_abs_diff(&c.transpose()) < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_symmetry_and_triangle(m in small_matrix(5, 3)) {
+        let d = pairwise(&m);
+        for i in 0..5 {
+            prop_assert!(d.get(i, i).abs() < 1e-12);
+            for j in 0..5 {
+                prop_assert!((d.get(i, j) - d.get(j, i)).abs() < 1e-12);
+                for k in 0..5 {
+                    prop_assert!(d.get(i, j) <= d.get(i, k) + d.get(k, j) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_is_translation_invariant(
+        a in prop::collection::vec(-5.0..5.0f64, 4),
+        b in prop::collection::vec(-5.0..5.0f64, 4),
+        t in -5.0..5.0f64,
+    ) {
+        let at: Vec<f64> = a.iter().map(|v| v + t).collect();
+        let bt: Vec<f64> = b.iter().map(|v| v + t).collect();
+        prop_assert!((euclidean(&a, &b) - euclidean(&at, &bt)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_is_shift_invariant(v in prop::collection::vec(-100.0..100.0f64, 1..50), s in -50.0..50.0f64) {
+        let shifted: Vec<f64> = v.iter().map(|x| x + s).collect();
+        let v1 = population_variance(&v);
+        let v2 = population_variance(&shifted);
+        prop_assert!((v1 - v2).abs() < 1e-6 * v1.max(1.0));
+    }
+
+    #[test]
+    fn mean_bounded_by_extremes(v in prop::collection::vec(-100.0..100.0f64, 1..50)) {
+        let m = mean(&v);
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! Ranking metrics: AUCROC and Average Precision.
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) statistic,
+/// with average ranks for tied scores — identical to
+/// `sklearn.metrics.roc_auc_score`.
+///
+/// `labels` are ground truth (1.0 anomaly / 0.0 inlier), `scores` are the
+/// predicted anomaly scores. Returns 0.5 when either class is absent
+/// (undefined AUC; 0.5 keeps aggregate tables well-defined, and the suite
+/// always contains both classes).
+pub fn roc_auc(labels: &[f64], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let ranks = average_ranks(scores);
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(&l, _)| l > 0.5)
+        .map(|(_, &r)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos * n_neg) as f64
+}
+
+/// Average precision: `AP = Σ_k (R_k - R_{k-1}) · P_k` over the ranked
+/// list, matching `sklearn.metrics.average_precision_score` (ties broken
+/// by original index, like NumPy's stable sort there).
+pub fn average_precision(labels: &[f64], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len(), "labels/scores length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+    // Sort by descending score (stable).
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0usize;
+    let mut ap = 0.0;
+    let mut prev_score = f64::NAN;
+    let mut pending_tp = 0usize;
+    let mut seen = 0usize;
+    // Handle tied scores as a block: precision is evaluated at the end of
+    // each distinct-score group, with recall mass = positives in group.
+    for &i in &idx {
+        if scores[i] != prev_score && seen > 0 {
+            if pending_tp > 0 {
+                tp += pending_tp;
+                let precision = tp as f64 / seen as f64;
+                ap += precision * pending_tp as f64;
+                pending_tp = 0;
+            }
+        }
+        prev_score = scores[i];
+        seen += 1;
+        if labels[i] > 0.5 {
+            pending_tp += 1;
+        }
+    }
+    if pending_tp > 0 {
+        tp += pending_tp;
+        let precision = tp as f64 / seen as f64;
+        ap += precision * pending_tp as f64;
+    }
+    ap / n_pos as f64
+}
+
+/// 1-based average ranks of `v` (ties share the mean of their positions),
+/// the statistic both AUC and the Wilcoxon test build on.
+pub fn average_ranks(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        // positions i..=j (0-based) share rank mean of (i+1)..=(j+1)
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_inverted_auc() {
+        let labels = vec![0.0, 0.0, 1.0, 1.0];
+        assert_eq!(roc_auc(&labels, &[0.1, 0.2, 0.8, 0.9]), 1.0);
+        assert_eq!(roc_auc(&labels, &[0.9, 0.8, 0.2, 0.1]), 0.0);
+    }
+
+    #[test]
+    fn random_scores_give_half() {
+        // All scores equal: AUC must be exactly 0.5 via tie handling.
+        let labels = vec![0.0, 1.0, 0.0, 1.0];
+        assert_eq!(roc_auc(&labels, &[0.5, 0.5, 0.5, 0.5]), 0.5);
+    }
+
+    #[test]
+    fn auc_known_sklearn_value() {
+        // sklearn.roc_auc_score([0,0,1,1], [0.1,0.4,0.35,0.8]) == 0.75
+        let auc = roc_auc(&[0.0, 0.0, 1.0, 1.0], &[0.1, 0.4, 0.35, 0.8]);
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_single_class() {
+        assert_eq!(roc_auc(&[1.0, 1.0], &[0.3, 0.4]), 0.5);
+        assert_eq!(roc_auc(&[0.0, 0.0], &[0.3, 0.4]), 0.5);
+    }
+
+    #[test]
+    fn ap_known_sklearn_value() {
+        // sklearn.average_precision_score([0,0,1,1],[0.1,0.4,0.35,0.8])
+        // = 0.8333333...
+        let ap = average_precision(&[0.0, 0.0, 1.0, 1.0], &[0.1, 0.4, 0.35, 0.8]);
+        assert!((ap - 0.8333333333333333).abs() < 1e-9, "got {ap}");
+    }
+
+    #[test]
+    fn ap_perfect_ranking_is_one() {
+        let ap = average_precision(&[0.0, 0.0, 1.0], &[0.1, 0.2, 0.9]);
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_of_all_negative_is_zero() {
+        assert_eq!(average_precision(&[0.0, 0.0], &[0.5, 0.6]), 0.0);
+    }
+
+    #[test]
+    fn ap_prevalence_baseline_for_constant_scores() {
+        // With constant scores AP equals the positive prevalence.
+        let ap = average_precision(&[1.0, 0.0, 0.0, 0.0], &[0.5, 0.5, 0.5, 0.5]);
+        assert!((ap - 0.25).abs() < 1e-12, "got {ap}");
+    }
+
+    #[test]
+    fn average_ranks_with_ties() {
+        assert_eq!(average_ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(average_ranks(&[5.0]), vec![1.0]);
+        assert_eq!(average_ranks(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn auc_invariant_to_monotone_transform() {
+        let labels = vec![0.0, 1.0, 0.0, 1.0, 1.0, 0.0];
+        let scores = vec![0.2, 0.7, 0.1, 0.9, 0.5, 0.4];
+        let squashed: Vec<f64> = scores.iter().map(|s| s * s * s).collect();
+        assert!((roc_auc(&labels, &scores) - roc_auc(&labels, &squashed)).abs() < 1e-12);
+    }
+}

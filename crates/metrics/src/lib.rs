@@ -1,0 +1,14 @@
+//! Evaluation metrics for the UADB reproduction.
+//!
+//! The paper evaluates with AUCROC and Average Precision (§IV-A) and, for
+//! the synthetic study of Fig. 5, counts thresholded detection errors and
+//! the error-correction rate achieved by the booster.
+
+pub mod auc;
+pub mod errors;
+
+pub use auc::{average_precision, roc_auc};
+pub use errors::{
+    count_errors, count_errors_top_k, error_correction_rate, threshold_by_contamination,
+    ConfusionCounts,
+};

@@ -1,0 +1,103 @@
+//! Property-based tests for the ranking metrics.
+
+use proptest::prelude::*;
+use uadb_metrics::auc::average_ranks;
+use uadb_metrics::{average_precision, count_errors_top_k, roc_auc};
+
+/// Labels with at least one member of each class.
+fn mixed_labels(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(prop::bool::ANY, n).prop_map(|mut v| {
+        v[0] = true;
+        v[1] = false;
+        v.into_iter().map(|b| b as u8 as f64).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn auc_is_bounded((labels, scores) in (8usize..40).prop_flat_map(|n| {
+        (mixed_labels(n), prop::collection::vec(-10.0..10.0f64, n))
+    })) {
+        let auc = roc_auc(&labels, &scores);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn auc_inverts_under_score_negation((labels, scores) in (8usize..40).prop_flat_map(|n| {
+        (mixed_labels(n), prop::collection::vec(-10.0..10.0f64, n))
+    })) {
+        let auc = roc_auc(&labels, &scores);
+        let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+        let auc_neg = roc_auc(&labels, &neg);
+        prop_assert!((auc + auc_neg - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_invariant_under_positive_affine((labels, scores, a, b) in (8usize..40).prop_flat_map(|n| {
+        (mixed_labels(n), prop::collection::vec(-10.0..10.0f64, n), 0.1..5.0f64, -3.0..3.0f64)
+    })) {
+        let scaled: Vec<f64> = scores.iter().map(|s| a * s + b).collect();
+        prop_assert!((roc_auc(&labels, &scores) - roc_auc(&labels, &scaled)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ap_is_bounded_and_at_least_prevalence_for_perfect((n_pos, n_neg) in (1usize..10, 1usize..10)) {
+        // Perfect ranking: all positives above all negatives -> AP = 1.
+        let labels: Vec<f64> = std::iter::repeat(0.0).take(n_neg)
+            .chain(std::iter::repeat(1.0).take(n_pos)).collect();
+        let scores: Vec<f64> = (0..labels.len()).map(|i| i as f64).collect();
+        let ap = average_precision(&labels, &scores);
+        prop_assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_bounded((labels, scores) in (8usize..40).prop_flat_map(|n| {
+        (mixed_labels(n), prop::collection::vec(-10.0..10.0f64, n))
+    })) {
+        let ap = average_precision(&labels, &scores);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_mean(values in prop::collection::vec(-100.0..100.0f64, 1..60)) {
+        let ranks = average_ranks(&values);
+        // Sum of ranks is always n(n+1)/2 regardless of ties.
+        let n = values.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        // Ranks are within [1, n].
+        prop_assert!(ranks.iter().all(|&r| r >= 1.0 - 1e-12 && r <= n + 1e-12));
+    }
+
+    #[test]
+    fn top_k_budget_is_exact((labels, scores, k) in (8usize..40).prop_flat_map(|n| {
+        (mixed_labels(n), prop::collection::vec(-10.0..10.0f64, n), 0usize..50)
+    })) {
+        let c = count_errors_top_k(&labels, &scores, k);
+        prop_assert_eq!(c.tp + c.fp, k.min(labels.len()));
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, labels.len());
+    }
+
+    #[test]
+    fn auc_agrees_with_pairwise_definition((labels, scores) in (4usize..16).prop_flat_map(|n| {
+        (mixed_labels(n), prop::collection::vec(-10.0..10.0f64, n))
+    })) {
+        // AUC == P(score_pos > score_neg) + 0.5 P(tie), checked brute force.
+        let mut wins = 0.0;
+        let mut total = 0.0;
+        for (i, &li) in labels.iter().enumerate() {
+            if li < 0.5 { continue; }
+            for (j, &lj) in labels.iter().enumerate() {
+                if lj > 0.5 { continue; }
+                total += 1.0;
+                if scores[i] > scores[j] {
+                    wins += 1.0;
+                } else if scores[i] == scores[j] {
+                    wins += 0.5;
+                }
+            }
+        }
+        let brute = wins / total;
+        prop_assert!((roc_auc(&labels, &scores) - brute).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! The Adam optimiser (Kingma & Ba, 2015) with PyTorch-default
+//! hyper-parameters.
+
+/// Adam hyper-parameters; defaults match `torch.optim.Adam`.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamParams {
+    /// Learning rate (the paper uses 1e-3).
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+}
+
+impl Default for AdamParams {
+    fn default() -> Self {
+        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+/// Per-tensor Adam state (first and second moment plus step counter).
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl AdamState {
+    /// State for a parameter tensor of `len` scalars.
+    pub fn new(len: usize) -> Self {
+        Self { m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+    }
+
+    /// Applies one Adam update: `params -= lr * m̂ / (sqrt(v̂) + eps)`.
+    ///
+    /// # Panics
+    /// If `params` and `grads` lengths differ from the state length —
+    /// that is a wiring bug, not a runtime condition.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64], hp: &AdamParams) {
+        assert_eq!(params.len(), self.m.len(), "param/state length mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad/state length mismatch");
+        self.t += 1;
+        let b1t = 1.0 - hp.beta1.powi(self.t as i32);
+        let b2t = 1.0 - hp.beta2.powi(self.t as i32);
+        for ((p, &g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            *m = hp.beta1 * *m + (1.0 - hp.beta1) * g;
+            *v = hp.beta2 * *v + (1.0 - hp.beta2) * g * g;
+            let m_hat = *m / b1t;
+            let v_hat = *v / b2t;
+            *p -= hp.lr * m_hat / (v_hat.sqrt() + hp.eps);
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_moves_by_lr() {
+        // With bias correction, the very first Adam step is ≈ -lr * sign(g).
+        let mut s = AdamState::new(1);
+        let mut p = vec![1.0];
+        s.step(&mut p, &[0.5], &AdamParams::default());
+        assert!((p[0] - (1.0 - 1e-3)).abs() < 1e-6, "got {}", p[0]);
+        assert_eq!(s.steps(), 1);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimise f(x) = (x-3)^2 with gradient 2(x-3).
+        let mut s = AdamState::new(1);
+        let mut p = vec![0.0];
+        let hp = AdamParams { lr: 0.05, ..AdamParams::default() };
+        for _ in 0..2000 {
+            let g = 2.0 * (p[0] - 3.0);
+            s.step(&mut p, &[g], &hp);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-2, "got {}", p[0]);
+    }
+
+    #[test]
+    fn zero_gradient_keeps_params() {
+        let mut s = AdamState::new(2);
+        let mut p = vec![1.0, -2.0];
+        for _ in 0..10 {
+            s.step(&mut p, &[0.0, 0.0], &AdamParams::default());
+        }
+        assert_eq!(p, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut s = AdamState::new(2);
+        let mut p = vec![1.0];
+        s.step(&mut p, &[0.0], &AdamParams::default());
+    }
+}

@@ -1,0 +1,20 @@
+//! Neural-network substrate for the UADB reproduction.
+//!
+//! The paper's booster is "a simple 3-layer fully-connected MLP with 128
+//! neurons in each hidden layer … optimized by Adam with a learning rate
+//! of 0.001" (§IV-A), trained with mini-batches of 256 for 10 epochs per
+//! UADB step. DeepSVDD (one of the 14 source models) needs the same stack
+//! with PyOD's default `[64, 32]` encoder. This crate provides exactly
+//! that: dense linear layers with manual backprop, ReLU/sigmoid/identity
+//! activations, MSE and SVDD objectives, and the Adam optimiser.
+//!
+//! Everything is deterministic given the configured seeds.
+
+pub mod adam;
+pub mod linear;
+pub mod mlp;
+pub mod train;
+
+pub use adam::AdamParams;
+pub use mlp::{Activation, Mlp, MlpConfig};
+pub use train::{train_regression, train_svdd, TrainConfig};

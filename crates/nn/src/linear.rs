@@ -1,0 +1,199 @@
+//! Dense linear layer with manual backprop and embedded Adam state.
+
+use crate::adam::{AdamParams, AdamState};
+use rand::Rng;
+use uadb_linalg::Matrix;
+
+/// A fully-connected layer `y = x W + b`.
+///
+/// `W` is stored `(in, out)` so a batch forward is a plain matmul of the
+/// row-major batch against it.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Matrix,
+    b: Vec<f64>,
+    grad_w: Vec<f64>,
+    grad_b: Vec<f64>,
+    adam_w: AdamState,
+    adam_b: AdamState,
+}
+
+impl Linear {
+    /// Xavier/Glorot-uniform initialisation, like `torch.nn.Linear`.
+    pub fn new(input: usize, output: usize, rng: &mut impl Rng) -> Self {
+        let bound = (6.0 / (input + output) as f64).sqrt();
+        let mut w = Matrix::zeros(input, output);
+        for v in w.as_mut_slice() {
+            *v = rng.gen_range(-bound..bound);
+        }
+        let b = vec![0.0; output];
+        Self {
+            grad_w: vec![0.0; input * output],
+            grad_b: vec![0.0; output],
+            adam_w: AdamState::new(input * output),
+            adam_b: AdamState::new(output),
+            w,
+            b,
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Batch forward: `(B, in) -> (B, out)`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut out = x.matmul(&self.w).expect("linear layer dim mismatch");
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (v, &bias) in row.iter_mut().zip(&self.b) {
+                *v += bias;
+            }
+        }
+        out
+    }
+
+    /// Backward pass: accumulates parameter gradients for the batch and
+    /// returns the gradient w.r.t. the input.
+    ///
+    /// `x` is the forward input, `grad_out` is `(B, out)`.
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
+        let (batch, in_dim) = x.shape();
+        let out_dim = self.w.cols();
+        debug_assert_eq!(grad_out.shape(), (batch, out_dim));
+        // grad_w = X^T grad_out, accumulated without an explicit transpose.
+        self.grad_w.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_b.iter_mut().for_each(|g| *g = 0.0);
+        for r in 0..batch {
+            let xr = x.row(r);
+            let gr = grad_out.row(r);
+            for (i, &xi) in xr.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let dst = &mut self.grad_w[i * out_dim..(i + 1) * out_dim];
+                for (d, &g) in dst.iter_mut().zip(gr) {
+                    *d += xi * g;
+                }
+            }
+            for (db, &g) in self.grad_b.iter_mut().zip(gr) {
+                *db += g;
+            }
+        }
+        // grad_x = grad_out W^T
+        let mut grad_x = Matrix::zeros(batch, in_dim);
+        for r in 0..batch {
+            let gr = grad_out.row(r);
+            let dst = grad_x.row_mut(r);
+            for (i, slot) in dst.iter_mut().enumerate() {
+                let w_row = &self.w.as_slice()[i * out_dim..(i + 1) * out_dim];
+                *slot = w_row.iter().zip(gr).map(|(w, g)| w * g).sum();
+            }
+        }
+        grad_x
+    }
+
+    /// Applies one Adam step with the accumulated gradients.
+    pub fn apply_adam(&mut self, hp: &AdamParams) {
+        self.adam_w.step(self.w.as_mut_slice(), &self.grad_w, hp);
+        self.adam_b.step(&mut self.b, &self.grad_b, hp);
+    }
+
+    /// Read-only weight access (tests, serialisation).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// Mutable weight access (finite-difference gradient checks).
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.w
+    }
+
+    /// Accumulated weight gradient from the last backward pass.
+    pub fn grad_weights(&self) -> &[f64] {
+        &self.grad_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_applies_weights_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 1, &mut rng);
+        // Overwrite with known parameters.
+        l.w = Matrix::from_vec(2, 1, vec![2.0, -1.0]).unwrap();
+        l.b = vec![0.5];
+        let x = Matrix::from_vec(2, 2, vec![1.0, 1.0, 3.0, 0.0]).unwrap();
+        let y = l.forward(&x);
+        assert_eq!(y.as_slice(), &[1.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Matrix::from_vec(4, 3, (0..12).map(|i| (i as f64) * 0.3 - 1.5).collect()).unwrap();
+        // Loss = sum of outputs; grad_out = ones.
+        let ones = Matrix::filled(4, 2, 1.0);
+        l.backward(&x, &ones);
+        let analytic = l.grad_weights().to_vec();
+        let eps = 1e-6;
+        for idx in 0..6 {
+            let orig = l.w.as_slice()[idx];
+            l.w.as_mut_slice()[idx] = orig + eps;
+            let up: f64 = l.forward(&x).as_slice().iter().sum();
+            l.w.as_mut_slice()[idx] = orig - eps;
+            let down: f64 = l.forward(&x).as_slice().iter().sum();
+            l.w.as_mut_slice()[idx] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 1e-5,
+                "dW[{idx}]: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_input_gradient_shape_and_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap();
+        let grad_out = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let gx = l.backward(&x, &grad_out);
+        // grad_x = grad_out W^T = [1*1 + 0*2, 1*3 + 0*4]
+        assert_eq!(gx.as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn adam_step_changes_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let before = l.weights().clone();
+        let x = Matrix::filled(1, 2, 1.0);
+        let g = Matrix::filled(1, 2, 1.0);
+        l.backward(&x, &g);
+        l.apply_adam(&AdamParams::default());
+        assert!(before.max_abs_diff(l.weights()) > 0.0);
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let l = Linear::new(10, 10, &mut rng);
+        let bound = (6.0f64 / 20.0).sqrt();
+        assert!(l.weights().as_slice().iter().all(|w| w.abs() <= bound));
+    }
+}

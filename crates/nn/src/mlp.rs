@@ -1,0 +1,319 @@
+//! Multi-layer perceptron with ReLU hidden layers.
+
+use crate::adam::AdamParams;
+use crate::linear::Linear;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uadb_linalg::Matrix;
+
+/// Output-layer activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Sigmoid output — the UADB booster predicts anomaly scores in `[0,1]`.
+    Sigmoid,
+    /// Identity output — DeepSVDD embeds into an unconstrained space.
+    Identity,
+}
+
+/// MLP architecture description.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Input feature count.
+    pub input_dim: usize,
+    /// Hidden layer widths (the booster uses `[128, 128]`).
+    pub hidden: Vec<usize>,
+    /// Output width (1 for the booster; the embedding size for DeepSVDD).
+    pub output_dim: usize,
+    /// Output activation.
+    pub activation: Activation,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl MlpConfig {
+    /// The UADB booster architecture of §IV-A: `input -> 128 -> 128 -> 1`
+    /// with a sigmoid head ("3-layer fully-connected MLP with 128 neurons
+    /// in each hidden layer").
+    pub fn booster(input_dim: usize, seed: u64) -> Self {
+        Self {
+            input_dim,
+            hidden: vec![128, 128],
+            output_dim: 1,
+            activation: Activation::Sigmoid,
+            seed,
+        }
+    }
+}
+
+/// A dense MLP with ReLU hidden activations.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+/// Intermediate activations retained for the backward pass.
+pub struct ForwardCache {
+    /// `inputs[i]` is the input to layer `i`; the final entry is the
+    /// pre-activation output of the last layer.
+    inputs: Vec<Matrix>,
+    /// Post-activation network output.
+    output: Matrix,
+}
+
+impl ForwardCache {
+    /// The network output after the output activation.
+    pub fn output(&self) -> &Matrix {
+        &self.output
+    }
+}
+
+impl Mlp {
+    /// Builds the network with Xavier-initialised layers.
+    pub fn new(cfg: &MlpConfig) -> Self {
+        assert!(cfg.input_dim > 0 && cfg.output_dim > 0, "dims must be positive");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut dims = Vec::with_capacity(cfg.hidden.len() + 2);
+        dims.push(cfg.input_dim);
+        dims.extend_from_slice(&cfg.hidden);
+        dims.push(cfg.output_dim);
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], &mut rng))
+            .collect();
+        Self { layers, activation: cfg.activation }
+    }
+
+    /// Number of trainable layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward pass retaining activations for backprop.
+    pub fn forward_cached(&self, x: &Matrix) -> ForwardCache {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(cur.clone());
+            cur = layer.forward(&cur);
+            if i < last {
+                relu_inplace(&mut cur);
+            }
+        }
+        let output = match self.activation {
+            Activation::Sigmoid => {
+                let mut o = cur;
+                sigmoid_inplace(&mut o);
+                o
+            }
+            Activation::Identity => cur,
+        };
+        ForwardCache { inputs, output }
+    }
+
+    /// Inference-only forward pass.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.forward_cached(x).output
+    }
+
+    /// Single-column prediction convenience: `(B, 1)` output flattened.
+    pub fn predict_vec(&self, x: &Matrix) -> Vec<f64> {
+        self.forward(x).into_vec()
+    }
+
+    /// Backward pass from `grad_output` (gradient of the loss w.r.t. the
+    /// *post-activation* output) and one Adam step on every layer.
+    pub fn backward_and_step(
+        &mut self,
+        cache: &ForwardCache,
+        grad_output: &Matrix,
+        hp: &AdamParams,
+    ) {
+        // Undo the output activation.
+        let mut grad = match self.activation {
+            Activation::Sigmoid => {
+                // d sigmoid = s (1 - s)
+                let mut g = grad_output.clone();
+                for (gv, &s) in g.as_mut_slice().iter_mut().zip(cache.output.as_slice()) {
+                    *gv *= s * (1.0 - s);
+                }
+                g
+            }
+            Activation::Identity => grad_output.clone(),
+        };
+        let last = self.layers.len() - 1;
+        for i in (0..self.layers.len()).rev() {
+            if i < last {
+                // The input to layer i+1 is relu(pre-activation of layer i);
+                // the ReLU derivative gates on that stored input.
+                let gate = &cache.inputs[i + 1];
+                for (gv, &a) in grad.as_mut_slice().iter_mut().zip(gate.as_slice()) {
+                    if a <= 0.0 {
+                        *gv = 0.0;
+                    }
+                }
+            }
+            grad = self.layers[i].backward(&cache.inputs[i], &grad);
+        }
+        for layer in &mut self.layers {
+            layer.apply_adam(hp);
+        }
+    }
+
+    /// Read access to a layer (tests, DeepSVDD centre computation).
+    pub fn layer(&self, i: usize) -> &Linear {
+        &self.layers[i]
+    }
+
+    /// Mutable access to a layer (finite-difference checks).
+    pub fn layer_mut(&mut self, i: usize) -> &mut Linear {
+        &mut self.layers[i]
+    }
+}
+
+/// In-place ReLU.
+fn relu_inplace(m: &mut Matrix) {
+    for v in m.as_mut_slice() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// In-place numerically-stable sigmoid.
+fn sigmoid_inplace(m: &mut Matrix) {
+    for v in m.as_mut_slice() {
+        *v = sigmoid(*v);
+    }
+}
+
+/// Numerically-stable scalar sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_mlp(seed: u64) -> Mlp {
+        Mlp::new(&MlpConfig {
+            input_dim: 3,
+            hidden: vec![5, 4],
+            output_dim: 1,
+            activation: Activation::Sigmoid,
+            seed,
+        })
+    }
+
+    #[test]
+    fn output_in_unit_interval_for_sigmoid() {
+        let mlp = tiny_mlp(0);
+        let x = Matrix::from_vec(4, 3, (0..12).map(|i| i as f64 - 6.0).collect()).unwrap();
+        let y = mlp.forward(&x);
+        assert_eq!(y.shape(), (4, 1));
+        assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = tiny_mlp(7).forward(&Matrix::filled(2, 3, 0.5));
+        let b = tiny_mlp(7).forward(&Matrix::filled(2, 3, 0.5));
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c = tiny_mlp(8).forward(&Matrix::filled(2, 3, 0.5));
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_check_full_network() {
+        // MSE loss against a fixed target; compare analytic dW of every
+        // layer with central finite differences.
+        let mut mlp = tiny_mlp(42);
+        let x = Matrix::from_vec(5, 3, (0..15).map(|i| (i as f64) * 0.25 - 2.0).collect()).unwrap();
+        let target = vec![0.1, 0.9, 0.4, 0.6, 0.2];
+        let loss = |mlp: &Mlp| -> f64 {
+            let out = mlp.forward(&x);
+            out.as_slice()
+                .iter()
+                .zip(&target)
+                .map(|(o, t)| (o - t) * (o - t))
+                .sum::<f64>()
+                / target.len() as f64
+        };
+        // Analytic gradient: dL/do = 2 (o - t) / n.
+        let cache = mlp.forward_cached(&x);
+        let n = target.len() as f64;
+        let grad_out_data: Vec<f64> = cache
+            .output()
+            .as_slice()
+            .iter()
+            .zip(&target)
+            .map(|(o, t)| 2.0 * (o - t) / n)
+            .collect();
+        let grad_out = Matrix::from_vec(5, 1, grad_out_data).unwrap();
+        // Run backward WITHOUT the optimiser step: use a zero-lr Adam.
+        let hp = AdamParams { lr: 0.0, ..AdamParams::default() };
+        mlp.backward_and_step(&cache, &grad_out, &hp);
+        let eps = 1e-6;
+        for li in 0..mlp.n_layers() {
+            let analytic = mlp.layer(li).grad_weights().to_vec();
+            let n_params = analytic.len();
+            for idx in (0..n_params).step_by(3) {
+                let orig = mlp.layer(li).weights().as_slice()[idx];
+                mlp.layer_mut(li).weights_mut().as_mut_slice()[idx] = orig + eps;
+                let up = loss(&mlp);
+                mlp.layer_mut(li).weights_mut().as_mut_slice()[idx] = orig - eps;
+                let down = loss(&mlp);
+                mlp.layer_mut(li).weights_mut().as_mut_slice()[idx] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic[idx]).abs() < 1e-5,
+                    "layer {li} dW[{idx}]: numeric {numeric} vs analytic {}",
+                    analytic[idx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_head_is_unbounded() {
+        let mlp = Mlp::new(&MlpConfig {
+            input_dim: 2,
+            hidden: vec![8],
+            output_dim: 3,
+            activation: Activation::Identity,
+            seed: 1,
+        });
+        let y = mlp.forward(&Matrix::filled(1, 2, 100.0));
+        assert_eq!(y.shape(), (1, 3));
+        // With inputs of 100 the embedding should comfortably leave [0,1].
+        assert!(y.as_slice().iter().any(|&v| !(0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must be positive")]
+    fn zero_input_dim_rejected() {
+        let _ = Mlp::new(&MlpConfig {
+            input_dim: 0,
+            hidden: vec![],
+            output_dim: 1,
+            activation: Activation::Identity,
+            seed: 0,
+        });
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for the neural-network substrate.
+
+use proptest::prelude::*;
+use uadb_linalg::Matrix;
+use uadb_nn::{train_regression, Activation, Mlp, MlpConfig, TrainConfig};
+
+/// The crate exposes its numerically-stable sigmoid via `mlp::sigmoid`.
+fn sigmoid_of(x: f64) -> f64 {
+    uadb_nn::mlp::sigmoid(x)
+}
+
+proptest! {
+    #[test]
+    fn sigmoid_bounded_and_monotone(a in -50.0..50.0f64, b in -50.0..50.0f64) {
+        let sa = sigmoid_of(a);
+        let sb = sigmoid_of(b);
+        prop_assert!((0.0..=1.0).contains(&sa));
+        if a < b {
+            prop_assert!(sa <= sb + 1e-15);
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_finite(
+        seed in 0u64..1000,
+        data in prop::collection::vec(-5.0..5.0f64, 12),
+    ) {
+        let cfg = MlpConfig {
+            input_dim: 3,
+            hidden: vec![6, 4],
+            output_dim: 1,
+            activation: Activation::Sigmoid,
+            seed,
+        };
+        let mlp = Mlp::new(&cfg);
+        let x = Matrix::from_vec(4, 3, data).unwrap();
+        let a = mlp.forward(&x);
+        let b = mlp.forward(&x);
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+        prop_assert!(a.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn training_never_produces_nan(
+        seed in 0u64..200,
+        targets in prop::collection::vec(0.0..1.0f64, 16),
+    ) {
+        let mut mlp = Mlp::new(&MlpConfig {
+            input_dim: 2,
+            hidden: vec![8],
+            output_dim: 1,
+            activation: Activation::Sigmoid,
+            seed,
+        });
+        let x = Matrix::from_vec(16, 2, (0..32).map(|i| (i as f64) * 0.1 - 1.6).collect()).unwrap();
+        let cfg = TrainConfig { epochs: 5, batch_size: 4, shuffle_seed: seed, ..TrainConfig::default() };
+        let loss = train_regression(&mut mlp, &x, &targets, &cfg);
+        prop_assert!(loss.is_finite());
+        let pred = mlp.predict_vec(&x);
+        prop_assert!(pred.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)));
+    }
+}

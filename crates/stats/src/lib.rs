@@ -1,0 +1,13 @@
+//! Statistical machinery for the UADB reproduction.
+//!
+//! Table IV reports Wilcoxon signed-rank p-values over the 84 datasets;
+//! Figs. 6 and 10 report boxplots; Fig. 9 tracks average ranks. All of
+//! that lives here, built from scratch (no SciPy equivalent exists in the
+//! Rust ecosystem at this fidelity).
+
+pub mod normal;
+pub mod summary;
+pub mod wilcoxon;
+
+pub use summary::{quantile, BoxplotStats};
+pub use wilcoxon::{wilcoxon_signed_rank, WilcoxonResult};

@@ -1,0 +1,129 @@
+//! Distribution summaries: quantiles and boxplot five-number statistics
+//! (Figs. 6 and 10 of the paper are boxplots over the 84 datasets).
+
+/// Linear-interpolation quantile (NumPy's default `linear` method).
+///
+/// `q` must be in `[0, 1]`. Returns `None` on empty input.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Five-number summary plus mean, in Matplotlib boxplot convention
+/// (whiskers at 1.5 IQR, clipped to data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxplotStats {
+    /// Lower whisker (smallest point ≥ Q1 − 1.5·IQR).
+    pub whisker_lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker (largest point ≤ Q3 + 1.5·IQR).
+    pub whisker_hi: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Points outside the whiskers.
+    pub n_outliers: usize,
+}
+
+impl BoxplotStats {
+    /// Computes the summary; `None` on empty input.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let q1 = quantile(values, 0.25)?;
+        let median = quantile(values, 0.5)?;
+        let q3 = quantile(values, 0.75)?;
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        // Whiskers reach the most extreme point inside the fence but never
+        // retreat past the box edge (Matplotlib behaviour when every point
+        // beyond a quartile is an outlier).
+        let whisker_lo = values
+            .iter()
+            .copied()
+            .filter(|v| *v >= lo_fence)
+            .fold(f64::INFINITY, f64::min)
+            .min(q1);
+        let whisker_hi = values
+            .iter()
+            .copied()
+            .filter(|v| *v <= hi_fence)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(q3);
+        let n_outliers = values.iter().filter(|v| **v < lo_fence || **v > hi_fence).count();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        Some(Self { whisker_lo, q1, median, q3, whisker_hi, mean, n_outliers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_reference_values() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        // numpy.quantile([1,2,3,4], 0.25) == 1.75
+        assert_eq!(quantile(&v, 0.25), Some(1.75));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_single_value() {
+        assert_eq!(quantile(&[7.0], 0.3), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_out_of_range_panics() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn boxplot_summary_basic() {
+        let v: Vec<f64> = (1..=11).map(|i| i as f64).collect();
+        let b = BoxplotStats::from_values(&v).unwrap();
+        assert_eq!(b.median, 6.0);
+        assert_eq!(b.q1, 3.5);
+        assert_eq!(b.q3, 8.5);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 11.0);
+        assert_eq!(b.n_outliers, 0);
+        assert!((b.mean - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxplot_detects_outliers() {
+        let mut v: Vec<f64> = (1..=11).map(|i| i as f64).collect();
+        v.push(100.0);
+        let b = BoxplotStats::from_values(&v).unwrap();
+        assert_eq!(b.n_outliers, 1);
+        assert!(b.whisker_hi <= 11.0 + 1e-12);
+    }
+
+    #[test]
+    fn boxplot_empty_is_none() {
+        assert!(BoxplotStats::from_values(&[]).is_none());
+    }
+}

@@ -1,0 +1,152 @@
+//! Two-sided Wilcoxon signed-rank test.
+//!
+//! Matches `scipy.stats.wilcoxon(x, y, zero_method="wilcox",
+//! correction=False, mode="approx")`: zero differences are dropped, ties
+//! receive average ranks, and the p-value uses the normal approximation
+//! with tie-corrected variance — appropriate for the paper's n = 84
+//! paired samples.
+
+use crate::normal::normal_sf;
+
+/// Test outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct WilcoxonResult {
+    /// The statistic `min(W+, W-)`.
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Pairs remaining after zero-difference removal.
+    pub n_used: usize,
+}
+
+/// Runs the test on paired samples.
+///
+/// Returns `None` when fewer than one non-zero difference remains (the
+/// test is undefined); callers print `n/a` in that case.
+///
+/// # Panics
+/// If input lengths differ.
+pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> Option<WilcoxonResult> {
+    assert_eq!(x.len(), y.len(), "paired samples must align");
+    let diffs: Vec<f64> = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return None;
+    }
+    // Rank |d| with average ranks.
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| abs[a].partial_cmp(&abs[b]).unwrap());
+    let mut ranks = vec![0.0; n];
+    let mut tie_correction = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && abs[idx[j + 1]] == abs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t * t * t - t;
+        i = j + 1;
+    }
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| r)
+        .sum();
+    let total = (n * (n + 1)) as f64 / 2.0;
+    let w_minus = total - w_plus;
+    let statistic = w_plus.min(w_minus);
+
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_correction / 48.0;
+    if var <= 0.0 {
+        // All differences identical in magnitude and sign pattern trivial.
+        return Some(WilcoxonResult { statistic, p_value: 1.0, n_used: n });
+    }
+    let z = (statistic - mean) / var.sqrt();
+    // statistic <= mean by construction, so z <= 0; two-sided p.
+    let p = (2.0 * normal_sf(-z)).min(1.0);
+    Some(WilcoxonResult { statistic, p_value: p, n_used: n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scipy_reference_case() {
+        // scipy.stats.wilcoxon(d, mode="approx", correction=False):
+        // d = [6, 8, 14, 16, 23, 24, 28, 29, 41, -48, 49, 56, 60, -67, 75]
+        // statistic = 24.0 (W- = rank(48)+rank(67) = 10+14),
+        // p ≈ 0.0409 (the exact-mode value is 0.0413).
+        let x: Vec<f64> = vec![
+            6.0, 8.0, 14.0, 16.0, 23.0, 24.0, 28.0, 29.0, 41.0, -48.0, 49.0, 56.0, 60.0,
+            -67.0, 75.0,
+        ];
+        let y = vec![0.0; 15];
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!((r.statistic - 24.0).abs() < 1e-12);
+        assert!((r.p_value - 0.04089).abs() < 1e-4, "p={}", r.p_value);
+        assert_eq!(r.n_used, 15);
+    }
+
+    #[test]
+    fn consistent_improvement_gives_small_p() {
+        // 84 paired values where x > y everywhere by a varying margin —
+        // the strongest possible one-sided evidence; p ≈ 2.9e-15 region.
+        let x: Vec<f64> = (0..84).map(|i| 0.7 + 0.001 * (i % 13) as f64).collect();
+        let y: Vec<f64> = (0..84).map(|i| 0.65 + 0.0005 * (i % 7) as f64).collect();
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!(r.p_value < 1e-10, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn symmetric_differences_give_large_p() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = vec![2.0, 1.0, 4.0, 3.0, 6.0, 5.0];
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!(r.p_value > 0.5, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn zero_differences_dropped() {
+        let x = vec![1.0, 2.0, 3.0, 5.0];
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert_eq!(r.n_used, 1);
+    }
+
+    #[test]
+    fn all_equal_returns_none() {
+        let x = vec![1.0, 2.0];
+        assert!(wilcoxon_signed_rank(&x, &x).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        // Differences: +1, +1, -1 -> |d| all tied, ranks all 2.
+        // W+ = 4, W- = 2, statistic = 2.
+        let x = vec![1.0, 1.0, 0.0];
+        let y = vec![0.0, 0.0, 1.0];
+        let r = wilcoxon_signed_rank(&x, &y).unwrap();
+        assert!((r.statistic - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use uadb_stats::normal::{normal_cdf, normal_sf};
+use uadb_stats::{quantile, wilcoxon_signed_rank, BoxplotStats};
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone(values in prop::collection::vec(-100.0..100.0f64, 2..60)) {
+        let q25 = quantile(&values, 0.25).unwrap();
+        let q50 = quantile(&values, 0.50).unwrap();
+        let q75 = quantile(&values, 0.75).unwrap();
+        prop_assert!(q25 <= q50 + 1e-12);
+        prop_assert!(q50 <= q75 + 1e-12);
+    }
+
+    #[test]
+    fn quantile_bounded_by_extremes(values in prop::collection::vec(-100.0..100.0f64, 1..60), q in 0.0..1.0f64) {
+        let v = quantile(&values, q).unwrap();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn boxplot_invariants(values in prop::collection::vec(-100.0..100.0f64, 4..80)) {
+        let b = BoxplotStats::from_values(&values).unwrap();
+        prop_assert!(b.whisker_lo <= b.q1 + 1e-12);
+        prop_assert!(b.q1 <= b.median + 1e-12);
+        prop_assert!(b.median <= b.q3 + 1e-12);
+        prop_assert!(b.q3 <= b.whisker_hi + 1e-12);
+        prop_assert!(b.n_outliers <= values.len());
+    }
+
+    #[test]
+    fn wilcoxon_p_in_unit_interval(
+        x in prop::collection::vec(-10.0..10.0f64, 6..40),
+    ) {
+        let y: Vec<f64> = x.iter().map(|v| v * 0.9 + 0.05).collect();
+        if let Some(r) = wilcoxon_signed_rank(&x, &y) {
+            prop_assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+            prop_assert!(r.statistic >= 0.0);
+            prop_assert!(r.n_used <= x.len());
+        }
+    }
+
+    #[test]
+    fn wilcoxon_symmetric_in_arguments(
+        x in prop::collection::vec(-10.0..10.0f64, 6..40),
+        shift in 0.1..2.0f64,
+    ) {
+        // Swapping the paired samples must keep statistic and p identical
+        // (two-sided test).
+        let y: Vec<f64> = x.iter().enumerate().map(|(i, v)| v + shift * ((i % 3) as f64 - 1.0)).collect();
+        let a = wilcoxon_signed_rank(&x, &y);
+        let b = wilcoxon_signed_rank(&y, &x);
+        match (a, b) {
+            (Some(ra), Some(rb)) => {
+                prop_assert!((ra.statistic - rb.statistic).abs() < 1e-9);
+                prop_assert!((ra.p_value - rb.p_value).abs() < 1e-9);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "one direction returned None"),
+        }
+    }
+
+    #[test]
+    fn larger_shifts_give_smaller_p(base in prop::collection::vec(-5.0..5.0f64, 20..40)) {
+        // A consistent positive shift should be at least as significant
+        // as a mixed-sign perturbation of the same magnitude.
+        let consistent: Vec<f64> = base.iter().map(|v| v + 1.0).collect();
+        let mixed: Vec<f64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, v)| if i % 2 == 0 { v + 1.0 } else { v - 1.0 })
+            .collect();
+        let p_consistent = wilcoxon_signed_rank(&consistent, &base).unwrap().p_value;
+        let p_mixed = wilcoxon_signed_rank(&mixed, &base).unwrap().p_value;
+        prop_assert!(p_consistent <= p_mixed + 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_monotone(a in -6.0..6.0f64, b in -6.0..6.0f64) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
+        prop_assert!(normal_sf(lo) >= normal_sf(hi) - 1e-12);
+    }
+}

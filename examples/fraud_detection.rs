@@ -1,0 +1,78 @@
+//! Fraud-detection scenario: a heavily imbalanced finance-style workload
+//! (≈2% fraud, heterogeneous feature scales) where no single detector
+//! assumption is safe — the situation §I of the paper motivates.
+//!
+//! We screen four detectors with different assumption families, boost
+//! each with UADB, and report the precision of the top-50 alert budget —
+//! the quantity a fraud-operations team actually consumes.
+
+use uadb::{Uadb, UadbConfig};
+use uadb_data::synth::{generate, AnomalyType, SynthConfig};
+use uadb_detectors::DetectorKind;
+use uadb_metrics::{average_precision, roc_auc};
+
+/// Precision within the `k` highest-scored transactions.
+fn precision_at_k(labels: &[f64], scores: &[f64], k: usize) -> f64 {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+    let hits: f64 = idx.iter().take(k).map(|&i| labels[i]).sum();
+    hits / k as f64
+}
+
+fn main() {
+    // Card-transaction-like table: mostly legitimate activity in a few
+    // behavioural clusters; fraud is a mix of "unusual amounts" (global),
+    // "slightly-off behaviour" (local) and an organised fraud ring
+    // (clustered).
+    let cfg = SynthConfig {
+        n_inliers: 1960,
+        n_anomalies: 40,
+        dim: 16,
+        n_clusters: 3,
+        anomaly_mix: vec![
+            (AnomalyType::Global, 0.4),
+            (AnomalyType::Local, 0.3),
+            (AnomalyType::Clustered, 0.3),
+        ],
+        local_alpha: 4.0,
+        cluster_offset: 2.5,
+        seed: 20260608,
+    };
+    let data = generate("card_transactions", "Finance", &cfg).standardized();
+    let labels = data.labels_f64();
+    println!(
+        "screening {} transactions ({} fraudulent, {:.1}%)\n",
+        data.n_samples(),
+        data.n_anomalies(),
+        data.anomaly_pct()
+    );
+
+    let candidates = [
+        DetectorKind::IForest,
+        DetectorKind::Hbos,
+        DetectorKind::Knn,
+        DetectorKind::Ecod,
+    ];
+    println!(
+        "{:10} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "model", "AUC", "AP", "P@50", "AUC+", "AP+", "P@50+"
+    );
+    for kind in candidates {
+        let teacher_scores = kind.build(0).fit_score(&data.x).expect("fit");
+        let booster = Uadb::new(UadbConfig::with_seed(0))
+            .fit(&data.x, &teacher_scores)
+            .expect("boost");
+        let boosted = booster.scores();
+        println!(
+            "{:10} {:>8.4} {:>8.4} {:>8.2} | {:>8.4} {:>8.4} {:>8.2}",
+            kind.name(),
+            roc_auc(&labels, &teacher_scores),
+            average_precision(&labels, &teacher_scores),
+            precision_at_k(&labels, &teacher_scores, 50),
+            roc_auc(&labels, boosted),
+            average_precision(&labels, boosted),
+            precision_at_k(&labels, boosted, 50),
+        );
+    }
+    println!("\ncolumns with '+' are the UADB-boosted detector");
+}

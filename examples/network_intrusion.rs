@@ -1,0 +1,53 @@
+//! Network-intrusion scenario: http/smtp-style traffic with a vanishing
+//! anomaly rate (the paper's `15_http` has 0.39%, `35_smtp` 0.03%).
+//!
+//! At such rates a handful of ranking mistakes destroys precision, and
+//! neighbour-based detectors (the usual choice for intrusion detection)
+//! are exactly the family UADB improves the most (Table IV: LOF +11%
+//! AUCROC on average). We reproduce that effect on the simulated `http`
+//! and `smtp` roster entries.
+
+use uadb::{Uadb, UadbConfig};
+use uadb_data::suite::{generate_by_name, SuiteScale};
+use uadb_detectors::DetectorKind;
+use uadb_metrics::{average_precision, roc_auc};
+
+fn main() {
+    for name in ["15_http", "35_smtp"] {
+        let data = generate_by_name(name, SuiteScale::Full, 7)
+            .expect("roster dataset")
+            .standardized();
+        let labels = data.labels_f64();
+        println!(
+            "\n== {name}: {} flows, {} attacks ({:.2}%)",
+            data.n_samples(),
+            data.n_anomalies(),
+            data.anomaly_pct()
+        );
+        for kind in [DetectorKind::Lof, DetectorKind::Knn, DetectorKind::Cof] {
+            let teacher_scores = kind.build(1).fit_score(&data.x).expect("fit");
+            let booster = Uadb::new(UadbConfig::with_seed(1))
+                .fit(&data.x, &teacher_scores)
+                .expect("boost");
+            let boosted = booster.scores();
+            println!(
+                "  {:4}  teacher AUC {:.4} AP {:.4}  ->  UADB AUC {:.4} AP {:.4}",
+                kind.name(),
+                roc_auc(&labels, &teacher_scores),
+                average_precision(&labels, &teacher_scores),
+                roc_auc(&labels, boosted),
+                average_precision(&labels, boosted),
+            );
+            // Where do the true attacks rank in the boosted alert list?
+            let mut idx: Vec<usize> = (0..boosted.len()).collect();
+            idx.sort_by(|&a, &b| boosted[b].partial_cmp(&boosted[a]).unwrap());
+            let positions: Vec<usize> = idx
+                .iter()
+                .enumerate()
+                .filter(|(_, &i)| data.labels[i] == 1)
+                .map(|(rank, _)| rank + 1)
+                .collect();
+            println!("        attack positions in the boosted ranking: {positions:?}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the UADB reproduction: re-exports every workspace
+//! crate under one roof so the examples and integration tests read like
+//! downstream user code.
+//!
+//! * [`uadb`] — the booster framework (the paper's contribution),
+//! * [`uadb_detectors`] — the 14 source UAD models,
+//! * [`uadb_data`] — datasets and generators,
+//! * [`uadb_nn`] — the MLP/Adam substrate,
+//! * [`uadb_metrics`] / [`uadb_stats`] — evaluation machinery,
+//! * [`uadb_linalg`] — dense linear algebra.
+//!
+//! Start with `examples/quickstart.rs`.
+
+pub use uadb;
+pub use uadb_data;
+pub use uadb_detectors;
+pub use uadb_linalg;
+pub use uadb_metrics;
+pub use uadb_nn;
+pub use uadb_stats;

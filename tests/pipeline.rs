@@ -1,0 +1,96 @@
+//! End-to-end pipeline tests spanning every workspace crate: data
+//! generation -> detector -> booster -> metrics.
+
+use uadb::experiment::{run_matrix, run_pair, ExperimentConfig};
+use uadb::{Uadb, UadbConfig};
+use uadb_data::suite::{generate_by_name, SuiteScale, QUICK_SUBSET};
+use uadb_data::synth::{fig5_dataset, AnomalyType};
+use uadb_detectors::DetectorKind;
+use uadb_metrics::{average_precision, roc_auc};
+
+fn fast_cfg(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        booster: UadbConfig::fast_for_tests(seed),
+        n_runs: 1,
+        n_threads: 2,
+    }
+}
+
+#[test]
+fn full_pipeline_on_suite_dataset() {
+    let data = generate_by_name("39_thyroid", SuiteScale::Quick, 3).unwrap();
+    let r = run_pair(DetectorKind::Hbos, &data, &fast_cfg(0));
+    assert!(r.teacher_auc > 0.0 && r.teacher_auc <= 1.0);
+    assert!(r.booster_auc > 0.0 && r.booster_auc <= 1.0);
+    assert!(r.teacher_ap > 0.0 && r.teacher_ap <= 1.0);
+    assert_eq!(r.iter_auc.len(), fast_cfg(0).booster.t_steps);
+}
+
+#[test]
+fn booster_scores_are_probabilities() {
+    let data = fig5_dataset(AnomalyType::Global, 1).standardized();
+    let teacher = DetectorKind::Knn.build(0).fit_score(&data.x).unwrap();
+    let model = Uadb::new(UadbConfig::fast_for_tests(0)).fit(&data.x, &teacher).unwrap();
+    assert!(model.scores().iter().all(|&s| (0.0..=1.0).contains(&s)));
+    // Out-of-sample scoring keeps the contract.
+    let holdout = data.x.select_rows(&(0..10).collect::<Vec<_>>());
+    assert!(model.score(&holdout).iter().all(|&s| (0.0..=1.0).contains(&s)));
+}
+
+#[test]
+fn experiment_matrix_is_thread_count_invariant() {
+    let datasets = vec![
+        fig5_dataset(AnomalyType::Global, 2),
+        fig5_dataset(AnomalyType::Clustered, 3),
+    ];
+    let kinds = [DetectorKind::Hbos, DetectorKind::Ecod];
+    let mut cfg = fast_cfg(1);
+    cfg.n_threads = 1;
+    let a = run_matrix(&kinds, &datasets, &cfg);
+    cfg.n_threads = 8;
+    let b = run_matrix(&kinds, &datasets, &cfg);
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.booster_auc, rb.booster_auc);
+        assert_eq!(ra.dataset, rb.dataset);
+    }
+}
+
+#[test]
+fn quick_subset_runs_every_detector_family() {
+    // One dataset, every detector: the whole zoo must hold the Detector
+    // contract on realistic suite data.
+    let data = generate_by_name(QUICK_SUBSET[0], SuiteScale::Quick, 0)
+        .unwrap()
+        .standardized();
+    let labels = data.labels_f64();
+    for kind in DetectorKind::ALL {
+        let scores = kind.build(5).fit_score(&data.x).unwrap();
+        let auc = roc_auc(&labels, &scores);
+        let ap = average_precision(&labels, &scores);
+        assert!((0.0..=1.0).contains(&auc), "{}", kind.name());
+        assert!((0.0..=1.0).contains(&ap), "{}", kind.name());
+    }
+}
+
+#[test]
+fn seeded_runs_reproduce_exactly() {
+    let data = generate_by_name("12_glass", SuiteScale::Quick, 9).unwrap();
+    let a = run_pair(DetectorKind::IForest, &data, &fast_cfg(4));
+    let b = run_pair(DetectorKind::IForest, &data, &fast_cfg(4));
+    assert_eq!(a.booster_auc, b.booster_auc);
+    assert_eq!(a.iter_auc, b.iter_auc);
+}
+
+#[test]
+fn standardization_is_part_of_the_pipeline() {
+    // run_pair standardises internally: feeding a wildly-scaled dataset
+    // must still produce sane results.
+    let mut data = fig5_dataset(AnomalyType::Global, 7);
+    // Blow up one feature by 1e6.
+    for r in 0..data.x.rows() {
+        let v = data.x.get(r, 0) * 1e6;
+        data.x.set(r, 0, v);
+    }
+    let r = run_pair(DetectorKind::Knn, &data, &fast_cfg(0));
+    assert!(r.teacher_auc > 0.55, "KNN should survive rescaling, got {}", r.teacher_auc);
+}
