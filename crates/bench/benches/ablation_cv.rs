@@ -34,11 +34,8 @@ fn bench(c: &mut Criterion) {
     ];
     let mut t = Table::new(vec!["Variant", "avg teacher AUC", "avg booster AUC", "improvement"]);
     for (name, bcfg) in &variants {
-        let cfg = uadb::experiment::ExperimentConfig {
-            booster: bcfg.clone(),
-            n_runs: 1,
-            n_threads: 0,
-        };
+        let cfg =
+            uadb::experiment::ExperimentConfig { booster: bcfg.clone(), n_runs: 1, n_threads: 0 };
         let results = run_matrix(&kinds, &datasets, &cfg);
         let mut orig = 0.0;
         let mut improv = 0.0;

@@ -18,9 +18,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("detectors_fit_score");
     g.sample_size(10);
     for kind in DetectorKind::ALL {
-        g.bench_function(kind.name(), |b| {
-            b.iter(|| kind.build(0).fit_score(&d.x).unwrap())
-        });
+        g.bench_function(kind.name(), |b| b.iter(|| kind.build(0).fit_score(&d.x).unwrap()));
     }
     g.finish();
 }

@@ -12,9 +12,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2");
     g.sample_size(20);
     let flat: Vec<f64> = evidence.iter().flat_map(|e| e.per_instance.iter().copied()).collect();
-    g.bench_function("variance_aggregation", |b| {
-        b.iter(|| population_variance(&flat))
-    });
+    g.bench_function("variance_aggregation", |b| b.iter(|| population_variance(&flat)));
     g.finish();
 }
 

@@ -11,8 +11,7 @@ fn bench(c: &mut Criterion) {
     let cfg = setup::experiment_config();
     // Depth sweep is 4 full matrices; restrict to 4 representative models
     // so the bench stays laptop-sized (the bin runs all 14).
-    let kinds =
-        [DetectorKind::IForest, DetectorKind::Hbos, DetectorKind::Lof, DetectorKind::Knn];
+    let kinds = [DetectorKind::IForest, DetectorKind::Hbos, DetectorKind::Lof, DetectorKind::Knn];
     experiments::fig8(&kinds, &datasets, &cfg);
 
     let mut g = c.benchmark_group("fig8");

@@ -35,7 +35,11 @@ pub fn table3() {
 /// Table IV: the main result — per-model teacher average, UADB
 /// improvement, effects count and Wilcoxon p, for both metrics.
 /// Returns the raw pair results so callers (Fig. 10) can reuse them.
-pub fn table4(kinds: &[DetectorKind], datasets: &[Dataset], cfg: &ExperimentConfig) -> Vec<PairResult> {
+pub fn table4(
+    kinds: &[DetectorKind],
+    datasets: &[Dataset],
+    cfg: &ExperimentConfig,
+) -> Vec<PairResult> {
     let results = run_matrix(kinds, datasets, cfg);
     for (metric, name) in [(Metric::AucRoc, "AUCROC"), (Metric::Ap, "AP")] {
         let mut t = Table::new(vec![
@@ -65,8 +69,7 @@ pub fn table4(kinds: &[DetectorKind], datasets: &[Dataset], cfg: &ExperimentConf
 /// Table V: per-iteration booster performance for 4 representative
 /// teachers on their 5 most-improved datasets.
 pub fn table5(datasets: &[Dataset], cfg: &ExperimentConfig) {
-    let kinds =
-        [DetectorKind::IForest, DetectorKind::Hbos, DetectorKind::Lof, DetectorKind::Knn];
+    let kinds = [DetectorKind::IForest, DetectorKind::Hbos, DetectorKind::Lof, DetectorKind::Knn];
     let results = run_matrix(&kinds, datasets, cfg);
     for (metric, mname) in [(Metric::AucRoc, "AUCROC"), (Metric::Ap, "AP")] {
         for k in kinds {
@@ -84,7 +87,13 @@ pub fn table5(datasets: &[Dataset], cfg: &ExperimentConfig) {
                 ib.partial_cmp(&ia).unwrap()
             });
             let mut t = Table::new(vec![
-                "Datasets", "Teacher", "iter 2", "iter 4", "iter 6", "iter 8", "iter 10",
+                "Datasets",
+                "Teacher",
+                "iter 2",
+                "iter 4",
+                "iter 6",
+                "iter 8",
+                "iter 10",
                 "Improvement",
             ]);
             for r in rows.iter().take(5) {
@@ -207,7 +216,7 @@ pub fn fig2(cfg: &UadbConfig) -> Vec<VarianceEvidence> {
 
 /// Fig. 4: per-case booster score trajectories, UADB vs a static student.
 pub fn fig4(cfg: &UadbConfig) {
-    let d = fig5_dataset(AnomalyType::Clustered, setup::seed() ^ 0xf16_4).standardized();
+    let d = fig5_dataset(AnomalyType::Clustered, setup::seed() ^ 0xf164).standardized();
     let teacher = DetectorKind::IForest.build(cfg.seed).fit_score(&d.x).unwrap();
     let (traj, _) = trajectory::trace(&d, &teacher, cfg).unwrap();
     let mut t = Table::new(vec!["iter", "TN", "TP", "FP", "FN", "AUCROC"]);
@@ -325,10 +334,8 @@ pub fn fig6(kinds: &[DetectorKind], cfg: &ExperimentConfig) {
         "\nFig. 6 universe: {} datasets where anomalies do NOT have higher variance",
         failing.len()
     );
-    let datasets: Vec<Dataset> = setup::all_datasets()
-        .into_iter()
-        .filter(|d| failing.contains(&d.name))
-        .collect();
+    let datasets: Vec<Dataset> =
+        setup::all_datasets().into_iter().filter(|d| failing.contains(&d.name)).collect();
     if datasets.is_empty() {
         println!("(no failing datasets at this seed — evidence holds everywhere)");
         return;
@@ -336,11 +343,8 @@ pub fn fig6(kinds: &[DetectorKind], cfg: &ExperimentConfig) {
     let results = run_matrix(kinds, &datasets, cfg);
     let mut t = Table::new(vec!["Model", "median improv.", "q1", "q3", "improved on"]);
     for k in kinds {
-        let improvements: Vec<f64> = results
-            .iter()
-            .filter(|r| r.model == k.name())
-            .map(|r| r.auc_improvement())
-            .collect();
+        let improvements: Vec<f64> =
+            results.iter().filter(|r| r.model == k.name()).map(|r| r.auc_improvement()).collect();
         let b = BoxplotStats::from_values(&improvements).expect("non-empty");
         let wins = improvements.iter().filter(|v| **v > 0.0).count();
         t.row(vec![
@@ -359,7 +363,8 @@ pub fn fig7(kinds: &[DetectorKind], datasets: &[Dataset], cfg: &ExperimentConfig
     let mut sweep_cfg = cfg.clone();
     sweep_cfg.booster.t_steps = t_max;
     let results = run_matrix(kinds, datasets, &sweep_cfg);
-    let mut t = Table::new(vec!["Model", "iter 0", "iter 4", "iter 8", "iter 12", "iter 16", "iter 20"]);
+    let mut t =
+        Table::new(vec!["Model", "iter 0", "iter 4", "iter 8", "iter 12", "iter 16", "iter 20"]);
     for k in kinds {
         let rows: Vec<&PairResult> = results.iter().filter(|r| r.model == k.name()).collect();
         let mean_at = |i: usize| -> f64 {
@@ -436,7 +441,11 @@ pub fn fig9(cfg: &UadbConfig) {
 pub fn fig10(results: &[PairResult], kinds: &[DetectorKind]) {
     for (metric, name) in [(Metric::AucRoc, "AUCROC"), (Metric::Ap, "AP")] {
         let mut t = Table::new(vec![
-            "Model", "teacher median", "teacher q1..q3", "booster median", "booster q1..q3",
+            "Model",
+            "teacher median",
+            "teacher q1..q3",
+            "booster median",
+            "booster q1..q3",
         ]);
         for k in kinds {
             let (teacher, booster): (Vec<f64>, Vec<f64>) = results
@@ -466,11 +475,7 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> ExperimentConfig {
-        ExperimentConfig {
-            booster: UadbConfig::fast_for_tests(0),
-            n_runs: 1,
-            n_threads: 2,
-        }
+        ExperimentConfig { booster: UadbConfig::fast_for_tests(0), n_runs: 1, n_threads: 2 }
     }
 
     #[test]

@@ -136,6 +136,60 @@ impl fmt::Display for UadbError {
 
 impl std::error::Error for UadbError {}
 
+/// Affine score calibration fitted on the training set's final booster
+/// scores and stored with the model.
+///
+/// Raw ensemble outputs are sigmoid activations whose occupied range
+/// depends on the training run (a booster that converged to pseudo
+/// labels in `[0.1, 0.6]` never emits 0.9). Calibration maps the
+/// training scores onto exactly `[0, 1]` with constants **frozen at fit
+/// time**, so at serving time a 1-row request scores bit-identically to
+/// the same row inside a 10k-row batch — unlike re-running min-max per
+/// request batch, which would rescale every score by its batch-mates.
+/// Out-of-sample points may legitimately land slightly outside `[0, 1]`;
+/// they are *not* clamped, preserving the ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreCalibration {
+    /// Minimum raw ensemble score observed on the training set.
+    pub min: f64,
+    /// Occupied raw score range (guarded to stay positive).
+    pub range: f64,
+}
+
+impl ScoreCalibration {
+    /// Fits the constants from training-set scores. A constant or empty
+    /// score vector yields the identity-width guard `range = 1`.
+    pub fn fit(scores: &[f64]) -> Self {
+        match uadb_linalg::vecops::min_max(scores) {
+            Some((lo, hi)) if hi > lo => Self { min: lo, range: hi - lo },
+            Some((lo, _)) => Self { min: lo, range: 1.0 },
+            None => Self { min: 0.0, range: 1.0 },
+        }
+    }
+
+    /// Rebuilds calibration from persisted constants.
+    ///
+    /// # Panics
+    /// If `range` is not positive and finite or `min` is not finite.
+    pub fn from_parts(min: f64, range: f64) -> Self {
+        assert!(min.is_finite(), "calibration min must be finite");
+        assert!(range > 0.0 && range.is_finite(), "calibration range must be positive and finite");
+        Self { min, range }
+    }
+
+    /// Applies the affine map to one raw score.
+    pub fn apply(&self, raw: f64) -> f64 {
+        (raw - self.min) / self.range
+    }
+
+    /// Applies the affine map in place.
+    pub fn apply_vec(&self, scores: &mut [f64]) {
+        for s in scores {
+            *s = self.apply(*s);
+        }
+    }
+}
+
 /// The UADB trainer (unfitted).
 #[derive(Debug, Clone)]
 pub struct Uadb {
@@ -144,6 +198,7 @@ pub struct Uadb {
 
 /// A fitted UADB booster: the CV ensemble plus the full iteration
 /// history needed by the paper's analyses (Tables V, Figs. 4/7/9).
+#[derive(Debug)]
 pub struct UadbModel {
     ensemble: Vec<Mlp>,
     cfg: UadbConfig,
@@ -151,6 +206,8 @@ pub struct UadbModel {
     booster_history: Vec<Vec<f64>>,
     /// Pseudo labels `ŷ(1), …, ŷ(T+1)`.
     pseudo_history: Vec<Vec<f64>>,
+    /// Train-time score calibration (see [`ScoreCalibration`]).
+    calibration: ScoreCalibration,
 }
 
 impl Uadb {
@@ -185,10 +242,7 @@ impl Uadb {
                 hidden: cfg.hidden.clone(),
                 output_dim: 1,
                 activation: uadb_nn::Activation::Sigmoid,
-                seed: cfg
-                    .seed
-                    .wrapping_add((f + t * 7) as u64)
-                    .wrapping_mul(0x9e37_79b9),
+                seed: cfg.seed.wrapping_add((f + t * 7) as u64).wrapping_mul(0x9e37_79b9),
             })
         };
         let mut ensemble: Vec<Mlp> = (0..folds.len()).map(|f| build_member(f, 0)).collect();
@@ -215,7 +269,7 @@ impl Uadb {
                     shuffle_seed: cfg
                         .seed
                         .wrapping_add((t * 31 + f) as u64)
-                        .wrapping_mul(0x1000_0000_1b3),
+                        .wrapping_mul(0x0100_0000_01b3),
                 };
                 train_regression(mlp, &fold_x[f], &fold_targets, &tc);
             }
@@ -254,8 +308,7 @@ impl Uadb {
 
             // v̂ ← per-instance variance over [Ŷ, f_B(X)].
             let mut variance = vec![0.0; n];
-            let mut sample =
-                Vec::with_capacity(pseudo_history.len() + member_preds.len());
+            let mut sample = Vec::with_capacity(pseudo_history.len() + member_preds.len());
             for (i, slot) in variance.iter_mut().enumerate() {
                 sample.clear();
                 sample.extend(pseudo_history.iter().map(|h| h[i]));
@@ -287,7 +340,9 @@ impl Uadb {
             pseudo_history.push(pseudo.clone());
         }
 
-        Ok(UadbModel { ensemble, cfg: cfg.clone(), booster_history, pseudo_history })
+        let calibration =
+            ScoreCalibration::fit(booster_history.last().map(|v| v.as_slice()).unwrap_or(&[]));
+        Ok(UadbModel { ensemble, cfg: cfg.clone(), booster_history, pseudo_history, calibration })
     }
 }
 
@@ -324,16 +379,68 @@ fn ensemble_predict(ensemble: &[Mlp], x: &Matrix) -> Vec<f64> {
 }
 
 impl UadbModel {
+    /// Rebuilds a fitted model from persisted parts (the inverse of
+    /// [`UadbModel::ensemble`] + [`UadbModel::config`] +
+    /// [`UadbModel::calibration`], used by `uadb-serve`'s model files).
+    ///
+    /// The iteration histories are training-run artifacts and are not
+    /// persisted: on a restored model [`UadbModel::scores`],
+    /// [`UadbModel::booster_history`] and [`UadbModel::pseudo_history`]
+    /// return empty slices, while [`UadbModel::score`] and
+    /// [`UadbModel::score_calibrated`] behave bit-identically to the
+    /// original model.
+    ///
+    /// # Panics
+    /// If the ensemble is empty or its members disagree on input width.
+    pub fn from_parts(ensemble: Vec<Mlp>, cfg: UadbConfig, calibration: ScoreCalibration) -> Self {
+        assert!(!ensemble.is_empty(), "ensemble must have at least one member");
+        let dim = ensemble[0].input_dim();
+        assert!(
+            ensemble.iter().all(|m| m.input_dim() == dim),
+            "ensemble members must share an input dimension"
+        );
+        Self { ensemble, cfg, booster_history: Vec::new(), pseudo_history: Vec::new(), calibration }
+    }
+
     /// Final booster scores on the training rows (the paper's reported
     /// predictions — the booster replaces the teacher as the final UAD
     /// model).
+    ///
+    /// These are **raw** ensemble-averaged sigmoid outputs, the same
+    /// quantity [`UadbModel::score`] computes for arbitrary rows; both
+    /// live on the scale induced by the final pseudo labels. For scores
+    /// normalised onto the training set's `[0, 1]` with frozen
+    /// constants — the form `uadb-serve` returns — see
+    /// [`UadbModel::score_calibrated`].
     pub fn scores(&self) -> &[f64] {
         self.booster_history.last().map(|v| v.as_slice()).unwrap_or(&[])
     }
 
-    /// Scores arbitrary (e.g. held-out) rows with the fitted ensemble.
+    /// Raw scores for arbitrary (e.g. held-out) rows with the fitted
+    /// ensemble. Per-row and batch-size independent; on the training
+    /// rows this equals [`UadbModel::scores`].
     pub fn score(&self, x: &Matrix) -> Vec<f64> {
         ensemble_predict(&self.ensemble, x)
+    }
+
+    /// Calibrated scores for arbitrary rows: [`UadbModel::score`] mapped
+    /// through the stored train-time [`ScoreCalibration`]. Because the
+    /// constants are frozen at fit time, a row's calibrated score does
+    /// not depend on which batch it arrives in.
+    pub fn score_calibrated(&self, x: &Matrix) -> Vec<f64> {
+        let mut s = self.score(x);
+        self.calibration.apply_vec(&mut s);
+        s
+    }
+
+    /// The stored train-time score calibration.
+    pub fn calibration(&self) -> ScoreCalibration {
+        self.calibration
+    }
+
+    /// The fitted CV booster ensemble, in fold order.
+    pub fn ensemble(&self) -> &[Mlp] {
+        &self.ensemble
     }
 
     /// Booster output after each step `t = 1..=T` (Table V's `iter k`
@@ -449,17 +556,52 @@ mod tests {
     }
 
     #[test]
+    fn calibration_is_batch_size_independent() {
+        let d = fig5_dataset(AnomalyType::Global, 8).standardized();
+        let teacher = DetectorKind::Hbos.build(0).fit_score(&d.x).unwrap();
+        let model = Uadb::new(UadbConfig::fast_for_tests(0)).fit(&d.x, &teacher).unwrap();
+        // Training scores map onto exactly [0, 1].
+        let cal = model.calibration();
+        let calibrated = model.score_calibrated(&d.x);
+        let lo = calibrated.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = calibrated.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo.abs() < 1e-12 && (hi - 1.0).abs() < 1e-12, "[{lo}, {hi}]");
+        // A 1-row batch scores bit-identically to the row inside the
+        // full batch (the serving invariant).
+        let single = model.score_calibrated(&d.x.select_rows(&[5]));
+        assert_eq!(single[0].to_bits(), calibrated[5].to_bits());
+        // Round trip through persisted constants.
+        let rebuilt = ScoreCalibration::from_parts(cal.min, cal.range);
+        assert_eq!(rebuilt, cal);
+    }
+
+    #[test]
+    fn from_parts_restores_scoring_exactly() {
+        let d = fig5_dataset(AnomalyType::Local, 9).standardized();
+        let teacher = DetectorKind::Knn.build(0).fit_score(&d.x).unwrap();
+        let model = Uadb::new(UadbConfig::fast_for_tests(4)).fit(&d.x, &teacher).unwrap();
+        let restored = UadbModel::from_parts(
+            model.ensemble().to_vec(),
+            model.config().clone(),
+            model.calibration(),
+        );
+        assert_eq!(model.score(&d.x), restored.score(&d.x));
+        assert_eq!(model.score_calibrated(&d.x), restored.score_calibrated(&d.x));
+        // Histories are training artifacts and deliberately absent.
+        assert!(restored.scores().is_empty());
+        assert!(restored.booster_history().is_empty());
+        // On the training rows, score() equals the recorded final scores.
+        assert_eq!(model.score(&d.x), model.scores());
+    }
+
+    #[test]
     fn variance_correction_moves_pseudo_labels() {
         let d = fig5_dataset(AnomalyType::Clustered, 6).standardized();
         let teacher = DetectorKind::IForest.build(1).fit_score(&d.x).unwrap();
         let model = Uadb::new(UadbConfig::fast_for_tests(2)).fit(&d.x, &teacher).unwrap();
         let first = &model.pseudo_history()[0];
         let last = model.pseudo_history().last().unwrap();
-        let moved = first
-            .iter()
-            .zip(last)
-            .filter(|(a, b)| (**a - **b).abs() > 0.05)
-            .count();
+        let moved = first.iter().zip(last).filter(|(a, b)| (**a - **b).abs() > 0.05).count();
         assert!(moved > 0, "error correction must adjust some pseudo labels");
     }
 }

@@ -150,11 +150,7 @@ pub fn run_matrix(
         }
     })
     .expect("worker pool panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("all work items completed"))
-        .collect()
+    results.into_inner().into_iter().map(|r| r.expect("all work items completed")).collect()
 }
 
 fn effective_threads(requested: usize, n_work: usize) -> usize {
@@ -328,11 +324,7 @@ mod tests {
     use uadb_data::synth::{fig5_dataset, AnomalyType};
 
     fn quick_cfg() -> ExperimentConfig {
-        ExperimentConfig {
-            booster: UadbConfig::fast_for_tests(0),
-            n_runs: 1,
-            n_threads: 2,
-        }
+        ExperimentConfig { booster: UadbConfig::fast_for_tests(0), n_runs: 1, n_threads: 2 }
     }
 
     #[test]

@@ -128,10 +128,8 @@ mod tests {
         let cases = assign_cases(&d, &teacher);
         assert_eq!(cases.len(), d.n_samples());
         // anomaly count must equal TP + FN
-        let anoms = cases
-            .iter()
-            .filter(|c| matches!(c, Case::TruePositive | Case::FalseNegative))
-            .count();
+        let anoms =
+            cases.iter().filter(|c| matches!(c, Case::TruePositive | Case::FalseNegative)).count();
         assert_eq!(anoms, d.n_anomalies());
     }
 

@@ -50,11 +50,8 @@ pub fn probe(
 ) -> Result<VarianceEvidence, UadbError> {
     let student = BoosterScheme::Naive.run(&data.x, teacher_scores, cfg)?;
     let teacher = minmax_vec(teacher_scores);
-    let per_instance: Vec<f64> = teacher
-        .iter()
-        .zip(&student)
-        .map(|(&t, &s)| population_variance(&[t, s]))
-        .collect();
+    let per_instance: Vec<f64> =
+        teacher.iter().zip(&student).map(|(&t, &s)| population_variance(&[t, s])).collect();
     let mut sum_normal = 0.0;
     let mut n_normal = 0usize;
     let mut sum_abnormal = 0.0;
@@ -88,7 +85,7 @@ mod tests {
         let teacher = DetectorKind::IForest.build(0).fit_score(&d.x).unwrap();
         let ev = probe(&d, &teacher, &UadbConfig::fast_for_tests(0)).unwrap();
         assert_eq!(ev.per_instance.len(), d.n_samples());
-        assert!(ev.per_instance.iter().all(|&v| v >= 0.0 && v <= 0.25 + 1e-12));
+        assert!(ev.per_instance.iter().all(|&v| (0.0..=0.25 + 1e-12).contains(&v)));
         assert!(ev.mean_normal >= 0.0 && ev.mean_abnormal >= 0.0);
     }
 

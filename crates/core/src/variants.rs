@@ -165,11 +165,7 @@ fn train_static(
 
 /// Self-Booster training: iterative, but the next pseudo labels are the
 /// booster's own normalised output (no variance term).
-fn train_self(
-    x: &Matrix,
-    teacher_scores: &[f64],
-    cfg: &UadbConfig,
-) -> Result<Vec<f64>, UadbError> {
+fn train_self(x: &Matrix, teacher_scores: &[f64], cfg: &UadbConfig) -> Result<Vec<f64>, UadbError> {
     validate(x, teacher_scores)?;
     let mut pseudo = minmax_vec(teacher_scores);
     let (mut ensemble, train_idx, fold_x) = build_ensemble(x, cfg);

@@ -24,12 +24,13 @@ impl Dataset {
     /// # Panics
     /// If `labels.len() != x.rows()` — constructing a misaligned dataset
     /// is a programming error, not a recoverable condition.
-    pub fn new(name: impl Into<String>, x: Matrix, labels: Vec<u8>, category: &'static str) -> Self {
-        assert_eq!(
-            labels.len(),
-            x.rows(),
-            "label count must match sample count"
-        );
+    pub fn new(
+        name: impl Into<String>,
+        x: Matrix,
+        labels: Vec<u8>,
+        category: &'static str,
+    ) -> Self {
+        assert_eq!(labels.len(), x.rows(), "label count must match sample count");
         Self { name: name.into(), x, labels, category }
     }
 

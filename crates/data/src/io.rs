@@ -111,11 +111,7 @@ pub fn read_csv<R: BufRead>(
                 // Header row: skip.
                 continue;
             }
-            return Err(CsvError::Parse {
-                line: i + 1,
-                column: col,
-                cell: cells[col].to_string(),
-            });
+            return Err(CsvError::Parse { line: i + 1, column: col, cell: cells[col].to_string() });
         }
         match width {
             None => width = Some(parsed.len()),
@@ -147,10 +143,7 @@ pub fn read_csv<R: BufRead>(
 }
 
 /// Reads a dataset from a CSV file on disk.
-pub fn read_csv_file(
-    path: impl AsRef<Path>,
-    labels: LabelColumn,
-) -> Result<Dataset, CsvError> {
+pub fn read_csv_file(path: impl AsRef<Path>, labels: LabelColumn) -> Result<Dataset, CsvError> {
     let file = std::fs::File::open(&path)?;
     let name = path
         .as_ref()

@@ -28,5 +28,6 @@ pub mod suite;
 pub mod synth;
 
 pub use dataset::Dataset;
+pub use preprocess::Standardizer;
 pub use suite::{RosterEntry, SuiteScale, ROSTER};
 pub use synth::AnomalyType;

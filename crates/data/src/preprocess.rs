@@ -77,19 +77,79 @@ pub fn minmax_vec(v: &[f64]) -> Vec<f64> {
     }
 }
 
-/// Z-score standardisation per column; constant columns become zero.
-pub fn zscore(x: &Matrix) -> Matrix {
-    let means = col_means(x);
-    let vars = col_variances(x);
-    let stds: Vec<f64> = vars.iter().map(|v| if *v > 0.0 { v.sqrt() } else { 1.0 }).collect();
-    let mut out = x.clone();
-    for r in 0..out.rows() {
-        let row = out.row_mut(r);
-        for ((v, &m), &s) in row.iter_mut().zip(&means).zip(&stds) {
-            *v = (*v - m) / s;
-        }
+/// Z-score standardiser with persistable fitted constants.
+///
+/// ADBench standardises features before fitting any detector; a deployed
+/// model must replay the *training-time* means/stds on every request —
+/// re-fitting on a request batch would shift each row's coordinates with
+/// its batch-mates (a 1-row batch would collapse to all zeros). The
+/// accessors and [`Standardizer::from_parts`] exist so `uadb-serve` can
+/// write the constants into its model file and rebuild the transform at
+/// load time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Learns per-column means and standard deviations; constant columns
+    /// get `std = 1` so they map to zero.
+    pub fn fit(x: &Matrix) -> Self {
+        let means = col_means(x);
+        let stds = col_variances(x).iter().map(|v| if *v > 0.0 { v.sqrt() } else { 1.0 }).collect();
+        Self { means, stds }
     }
-    out
+
+    /// Rebuilds a standardiser from persisted constants.
+    ///
+    /// # Panics
+    /// If the vectors differ in length or any std is not positive.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Self {
+        assert_eq!(means.len(), stds.len(), "means/stds length mismatch");
+        assert!(stds.iter().all(|s| *s > 0.0 && s.is_finite()), "stds must be positive and finite");
+        Self { means, stds }
+    }
+
+    /// Applies the learned transform to a matrix with the fitted column
+    /// count.
+    ///
+    /// # Panics
+    /// If `x` has a different number of columns than the fit data.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "column count differs from fit data");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Number of columns the transform expects.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Fitted per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted per-column standard deviations (1 for constant columns).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// Z-score standardisation per column; constant columns become zero.
+///
+/// One-shot form of [`Standardizer`]: fits and transforms the same
+/// matrix, discarding the constants.
+pub fn zscore(x: &Matrix) -> Matrix {
+    Standardizer::fit(x).transform(x)
 }
 
 #[cfg(test)]
@@ -138,6 +198,37 @@ mod tests {
                 assert_eq!(v[i] < v[j], s[i] < s[j]);
             }
         }
+    }
+
+    #[test]
+    fn standardizer_round_trips_through_parts() {
+        let x = Matrix::from_vec(4, 2, vec![2.0, 7.0, 4.0, 7.0, 6.0, 7.0, 8.0, 7.0]).unwrap();
+        let s = Standardizer::fit(&x);
+        let rebuilt = Standardizer::from_parts(s.means().to_vec(), s.stds().to_vec());
+        assert_eq!(rebuilt, s);
+        assert_eq!(s.transform(&x).as_slice(), rebuilt.transform(&x).as_slice());
+        assert_eq!(s.n_features(), 2);
+        // Constant column: mean 7, std snapped to 1 -> transforms to 0.
+        assert_eq!(s.stds()[1], 1.0);
+        assert!(s.transform(&x).col(1).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn standardizer_applies_train_constants_to_single_row() {
+        // The serving property: one row standardised alone must match the
+        // same row inside the training batch.
+        let train = Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]).unwrap();
+        let s = Standardizer::fit(&train);
+        let full = s.transform(&train);
+        let single = s.transform(&Matrix::from_vec(1, 1, vec![2.0]).unwrap());
+        assert_eq!(single.get(0, 0), full.get(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn standardizer_rejects_wrong_width() {
+        let s = Standardizer::fit(&Matrix::filled(2, 2, 1.0));
+        let _ = s.transform(&Matrix::filled(2, 3, 1.0));
     }
 
     #[test]

@@ -286,10 +286,7 @@ mod tests {
         for name in ["35_smtp", "28_Parkinson"] {
             let d = generate_by_name(name, SuiteScale::Quick, 1).unwrap();
             assert!(d.n_anomalies() >= 1, "{name} must keep >=1 anomaly");
-            assert!(
-                d.n_samples() - d.n_anomalies() >= 2,
-                "{name} must keep >=2 inliers"
-            );
+            assert!(d.n_samples() - d.n_anomalies() >= 2, "{name} must keep >=2 inliers");
         }
     }
 

@@ -139,8 +139,8 @@ impl GaussianMixtureModel {
         let mu = &self.means[comp];
         for i in 0..self.dim {
             let mut v = 0.0;
-            for j in 0..=i {
-                v += l.get(i, j) * z[j];
+            for (j, &zj) in z.iter().enumerate().take(i + 1) {
+                v += l.get(i, j) * zj;
             }
             row[i] = mu[i] + scale * v;
         }
@@ -276,7 +276,7 @@ pub fn generate(name: impl Into<String>, category: &'static str, cfg: &SynthConf
 
     let x = inliers.vstack(&anomalies).expect("same dim");
     let mut labels = vec![0u8; cfg.n_inliers];
-    labels.extend(std::iter::repeat(1u8).take(anomalies.rows()));
+    labels.extend(std::iter::repeat_n(1u8, anomalies.rows()));
 
     // Shuffle rows deterministically.
     let mut order: Vec<usize> = (0..x.rows()).collect();
@@ -327,8 +327,7 @@ fn sample_clustered(
     let d = gmm.dim();
     let means = uadb_linalg::colstats::col_means(inliers);
     let vars = uadb_linalg::colstats::col_variances(inliers);
-    let spread: f64 =
-        (vars.iter().sum::<f64>() / d as f64).sqrt().max(1e-6);
+    let spread: f64 = (vars.iter().sum::<f64>() / d as f64).sqrt().max(1e-6);
     let n_blobs = 1 + (n > 10) as usize;
     let normal = rand_distr_standard_normal();
     let mut centers = Vec::with_capacity(n_blobs);
@@ -336,11 +335,8 @@ fn sample_clustered(
         // Random unit direction scaled to `offset` spreads.
         let dir: Vec<f64> = (0..d).map(|_| normal.sample(rng)).collect();
         let norm = uadb_linalg::vecops::norm2(&dir).max(1e-12);
-        let center: Vec<f64> = means
-            .iter()
-            .zip(&dir)
-            .map(|(m, dv)| m + offset * spread * dv / norm)
-            .collect();
+        let center: Vec<f64> =
+            means.iter().zip(&dir).map(|(m, dv)| m + offset * spread * dv / norm).collect();
         centers.push(center);
     }
     let mut out = Matrix::zeros(n, d);
@@ -470,9 +466,7 @@ mod tests {
             .x
             .row_iter()
             .zip(&d.labels)
-            .filter(|(row, &l)| {
-                l == 1 && (0..2).any(|j| row[j] < in_lo[j] || row[j] > in_hi[j])
-            })
+            .filter(|(row, &l)| l == 1 && (0..2).any(|j| row[j] < in_lo[j] || row[j] > in_hi[j]))
             .count();
         assert!(outside > 0, "some global anomalies must fall outside the box");
     }
@@ -480,22 +474,12 @@ mod tests {
     #[test]
     fn clustered_anomalies_are_compact_and_far() {
         let d = fig5_dataset(AnomalyType::Clustered, 3);
-        let anoms: Vec<&[f64]> = d
-            .x
-            .row_iter()
-            .zip(&d.labels)
-            .filter(|(_, &l)| l == 1)
-            .map(|(r, _)| r)
-            .collect();
-        let inliers: Vec<&[f64]> = d
-            .x
-            .row_iter()
-            .zip(&d.labels)
-            .filter(|(_, &l)| l == 0)
-            .map(|(r, _)| r)
-            .collect();
+        let anoms: Vec<&[f64]> =
+            d.x.row_iter().zip(&d.labels).filter(|(_, &l)| l == 1).map(|(r, _)| r).collect();
+        let inliers: Vec<&[f64]> =
+            d.x.row_iter().zip(&d.labels).filter(|(_, &l)| l == 0).map(|(r, _)| r).collect();
         let centroid = |rows: &[&[f64]]| {
-            let mut c = vec![0.0; 2];
+            let mut c = [0.0; 2];
             for r in rows {
                 c[0] += r[0];
                 c[1] += r[1];
@@ -506,16 +490,12 @@ mod tests {
         // Every clustered anomaly sits a multiple of the inlier spread away
         // from the inlier centroid (two blobs may straddle it, so test
         // per-point distance, not the blob centroid).
-        let mean_dist: f64 = anoms
-            .iter()
-            .map(|a| uadb_linalg::distance::euclidean(a, &ci))
-            .sum::<f64>()
-            / anoms.len() as f64;
-        let inlier_mean_dist: f64 = inliers
-            .iter()
-            .map(|a| uadb_linalg::distance::euclidean(a, &ci))
-            .sum::<f64>()
-            / inliers.len() as f64;
+        let mean_dist: f64 =
+            anoms.iter().map(|a| uadb_linalg::distance::euclidean(a, &ci)).sum::<f64>()
+                / anoms.len() as f64;
+        let inlier_mean_dist: f64 =
+            inliers.iter().map(|a| uadb_linalg::distance::euclidean(a, &ci)).sum::<f64>()
+                / inliers.len() as f64;
         assert!(
             mean_dist > 1.5 * inlier_mean_dist,
             "clustered anomalies should be displaced: {mean_dist} vs inlier {inlier_mean_dist}"

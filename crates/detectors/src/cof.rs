@@ -96,8 +96,7 @@ impl Detector for Cof {
                 got: x.cols(),
             });
         }
-        let self_query =
-            f.train.shape() == x.shape() && f.train.as_slice() == x.as_slice();
+        let self_query = f.train.shape() == x.shape() && f.train.as_slice() == x.as_slice();
         let nn = knn_search(&f.train, x, self.n_neighbors, self_query);
         Ok(nn
             .iter()

@@ -11,14 +11,9 @@ use crate::traits::{Detector, DetectorError};
 use uadb_linalg::Matrix;
 
 /// The COPOD detector.
+#[derive(Default)]
 pub struct Copod {
     dims: Vec<EcdfDim>,
-}
-
-impl Default for Copod {
-    fn default() -> Self {
-        Self { dims: Vec::new() }
-    }
 }
 
 impl Detector for Copod {
@@ -81,9 +76,8 @@ mod tests {
         // A point extreme-left in dim 0 and extreme-right in dim 1:
         // COPOD (per-dim max, then sum) rates it higher than ECOD's
         // whole-vector aggregation on at least some inputs.
-        let mut rows: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![(i % 10) as f64, ((i * 7) % 10) as f64])
-            .collect();
+        let mut rows: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![(i % 10) as f64, ((i * 7) % 10) as f64]).collect();
         rows.push(vec![-50.0, 50.0]);
         let x = Matrix::from_rows(&rows).unwrap();
         let sc = Copod::default().fit_score(&x).unwrap();
@@ -100,8 +94,8 @@ mod tests {
     #[test]
     fn copod_dominates_ecod_per_sample() {
         // By construction Σ_d max(...) >= max(Σ_d ...) for each sample.
-        let x = Matrix::from_vec(40, 3, (0..120).map(|i| ((i * 13) % 29) as f64).collect())
-            .unwrap();
+        let x =
+            Matrix::from_vec(40, 3, (0..120).map(|i| ((i * 13) % 29) as f64).collect()).unwrap();
         let sc = Copod::default().fit_score(&x).unwrap();
         let se = Ecod::default().fit_score(&x).unwrap();
         for (c, e) in sc.iter().zip(&se) {

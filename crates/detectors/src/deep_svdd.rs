@@ -96,10 +96,7 @@ impl Detector for DeepSvdd {
     fn score(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
         let f = self.fitted.as_ref().ok_or(DetectorError::NotFitted)?;
         if x.cols() != f.n_features {
-            return Err(DetectorError::DimensionMismatch {
-                expected: f.n_features,
-                got: x.cols(),
-            });
+            return Err(DetectorError::DimensionMismatch { expected: f.n_features, got: x.cols() });
         }
         let emb = f.mlp.forward(x);
         Ok((0..emb.rows())
@@ -138,12 +135,7 @@ mod tests {
         let mut d = DeepSvdd::with_seed(0);
         let s = d.fit_score(&x).unwrap();
         let inlier_mean: f64 = s[..60].iter().sum::<f64>() / 60.0;
-        assert!(
-            s[60] > inlier_mean,
-            "outlier {} vs inlier mean {}",
-            s[60],
-            inlier_mean
-        );
+        assert!(s[60] > inlier_mean, "outlier {} vs inlier mean {}", s[60], inlier_mean);
     }
 
     #[test]

@@ -55,14 +55,9 @@ pub(crate) fn sample_skewness(values: &[f64]) -> f64 {
 }
 
 /// The ECOD detector.
+#[derive(Default)]
 pub struct Ecod {
     dims: Vec<EcdfDim>,
-}
-
-impl Default for Ecod {
-    fn default() -> Self {
-        Self { dims: Vec::new() }
-    }
 }
 
 impl Detector for Ecod {

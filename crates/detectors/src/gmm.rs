@@ -157,10 +157,8 @@ impl Detector for Gmm {
             // E step: responsibilities and total log-likelihood.
             let mut ll = 0.0;
             for (i, row) in x.row_iter().enumerate() {
-                let logs: Vec<f64> = components
-                    .iter()
-                    .map(|comp| Self::log_prob(comp, row, &mut scratch))
-                    .collect();
+                let logs: Vec<f64> =
+                    components.iter().map(|comp| Self::log_prob(comp, row, &mut scratch)).collect();
                 let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 let sum_exp: f64 = logs.iter().map(|l| (l - max).exp()).sum();
                 let log_total = max + sum_exp.ln();

@@ -77,9 +77,7 @@ impl Detector for Hbos {
         if n == 0 || d == 0 {
             return Err(DetectorError::EmptyInput);
         }
-        self.histograms = (0..d)
-            .map(|j| DimHistogram::build(&x.col(j), self.n_bins))
-            .collect();
+        self.histograms = (0..d).map(|j| DimHistogram::build(&x.col(j), self.n_bins)).collect();
         Ok(())
     }
 

@@ -241,12 +241,8 @@ mod tests {
         let x = blob_with_outlier();
         let mut f = IForest::with_seed(7);
         let scores = f.fit_score(&x).unwrap();
-        let max_idx = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let max_idx =
+            scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(max_idx, 60, "the far point must get the top score");
         // Scores live in (0, 1).
         assert!(scores.iter().all(|&s| s > 0.0 && s < 1.0));

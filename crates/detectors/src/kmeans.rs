@@ -91,15 +91,15 @@ pub fn kmeans(x: &Matrix, k: usize, max_iter: usize, seed: u64) -> KMeans {
                 *s += v;
             }
         }
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, count) in counts.iter_mut().enumerate().take(k) {
+            if *count == 0 {
                 // Re-seed an empty cluster at a random point.
                 let pick = rng.gen_range(0..n);
                 let src: Vec<f64> = x.row(pick).to_vec();
                 sums.row_mut(c).copy_from_slice(&src);
-                counts[c] = 1;
+                *count = 1;
             }
-            let inv = 1.0 / counts[c] as f64;
+            let inv = 1.0 / *count as f64;
             for v in sums.row_mut(c) {
                 *v *= inv;
             }
@@ -170,10 +170,8 @@ mod tests {
         let x = Matrix::from_vec(4, 1, vec![0.0, 1.0, 10.0, 11.0]).unwrap();
         let km = kmeans(&x, 2, 50, 3);
         for c in 0..2 {
-            let members: Vec<f64> = (0..4)
-                .filter(|&i| km.assignment[i] == c)
-                .map(|i| x.get(i, 0))
-                .collect();
+            let members: Vec<f64> =
+                (0..4).filter(|&i| km.assignment[i] == c).map(|i| x.get(i, 0)).collect();
             let mean = members.iter().sum::<f64>() / members.len() as f64;
             assert!((km.centroids.get(c, 0) - mean).abs() < 1e-9);
         }

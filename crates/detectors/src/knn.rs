@@ -37,20 +37,14 @@ impl Detector for Knn {
     fn score(&self, x: &Matrix) -> Result<Vec<f64>, DetectorError> {
         let train = self.train.as_ref().ok_or(DetectorError::NotFitted)?;
         if x.cols() != train.cols() {
-            return Err(DetectorError::DimensionMismatch {
-                expected: train.cols(),
-                got: x.cols(),
-            });
+            return Err(DetectorError::DimensionMismatch { expected: train.cols(), got: x.cols() });
         }
         // Self-queries (same buffer) exclude the trivial zero match so
         // train-set scoring matches PyOD's fitted `decision_scores_`.
         let self_query = std::ptr::eq(train, x)
             || (train.shape() == x.shape() && train.as_slice() == x.as_slice());
         let nn = knn_search(train, x, self.n_neighbors, self_query);
-        Ok(nn
-            .into_iter()
-            .map(|n| n.distances.last().copied().unwrap_or(0.0))
-            .collect())
+        Ok(nn.into_iter().map(|n| n.distances.last().copied().unwrap_or(0.0)).collect())
     }
 }
 

@@ -90,8 +90,7 @@ impl Detector for Loda {
                         // Box-Muller standard normal weight.
                         let u1: f64 = 1.0 - rng.gen::<f64>();
                         let u2: f64 = rng.gen();
-                        let w = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let w = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         (j, w)
                     })
                     .collect();
@@ -130,12 +129,7 @@ impl Detector for Loda {
         let inv = 1.0 / self.cuts.len() as f64;
         Ok(x.row_iter()
             .map(|row| {
-                -self
-                    .cuts
-                    .iter()
-                    .map(|cut| cut.log_prob(cut.project(row)))
-                    .sum::<f64>()
-                    * inv
+                -self.cuts.iter().map(|cut| cut.log_prob(cut.project(row))).sum::<f64>() * inv
             })
             .collect())
     }

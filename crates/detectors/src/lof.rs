@@ -85,8 +85,8 @@ impl Detector for Lof {
                 got: x.cols(),
             });
         }
-        let self_query = fitted.train.shape() == x.shape()
-            && fitted.train.as_slice() == x.as_slice();
+        let self_query =
+            fitted.train.shape() == x.shape() && fitted.train.as_slice() == x.as_slice();
         let nn = knn_search(&fitted.train, x, self.n_neighbors, self_query);
         let query_lrd = self.lrds(fitted, &nn);
         Ok(nn

@@ -76,8 +76,7 @@ pub fn knn_search(
                 }
             }
         }
-        let mut pairs: Vec<(f64, usize)> =
-            heap.drain().map(|h| (h.dist, h.idx)).collect();
+        let mut pairs: Vec<(f64, usize)> = heap.drain().map(|h| (h.dist, h.idx)).collect();
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
         out.push(Neighbors {
             indices: pairs.iter().map(|p| p.1).collect(),

@@ -139,9 +139,8 @@ impl Detector for OcSvm {
 
         // rho = average gradient over free support vectors (0 < α < C);
         // fall back to the mid-violation estimate if none are free.
-        let free: Vec<usize> = (0..n)
-            .filter(|&t| alpha[t] > 1e-12 && alpha[t] < c - 1e-12)
-            .collect();
+        let free: Vec<usize> =
+            (0..n).filter(|&t| alpha[t] > 1e-12 && alpha[t] < c - 1e-12).collect();
         let rho = if free.is_empty() {
             let lo = (0..n)
                 .filter(|&t| alpha[t] > 1e-12)

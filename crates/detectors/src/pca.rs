@@ -16,6 +16,7 @@ use uadb_linalg::Matrix;
 const EIGEN_TOL: f64 = 1e-10;
 
 /// The PCA detector.
+#[derive(Default)]
 pub struct Pca {
     fitted: Option<Fitted>,
 }
@@ -26,12 +27,6 @@ struct Fitted {
     components: Matrix,
     /// Matching eigenvalues (descending).
     eigenvalues: Vec<f64>,
-}
-
-impl Default for Pca {
-    fn default() -> Self {
-        Self { fitted: None }
-    }
 }
 
 impl Detector for Pca {
@@ -124,9 +119,8 @@ mod tests {
     fn score_is_mahalanobis_like() {
         // For isotropic data the score approximates squared z-norm.
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let rows: Vec<Vec<f64>> = (0..500)
-            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..500).map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]).collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let mut p = Pca::default();
         p.fit(&x).unwrap();

@@ -46,10 +46,8 @@ impl Sod {
         let d = f.train.cols();
         // Reference set: candidates most similar by SNN overlap with the
         // query's own candidate list.
-        let mut sims: Vec<(usize, usize)> = candidates
-            .iter()
-            .map(|&c| (snn_overlap(candidates, &f.knn_lists[c]), c))
-            .collect();
+        let mut sims: Vec<(usize, usize)> =
+            candidates.iter().map(|&c| (snn_overlap(candidates, &f.knn_lists[c]), c)).collect();
         sims.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
         let take = self.ref_set.min(sims.len()).max(1);
         let refs: Vec<usize> = sims[..take].iter().map(|s| s.1).collect();
@@ -117,14 +115,9 @@ impl Detector for Sod {
                 got: x.cols(),
             });
         }
-        let self_query =
-            f.train.shape() == x.shape() && f.train.as_slice() == x.as_slice();
+        let self_query = f.train.shape() == x.shape() && f.train.as_slice() == x.as_slice();
         let nn = knn_search(&f.train, x, self.n_neighbors, self_query);
-        Ok(nn
-            .iter()
-            .enumerate()
-            .map(|(i, n)| self.score_point(f, x.row(i), &n.indices))
-            .collect())
+        Ok(nn.iter().enumerate().map(|(i, n)| self.score_point(f, x.row(i), &n.indices)).collect())
     }
 }
 
@@ -139,9 +132,8 @@ mod tests {
         // Inliers: tight in dim 0 (the relevant subspace), uniform noise in
         // dim 1. The outlier deviates only in dim 0.
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let mut rows: Vec<Vec<f64>> = (0..60)
-            .map(|_| vec![rng.gen_range(-0.05..0.05), rng.gen_range(-5.0..5.0)])
-            .collect();
+        let mut rows: Vec<Vec<f64>> =
+            (0..60).map(|_| vec![rng.gen_range(-0.05..0.05), rng.gen_range(-5.0..5.0)]).collect();
         rows.push(vec![3.0, 0.0]);
         let x = Matrix::from_rows(&rows).unwrap();
         let mut sod = Sod { n_neighbors: 12, ref_set: 6, ..Sod::default() };
@@ -161,7 +153,9 @@ mod tests {
     fn inliers_score_lower_than_outlier_on_average() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let mut rows: Vec<Vec<f64>> = (0..50)
-            .map(|_| vec![rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1), rng.gen_range(-3.0..3.0)])
+            .map(|_| {
+                vec![rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1), rng.gen_range(-3.0..3.0)]
+            })
             .collect();
         rows.push(vec![2.0, -2.0, 0.0]);
         let x = Matrix::from_rows(&rows).unwrap();

@@ -152,9 +152,7 @@ impl DetectorKind {
 
     /// Parses a paper-style name (case-insensitive).
     pub fn from_name(name: &str) -> Option<Self> {
-        Self::ALL
-            .into_iter()
-            .find(|k| k.name().eq_ignore_ascii_case(name))
+        Self::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(name))
     }
 
     /// Instantiates the detector with PyOD default hyper-parameters.

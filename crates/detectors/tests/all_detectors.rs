@@ -9,20 +9,12 @@ use uadb_metrics::roc_auc;
 
 #[test]
 fn every_detector_scores_suite_dataset_finite() {
-    let d = generate_by_name("12_glass", SuiteScale::Quick, 0)
-        .unwrap()
-        .standardized();
+    let d = generate_by_name("12_glass", SuiteScale::Quick, 0).unwrap().standardized();
     for kind in DetectorKind::ALL {
         let mut det = kind.build(7);
-        let scores = det
-            .fit_score(&d.x)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+        let scores = det.fit_score(&d.x).unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
         assert_eq!(scores.len(), d.n_samples(), "{}", kind.name());
-        assert!(
-            scores.iter().all(|s| s.is_finite()),
-            "{} produced non-finite scores",
-            kind.name()
-        );
+        assert!(scores.iter().all(|s| s.is_finite()), "{} produced non-finite scores", kind.name());
         // Scores must not be constant — a constant detector carries no
         // ranking information for the booster to distil.
         let (lo, hi) = uadb_linalg::vecops::min_max(&scores).unwrap();
@@ -40,19 +32,13 @@ fn every_detector_beats_random_on_global_anomalies() {
         let mut det = kind.build(3);
         let scores = det.fit_score(&d.x).unwrap();
         let auc = roc_auc(&labels, &scores);
-        assert!(
-            auc > 0.6,
-            "{} AUC {auc:.3} should exceed 0.6 on global anomalies",
-            kind.name()
-        );
+        assert!(auc > 0.6, "{} AUC {auc:.3} should exceed 0.6 on global anomalies", kind.name());
     }
 }
 
 #[test]
 fn detectors_are_deterministic_given_seed() {
-    let d = generate_by_name("39_thyroid", SuiteScale::Quick, 1)
-        .unwrap()
-        .standardized();
+    let d = generate_by_name("39_thyroid", SuiteScale::Quick, 1).unwrap().standardized();
     for kind in DetectorKind::ALL {
         let a = kind.build(11).fit_score(&d.x).unwrap();
         let b = kind.build(11).fit_score(&d.x).unwrap();

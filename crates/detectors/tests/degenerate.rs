@@ -22,9 +22,7 @@ fn check(kind: DetectorKind, x: &Matrix, label: &str) {
             );
         }
         Err(
-            DetectorError::EmptyInput
-            | DetectorError::NoConvergence(_)
-            | DetectorError::Linalg(_),
+            DetectorError::EmptyInput | DetectorError::NoConvergence(_) | DetectorError::Linalg(_),
         ) => {} // refusing degenerate input is acceptable
         Err(e) => panic!("{} unexpected error on {label}: {e}", kind.name()),
     }
@@ -58,12 +56,8 @@ fn single_feature() {
 fn more_features_than_samples() {
     // 8 samples in 20 dimensions: covariance is rank-deficient, kNN
     // neighbourhoods are tiny — the classic small-data pathology.
-    let x = Matrix::from_vec(
-        8,
-        20,
-        (0..160).map(|i| ((i * 37) % 23) as f64 * 0.1).collect(),
-    )
-    .unwrap();
+    let x =
+        Matrix::from_vec(8, 20, (0..160).map(|i| ((i * 37) % 23) as f64 * 0.1).collect()).unwrap();
     for kind in DetectorKind::ALL {
         check(kind, &x, "d > n");
     }

@@ -126,9 +126,7 @@ mod tests {
         let x = Matrix::from_vec(
             5,
             3,
-            vec![
-                0.1, 2.0, -1.0, 0.4, 1.0, 3.0, -0.5, 0.0, 1.5, 2.2, -1.0, 0.3, 1.0, 1.0, 1.0,
-            ],
+            vec![0.1, 2.0, -1.0, 0.4, 1.0, 3.0, -0.5, 0.0, 1.5, 2.2, -1.0, 0.3, 1.0, 1.0, 1.0],
         )
         .unwrap();
         let c = covariance(&x).unwrap();

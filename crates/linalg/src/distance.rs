@@ -101,8 +101,8 @@ mod tests {
 
     #[test]
     fn triangle_inequality_holds() {
-        let x = Matrix::from_vec(3, 3, vec![1.0, 0.5, -1.0, 2.0, 2.0, 2.0, -3.0, 0.0, 4.0])
-            .unwrap();
+        let x =
+            Matrix::from_vec(3, 3, vec![1.0, 0.5, -1.0, 2.0, 2.0, 2.0, -3.0, 0.0, 4.0]).unwrap();
         let d = pairwise(&x);
         for i in 0..3 {
             for j in 0..3 {

@@ -155,9 +155,7 @@ mod tests {
         let a = Matrix::from_vec(
             4,
             4,
-            vec![
-                4.0, 1.0, 0.5, 0.0, 1.0, 3.0, 0.2, 0.1, 0.5, 0.2, 2.0, 0.3, 0.0, 0.1, 0.3, 1.0,
-            ],
+            vec![4.0, 1.0, 0.5, 0.0, 1.0, 3.0, 0.2, 0.1, 0.5, 0.2, 2.0, 0.3, 0.0, 0.1, 0.3, 1.0],
         )
         .unwrap();
         let e = sym_eigen(&a).unwrap();
@@ -196,8 +194,8 @@ mod tests {
 
     #[test]
     fn trace_equals_eigenvalue_sum() {
-        let a = Matrix::from_vec(3, 3, vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0])
-            .unwrap();
+        let a =
+            Matrix::from_vec(3, 3, vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]).unwrap();
         let e = sym_eigen(&a).unwrap();
         let trace = 6.0;
         assert!((e.values.iter().sum::<f64>() - trace).abs() < 1e-9);

@@ -84,13 +84,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            LinalgError::Singular { op: "x" },
-            LinalgError::Singular { op: "x" }
-        );
-        assert_ne!(
-            LinalgError::Singular { op: "x" },
-            LinalgError::Empty { op: "x" }
-        );
+        assert_eq!(LinalgError::Singular { op: "x" }, LinalgError::Singular { op: "x" });
+        assert_ne!(LinalgError::Singular { op: "x" }, LinalgError::Empty { op: "x" });
     }
 }

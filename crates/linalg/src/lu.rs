@@ -85,15 +85,15 @@ impl LuDecomposition {
         let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                sum -= self.lu.get(i, j) * xj;
             }
             x[i] = sum;
         }
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.lu.get(i, j) * xj;
             }
             x[i] = sum / self.lu.get(i, i);
         }
@@ -109,8 +109,8 @@ impl LuDecomposition {
             e[c] = 1.0;
             let col = self.solve(&e)?;
             e[c] = 0.0;
-            for r in 0..n {
-                inv.set(r, c, col[r]);
+            for (r, &v) in col.iter().enumerate() {
+                inv.set(r, c, v);
             }
         }
         Ok(inv)
@@ -168,10 +168,7 @@ mod tests {
     #[test]
     fn singular_matrix_rejected() {
         let s = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
-        assert!(matches!(
-            LuDecomposition::new(&s),
-            Err(LinalgError::Singular { .. })
-        ));
+        assert!(matches!(LuDecomposition::new(&s), Err(LinalgError::Singular { .. })));
     }
 
     #[test]

@@ -220,10 +220,7 @@ impl Matrix {
                 rhs: (v.len(), 1),
             });
         }
-        Ok(self
-            .row_iter()
-            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok(self.row_iter().map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Element-wise sum `self + rhs`.
@@ -291,11 +288,7 @@ impl Matrix {
     /// difference); useful in tests.
     pub fn max_abs_diff(&self, rhs: &Matrix) -> f64 {
         debug_assert_eq!(self.shape(), rhs.shape());
-        self.data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&rhs.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 
@@ -384,10 +377,7 @@ mod tests {
     fn matmul_shape_mismatch() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(
-            a.matmul(&b),
-            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
-        ));
+        assert!(matches!(a.matmul(&b), Err(LinalgError::ShapeMismatch { op: "matmul", .. })));
     }
 
     #[test]

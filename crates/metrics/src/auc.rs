@@ -16,12 +16,8 @@ pub fn roc_auc(labels: &[f64], scores: &[f64]) -> f64 {
         return 0.5;
     }
     let ranks = average_ranks(scores);
-    let rank_sum_pos: f64 = labels
-        .iter()
-        .zip(&ranks)
-        .filter(|(&l, _)| l > 0.5)
-        .map(|(_, &r)| r)
-        .sum();
+    let rank_sum_pos: f64 =
+        labels.iter().zip(&ranks).filter(|(&l, _)| l > 0.5).map(|(_, &r)| r).sum();
     let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
     u / (n_pos * n_neg) as f64
 }
@@ -46,13 +42,11 @@ pub fn average_precision(labels: &[f64], scores: &[f64]) -> f64 {
     // Handle tied scores as a block: precision is evaluated at the end of
     // each distinct-score group, with recall mass = positives in group.
     for &i in &idx {
-        if scores[i] != prev_score && seen > 0 {
-            if pending_tp > 0 {
-                tp += pending_tp;
-                let precision = tp as f64 / seen as f64;
-                ap += precision * pending_tp as f64;
-                pending_tp = 0;
-            }
+        if scores[i] != prev_score && seen > 0 && pending_tp > 0 {
+            tp += pending_tp;
+            let precision = tp as f64 / seen as f64;
+            ap += precision * pending_tp as f64;
+            pending_tp = 0;
         }
         prev_score = scores[i];
         seen += 1;

@@ -43,8 +43,8 @@ proptest! {
     #[test]
     fn ap_is_bounded_and_at_least_prevalence_for_perfect((n_pos, n_neg) in (1usize..10, 1usize..10)) {
         // Perfect ranking: all positives above all negatives -> AP = 1.
-        let labels: Vec<f64> = std::iter::repeat(0.0).take(n_neg)
-            .chain(std::iter::repeat(1.0).take(n_pos)).collect();
+        let labels: Vec<f64> =
+            std::iter::repeat_n(0.0, n_neg).chain(std::iter::repeat_n(1.0, n_pos)).collect();
         let scores: Vec<f64> = (0..labels.len()).map(|i| i as f64).collect();
         let ap = average_precision(&labels, &scores);
         prop_assert!((ap - 1.0).abs() < 1e-12);

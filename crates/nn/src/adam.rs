@@ -45,10 +45,8 @@ impl AdamState {
         self.t += 1;
         let b1t = 1.0 - hp.beta1.powi(self.t as i32);
         let b2t = 1.0 - hp.beta2.powi(self.t as i32);
-        for ((p, &g), (m, v)) in params
-            .iter_mut()
-            .zip(grads)
-            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        for ((p, &g), (m, v)) in
+            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
             *m = hp.beta1 * *m + (1.0 - hp.beta1) * g;
             *v = hp.beta2 * *v + (1.0 - hp.beta2) * g * g;

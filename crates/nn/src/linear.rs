@@ -105,9 +105,33 @@ impl Linear {
         self.adam_b.step(&mut self.b, &self.grad_b, hp);
     }
 
+    /// Rebuilds a layer from persisted parameters (fresh optimiser
+    /// state: gradients and Adam moments start at zero, exactly as after
+    /// [`Linear::new`]).
+    ///
+    /// # Panics
+    /// If `bias` length differs from the weight matrix's column count.
+    pub fn from_parts(w: Matrix, b: Vec<f64>) -> Self {
+        assert_eq!(b.len(), w.cols(), "bias length must match weight output dimension");
+        let (input, output) = w.shape();
+        Self {
+            grad_w: vec![0.0; input * output],
+            grad_b: vec![0.0; output],
+            adam_w: AdamState::new(input * output),
+            adam_b: AdamState::new(output),
+            w,
+            b,
+        }
+    }
+
     /// Read-only weight access (tests, serialisation).
     pub fn weights(&self) -> &Matrix {
         &self.w
+    }
+
+    /// Read-only bias access (serialisation).
+    pub fn bias(&self) -> &[f64] {
+        &self.b
     }
 
     /// Mutable weight access (finite-difference gradient checks).
@@ -140,6 +164,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // idx addresses two parallel buffers
     fn backward_gradients_match_finite_differences() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut l = Linear::new(3, 2, &mut rng);

@@ -77,16 +77,41 @@ impl Mlp {
         dims.push(cfg.input_dim);
         dims.extend_from_slice(&cfg.hidden);
         dims.push(cfg.output_dim);
-        let layers = dims
-            .windows(2)
-            .map(|w| Linear::new(w[0], w[1], &mut rng))
-            .collect();
+        let layers = dims.windows(2).map(|w| Linear::new(w[0], w[1], &mut rng)).collect();
         Self { layers, activation: cfg.activation }
+    }
+
+    /// Rebuilds a network from persisted layers (see
+    /// [`Linear::from_parts`]); layer output/input widths must chain.
+    ///
+    /// # Panics
+    /// If `layers` is empty or consecutive layer dimensions disagree.
+    pub fn from_layers(layers: Vec<Linear>, activation: Activation) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(w[0].output_dim(), w[1].input_dim(), "layer dimensions must chain");
+        }
+        Self { layers, activation }
     }
 
     /// Number of trainable layers.
     pub fn n_layers(&self) -> usize {
         self.layers.len()
+    }
+
+    /// Input feature count the network expects.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output activation applied by the final layer.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// All layers in forward order (serialisation).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
     }
 
     /// Forward pass retaining activations for backprop.
@@ -248,23 +273,14 @@ mod tests {
         let target = vec![0.1, 0.9, 0.4, 0.6, 0.2];
         let loss = |mlp: &Mlp| -> f64 {
             let out = mlp.forward(&x);
-            out.as_slice()
-                .iter()
-                .zip(&target)
-                .map(|(o, t)| (o - t) * (o - t))
-                .sum::<f64>()
+            out.as_slice().iter().zip(&target).map(|(o, t)| (o - t) * (o - t)).sum::<f64>()
                 / target.len() as f64
         };
         // Analytic gradient: dL/do = 2 (o - t) / n.
         let cache = mlp.forward_cached(&x);
         let n = target.len() as f64;
-        let grad_out_data: Vec<f64> = cache
-            .output()
-            .as_slice()
-            .iter()
-            .zip(&target)
-            .map(|(o, t)| 2.0 * (o - t) / n)
-            .collect();
+        let grad_out_data: Vec<f64> =
+            cache.output().as_slice().iter().zip(&target).map(|(o, t)| 2.0 * (o - t) / n).collect();
         let grad_out = Matrix::from_vec(5, 1, grad_out_data).unwrap();
         // Run backward WITHOUT the optimiser step: use a zero-lr Adam.
         let hp = AdamParams { lr: 0.0, ..AdamParams::default() };
@@ -303,6 +319,33 @@ mod tests {
         assert_eq!(y.shape(), (1, 3));
         // With inputs of 100 the embedding should comfortably leave [0,1].
         assert!(y.as_slice().iter().any(|&v| !(0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn from_layers_round_trip_is_bit_identical() {
+        let mlp = tiny_mlp(11);
+        let rebuilt = Mlp::from_layers(
+            mlp.layers()
+                .iter()
+                .map(|l| Linear::from_parts(l.weights().clone(), l.bias().to_vec()))
+                .collect(),
+            mlp.activation(),
+        );
+        let x = Matrix::from_vec(4, 3, (0..12).map(|i| i as f64 * 0.7 - 4.0).collect()).unwrap();
+        assert_eq!(mlp.forward(&x).as_slice(), rebuilt.forward(&x).as_slice());
+        assert_eq!(rebuilt.input_dim(), 3);
+        assert_eq!(rebuilt.activation(), Activation::Sigmoid);
+    }
+
+    #[test]
+    #[should_panic(expected = "must chain")]
+    fn from_layers_rejects_mismatched_dims() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = Linear::new(3, 5, &mut rng);
+        let b = Linear::new(4, 1, &mut rng);
+        let _ = Mlp::from_layers(vec![a, b], Activation::Sigmoid);
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! The `uadb-serve` command line: `train`, `score`, `serve`.
+//!
+//! Argument parsing is hand-rolled (`--flag value` pairs only) to stay
+//! dependency-free; every subcommand funnels into the library API, so
+//! the binary is a thin shell over [`crate::model`], [`crate::persist`]
+//! and [`crate::http`].
+
+use crate::http::Server;
+use crate::json;
+use crate::model::ServedModel;
+use crate::persist;
+use crate::pool::PoolConfig;
+use std::sync::Arc;
+use uadb::UadbConfig;
+use uadb_data::io::{read_csv_file, LabelColumn};
+use uadb_data::suite::{generate_by_name, SuiteScale};
+use uadb_data::synth::{fig5_dataset, AnomalyType};
+use uadb_data::Dataset;
+use uadb_detectors::DetectorKind;
+use uadb_metrics::roc_auc;
+
+/// Usage text shown on `--help` or argument errors.
+pub const USAGE: &str = "\
+uadb-serve — persistence and batch-scoring server for UADB models
+
+USAGE:
+  uadb-serve train --out FILE [--dataset NAME | --synthetic TYPE | --csv FILE]
+                   [--teacher KIND] [--seed N] [--steps N] [--scale quick|full]
+                   [--label-last]
+  uadb-serve score --model FILE (--csv FILE | --json JSON) [--label-last] [--out FILE]
+  uadb-serve serve --model FILE [--addr HOST:PORT] [--workers N] [--shard-rows N]
+  uadb-serve info  --model FILE
+
+SUBCOMMANDS:
+  train   Fit a teacher + UADB booster and write a versioned model file.
+          Datasets: a suite roster name (--dataset 39_thyroid), a synthetic
+          anomaly type (--synthetic local|global|clustered|dependency), or a
+          numeric CSV (--csv data.csv, --label-last if the last column is a
+          0/1 label used only for the AUC report).
+  score   Load a model file and score rows from a CSV file or an inline
+          JSON array of rows; writes `row,score` CSV to stdout or --out.
+  serve   Load a model file and serve POST /score, GET /healthz, GET /model.
+  info    Print a model file's metadata as JSON.
+
+Teachers: IForest HBOS LOF KNN PCA OCSVM CBLOF COF SOD ECOD GMM LODA COPOD
+DeepSVDD (case-insensitive; default IForest).
+";
+
+/// A fatal CLI error carrying the message to print.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Runs the CLI on pre-split arguments (without the program name).
+/// Returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    match dispatch(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            1
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), CliError> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| err("missing subcommand"))?;
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "train" => train(&flags),
+        "score" => score(&flags),
+        "serve" => serve(&flags),
+        "info" => info(&flags),
+        other => Err(err(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+/// `--name value` flag pairs.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(name) = it.next() {
+            let name = name
+                .strip_prefix("--")
+                .ok_or_else(|| err(format!("expected --flag, got `{name}`")))?;
+            // Boolean flags take no value.
+            if name == "label-last" {
+                pairs.push((name.to_string(), "true".to_string()));
+                continue;
+            }
+            let value = it.next().ok_or_else(|| err(format!("flag --{name} needs a value")))?;
+            pairs.push((name.to_string(), value.clone()));
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name).ok_or_else(|| err(format!("missing required --{name}")))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| err(format!("--{name} got unparsable value `{v}`"))),
+        }
+    }
+}
+
+fn load_training_data(flags: &Flags) -> Result<Dataset, CliError> {
+    let scale = match flags.get("scale").unwrap_or("quick") {
+        "quick" => SuiteScale::Quick,
+        "full" => SuiteScale::Full,
+        other => return Err(err(format!("--scale must be quick|full, got `{other}`"))),
+    };
+    let seed = flags.parse_num("seed", 0u64)?;
+    let sources = ["dataset", "synthetic", "csv"].iter().filter(|s| flags.get(s).is_some()).count();
+    if sources > 1 {
+        return Err(err("--dataset, --synthetic and --csv are mutually exclusive"));
+    }
+    if let Some(name) = flags.get("dataset") {
+        return generate_by_name(name, scale, seed).ok_or_else(|| {
+            err(format!("unknown roster dataset `{name}` (see Table III names like 39_thyroid)"))
+        });
+    }
+    if let Some(ty) = flags.get("synthetic") {
+        let ty = match ty.to_ascii_lowercase().as_str() {
+            "local" => AnomalyType::Local,
+            "global" => AnomalyType::Global,
+            "clustered" => AnomalyType::Clustered,
+            "dependency" => AnomalyType::Dependency,
+            other => {
+                return Err(err(format!(
+                    "--synthetic must be local|global|clustered|dependency, got `{other}`"
+                )))
+            }
+        };
+        return Ok(fig5_dataset(ty, seed));
+    }
+    if let Some(path) = flags.get("csv") {
+        let labels =
+            if flags.get("label-last").is_some() { LabelColumn::Last } else { LabelColumn::None };
+        return read_csv_file(path, labels).map_err(|e| err(format!("reading {path}: {e}")));
+    }
+    Err(err("pick a training source: --dataset, --synthetic or --csv"))
+}
+
+fn train(flags: &Flags) -> Result<(), CliError> {
+    let out = flags.require("out")?;
+    let teacher = match flags.get("teacher") {
+        None => DetectorKind::IForest,
+        Some(name) => {
+            DetectorKind::from_name(name).ok_or_else(|| err(format!("unknown teacher `{name}`")))?
+        }
+    };
+    let seed = flags.parse_num("seed", 0u64)?;
+    let data = load_training_data(flags)?;
+    let mut cfg = UadbConfig::with_seed(seed);
+    cfg.t_steps = flags.parse_num("steps", cfg.t_steps)?;
+    if cfg.t_steps == 0 {
+        return Err(err("--steps must be at least 1 (0 would write an untrained model)"));
+    }
+    println!(
+        "training UADB on {} ({} rows × {} features), teacher {} …",
+        data.name,
+        data.n_samples(),
+        data.n_features(),
+        teacher.name()
+    );
+    let served =
+        ServedModel::train(&data, teacher, cfg).map_err(|e| err(format!("teacher failed: {e}")))?;
+    // Ground-truth labels, when present, are used for reporting only.
+    if data.n_anomalies() > 0 {
+        let scores =
+            served.score_rows(&data.x).map_err(|e| err(format!("self-scoring failed: {e}")))?;
+        let auc = roc_auc(&data.labels_f64(), &scores);
+        println!("training-set AUCROC (evaluation only): {auc:.4}");
+    }
+    persist::save_file(&served, out).map_err(|e| err(format!("writing {out}: {e}")))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn load_model(flags: &Flags) -> Result<ServedModel, CliError> {
+    let path = flags.require("model")?;
+    persist::load_file(path).map_err(|e| err(format!("loading {path}: {e}")))
+}
+
+fn score(flags: &Flags) -> Result<(), CliError> {
+    let served = load_model(flags)?;
+    let x = match (flags.get("csv"), flags.get("json")) {
+        (Some(_), Some(_)) => return Err(err("--csv and --json are mutually exclusive")),
+        (Some(path), None) => {
+            // --label-last mirrors `train`: the same labelled CSV can be
+            // scored without stripping its label column first.
+            let labels = if flags.get("label-last").is_some() {
+                LabelColumn::Last
+            } else {
+                LabelColumn::None
+            };
+            read_csv_file(path, labels).map_err(|e| err(format!("reading {path}: {e}")))?.x
+        }
+        (None, Some(text)) => {
+            let rows = json::parse(text).map_err(|e| err(format!("--json: {e}")))?;
+            let rows =
+                rows.as_array().ok_or_else(|| err("--json must be an array of row arrays"))?;
+            crate::http::rows_to_matrix(rows).map_err(err)?
+        }
+        (None, None) => return Err(err("pick an input: --csv FILE or --json '[[…]]'")),
+    };
+    let scores = served.score_rows(&x).map_err(|e| err(format!("scoring failed: {e}")))?;
+    match flags.get("out") {
+        None => {
+            uadb_data::io::write_scores(std::io::stdout().lock(), &scores)
+                .map_err(|e| err(format!("writing stdout: {e}")))?;
+        }
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| err(format!("creating {path}: {e}")))?;
+            uadb_data::io::write_scores(file, &scores)
+                .map_err(|e| err(format!("writing {path}: {e}")))?;
+            println!("wrote {} scores to {path}", scores.len());
+        }
+    }
+    Ok(())
+}
+
+fn serve(flags: &Flags) -> Result<(), CliError> {
+    let served = Arc::new(load_model(flags)?);
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
+    let pool_cfg = PoolConfig {
+        workers: flags.parse_num("workers", 0usize)?,
+        shard_rows: flags.parse_num("shard-rows", PoolConfig::default().shard_rows)?,
+    };
+    let server =
+        Server::bind(addr, served, pool_cfg).map_err(|e| err(format!("binding {addr}: {e}")))?;
+    println!(
+        "serving on http://{} (POST /score, GET /healthz, GET /model)",
+        server.local_addr().map_err(|e| err(e.to_string()))?
+    );
+    server.run().map_err(|e| err(format!("server failed: {e}")))
+}
+
+fn info(flags: &Flags) -> Result<(), CliError> {
+    let served = load_model(flags)?;
+    // Same serializer as `GET /model`, so the CLI and the server can
+    // never drift apart on what a model file contains.
+    println!("{}", json::to_string(&crate::http::model_info(&served)));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_pairs_and_booleans() {
+        let args: Vec<String> = ["--out", "m.uadb", "--label-last", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&args).unwrap();
+        assert_eq!(f.get("out"), Some("m.uadb"));
+        assert_eq!(f.get("label-last"), Some("true"));
+        assert_eq!(f.parse_num("seed", 0u64).unwrap(), 7);
+        assert_eq!(f.parse_num("steps", 5usize).unwrap(), 5);
+        assert!(f.require("model").is_err());
+    }
+
+    #[test]
+    fn flags_reject_malformed_input() {
+        let bad: Vec<String> = vec!["out".into()];
+        assert!(Flags::parse(&bad).is_err());
+        let dangling: Vec<String> = vec!["--out".into()];
+        assert!(Flags::parse(&dangling).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_subcommand() {
+        let args: Vec<String> = vec!["frobnicate".into()];
+        assert!(dispatch(&args).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn train_source_validation() {
+        let both: Vec<String> = ["--dataset", "12_glass", "--synthetic", "local"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = Flags::parse(&both).unwrap();
+        assert!(load_training_data(&f).is_err());
+        let none = Flags::parse(&[]).unwrap();
+        assert!(load_training_data(&none).is_err());
+        let unknown: Vec<String> = ["--dataset", "nope"].iter().map(|s| s.to_string()).collect();
+        assert!(load_training_data(&Flags::parse(&unknown).unwrap()).is_err());
+    }
+
+    #[test]
+    fn zero_steps_is_rejected() {
+        let args: Vec<String> =
+            ["train", "--synthetic", "local", "--steps", "0", "--out", "/dev/null"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let e = dispatch(&args).unwrap_err();
+        assert!(e.0.contains("--steps"), "message: {}", e.0);
+    }
+
+    #[test]
+    fn synthetic_types_parse() {
+        for ty in ["local", "global", "clustered", "dependency"] {
+            let args: Vec<String> = ["--synthetic", ty].iter().map(|s| s.to_string()).collect();
+            let d = load_training_data(&Flags::parse(&args).unwrap()).unwrap();
+            assert!(d.n_samples() > 0);
+        }
+    }
+}

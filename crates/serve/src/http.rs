@@ -1,0 +1,358 @@
+//! Minimal HTTP/1.1 JSON scoring server over `std::net::TcpListener`.
+//!
+//! Endpoints:
+//!
+//! * `POST /score` — body `{"rows": [[f64, …], …]}`, response
+//!   `{"scores": [f64, …], "n": k}`. Scores go through the shared
+//!   [`ScoringPool`], so they match in-process
+//!   [`ServedModel::score_rows`] bit for bit.
+//! * `GET /healthz` — liveness probe.
+//! * `GET /model` — model metadata (provenance, dims, calibration).
+//!
+//! One thread per connection (`Connection: close` semantics); the
+//! heavy lifting is sharded across the pool's fixed worker set, so
+//! accept-side threads stay I/O-bound. Request headers and bodies are
+//! size-capped before any allocation happens.
+
+use crate::json::{self, Value};
+use crate::model::ServedModel;
+use crate::pool::{PoolConfig, ScoringPool};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use uadb_linalg::Matrix;
+
+/// Upper bound on request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on request body.
+const MAX_BODY: usize = 64 * 1024 * 1024;
+/// Consecutive accept failures tolerated before the listener is declared
+/// dead and `run()` returns the error.
+const MAX_ACCEPT_FAILURES: u32 = 100;
+/// Per-connection socket read/write timeout: a stalled or silent client
+/// frees its thread instead of pinning it forever.
+const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// A bound scoring server (not yet accepting).
+pub struct Server {
+    listener: TcpListener,
+    pool: Arc<ScoringPool>,
+}
+
+/// Handle to a server running on a background thread (used by the CLI's
+/// foreground mode indirectly and by tests directly).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spins up the scoring pool.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        model: Arc<ServedModel>,
+        pool_cfg: PoolConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let pool = Arc::new(ScoringPool::new(model, pool_cfg));
+        Ok(Server { listener, pool })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections forever on the calling thread.
+    pub fn run(self) -> io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        self.accept_loop(&stop)
+    }
+
+    /// Runs the accept loop on a background thread and returns a handle
+    /// that can stop it.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let thread =
+            std::thread::Builder::new().name("uadb-serve-accept".to_string()).spawn(move || {
+                let _ = self.accept_loop(&loop_stop);
+            })?;
+        Ok(ServerHandle { addr, stop, thread: Some(thread) })
+    }
+
+    fn accept_loop(&self, stop: &AtomicBool) -> io::Result<()> {
+        let mut consecutive_failures = 0u32;
+        for conn in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    consecutive_failures = 0;
+                    let pool = Arc::clone(&self.pool);
+                    // Thread-per-connection: requests are one-shot
+                    // (Connection: close) and scoring itself runs on the
+                    // fixed pool, so these threads are short-lived and
+                    // I/O-bound.
+                    let _ = std::thread::Builder::new()
+                        .name("uadb-serve-conn".to_string())
+                        .spawn(move || handle_connection(stream, &pool));
+                }
+                Err(e) => {
+                    // Transient accept errors (aborted handshake, EMFILE
+                    // under fd pressure) shed the connection and keep
+                    // serving; the backoff keeps an exhaustion burst from
+                    // spinning this loop hot. A long unbroken run of
+                    // failures means the listener itself is dead — exit
+                    // with the error so a supervisor can restart us.
+                    consecutive_failures += 1;
+                    if consecutive_failures >= MAX_ACCEPT_FAILURES {
+                        return Err(e);
+                    }
+                    eprintln!("uadb-serve: accept failed: {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ServerHandle {
+    /// Address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight
+    /// connection threads finish their single request independently.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+struct Response {
+    status: u16,
+    reason: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, reason: &'static str, value: &Value) -> Self {
+        Self { status, reason, body: json::to_string(value) }
+    }
+
+    fn error(status: u16, reason: &'static str, message: &str) -> Self {
+        Self::json(status, reason, &json::object([("error", Value::String(message.to_string()))]))
+    }
+}
+
+fn handle_connection(stream: TcpStream, pool: &ScoringPool) {
+    let peer = stream.peer_addr().ok();
+    // A peer that connects and goes silent must not hold this thread
+    // hostage; timed-out reads surface as a 400/short-body error below.
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(stream);
+    let response = match read_request(&mut reader) {
+        Ok(req) => route(&req, pool),
+        Err(e) => Response::error(400, "Bad Request", &e),
+    };
+    let mut stream = reader.into_inner();
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        response.reason,
+        response.body.len()
+    );
+    // The peer may have gone away; nothing useful to do about it.
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(response.body.as_bytes()))
+        .and_then(|()| stream.flush())
+        .map_err(|e| {
+            if let Some(p) = peer {
+                eprintln!("uadb-serve: write to {p} failed: {e}");
+            }
+        });
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
+    let mut line = String::new();
+    take_line(reader, &mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts.next().ok_or("missing request path")?.to_string();
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version}"));
+    }
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        take_line(reader, &mut line)?;
+        head_bytes += line.len() + 2;
+        if head_bytes > MAX_HEAD {
+            return Err("request head too large".to_string());
+        }
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length =
+                    value.trim().parse().map_err(|_| "invalid Content-Length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body exceeds {MAX_BODY} bytes"));
+    }
+    // Grow the body buffer with the bytes that actually arrive instead
+    // of trusting Content-Length up front: a client declaring 64MB and
+    // then stalling holds only what it sent, not the declared size.
+    let mut body = Vec::new();
+    Read::by_ref(reader)
+        .take(content_length as u64)
+        .read_to_end(&mut body)
+        .map_err(|e| format!("short body: {e}"))?;
+    if body.len() != content_length {
+        return Err(format!("short body: got {} of {content_length} declared bytes", body.len()));
+    }
+    Ok(Request { method, path, body })
+}
+
+fn take_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> Result<(), String> {
+    // Cap the line read so a malicious peer cannot grow memory.
+    let mut limited = Read::by_ref(reader).take(MAX_HEAD as u64 + 2);
+    limited.read_line(line).map_err(|e| format!("read failure: {e}"))?;
+    if !line.ends_with('\n') {
+        return Err("truncated request line".to_string());
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(())
+}
+
+fn route(req: &Request, pool: &ScoringPool) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            "OK",
+            &json::object([
+                ("status", Value::String("ok".to_string())),
+                ("model", Value::String(pool.model().meta().dataset.clone())),
+            ]),
+        ),
+        ("GET", "/model") => Response::json(200, "OK", &model_info(pool.model())),
+        ("POST", "/score") => score(req, pool),
+        ("GET", "/score") => Response::error(405, "Method Not Allowed", "use POST /score"),
+        _ => Response::error(404, "Not Found", "unknown endpoint"),
+    }
+}
+
+pub(crate) fn model_info(model: &ServedModel) -> Value {
+    let meta = model.meta();
+    let cfg = model.model().config();
+    let cal = model.model().calibration();
+    json::object([
+        ("dataset", Value::String(meta.dataset.clone())),
+        ("teacher", Value::String(meta.teacher.clone())),
+        ("n_train", Value::Number(meta.n_train as f64)),
+        ("input_dim", Value::Number(model.input_dim() as f64)),
+        ("ensemble_size", Value::Number(model.model().ensemble().len() as f64)),
+        ("hidden", Value::Array(cfg.hidden.iter().map(|&h| Value::Number(h as f64)).collect())),
+        ("t_steps", Value::Number(cfg.t_steps as f64)),
+        ("seed", Value::Number(cfg.seed as f64)),
+        (
+            "calibration",
+            json::object([("min", Value::Number(cal.min)), ("range", Value::Number(cal.range))]),
+        ),
+        ("format_version", Value::Number(crate::persist::FORMAT_VERSION as f64)),
+    ])
+}
+
+fn score(req: &Request, pool: &ScoringPool) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "Bad Request", "body is not UTF-8"),
+    };
+    let parsed = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, "Bad Request", &e.to_string()),
+    };
+    let rows = match parsed.get("rows").and_then(Value::as_array) {
+        Some(r) => r,
+        None => return Response::error(400, "Bad Request", "expected {\"rows\": [[...], ...]}"),
+    };
+    let matrix = match rows_to_matrix(rows) {
+        Ok(m) => m,
+        Err(msg) => return Response::error(400, "Bad Request", &msg),
+    };
+    match pool.score(&matrix) {
+        Ok(scores) => Response::json(
+            200,
+            "OK",
+            &json::object([
+                ("scores", json::number_array(&scores)),
+                ("n", Value::Number(scores.len() as f64)),
+            ]),
+        ),
+        Err(e) => Response::error(422, "Unprocessable Entity", &e.to_string()),
+    }
+}
+
+pub(crate) fn rows_to_matrix(rows: &[Value]) -> Result<Matrix, String> {
+    if rows.is_empty() {
+        return Ok(Matrix::zeros(0, 0));
+    }
+    let mut data: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
+    let mut width: Option<usize> = None;
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row.as_array().ok_or_else(|| format!("row {i} is not an array"))?;
+        let parsed: Vec<f64> = cells
+            .iter()
+            .map(|c| c.as_f64().ok_or_else(|| format!("row {i} has a non-numeric cell")))
+            .collect::<Result<_, _>>()?;
+        match width {
+            None => width = Some(parsed.len()),
+            Some(w) if w != parsed.len() => {
+                return Err(format!("row {i} has {} cells, expected {w}", parsed.len()))
+            }
+            _ => {}
+        }
+        data.push(parsed);
+    }
+    if width == Some(0) {
+        return Err("rows are empty arrays".to_string());
+    }
+    Matrix::from_rows(&data).map_err(|e| e.to_string())
+}

@@ -1,0 +1,62 @@
+//! # uadb-serve — model persistence and batch-scoring server
+//!
+//! Takes a fitted [`uadb::UadbModel`] from training to production, the
+//! deployment shape the paper implies (§III: the distilled student
+//! *replaces* the teacher as the serving detector):
+//!
+//! 1. **Persistence** — [`persist`] writes a self-describing versioned
+//!    binary format (magic + version + config + per-layer weights + the
+//!    train-time standardisation and calibration constants) through any
+//!    `std::io::{Read, Write}`; loads reproduce scoring bit-identically.
+//! 2. **Batch scoring engine** — [`pool::ScoringPool`] shards request
+//!    batches across a fixed `std::thread` worker set; per-row math makes
+//!    the output independent of sharding and scheduling.
+//! 3. **Scoring server + CLI** — [`http::Server`] exposes `POST /score`,
+//!    `GET /healthz` and `GET /model` over `std::net::TcpListener`, and
+//!    the `uadb-serve` binary wires `train`/`score`/`serve`/`info`
+//!    subcommands to the existing teachers and datasets.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use uadb::UadbConfig;
+//! use uadb_data::synth::{fig5_dataset, AnomalyType};
+//! use uadb_detectors::DetectorKind;
+//! use uadb_serve::model::ServedModel;
+//! use uadb_serve::{persist, pool};
+//!
+//! // Train on raw features; the bundle captures the standardiser.
+//! let data = fig5_dataset(AnomalyType::Clustered, 7);
+//! let served = ServedModel::train(
+//!     &data,
+//!     DetectorKind::IForest,
+//!     UadbConfig::fast_for_tests(7),
+//! )
+//! .unwrap();
+//!
+//! // Round-trip through the binary format.
+//! let mut file = Vec::new();
+//! persist::save(&served, &mut file).unwrap();
+//! let loaded = persist::load(&file[..]).unwrap();
+//!
+//! // Concurrent batch scoring matches in-process scoring exactly.
+//! let pool = pool::ScoringPool::new(Arc::new(loaded), pool::PoolConfig::default());
+//! let scores = pool.score(&data.x).unwrap();
+//! assert_eq!(scores, served.score_rows(&data.x).unwrap());
+//! ```
+//!
+//! For the HTTP layer see [`http::Server`] and `examples/serve_and_score.rs`
+//! at the workspace root.
+
+pub mod cli;
+pub mod http;
+pub mod json;
+pub mod model;
+pub mod persist;
+pub mod pool;
+
+pub use http::{Server, ServerHandle};
+pub use model::{ModelMeta, ScoreError, ServedModel};
+pub use persist::{load, load_file, save, save_file, PersistError, FORMAT_VERSION};
+pub use pool::{PoolConfig, ScoringPool};

@@ -1,0 +1,7 @@
+//! The `uadb-serve` binary: train, persist, score and serve UADB
+//! models. See `uadb-serve --help` or [`uadb_serve::cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(uadb_serve::cli::run(&args));
+}

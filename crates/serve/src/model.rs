@@ -1,0 +1,209 @@
+//! The servable unit: a fitted booster plus everything inference needs.
+//!
+//! UADB's deployment story (paper §III) is that the student MLP
+//! *replaces* the teacher as the production detector. What the teacher
+//! leaves behind is baked in at training time: the pseudo-label scale
+//! the ensemble was distilled onto, the z-score constants of the
+//! training features, and the score calibration. [`ServedModel`] bundles
+//! all of it so a request row travels the exact numeric path a training
+//! row did.
+
+use std::fmt;
+use uadb::{Uadb, UadbConfig, UadbModel};
+use uadb_data::preprocess::Standardizer;
+use uadb_data::Dataset;
+use uadb_detectors::{DetectorError, DetectorKind};
+use uadb_linalg::Matrix;
+
+/// Provenance carried in the model file and reported by `GET /model`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelMeta {
+    /// Training dataset name.
+    pub dataset: String,
+    /// Teacher detector display name (e.g. `"IForest"`).
+    pub teacher: String,
+    /// Number of training rows.
+    pub n_train: u64,
+}
+
+/// A deployable UADB model: booster ensemble + train-time feature
+/// standardisation + score calibration + provenance.
+#[derive(Debug)]
+pub struct ServedModel {
+    model: UadbModel,
+    standardizer: Standardizer,
+    meta: ModelMeta,
+}
+
+/// Errors from scoring raw request rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreError {
+    /// Request width differs from the trained feature count.
+    DimensionMismatch {
+        /// Feature count the model was trained with.
+        expected: usize,
+        /// Feature count of the request rows.
+        got: usize,
+    },
+    /// A request cell is NaN or infinite.
+    NonFiniteFeature {
+        /// Row index within the request.
+        row: usize,
+    },
+}
+
+impl fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoreError::DimensionMismatch { expected, got } => {
+                write!(f, "rows have {got} features, model expects {expected}")
+            }
+            ScoreError::NonFiniteFeature { row } => {
+                write!(f, "row {row} contains a non-finite feature")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+impl ServedModel {
+    /// Bundles a fitted model with its train-time preprocessing.
+    ///
+    /// # Panics
+    /// If the standardiser width differs from the ensemble input width.
+    pub fn new(model: UadbModel, standardizer: Standardizer, meta: ModelMeta) -> Self {
+        assert_eq!(
+            standardizer.n_features(),
+            model.ensemble()[0].input_dim(),
+            "standardizer width must match ensemble input width"
+        );
+        Self { model, standardizer, meta }
+    }
+
+    /// Trains a booster end to end on a dataset's **raw** features:
+    /// fits the standardiser, standardises, runs the teacher, distils
+    /// the booster, and returns the deployable bundle.
+    pub fn train(
+        data: &Dataset,
+        teacher: DetectorKind,
+        cfg: UadbConfig,
+    ) -> Result<Self, DetectorError> {
+        // Datasets with no rows or no feature columns (e.g. a 1-column
+        // CSV whose only column was the label) must error cleanly, not
+        // panic inside a teacher or the booster.
+        if data.n_samples() == 0 || data.n_features() == 0 {
+            return Err(DetectorError::EmptyInput);
+        }
+        let standardizer = Standardizer::fit(&data.x);
+        let x = standardizer.transform(&data.x);
+        let seed = cfg.seed;
+        let teacher_scores = teacher.build(seed).fit_score(&x)?;
+        let model =
+            Uadb::new(cfg).fit(&x, &teacher_scores).expect("teacher produced aligned scores");
+        let meta = ModelMeta {
+            dataset: data.name.clone(),
+            teacher: teacher.name().to_string(),
+            n_train: data.n_samples() as u64,
+        };
+        Ok(Self::new(model, standardizer, meta))
+    }
+
+    /// Scores raw (unstandardised) rows: applies the stored train-time
+    /// standardisation, the ensemble forward pass, and the stored score
+    /// calibration. Every step is per-row, so results are independent of
+    /// batch composition and sharding.
+    pub fn score_rows(&self, raw: &Matrix) -> Result<Vec<f64>, ScoreError> {
+        let expected = self.standardizer.n_features();
+        if raw.cols() != expected && raw.rows() > 0 {
+            return Err(ScoreError::DimensionMismatch { expected, got: raw.cols() });
+        }
+        if raw.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        for (i, row) in raw.row_iter().enumerate() {
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(ScoreError::NonFiniteFeature { row: i });
+            }
+        }
+        let x = self.standardizer.transform(raw);
+        Ok(self.model.score_calibrated(&x))
+    }
+
+    /// The wrapped booster model.
+    pub fn model(&self) -> &UadbModel {
+        &self.model
+    }
+
+    /// The stored train-time standardiser.
+    pub fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
+    /// Provenance metadata.
+    pub fn meta(&self) -> &ModelMeta {
+        &self.meta
+    }
+
+    /// Feature count a request row must have.
+    pub fn input_dim(&self) -> usize {
+        self.standardizer.n_features()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use uadb_data::synth::{fig5_dataset, AnomalyType};
+
+    pub(crate) fn tiny_model(seed: u64) -> ServedModel {
+        let data = fig5_dataset(AnomalyType::Clustered, seed);
+        ServedModel::train(&data, DetectorKind::Hbos, UadbConfig::fast_for_tests(seed)).unwrap()
+    }
+
+    #[test]
+    fn train_then_score_matches_training_scores() {
+        let data = fig5_dataset(AnomalyType::Clustered, 1);
+        let served =
+            ServedModel::train(&data, DetectorKind::Hbos, UadbConfig::fast_for_tests(1)).unwrap();
+        // Scoring the raw training rows reproduces the calibrated
+        // training scores exactly (same standardisation constants).
+        let again = served.score_rows(&data.x).unwrap();
+        let x_std = served.standardizer().transform(&data.x);
+        assert_eq!(again, served.model().score_calibrated(&x_std));
+        assert_eq!(again.len(), data.n_samples());
+    }
+
+    #[test]
+    fn single_row_scores_match_batch_scores() {
+        let data = fig5_dataset(AnomalyType::Global, 2);
+        let served = tiny_model(2);
+        let batch = served.score_rows(&data.x).unwrap();
+        for i in [0usize, 7, data.n_samples() - 1] {
+            let single = served.score_rows(&data.x.select_rows(&[i])).unwrap();
+            assert_eq!(single[0].to_bits(), batch[i].to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn zero_width_training_data_errors_cleanly() {
+        use uadb_linalg::Matrix;
+        let empty = Dataset::new("empty", Matrix::zeros(5, 0), vec![0; 5], "Test");
+        let r = ServedModel::train(&empty, DetectorKind::IForest, UadbConfig::fast_for_tests(0));
+        assert!(matches!(r, Err(DetectorError::EmptyInput)));
+        let none = Dataset::new("none", Matrix::zeros(0, 3), vec![], "Test");
+        let r = ServedModel::train(&none, DetectorKind::Hbos, UadbConfig::fast_for_tests(0));
+        assert!(matches!(r, Err(DetectorError::EmptyInput)));
+    }
+
+    #[test]
+    fn dimension_and_finiteness_errors() {
+        let served = tiny_model(3);
+        let wrong = Matrix::zeros(2, served.input_dim() + 1);
+        assert!(matches!(served.score_rows(&wrong), Err(ScoreError::DimensionMismatch { .. })));
+        let mut bad = Matrix::zeros(2, served.input_dim());
+        bad.set(1, 0, f64::NAN);
+        assert_eq!(served.score_rows(&bad), Err(ScoreError::NonFiniteFeature { row: 1 }));
+        assert_eq!(served.score_rows(&Matrix::zeros(0, 0)), Ok(vec![]));
+    }
+}

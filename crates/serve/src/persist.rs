@@ -1,0 +1,458 @@
+//! Versioned binary persistence for [`ServedModel`].
+//!
+//! Layout (all integers and floats little-endian):
+//!
+//! ```text
+//! magic   b"UADB"
+//! version u32 (currently 1)
+//! meta    dataset: str, teacher: str, n_train: u64
+//! scaler  d: u64, means: d×f64, stds: d×f64
+//! calib   min: f64, range: f64
+//! config  t_steps, epochs_per_step, batch_size, cv_folds, seed: u64,
+//!         learning_rate: f64, hidden: u64-len + u64s,
+//!         warm_start: u8, correction: u8
+//! models  n_members: u64, then per member:
+//!           activation: u8, n_layers: u64, per layer:
+//!             in_dim: u64, out_dim: u64,
+//!             weights: (in·out)×f64 row-major, bias: out×f64
+//! trailer b"BDAU"
+//! ```
+//!
+//! Strings are `u64` byte length + UTF-8. Floats are stored as raw IEEE
+//! bits, so a load reproduces scoring **bit-identically** (asserted by
+//! the round-trip property test in `tests/persistence.rs`). The version
+//! field gates future layout changes; readers reject versions they do
+//! not know, and the trailer catches truncated writes.
+
+use crate::model::{ModelMeta, ServedModel};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use uadb::{CorrectionScale, ScoreCalibration, UadbConfig, UadbModel};
+use uadb_data::preprocess::Standardizer;
+use uadb_linalg::Matrix;
+use uadb_nn::mlp::Activation;
+use uadb_nn::{linear::Linear, Mlp};
+
+/// File magic (start) and trailer (end).
+pub const MAGIC: [u8; 4] = *b"UADB";
+const TRAILER: [u8; 4] = *b"BDAU";
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Sanity caps while reading untrusted files: any length beyond these is
+/// treated as corruption rather than an allocation request.
+const MAX_STR: u64 = 1 << 20;
+const MAX_DIM: u64 = 1 << 24;
+const MAX_MEMBERS: u64 = 1 << 12;
+const MAX_LAYERS: u64 = 1 << 8;
+
+/// Errors from [`save`] / [`load`].
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the `UADB` magic.
+    BadMagic,
+    /// The file's format version is newer than this reader.
+    UnsupportedVersion(u32),
+    /// Structurally invalid content (with a description of what).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o failure: {e}"),
+            PersistError::BadMagic => write!(f, "not a UADB model file (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "model format version {v} is newer than supported ({FORMAT_VERSION})")
+            }
+            PersistError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Writes a model in the current format.
+pub fn save<W: Write>(model: &ServedModel, mut w: W) -> Result<(), PersistError> {
+    w.write_all(&MAGIC)?;
+    write_u32(&mut w, FORMAT_VERSION)?;
+    // Meta.
+    write_str(&mut w, &model.meta().dataset)?;
+    write_str(&mut w, &model.meta().teacher)?;
+    write_u64(&mut w, model.meta().n_train)?;
+    // Standardizer.
+    let scaler = model.standardizer();
+    write_u64(&mut w, scaler.n_features() as u64)?;
+    write_f64s(&mut w, scaler.means())?;
+    write_f64s(&mut w, scaler.stds())?;
+    // Calibration.
+    let cal = model.model().calibration();
+    write_f64(&mut w, cal.min)?;
+    write_f64(&mut w, cal.range)?;
+    // Config.
+    let cfg = model.model().config();
+    write_u64(&mut w, cfg.t_steps as u64)?;
+    write_u64(&mut w, cfg.epochs_per_step as u64)?;
+    write_u64(&mut w, cfg.batch_size as u64)?;
+    write_u64(&mut w, cfg.cv_folds as u64)?;
+    write_u64(&mut w, cfg.seed)?;
+    write_f64(&mut w, cfg.learning_rate)?;
+    write_u64(&mut w, cfg.hidden.len() as u64)?;
+    for &h in &cfg.hidden {
+        write_u64(&mut w, h as u64)?;
+    }
+    w.write_all(&[u8::from(cfg.warm_start)])?;
+    w.write_all(&[match cfg.correction {
+        CorrectionScale::Variance => 0u8,
+        CorrectionScale::StdDev => 1u8,
+    }])?;
+    // Ensemble.
+    let ensemble = model.model().ensemble();
+    write_u64(&mut w, ensemble.len() as u64)?;
+    for member in ensemble {
+        w.write_all(&[match member.activation() {
+            Activation::Sigmoid => 0u8,
+            Activation::Identity => 1u8,
+        }])?;
+        write_u64(&mut w, member.n_layers() as u64)?;
+        for layer in member.layers() {
+            write_u64(&mut w, layer.input_dim() as u64)?;
+            write_u64(&mut w, layer.output_dim() as u64)?;
+            write_f64s(&mut w, layer.weights().as_slice())?;
+            write_f64s(&mut w, layer.bias())?;
+        }
+    }
+    w.write_all(&TRAILER)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a model to a file path.
+pub fn save_file(model: &ServedModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    save(model, io::BufWriter::new(file))
+}
+
+/// Reads a model written by any supported format version.
+pub fn load<R: Read>(mut r: R) -> Result<ServedModel, PersistError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    // Meta.
+    let dataset = read_str(&mut r)?;
+    let teacher = read_str(&mut r)?;
+    let n_train = read_u64(&mut r)?;
+    // Standardizer.
+    let d = read_len(&mut r, MAX_DIM, "feature count")?;
+    let means = read_f64s(&mut r, d)?;
+    let stds = read_f64s(&mut r, d)?;
+    if !stds.iter().all(|s| *s > 0.0 && s.is_finite()) {
+        return Err(PersistError::Corrupt("non-positive standard deviation"));
+    }
+    let standardizer = Standardizer::from_parts(means, stds);
+    // Calibration.
+    let cal_min = read_f64(&mut r)?;
+    let cal_range = read_f64(&mut r)?;
+    if !(cal_min.is_finite() && cal_range > 0.0 && cal_range.is_finite()) {
+        return Err(PersistError::Corrupt("invalid calibration constants"));
+    }
+    let calibration = ScoreCalibration::from_parts(cal_min, cal_range);
+    // Config.
+    let t_steps = read_u64(&mut r)? as usize;
+    let epochs_per_step = read_u64(&mut r)? as usize;
+    let batch_size = read_u64(&mut r)? as usize;
+    let cv_folds = read_u64(&mut r)? as usize;
+    let seed = read_u64(&mut r)?;
+    let learning_rate = read_f64(&mut r)?;
+    let n_hidden = read_len(&mut r, MAX_LAYERS, "hidden layer count")?;
+    let mut hidden = Vec::with_capacity(n_hidden);
+    for _ in 0..n_hidden {
+        hidden.push(read_len(&mut r, MAX_DIM, "hidden width")?);
+    }
+    let warm_start = read_bool(&mut r)?;
+    let correction = match read_u8(&mut r)? {
+        0 => CorrectionScale::Variance,
+        1 => CorrectionScale::StdDev,
+        _ => return Err(PersistError::Corrupt("unknown correction scale")),
+    };
+    let cfg = UadbConfig {
+        t_steps,
+        epochs_per_step,
+        batch_size,
+        learning_rate,
+        hidden,
+        cv_folds,
+        warm_start,
+        correction,
+        seed,
+    };
+    // Ensemble.
+    let n_members = read_len(&mut r, MAX_MEMBERS, "ensemble size")?;
+    if n_members == 0 {
+        return Err(PersistError::Corrupt("empty ensemble"));
+    }
+    let mut ensemble = Vec::with_capacity(n_members);
+    for _ in 0..n_members {
+        let activation = match read_u8(&mut r)? {
+            0 => Activation::Sigmoid,
+            1 => Activation::Identity,
+            _ => return Err(PersistError::Corrupt("unknown activation")),
+        };
+        let n_layers = read_len(&mut r, MAX_LAYERS, "layer count")?;
+        if n_layers == 0 {
+            return Err(PersistError::Corrupt("member with no layers"));
+        }
+        let mut layers = Vec::with_capacity(n_layers);
+        let mut expected_in: Option<usize> = None;
+        for _ in 0..n_layers {
+            let in_dim = read_len(&mut r, MAX_DIM, "layer input width")?;
+            let out_dim = read_len(&mut r, MAX_DIM, "layer output width")?;
+            if in_dim == 0 || out_dim == 0 {
+                return Err(PersistError::Corrupt("zero layer dimension"));
+            }
+            if let Some(e) = expected_in {
+                if e != in_dim {
+                    return Err(PersistError::Corrupt("layer dimensions do not chain"));
+                }
+            }
+            expected_in = Some(out_dim);
+            if (in_dim as u64).saturating_mul(out_dim as u64) > MAX_DIM {
+                return Err(PersistError::Corrupt("layer too large"));
+            }
+            let weights = read_f64s(&mut r, in_dim * out_dim)?;
+            let bias = read_f64s(&mut r, out_dim)?;
+            let w = Matrix::from_vec(in_dim, out_dim, weights)
+                .map_err(|_| PersistError::Corrupt("weight shape mismatch"))?;
+            layers.push(Linear::from_parts(w, bias));
+        }
+        // Booster members are scorers: anything but a single output
+        // column would make `predict_vec` silently interleave columns.
+        if expected_in != Some(1) {
+            return Err(PersistError::Corrupt("final layer must have one output"));
+        }
+        ensemble.push(Mlp::from_layers(layers, activation));
+    }
+    let dim0 = ensemble[0].input_dim();
+    if ensemble.iter().any(|m| m.input_dim() != dim0) || dim0 != standardizer.n_features() {
+        return Err(PersistError::Corrupt("input widths disagree"));
+    }
+    let mut trailer = [0u8; 4];
+    r.read_exact(&mut trailer)?;
+    if trailer != TRAILER {
+        return Err(PersistError::Corrupt("missing trailer (truncated write?)"));
+    }
+    let model = UadbModel::from_parts(ensemble, cfg, calibration);
+    let meta = ModelMeta { dataset, teacher, n_train };
+    Ok(ServedModel::new(model, standardizer, meta))
+}
+
+/// Reads a model from a file path.
+pub fn load_file(path: impl AsRef<Path>) -> Result<ServedModel, PersistError> {
+    let file = std::fs::File::open(path)?;
+    load(io::BufReader::new(file))
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_bits().to_le_bytes())
+}
+
+fn write_f64s<W: Write>(w: &mut W, vs: &[f64]) -> io::Result<()> {
+    for &v in vs {
+        write_f64(w, v)?;
+    }
+    Ok(())
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_u8<R: Read>(r: &mut R) -> Result<u8, PersistError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn read_bool<R: Read>(r: &mut R) -> Result<bool, PersistError> {
+    match read_u8(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(PersistError::Corrupt("invalid boolean")),
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, PersistError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, PersistError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> Result<f64, PersistError> {
+    Ok(f64::from_bits(read_u64(r)?))
+}
+
+fn read_len<R: Read>(r: &mut R, cap: u64, what: &'static str) -> Result<usize, PersistError> {
+    let v = read_u64(r)?;
+    if v > cap {
+        return Err(PersistError::Corrupt(what));
+    }
+    Ok(v as usize)
+}
+
+fn read_f64s<R: Read>(r: &mut R, n: usize) -> Result<Vec<f64>, PersistError> {
+    // Cap the up-front reservation: `n` comes from an untrusted length
+    // field, and a tiny crafted file must not force a huge allocation
+    // before EOF is discovered. Genuine data grows the vec as it reads.
+    let mut out = Vec::with_capacity(n.min(8192));
+    for _ in 0..n {
+        out.push(read_f64(r)?);
+    }
+    Ok(out)
+}
+
+fn read_str<R: Read>(r: &mut R) -> Result<String, PersistError> {
+    let len = read_len(r, MAX_STR, "string length")?;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| PersistError::Corrupt("invalid UTF-8 string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::tiny_model;
+
+    fn save_to_vec(m: &ServedModel) -> Vec<u8> {
+        let mut buf = Vec::new();
+        save(m, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let m = tiny_model(7);
+        let bytes = save_to_vec(&m);
+        let loaded = load(&bytes[..]).unwrap();
+        assert_eq!(loaded.meta(), m.meta());
+        assert_eq!(loaded.standardizer(), m.standardizer());
+        assert_eq!(loaded.model().calibration(), m.model().calibration());
+        assert_eq!(loaded.model().config().hidden, m.model().config().hidden);
+        assert_eq!(loaded.model().ensemble().len(), m.model().ensemble().len());
+        // Bit-identical parameters.
+        for (a, b) in loaded.model().ensemble().iter().zip(m.model().ensemble()) {
+            for (la, lb) in a.layers().iter().zip(b.layers()) {
+                assert_eq!(la.weights().as_slice(), lb.weights().as_slice());
+                assert_eq!(la.bias(), lb.bias());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_output_final_layer_is_rejected_on_load() {
+        // A file whose member ends in a 2-wide layer would make
+        // predict_vec interleave columns into nonsense scores; load()
+        // must refuse it outright.
+        let m = tiny_model(12);
+        let wide = Mlp::new(&uadb_nn::MlpConfig {
+            input_dim: m.input_dim(),
+            hidden: vec![4],
+            output_dim: 2,
+            activation: Activation::Sigmoid,
+            seed: 0,
+        });
+        let bad = ServedModel::new(
+            UadbModel::from_parts(vec![wide], m.model().config().clone(), m.model().calibration()),
+            m.standardizer().clone(),
+            m.meta().clone(),
+        );
+        let mut bytes = Vec::new();
+        save(&bad, &mut bytes).unwrap();
+        assert!(matches!(
+            load(&bytes[..]),
+            Err(PersistError::Corrupt("final layer must have one output"))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let m = tiny_model(8);
+        let mut bytes = save_to_vec(&m);
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(matches!(load(&wrong[..]), Err(PersistError::BadMagic)));
+        // Future version.
+        bytes[4] = 99;
+        assert!(matches!(load(&bytes[..]), Err(PersistError::UnsupportedVersion(99))));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let m = tiny_model(9);
+        let bytes = save_to_vec(&m);
+        // Cutting anywhere strictly inside the payload must error, never
+        // panic or return a half-model. (Step by a prime to keep the
+        // test fast while covering every region of the layout.)
+        for cut in (4..bytes.len() - 1).step_by(97) {
+            assert!(load(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // Missing trailer only.
+        assert!(matches!(
+            load(&bytes[..bytes.len() - 4]),
+            Err(PersistError::Io(_)) | Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_lengths_are_corruption_not_allocation() {
+        let m = tiny_model(10);
+        let mut bytes = save_to_vec(&m);
+        // The dataset-name length sits right after magic+version.
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(load(&bytes[..]), Err(PersistError::Corrupt("string length"))));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+        assert!(PersistError::UnsupportedVersion(3).to_string().contains('3'));
+        assert!(PersistError::Corrupt("x").to_string().contains('x'));
+    }
+}

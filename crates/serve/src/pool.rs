@@ -1,0 +1,211 @@
+//! Fixed-size worker pool sharding score batches across cores.
+//!
+//! The ensemble forward pass is embarrassingly parallel across rows:
+//! every score depends only on its own row (standardisation, matmuls and
+//! calibration are all per-row), so a batch can be cut into shards,
+//! scored on any worker in any order, and reassembled by shard index
+//! with **bit-identical** results to a serial pass — the property the
+//! shard-independence test in `tests/server.rs` pins down.
+//!
+//! Workers are `std::thread`s living as long as the pool, pulling jobs
+//! from a shared queue (work stealing via `Mutex<Receiver>`); each job
+//! carries its own reply channel, so concurrent [`ScoringPool::score`]
+//! calls from different HTTP connections interleave safely.
+
+use crate::model::{ScoreError, ServedModel};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use uadb_linalg::Matrix;
+
+/// Pool sizing.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker thread count (0 = one per available core).
+    pub workers: usize,
+    /// Maximum rows per shard; batches smaller than this stay on one
+    /// worker, larger ones fan out.
+    pub shard_rows: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self { workers: 0, shard_rows: 256 }
+    }
+}
+
+impl PoolConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+        }
+    }
+}
+
+struct Job {
+    shard_idx: usize,
+    rows: Matrix,
+    reply: Sender<(usize, Result<Vec<f64>, ScoreError>)>,
+}
+
+/// A fixed pool of scoring workers over one loaded model.
+pub struct ScoringPool {
+    model: Arc<ServedModel>,
+    queue: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shard_rows: usize,
+}
+
+impl ScoringPool {
+    /// Spawns the workers.
+    pub fn new(model: Arc<ServedModel>, cfg: PoolConfig) -> Self {
+        let n_workers = cfg.effective_workers();
+        let shard_rows = cfg.shard_rows.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..n_workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let model = Arc::clone(&model);
+                std::thread::Builder::new()
+                    .name(format!("uadb-score-{i}"))
+                    .spawn(move || worker_loop(&model, &rx))
+                    .expect("spawn scoring worker")
+            })
+            .collect();
+        Self { model, queue: Some(tx), workers, shard_rows }
+    }
+
+    /// Number of worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The model this pool scores with.
+    pub fn model(&self) -> &Arc<ServedModel> {
+        &self.model
+    }
+
+    /// Scores raw rows, sharded across the pool. Output order matches
+    /// input order and is independent of worker count and scheduling.
+    ///
+    /// # Panics
+    /// If a worker thread died (a scoring panic), which is a bug, not a
+    /// request-level condition.
+    pub fn score(&self, raw: &Matrix) -> Result<Vec<f64>, ScoreError> {
+        let n = raw.rows();
+        if n == 0 {
+            // Preserve the model's validation semantics on empty input.
+            return self.model.score_rows(raw);
+        }
+        // Even a single-shard batch goes through the queue: the fixed
+        // worker set is what bounds CPU concurrency, and scoring on the
+        // calling thread would let N concurrent small requests run N
+        // simultaneous forward passes.
+        let n_shards = n.div_ceil(self.shard_rows);
+        let queue = self.queue.as_ref().expect("pool not shut down");
+        let (reply_tx, reply_rx) = channel();
+        for shard_idx in 0..n_shards {
+            let lo = shard_idx * self.shard_rows;
+            let hi = (lo + self.shard_rows).min(n);
+            let indices: Vec<usize> = (lo..hi).collect();
+            let job = Job { shard_idx, rows: raw.select_rows(&indices), reply: reply_tx.clone() };
+            queue.send(job).expect("scoring workers alive");
+        }
+        drop(reply_tx);
+        let mut shards: Vec<Option<Vec<f64>>> = vec![None; n_shards];
+        let mut received = 0;
+        while let Ok((idx, result)) = reply_rx.recv() {
+            // Shards see only their own rows; lift error indices back to
+            // batch-global coordinates before surfacing them.
+            shards[idx] = Some(result.map_err(|e| match e {
+                ScoreError::NonFiniteFeature { row } => {
+                    ScoreError::NonFiniteFeature { row: row + idx * self.shard_rows }
+                }
+                other => other,
+            })?);
+            received += 1;
+        }
+        assert_eq!(received, n_shards, "a scoring worker died mid-batch");
+        let mut out = Vec::with_capacity(n);
+        for shard in shards {
+            out.extend(shard.expect("all shards received"));
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for ScoringPool {
+    fn drop(&mut self) {
+        // Closing the queue ends every worker's recv loop.
+        self.queue.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(model: &ServedModel, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the queue lock only to pull one job; scoring runs
+        // unlocked so workers overlap.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(Job { shard_idx, rows, reply }) => {
+                // A dropped reply receiver (caller bailed on an earlier
+                // shard error) is fine — discard.
+                let _ = reply.send((shard_idx, model.score_rows(&rows)));
+            }
+            Err(_) => return, // Pool dropped.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::tiny_model;
+    use uadb_data::synth::{fig5_dataset, AnomalyType};
+
+    #[test]
+    fn pool_output_matches_serial_bit_for_bit() {
+        let model = Arc::new(tiny_model(20));
+        let data = fig5_dataset(AnomalyType::Local, 20);
+        let serial = model.score_rows(&data.x).unwrap();
+        // Tiny shards force multi-shard paths; vary worker counts.
+        for workers in [1, 2, 4] {
+            let pool = ScoringPool::new(Arc::clone(&model), PoolConfig { workers, shard_rows: 7 });
+            let pooled = pool.score(&data.x).unwrap();
+            assert_eq!(pooled.len(), serial.len());
+            for (i, (a, b)) in pooled.iter().zip(&serial).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} with {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn errors_propagate_from_shards() {
+        let model = Arc::new(tiny_model(21));
+        let pool = ScoringPool::new(Arc::clone(&model), PoolConfig { workers: 2, shard_rows: 4 });
+        let mut bad = Matrix::zeros(10, model.input_dim());
+        bad.set(9, 0, f64::INFINITY); // lands in the last shard
+                                      // The reported row index is batch-global, not shard-local.
+        assert_eq!(pool.score(&bad), Err(ScoreError::NonFiniteFeature { row: 9 }));
+        let wrong_width = Matrix::zeros(10, model.input_dim() + 2);
+        assert!(matches!(pool.score(&wrong_width), Err(ScoreError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_batch_and_shutdown() {
+        let model = Arc::new(tiny_model(22));
+        let pool = ScoringPool::new(Arc::clone(&model), PoolConfig::default());
+        assert_eq!(pool.score(&Matrix::zeros(0, 0)).unwrap(), Vec::<f64>::new());
+        assert!(pool.n_workers() >= 1);
+        drop(pool); // must join cleanly, not hang
+    }
+}

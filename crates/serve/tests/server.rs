@@ -1,0 +1,202 @@
+//! Integration tests: a real server on localhost, raw TCP clients, and
+//! the shard-order-independence guarantee of the worker pool.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use uadb::UadbConfig;
+use uadb_data::synth::{fig5_dataset, AnomalyType};
+use uadb_detectors::DetectorKind;
+use uadb_linalg::Matrix;
+use uadb_serve::json::{self, Value};
+use uadb_serve::model::ServedModel;
+use uadb_serve::pool::{PoolConfig, ScoringPool};
+use uadb_serve::Server;
+
+fn trained_model(seed: u64) -> ServedModel {
+    let data = fig5_dataset(AnomalyType::Clustered, seed);
+    ServedModel::train(&data, DetectorKind::Hbos, UadbConfig::fast_for_tests(seed)).unwrap()
+}
+
+/// Raw one-shot HTTP/1.1 client; returns (status, body).
+fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, payload) =
+        response.split_once("\r\n\r\n").expect("response has a header/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code present")
+        .parse()
+        .expect("numeric status");
+    (status, payload.to_string())
+}
+
+fn rows_json(x: &Matrix, rows: &[usize]) -> String {
+    let rows: Vec<Value> = rows.iter().map(|&r| json::number_array(x.row(r))).collect();
+    json::to_string(&json::object([("rows", Value::Array(rows))]))
+}
+
+fn parse_scores(body: &str) -> Vec<f64> {
+    json::parse(body)
+        .expect("valid JSON response")
+        .get("scores")
+        .expect("scores field")
+        .as_array()
+        .expect("scores is an array")
+        .iter()
+        .map(|v| v.as_f64().expect("numeric score"))
+        .collect()
+}
+
+#[test]
+fn concurrent_connections_match_in_process_scores_exactly() {
+    let served = Arc::new(trained_model(41));
+    let data = fig5_dataset(AnomalyType::Clustered, 41);
+    let expected = served.score_rows(&data.x).unwrap();
+    let server =
+        Server::bind("127.0.0.1:0", Arc::clone(&served), PoolConfig { workers: 2, shard_rows: 16 })
+            .unwrap();
+    let handle = server.spawn().unwrap();
+    let addr = handle.addr();
+
+    // ≥4 concurrent connections, each posting a different overlapping
+    // slice of the dataset (different sizes exercise different shard
+    // counts).
+    let slices: Vec<Vec<usize>> = vec![
+        (0..data.n_samples()).collect(),            // full batch, many shards
+        (0..40).collect(),                          // multi-shard
+        (100..113).collect(),                       // single shard
+        vec![7],                                    // 1-row batch
+        (0..data.n_samples()).step_by(3).collect(), // strided
+        vec![499, 0, 250],                          // out of order
+    ];
+    let mut threads = Vec::new();
+    for slice in slices {
+        let x = data.x.clone();
+        let expected = expected.clone();
+        threads.push(std::thread::spawn(move || {
+            let body = rows_json(&x, &slice);
+            let (status, payload) = request(addr, "POST", "/score", Some(&body));
+            assert_eq!(status, 200, "body: {payload}");
+            let scores = parse_scores(&payload);
+            assert_eq!(scores.len(), slice.len());
+            for (pos, &row) in slice.iter().enumerate() {
+                assert_eq!(
+                    scores[pos].to_bits(),
+                    expected[row].to_bits(),
+                    "row {row} differs over HTTP (batch of {})",
+                    slice.len()
+                );
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn health_model_and_error_endpoints() {
+    let served = Arc::new(trained_model(42));
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&served), PoolConfig::default()).unwrap();
+    let handle = server.spawn().unwrap();
+    let addr = handle.addr();
+
+    let (status, body) = request(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    let health = json::parse(&body).unwrap();
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+
+    let (status, body) = request(addr, "GET", "/model", None);
+    assert_eq!(status, 200);
+    let info = json::parse(&body).unwrap();
+    assert_eq!(info.get("teacher").and_then(Value::as_str), Some("HBOS"));
+    assert_eq!(info.get("input_dim").and_then(Value::as_f64), Some(served.input_dim() as f64));
+    assert_eq!(info.get("n_train").and_then(Value::as_f64), Some(500.0));
+
+    // Error paths: bad JSON, wrong shape, wrong width, wrong routes.
+    let (status, _) = request(addr, "POST", "/score", Some("{not json"));
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/score", Some(r#"{"rows": 3}"#));
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/score", Some(r#"{"rows": [[1], [1, 2]]}"#));
+    assert_eq!(status, 400);
+    let (status, body) = request(addr, "POST", "/score", Some(r#"{"rows": [[1, 2, 3, 4, 5]]}"#));
+    assert_eq!(status, 422, "body: {body}");
+    assert!(body.contains("features"));
+    let (status, _) = request(addr, "GET", "/score", None);
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "GET", "/nope", None);
+    assert_eq!(status, 404);
+    // Empty rows are a valid no-op request.
+    let (status, body) = request(addr, "POST", "/score", Some(r#"{"rows": []}"#));
+    assert_eq!(status, 200);
+    assert_eq!(parse_scores(&body), Vec::<f64>::new());
+
+    handle.shutdown();
+}
+
+#[test]
+fn pool_output_is_shard_order_independent() {
+    // The satellite guarantee, at integration scale: any worker count ×
+    // shard size produces byte-identical output.
+    let served = Arc::new(trained_model(43));
+    let data = fig5_dataset(AnomalyType::Global, 43);
+    let reference = served.score_rows(&data.x).unwrap();
+    for workers in [1, 3, 8] {
+        for shard_rows in [1, 17, 64, 10_000] {
+            let pool = ScoringPool::new(Arc::clone(&served), PoolConfig { workers, shard_rows });
+            let scores = pool.score(&data.x).unwrap();
+            assert_eq!(scores.len(), reference.len());
+            for (i, (a, b)) in scores.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "row {i}: {workers} workers × {shard_rows} shard rows"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn loaded_model_serves_identically_to_trained_model() {
+    // End-to-end acceptance: train → save → load → serve → POST; the
+    // HTTP scores from the *loaded* model match the in-process scores of
+    // the *original* model exactly.
+    let served = trained_model(44);
+    let data = fig5_dataset(AnomalyType::Clustered, 44);
+    let expected = served.score_rows(&data.x).unwrap();
+
+    let mut bytes = Vec::new();
+    uadb_serve::save(&served, &mut bytes).unwrap();
+    let loaded = uadb_serve::load(&bytes[..]).unwrap();
+
+    let server =
+        Server::bind("127.0.0.1:0", Arc::new(loaded), PoolConfig { workers: 4, shard_rows: 32 })
+            .unwrap();
+    let handle = server.spawn().unwrap();
+    let rows: Vec<usize> = (0..data.n_samples()).collect();
+    let (status, body) = request(handle.addr(), "POST", "/score", Some(&rows_json(&data.x, &rows)));
+    assert_eq!(status, 200);
+    let scores = parse_scores(&body);
+    for (i, (a, b)) in scores.iter().zip(&expected).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+    }
+    handle.shutdown();
+}

@@ -56,12 +56,8 @@ impl BoxplotStats {
         // Whiskers reach the most extreme point inside the fence but never
         // retreat past the box edge (Matplotlib behaviour when every point
         // beyond a quartile is an outlier).
-        let whisker_lo = values
-            .iter()
-            .copied()
-            .filter(|v| *v >= lo_fence)
-            .fold(f64::INFINITY, f64::min)
-            .min(q1);
+        let whisker_lo =
+            values.iter().copied().filter(|v| *v >= lo_fence).fold(f64::INFINITY, f64::min).min(q1);
         let whisker_hi = values
             .iter()
             .copied()

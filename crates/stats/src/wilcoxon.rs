@@ -28,12 +28,7 @@ pub struct WilcoxonResult {
 /// If input lengths differ.
 pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> Option<WilcoxonResult> {
     assert_eq!(x.len(), y.len(), "paired samples must align");
-    let diffs: Vec<f64> = x
-        .iter()
-        .zip(y)
-        .map(|(a, b)| a - b)
-        .filter(|d| *d != 0.0)
-        .collect();
+    let diffs: Vec<f64> = x.iter().zip(y).map(|(a, b)| a - b).filter(|d| *d != 0.0).collect();
     let n = diffs.len();
     if n == 0 {
         return None;
@@ -58,12 +53,7 @@ pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64]) -> Option<WilcoxonResult> {
         tie_correction += t * t * t - t;
         i = j + 1;
     }
-    let w_plus: f64 = diffs
-        .iter()
-        .zip(&ranks)
-        .filter(|(d, _)| **d > 0.0)
-        .map(|(_, r)| r)
-        .sum();
+    let w_plus: f64 = diffs.iter().zip(&ranks).filter(|(d, _)| **d > 0.0).map(|(_, r)| r).sum();
     let total = (n * (n + 1)) as f64 / 2.0;
     let w_minus = total - w_plus;
     let statistic = w_plus.min(w_minus);
@@ -92,8 +82,8 @@ mod tests {
         // statistic = 24.0 (W- = rank(48)+rank(67) = 10+14),
         // p ≈ 0.0409 (the exact-mode value is 0.0413).
         let x: Vec<f64> = vec![
-            6.0, 8.0, 14.0, 16.0, 23.0, 24.0, 28.0, 29.0, 41.0, -48.0, 49.0, 56.0, 60.0,
-            -67.0, 75.0,
+            6.0, 8.0, 14.0, 16.0, 23.0, 24.0, 28.0, 29.0, 41.0, -48.0, 49.0, 56.0, 60.0, -67.0,
+            75.0,
         ];
         let y = vec![0.0; 15];
         let r = wilcoxon_signed_rank(&x, &y).unwrap();

@@ -47,21 +47,16 @@ fn main() {
         data.anomaly_pct()
     );
 
-    let candidates = [
-        DetectorKind::IForest,
-        DetectorKind::Hbos,
-        DetectorKind::Knn,
-        DetectorKind::Ecod,
-    ];
+    let candidates =
+        [DetectorKind::IForest, DetectorKind::Hbos, DetectorKind::Knn, DetectorKind::Ecod];
     println!(
         "{:10} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "model", "AUC", "AP", "P@50", "AUC+", "AP+", "P@50+"
     );
     for kind in candidates {
         let teacher_scores = kind.build(0).fit_score(&data.x).expect("fit");
-        let booster = Uadb::new(UadbConfig::with_seed(0))
-            .fit(&data.x, &teacher_scores)
-            .expect("boost");
+        let booster =
+            Uadb::new(UadbConfig::with_seed(0)).fit(&data.x, &teacher_scores).expect("boost");
         let boosted = booster.scores();
         println!(
             "{:10} {:>8.4} {:>8.4} {:>8.2} | {:>8.4} {:>8.4} {:>8.2}",

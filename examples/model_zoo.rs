@@ -18,11 +18,7 @@ fn main() {
         data.n_features(),
         data.anomaly_pct()
     );
-    let cfg = ExperimentConfig {
-        booster: UadbConfig::with_seed(0),
-        n_runs: 1,
-        n_threads: 0,
-    };
+    let cfg = ExperimentConfig { booster: UadbConfig::with_seed(0), n_runs: 1, n_threads: 0 };
     println!(
         "{:10} {:>12} {:>12} {:>12} {:>12}",
         "model", "teacher AUC", "UADB AUC", "teacher AP", "UADB AP"

@@ -14,9 +14,8 @@ use uadb_metrics::{average_precision, roc_auc};
 
 fn main() {
     for name in ["15_http", "35_smtp"] {
-        let data = generate_by_name(name, SuiteScale::Full, 7)
-            .expect("roster dataset")
-            .standardized();
+        let data =
+            generate_by_name(name, SuiteScale::Full, 7).expect("roster dataset").standardized();
         let labels = data.labels_f64();
         println!(
             "\n== {name}: {} flows, {} attacks ({:.2}%)",
@@ -26,9 +25,8 @@ fn main() {
         );
         for kind in [DetectorKind::Lof, DetectorKind::Knn, DetectorKind::Cof] {
             let teacher_scores = kind.build(1).fit_score(&data.x).expect("fit");
-            let booster = Uadb::new(UadbConfig::with_seed(1))
-                .fit(&data.x, &teacher_scores)
-                .expect("boost");
+            let booster =
+                Uadb::new(UadbConfig::with_seed(1)).fit(&data.x, &teacher_scores).expect("boost");
             let boosted = booster.scores();
             println!(
                 "  {:4}  teacher AUC {:.4} AP {:.4}  ->  UADB AUC {:.4} AP {:.4}",

@@ -12,9 +12,8 @@ use uadb_metrics::{average_precision, roc_auc};
 fn main() {
     // 1. A tabular anomaly-detection dataset (simulated stand-in for the
     //    ADBench `cardio` data; labels are for evaluation only).
-    let data = generate_by_name("6_cardio", SuiteScale::Quick, 0)
-        .expect("roster dataset")
-        .standardized();
+    let data =
+        generate_by_name("6_cardio", SuiteScale::Quick, 0).expect("roster dataset").standardized();
     println!(
         "dataset {}: {} samples x {} features, {:.1}% anomalies",
         data.name,
@@ -29,9 +28,8 @@ fn main() {
 
     // 3. Boost it: iterative distillation with variance-based error
     //    correction (paper defaults: T=10, 3-fold MLP ensemble).
-    let booster = Uadb::new(UadbConfig::with_seed(0))
-        .fit(&data.x, &teacher_scores)
-        .expect("booster fits");
+    let booster =
+        Uadb::new(UadbConfig::with_seed(0)).fit(&data.x, &teacher_scores).expect("booster fits");
 
     // 4. The booster replaces the teacher as the final model.
     let labels = data.labels_f64();

@@ -1,0 +1,102 @@
+//! Train → save → load → serve: the full deployment loop of
+//! `uadb-serve`.
+//!
+//! ```sh
+//! cargo run --release --example serve_and_score
+//! ```
+//!
+//! Trains a booster over an IForest teacher on synthetic clustered
+//! anomalies, persists it to a temporary file, reloads it, boots the
+//! HTTP scoring server on an ephemeral port, and queries it from four
+//! concurrent client threads — then checks the served scores against
+//! the in-process model bit for bit.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use uadb::UadbConfig;
+use uadb_data::synth::{fig5_dataset, AnomalyType};
+use uadb_detectors::DetectorKind;
+use uadb_metrics::roc_auc;
+use uadb_serve::model::ServedModel;
+use uadb_serve::pool::PoolConfig;
+use uadb_serve::{json, persist, Server};
+
+fn main() {
+    // 1. Train on raw features; the bundle captures the train-time
+    //    standardisation and score calibration.
+    let data = fig5_dataset(AnomalyType::Clustered, 11);
+    let served = ServedModel::train(&data, DetectorKind::IForest, UadbConfig::with_seed(11))
+        .expect("teacher fits");
+    let scores = served.score_rows(&data.x).expect("self-scoring");
+    println!(
+        "trained on {} ({} rows); booster AUCROC {:.3}",
+        data.name,
+        data.n_samples(),
+        roc_auc(&data.labels_f64(), &scores)
+    );
+
+    // 2. Persist and reload — bit-identical by construction.
+    let path = std::env::temp_dir().join("uadb_serve_example.uadb");
+    persist::save_file(&served, &path).expect("save");
+    let loaded = persist::load_file(&path).expect("load");
+    println!("round-tripped model through {}", path.display());
+
+    // 3. Serve the loaded model on an ephemeral port.
+    let server =
+        Server::bind("127.0.0.1:0", Arc::new(loaded), PoolConfig { workers: 4, shard_rows: 64 })
+            .expect("bind");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+    println!("serving on http://{addr}");
+
+    // 4. Four concurrent clients post disjoint slices of the data.
+    let expected = Arc::new(scores);
+    let chunk = data.n_samples() / 4;
+    let threads: Vec<_> = (0..4)
+        .map(|c| {
+            let x = data.x.clone();
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let rows: Vec<usize> = (c * chunk..(c + 1) * chunk).collect();
+                let body = json::to_string(&json::object([(
+                    "rows",
+                    json::Value::Array(
+                        rows.iter().map(|&r| json::number_array(x.row(r))).collect(),
+                    ),
+                )]));
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let req = format!(
+                    "POST /score HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                stream.write_all(req.as_bytes()).expect("send");
+                let mut response = String::new();
+                stream.read_to_string(&mut response).expect("receive");
+                let payload = response.split_once("\r\n\r\n").expect("body").1;
+                let got: Vec<f64> = json::parse(payload)
+                    .expect("json")
+                    .get("scores")
+                    .expect("scores")
+                    .as_array()
+                    .expect("array")
+                    .iter()
+                    .map(|v| v.as_f64().expect("number"))
+                    .collect();
+                for (pos, &row) in rows.iter().enumerate() {
+                    assert_eq!(
+                        got[pos].to_bits(),
+                        expected[row].to_bits(),
+                        "row {row} differs between HTTP and in-process"
+                    );
+                }
+                rows.len()
+            })
+        })
+        .collect();
+    let total: usize = threads.into_iter().map(|t| t.join().expect("client")).sum();
+    println!("{total} rows scored over 4 concurrent connections, all bit-identical");
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

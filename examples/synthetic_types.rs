@@ -9,12 +9,7 @@ use uadb_detectors::DetectorKind;
 use uadb_metrics::{count_errors_top_k, error_correction_rate, roc_auc};
 
 fn main() {
-    let models = [
-        DetectorKind::IForest,
-        DetectorKind::Hbos,
-        DetectorKind::Lof,
-        DetectorKind::Knn,
-    ];
+    let models = [DetectorKind::IForest, DetectorKind::Hbos, DetectorKind::Lof, DetectorKind::Knn];
     for ty in AnomalyType::ALL {
         let data = fig5_dataset(ty, 2026).standardized();
         let labels = data.labels_f64();
@@ -24,9 +19,8 @@ fn main() {
             let teacher_scores = kind.build(0).fit_score(&data.x).expect("fit");
             let teacher_errors = count_errors_top_k(&labels, &teacher_scores, budget).errors();
 
-            let booster = Uadb::new(UadbConfig::with_seed(0))
-                .fit(&data.x, &teacher_scores)
-                .expect("boost");
+            let booster =
+                Uadb::new(UadbConfig::with_seed(0)).fit(&data.x, &teacher_scores).expect("boost");
             let boosted = booster.scores();
             let booster_errors = count_errors_top_k(&labels, boosted, budget).errors();
 

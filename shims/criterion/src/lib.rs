@@ -1,0 +1,159 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/type surface the workspace's bench targets use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `Bencher::iter`). Instead of
+//! criterion's statistical machinery it runs each benchmark closure
+//! `sample_size` times and reports min/mean wall-clock timings — enough
+//! to compare hot-path changes locally while staying dependency-free.
+
+use std::time::Instant;
+
+/// Benchmark driver handed to the functions named in
+/// [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { _c: self, sample_size: 10 }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<N: AsRef<str>, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.as_ref(), 10, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed repetitions per benchmark (criterion's minimum of
+    /// 10 applies).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one closure.
+    pub fn bench_function<N: AsRef<str>, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the hot path.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` `sample_size` times, recording wall-clock nanoseconds.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            let out = f();
+            self.samples.push(t0.elapsed().as_secs_f64() * 1e9);
+            black_box(out);
+        }
+    }
+}
+
+fn run_bench<F>(name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {name}: no samples recorded");
+        return;
+    }
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    println!(
+        "  {name}: min {} / mean {} ({} samples)",
+        format_ns(min),
+        format_ns(mean),
+        b.samples.len()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Identity function opaque to the optimiser, preventing dead-code
+/// elimination of benchmark results.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function calling each named target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn group_runs_closures() {
+        let mut c = super::Criterion::default();
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 3);
+    }
+}

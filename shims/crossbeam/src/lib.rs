@@ -1,0 +1,79 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace; since Rust
+//! 1.63 the standard library provides scoped threads, so this shim is a
+//! thin adapter giving `std::thread::scope` crossbeam's call shape
+//! (`scope(|s| …)` returning `Result`, spawn closures receiving the
+//! scope as an argument).
+
+pub mod thread {
+    //! Scoped thread spawning.
+
+    use std::any::Any;
+
+    /// Handle through which scoped threads are spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread bound to the scope. The closure receives the
+        /// scope so nested spawns are possible (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns.
+    ///
+    /// Divergence from crossbeam: a panicking child propagates the panic
+    /// on join (std semantics) instead of surfacing it in the `Err`
+    /// variant, so the `Ok` arm is always taken when this returns. The
+    /// workspace immediately `expect`s the result, making the two
+    /// behaviours equivalent here.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scope_joins_all_threads() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_argument() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|s| {
+                s.spawn(|s2| {
+                    s2.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 1);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros, the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, range
+//! and tuple strategies, [`collection::vec`] and [`bool::ANY`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! index and message only), and a fixed deterministic case count per
+//! test (overridable via `PROPTEST_CASES`). Each test function derives
+//! its RNG stream from its own name, so cases are stable across runs and
+//! machines.
+
+use std::fmt;
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Number of cases each property runs (`PROPTEST_CASES` overrides; the
+/// default keeps full-workspace test time reasonable while exercising
+/// each property well beyond its boundary conditions).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// A failed property-case assertion (early-returned by the
+/// `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: a fixed size or a
+    /// half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { min: r.start, max: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Vectors with `size` elements (fixed count or sampled from a
+    /// range) drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.max - self.size.min <= 1 {
+                self.size.min
+            } else {
+                self.size.min + rng.usize_below(self.size.max - self.size.min)
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `true`/`false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-boolean strategy value.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! The `prop::` module alias used inside property bodies.
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Defines deterministic randomized property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0..100i64, b in 0..100i64) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __uadb_prop_rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                let __uadb_prop_cases = $crate::cases();
+                for __uadb_prop_case in 0..__uadb_prop_cases {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __uadb_prop_rng,
+                        );
+                    )*
+                    let __uadb_prop_result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __uadb_prop_result {
+                        panic!(
+                            "property `{}` failed on case {}/{}: {}",
+                            stringify!($name),
+                            __uadb_prop_case + 1,
+                            __uadb_prop_cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body, failing the current case
+/// with location info (and an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {{
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let __uadb_prop_ok: bool = $cond;
+        if !__uadb_prop_ok {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "{} at {}:{}",
+                format_args!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "{} (left: `{:?}`, right: `{:?}`) at {}:{}",
+                format_args!($($fmt)*),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, f64)> {
+        (0.0..1.0f64).prop_flat_map(|a| (0.0..1.0f64).prop_map(move |b| (a, b)))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -3.0..3.0f64, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in prop::collection::vec(0.0..1.0f64, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn tuples_and_flat_map_compose((a, b) in pair(), flag in prop::bool::ANY) {
+            prop_assert!((0.0..1.0).contains(&a) && (0.0..1.0).contains(&b));
+            prop_assert_eq!(flag, flag);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_message() {
+        let r = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(x in 0.0..1.0f64) {
+                    prop_assert!(x > 2.0, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "message: {msg}");
+        assert!(msg.contains("x was"), "message: {msg}");
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::from_name("t");
+        let mut b = crate::test_runner::TestRng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::from_name("u");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

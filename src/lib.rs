@@ -3,13 +3,58 @@
 //! downstream user code.
 //!
 //! * [`uadb`] — the booster framework (the paper's contribution),
+//! * [`uadb_serve`] — model persistence + the batch-scoring HTTP server,
 //! * [`uadb_detectors`] — the 14 source UAD models,
 //! * [`uadb_data`] — datasets and generators,
 //! * [`uadb_nn`] — the MLP/Adam substrate,
 //! * [`uadb_metrics`] / [`uadb_stats`] — evaluation machinery,
 //! * [`uadb_linalg`] — dense linear algebra.
 //!
-//! Start with `examples/quickstart.rs`.
+//! ## Quickstart: boost a detector
+//!
+//! ```
+//! use uadb::{Uadb, UadbConfig};
+//! use uadb_data::synth::{fig5_dataset, AnomalyType};
+//! use uadb_detectors::DetectorKind;
+//!
+//! let data = fig5_dataset(AnomalyType::Clustered, 7).standardized();
+//! let teacher = DetectorKind::IForest.build(0).fit_score(&data.x).unwrap();
+//! let model = Uadb::new(UadbConfig::fast_for_tests(0)).fit(&data.x, &teacher).unwrap();
+//! assert_eq!(model.scores().len(), data.n_samples());
+//! ```
+//!
+//! ## Quickstart: deploy it
+//!
+//! Training feeds [`uadb_serve::ServedModel`], which bundles the fitted
+//! ensemble with the train-time standardisation and score calibration;
+//! `save`/`load` round-trip it through a versioned binary format and
+//! [`uadb_serve::Server`] exposes `POST /score` over HTTP:
+//!
+//! ```
+//! use uadb::UadbConfig;
+//! use uadb_data::synth::{fig5_dataset, AnomalyType};
+//! use uadb_detectors::DetectorKind;
+//! use uadb_serve::ServedModel;
+//!
+//! let data = fig5_dataset(AnomalyType::Clustered, 7);
+//! let served = ServedModel::train(
+//!     &data,
+//!     DetectorKind::IForest,
+//!     UadbConfig::fast_for_tests(0),
+//! )
+//! .unwrap();
+//! let mut file = Vec::new();
+//! uadb_serve::save(&served, &mut file).unwrap();
+//! let loaded = uadb_serve::load(&file[..]).unwrap();
+//! assert_eq!(
+//!     loaded.score_rows(&data.x).unwrap(),
+//!     served.score_rows(&data.x).unwrap()
+//! );
+//! ```
+//!
+//! The same loop is available from the shell via the `uadb-serve`
+//! binary (`train`, `score`, `serve`, `info` subcommands); see
+//! `examples/serve_and_score.rs` and `examples/quickstart.rs`.
 
 pub use uadb;
 pub use uadb_data;
@@ -17,4 +62,5 @@ pub use uadb_detectors;
 pub use uadb_linalg;
 pub use uadb_metrics;
 pub use uadb_nn;
+pub use uadb_serve;
 pub use uadb_stats;

@@ -9,11 +9,7 @@ use uadb_detectors::DetectorKind;
 use uadb_metrics::{average_precision, roc_auc};
 
 fn fast_cfg(seed: u64) -> ExperimentConfig {
-    ExperimentConfig {
-        booster: UadbConfig::fast_for_tests(seed),
-        n_runs: 1,
-        n_threads: 2,
-    }
+    ExperimentConfig { booster: UadbConfig::fast_for_tests(seed), n_runs: 1, n_threads: 2 }
 }
 
 #[test]
@@ -39,10 +35,8 @@ fn booster_scores_are_probabilities() {
 
 #[test]
 fn experiment_matrix_is_thread_count_invariant() {
-    let datasets = vec![
-        fig5_dataset(AnomalyType::Global, 2),
-        fig5_dataset(AnomalyType::Clustered, 3),
-    ];
+    let datasets =
+        vec![fig5_dataset(AnomalyType::Global, 2), fig5_dataset(AnomalyType::Clustered, 3)];
     let kinds = [DetectorKind::Hbos, DetectorKind::Ecod];
     let mut cfg = fast_cfg(1);
     cfg.n_threads = 1;
@@ -59,9 +53,7 @@ fn experiment_matrix_is_thread_count_invariant() {
 fn quick_subset_runs_every_detector_family() {
     // One dataset, every detector: the whole zoo must hold the Detector
     // contract on realistic suite data.
-    let data = generate_by_name(QUICK_SUBSET[0], SuiteScale::Quick, 0)
-        .unwrap()
-        .standardized();
+    let data = generate_by_name(QUICK_SUBSET[0], SuiteScale::Quick, 0).unwrap().standardized();
     let labels = data.labels_f64();
     for kind in DetectorKind::ALL {
         let scores = kind.build(5).fit_score(&data.x).unwrap();

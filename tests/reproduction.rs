@@ -13,12 +13,7 @@ use uadb_metrics::{count_errors, error_correction_rate, roc_auc, threshold_by_co
 /// Paper-default booster, but narrower/shorter so debug-mode tests stay
 /// fast while keeping the iterative mechanics intact.
 fn repro_cfg(seed: u64) -> UadbConfig {
-    UadbConfig {
-        t_steps: 6,
-        epochs_per_step: 8,
-        hidden: vec![64],
-        ..UadbConfig::with_seed(seed)
-    }
+    UadbConfig { t_steps: 6, epochs_per_step: 8, hidden: vec![64], ..UadbConfig::with_seed(seed) }
 }
 
 #[test]
