@@ -1,0 +1,63 @@
+//! Hot-path micro-benchmarks: dense `Matrix::matmul` and the MLP
+//! forward pass built on it.
+//!
+//! The serving engine's per-request cost is dominated by these kernels
+//! (every score is standardise → matmul chain → sigmoid), so this bench
+//! is the regression gate for any `uadb_linalg` change — it was added
+//! alongside the removal of `matmul`'s IEEE-violating zero-skip to show
+//! the dense path does not pay for that fix.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uadb_linalg::Matrix;
+use uadb_nn::{Activation, Mlp, MlpConfig};
+
+/// Deterministic pseudo-random fill (no `rand` dependency; xorshift64*).
+fn filled_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let bits = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        // Map to (-1, 1); keeps magnitudes in the MLP's working range.
+        (bits >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    };
+    let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+    Matrix::from_vec(rows, cols, data).expect("shape matches data")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(30);
+    // (1, 16, 128) is the serving hot case: a single-row request
+    // through the first MLP layer.
+    for (m, k, n) in [(1usize, 16usize, 128usize), (256, 16, 128), (256, 128, 128), (1024, 64, 64)]
+    {
+        let a = filled_matrix(m, k, 7);
+        let b = filled_matrix(k, n, 11);
+        g.bench_function(format!("dense_{m}x{k}x{n}"), |bch| {
+            bch.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("forward");
+    g.sample_size(30);
+    let x = filled_matrix(512, 16, 13);
+    for depth in [1usize, 4] {
+        let mlp = Mlp::new(&MlpConfig {
+            input_dim: 16,
+            hidden: vec![128; depth],
+            output_dim: 1,
+            activation: Activation::Sigmoid,
+            seed: 0,
+        });
+        g.bench_function(format!("mlp_depth_{depth}_512x16"), |bch| {
+            bch.iter(|| black_box(mlp.forward(&x)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

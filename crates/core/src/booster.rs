@@ -159,11 +159,31 @@ pub struct ScoreCalibration {
 impl ScoreCalibration {
     /// Fits the constants from training-set scores. A constant or empty
     /// score vector yields the identity-width guard `range = 1`.
+    ///
+    /// Non-finite scores (NaN *and* ±inf) are ignored when fitting: an
+    /// inf-contaminated training run must not bake `min = -inf` or
+    /// `range = inf` into the model, because those constants would be
+    /// rejected by persistence ([`ScoreCalibration::from_parts`]
+    /// requires finite constants) and would collapse every serving-time
+    /// score to NaN/0. The fitted constants are always finite, with
+    /// `range > 0`. `range` is additionally guarded against overflow:
+    /// `MAX - (-MAX)` rounds to `inf`, which also falls back to the
+    /// identity-width guard.
     pub fn fit(scores: &[f64]) -> Self {
-        match uadb_linalg::vecops::min_max(scores) {
-            Some((lo, hi)) if hi > lo => Self { min: lo, range: hi - lo },
-            Some((lo, _)) => Self { min: lo, range: 1.0 },
-            None => Self { min: 0.0, range: 1.0 },
+        let mut finite = scores.iter().copied().filter(|v| v.is_finite());
+        let (mut lo, mut hi) = match finite.next() {
+            Some(first) => (first, first),
+            None => return Self { min: 0.0, range: 1.0 },
+        };
+        for v in finite {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let range = hi - lo;
+        if range > 0.0 && range.is_finite() {
+            Self { min: lo, range }
+        } else {
+            Self { min: lo, range: 1.0 }
         }
     }
 
@@ -171,10 +191,20 @@ impl ScoreCalibration {
     ///
     /// # Panics
     /// If `range` is not positive and finite or `min` is not finite.
+    /// Callers deserialising untrusted data should check
+    /// [`ScoreCalibration::is_valid`] first and surface a typed error
+    /// instead of reaching this assertion.
     pub fn from_parts(min: f64, range: f64) -> Self {
-        assert!(min.is_finite(), "calibration min must be finite");
-        assert!(range > 0.0 && range.is_finite(), "calibration range must be positive and finite");
-        Self { min, range }
+        let cal = Self { min, range };
+        assert!(cal.is_valid(), "calibration constants must be finite with positive range");
+        cal
+    }
+
+    /// Whether the constants are servable: finite `min` and a positive,
+    /// finite `range`. [`ScoreCalibration::fit`] always produces valid
+    /// constants; hand-built or deserialised ones may not.
+    pub fn is_valid(&self) -> bool {
+        self.min.is_finite() && self.range > 0.0 && self.range.is_finite()
     }
 
     /// Applies the affine map to one raw score.
@@ -573,6 +603,31 @@ mod tests {
         // Round trip through persisted constants.
         let rebuilt = ScoreCalibration::from_parts(cal.min, cal.range);
         assert_eq!(rebuilt, cal);
+    }
+
+    #[test]
+    fn calibration_fit_survives_poisoned_scores() {
+        // Inf-contaminated training scores must not bake non-finite
+        // constants into the model (save would then write a file that
+        // every loader rejects).
+        let poisoned = [0.25, f64::INFINITY, 0.75, f64::NAN, 0.5, f64::NEG_INFINITY];
+        let cal = ScoreCalibration::fit(&poisoned);
+        assert!(cal.is_valid(), "fit produced {cal:?}");
+        assert_eq!(cal.min, 0.25);
+        assert_eq!(cal.range, 0.5);
+        // All-poisoned input falls back to the identity-width guard.
+        let cal = ScoreCalibration::fit(&[f64::NAN, f64::INFINITY]);
+        assert!(cal.is_valid());
+        assert_eq!((cal.min, cal.range), (0.0, 1.0));
+        // A finite range that overflows to inf also falls back.
+        let cal = ScoreCalibration::fit(&[f64::MAX, -f64::MAX]);
+        assert!(cal.is_valid(), "overflowing range produced {cal:?}");
+        assert_eq!(cal.range, 1.0);
+        // And hand-built garbage is detectable before from_parts panics.
+        assert!(!ScoreCalibration { min: f64::NEG_INFINITY, range: 1.0 }.is_valid());
+        assert!(!ScoreCalibration { min: 0.0, range: f64::INFINITY }.is_valid());
+        assert!(!ScoreCalibration { min: 0.0, range: 0.0 }.is_valid());
+        assert!(!ScoreCalibration { min: 0.0, range: f64::NAN }.is_valid());
     }
 
     #[test]

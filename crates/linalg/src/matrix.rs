@@ -142,9 +142,13 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
-    /// Iterator over row slices.
+    /// Iterator over row slices. Always yields exactly [`Matrix::rows`]
+    /// items — a `rows × 0` matrix yields `rows` empty slices, not zero
+    /// rows (chunking the empty backing buffer would disagree with the
+    /// declared shape and make e.g. `matvec` drop rows).
     pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
-        self.data.chunks_exact(self.cols.max(1))
+        let cols = self.cols;
+        (0..self.rows).map(move |r| &self.data[r * cols..(r + 1) * cols])
     }
 
     /// Returns a new matrix with the selected rows, in the given order.
@@ -185,6 +189,15 @@ impl Matrix {
     ///
     /// Uses an i-k-j loop order so the inner loop runs over contiguous rows
     /// of both the output and `rhs`, which lets LLVM vectorise it.
+    ///
+    /// Follows IEEE-754 semantics: a NaN or infinity in *either* operand
+    /// poisons every product element it participates in. Zero left-hand
+    /// coefficients (common: ReLU activations are about half zeros) may
+    /// only skip their rank-1 update when the matching `rhs` row is all
+    /// finite — `0.0 * NaN` and `0.0 * inf` are NaN, so an unconditional
+    /// skip would let a corrupted operand score clean. The finiteness of
+    /// each `rhs` row is established in one O(k·n) pre-scan, amortised
+    /// across the m output rows.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -195,12 +208,23 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
+        // Computed lazily on the first zero coefficient actually hit, so
+        // fully dense multiplies (e.g. single-row scoring requests whose
+        // standardised features are never exactly 0) pay nothing for it.
+        let mut rhs_row_finite: Option<Vec<bool>> = None;
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * n..(i + 1) * n];
             for (k, &a_ik) in a_row.iter().enumerate() {
+                // Skipping a zero coefficient is exact only when the rhs
+                // row cannot turn `0.0 * x` into NaN.
                 if a_ik == 0.0 {
-                    continue;
+                    let finite = rhs_row_finite.get_or_insert_with(|| {
+                        (0..rhs.rows).map(|r| rhs.row(r).iter().all(|v| v.is_finite())).collect()
+                    });
+                    if finite[k] {
+                        continue;
+                    }
                 }
                 let b_row = &rhs.data[k * n..(k + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
@@ -264,15 +288,23 @@ impl Matrix {
     }
 
     /// Appends the rows of `other` below `self`.
+    ///
+    /// Widths must agree; only a completely empty `0 × 0` operand (the
+    /// neutral element) is width-agnostic. A `0 × k` matrix still has a
+    /// definite width `k` and stacking it against a different width is a
+    /// shape error — previously that mismatch was silently accepted and
+    /// produced a matrix whose claimed width disagreed with its buffer.
     pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
-        if self.cols != other.cols && self.rows != 0 && other.rows != 0 {
+        let lhs_any = self.rows == 0 && self.cols == 0;
+        let rhs_any = other.rows == 0 && other.cols == 0;
+        if self.cols != other.cols && !lhs_any && !rhs_any {
             return Err(LinalgError::ShapeMismatch {
                 op: "vstack",
                 lhs: self.shape(),
                 rhs: other.shape(),
             });
         }
-        let cols = if self.rows == 0 { other.cols } else { self.cols };
+        let cols = if lhs_any { other.cols } else { self.cols };
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
@@ -381,6 +413,42 @@ mod tests {
     }
 
     #[test]
+    fn matmul_propagates_nan_and_inf_through_zero_coefficients() {
+        // IEEE-754: 0.0 * NaN = NaN and 0.0 * inf = NaN, so a zero in the
+        // left operand must NOT shortcut past a poisoned right operand.
+        let a = m(1, 2, &[0.0, 1.0]);
+        let mut b = m(2, 2, &[f64::NAN, f64::INFINITY, 5.0, 6.0]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.get(0, 0).is_nan(), "0*NaN + 1*5 must be NaN, got {}", c.get(0, 0));
+        assert!(c.get(0, 1).is_nan(), "0*inf + 1*6 must be NaN, got {}", c.get(0, 1));
+        // Infinity in the right operand against a non-zero coefficient
+        // propagates as ±inf.
+        b = m(2, 2, &[f64::INFINITY, 1.0, 5.0, 6.0]);
+        let a = m(1, 2, &[2.0, 1.0]);
+        assert_eq!(a.matmul(&b).unwrap().get(0, 0), f64::INFINITY);
+        // And NaN/inf in the *left* operand poisons its whole output row.
+        let a = m(1, 2, &[f64::NAN, 0.0]);
+        let b = m(2, 1, &[1.0, 1.0]);
+        assert!(a.matmul(&b).unwrap().get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn zero_width_matrix_keeps_its_rows() {
+        let z = Matrix::zeros(3, 0);
+        assert_eq!(z.rows(), 3);
+        // row_iter must agree with rows(): 3 empty rows, not 0 rows.
+        let rows: Vec<&[f64]> = z.row_iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.is_empty()));
+        // matvec on a rows×0 matrix is `rows` empty dot products = zeros.
+        assert_eq!(z.matvec(&[]).unwrap(), vec![0.0; 3]);
+        // matmul against a 0×k operand likewise keeps the row count.
+        let c = z.matmul(&Matrix::zeros(0, 4)).unwrap();
+        assert_eq!(c.shape(), (3, 4));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
     fn matvec_matches_matmul() {
         let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
         let v = vec![1.0, 0.5, -1.0];
@@ -408,6 +476,23 @@ mod tests {
         assert_eq!(s.shape(), (3, 2));
         assert_eq!(s.row(2), &[5., 6.]);
         assert!(a.vstack(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn vstack_zero_row_operands_still_check_width() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        // A 0×2 matrix has width 2; stacking it with width 3 is an error
+        // in both orders (previously accepted, corrupting the layout).
+        assert!(a.vstack(&Matrix::zeros(0, 2)).is_err());
+        assert!(Matrix::zeros(0, 2).vstack(&a).is_err());
+        // Matching zero-row width is fine and preserves the width.
+        assert_eq!(a.vstack(&Matrix::zeros(0, 3)).unwrap(), a);
+        assert_eq!(Matrix::zeros(0, 3).vstack(&a).unwrap(), a);
+        // The truly empty 0×0 matrix is the neutral element on either side.
+        assert_eq!(a.vstack(&Matrix::zeros(0, 0)).unwrap(), a);
+        let s = Matrix::zeros(0, 0).vstack(&a).unwrap();
+        assert_eq!(s, a);
+        assert_eq!(Matrix::zeros(0, 0).vstack(&Matrix::zeros(0, 0)).unwrap().shape(), (0, 0));
     }
 
     #[test]

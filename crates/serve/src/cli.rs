@@ -5,12 +5,14 @@
 //! the binary is a thin shell over [`crate::model`], [`crate::persist`]
 //! and [`crate::http`].
 
-use crate::http::Server;
+use crate::http::{Server, ServerConfig};
 use crate::json;
 use crate::model::ServedModel;
 use crate::persist;
 use crate::pool::PoolConfig;
+use crate::registry::{self, ModelRegistry};
 use std::sync::Arc;
+use std::time::Duration;
 use uadb::UadbConfig;
 use uadb_data::io::{read_csv_file, LabelColumn};
 use uadb_data::suite::{generate_by_name, SuiteScale};
@@ -28,7 +30,9 @@ USAGE:
                    [--teacher KIND] [--seed N] [--steps N] [--scale quick|full]
                    [--label-last]
   uadb-serve score --model FILE (--csv FILE | --json JSON) [--label-last] [--out FILE]
-  uadb-serve serve --model FILE [--addr HOST:PORT] [--workers N] [--shard-rows N]
+  uadb-serve serve --model [NAME=]FILE [--model NAME=FILE ...] [--default NAME]
+                   [--addr HOST:PORT] [--workers N] [--shard-rows N]
+                   [--max-conns N] [--max-requests N] [--idle-timeout-ms N]
   uadb-serve info  --model FILE
 
 SUBCOMMANDS:
@@ -39,7 +43,12 @@ SUBCOMMANDS:
           0/1 label used only for the AUC report).
   score   Load a model file and score rows from a CSV file or an inline
           JSON array of rows; writes `row,score` CSV to stdout or --out.
-  serve   Load a model file and serve POST /score, GET /healthz, GET /model.
+  serve   Serve one or more model files over keep-alive HTTP/1.1.
+          --model is repeatable; NAME=FILE registers FILE under NAME (a bare
+          FILE is registered as `default`). Bare POST /score routes to the
+          default model (--default NAME overrides; otherwise the first
+          --model). Endpoints: POST /score[/NAME], GET /model[/NAME],
+          GET /models, POST /admin/reload/NAME, GET /healthz.
   info    Print a model file's metadata as JSON.
 
 Teachers: IForest HBOS LOF KNN PCA OCSVM CBLOF COF SOD ECOD GMM LODA COPOD
@@ -118,6 +127,11 @@ impl Flags {
 
     fn get(&self, name: &str) -> Option<&str> {
         self.pairs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeatable flag, in the order given.
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs.iter().filter(|(n, _)| n == name).map(|(_, v)| v.as_str()).collect()
     }
 
     fn require(&self, name: &str) -> Result<&str, CliError> {
@@ -250,18 +264,85 @@ fn score(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Splits a `--model` value into `(name, path)`: `NAME=FILE` names the
+/// model explicitly, a bare `FILE` registers as `default`.
+fn parse_model_flag(value: &str) -> Result<(&str, &str), CliError> {
+    match value.split_once('=') {
+        Some((name, path)) => {
+            if !registry::is_valid_name(name) {
+                return Err(err(format!(
+                    "invalid model name `{name}` (want 1-{} chars of [A-Za-z0-9._-])",
+                    registry::MAX_NAME_LEN
+                )));
+            }
+            if path.is_empty() {
+                return Err(err(format!("--model {value}: empty path")));
+            }
+            Ok((name, path))
+        }
+        None => Ok(("default", value)),
+    }
+}
+
 fn serve(flags: &Flags) -> Result<(), CliError> {
-    let served = Arc::new(load_model(flags)?);
-    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
+    let model_flags = flags.get_all("model");
+    if model_flags.is_empty() {
+        return Err(err("missing required --model (repeatable; NAME=FILE or FILE)"));
+    }
     let pool_cfg = PoolConfig {
         workers: flags.parse_num("workers", 0usize)?,
         shard_rows: flags.parse_num("shard-rows", PoolConfig::default().shard_rows)?,
     };
-    let server =
-        Server::bind(addr, served, pool_cfg).map_err(|e| err(format!("binding {addr}: {e}")))?;
+    let registry = Arc::new(ModelRegistry::new());
+    let mut first_name: Option<String> = None;
+    for value in model_flags {
+        let (name, path) = parse_model_flag(value)?;
+        if registry.get(name).is_some() {
+            return Err(err(format!("model name `{name}` given twice")));
+        }
+        registry
+            .insert_from_file(name, path, pool_cfg.clone())
+            .map_err(|e| err(format!("loading {path}: {e}")))?;
+        first_name.get_or_insert_with(|| name.to_string());
+    }
+    // Bare /score routes to --default, or the first --model.
+    let default_name = match flags.get("default") {
+        Some(name) => name.to_string(),
+        None => first_name.expect("at least one model registered"),
+    };
+    registry
+        .set_default(&default_name)
+        .map_err(|_| err(format!("--default {default_name} does not name a --model")))?;
+
+    let defaults = ServerConfig::default();
+    let server_cfg = ServerConfig {
+        max_connections: flags.parse_num("max-conns", defaults.max_connections)?,
+        max_requests_per_conn: flags.parse_num("max-requests", defaults.max_requests_per_conn)?,
+        idle_timeout: Duration::from_millis(
+            flags.parse_num("idle-timeout-ms", defaults.idle_timeout.as_millis() as u64)?,
+        ),
+        io_timeout: defaults.io_timeout,
+    };
+    if server_cfg.max_connections == 0 || server_cfg.max_requests_per_conn == 0 {
+        return Err(err("--max-conns and --max-requests must be at least 1"));
+    }
+    if server_cfg.idle_timeout.is_zero() {
+        // A zero read timeout cannot be set on a socket; it would mean
+        // "no timeout", the opposite of what the operator asked for.
+        return Err(err("--idle-timeout-ms must be at least 1"));
+    }
+
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
+    let server = Server::bind(addr, Arc::clone(&registry), server_cfg)
+        .map_err(|e| err(format!("binding {addr}: {e}")))?;
     println!(
-        "serving on http://{} (POST /score, GET /healthz, GET /model)",
+        "serving {} model(s) [default: {default_name}] on http://{}",
+        registry.len(),
         server.local_addr().map_err(|e| err(e.to_string()))?
+    );
+    println!(
+        "endpoints: POST /score[/NAME], GET /model[/NAME], GET /models, \
+         POST /admin/reload/NAME, GET /healthz"
     );
     server.run().map_err(|e| err(format!("server failed: {e}")))
 }
@@ -298,6 +379,35 @@ mod tests {
         assert!(Flags::parse(&bad).is_err());
         let dangling: Vec<String> = vec!["--out".into()];
         assert!(Flags::parse(&dangling).is_err());
+    }
+
+    #[test]
+    fn model_flag_values_parse() {
+        assert_eq!(parse_model_flag("m.uadb").unwrap(), ("default", "m.uadb"));
+        assert_eq!(
+            parse_model_flag("fraud=models/fraud.uadb").unwrap(),
+            ("fraud", "models/fraud.uadb")
+        );
+        assert!(parse_model_flag("bad name=x.uadb").is_err());
+        assert!(parse_model_flag("=x.uadb").is_err());
+        assert!(parse_model_flag("a=").is_err());
+        let args: Vec<String> =
+            ["--model", "a=1.uadb", "--model", "b=2.uadb"].iter().map(|s| s.to_string()).collect();
+        let f = Flags::parse(&args).unwrap();
+        assert_eq!(f.get_all("model"), vec!["a=1.uadb", "b=2.uadb"]);
+        assert_eq!(f.get_all("nope"), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        let none = Flags::parse(&[]).unwrap();
+        assert!(serve(&none).unwrap_err().0.contains("--model"));
+        let dup: Vec<String> =
+            ["--model", "a=x.uadb", "--model", "a=y.uadb"].iter().map(|s| s.to_string()).collect();
+        // Duplicate names fail before any file I/O only if the first
+        // load succeeds, so here the missing file errors first; both are
+        // rejections either way.
+        assert!(serve(&Flags::parse(&dup).unwrap()).is_err());
     }
 
     #[test]

@@ -1,27 +1,42 @@
-//! Minimal HTTP/1.1 JSON scoring server over `std::net::TcpListener`.
+//! HTTP/1.1 scoring server with persistent connections and multi-model
+//! routing over `std::net::TcpListener`.
 //!
 //! Endpoints:
 //!
-//! * `POST /score` — body `{"rows": [[f64, …], …]}`, response
-//!   `{"scores": [f64, …], "n": k}`. Scores go through the shared
-//!   [`ScoringPool`], so they match in-process
-//!   [`ServedModel::score_rows`] bit for bit.
+//! * `POST /score` — score against the registry's default model; body
+//!   `{"rows": [[f64, …], …]}`, response `{"scores": [f64, …], "n": k}`.
+//!   Scores go through the model's shared [`ScoringPool`], so they match
+//!   in-process [`crate::model::ServedModel::score_rows`] bit for bit.
+//! * `POST /score/{name}` — same, against a named model (404 unknown).
+//! * `GET /model` / `GET /model/{name}` — model metadata.
+//! * `GET /models` — names, default, and per-model metadata.
+//! * `POST /admin/reload/{name}` — hot-swap a model from its source file
+//!   (or from `{"path": "..."}` in the body) without dropping in-flight
+//!   connections.
 //! * `GET /healthz` — liveness probe.
-//! * `GET /model` — model metadata (provenance, dims, calibration).
 //!
-//! One thread per connection (`Connection: close` semantics); the
-//! heavy lifting is sharded across the pool's fixed worker set, so
-//! accept-side threads stay I/O-bound. Request headers and bodies are
-//! size-capped before any allocation happens.
+//! Connection model: each accepted socket gets a handler thread running
+//! a **request loop** with HTTP/1.1 keep-alive semantics — `Connection:
+//! close` / `keep-alive` honoured per protocol version, a cap on
+//! requests per connection, and an idle timeout between requests. The
+//! number of concurrent connections is bounded ([`ServerConfig::
+//! max_connections`]); over-budget clients get an immediate `503` with
+//! `Connection: close` instead of an unbounded thread spawn. Request
+//! heads and bodies are size-capped before any allocation happens, and
+//! the CPU-heavy scoring itself runs on each model's fixed worker pool,
+//! so handler threads stay I/O-bound.
 
 use crate::json::{self, Value};
 use crate::model::ServedModel;
 use crate::pool::{PoolConfig, ScoringPool};
+use crate::registry::{ModelRegistry, RegistryError};
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 use uadb_linalg::Matrix;
 
 /// Upper bound on request head (request line + headers).
@@ -31,39 +46,82 @@ const MAX_BODY: usize = 64 * 1024 * 1024;
 /// Consecutive accept failures tolerated before the listener is declared
 /// dead and `run()` returns the error.
 const MAX_ACCEPT_FAILURES: u32 = 100;
-/// Per-connection socket read/write timeout: a stalled or silent client
-/// frees its thread instead of pinning it forever.
-const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// Connection-layer tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrent connections; further clients get `503` +
+    /// `Connection: close` until a slot frees up.
+    pub max_connections: usize,
+    /// Requests served on one connection before the server closes it
+    /// (defends against a single client pinning a handler forever).
+    pub max_requests_per_conn: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Read/write timeout *within* a request (headers, body, response):
+    /// a stalled or silent client frees its thread instead of pinning it.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 256,
+            max_requests_per_conn: 1000,
+            idle_timeout: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
 
 /// A bound scoring server (not yet accepting).
 pub struct Server {
     listener: TcpListener,
-    pool: Arc<ScoringPool>,
+    registry: Arc<ModelRegistry>,
+    cfg: ServerConfig,
 }
 
 /// Handle to a server running on a background thread (used by the CLI's
 /// foreground mode indirectly and by tests directly).
 pub struct ServerHandle {
     addr: SocketAddr,
+    registry: Arc<ModelRegistry>,
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listener and spins up the scoring pool.
+    /// Binds the listener over a model registry.
     pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<ModelRegistry>,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, registry, cfg })
+    }
+
+    /// Convenience: binds a single-model server, registering `model`
+    /// under the name `"default"` with its own scoring pool.
+    pub fn bind_single(
         addr: impl ToSocketAddrs,
         model: Arc<ServedModel>,
         pool_cfg: PoolConfig,
     ) -> io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let pool = Arc::new(ScoringPool::new(model, pool_cfg));
-        Ok(Server { listener, pool })
+        let registry = Arc::new(ModelRegistry::new());
+        registry.insert("default", model, pool_cfg).expect("\"default\" is a valid registry name");
+        Self::bind(addr, registry, ServerConfig::default())
     }
 
     /// The bound address (useful after binding port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The registry this server routes over.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
     }
 
     /// Accepts connections forever on the calling thread.
@@ -76,17 +134,19 @@ impl Server {
     /// that can stop it.
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
+        let registry = Arc::clone(&self.registry);
         let stop = Arc::new(AtomicBool::new(false));
         let loop_stop = Arc::clone(&stop);
         let thread =
             std::thread::Builder::new().name("uadb-serve-accept".to_string()).spawn(move || {
                 let _ = self.accept_loop(&loop_stop);
             })?;
-        Ok(ServerHandle { addr, stop, thread: Some(thread) })
+        Ok(ServerHandle { addr, registry, stop, thread: Some(thread) })
     }
 
-    fn accept_loop(&self, stop: &AtomicBool) -> io::Result<()> {
+    fn accept_loop(&self, stop: &Arc<AtomicBool>) -> io::Result<()> {
         let mut consecutive_failures = 0u32;
+        let active = Arc::new(AtomicUsize::new(0));
         for conn in self.listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
@@ -94,14 +154,28 @@ impl Server {
             match conn {
                 Ok(stream) => {
                     consecutive_failures = 0;
-                    let pool = Arc::clone(&self.pool);
-                    // Thread-per-connection: requests are one-shot
-                    // (Connection: close) and scoring itself runs on the
-                    // fixed pool, so these threads are short-lived and
-                    // I/O-bound.
-                    let _ = std::thread::Builder::new()
+                    // Connection budget: never spawn more handler threads
+                    // than configured. Over-budget clients get a fast,
+                    // best-effort 503 on the accept thread (bounded by a
+                    // short write timeout) rather than a silent reset.
+                    if active.load(Ordering::SeqCst) >= self.cfg.max_connections {
+                        reject_over_budget(stream);
+                        continue;
+                    }
+                    let guard = ConnGuard::enter(&active);
+                    let registry = Arc::clone(&self.registry);
+                    let cfg = self.cfg.clone();
+                    let conn_stop = Arc::clone(stop);
+                    let spawned = std::thread::Builder::new()
                         .name("uadb-serve-conn".to_string())
-                        .spawn(move || handle_connection(stream, &pool));
+                        .spawn(move || {
+                            let _guard = guard;
+                            handle_connection(stream, &registry, &cfg, &conn_stop);
+                        });
+                    // A failed spawn drops the guard, releasing the slot.
+                    if let Err(e) = spawned {
+                        eprintln!("uadb-serve: spawning connection handler failed: {e}");
+                    }
                 }
                 Err(e) => {
                     // Transient accept errors (aborted handshake, EMFILE
@@ -115,12 +189,36 @@ impl Server {
                         return Err(e);
                     }
                     eprintln!("uadb-serve: accept failed: {e}");
-                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    std::thread::sleep(Duration::from_millis(10));
                 }
             }
         }
         Ok(())
     }
+}
+
+/// RAII slot in the connection budget.
+struct ConnGuard {
+    active: Arc<AtomicUsize>,
+}
+
+impl ConnGuard {
+    fn enter(active: &Arc<AtomicUsize>) -> Self {
+        active.fetch_add(1, Ordering::SeqCst);
+        Self { active: Arc::clone(active) }
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn reject_over_budget(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let response = Response::error(503, "Service Unavailable", "connection budget exhausted");
+    let _ = write_response(&mut stream, &response, true);
 }
 
 impl ServerHandle {
@@ -129,20 +227,41 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops the accept loop and joins the server thread. In-flight
-    /// connection threads finish their single request independently.
+    /// The registry the running server routes over (hot reload, tests).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Stops the accept loop and joins the server thread. Connection
+    /// handler threads see the stop flag after at most one more request
+    /// and answer it with `Connection: close`.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept call.
-        let _ = TcpStream::connect(self.addr);
+        // Unblock the accept call. Connecting to the *bound* address
+        // would hang forever for 0.0.0.0/:: (unspecified addresses are
+        // not routable connect targets on every platform), so aim at the
+        // loopback of the same family and port instead.
+        let _ = TcpStream::connect_timeout(&unblock_addr(self.addr), Duration::from_secs(1));
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
     }
+}
+
+/// The address used to wake up `accept` during shutdown: the bound
+/// address, with an unspecified IP (`0.0.0.0` / `::`) replaced by the
+/// loopback of the same family.
+fn unblock_addr(bound: SocketAddr) -> SocketAddr {
+    let ip = match bound.ip() {
+        IpAddr::V4(v4) if v4.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(v6) if v6.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, bound.port())
 }
 
 impl Drop for ServerHandle {
@@ -155,6 +274,10 @@ struct Request {
     method: String,
     path: String,
     body: Vec<u8>,
+    /// Whether the *client* allows the connection to stay open
+    /// (HTTP/1.1 without `Connection: close`, or HTTP/1.0 with an
+    /// explicit `Connection: keep-alive`).
+    keep_alive: bool,
 }
 
 struct Response {
@@ -173,67 +296,164 @@ impl Response {
     }
 }
 
-fn handle_connection(stream: TcpStream, pool: &ScoringPool) {
+/// Why reading the next request off a connection stopped.
+enum ReadError {
+    /// Clean end: the peer closed the socket, or the idle timeout
+    /// expired, before any byte of a new request arrived. Not an error —
+    /// just close quietly.
+    Closed,
+    /// Malformed request (answered with `400`, then close).
+    Bad(String),
+    /// Well-formed but unimplemented framing, e.g. `Transfer-Encoding:
+    /// chunked` (answered with `501`, then close).
+    Unsupported(String),
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Arc<ModelRegistry>,
+    cfg: &ServerConfig,
+    stop: &AtomicBool,
+) {
     let peer = stream.peer_addr().ok();
-    // A peer that connects and goes silent must not hold this thread
-    // hostage; timed-out reads surface as a 400/short-body error below.
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let mut reader = BufReader::new(stream);
-    let response = match read_request(&mut reader) {
-        Ok(req) => route(&req, pool),
-        Err(e) => Response::error(400, "Bad Request", &e),
+    let _ = stream.set_write_timeout(Some(effective_timeout(cfg.io_timeout)));
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
     };
-    let mut stream = reader.into_inner();
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        response.status,
-        response.reason,
-        response.body.len()
-    );
-    // The peer may have gone away; nothing useful to do about it.
-    let _ = stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(response.body.as_bytes()))
-        .and_then(|()| stream.flush())
-        .map_err(|e| {
+    let mut reader = BufReader::new(reader_stream);
+    let mut writer = stream;
+    let mut served = 0usize;
+    loop {
+        let request = match read_request(&mut reader, cfg) {
+            Ok(req) => req,
+            Err(ReadError::Closed) => break,
+            Err(ReadError::Bad(msg)) => {
+                let _ =
+                    write_response(&mut writer, &Response::error(400, "Bad Request", &msg), true);
+                break;
+            }
+            Err(ReadError::Unsupported(msg)) => {
+                let response = Response::error(501, "Not Implemented", &msg);
+                let _ = write_response(&mut writer, &response, true);
+                break;
+            }
+        };
+        served += 1;
+        // Close after this response if the client asked for it, the
+        // per-connection request budget is spent, or the server is
+        // shutting down.
+        let close = !request.keep_alive
+            || served >= cfg.max_requests_per_conn
+            || stop.load(Ordering::SeqCst);
+        let response = route(&request, registry);
+        if let Err(e) = write_response(&mut writer, &response, close) {
             if let Some(p) = peer {
                 eprintln!("uadb-serve: write to {p} failed: {e}");
             }
-        });
+            break;
+        }
+        if close {
+            break;
+        }
+    }
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
+fn write_response(w: &mut TcpStream, response: &Response, close: bool) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        response.reason,
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(response.body.as_bytes())?;
+    w.flush()
+}
+
+/// A socket timeout that is always *set*: `set_read_timeout(Some(ZERO))`
+/// is an error in std (its result is deliberately discarded here), so a
+/// zero configured duration would silently mean **no timeout at all** —
+/// a silent client could then pin its handler thread and budget slot
+/// forever. Clamp to 1ms instead: the closest honest reading of
+/// "timeout: 0".
+fn effective_timeout(d: Duration) -> Duration {
+    d.max(Duration::from_millis(1))
+}
+
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    cfg: &ServerConfig,
+) -> Result<Request, ReadError> {
+    // Between requests the connection may idle up to `idle_timeout`;
+    // once the first byte of a request line lands, the stricter
+    // `io_timeout` governs the rest of the head and the body.
+    let _ = reader.get_ref().set_read_timeout(Some(effective_timeout(cfg.idle_timeout)));
     let mut line = String::new();
-    take_line(reader, &mut line)?;
+    take_request_line(reader, &mut line)?;
+    let _ = reader.get_ref().set_read_timeout(Some(effective_timeout(cfg.io_timeout)));
+
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_string();
-    let path = parts.next().ok_or("missing request path")?.to_string();
-    let version = parts.next().ok_or("missing HTTP version")?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported protocol {version}"));
-    }
-    let mut content_length = 0usize;
+    let method =
+        parts.next().ok_or_else(|| ReadError::Bad("empty request line".into()))?.to_string();
+    let path =
+        parts.next().ok_or_else(|| ReadError::Bad("missing request path".into()))?.to_string();
+    let version = parts.next().ok_or_else(|| ReadError::Bad("missing HTTP version".into()))?;
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Err(ReadError::Bad(format!("unsupported protocol {other}"))),
+    };
+
+    let mut content_length: Option<usize> = None;
+    let mut connection_close = false;
+    let mut connection_keep_alive = false;
     let mut head_bytes = line.len();
     loop {
         line.clear();
         take_line(reader, &mut line)?;
         head_bytes += line.len() + 2;
         if head_bytes > MAX_HEAD {
-            return Err("request head too large".to_string());
+            return Err(ReadError::Bad("request head too large".into()));
         }
         if line.is_empty() {
             break;
         }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length =
-                    value.trim().parse().map_err(|_| "invalid Content-Length".to_string())?;
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            // RFC 9112 §6.3: duplicate or conflicting Content-Length
+            // headers are a framing attack vector (request smuggling);
+            // reject them outright rather than picking one.
+            let parsed: usize = value
+                .parse()
+                .map_err(|_| ReadError::Bad(format!("invalid Content-Length `{value}`")))?;
+            if content_length.is_some() {
+                return Err(ReadError::Bad("duplicate Content-Length header".into()));
+            }
+            content_length = Some(parsed);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // We never advertise chunked support; a body we cannot frame
+            // must be refused, not silently read as length 0.
+            return Err(ReadError::Unsupported(format!(
+                "Transfer-Encoding `{value}` is not supported; send a Content-Length body"
+            )));
+        } else if name.eq_ignore_ascii_case("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    connection_close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    connection_keep_alive = true;
+                }
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
-        return Err(format!("body exceeds {MAX_BODY} bytes"));
+        return Err(ReadError::Bad(format!("body exceeds {MAX_BODY} bytes")));
     }
     // Grow the body buffer with the bytes that actually arrive instead
     // of trusting Content-Length up front: a client declaring 64MB and
@@ -242,40 +462,173 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
     Read::by_ref(reader)
         .take(content_length as u64)
         .read_to_end(&mut body)
-        .map_err(|e| format!("short body: {e}"))?;
+        .map_err(|e| ReadError::Bad(format!("short body: {e}")))?;
     if body.len() != content_length {
-        return Err(format!("short body: got {} of {content_length} declared bytes", body.len()));
+        return Err(ReadError::Bad(format!(
+            "short body: got {} of {content_length} declared bytes",
+            body.len()
+        )));
     }
-    Ok(Request { method, path, body })
+    let keep_alive =
+        if http11 { !connection_close } else { connection_keep_alive && !connection_close };
+    Ok(Request { method, path, body, keep_alive })
 }
 
-fn take_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> Result<(), String> {
+/// Reads the request line, mapping "nothing arrived" (peer closed, or
+/// idle timeout while keep-alive) to [`ReadError::Closed`].
+fn take_request_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> Result<(), ReadError> {
+    let mut limited = Read::by_ref(reader).take(MAX_HEAD as u64 + 2);
+    match limited.read_line(line) {
+        Ok(0) => Err(ReadError::Closed),
+        Ok(_) if !line.ends_with('\n') => Err(ReadError::Bad("truncated request line".into())),
+        Ok(_) => {
+            trim_line_ending(line);
+            Ok(())
+        }
+        Err(e) => {
+            if line.is_empty()
+                && matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+            {
+                // Idle keep-alive connection ran out its grace period.
+                Err(ReadError::Closed)
+            } else {
+                Err(ReadError::Bad(format!("read failure: {e}")))
+            }
+        }
+    }
+}
+
+/// Reads a header line (after the request line); any failure here is a
+/// malformed request, not a clean close.
+fn take_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> Result<(), ReadError> {
     // Cap the line read so a malicious peer cannot grow memory.
     let mut limited = Read::by_ref(reader).take(MAX_HEAD as u64 + 2);
-    limited.read_line(line).map_err(|e| format!("read failure: {e}"))?;
+    limited.read_line(line).map_err(|e| ReadError::Bad(format!("read failure: {e}")))?;
     if !line.ends_with('\n') {
-        return Err("truncated request line".to_string());
+        return Err(ReadError::Bad("truncated header line".into()));
     }
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
-    }
+    trim_line_ending(line);
     Ok(())
 }
 
-fn route(req: &Request, pool: &ScoringPool) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Response::json(
+fn trim_line_ending(line: &mut String) {
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+}
+
+fn route(req: &Request, registry: &Arc<ModelRegistry>) -> Response {
+    // Ignore any query string; routing is purely path-based.
+    let path = req.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::json(
             200,
             "OK",
             &json::object([
                 ("status", Value::String("ok".to_string())),
-                ("model", Value::String(pool.model().meta().dataset.clone())),
+                ("models", Value::Number(registry.len() as f64)),
+                ("default", registry.default_name().map(Value::String).unwrap_or(Value::Null)),
             ]),
         ),
-        ("GET", "/model") => Response::json(200, "OK", &model_info(pool.model())),
-        ("POST", "/score") => score(req, pool),
-        ("GET", "/score") => Response::error(405, "Method Not Allowed", "use POST /score"),
+        ("GET", ["models"]) => list_models(registry),
+        ("GET", ["model"]) => match registry.default_pool() {
+            Some(pool) => Response::json(200, "OK", &model_info(pool.model())),
+            None => Response::error(404, "Not Found", "no default model registered"),
+        },
+        ("GET", ["model", name]) => match registry.get(name) {
+            Some(pool) => Response::json(200, "OK", &model_info(pool.model())),
+            None => unknown_model(name),
+        },
+        ("POST", ["score"]) => match registry.default_pool() {
+            Some(pool) => score(req, &pool),
+            None => Response::error(404, "Not Found", "no default model registered"),
+        },
+        ("POST", ["score", name]) => match registry.get(name) {
+            Some(pool) => score(req, &pool),
+            None => unknown_model(name),
+        },
+        ("POST", ["admin", "reload", name]) => reload_model(req, registry, name),
+        ("GET", ["score"] | ["score", _]) => {
+            Response::error(405, "Method Not Allowed", "use POST /score")
+        }
         _ => Response::error(404, "Not Found", "unknown endpoint"),
+    }
+}
+
+fn unknown_model(name: &str) -> Response {
+    Response::error(404, "Not Found", &format!("no model named `{name}` (see GET /models)"))
+}
+
+fn list_models(registry: &Arc<ModelRegistry>) -> Response {
+    let models: Vec<Value> = registry
+        .names()
+        .into_iter()
+        .filter_map(|name| {
+            // An entry can be removed between names() and get(); skip it.
+            let pool = registry.get(&name)?;
+            let meta = pool.model().meta();
+            Some(json::object([
+                ("name", Value::String(name)),
+                ("dataset", Value::String(meta.dataset.clone())),
+                ("teacher", Value::String(meta.teacher.clone())),
+                ("input_dim", Value::Number(pool.model().input_dim() as f64)),
+                ("n_train", Value::Number(meta.n_train as f64)),
+            ]))
+        })
+        .collect();
+    Response::json(
+        200,
+        "OK",
+        &json::object([
+            ("default", registry.default_name().map(Value::String).unwrap_or(Value::Null)),
+            ("models", Value::Array(models)),
+        ]),
+    )
+}
+
+fn reload_model(req: &Request, registry: &Arc<ModelRegistry>, name: &str) -> Response {
+    // Optional body: {"path": "/new/model/file"}. An empty body reloads
+    // from the entry's remembered source file.
+    let explicit_path = if req.body.is_empty() {
+        None
+    } else {
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, "Bad Request", "body is not UTF-8"),
+        };
+        let parsed = match json::parse(text) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, "Bad Request", &e.to_string()),
+        };
+        match parsed.get("path").map(|p| p.as_str()) {
+            Some(Some(p)) => Some(p.to_string()),
+            Some(None) => return Response::error(400, "Bad Request", "\"path\" must be a string"),
+            None => return Response::error(400, "Bad Request", "expected {\"path\": \"...\"}"),
+        }
+    };
+    match registry.reload(name, explicit_path.as_deref().map(Path::new)) {
+        Ok(()) => {
+            let info =
+                registry.get(name).map(|pool| model_info(pool.model())).unwrap_or(Value::Null);
+            Response::json(
+                200,
+                "OK",
+                &json::object([("reloaded", Value::String(name.to_string())), ("model", info)]),
+            )
+        }
+        Err(e @ RegistryError::UnknownModel(_)) => {
+            Response::error(404, "Not Found", &e.to_string())
+        }
+        Err(e @ (RegistryError::NoSourcePath(_) | RegistryError::InvalidName(_))) => {
+            Response::error(409, "Conflict", &e.to_string())
+        }
+        Err(e @ RegistryError::Load(_)) => {
+            Response::error(422, "Unprocessable Entity", &e.to_string())
+        }
     }
 }
 

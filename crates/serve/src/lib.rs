@@ -11,10 +11,16 @@
 //! 2. **Batch scoring engine** — [`pool::ScoringPool`] shards request
 //!    batches across a fixed `std::thread` worker set; per-row math makes
 //!    the output independent of sharding and scheduling.
-//! 3. **Scoring server + CLI** — [`http::Server`] exposes `POST /score`,
-//!    `GET /healthz` and `GET /model` over `std::net::TcpListener`, and
-//!    the `uadb-serve` binary wires `train`/`score`/`serve`/`info`
-//!    subcommands to the existing teachers and datasets.
+//! 3. **Scoring server + CLI** — [`http::Server`] speaks HTTP/1.1 with
+//!    **persistent connections** (keep-alive, idle timeout, bounded
+//!    connection budget) over `std::net::TcpListener`, routing `POST
+//!    /score[/{name}]`, `GET /model[/{name}]`, `GET /models`, `POST
+//!    /admin/reload/{name}` and `GET /healthz`; the `uadb-serve` binary
+//!    wires `train`/`score`/`serve`/`info` subcommands to the existing
+//!    teachers and datasets.
+//! 4. **Multi-model routing** — [`registry::ModelRegistry`] holds N
+//!    named models, each with its own pool, behind one port, with
+//!    atomic hot reload that never drops in-flight connections.
 //!
 //! ## Quick start
 //!
@@ -55,8 +61,10 @@ pub mod json;
 pub mod model;
 pub mod persist;
 pub mod pool;
+pub mod registry;
 
-pub use http::{Server, ServerHandle};
+pub use http::{Server, ServerConfig, ServerHandle};
 pub use model::{ModelMeta, ScoreError, ServedModel};
 pub use persist::{load, load_file, save, save_file, PersistError, FORMAT_VERSION};
 pub use pool::{PoolConfig, ScoringPool};
+pub use registry::{ModelRegistry, RegistryError};

@@ -59,6 +59,10 @@ pub enum PersistError {
     UnsupportedVersion(u32),
     /// Structurally invalid content (with a description of what).
     Corrupt(&'static str),
+    /// The in-memory model is not servable and [`save`] refused to write
+    /// it (e.g. non-finite calibration constants). Writing it anyway
+    /// would produce a file every loader rejects.
+    InvalidModel(&'static str),
 }
 
 impl fmt::Display for PersistError {
@@ -70,6 +74,9 @@ impl fmt::Display for PersistError {
                 write!(f, "model format version {v} is newer than supported ({FORMAT_VERSION})")
             }
             PersistError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+            PersistError::InvalidModel(what) => {
+                write!(f, "model is not servable and was not written: {what}")
+            }
         }
     }
 }
@@ -90,7 +97,22 @@ impl From<io::Error> for PersistError {
 }
 
 /// Writes a model in the current format.
+///
+/// Refuses models that no loader would accept back — mirroring the
+/// checks [`load`] applies — so corruption is caught at save time with
+/// [`PersistError::InvalidModel`] rather than as a mysterious
+/// `Corrupt` (or, historically, a panic) on the loading side.
 pub fn save<W: Write>(model: &ServedModel, mut w: W) -> Result<(), PersistError> {
+    if !model.model().calibration().is_valid() {
+        return Err(PersistError::InvalidModel("non-finite calibration constants"));
+    }
+    let scaler = model.standardizer();
+    if !scaler.means().iter().all(|m| m.is_finite()) {
+        return Err(PersistError::InvalidModel("non-finite standardizer mean"));
+    }
+    if !scaler.stds().iter().all(|s| *s > 0.0 && s.is_finite()) {
+        return Err(PersistError::InvalidModel("non-positive standardizer std"));
+    }
     w.write_all(&MAGIC)?;
     write_u32(&mut w, FORMAT_VERSION)?;
     // Meta.
@@ -98,7 +120,6 @@ pub fn save<W: Write>(model: &ServedModel, mut w: W) -> Result<(), PersistError>
     write_str(&mut w, &model.meta().teacher)?;
     write_u64(&mut w, model.meta().n_train)?;
     // Standardizer.
-    let scaler = model.standardizer();
     write_u64(&mut w, scaler.n_features() as u64)?;
     write_f64s(&mut w, scaler.means())?;
     write_f64s(&mut w, scaler.stds())?;
@@ -169,6 +190,11 @@ pub fn load<R: Read>(mut r: R) -> Result<ServedModel, PersistError> {
     let d = read_len(&mut r, MAX_DIM, "feature count")?;
     let means = read_f64s(&mut r, d)?;
     let stds = read_f64s(&mut r, d)?;
+    if !means.iter().all(|m| m.is_finite()) {
+        // A NaN mean would silently turn every standardised feature —
+        // and therefore every served score — into NaN.
+        return Err(PersistError::Corrupt("non-finite standardizer mean"));
+    }
     if !stds.iter().all(|s| *s > 0.0 && s.is_finite()) {
         return Err(PersistError::Corrupt("non-positive standard deviation"));
     }
@@ -408,6 +434,73 @@ mod tests {
         assert!(matches!(
             load(&bytes[..]),
             Err(PersistError::Corrupt("final layer must have one output"))
+        ));
+    }
+
+    #[test]
+    fn save_refuses_non_finite_calibration() {
+        let m = tiny_model(13);
+        let poisoned = ServedModel::new(
+            UadbModel::from_parts(
+                m.model().ensemble().to_vec(),
+                m.model().config().clone(),
+                ScoreCalibration { min: f64::NEG_INFINITY, range: f64::INFINITY },
+            ),
+            m.standardizer().clone(),
+            m.meta().clone(),
+        );
+        let mut sink = Vec::new();
+        assert!(matches!(
+            save(&poisoned, &mut sink),
+            Err(PersistError::InvalidModel("non-finite calibration constants"))
+        ));
+        // Nothing was written: a failed save must not leave a partial file.
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn poisoned_training_scores_still_round_trip() {
+        // An inf-contaminated training run fits *finite* calibration
+        // constants (ScoreCalibration::fit filters non-finite scores), so
+        // the resulting model saves and loads cleanly.
+        let m = tiny_model(14);
+        let cal = ScoreCalibration::fit(&[0.1, f64::INFINITY, 0.9, f64::NAN, f64::NEG_INFINITY]);
+        assert!(cal.is_valid());
+        let served = ServedModel::new(
+            UadbModel::from_parts(m.model().ensemble().to_vec(), m.model().config().clone(), cal),
+            m.standardizer().clone(),
+            m.meta().clone(),
+        );
+        let bytes = save_to_vec(&served);
+        let loaded = load(&bytes[..]).unwrap();
+        assert_eq!(loaded.model().calibration(), cal);
+        let probe = Matrix::zeros(3, served.input_dim());
+        assert_eq!(loaded.score_rows(&probe).unwrap(), served.score_rows(&probe).unwrap());
+    }
+
+    #[test]
+    fn on_disk_non_finite_calibration_is_an_error_not_a_panic() {
+        // A file corrupted (or written by a pre-validation build) with
+        // inf calibration constants must surface as Corrupt from load();
+        // historically this path could reach from_parts' assertion.
+        let m = tiny_model(15);
+        let mut bytes = save_to_vec(&m);
+        let cal_offset = 4 + 4 // magic + version
+            + 8 + m.meta().dataset.len() + 8 + m.meta().teacher.len() + 8 // meta
+            + 8 + 16 * m.input_dim(); // scaler: d + means + stds
+        bytes[cal_offset..cal_offset + 8].copy_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
+        assert!(matches!(
+            load(&bytes[..]),
+            Err(PersistError::Corrupt("invalid calibration constants"))
+        ));
+        // Likewise a NaN standardizer mean (which would otherwise load
+        // fine and silently serve NaN scores).
+        let mut bytes = save_to_vec(&m);
+        let mean_offset = cal_offset - 16 * m.input_dim();
+        bytes[mean_offset..mean_offset + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(
+            load(&bytes[..]),
+            Err(PersistError::Corrupt("non-finite standardizer mean"))
         ));
     }
 

@@ -1,0 +1,326 @@
+//! Named model registry: N servable boosters behind one server.
+//!
+//! ADBench's core finding — and UADB's premise — is that no single
+//! detector wins everywhere, so a production deployment holds one
+//! trained booster per dataset/teacher pair. [`ModelRegistry`] maps
+//! URL-safe names to [`ServedModel`]s, each with its own
+//! [`ScoringPool`], and supports **hot reload**: swapping a registry
+//! entry for a freshly loaded model file atomically, without dropping
+//! in-flight requests (they hold an `Arc` to the pool they started on
+//! and finish against the old weights; the old pool is torn down when
+//! its last request completes).
+//!
+//! Lock discipline: the registry's `RwLock` is held only to clone or
+//! swap an `Arc` — never across model loading, pool construction or
+//! scoring — so a reload cannot stall concurrent requests.
+
+use crate::model::ServedModel;
+use crate::persist::{self, PersistError};
+use crate::pool::{PoolConfig, ScoringPool};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Longest accepted model name; names route in URLs, so they stay short.
+pub const MAX_NAME_LEN: usize = 64;
+
+struct Entry {
+    pool: Arc<ScoringPool>,
+    /// Where the model was loaded from, when it came from a file;
+    /// reload without an explicit path re-reads this.
+    source: Option<PathBuf>,
+    pool_cfg: PoolConfig,
+}
+
+/// A concurrent name → scoring-pool map with a designated default.
+pub struct ModelRegistry {
+    entries: RwLock<BTreeMap<String, Entry>>,
+    default_name: RwLock<Option<String>>,
+}
+
+/// Errors from registry operations.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The name is empty, too long, or contains non-URL-safe characters.
+    InvalidName(String),
+    /// No model is registered under this name.
+    UnknownModel(String),
+    /// Reload was requested for a model that was not loaded from a file
+    /// and no replacement path was given.
+    NoSourcePath(String),
+    /// Loading the model file failed.
+    Load(PersistError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::InvalidName(name) => write!(
+                f,
+                "invalid model name `{name}` (want 1-{MAX_NAME_LEN} chars of [A-Za-z0-9._-])"
+            ),
+            RegistryError::UnknownModel(name) => write!(f, "no model named `{name}`"),
+            RegistryError::NoSourcePath(name) => {
+                write!(f, "model `{name}` has no source file to reload from")
+            }
+            RegistryError::Load(e) => write!(f, "loading model file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Load(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PersistError> for RegistryError {
+    fn from(e: PersistError) -> Self {
+        RegistryError::Load(e)
+    }
+}
+
+/// Whether `name` can route in a URL path segment: non-empty, at most
+/// [`MAX_NAME_LEN`] bytes, only ASCII alphanumerics and `.`/`_`/`-`.
+pub fn is_valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAME_LEN
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelRegistry {
+    /// An empty registry. The first inserted model becomes the default
+    /// unless [`ModelRegistry::set_default`] chooses otherwise.
+    pub fn new() -> Self {
+        Self { entries: RwLock::new(BTreeMap::new()), default_name: RwLock::new(None) }
+    }
+
+    fn read_entries(&self) -> RwLockReadGuard<'_, BTreeMap<String, Entry>> {
+        // Lock poisoning would mean a panic while *swapping an Arc*,
+        // which cannot leave the map inconsistent; serving on is safe.
+        self.entries.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_entries(&self) -> RwLockWriteGuard<'_, BTreeMap<String, Entry>> {
+        self.entries.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers (or replaces) a model under `name`, spinning up its
+    /// scoring pool. In-memory models have no source path and cannot be
+    /// reloaded without one.
+    pub fn insert(
+        &self,
+        name: &str,
+        model: Arc<ServedModel>,
+        pool_cfg: PoolConfig,
+    ) -> Result<(), RegistryError> {
+        self.insert_entry(name, model, None, pool_cfg)
+    }
+
+    /// Loads a model file and registers it under `name`, remembering the
+    /// path so the entry can be hot-reloaded later.
+    pub fn insert_from_file(
+        &self,
+        name: &str,
+        path: impl AsRef<Path>,
+        pool_cfg: PoolConfig,
+    ) -> Result<(), RegistryError> {
+        let path = path.as_ref();
+        let model = Arc::new(persist::load_file(path)?);
+        self.insert_entry(name, model, Some(path.to_path_buf()), pool_cfg)
+    }
+
+    fn insert_entry(
+        &self,
+        name: &str,
+        model: Arc<ServedModel>,
+        source: Option<PathBuf>,
+        pool_cfg: PoolConfig,
+    ) -> Result<(), RegistryError> {
+        if !is_valid_name(name) {
+            return Err(RegistryError::InvalidName(name.to_string()));
+        }
+        // Pool construction (thread spawning) happens outside the lock.
+        let pool = Arc::new(ScoringPool::new(model, pool_cfg.clone()));
+        self.write_entries().insert(name.to_string(), Entry { pool, source, pool_cfg });
+        let mut default = self.default_name.write().unwrap_or_else(|e| e.into_inner());
+        if default.is_none() {
+            *default = Some(name.to_string());
+        }
+        Ok(())
+    }
+
+    /// Atomically replaces `name`'s model with one freshly loaded from
+    /// `path` (or, when `path` is `None`, from the entry's remembered
+    /// source file). The new pool is built before the swap and the old
+    /// pool's `Arc` is only released, so requests scoring against the old
+    /// model finish undisturbed and a failed load leaves the entry
+    /// untouched.
+    pub fn reload(&self, name: &str, path: Option<&Path>) -> Result<(), RegistryError> {
+        let (resolved, pool_cfg) = {
+            let entries = self.read_entries();
+            let entry =
+                entries.get(name).ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+            let resolved = match path {
+                Some(p) => p.to_path_buf(),
+                None => entry
+                    .source
+                    .clone()
+                    .ok_or_else(|| RegistryError::NoSourcePath(name.to_string()))?,
+            };
+            (resolved, entry.pool_cfg.clone())
+        };
+        // Load and spin up the replacement outside any lock.
+        let model = Arc::new(persist::load_file(&resolved)?);
+        let pool = Arc::new(ScoringPool::new(model, pool_cfg.clone()));
+        let mut entries = self.write_entries();
+        match entries.get_mut(name) {
+            // The entry may have been replaced concurrently; last write
+            // wins, exactly as two concurrent reloads would.
+            Some(entry) => {
+                entry.pool = pool;
+                entry.source = Some(resolved);
+                entry.pool_cfg = pool_cfg;
+            }
+            None => {
+                entries.insert(name.to_string(), Entry { pool, source: Some(resolved), pool_cfg });
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks an existing model as the one bare `/score` routes to.
+    pub fn set_default(&self, name: &str) -> Result<(), RegistryError> {
+        if !self.read_entries().contains_key(name) {
+            return Err(RegistryError::UnknownModel(name.to_string()));
+        }
+        *self.default_name.write().unwrap_or_else(|e| e.into_inner()) = Some(name.to_string());
+        Ok(())
+    }
+
+    /// Name of the default model, if any model is registered.
+    pub fn default_name(&self) -> Option<String> {
+        self.default_name.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The scoring pool registered under `name`. The returned `Arc` pins
+    /// the pool (and its model) for the caller's lifetime even if the
+    /// entry is hot-swapped mid-request.
+    pub fn get(&self, name: &str) -> Option<Arc<ScoringPool>> {
+        self.read_entries().get(name).map(|e| Arc::clone(&e.pool))
+    }
+
+    /// The default model's scoring pool.
+    pub fn default_pool(&self) -> Option<Arc<ScoringPool>> {
+        let name = self.default_name()?;
+        self.get(&name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.read_entries().keys().cloned().collect()
+    }
+
+    /// The source file `name` was loaded from, if it came from disk.
+    pub fn source(&self, name: &str) -> Option<PathBuf> {
+        self.read_entries().get(name).and_then(|e| e.source.clone())
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.read_entries().len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.read_entries().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::tiny_model;
+
+    #[test]
+    fn name_validation() {
+        for good in ["a", "iforest-39_thyroid", "v2.1", "A-Z_0.9"] {
+            assert!(is_valid_name(good), "{good} should be valid");
+        }
+        let long = "x".repeat(MAX_NAME_LEN + 1);
+        for bad in ["", "a/b", "a b", "ü", "..%2f", long.as_str()] {
+            assert!(!is_valid_name(bad), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn first_insert_becomes_default_and_routing_works() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        assert!(reg.default_pool().is_none());
+        reg.insert("alpha", Arc::new(tiny_model(31)), PoolConfig::default()).unwrap();
+        reg.insert("beta", Arc::new(tiny_model(32)), PoolConfig::default()).unwrap();
+        assert_eq!(reg.default_name().as_deref(), Some("alpha"));
+        assert_eq!(reg.names(), vec!["alpha".to_string(), "beta".to_string()]);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("beta").is_some());
+        assert!(reg.get("gamma").is_none());
+        reg.set_default("beta").unwrap();
+        assert_eq!(reg.default_name().as_deref(), Some("beta"));
+        assert!(matches!(reg.set_default("gamma"), Err(RegistryError::UnknownModel(_))));
+        assert!(matches!(
+            reg.insert("bad/name", Arc::new(tiny_model(33)), PoolConfig::default()),
+            Err(RegistryError::InvalidName(_))
+        ));
+    }
+
+    #[test]
+    fn reload_swaps_without_invalidating_held_pools() {
+        let dir = std::env::temp_dir().join(format!("uadb_registry_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.uadb");
+        let first = tiny_model(34);
+        crate::persist::save_file(&first, &path).unwrap();
+
+        let reg = ModelRegistry::new();
+        reg.insert_from_file("m", &path, PoolConfig { workers: 1, shard_rows: 64 }).unwrap();
+        let held = reg.get("m").unwrap();
+        let first_cal = first.model().calibration();
+
+        // Overwrite the file with a different model and hot-reload.
+        let second = tiny_model(35);
+        let second_cal = second.model().calibration();
+        assert_ne!(first_cal, second_cal, "seeds must produce distinguishable models");
+        crate::persist::save_file(&second, &path).unwrap();
+        reg.reload("m", None).unwrap();
+
+        // The held Arc still scores against the *old* weights…
+        assert_eq!(held.model().model().calibration(), first_cal);
+        // …while new lookups see the new model.
+        let fresh = reg.get("m").unwrap();
+        assert_eq!(fresh.model().model().calibration(), second_cal);
+        assert!(!Arc::ptr_eq(&held, &fresh));
+
+        // Reload failure leaves the entry untouched.
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(matches!(reg.reload("m", None), Err(RegistryError::Load(_))));
+        assert!(Arc::ptr_eq(&reg.get("m").unwrap(), &fresh));
+
+        assert!(matches!(reg.reload("nope", None), Err(RegistryError::UnknownModel(_))));
+        let mem = ModelRegistry::new();
+        mem.insert("ram", Arc::new(tiny_model(36)), PoolConfig::default()).unwrap();
+        assert!(matches!(mem.reload("ram", None), Err(RegistryError::NoSourcePath(_))));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,9 +1,12 @@
-//! Integration tests: a real server on localhost, raw TCP clients, and
-//! the shard-order-independence guarantee of the worker pool.
+//! Integration tests: a real server on localhost driven over raw TCP —
+//! keep-alive semantics, multi-model routing, hot reload, HTTP framing
+//! hardening, and the shard-order-independence guarantee of the worker
+//! pool.
 
-use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 use uadb::UadbConfig;
 use uadb_data::synth::{fig5_dataset, AnomalyType};
 use uadb_detectors::DetectorKind;
@@ -11,38 +14,106 @@ use uadb_linalg::Matrix;
 use uadb_serve::json::{self, Value};
 use uadb_serve::model::ServedModel;
 use uadb_serve::pool::{PoolConfig, ScoringPool};
-use uadb_serve::Server;
+use uadb_serve::{ModelRegistry, Server, ServerConfig};
 
 fn trained_model(seed: u64) -> ServedModel {
     let data = fig5_dataset(AnomalyType::Clustered, seed);
     ServedModel::train(&data, DetectorKind::Hbos, UadbConfig::fast_for_tests(seed)).unwrap()
 }
 
-/// Raw one-shot HTTP/1.1 client; returns (status, body).
-fn request(
-    addr: std::net::SocketAddr,
-    method: &str,
-    path: &str,
-    body: Option<&str>,
-) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    let body = body.unwrap_or("");
-    let req = format!(
-        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(req.as_bytes()).expect("send request");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("read response");
-    let (head, payload) =
-        response.split_once("\r\n\r\n").expect("response has a header/body split");
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .expect("status code present")
-        .parse()
-        .expect("numeric status");
-    (status, payload.to_string())
+/// A parsed HTTP response.
+struct HttpResponse {
+    status: u16,
+    /// Lower-cased `Connection` header value, if present.
+    connection: Option<String>,
+    body: String,
+}
+
+/// A persistent (keep-alive capable) HTTP/1.1 test client.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect");
+        writer.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Client { writer, reader }
+    }
+
+    /// Sends a request; `close` controls the `Connection` request header.
+    fn send(&mut self, method: &str, path: &str, body: Option<&str>, close: bool) {
+        let body = body.unwrap_or("");
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+            body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        self.writer.write_all(req.as_bytes()).expect("send request");
+    }
+
+    /// Sends raw bytes (malformed-request tests frame their own heads).
+    fn send_raw(&mut self, raw: &str) {
+        self.writer.write_all(raw.as_bytes()).expect("send raw request");
+    }
+
+    /// Reads one `Content-Length`-framed response off the connection.
+    fn read_response(&mut self) -> HttpResponse {
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line).expect("read status line");
+        assert!(status_line.starts_with("HTTP/1.1 "), "unexpected status line {status_line:?}");
+        let status: u16 =
+            status_line.split_whitespace().nth(1).expect("status code").parse().expect("numeric");
+        let mut content_length = 0usize;
+        let mut connection = None;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("read header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let value = value.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse().expect("numeric Content-Length");
+                } else if name.eq_ignore_ascii_case("connection") {
+                    connection = Some(value.to_ascii_lowercase());
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("read body");
+        HttpResponse { status, connection, body: String::from_utf8(body).expect("UTF-8 body") }
+    }
+
+    /// One request-response round trip on this connection.
+    fn roundtrip(&mut self, method: &str, path: &str, body: Option<&str>) -> HttpResponse {
+        self.send(method, path, body, false);
+        self.read_response()
+    }
+
+    /// True once the server has closed this connection (EOF on read).
+    fn at_eof(&mut self) -> bool {
+        let mut probe = [0u8; 1];
+        match self.reader.read(&mut probe) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(e) => panic!("expected clean EOF, got {e}"),
+        }
+    }
+}
+
+/// One-shot request on a fresh connection with `Connection: close`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut client = Client::connect(addr);
+    client.send(method, path, body, true);
+    let response = client.read_response();
+    assert_eq!(response.connection.as_deref(), Some("close"));
+    assert!(client.at_eof(), "server must close after Connection: close");
+    (response.status, response.body)
 }
 
 fn rows_json(x: &Matrix, rows: &[usize]) -> String {
@@ -62,27 +133,82 @@ fn parse_scores(body: &str) -> Vec<f64> {
         .collect()
 }
 
+fn single_model_server(
+    seed: u64,
+    cfg: ServerConfig,
+) -> (uadb_serve::ServerHandle, Arc<ServedModel>) {
+    let served = Arc::new(trained_model(seed));
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .insert("default", Arc::clone(&served), PoolConfig { workers: 2, shard_rows: 16 })
+        .unwrap();
+    let handle = Server::bind("127.0.0.1:0", registry, cfg).unwrap().spawn().unwrap();
+    (handle, served)
+}
+
 #[test]
-fn concurrent_connections_match_in_process_scores_exactly() {
-    let served = Arc::new(trained_model(41));
+fn keepalive_sequential_requests_match_fresh_connections() {
+    let (handle, served) = single_model_server(41, ServerConfig::default());
+    let addr = handle.addr();
     let data = fig5_dataset(AnomalyType::Clustered, 41);
     let expected = served.score_rows(&data.x).unwrap();
-    let server =
-        Server::bind("127.0.0.1:0", Arc::clone(&served), PoolConfig { workers: 2, shard_rows: 16 })
-            .unwrap();
-    let handle = server.spawn().unwrap();
-    let addr = handle.addr();
 
-    // ≥4 concurrent connections, each posting a different overlapping
-    // slice of the dataset (different sizes exercise different shard
-    // counts).
+    // Different-sized slices exercise different shard counts.
     let slices: Vec<Vec<usize>> = vec![
-        (0..data.n_samples()).collect(),            // full batch, many shards
-        (0..40).collect(),                          // multi-shard
-        (100..113).collect(),                       // single shard
-        vec![7],                                    // 1-row batch
-        (0..data.n_samples()).step_by(3).collect(), // strided
-        vec![499, 0, 250],                          // out of order
+        (0..40).collect(),
+        vec![7],
+        (100..113).collect(),
+        (0..data.n_samples()).step_by(3).collect(),
+        vec![499, 0, 250],
+    ];
+
+    // N sequential requests on ONE connection…
+    let mut client = Client::connect(addr);
+    let mut kept: Vec<Vec<f64>> = Vec::new();
+    for slice in &slices {
+        let response = client.roundtrip("POST", "/score", Some(&rows_json(&data.x, slice)));
+        assert_eq!(response.status, 200, "body: {}", response.body);
+        assert_eq!(response.connection.as_deref(), Some("keep-alive"));
+        kept.push(parse_scores(&response.body));
+    }
+
+    // …must be bit-identical to N fresh Connection: close requests and
+    // to the in-process reference.
+    for (slice, kept_scores) in slices.iter().zip(&kept) {
+        let (status, body) = request(addr, "POST", "/score", Some(&rows_json(&data.x, slice)));
+        assert_eq!(status, 200);
+        let fresh = parse_scores(&body);
+        assert_eq!(kept_scores.len(), slice.len());
+        for (pos, &row) in slice.iter().enumerate() {
+            assert_eq!(
+                kept_scores[pos].to_bits(),
+                fresh[pos].to_bits(),
+                "row {row} keep-alive vs fresh"
+            );
+            assert_eq!(
+                kept_scores[pos].to_bits(),
+                expected[row].to_bits(),
+                "row {row} vs in-process"
+            );
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_connections_match_in_process_scores_exactly() {
+    let (handle, served) = single_model_server(42, ServerConfig::default());
+    let addr = handle.addr();
+    let data = fig5_dataset(AnomalyType::Clustered, 42);
+    let expected = served.score_rows(&data.x).unwrap();
+
+    let slices: Vec<Vec<usize>> = vec![
+        (0..data.n_samples()).collect(),
+        (0..40).collect(),
+        (100..113).collect(),
+        vec![7],
+        (0..data.n_samples()).step_by(3).collect(),
+        vec![499, 0, 250],
     ];
     let mut threads = Vec::new();
     for slice in slices {
@@ -111,16 +237,341 @@ fn concurrent_connections_match_in_process_scores_exactly() {
 }
 
 #[test]
+fn multi_model_routing_interleaved_on_one_connection() {
+    // Two different models behind one port; the acceptance criterion:
+    // interleaved keep-alive requests against both return scores
+    // bit-identical to per-request Connection: close scoring.
+    let model_a = Arc::new(trained_model(51));
+    let model_b = Arc::new(trained_model(52));
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .insert("alpha", Arc::clone(&model_a), PoolConfig { workers: 2, shard_rows: 16 })
+        .unwrap();
+    registry
+        .insert("beta", Arc::clone(&model_b), PoolConfig { workers: 2, shard_rows: 16 })
+        .unwrap();
+    let handle =
+        Server::bind("127.0.0.1:0", registry, ServerConfig::default()).unwrap().spawn().unwrap();
+    let addr = handle.addr();
+
+    let data = fig5_dataset(AnomalyType::Clustered, 51);
+    let rows: Vec<usize> = (0..37).collect();
+    let body = rows_json(&data.x, &rows);
+    let expected_a = model_a.score_rows(&data.x.select_rows(&rows)).unwrap();
+    let expected_b = model_b.score_rows(&data.x.select_rows(&rows)).unwrap();
+    assert_ne!(expected_a, expected_b, "models must be distinguishable");
+
+    // Interleave the two models over ONE keep-alive connection.
+    let mut client = Client::connect(addr);
+    for round in 0..3 {
+        for (path, expected) in [("/score/alpha", &expected_a), ("/score/beta", &expected_b)] {
+            let response = client.roundtrip("POST", path, Some(&body));
+            assert_eq!(response.status, 200, "round {round} {path}: {}", response.body);
+            let scores = parse_scores(&response.body);
+            for (i, (a, b)) in scores.iter().zip(expected.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "round {round} {path} row {i}");
+            }
+        }
+    }
+    // A 404 for an unknown model must not poison the connection.
+    let response = client.roundtrip("POST", "/score/gamma", Some(&body));
+    assert_eq!(response.status, 404);
+    assert_eq!(response.connection.as_deref(), Some("keep-alive"));
+
+    // Reference: the same bodies via per-request Connection: close.
+    for (path, expected) in [("/score/alpha", &expected_a), ("/score/beta", &expected_b)] {
+        let (status, payload) = request(addr, "POST", path, Some(&body));
+        assert_eq!(status, 200);
+        let scores = parse_scores(&payload);
+        for (i, (a, b)) in scores.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "one-shot {path} row {i}");
+        }
+    }
+
+    // Bare /score routes to the default (first-registered) model.
+    let still_open = client.roundtrip("POST", "/score", Some(&body));
+    assert_eq!(still_open.status, 200);
+    let scores = parse_scores(&still_open.body);
+    assert_eq!(scores[0].to_bits(), expected_a[0].to_bits());
+
+    // Model metadata endpoints.
+    let info = client.roundtrip("GET", "/model/beta", None);
+    assert_eq!(info.status, 200);
+    let listing = client.roundtrip("GET", "/models", None);
+    assert_eq!(listing.status, 200);
+    let parsed = json::parse(&listing.body).unwrap();
+    assert_eq!(parsed.get("default").and_then(Value::as_str), Some("alpha"));
+    let names: Vec<&str> = parsed
+        .get("models")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|m| m.get("name").and_then(Value::as_str).unwrap())
+        .collect();
+    assert_eq!(names, vec!["alpha", "beta"]);
+    let (status, _) = request(addr, "GET", "/model/gamma", None);
+    assert_eq!(status, 404);
+
+    handle.shutdown();
+}
+
+#[test]
+fn hot_reload_swaps_model_without_dropping_connections() {
+    let dir = std::env::temp_dir().join(format!("uadb_reload_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("live.uadb");
+
+    let model_a = trained_model(61);
+    let model_b = trained_model(62);
+    uadb_serve::save_file(&model_a, &path).unwrap();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert_from_file("live", &path, PoolConfig { workers: 2, shard_rows: 16 }).unwrap();
+    let handle =
+        Server::bind("127.0.0.1:0", registry, ServerConfig::default()).unwrap().spawn().unwrap();
+    let addr = handle.addr();
+
+    let data = fig5_dataset(AnomalyType::Clustered, 61);
+    let rows: Vec<usize> = (0..23).collect();
+    let body = rows_json(&data.x, &rows);
+    let expected_a = model_a.score_rows(&data.x.select_rows(&rows)).unwrap();
+    let expected_b = model_b.score_rows(&data.x.select_rows(&rows)).unwrap();
+    assert_ne!(expected_a, expected_b);
+
+    // A keep-alive connection opened BEFORE the reload…
+    let mut client = Client::connect(addr);
+    let before = client.roundtrip("POST", "/score/live", Some(&body));
+    assert_eq!(before.status, 200);
+    assert_eq!(parse_scores(&before.body)[0].to_bits(), expected_a[0].to_bits());
+
+    // …survives the model file being swapped and reloaded…
+    uadb_serve::save_file(&model_b, &path).unwrap();
+    let reload = client.roundtrip("POST", "/admin/reload/live", None);
+    assert_eq!(reload.status, 200, "body: {}", reload.body);
+    assert_eq!(
+        json::parse(&reload.body).unwrap().get("reloaded").and_then(Value::as_str),
+        Some("live")
+    );
+
+    // …and the SAME connection now scores against the new weights.
+    let after = client.roundtrip("POST", "/score/live", Some(&body));
+    assert_eq!(after.status, 200);
+    let scores = parse_scores(&after.body);
+    for (i, (got, want)) in scores.iter().zip(expected_b.iter()).enumerate() {
+        assert_eq!(got.to_bits(), want.to_bits(), "post-reload row {i}");
+    }
+
+    // Reload from an explicit path in the body.
+    let other = dir.join("other.uadb");
+    uadb_serve::save_file(&model_a, &other).unwrap();
+    let explicit = client.roundtrip(
+        "POST",
+        "/admin/reload/live",
+        Some(&format!(
+            "{{\"path\": {}}}",
+            json::to_string(&Value::String(other.display().to_string()))
+        )),
+    );
+    assert_eq!(explicit.status, 200, "body: {}", explicit.body);
+    let back = client.roundtrip("POST", "/score/live", Some(&body));
+    assert_eq!(parse_scores(&back.body)[0].to_bits(), expected_a[0].to_bits());
+
+    // Error paths: unknown model, unloadable file. The explicit reload
+    // above re-pointed the entry's source at `other`, so corrupt that.
+    let missing = client.roundtrip("POST", "/admin/reload/nope", None);
+    assert_eq!(missing.status, 404);
+    std::fs::write(&other, b"garbage").unwrap();
+    let broken = client.roundtrip("POST", "/admin/reload/live", None);
+    assert_eq!(broken.status, 422, "body: {}", broken.body);
+    // The entry still serves the last good model.
+    let unaffected = client.roundtrip("POST", "/score/live", Some(&body));
+    assert_eq!(unaffected.status, 200);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn idle_timeout_and_max_requests_close_the_socket() {
+    // Tight limits so the test runs in milliseconds.
+    let cfg = ServerConfig {
+        max_connections: 8,
+        max_requests_per_conn: 2,
+        idle_timeout: Duration::from_millis(150),
+        io_timeout: Duration::from_secs(5),
+    };
+    let (handle, _served) = single_model_server(43, cfg);
+    let addr = handle.addr();
+
+    // Max requests per connection: the capping response advertises
+    // Connection: close and the socket reaches EOF after it.
+    let mut client = Client::connect(addr);
+    let first = client.roundtrip("GET", "/healthz", None);
+    assert_eq!(first.status, 200);
+    assert_eq!(first.connection.as_deref(), Some("keep-alive"));
+    let second = client.roundtrip("GET", "/healthz", None);
+    assert_eq!(second.status, 200);
+    assert_eq!(second.connection.as_deref(), Some("close"));
+    assert!(client.at_eof(), "server must close after max-requests-per-connection");
+
+    // Idle timeout: an idle keep-alive connection is closed by the
+    // server (EOF), with no response bytes written.
+    let mut idle = Client::connect(addr);
+    let warm = idle.roundtrip("GET", "/healthz", None);
+    assert_eq!(warm.status, 200);
+    std::thread::sleep(Duration::from_millis(600));
+    assert!(idle.at_eof(), "server must close an idle connection");
+
+    handle.shutdown();
+}
+
+#[test]
+fn http10_defaults_to_close_and_http11_to_keepalive() {
+    let (handle, _served) = single_model_server(44, ServerConfig::default());
+    let addr = handle.addr();
+
+    // HTTP/1.0 without Connection: keep-alive → close.
+    let mut c10 = Client::connect(addr);
+    c10.send_raw("GET /healthz HTTP/1.0\r\nHost: localhost\r\n\r\n");
+    let r = c10.read_response();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.connection.as_deref(), Some("close"));
+    assert!(c10.at_eof());
+
+    // HTTP/1.0 with explicit keep-alive → stays open.
+    let mut c10k = Client::connect(addr);
+    c10k.send_raw("GET /healthz HTTP/1.0\r\nHost: localhost\r\nConnection: keep-alive\r\n\r\n");
+    let r = c10k.read_response();
+    assert_eq!(r.connection.as_deref(), Some("keep-alive"));
+    c10k.send_raw("GET /healthz HTTP/1.0\r\nHost: localhost\r\nConnection: close\r\n\r\n");
+    assert_eq!(c10k.read_response().status, 200);
+    assert!(c10k.at_eof());
+
+    // HTTP/1.1 without a Connection header → keep-alive by default.
+    let mut c11 = Client::connect(addr);
+    c11.send_raw("GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    let r = c11.read_response();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.connection.as_deref(), Some("keep-alive"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn chunked_and_conflicting_content_length_are_rejected() {
+    let (handle, _served) = single_model_server(45, ServerConfig::default());
+    let addr = handle.addr();
+
+    // Transfer-Encoding: chunked → 501, connection closed (previously the
+    // body was silently misread as length 0).
+    let mut chunked = Client::connect(addr);
+    chunked.send_raw(
+        "POST /score HTTP/1.1\r\nHost: localhost\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+    );
+    let r = chunked.read_response();
+    assert_eq!(r.status, 501, "body: {}", r.body);
+    assert_eq!(r.connection.as_deref(), Some("close"));
+    assert!(chunked.at_eof());
+
+    // Duplicate identical Content-Length → 400.
+    let mut dup = Client::connect(addr);
+    dup.send_raw(
+        "GET /healthz HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\nContent-Length: 0\r\n\r\n",
+    );
+    let r = dup.read_response();
+    assert_eq!(r.status, 400, "body: {}", r.body);
+    assert!(dup.at_eof());
+
+    // Conflicting Content-Length values → 400 (classic request-smuggling
+    // vector).
+    let mut conflict = Client::connect(addr);
+    conflict.send_raw(
+        "POST /score HTTP/1.1\r\nHost: localhost\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n{}x",
+    );
+    let r = conflict.read_response();
+    assert_eq!(r.status, 400, "body: {}", r.body);
+    assert!(conflict.at_eof());
+
+    // Comma-merged Content-Length is unparsable → 400.
+    let mut merged = Client::connect(addr);
+    merged.send_raw("GET /healthz HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0, 0\r\n\r\n");
+    assert_eq!(merged.read_response().status, 400);
+
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_unblocks_even_when_bound_to_unspecified_addr() {
+    // Binding 0.0.0.0 and shutting down used to hang forever because the
+    // unblock-connect targeted the unspecified address itself.
+    let served = Arc::new(trained_model(46));
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("default", served, PoolConfig { workers: 1, shard_rows: 64 }).unwrap();
+    let handle =
+        Server::bind("0.0.0.0:0", registry, ServerConfig::default()).unwrap().spawn().unwrap();
+    let port = handle.addr().port();
+    // It still serves (over loopback).
+    let (status, _) = request(SocketAddr::from(([127, 0, 0, 1], port)), "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    // The regression: this call must return promptly. The test harness
+    // timeout is the failure detector.
+    handle.shutdown();
+}
+
+#[test]
+fn connection_budget_rejects_excess_clients_with_503() {
+    let cfg = ServerConfig {
+        max_connections: 2,
+        max_requests_per_conn: 100,
+        idle_timeout: Duration::from_secs(5),
+        io_timeout: Duration::from_secs(5),
+    };
+    let (handle, _served) = single_model_server(47, cfg);
+    let addr = handle.addr();
+
+    // Two keep-alive connections occupy the whole budget.
+    let mut a = Client::connect(addr);
+    assert_eq!(a.roundtrip("GET", "/healthz", None).status, 200);
+    let mut b = Client::connect(addr);
+    assert_eq!(b.roundtrip("GET", "/healthz", None).status, 200);
+
+    // The third client is turned away with 503 + close.
+    let mut c = Client::connect(addr);
+    c.send("GET", "/healthz", None, false);
+    let r = c.read_response();
+    assert_eq!(r.status, 503, "body: {}", r.body);
+    assert_eq!(r.connection.as_deref(), Some("close"));
+    assert!(c.at_eof());
+
+    // Releasing a slot lets new clients in again (poll briefly: the
+    // handler thread needs a moment to notice the close).
+    drop(a);
+    let mut ok = false;
+    for _ in 0..50 {
+        std::thread::sleep(Duration::from_millis(20));
+        let mut d = Client::connect(addr);
+        d.send("GET", "/healthz", None, true);
+        if d.read_response().status == 200 {
+            ok = true;
+            break;
+        }
+    }
+    assert!(ok, "budget slot was never released");
+
+    handle.shutdown();
+}
+
+#[test]
 fn health_model_and_error_endpoints() {
-    let served = Arc::new(trained_model(42));
-    let server = Server::bind("127.0.0.1:0", Arc::clone(&served), PoolConfig::default()).unwrap();
-    let handle = server.spawn().unwrap();
+    let (handle, served) = single_model_server(48, ServerConfig::default());
     let addr = handle.addr();
 
     let (status, body) = request(addr, "GET", "/healthz", None);
     assert_eq!(status, 200);
     let health = json::parse(&body).unwrap();
     assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(health.get("models").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(health.get("default").and_then(Value::as_str), Some("default"));
 
     let (status, body) = request(addr, "GET", "/model", None);
     assert_eq!(status, 200);
@@ -141,6 +592,8 @@ fn health_model_and_error_endpoints() {
     assert!(body.contains("features"));
     let (status, _) = request(addr, "GET", "/score", None);
     assert_eq!(status, 405);
+    let (status, _) = request(addr, "GET", "/score/default", None);
+    assert_eq!(status, 405);
     let (status, _) = request(addr, "GET", "/nope", None);
     assert_eq!(status, 404);
     // Empty rows are a valid no-op request.
@@ -153,10 +606,9 @@ fn health_model_and_error_endpoints() {
 
 #[test]
 fn pool_output_is_shard_order_independent() {
-    // The satellite guarantee, at integration scale: any worker count ×
-    // shard size produces byte-identical output.
-    let served = Arc::new(trained_model(43));
-    let data = fig5_dataset(AnomalyType::Global, 43);
+    // Any worker count × shard size produces byte-identical output.
+    let served = Arc::new(trained_model(49));
+    let data = fig5_dataset(AnomalyType::Global, 49);
     let reference = served.score_rows(&data.x).unwrap();
     for workers in [1, 3, 8] {
         for shard_rows in [1, 17, 64, 10_000] {
@@ -179,18 +631,22 @@ fn loaded_model_serves_identically_to_trained_model() {
     // End-to-end acceptance: train → save → load → serve → POST; the
     // HTTP scores from the *loaded* model match the in-process scores of
     // the *original* model exactly.
-    let served = trained_model(44);
-    let data = fig5_dataset(AnomalyType::Clustered, 44);
+    let served = trained_model(50);
+    let data = fig5_dataset(AnomalyType::Clustered, 50);
     let expected = served.score_rows(&data.x).unwrap();
 
     let mut bytes = Vec::new();
     uadb_serve::save(&served, &mut bytes).unwrap();
     let loaded = uadb_serve::load(&bytes[..]).unwrap();
 
-    let server =
-        Server::bind("127.0.0.1:0", Arc::new(loaded), PoolConfig { workers: 4, shard_rows: 32 })
-            .unwrap();
-    let handle = server.spawn().unwrap();
+    let handle = Server::bind_single(
+        "127.0.0.1:0",
+        Arc::new(loaded),
+        PoolConfig { workers: 4, shard_rows: 32 },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap();
     let rows: Vec<usize> = (0..data.n_samples()).collect();
     let (status, body) = request(handle.addr(), "POST", "/score", Some(&rows_json(&data.x, &rows)));
     assert_eq!(status, 200);
