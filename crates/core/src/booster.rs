@@ -5,7 +5,7 @@ use std::fmt;
 use uadb_data::preprocess::minmax_vec;
 use uadb_data::splits::kfold;
 use uadb_linalg::Matrix;
-use uadb_nn::{train_regression, AdamParams, Mlp, MlpConfig, TrainConfig};
+use uadb_nn::{train_regression, AdamParams, ForwardScratch, Mlp, MlpConfig, TrainConfig};
 
 /// Scale on which the per-instance dispersion enters the pseudo-label
 /// update `ŷ(t+1) = MinMaxScale(ŷ(t) + v̂)`.
@@ -391,21 +391,12 @@ fn average_columns(preds: &[Vec<f64>], n: usize) -> Vec<f64> {
     out
 }
 
-/// Ensemble-averaged booster prediction.
-fn ensemble_predict(ensemble: &[Mlp], x: &Matrix) -> Vec<f64> {
-    let n = x.rows();
-    let mut out = vec![0.0; n];
-    for mlp in ensemble {
-        let p = mlp.predict_vec(x);
-        for (o, v) in out.iter_mut().zip(p) {
-            *o += v;
-        }
-    }
-    let inv = 1.0 / ensemble.len().max(1) as f64;
-    for o in &mut out {
-        *o *= inv;
-    }
-    out
+/// Reusable workspace for [`UadbModel::score_into`] and friends: wraps
+/// the booster's MLP forward scratch so repeated scoring calls (one
+/// per request, per serving worker) allocate nothing once warm.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreScratch {
+    forward: ForwardScratch,
 }
 
 impl UadbModel {
@@ -448,9 +439,12 @@ impl UadbModel {
 
     /// Raw scores for arbitrary (e.g. held-out) rows with the fitted
     /// ensemble. Per-row and batch-size independent; on the training
-    /// rows this equals [`UadbModel::scores`].
+    /// rows this equals [`UadbModel::scores`]. Thin wrapper over
+    /// [`UadbModel::score_into`] with a one-shot scratch.
     pub fn score(&self, x: &Matrix) -> Vec<f64> {
-        ensemble_predict(&self.ensemble, x)
+        let mut out = Vec::new();
+        self.score_into(x, &mut ScoreScratch::default(), &mut out);
+        out
     }
 
     /// Calibrated scores for arbitrary rows: [`UadbModel::score`] mapped
@@ -458,9 +452,72 @@ impl UadbModel {
     /// constants are frozen at fit time, a row's calibrated score does
     /// not depend on which batch it arrives in.
     pub fn score_calibrated(&self, x: &Matrix) -> Vec<f64> {
-        let mut s = self.score(x);
-        self.calibration.apply_vec(&mut s);
-        s
+        let mut out = Vec::new();
+        self.score_calibrated_into(x, &mut ScoreScratch::default(), &mut out);
+        out
+    }
+
+    /// Allocation-free raw scoring: ensemble-averaged booster outputs
+    /// written into `out` (cleared and resized to `x.rows()`), with all
+    /// intermediate activations living in `scratch`. Bit-identical to
+    /// [`UadbModel::score`].
+    ///
+    /// # Panics
+    /// If `x` is not as wide as the ensemble's input dimension.
+    pub fn score_into(&self, x: &Matrix, scratch: &mut ScoreScratch, out: &mut Vec<f64>) {
+        assert_eq!(x.cols(), self.ensemble[0].input_dim(), "feature width mismatch");
+        self.score_rows_into(x.as_slice(), x.rows(), scratch, out);
+    }
+
+    /// [`UadbModel::score_into`] over a raw row-major slice of `n_rows`
+    /// rows — the serving path's form, so standardised feature buffers
+    /// never need a `Matrix` wrapper.
+    pub fn score_rows_into(
+        &self,
+        rows: &[f64],
+        n_rows: usize,
+        scratch: &mut ScoreScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(n_rows, 0.0);
+        for mlp in &self.ensemble {
+            let p = mlp.forward_rows(rows, n_rows, &mut scratch.forward);
+            debug_assert_eq!(p.len(), n_rows, "booster head must be 1-wide");
+            for (o, &v) in out.iter_mut().zip(p) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / self.ensemble.len().max(1) as f64;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+    }
+
+    /// Allocation-free calibrated scoring: [`UadbModel::score_into`]
+    /// followed by the frozen train-time calibration applied in place.
+    /// Bit-identical to [`UadbModel::score_calibrated`].
+    pub fn score_calibrated_into(
+        &self,
+        x: &Matrix,
+        scratch: &mut ScoreScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.score_into(x, scratch, out);
+        self.calibration.apply_vec(out);
+    }
+
+    /// Calibrated scoring over a raw row-major slice (see
+    /// [`UadbModel::score_rows_into`]).
+    pub fn score_calibrated_rows_into(
+        &self,
+        rows: &[f64],
+        n_rows: usize,
+        scratch: &mut ScoreScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.score_rows_into(rows, n_rows, scratch, out);
+        self.calibration.apply_vec(out);
     }
 
     /// The stored train-time score calibration.

@@ -47,6 +47,6 @@ pub mod trajectory;
 pub mod variance_probe;
 pub mod variants;
 
-pub use booster::{CorrectionScale, ScoreCalibration, Uadb, UadbConfig, UadbModel};
+pub use booster::{CorrectionScale, ScoreCalibration, ScoreScratch, Uadb, UadbConfig, UadbModel};
 pub use experiment::{run_matrix, summarize_model, ExperimentConfig, ModelSummary, PairResult};
 pub use variants::BoosterScheme;

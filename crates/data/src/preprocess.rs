@@ -117,15 +117,30 @@ impl Standardizer {
     /// # Panics
     /// If `x` has a different number of columns than the fit data.
     pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = Vec::new();
+        self.transform_rows_into(x, 0, x.rows(), &mut out);
+        Matrix::from_vec(x.rows(), x.cols(), out).expect("shape preserved by transform")
+    }
+
+    /// Standardises the row range `lo..hi` of `x` into a caller-owned
+    /// buffer (cleared, then filled row-major) — the allocation-free
+    /// form serving workers use to score borrowed shard ranges without
+    /// copying the batch. Values are bit-identical to
+    /// [`Standardizer::transform`] on the same rows.
+    ///
+    /// # Panics
+    /// If `x` has a different number of columns than the fit data, or
+    /// the range is out of bounds.
+    pub fn transform_rows_into(&self, x: &Matrix, lo: usize, hi: usize, out: &mut Vec<f64>) {
         assert_eq!(x.cols(), self.means.len(), "column count differs from fit data");
-        let mut out = x.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
-                *v = (*v - m) / s;
+        assert!(lo <= hi && hi <= x.rows(), "row range {lo}..{hi} out of bounds");
+        out.clear();
+        out.reserve((hi - lo) * x.cols());
+        for r in lo..hi {
+            for ((&v, &m), &s) in x.row(r).iter().zip(&self.means).zip(&self.stds) {
+                out.push((v - m) / s);
             }
         }
-        out
     }
 
     /// Number of columns the transform expects.
@@ -222,6 +237,22 @@ mod tests {
         let full = s.transform(&train);
         let single = s.transform(&Matrix::from_vec(1, 1, vec![2.0]).unwrap());
         assert_eq!(single.get(0, 0), full.get(1, 0));
+    }
+
+    #[test]
+    fn transform_rows_into_matches_transform() {
+        let x = Matrix::from_vec(4, 2, vec![2.0, 7.0, 4.0, 9.0, 6.0, 5.0, 8.0, 3.0]).unwrap();
+        let s = Standardizer::fit(&x);
+        let full = s.transform(&x);
+        let mut buf = vec![99.0; 3]; // cleared and reused
+        s.transform_rows_into(&x, 1, 3, &mut buf);
+        assert_eq!(buf.len(), 2 * 2);
+        for (got, want) in buf.iter().zip(&full.as_slice()[2..6]) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // Empty range clears the buffer.
+        s.transform_rows_into(&x, 2, 2, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Micro-benchmark for kernel tuning: times the blocked GEMM against
+//! the historic naive i/k/j kernel on the serving-critical shapes.
+//!
+//! Run with `cargo run --release -p uadb_linalg --example gemm_tune`;
+//! `UADB_GEMM_ISA=avx|avx512|portable` pins the dispatch path.
+
+use std::time::Instant;
+use uadb_linalg::gemm::{naive_matmul, GemmScratch};
+use uadb_linalg::Matrix;
+
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let bits = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            (bits >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+fn time_ns(mut f: impl FnMut(), iters: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9);
+    }
+    best
+}
+
+fn main() {
+    for (m, k, n) in
+        [(1usize, 16usize, 128usize), (256, 16, 128), (256, 128, 128), (8192, 128, 128)]
+    {
+        let a = filled(m, k, 7);
+        let b = filled(k, n, 11);
+        let mut out_blocked = vec![0.0; m * n];
+        let mut scratch = GemmScratch::precomputed(&b);
+        let iters = (200_000_000 / (m * k * n)).clamp(10, 2000);
+        let t_naive = time_ns(
+            || {
+                std::hint::black_box(naive_matmul(&a, &b));
+            },
+            iters,
+        );
+        let t_blocked =
+            time_ns(|| a.matmul_into(&b, &mut scratch, &mut out_blocked).unwrap(), iters);
+        let out_naive = naive_matmul(&a, &b);
+        for (x, y) in out_naive.as_slice().iter().zip(&out_blocked) {
+            assert_eq!(x.to_bits(), y.to_bits(), "kernels disagree");
+        }
+        println!(
+            "{m}x{k}x{n}: naive {:>12.0} ns  blocked {:>12.0} ns  speedup {:.2}x",
+            t_naive,
+            t_blocked,
+            t_naive / t_blocked
+        );
+    }
+}

@@ -1,0 +1,589 @@
+//! Cache-blocked, allocation-free GEMM kernel.
+//!
+//! The serving hot path is two dense matmuls per batch (the booster's
+//! `input → 128 → 128 → 1` MLP), so this kernel is written for exactly
+//! that regime: moderate `k`/`n`, batch-sized `m`. It blocks over rows
+//! (`MC`) and columns (`NC`), and computes each output row in
+//! register-tiled strips of [`NR`] columns with the `k` accumulation
+//! kept **sequential per output element** — every `out[i][j]` is the
+//! same ordered sum `Σ_k a[i][k]·b[k][j]` the naive i/k/j kernel
+//! produces, so results are bit-identical to it (the proptest in
+//! `tests/proptests.rs` pins this against a reference triple loop).
+//!
+//! Two data paths feed the strip micro-kernels:
+//!
+//! * **direct** — strips load straight from the row-major rhs with a
+//!   stride of `n` (small batches, where packing cannot amortise);
+//! * **packed** — the rhs is first re-laid out strip-major by
+//!   [`pack_rhs`] so the `k` loop streams contiguous memory. Packing is
+//!   O(k·n) and amortises over the batch rows; for a long-lived weight
+//!   matrix the packed panel can be built once and reused forever.
+//!
+//! IEEE-754 semantics are preserved: a zero left-hand coefficient may
+//! only skip its contribution when the matching `rhs` row is entirely
+//! finite (`0.0 * NaN` and `0.0 * inf` are NaN). The finiteness mask is
+//! owned by [`GemmScratch`] so repeated multiplies against one weight
+//! matrix compute it once instead of per call.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Register-tile width: each output row is produced in strips of `NR`
+/// column accumulators that live in registers for the whole `k` loop,
+/// so `out` is written once instead of loaded/stored per `k` step.
+pub const NR: usize = 16;
+/// Row-block height: rows of `a` scored against one `k×NR` strip of `b`
+/// before moving to the next strip, keeping the strip in L1.
+const MC: usize = 64;
+/// Column-block width (a multiple of [`NR`]): bounds the working set of
+/// `b` touched before `a`'s row block is re-streamed.
+const NC: usize = 256;
+/// Minimum batch height for which [`Matrix::matmul_into`] packs the rhs
+/// on the fly; below this the O(k·n) packing pass costs more than the
+/// strided loads it saves.
+const PACK_MIN_ROWS: usize = 8;
+
+/// Reusable workspace for [`Matrix::matmul_into`]: the rhs-row
+/// finiteness mask and the strip-major packed rhs panel, both computed
+/// once per scratch and cached across calls.
+///
+/// Both artifacts are properties of the **rhs** operand. Reuse a
+/// scratch only while the rhs contents are unchanged; call
+/// [`GemmScratch::clear`] (or use a fresh scratch) after mutating it.
+/// For a long-lived weight matrix, [`GemmScratch::precomputed`] builds
+/// both eagerly so no scoring call ever re-scans the weights.
+#[derive(Debug, Clone, Default)]
+pub struct GemmScratch {
+    finite: Option<Vec<bool>>,
+    pack: Vec<f64>,
+    packed: bool,
+}
+
+impl GemmScratch {
+    /// An empty scratch; mask and packing are computed on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Eagerly computes the row-finiteness mask and packed panel of
+    /// `rhs`.
+    pub fn precomputed(rhs: &Matrix) -> Self {
+        let mut pack = Vec::new();
+        pack_rhs(rhs.rows(), rhs.cols(), rhs.as_slice(), &mut pack);
+        Self { finite: Some(row_finiteness(rhs)), pack, packed: true }
+    }
+
+    /// Drops the cached mask and packing (required after the rhs they
+    /// were computed from changes). Keeps the pack allocation.
+    pub fn clear(&mut self) {
+        self.finite = None;
+        self.packed = false;
+    }
+
+    /// The cached packed panel, building it from `rhs` if absent.
+    fn ensure_pack(&mut self, rhs: &Matrix) -> &[f64] {
+        if !self.packed {
+            pack_rhs(rhs.rows(), rhs.cols(), rhs.as_slice(), &mut self.pack);
+            self.packed = true;
+        }
+        &self.pack
+    }
+}
+
+/// Per-row finiteness of a matrix: `mask[r]` is true iff every element
+/// of row `r` is finite (neither NaN nor ±inf).
+pub fn row_finiteness(m: &Matrix) -> Vec<bool> {
+    m.row_iter().map(|row| row.iter().all(|v| v.is_finite())).collect()
+}
+
+/// The pre-refactor `Matrix::matmul` kernel, kept **verbatim** (naive
+/// i/k/j triple loop, fresh output allocation, lazily-built rhs-row
+/// finiteness mask gating the zero-coefficient skip) as the blocked
+/// kernel's bit-identity oracle and benchmark baseline. Not part of
+/// the supported API — do not "optimise" this; its value is that it
+/// never changes. The proptest suite additionally keeps its own
+/// independent reimplementation so the oracle is not self-referential.
+#[doc(hidden)]
+pub fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = b.cols();
+    let mut out = Matrix::zeros(a.rows(), n);
+    let mut rhs_row_finite: Option<Vec<bool>> = None;
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+        for (k, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                let finite = rhs_row_finite.get_or_insert_with(|| row_finiteness(b));
+                if finite[k] {
+                    continue;
+                }
+            }
+            let b_row = &b.as_slice()[k * n..(k + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += a_ik * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Re-lays a row-major `k×n` rhs strip-major: for each full [`NR`]-wide
+/// column strip, its `k×NR` panel is stored contiguously, so the strip
+/// micro-kernel streams sequential memory instead of `n`-strided rows.
+/// Ragged remainder columns (`n % NR`) are not packed; the kernels read
+/// them from the original buffer.
+///
+/// `pack` is cleared and reused (grow-once: no allocation once it has
+/// reached `k * (n - n % NR)` capacity).
+pub fn pack_rhs(k: usize, n: usize, b: &[f64], pack: &mut Vec<f64>) {
+    assert_eq!(b.len(), k * n, "rhs buffer length must be k*n");
+    let full = n / NR;
+    pack.clear();
+    pack.reserve(k * full * NR);
+    for s in 0..full {
+        let jt = s * NR;
+        for kk in 0..k {
+            pack.extend_from_slice(&b[kk * n + jt..kk * n + jt + NR]);
+        }
+    }
+}
+
+/// Blocked matrix product `out = a · b` over raw row-major slices.
+///
+/// `a` is `m×k`, `b` is `k×n`, `out` is `m×n`. `rhs_row_finite(r)` must
+/// report whether row `r` of `b` is entirely finite; it is only
+/// consulted for zero left-hand coefficients, so a lazily-built mask
+/// costs nothing on fully dense inputs. `packed_b`, when given, must be
+/// the [`pack_rhs`] image of `b`; strips then stream the packed panel.
+///
+/// # Panics
+/// If any slice length disagrees with the given dimensions.
+#[allow(clippy::too_many_arguments)] // a GEMM is its dimensions + operands
+pub fn gemm_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    b: &[f64],
+    packed_b: Option<&[f64]>,
+    mut rhs_row_finite: impl FnMut(usize) -> bool,
+    out: &mut [f64],
+) {
+    assert_eq!(a.len(), m * k, "lhs buffer length must be m*k");
+    assert_eq!(b.len(), k * n, "rhs buffer length must be k*n");
+    assert_eq!(out.len(), m * n, "out buffer length must be m*n");
+    if let Some(p) = packed_b {
+        assert_eq!(p.len(), k * (n / NR) * NR, "packed rhs length must match pack_rhs(b)");
+    }
+    if k == 0 {
+        // Every element is an empty sum; `b` is zero-length, so the
+        // strip slicing below must not run.
+        out.fill(0.0);
+        return;
+    }
+    let isa = simd::detect();
+    for jc in (0..n).step_by(NC.max(1)) {
+        let jc_end = (jc + NC).min(n);
+        for ic in (0..m).step_by(MC) {
+            let ic_end = (ic + MC).min(m);
+            // Rows with a zero coefficient must run the mask-gated
+            // sparse strip; all-dense rows (the overwhelmingly common
+            // case for standardised features) take a branch-free SIMD
+            // strip. One prescan per block amortises over every strip.
+            let mut row_has_zero = [false; MC];
+            for (slot, i) in row_has_zero.iter_mut().zip(ic..ic_end) {
+                *slot = a[i * k..(i + 1) * k].contains(&0.0);
+            }
+            // Full NR-wide strips, then the ragged remainder.
+            let mut jt = jc;
+            while jt + NR <= jc_end {
+                // Strip source: packed panel (stride NR) or the raw
+                // row-major rhs (stride n).
+                let (bs, stride) = match packed_b {
+                    Some(p) => (&p[(jt / NR) * k * NR..(jt / NR + 1) * k * NR], NR),
+                    None => (&b[jt..], n),
+                };
+                for i in ic..ic_end {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let out_strip = &mut out[i * n + jt..i * n + jt + NR];
+                    if row_has_zero[i - ic] {
+                        strip16_sparse(a_row, bs, stride, &mut rhs_row_finite, out_strip);
+                    } else {
+                        strip16_dense(isa, a_row, bs, stride, out_strip);
+                    }
+                }
+                jt += NR;
+            }
+            for j in jt..jc_end {
+                for i in ic..ic_end {
+                    let a_row = &a[i * k..(i + 1) * k];
+                    let mut acc = 0.0f64;
+                    for (kk, &a_ik) in a_row.iter().enumerate() {
+                        if a_ik == 0.0 && rhs_row_finite(kk) {
+                            continue;
+                        }
+                        acc += a_ik * b[kk * n + j];
+                    }
+                    out[i * n + j] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// One register-tiled output strip for a lhs row with **no** zero
+/// coefficients: `out_strip[t] = Σ_k a_row[k] · bs[k*stride + t]`,
+/// accumulated in ascending `k` with no branches in the loop body.
+///
+/// Dispatches to the widest SIMD micro-kernel the host supports; every
+/// variant performs the identical sequence of per-element IEEE mul/add
+/// operations (no fused multiply-add), so all of them — and the
+/// portable fallback — produce bit-identical strips. With no zero
+/// coefficients the zero-skip never fires, so skipping logic is absent
+/// rather than replayed.
+#[inline]
+fn strip16_dense(isa: simd::Isa, a_row: &[f64], bs: &[f64], stride: usize, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), NR);
+    debug_assert!(a_row.is_empty() || (a_row.len() - 1) * stride + NR <= bs.len());
+    #[cfg(target_arch = "x86_64")]
+    match isa {
+        // SAFETY: `detect` proved the feature; the debug asserts above
+        // state the bounds contract the callers uphold.
+        simd::Isa::Avx512 => return unsafe { simd::strip16_avx512(a_row, bs, stride, out) },
+        simd::Isa::Avx => return unsafe { simd::strip16_avx(a_row, bs, stride, out) },
+        simd::Isa::Portable => {}
+    }
+    let _ = isa;
+    let mut acc = [0.0f64; NR];
+    for (kk, &a_ik) in a_row.iter().enumerate() {
+        let b_strip = &bs[kk * stride..kk * stride + NR];
+        for (slot, &bv) in acc.iter_mut().zip(b_strip) {
+            *slot += a_ik * bv;
+        }
+    }
+    out.copy_from_slice(&acc);
+}
+
+/// The mask-gated strip for lhs rows containing zero coefficients:
+/// identical accumulation order, but each zero may skip its rank-1
+/// contribution when the rhs row is finite (ReLU-sparse activations
+/// skip roughly half the work). Stays scalar: the skip branch defeats
+/// SIMD anyway, and the closure inlines to a mask lookup.
+fn strip16_sparse(
+    a_row: &[f64],
+    bs: &[f64],
+    stride: usize,
+    rhs_row_finite: &mut impl FnMut(usize) -> bool,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(out.len(), NR);
+    let mut acc = [0.0f64; NR];
+    for (kk, &a_ik) in a_row.iter().enumerate() {
+        if a_ik == 0.0 && rhs_row_finite(kk) {
+            continue;
+        }
+        let b_strip = &bs[kk * stride..kk * stride + NR];
+        for (slot, &bv) in acc.iter_mut().zip(b_strip) {
+            *slot += a_ik * bv;
+        }
+    }
+    out.copy_from_slice(&acc);
+}
+
+/// Explicit-SIMD strip micro-kernels for the dense (no-zero) path.
+///
+/// LLVM's SLP pass does not vectorise the 16 cross-iteration reduction
+/// chains of the portable strip (they compile to unrolled scalar
+/// `mulsd`/`addsd`), so the hot strip is written with `std::arch`
+/// intrinsics. Only unfused `mul` + `add` are used — **never** FMA,
+/// which rounds once instead of twice and would break the kernel's
+/// bit-identity guarantee.
+mod simd {
+    /// Widest instruction set available on the running host.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Isa {
+        /// AVX-512F: two 8-lane accumulators per strip.
+        Avx512,
+        /// AVX: four 4-lane accumulators per strip.
+        Avx,
+        /// No SIMD dispatch; the safe fallback loop runs.
+        Portable,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    pub fn detect() -> Isa {
+        use std::sync::OnceLock;
+        static CHOICE: OnceLock<Isa> = OnceLock::new();
+        *CHOICE.get_or_init(|| {
+            // `UADB_GEMM_ISA` pins a path (bench A/B runs and machines
+            // where a wider ISA downclocks); otherwise pick the widest
+            // the host supports.
+            let auto = if std::arch::is_x86_feature_detected!("avx512f") {
+                Isa::Avx512
+            } else if std::arch::is_x86_feature_detected!("avx") {
+                Isa::Avx
+            } else {
+                Isa::Portable
+            };
+            match std::env::var("UADB_GEMM_ISA").as_deref() {
+                Ok("avx512") if std::arch::is_x86_feature_detected!("avx512f") => Isa::Avx512,
+                Ok("avx") if std::arch::is_x86_feature_detected!("avx") => Isa::Avx,
+                Ok("portable") => Isa::Portable,
+                Ok(other) => {
+                    // A typo or an unsupported pin must not silently
+                    // masquerade as the requested path — A/B numbers
+                    // would be attributed to the wrong kernel.
+                    eprintln!(
+                        "uadb_linalg: UADB_GEMM_ISA={other:?} is unknown or unsupported \
+                         on this host; using auto-detected {auto:?}"
+                    );
+                    auto
+                }
+                Err(_) => auto,
+            }
+        })
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    pub fn detect() -> Isa {
+        Isa::Portable
+    }
+
+    /// # Safety
+    /// AVX must be available, and `bs` must cover every strip row:
+    /// `(a_row.len() - 1) * stride + 16 <= bs.len()` (upheld by the
+    /// slicing in `gemm_into` for both the packed and direct layouts).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    pub unsafe fn strip16_avx(a_row: &[f64], bs: &[f64], stride: usize, out: &mut [f64]) {
+        use std::arch::x86_64::*;
+        debug_assert!(a_row.is_empty() || (a_row.len() - 1) * stride + super::NR <= bs.len());
+        debug_assert_eq!(out.len(), super::NR);
+        unsafe {
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            let mut acc2 = _mm256_setzero_pd();
+            let mut acc3 = _mm256_setzero_pd();
+            let mut bp = bs.as_ptr();
+            for &a_ik in a_row {
+                let av = _mm256_set1_pd(a_ik);
+                acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(av, _mm256_loadu_pd(bp)));
+                acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(av, _mm256_loadu_pd(bp.add(4))));
+                acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(av, _mm256_loadu_pd(bp.add(8))));
+                acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(av, _mm256_loadu_pd(bp.add(12))));
+                bp = bp.add(stride);
+            }
+            let op = out.as_mut_ptr();
+            _mm256_storeu_pd(op, acc0);
+            _mm256_storeu_pd(op.add(4), acc1);
+            _mm256_storeu_pd(op.add(8), acc2);
+            _mm256_storeu_pd(op.add(12), acc3);
+        }
+    }
+
+    /// # Safety
+    /// As [`strip16_avx`], with AVX-512F available.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn strip16_avx512(a_row: &[f64], bs: &[f64], stride: usize, out: &mut [f64]) {
+        use std::arch::x86_64::*;
+        debug_assert!(a_row.is_empty() || (a_row.len() - 1) * stride + super::NR <= bs.len());
+        debug_assert_eq!(out.len(), super::NR);
+        unsafe {
+            let mut acc0 = _mm512_setzero_pd();
+            let mut acc1 = _mm512_setzero_pd();
+            let mut bp = bs.as_ptr();
+            for &a_ik in a_row {
+                let av = _mm512_set1_pd(a_ik);
+                acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(av, _mm512_loadu_pd(bp)));
+                acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(av, _mm512_loadu_pd(bp.add(8))));
+                bp = bp.add(stride);
+            }
+            let op = out.as_mut_ptr();
+            _mm512_storeu_pd(op, acc0);
+            _mm512_storeu_pd(op.add(8), acc1);
+        }
+    }
+}
+
+impl Matrix {
+    /// Matrix product `self · rhs` written into a caller-provided
+    /// buffer — the allocation-free core of [`Matrix::matmul`].
+    ///
+    /// `out` must hold exactly `self.rows() * rhs.cols()` elements and
+    /// is fully overwritten. `scratch` caches the rhs-row finiteness
+    /// mask and (for batches of at least 8 rows) the packed rhs panel
+    /// across calls; it must not be reused across *different* rhs
+    /// contents (see [`GemmScratch`]).
+    ///
+    /// Results are bit-identical to the naive i/k/j kernel, including
+    /// NaN/inf propagation through zero coefficients.
+    pub fn matmul_into(
+        &self,
+        rhs: &Matrix,
+        scratch: &mut GemmScratch,
+        out: &mut [f64],
+    ) -> Result<()> {
+        if self.cols() != rhs.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if out.len() != self.rows() * rhs.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_into",
+                lhs: (self.rows(), rhs.cols()),
+                rhs: (out.len(), 1),
+            });
+        }
+        // Packing pays once the panel is re-streamed by enough rows (or
+        // was already built on a previous call with this scratch).
+        let use_pack = (self.rows() >= PACK_MIN_ROWS || scratch.packed) && rhs.cols() >= NR;
+        if use_pack {
+            scratch.ensure_pack(rhs);
+        }
+        // Split borrows: the mask closure must not alias the pack.
+        let GemmScratch { finite, pack, packed } = scratch;
+        let packed_b = if use_pack && *packed { Some(pack.as_slice()) } else { None };
+        gemm_into(
+            self.rows(),
+            self.cols(),
+            rhs.cols(),
+            self.as_slice(),
+            rhs.as_slice(),
+            packed_b,
+            |r| finite.get_or_insert_with(|| row_finiteness(rhs))[r],
+            out,
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f64]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_strip_boundaries() {
+        // Widths straddling the NR=16 strip edge and the NC=256
+        // column-block edge (so the jc loop runs more than once, and
+        // packed-strip offsets are exercised in a second block), and
+        // heights straddling the MC block and PACK_MIN_ROWS edges.
+        for (rows, k, cols) in [
+            (1, 3, 1),
+            (5, 7, 15),
+            (3, 4, 16),
+            (2, 9, 17),
+            (8, 4, 16),
+            (70, 5, 33),
+            (3, 4, 300),
+            (9, 6, 513),
+        ] {
+            let a_data: Vec<f64> =
+                (0..rows * k).map(|i| ((i * 37 + 11) % 19) as f64 - 9.0).collect();
+            let b_data: Vec<f64> =
+                (0..k * cols).map(|i| ((i * 53 + 7) % 23) as f64 - 11.0).collect();
+            let a = m(rows, k, &a_data);
+            let b = m(k, cols, &b_data);
+            let want = naive_matmul(&a, &b);
+            let mut out = vec![f64::NAN; rows * cols];
+            a.matmul_into(&b, &mut GemmScratch::new(), &mut out).unwrap();
+            for (got, want) in out.iter().zip(want.as_slice()) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+            // The eagerly packed + masked scratch must agree bit for bit.
+            let mut out2 = vec![f64::NAN; rows * cols];
+            a.matmul_into(&b, &mut GemmScratch::precomputed(&b), &mut out2).unwrap();
+            for (got, want) in out2.iter().zip(want.as_slice()) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_and_precompute_agree() {
+        let a = m(2, 3, &[0.0, 1.0, -2.0, 3.0, 0.0, 0.5]);
+        let b = m(3, 2, &[1.0, f64::NAN, 2.0, 3.0, 4.0, 5.0]);
+        let mut lazy = GemmScratch::new();
+        let mut out1 = vec![0.0; 4];
+        a.matmul_into(&b, &mut lazy, &mut out1).unwrap();
+        let mut out2 = vec![0.0; 4];
+        a.matmul_into(&b, &mut GemmScratch::precomputed(&b), &mut out2).unwrap();
+        let mut out3 = vec![0.0; 4];
+        a.matmul_into(&b, &mut lazy, &mut out3).unwrap(); // cached mask
+        for ((x, y), z) in out1.iter().zip(&out2).zip(&out3) {
+            assert_eq!(x.to_bits(), y.to_bits());
+            assert_eq!(x.to_bits(), z.to_bits());
+        }
+        // The NaN in b's first row must poison products with the zero
+        // coefficient in a's first row.
+        assert!(out1[1].is_nan());
+    }
+
+    #[test]
+    fn cleared_scratch_recomputes_after_rhs_change() {
+        let a = m(1, 2, &[0.0, 1.0]);
+        let mut b = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut scratch = GemmScratch::precomputed(&b);
+        let mut out = vec![0.0; 2];
+        a.matmul_into(&b, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, vec![3.0, 4.0]);
+        // Poison the row the zero coefficient previously skipped.
+        b.set(0, 0, f64::NAN);
+        scratch.clear();
+        a.matmul_into(&b, &mut scratch, &mut out).unwrap();
+        assert!(out[0].is_nan(), "cleared scratch must re-scan the poisoned rhs");
+    }
+
+    #[test]
+    fn packed_panel_streams_full_strips() {
+        // 2 full strips + 3 remainder cols.
+        let k = 3;
+        let n = 2 * NR + 3;
+        let b: Vec<f64> = (0..k * n).map(|i| i as f64).collect();
+        let mut pack = vec![999.0; 1]; // cleared and reused
+        pack_rhs(k, n, &b, &mut pack);
+        assert_eq!(pack.len(), k * 2 * NR);
+        // Strip 0, k row 1 starts at b[n + 0].
+        assert_eq!(pack[NR], b[n]);
+        // Strip 1, k row 0 starts at b[NR].
+        assert_eq!(pack[k * NR..k * NR + NR], b[NR..2 * NR]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut out = vec![0.0; 4];
+        assert!(a.matmul_into(&b, &mut GemmScratch::new(), &mut out).is_err());
+        let b = Matrix::zeros(3, 2);
+        let mut short = vec![0.0; 3];
+        assert!(matches!(
+            a.matmul_into(&b, &mut GemmScratch::new(), &mut short),
+            Err(LinalgError::ShapeMismatch { op: "matmul_into", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_k_zeroes_the_output() {
+        // Widths past the strip boundary and heights on both sides of
+        // the pack threshold: the empty rhs must never be strip-sliced.
+        for (m_rows, n_cols) in [(3usize, 4usize), (3, 33), (9, 40)] {
+            let a = Matrix::zeros(m_rows, 0);
+            let b = Matrix::zeros(0, n_cols);
+            let mut out = vec![f64::NAN; m_rows * n_cols];
+            a.matmul_into(&b, &mut GemmScratch::new(), &mut out).unwrap();
+            assert!(out.iter().all(|&v| v == 0.0), "{m_rows}x0x{n_cols}");
+            let via_alloc = a.matmul(&b).unwrap();
+            assert_eq!(via_alloc.shape(), (m_rows, n_cols));
+            assert!(via_alloc.as_slice().iter().all(|&v| v == 0.0));
+        }
+    }
+}

@@ -5,6 +5,9 @@
 //! kernel set those systems need, built from scratch:
 //!
 //! * [`Matrix`] — row-major dense `f64` matrix with cache-friendly matmul,
+//! * [`gemm`] — cache-blocked, allocation-free GEMM kernel behind
+//!   [`Matrix::matmul`]/[`Matrix::matmul_into`] ([`gemm::GemmScratch`]
+//!   caches the rhs-row finiteness mask across calls),
 //! * [`eigen::sym_eigen`] — cyclic Jacobi eigendecomposition for symmetric
 //!   matrices (PCA, GMM covariances),
 //! * [`lu::LuDecomposition`] — LU with partial pivoting (solve, inverse,
@@ -22,11 +25,13 @@ pub mod colstats;
 pub mod distance;
 pub mod eigen;
 pub mod error;
+pub mod gemm;
 pub mod lu;
 pub mod matrix;
 pub mod vecops;
 
 pub use error::LinalgError;
+pub use gemm::GemmScratch;
 pub use matrix::Matrix;
 
 /// Convenience result alias for fallible linear-algebra routines.

@@ -187,18 +187,23 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses an i-k-j loop order so the inner loop runs over contiguous rows
-    /// of both the output and `rhs`, which lets LLVM vectorise it.
+    /// Thin allocating wrapper over [`Matrix::matmul_into`], which runs
+    /// the cache-blocked kernel in [`crate::gemm`]. Per-element `k`
+    /// accumulation stays sequential, so results are bit-identical to
+    /// the historic naive i/k/j kernel.
     ///
     /// Follows IEEE-754 semantics: a NaN or infinity in *either* operand
     /// poisons every product element it participates in. Zero left-hand
     /// coefficients (common: ReLU activations are about half zeros) may
     /// only skip their rank-1 update when the matching `rhs` row is all
     /// finite — `0.0 * NaN` and `0.0 * inf` are NaN, so an unconditional
-    /// skip would let a corrupted operand score clean. The finiteness of
-    /// each `rhs` row is established in one O(k·n) pre-scan, amortised
-    /// across the m output rows.
+    /// skip would let a corrupted operand score clean. The per-row
+    /// finiteness mask is built lazily on the first zero coefficient hit
+    /// (dense multiplies pay nothing for it) and can be cached across
+    /// calls via [`crate::gemm::GemmScratch`].
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        // Validate before allocating: a mismatched pair must cost an
+        // error, not an m×n zero buffer.
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -207,35 +212,20 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        let n = rhs.cols;
-        // Computed lazily on the first zero coefficient actually hit, so
-        // fully dense multiplies (e.g. single-row scoring requests whose
-        // standardised features are never exactly 0) pay nothing for it.
-        let mut rhs_row_finite: Option<Vec<bool>> = None;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                // Skipping a zero coefficient is exact only when the rhs
-                // row cannot turn `0.0 * x` into NaN.
-                if a_ik == 0.0 {
-                    let finite = rhs_row_finite.get_or_insert_with(|| {
-                        (0..rhs.rows).map(|r| rhs.row(r).iter().all(|v| v.is_finite())).collect()
-                    });
-                    if finite[k] {
-                        continue;
-                    }
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ik * b;
-                }
-            }
-        }
+        let mut scratch = crate::gemm::GemmScratch::new();
+        self.matmul_into(rhs, &mut scratch, out.as_mut_slice())?;
         Ok(out)
     }
 
-    /// Matrix-vector product `self * v`.
+    /// Matrix-vector product `self * v` — the `n = 1` case of the
+    /// blocked kernel, with `v` read as a `k×1` column.
+    ///
+    /// Shares `matmul`'s exact semantics (ascending-`k` accumulation
+    /// from `+0.0`, zero-coefficient skip gated on `v[k]` finiteness).
+    /// One observable delta from the pre-kernel implementation, which
+    /// folded from `-0.0` (std's `Sum` identity): a result that is
+    /// exactly zero is always `+0.0` now, where the old code could
+    /// return `-0.0`. The two compare equal; only `to_bits` differs.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
         if self.cols != v.len() {
             return Err(LinalgError::ShapeMismatch {
@@ -244,7 +234,18 @@ impl Matrix {
                 rhs: (v.len(), 1),
             });
         }
-        Ok(self.row_iter().map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum()).collect())
+        let mut out = vec![0.0; self.rows];
+        crate::gemm::gemm_into(
+            self.rows,
+            self.cols,
+            1,
+            &self.data,
+            v,
+            None,
+            |r| v[r].is_finite(),
+            &mut out,
+        );
+        Ok(out)
     }
 
     /// Element-wise sum `self + rhs`.

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use uadb_linalg::colstats::covariance;
 use uadb_linalg::distance::{euclidean, pairwise};
 use uadb_linalg::eigen::sym_eigen;
+use uadb_linalg::gemm::{row_finiteness, GemmScratch};
 use uadb_linalg::lu::LuDecomposition;
 use uadb_linalg::vecops::{mean, population_variance};
 use uadb_linalg::Matrix;
@@ -14,7 +15,103 @@ fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
 }
 
+/// Strategy: a single matrix cell that may be a plain value, an exact
+/// zero (exercising the zero-skip), or a NaN/±inf poison.
+fn poisoned_cell() -> impl Strategy<Value = f64> {
+    (0u32..14, -10.0..10.0f64).prop_map(|(sel, v)| match sel {
+        0..=7 => v,
+        8..=10 => 0.0,
+        11 => f64::NAN,
+        12 => f64::INFINITY,
+        _ => f64::NEG_INFINITY,
+    })
+}
+
+/// Strategy: an `(a, b)` operand pair of compatible random shapes —
+/// heights straddling the pack threshold and block size, widths
+/// straddling the register-strip width — where cells may be zero or
+/// non-finite and whole lhs rows are sometimes forced to all zeros.
+fn gemm_operands() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..12, 1usize..10, 1usize..40).prop_flat_map(|(m, k, n)| {
+        let a = prop::collection::vec(poisoned_cell(), m * k);
+        let b = prop::collection::vec(poisoned_cell(), k * n);
+        let zero_rows = prop::collection::vec(prop::bool::ANY, m);
+        (a, b, zero_rows).prop_map(move |(mut av, bv, zr)| {
+            for (i, &z) in zr.iter().enumerate() {
+                if z {
+                    av[i * k..(i + 1) * k].fill(0.0);
+                }
+            }
+            (Matrix::from_vec(m, k, av).unwrap(), Matrix::from_vec(k, n, bv).unwrap())
+        })
+    })
+}
+
+/// The straightforward reference triple loop (i/k/j, ascending `k`,
+/// zero-skip gated on rhs-row finiteness exactly as the historic naive
+/// kernel) the blocked kernel must reproduce bit for bit.
+fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = b.cols();
+    let mut out = Matrix::zeros(a.rows(), n);
+    let finite = row_finiteness(b);
+    for i in 0..a.rows() {
+        for (k, &a_ik) in a.row(i).iter().enumerate() {
+            if a_ik == 0.0 && finite[k] {
+                continue;
+            }
+            for j in 0..n {
+                let cur = out.get(i, j);
+                out.set(i, j, cur + a_ik * b.get(k, j));
+            }
+        }
+    }
+    out
+}
+
+/// Bitwise comparison that treats any-NaN-vs-any-NaN as equal: Rust
+/// does not guarantee which NaN payload an operation produces, so
+/// propagation (is it NaN at all?) is pinned exactly while payload
+/// bits are not. Returns the first offending index.
+fn bit_mismatch(got: &[f64], want: &[f64]) -> Option<usize> {
+    if got.len() != want.len() {
+        return Some(got.len().min(want.len()));
+    }
+    got.iter()
+        .zip(want)
+        .position(|(g, w)| g.to_bits() != w.to_bits() && !(g.is_nan() && w.is_nan()))
+}
+
 proptest! {
+    #[test]
+    fn matmul_into_is_bit_identical_to_reference((a, b) in gemm_operands()) {
+        let want = reference_matmul(&a, &b);
+        // Lazy scratch (mask built on first zero hit, packing decided
+        // by batch height)…
+        let mut out = vec![f64::NAN; a.rows() * b.cols()];
+        a.matmul_into(&b, &mut GemmScratch::new(), &mut out).unwrap();
+        prop_assert_eq!(bit_mismatch(&out, want.as_slice()), None);
+        // …the eagerly packed/masked scratch…
+        let mut scratch = GemmScratch::precomputed(&b);
+        let mut out2 = vec![f64::NAN; out.len()];
+        a.matmul_into(&b, &mut scratch, &mut out2).unwrap();
+        prop_assert_eq!(bit_mismatch(&out2, want.as_slice()), None);
+        // …and a warm reused scratch must all agree with the reference.
+        let mut out3 = vec![f64::NAN; out.len()];
+        a.matmul_into(&b, &mut scratch, &mut out3).unwrap();
+        prop_assert_eq!(bit_mismatch(&out3, want.as_slice()), None);
+        // The allocating wrapper is a thin shim over the same kernel.
+        prop_assert_eq!(bit_mismatch(a.matmul(&b).unwrap().as_slice(), want.as_slice()), None);
+    }
+
+    #[test]
+    fn matvec_is_bit_identical_to_single_column_matmul((a, b) in gemm_operands()) {
+        let col = b.col(0);
+        let want: Vec<f64> = reference_matmul(&a, &Matrix::from_vec(col.len(), 1, col.clone()).unwrap())
+            .into_vec();
+        let got = a.matvec(&col).unwrap();
+        prop_assert_eq!(bit_mismatch(&got, &want), None);
+    }
+
     #[test]
     fn transpose_is_involution(m in small_matrix(4, 3)) {
         prop_assert_eq!(m.transpose().transpose(), m);

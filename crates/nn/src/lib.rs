@@ -16,5 +16,6 @@ pub mod mlp;
 pub mod train;
 
 pub use adam::AdamParams;
-pub use mlp::{Activation, Mlp, MlpConfig};
+pub use linear::Linear;
+pub use mlp::{Activation, ForwardScratch, Mlp, MlpConfig};
 pub use train::{train_regression, train_svdd, TrainConfig};

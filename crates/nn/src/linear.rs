@@ -2,7 +2,23 @@
 
 use crate::adam::{AdamParams, AdamState};
 use rand::Rng;
+use std::sync::OnceLock;
+use uadb_linalg::gemm;
 use uadb_linalg::Matrix;
+
+/// Weight-derived artifacts the GEMM kernel reuses across forward
+/// passes: the per-row finiteness mask (gates the zero-coefficient
+/// skip) and the strip-major packed panel (sequential streaming).
+///
+/// Both are pure functions of `W`, so they live in a [`OnceLock`]
+/// shared by every thread scoring the same layer and are dropped
+/// whenever the weights change — repeated scoring of one model never
+/// re-scans or re-packs its weights.
+#[derive(Debug, Clone)]
+struct WeightCache {
+    row_finite: Vec<bool>,
+    pack: Vec<f64>,
+}
 
 /// A fully-connected layer `y = x W + b`.
 ///
@@ -16,6 +32,7 @@ pub struct Linear {
     grad_b: Vec<f64>,
     adam_w: AdamState,
     adam_b: AdamState,
+    cache: OnceLock<WeightCache>,
 }
 
 impl Linear {
@@ -34,7 +51,23 @@ impl Linear {
             adam_b: AdamState::new(output),
             w,
             b,
+            cache: OnceLock::new(),
         }
+    }
+
+    /// The weight cache, built on first use after any weight change.
+    fn weight_cache(&self) -> &WeightCache {
+        self.cache.get_or_init(|| {
+            let mut pack = Vec::new();
+            gemm::pack_rhs(self.w.rows(), self.w.cols(), self.w.as_slice(), &mut pack);
+            WeightCache { row_finite: gemm::row_finiteness(&self.w), pack }
+        })
+    }
+
+    /// Drops weight-derived caches; must run after every weight
+    /// mutation.
+    fn invalidate_cache(&mut self) {
+        self.cache = OnceLock::new();
     }
 
     /// Input width.
@@ -47,16 +80,46 @@ impl Linear {
         self.w.cols()
     }
 
-    /// Batch forward: `(B, in) -> (B, out)`.
+    /// Batch forward: `(B, in) -> (B, out)`. Thin allocating wrapper
+    /// over [`Linear::forward_into`].
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut out = x.matmul(&self.w).expect("linear layer dim mismatch");
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
+        assert_eq!(x.cols(), self.input_dim(), "linear layer dim mismatch");
+        let mut out = Matrix::zeros(x.rows(), self.output_dim());
+        self.forward_into(x.as_slice(), x.rows(), out.as_mut_slice());
+        out
+    }
+
+    /// Allocation-free batch forward over raw row-major slices: reads
+    /// `batch` rows of [`Linear::input_dim`] features from `x` and
+    /// writes `batch` rows of [`Linear::output_dim`] activations over
+    /// `out`. Uses the cached weight mask and packed panel, so steady-
+    /// state scoring performs no allocation and no weight re-scan.
+    ///
+    /// Results are bit-identical to the historic `matmul` + bias path.
+    ///
+    /// # Panics
+    /// If either slice length disagrees with `batch` and the layer
+    /// dimensions.
+    pub fn forward_into(&self, x: &[f64], batch: usize, out: &mut [f64]) {
+        let (in_dim, out_dim) = self.w.shape();
+        assert_eq!(x.len(), batch * in_dim, "input buffer length must be batch*in");
+        assert_eq!(out.len(), batch * out_dim, "output buffer length must be batch*out");
+        let cache = self.weight_cache();
+        gemm::gemm_into(
+            batch,
+            in_dim,
+            out_dim,
+            x,
+            self.w.as_slice(),
+            Some(&cache.pack),
+            |r| cache.row_finite[r],
+            out,
+        );
+        for row in out.chunks_exact_mut(out_dim.max(1)) {
             for (v, &bias) in row.iter_mut().zip(&self.b) {
                 *v += bias;
             }
         }
-        out
     }
 
     /// Backward pass: accumulates parameter gradients for the batch and
@@ -103,6 +166,7 @@ impl Linear {
     pub fn apply_adam(&mut self, hp: &AdamParams) {
         self.adam_w.step(self.w.as_mut_slice(), &self.grad_w, hp);
         self.adam_b.step(&mut self.b, &self.grad_b, hp);
+        self.invalidate_cache();
     }
 
     /// Rebuilds a layer from persisted parameters (fresh optimiser
@@ -121,6 +185,7 @@ impl Linear {
             adam_b: AdamState::new(output),
             w,
             b,
+            cache: OnceLock::new(),
         }
     }
 
@@ -135,7 +200,10 @@ impl Linear {
     }
 
     /// Mutable weight access (finite-difference gradient checks).
+    /// Invalidates the weight cache up front — the caller may mutate
+    /// through the returned reference at any point before it drops.
     pub fn weights_mut(&mut self) -> &mut Matrix {
+        self.invalidate_cache();
         &mut self.w
     }
 
@@ -175,12 +243,13 @@ mod tests {
         let analytic = l.grad_weights().to_vec();
         let eps = 1e-6;
         for idx in 0..6 {
-            let orig = l.w.as_slice()[idx];
-            l.w.as_mut_slice()[idx] = orig + eps;
+            // Perturb through weights_mut so the weight cache refreshes.
+            let orig = l.weights().as_slice()[idx];
+            l.weights_mut().as_mut_slice()[idx] = orig + eps;
             let up: f64 = l.forward(&x).as_slice().iter().sum();
-            l.w.as_mut_slice()[idx] = orig - eps;
+            l.weights_mut().as_mut_slice()[idx] = orig - eps;
             let down: f64 = l.forward(&x).as_slice().iter().sum();
-            l.w.as_mut_slice()[idx] = orig;
+            l.weights_mut().as_mut_slice()[idx] = orig;
             let numeric = (up - down) / (2.0 * eps);
             assert!(
                 (numeric - analytic[idx]).abs() < 1e-5,
@@ -212,6 +281,46 @@ mod tests {
         l.backward(&x, &g);
         l.apply_adam(&AdamParams::default());
         assert!(before.max_abs_diff(l.weights()) > 0.0);
+    }
+
+    #[test]
+    fn weight_cache_invalidates_on_mutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l = Linear::new(2, 2, &mut rng);
+        // x has a zero coefficient, so forward consults the cached
+        // finiteness mask of W's rows.
+        let x = Matrix::from_vec(1, 2, vec![0.0, 1.0]).unwrap();
+        let clean = l.forward(&x);
+        assert!(clean.as_slice().iter().all(|v| v.is_finite()));
+        // Poison row 0 of W through weights_mut: the zero-skip must not
+        // keep using the stale "row 0 is finite" mask.
+        l.weights_mut().set(0, 0, f64::NAN);
+        let poisoned = l.forward(&x);
+        assert!(
+            poisoned.get(0, 0).is_nan(),
+            "stale weight cache let 0 * NaN score clean: {:?}",
+            poisoned.as_slice()
+        );
+        // And an Adam step likewise refreshes the cache.
+        let mut l2 = Linear::new(2, 2, &mut rng);
+        let before = l2.forward(&x);
+        l2.backward(&x, &Matrix::filled(1, 2, 1.0));
+        l2.apply_adam(&AdamParams::default());
+        let after = l2.forward(&x);
+        assert_ne!(before.as_slice(), after.as_slice(), "cache must track stepped weights");
+    }
+
+    #[test]
+    fn forward_into_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let l = Linear::new(3, 5, &mut rng);
+        let x = Matrix::from_vec(4, 3, (0..12).map(|i| i as f64 * 0.3 - 2.0).collect()).unwrap();
+        let via_matrix = l.forward(&x);
+        let mut out = vec![f64::NAN; 4 * 5];
+        l.forward_into(x.as_slice(), 4, &mut out);
+        for (a, b) in via_matrix.as_slice().iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -68,6 +68,20 @@ impl ForwardCache {
     }
 }
 
+/// Reusable inference workspace for [`Mlp::forward_scored`]: two
+/// ping-pong activation buffers sized to `batch × widest layer`,
+/// grown once and reused across calls — steady-state scoring performs
+/// no allocation.
+///
+/// A scratch is not tied to one network or batch size; it regrows (and
+/// keeps capacity) as needed. It holds no numeric state between calls:
+/// every buffer element read was written earlier in the same call.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    ping: Vec<f64>,
+    pong: Vec<f64>,
+}
+
 impl Mlp {
     /// Builds the network with Xavier-initialised layers.
     pub fn new(cfg: &MlpConfig) -> Self {
@@ -123,13 +137,13 @@ impl Mlp {
             inputs.push(cur.clone());
             cur = layer.forward(&cur);
             if i < last {
-                relu_inplace(&mut cur);
+                relu_slice(cur.as_mut_slice());
             }
         }
         let output = match self.activation {
             Activation::Sigmoid => {
                 let mut o = cur;
-                sigmoid_inplace(&mut o);
+                sigmoid_slice(o.as_mut_slice());
                 o
             }
             Activation::Identity => cur,
@@ -145,6 +159,79 @@ impl Mlp {
     /// Single-column prediction convenience: `(B, 1)` output flattened.
     pub fn predict_vec(&self, x: &Matrix) -> Vec<f64> {
         self.forward(x).into_vec()
+    }
+
+    /// Allocation-free inference: the full forward pass through the
+    /// caller's [`ForwardScratch`], returning the post-activation
+    /// output as a borrowed `(rows × output_dim)` row-major slice.
+    ///
+    /// Bit-identical to [`Mlp::forward`]; unlike the training-time
+    /// [`Mlp::forward_cached`] it retains no intermediate activations
+    /// and allocates nothing once the scratch has grown to the batch.
+    ///
+    /// # Panics
+    /// If `x` is not [`Mlp::input_dim`] wide.
+    pub fn forward_scored<'s>(&self, x: &Matrix, scratch: &'s mut ForwardScratch) -> &'s [f64] {
+        assert_eq!(x.cols(), self.input_dim(), "input width mismatch");
+        self.forward_rows(x.as_slice(), x.rows(), scratch)
+    }
+
+    /// [`Mlp::forward_scored`] over a raw row-major slice of `batch`
+    /// rows — the form the serving path uses so standardised feature
+    /// buffers never need a `Matrix` wrapper.
+    ///
+    /// # Panics
+    /// If `rows.len() != batch * self.input_dim()`.
+    pub fn forward_rows<'s>(
+        &self,
+        rows: &[f64],
+        batch: usize,
+        scratch: &'s mut ForwardScratch,
+    ) -> &'s [f64] {
+        assert_eq!(rows.len(), batch * self.input_dim(), "row buffer length mismatch");
+        let widest = self.layers.iter().map(Linear::output_dim).max().expect("layers non-empty");
+        let need = batch * widest;
+        let ForwardScratch { ping, pong } = scratch;
+        if ping.len() < need {
+            ping.resize(need, 0.0);
+        }
+        if pong.len() < need {
+            pong.resize(need, 0.0);
+        }
+        let last = self.layers.len() - 1;
+        // `src`: where the previous layer wrote (None = the input).
+        let mut src_is_ping: Option<bool> = None;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let n_out = batch * layer.output_dim();
+            let n_in = batch * layer.input_dim();
+            let dst_is_ping = match src_is_ping {
+                None => {
+                    layer.forward_into(rows, batch, &mut ping[..n_out]);
+                    true
+                }
+                Some(true) => {
+                    layer.forward_into(&ping[..n_in], batch, &mut pong[..n_out]);
+                    false
+                }
+                Some(false) => {
+                    layer.forward_into(&pong[..n_in], batch, &mut ping[..n_out]);
+                    true
+                }
+            };
+            let wrote = if dst_is_ping { &mut ping[..n_out] } else { &mut pong[..n_out] };
+            if i < last {
+                relu_slice(wrote);
+            } else if self.activation == Activation::Sigmoid {
+                sigmoid_slice(wrote);
+            }
+            src_is_ping = Some(dst_is_ping);
+        }
+        let n_final = batch * self.layers[last].output_dim();
+        if src_is_ping == Some(true) {
+            &ping[..n_final]
+        } else {
+            &pong[..n_final]
+        }
     }
 
     /// Backward pass from `grad_output` (gradient of the loss w.r.t. the
@@ -197,18 +284,18 @@ impl Mlp {
     }
 }
 
-/// In-place ReLU.
-fn relu_inplace(m: &mut Matrix) {
-    for v in m.as_mut_slice() {
+/// In-place ReLU over an activation buffer.
+fn relu_slice(vals: &mut [f64]) {
+    for v in vals {
         if *v < 0.0 {
             *v = 0.0;
         }
     }
 }
 
-/// In-place numerically-stable sigmoid.
-fn sigmoid_inplace(m: &mut Matrix) {
-    for v in m.as_mut_slice() {
+/// In-place numerically-stable sigmoid over an activation buffer.
+fn sigmoid_slice(vals: &mut [f64]) {
+    for v in vals {
         *v = sigmoid(*v);
     }
 }
@@ -304,6 +391,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn forward_scored_is_bit_identical_to_forward() {
+        let mlp = tiny_mlp(13);
+        let mut scratch = ForwardScratch::default();
+        // Reuse one scratch across shrinking and growing batch sizes;
+        // stale tail contents must never leak into results.
+        for rows in [7usize, 2, 9, 1] {
+            let x =
+                Matrix::from_vec(rows, 3, (0..rows * 3).map(|i| (i as f64) * 0.21 - 2.0).collect())
+                    .unwrap();
+            let expect = mlp.forward(&x);
+            let got = mlp.forward_scored(&x, &mut scratch);
+            assert_eq!(got.len(), rows);
+            for (g, e) in got.iter().zip(expect.as_slice()) {
+                assert_eq!(g.to_bits(), e.to_bits(), "batch of {rows}");
+            }
+        }
+        // The same scratch serves a differently-shaped network.
+        let other = Mlp::new(&MlpConfig {
+            input_dim: 2,
+            hidden: vec![11],
+            output_dim: 4,
+            activation: Activation::Identity,
+            seed: 3,
+        });
+        let x = Matrix::filled(5, 2, 0.4);
+        let got = other.forward_scored(&x, &mut scratch);
+        assert_eq!(got.len(), 5 * 4);
+        for (g, e) in got.iter().zip(other.forward(&x).as_slice()) {
+            assert_eq!(g.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn forward_rows_zero_batch_is_empty() {
+        let mlp = tiny_mlp(14);
+        let mut scratch = ForwardScratch::default();
+        assert!(mlp.forward_rows(&[], 0, &mut scratch).is_empty());
     }
 
     #[test]

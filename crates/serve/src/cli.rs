@@ -351,7 +351,7 @@ fn info(flags: &Flags) -> Result<(), CliError> {
     let served = load_model(flags)?;
     // Same serializer as `GET /model`, so the CLI and the server can
     // never drift apart on what a model file contains.
-    println!("{}", json::to_string(&crate::http::model_info(&served)));
+    println!("{}", json::to_string(&crate::http::model_info(&served, None)));
     Ok(())
 }
 

@@ -536,11 +536,15 @@ fn route(req: &Request, registry: &Arc<ModelRegistry>) -> Response {
         ),
         ("GET", ["models"]) => list_models(registry),
         ("GET", ["model"]) => match registry.default_pool() {
-            Some(pool) => Response::json(200, "OK", &model_info(pool.model())),
+            Some(pool) => {
+                Response::json(200, "OK", &model_info(pool.model(), Some(pool.n_workers())))
+            }
             None => Response::error(404, "Not Found", "no default model registered"),
         },
         ("GET", ["model", name]) => match registry.get(name) {
-            Some(pool) => Response::json(200, "OK", &model_info(pool.model())),
+            Some(pool) => {
+                Response::json(200, "OK", &model_info(pool.model(), Some(pool.n_workers())))
+            }
             None => unknown_model(name),
         },
         ("POST", ["score"]) => match registry.default_pool() {
@@ -612,8 +616,10 @@ fn reload_model(req: &Request, registry: &Arc<ModelRegistry>, name: &str) -> Res
     };
     match registry.reload(name, explicit_path.as_deref().map(Path::new)) {
         Ok(()) => {
-            let info =
-                registry.get(name).map(|pool| model_info(pool.model())).unwrap_or(Value::Null);
+            let info = registry
+                .get(name)
+                .map(|pool| model_info(pool.model(), Some(pool.n_workers())))
+                .unwrap_or(Value::Null);
             Response::json(
                 200,
                 "OK",
@@ -632,11 +638,14 @@ fn reload_model(req: &Request, registry: &Arc<ModelRegistry>, name: &str) -> Res
     }
 }
 
-pub(crate) fn model_info(model: &ServedModel) -> Value {
+/// Model metadata document. `workers` is the serving pool's resolved
+/// worker-thread count when the model is behind a pool (`GET /model`);
+/// the offline CLI `info` command has no pool and omits the field.
+pub(crate) fn model_info(model: &ServedModel, workers: Option<usize>) -> Value {
     let meta = model.meta();
     let cfg = model.model().config();
     let cal = model.model().calibration();
-    json::object([
+    let mut fields = vec![
         ("dataset", Value::String(meta.dataset.clone())),
         ("teacher", Value::String(meta.teacher.clone())),
         ("n_train", Value::Number(meta.n_train as f64)),
@@ -650,7 +659,11 @@ pub(crate) fn model_info(model: &ServedModel) -> Value {
             json::object([("min", Value::Number(cal.min)), ("range", Value::Number(cal.range))]),
         ),
         ("format_version", Value::Number(crate::persist::FORMAT_VERSION as f64)),
-    ])
+    ];
+    if let Some(n) = workers {
+        fields.push(("workers", Value::Number(n as f64)));
+    }
+    json::object(fields)
 }
 
 fn score(req: &Request, pool: &ScoringPool) -> Response {
@@ -670,7 +683,9 @@ fn score(req: &Request, pool: &ScoringPool) -> Response {
         Ok(m) => m,
         Err(msg) => return Response::error(400, "Bad Request", &msg),
     };
-    match pool.score(&matrix) {
+    // Hand the parsed batch to the pool as-is: shards borrow row ranges
+    // from this one shared allocation instead of copying.
+    match pool.score_shared(&Arc::new(matrix)) {
         Ok(scores) => Response::json(
             200,
             "OK",

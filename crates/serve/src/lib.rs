@@ -64,7 +64,7 @@ pub mod pool;
 pub mod registry;
 
 pub use http::{Server, ServerConfig, ServerHandle};
-pub use model::{ModelMeta, ScoreError, ServedModel};
+pub use model::{ModelMeta, ScoreError, ScoreWorkspace, ServedModel};
 pub use persist::{load, load_file, save, save_file, PersistError, FORMAT_VERSION};
 pub use pool::{PoolConfig, ScoringPool};
 pub use registry::{ModelRegistry, RegistryError};

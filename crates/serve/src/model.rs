@@ -9,11 +9,22 @@
 //! row did.
 
 use std::fmt;
-use uadb::{Uadb, UadbConfig, UadbModel};
+use uadb::{ScoreScratch, Uadb, UadbConfig, UadbModel};
 use uadb_data::preprocess::Standardizer;
 use uadb_data::Dataset;
 use uadb_detectors::{DetectorError, DetectorKind};
 use uadb_linalg::Matrix;
+
+/// Per-worker reusable scoring workspace: standardised-feature buffer,
+/// output staging, and the booster's forward scratch. Grown once, then
+/// reused for every request a worker handles — the steady-state scoring
+/// path performs no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreWorkspace {
+    std_rows: Vec<f64>,
+    scores: Vec<f64>,
+    nn: ScoreScratch,
+}
 
 /// Provenance carried in the model file and reported by `GET /model`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,22 +123,51 @@ impl ServedModel {
     /// Scores raw (unstandardised) rows: applies the stored train-time
     /// standardisation, the ensemble forward pass, and the stored score
     /// calibration. Every step is per-row, so results are independent of
-    /// batch composition and sharding.
+    /// batch composition and sharding. Thin wrapper over
+    /// [`ServedModel::score_range_into`] with a one-shot workspace.
     pub fn score_rows(&self, raw: &Matrix) -> Result<Vec<f64>, ScoreError> {
+        let mut ws = ScoreWorkspace::default();
+        self.score_range_into(raw, 0, raw.rows(), &mut ws)?;
+        Ok(std::mem::take(&mut ws.scores))
+    }
+
+    /// Allocation-free scoring of the borrowed row range `lo..hi` of
+    /// `raw`: validates, standardises into the workspace, runs the
+    /// forward pass through the workspace scratch, calibrates in place,
+    /// and returns the calibrated scores as a borrowed slice of length
+    /// `hi - lo`. [`ScoreError::NonFiniteFeature`] reports the
+    /// **batch-global** row index.
+    ///
+    /// Scores are bit-identical to [`ServedModel::score_rows`] on the
+    /// same rows — the shard-independence property the scoring pool
+    /// relies on.
+    ///
+    /// # Panics
+    /// If the range is out of bounds.
+    pub fn score_range_into<'w>(
+        &self,
+        raw: &Matrix,
+        lo: usize,
+        hi: usize,
+        ws: &'w mut ScoreWorkspace,
+    ) -> Result<&'w [f64], ScoreError> {
+        assert!(lo <= hi && hi <= raw.rows(), "row range {lo}..{hi} out of bounds");
         let expected = self.standardizer.n_features();
         if raw.cols() != expected && raw.rows() > 0 {
             return Err(ScoreError::DimensionMismatch { expected, got: raw.cols() });
         }
         if raw.rows() == 0 {
-            return Ok(Vec::new());
+            ws.scores.clear();
+            return Ok(&ws.scores);
         }
-        for (i, row) in raw.row_iter().enumerate() {
-            if row.iter().any(|v| !v.is_finite()) {
-                return Err(ScoreError::NonFiniteFeature { row: i });
+        for r in lo..hi {
+            if raw.row(r).iter().any(|v| !v.is_finite()) {
+                return Err(ScoreError::NonFiniteFeature { row: r });
             }
         }
-        let x = self.standardizer.transform(raw);
-        Ok(self.model.score_calibrated(&x))
+        self.standardizer.transform_rows_into(raw, lo, hi, &mut ws.std_rows);
+        self.model.score_calibrated_rows_into(&ws.std_rows, hi - lo, &mut ws.nn, &mut ws.scores);
+        Ok(&ws.scores)
     }
 
     /// The wrapped booster model.

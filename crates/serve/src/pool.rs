@@ -11,8 +11,15 @@
 //! from a shared queue (work stealing via `Mutex<Receiver>`); each job
 //! carries its own reply channel, so concurrent [`ScoringPool::score`]
 //! calls from different HTTP connections interleave safely.
+//!
+//! Allocation discipline: a job *borrows* its row range from the
+//! request batch (one shared `Arc<Matrix>`, no per-shard copy), each
+//! worker owns a persistent [`ScoreWorkspace`] reused across jobs, and
+//! every shard writes its scores into a disjoint range of one
+//! preallocated output vector — steady state allocates nothing per
+//! request beyond the response buffer itself.
 
-use crate::model::{ScoreError, ServedModel};
+use crate::model::{ScoreError, ScoreWorkspace, ServedModel};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -35,19 +42,38 @@ impl Default for PoolConfig {
 }
 
 impl PoolConfig {
-    fn effective_workers(&self) -> usize {
+    /// The worker count this configuration resolves to on this host:
+    /// the explicit count, or one per available core. When core
+    /// detection fails the fallback is 2 workers; [`ScoringPool::new`]
+    /// logs that degradation instead of absorbing it silently.
+    pub fn effective_workers(&self) -> usize {
+        self.resolve_workers().0
+    }
+
+    /// `(worker count, detection failure)` — the second field is the
+    /// error when `available_parallelism` failed and the count is the
+    /// blind fallback rather than a measured value.
+    fn resolve_workers(&self) -> (usize, Option<std::io::Error>) {
         if self.workers > 0 {
-            self.workers
-        } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+            return (self.workers, None);
+        }
+        match std::thread::available_parallelism() {
+            Ok(n) => (n.get(), None),
+            Err(e) => (2, Some(e)),
         }
     }
 }
 
+/// One shard of a scoring request: rows `lo..hi` of the shared batch,
+/// scored into `out[lo..hi]`.
 struct Job {
-    shard_idx: usize,
-    rows: Matrix,
-    reply: Sender<(usize, Result<Vec<f64>, ScoreError>)>,
+    batch: Arc<Matrix>,
+    lo: usize,
+    hi: usize,
+    out: Arc<Mutex<Vec<f64>>>,
+    /// Reports the shard's low row (for deterministic error selection)
+    /// and its outcome.
+    reply: Sender<(usize, Result<(), ScoreError>)>,
 }
 
 /// A fixed pool of scoring workers over one loaded model.
@@ -61,7 +87,14 @@ pub struct ScoringPool {
 impl ScoringPool {
     /// Spawns the workers.
     pub fn new(model: Arc<ServedModel>, cfg: PoolConfig) -> Self {
-        let n_workers = cfg.effective_workers();
+        let (n_workers, detect_err) = cfg.resolve_workers();
+        if let Some(e) = detect_err {
+            eprintln!(
+                "uadb-serve: available_parallelism failed ({e}); \
+                 falling back to {n_workers} scoring workers — set \
+                 PoolConfig.workers (CLI --workers) to size the pool explicitly"
+            );
+        }
         let shard_rows = cfg.shard_rows.max(1);
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
@@ -91,10 +124,26 @@ impl ScoringPool {
     /// Scores raw rows, sharded across the pool. Output order matches
     /// input order and is independent of worker count and scheduling.
     ///
+    /// Convenience form of [`ScoringPool::score_shared`] for callers
+    /// holding a plain reference; the batch is copied once into a
+    /// shared allocation (the HTTP path hands over its parsed batch
+    /// and copies nothing).
+    pub fn score(&self, raw: &Matrix) -> Result<Vec<f64>, ScoreError> {
+        self.score_shared(&Arc::new(raw.clone()))
+    }
+
+    /// Scores a shared batch, sharded across the pool by row range —
+    /// workers borrow their rows from `raw` and write into disjoint
+    /// ranges of one preallocated output vector, so nothing per-shard
+    /// is copied or allocated. Output order matches input order and is
+    /// independent of worker count and scheduling; on error, the error
+    /// of the lowest-indexed failing shard is returned regardless of
+    /// completion order.
+    ///
     /// # Panics
     /// If a worker thread died (a scoring panic), which is a bug, not a
     /// request-level condition.
-    pub fn score(&self, raw: &Matrix) -> Result<Vec<f64>, ScoreError> {
+    pub fn score_shared(&self, raw: &Arc<Matrix>) -> Result<Vec<f64>, ScoreError> {
         let n = raw.rows();
         if n == 0 {
             // Preserve the model's validation semantics on empty input.
@@ -106,34 +155,42 @@ impl ScoringPool {
         // simultaneous forward passes.
         let n_shards = n.div_ceil(self.shard_rows);
         let queue = self.queue.as_ref().expect("pool not shut down");
+        let out = Arc::new(Mutex::new(vec![0.0; n]));
         let (reply_tx, reply_rx) = channel();
         for shard_idx in 0..n_shards {
             let lo = shard_idx * self.shard_rows;
             let hi = (lo + self.shard_rows).min(n);
-            let indices: Vec<usize> = (lo..hi).collect();
-            let job = Job { shard_idx, rows: raw.select_rows(&indices), reply: reply_tx.clone() };
+            let job = Job {
+                batch: Arc::clone(raw),
+                lo,
+                hi,
+                out: Arc::clone(&out),
+                reply: reply_tx.clone(),
+            };
             queue.send(job).expect("scoring workers alive");
         }
         drop(reply_tx);
-        let mut shards: Vec<Option<Vec<f64>>> = vec![None; n_shards];
+        // Drain every shard before deciding the outcome so the reported
+        // error does not depend on scheduling order.
         let mut received = 0;
-        while let Ok((idx, result)) = reply_rx.recv() {
-            // Shards see only their own rows; lift error indices back to
-            // batch-global coordinates before surfacing them.
-            shards[idx] = Some(result.map_err(|e| match e {
-                ScoreError::NonFiniteFeature { row } => {
-                    ScoreError::NonFiniteFeature { row: row + idx * self.shard_rows }
-                }
-                other => other,
-            })?);
+        let mut first_err: Option<(usize, ScoreError)> = None;
+        while let Ok((lo, result)) = reply_rx.recv() {
             received += 1;
+            if let Err(e) = result {
+                if first_err.as_ref().is_none_or(|(prev_lo, _)| lo < *prev_lo) {
+                    first_err = Some((lo, e));
+                }
+            }
         }
         assert_eq!(received, n_shards, "a scoring worker died mid-batch");
-        let mut out = Vec::with_capacity(n);
-        for shard in shards {
-            out.extend(shard.expect("all shards received"));
+        if let Some((_, e)) = first_err {
+            return Err(e);
         }
-        Ok(out)
+        // Workers may still hold their `Arc` clones for an instant
+        // after replying; move the buffer out under the lock instead of
+        // waiting for the reference count to settle.
+        let mut guard = out.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(std::mem::take(&mut *guard))
     }
 }
 
@@ -148,6 +205,9 @@ impl Drop for ScoringPool {
 }
 
 fn worker_loop(model: &ServedModel, rx: &Mutex<Receiver<Job>>) {
+    // Lives as long as the worker: activation buffers, standardisation
+    // buffer and staging scores are reused across every job.
+    let mut ws = ScoreWorkspace::default();
     loop {
         // Hold the queue lock only to pull one job; scoring runs
         // unlocked so workers overlap.
@@ -156,10 +216,21 @@ fn worker_loop(model: &ServedModel, rx: &Mutex<Receiver<Job>>) {
             Err(_) => return,
         };
         match job {
-            Ok(Job { shard_idx, rows, reply }) => {
-                // A dropped reply receiver (caller bailed on an earlier
-                // shard error) is fine — discard.
-                let _ = reply.send((shard_idx, model.score_rows(&rows)));
+            Ok(Job { batch, lo, hi, out, reply }) => {
+                let result = match model.score_range_into(&batch, lo, hi, &mut ws) {
+                    Ok(scores) => {
+                        // A poisoned output lock means another shard's
+                        // copy panicked; the recv-count assert surfaces
+                        // that, so just keep the data path moving.
+                        let mut guard = out.lock().unwrap_or_else(|e| e.into_inner());
+                        guard[lo..hi].copy_from_slice(scores);
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                };
+                // A dropped reply receiver (caller bailed) is fine —
+                // discard.
+                let _ = reply.send((lo, result));
             }
             Err(_) => return, // Pool dropped.
         }
@@ -189,6 +260,24 @@ mod tests {
     }
 
     #[test]
+    fn worker_workspaces_survive_varied_batches() {
+        // One pool, many batch shapes: per-worker scratch buffers must
+        // regrow/shrink without leaking state between requests.
+        let model = Arc::new(tiny_model(23));
+        let data = fig5_dataset(AnomalyType::Global, 23);
+        let pool = ScoringPool::new(Arc::clone(&model), PoolConfig { workers: 2, shard_rows: 5 });
+        for rows in [13usize, 1, 40, 3] {
+            let idx: Vec<usize> = (0..rows).collect();
+            let batch = Arc::new(data.x.select_rows(&idx));
+            let serial = model.score_rows(&batch).unwrap();
+            let pooled = pool.score_shared(&batch).unwrap();
+            for (a, b) in pooled.iter().zip(&serial) {
+                assert_eq!(a.to_bits(), b.to_bits(), "batch of {rows}");
+            }
+        }
+    }
+
+    #[test]
     fn errors_propagate_from_shards() {
         let model = Arc::new(tiny_model(21));
         let pool = ScoringPool::new(Arc::clone(&model), PoolConfig { workers: 2, shard_rows: 4 });
@@ -196,6 +285,11 @@ mod tests {
         bad.set(9, 0, f64::INFINITY); // lands in the last shard
                                       // The reported row index is batch-global, not shard-local.
         assert_eq!(pool.score(&bad), Err(ScoreError::NonFiniteFeature { row: 9 }));
+        // With several poisoned shards the lowest row wins
+        // deterministically, whatever order workers finish in.
+        bad.set(2, 0, f64::NAN);
+        bad.set(6, 0, f64::NAN);
+        assert_eq!(pool.score(&bad), Err(ScoreError::NonFiniteFeature { row: 2 }));
         let wrong_width = Matrix::zeros(10, model.input_dim() + 2);
         assert!(matches!(pool.score(&wrong_width), Err(ScoreError::DimensionMismatch { .. })));
     }
@@ -206,6 +300,7 @@ mod tests {
         let pool = ScoringPool::new(Arc::clone(&model), PoolConfig::default());
         assert_eq!(pool.score(&Matrix::zeros(0, 0)).unwrap(), Vec::<f64>::new());
         assert!(pool.n_workers() >= 1);
+        assert_eq!(pool.n_workers(), PoolConfig::default().effective_workers());
         drop(pool); // must join cleanly, not hang
     }
 }

@@ -294,9 +294,12 @@ fn multi_model_routing_interleaved_on_one_connection() {
     let scores = parse_scores(&still_open.body);
     assert_eq!(scores[0].to_bits(), expected_a[0].to_bits());
 
-    // Model metadata endpoints.
+    // Model metadata endpoints. The info document surfaces the scoring
+    // pool's resolved worker count.
     let info = client.roundtrip("GET", "/model/beta", None);
     assert_eq!(info.status, 200);
+    let info_doc = json::parse(&info.body).unwrap();
+    assert_eq!(info_doc.get("workers").and_then(Value::as_f64), Some(2.0));
     let listing = client.roundtrip("GET", "/models", None);
     assert_eq!(listing.status, 200);
     let parsed = json::parse(&listing.body).unwrap();

@@ -7,7 +7,33 @@
 //! `sample_size` times and reports min/mean wall-clock timings — enough
 //! to compare hot-path changes locally while staying dependency-free.
 
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// One recorded benchmark outcome (shim extension; upstream criterion
+/// exposes results through its own report files instead).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name, or an empty string for ungrouped benchmarks.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Fastest observed sample, nanoseconds.
+    pub min_ns: f64,
+    /// Mean over all samples, nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every result recorded since the last call (bench binaries
+/// with a custom `main` use this to emit machine-readable summaries,
+/// e.g. `BENCH_matmul.json`).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().unwrap_or_else(|e| e.into_inner()))
+}
 
 /// Benchmark driver handed to the functions named in
 /// [`criterion_group!`].
@@ -20,7 +46,7 @@ impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group {name}");
-        BenchmarkGroup { _c: self, sample_size: 10 }
+        BenchmarkGroup { _c: self, group: name.to_string(), sample_size: 10 }
     }
 
     /// Runs a single benchmark outside a group.
@@ -28,7 +54,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name.as_ref(), 10, f);
+        run_bench("", name.as_ref(), 10, f);
         self
     }
 }
@@ -36,6 +62,7 @@ impl Criterion {
 /// A named collection of benchmarks sharing settings.
 pub struct BenchmarkGroup<'c> {
     _c: &'c mut Criterion,
+    group: String,
     sample_size: usize,
 }
 
@@ -52,7 +79,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name.as_ref(), self.sample_size, f);
+        run_bench(&self.group, name.as_ref(), self.sample_size, f);
         self
     }
 
@@ -82,7 +109,7 @@ impl Bencher {
     }
 }
 
-fn run_bench<F>(name: &str, sample_size: usize, mut f: F)
+fn run_bench<F>(group: &str, name: &str, sample_size: usize, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
@@ -100,6 +127,13 @@ where
         format_ns(mean),
         b.samples.len()
     );
+    RESULTS.lock().unwrap_or_else(|e| e.into_inner()).push(BenchResult {
+        group: group.to_string(),
+        name: name.to_string(),
+        min_ns: min,
+        mean_ns: mean,
+        samples: b.samples.len(),
+    });
 }
 
 fn format_ns(ns: f64) -> String {
@@ -145,7 +179,7 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn group_runs_closures() {
+    fn group_runs_closures_and_records_results() {
         let mut c = super::Criterion::default();
         let mut runs = 0;
         {
@@ -155,5 +189,11 @@ mod tests {
             g.finish();
         }
         assert_eq!(runs, 3);
+        let recorded = super::take_results();
+        let r = recorded.iter().find(|r| r.group == "t" && r.name == "count").expect("recorded");
+        assert_eq!(r.samples, 3);
+        assert!(r.min_ns <= r.mean_ns);
+        // Drained: a second take sees nothing from this run.
+        assert!(super::take_results().iter().all(|r| !(r.group == "t" && r.name == "count")));
     }
 }
