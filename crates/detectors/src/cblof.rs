@@ -116,6 +116,70 @@ impl Detector for Cblof {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+impl DetectorSnapshot for Cblof {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Cblof
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.fitted.as_ref().map_or(0, |f| f.centroids.cols())
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        let f = self.fitted.as_ref().ok_or(SnapshotError::InvalidState("cblof: not fitted"))?;
+        snapshot::ensure_finite(f.centroids.as_slice(), "cblof: non-finite centroid")?;
+        if f.large.is_empty() {
+            return Err(SnapshotError::InvalidState("cblof: no large clusters"));
+        }
+        snapshot::write_matrix(w, &f.centroids)?;
+        snapshot::write_u64(w, f.large.len() as u64)?;
+        for &c in &f.large {
+            snapshot::write_u64(w, c as u64)?;
+        }
+        Ok(())
+    }
+}
+
+impl Cblof {
+    /// Restores the centroids and the large-cluster set written by
+    /// [`DetectorSnapshot::write_fitted`].
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let centroids = snapshot::read_matrix(r, "cblof centroids")?;
+        if centroids.rows() == 0 || centroids.cols() == 0 {
+            return Err(SnapshotError::Corrupt("cblof: empty centroids"));
+        }
+        snapshot::check_finite(centroids.as_slice(), "cblof: non-finite centroid")?;
+        let n_large = snapshot::read_len(r, centroids.rows() as u64, "cblof large count")?;
+        if n_large == 0 {
+            // A small-cluster point scores its distance to the nearest
+            // *large* centroid; none at all would fold to +inf.
+            return Err(SnapshotError::Corrupt("cblof: no large clusters"));
+        }
+        let mut large = Vec::with_capacity(n_large);
+        for _ in 0..n_large {
+            let c = snapshot::read_len(r, snapshot::MAX_LEN, "cblof cluster index")?;
+            if c >= centroids.rows() {
+                return Err(SnapshotError::Corrupt("cblof: cluster index out of range"));
+            }
+            large.push(c);
+        }
+        let defaults = Cblof::default();
+        Ok(Self {
+            n_clusters: defaults.n_clusters,
+            alpha: defaults.alpha,
+            beta: defaults.beta,
+            seed: defaults.seed,
+            fitted: Some(Fitted { centroids, large }),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -119,6 +119,50 @@ impl Detector for Cof {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+impl DetectorSnapshot for Cof {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Cof
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.fitted.as_ref().map_or(0, |f| f.train.cols())
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        let f = self.fitted.as_ref().ok_or(SnapshotError::InvalidState("cof: not fitted"))?;
+        snapshot::ensure_finite(f.train.as_slice(), "cof: non-finite training point")?;
+        snapshot::ensure_finite(&f.ac_dist, "cof: non-finite chaining distance")?;
+        snapshot::write_u64(w, self.n_neighbors as u64)?;
+        snapshot::write_matrix(w, &f.train)?;
+        snapshot::write_f64s(w, &f.ac_dist)
+    }
+}
+
+impl Cof {
+    /// Restores the training set plus every point's average chaining
+    /// distance written by [`DetectorSnapshot::write_fitted`].
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let n_neighbors = snapshot::read_len(r, snapshot::MAX_LEN, "cof neighbour count")?;
+        if n_neighbors == 0 {
+            return Err(SnapshotError::Corrupt("cof: zero neighbours"));
+        }
+        let train = snapshot::read_matrix(r, "cof training matrix")?;
+        if train.rows() < 2 || train.cols() == 0 {
+            return Err(SnapshotError::Corrupt("cof: degenerate training matrix"));
+        }
+        snapshot::check_finite(train.as_slice(), "cof: non-finite training point")?;
+        let ac_dist = snapshot::read_f64s(r, train.rows())?;
+        snapshot::check_finite(&ac_dist, "cof: non-finite chaining distance")?;
+        Ok(Self { n_neighbors, fitted: Some(Fitted { train, ac_dist }) })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

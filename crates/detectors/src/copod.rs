@@ -56,6 +56,38 @@ impl Detector for Copod {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::ecod::{read_dims, write_dims};
+use crate::snapshot::{DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+impl DetectorSnapshot for Copod {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Copod
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.dims.len()
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        if self.dims.is_empty() {
+            return Err(SnapshotError::InvalidState("copod: not fitted"));
+        }
+        write_dims(&self.dims, w)
+    }
+}
+
+impl Copod {
+    /// Restores the per-dimension ECDF tables written by
+    /// [`DetectorSnapshot::write_fitted`] (same layout as ECOD).
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        Ok(Self { dims: read_dims(r)? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

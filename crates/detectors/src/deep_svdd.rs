@@ -114,6 +114,110 @@ impl Detector for DeepSvdd {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+use uadb_nn::linear::Linear;
+
+impl DetectorSnapshot for DeepSvdd {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::DeepSvdd
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.fitted.as_ref().map_or(0, |f| f.n_features)
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        let f = self.fitted.as_ref().ok_or(SnapshotError::InvalidState("deepsvdd: not fitted"))?;
+        snapshot::ensure_finite(&f.center, "deepsvdd: non-finite centre")?;
+        for layer in f.mlp.layers() {
+            snapshot::ensure_finite(layer.weights().as_slice(), "deepsvdd: non-finite weight")?;
+            snapshot::ensure_finite(layer.bias(), "deepsvdd: non-finite bias")?;
+        }
+        snapshot::write_u64(w, f.n_features as u64)?;
+        snapshot::write_u64(w, f.center.len() as u64)?;
+        snapshot::write_f64s(w, &f.center)?;
+        snapshot::write_u8(
+            w,
+            match f.mlp.activation() {
+                Activation::Sigmoid => 0,
+                Activation::Identity => 1,
+            },
+        )?;
+        snapshot::write_u64(w, f.mlp.n_layers() as u64)?;
+        for layer in f.mlp.layers() {
+            snapshot::write_u64(w, layer.input_dim() as u64)?;
+            snapshot::write_u64(w, layer.output_dim() as u64)?;
+            snapshot::write_f64s(w, layer.weights().as_slice())?;
+            snapshot::write_f64s(w, layer.bias())?;
+        }
+        Ok(())
+    }
+}
+
+impl DeepSvdd {
+    /// Restores the trained encoder and hypersphere centre written by
+    /// [`DetectorSnapshot::write_fitted`].
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let n_features = snapshot::read_len(r, snapshot::MAX_DIM, "deepsvdd feature count")?;
+        if n_features == 0 {
+            return Err(SnapshotError::Corrupt("deepsvdd: zero features"));
+        }
+        let rep_dim = snapshot::read_len(r, snapshot::MAX_DIM, "deepsvdd representation dim")?;
+        if rep_dim == 0 {
+            return Err(SnapshotError::Corrupt("deepsvdd: zero representation dim"));
+        }
+        let center = snapshot::read_f64s(r, rep_dim)?;
+        snapshot::check_finite(&center, "deepsvdd: non-finite centre")?;
+        let activation = match snapshot::read_u8(r)? {
+            0 => Activation::Sigmoid,
+            1 => Activation::Identity,
+            _ => return Err(SnapshotError::Corrupt("deepsvdd: unknown activation")),
+        };
+        let n_layers = snapshot::read_len(r, 1 << 8, "deepsvdd layer count")?;
+        if n_layers == 0 {
+            return Err(SnapshotError::Corrupt("deepsvdd: no layers"));
+        }
+        let mut layers = Vec::with_capacity(n_layers);
+        let mut expected_in = n_features;
+        for _ in 0..n_layers {
+            let in_dim = snapshot::read_len(r, snapshot::MAX_DIM, "deepsvdd layer input")?;
+            let out_dim = snapshot::read_len(r, snapshot::MAX_DIM, "deepsvdd layer output")?;
+            if in_dim != expected_in || out_dim == 0 {
+                return Err(SnapshotError::Corrupt("deepsvdd: layer dimensions do not chain"));
+            }
+            if (in_dim as u64).saturating_mul(out_dim as u64) > snapshot::MAX_LEN {
+                return Err(SnapshotError::Corrupt("deepsvdd: layer too large"));
+            }
+            let weights = snapshot::read_f64s(r, in_dim * out_dim)?;
+            snapshot::check_finite(&weights, "deepsvdd: non-finite weight")?;
+            let bias = snapshot::read_f64s(r, out_dim)?;
+            snapshot::check_finite(&bias, "deepsvdd: non-finite bias")?;
+            let w = Matrix::from_vec(in_dim, out_dim, weights)
+                .map_err(|_| SnapshotError::Corrupt("deepsvdd: weight shape mismatch"))?;
+            layers.push(Linear::from_parts(w, bias));
+            expected_in = out_dim;
+        }
+        if expected_in != rep_dim {
+            return Err(SnapshotError::Corrupt("deepsvdd: encoder output != centre dim"));
+        }
+        // `hidden` is reconstructed from the layer shapes so the struct
+        // stays self-consistent; epochs/batch/seed only matter to `fit`.
+        let hidden: Vec<usize> = layers.iter().map(Linear::output_dim).collect();
+        let defaults = DeepSvdd::with_seed(0);
+        Ok(Self {
+            hidden,
+            epochs: defaults.epochs,
+            batch_size: defaults.batch_size,
+            seed: defaults.seed,
+            fitted: Some(Fitted { mlp: Mlp::from_layers(layers, activation), center, n_features }),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -103,6 +103,80 @@ impl Detector for Ecod {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+/// Shared ECDF-table codec for ECOD and COPOD (identical fitted state,
+/// different aggregation at score time).
+pub(crate) fn write_dims(dims: &[EcdfDim], w: &mut dyn Write) -> Result<(), SnapshotError> {
+    snapshot::write_u64(w, dims.len() as u64)?;
+    for dim in dims {
+        if !dim.skewness.is_finite() {
+            return Err(SnapshotError::InvalidState("ecdf: non-finite skewness"));
+        }
+        snapshot::ensure_finite(&dim.sorted, "ecdf: non-finite training value")?;
+        snapshot::write_f64(w, dim.skewness)?;
+        snapshot::write_u64(w, dim.sorted.len() as u64)?;
+        snapshot::write_f64s(w, &dim.sorted)?;
+    }
+    Ok(())
+}
+
+/// Reads the tables written by [`write_dims`], re-validating sortedness
+/// (tail lookups binary-search, so order is a correctness invariant).
+pub(crate) fn read_dims(r: &mut dyn Read) -> Result<Vec<EcdfDim>, SnapshotError> {
+    let d = snapshot::read_len(r, snapshot::MAX_DIM, "ecdf dimension count")?;
+    if d == 0 {
+        return Err(SnapshotError::Corrupt("ecdf: zero dimensions"));
+    }
+    let mut dims = Vec::with_capacity(d.min(8192));
+    for _ in 0..d {
+        let skewness = snapshot::read_f64(r)?;
+        if !skewness.is_finite() {
+            return Err(SnapshotError::Corrupt("ecdf: non-finite skewness"));
+        }
+        let n = snapshot::read_len(r, snapshot::MAX_LEN, "ecdf sample count")?;
+        if n == 0 {
+            return Err(SnapshotError::Corrupt("ecdf: empty dimension"));
+        }
+        let sorted = snapshot::read_f64s(r, n)?;
+        snapshot::check_finite(&sorted, "ecdf: non-finite training value")?;
+        if sorted.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SnapshotError::Corrupt("ecdf: values not sorted"));
+        }
+        dims.push(EcdfDim { sorted, skewness });
+    }
+    Ok(dims)
+}
+
+impl DetectorSnapshot for Ecod {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Ecod
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.dims.len()
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        if self.dims.is_empty() {
+            return Err(SnapshotError::InvalidState("ecod: not fitted"));
+        }
+        write_dims(&self.dims, w)
+    }
+}
+
+impl Ecod {
+    /// Restores the per-dimension ECDF tables written by
+    /// [`DetectorSnapshot::write_fitted`].
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        Ok(Self { dims: read_dims(r)? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -202,6 +202,83 @@ impl Detector for Gmm {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+impl DetectorSnapshot for Gmm {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Gmm
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.n_features
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        if self.components.is_empty() {
+            return Err(SnapshotError::InvalidState("gmm: not fitted"));
+        }
+        for comp in &self.components {
+            if !(comp.weight_ln.is_finite() && comp.log_norm.is_finite()) {
+                return Err(SnapshotError::InvalidState("gmm: non-finite component constant"));
+            }
+            snapshot::ensure_finite(&comp.mean, "gmm: non-finite mean")?;
+            snapshot::ensure_finite(comp.precision.as_slice(), "gmm: non-finite precision")?;
+        }
+        snapshot::write_u64(w, self.n_features as u64)?;
+        snapshot::write_u64(w, self.components.len() as u64)?;
+        for comp in &self.components {
+            snapshot::write_f64(w, comp.weight_ln)?;
+            snapshot::write_f64s(w, &comp.mean)?;
+            snapshot::write_matrix(w, &comp.precision)?;
+            snapshot::write_f64(w, comp.log_norm)?;
+        }
+        Ok(())
+    }
+}
+
+impl Gmm {
+    /// Restores the precision-form mixture components written by
+    /// [`DetectorSnapshot::write_fitted`].
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let n_features = snapshot::read_len(r, snapshot::MAX_DIM, "gmm feature count")?;
+        if n_features == 0 {
+            return Err(SnapshotError::Corrupt("gmm: zero features"));
+        }
+        let k = snapshot::read_len(r, 1 << 16, "gmm component count")?;
+        if k == 0 {
+            return Err(SnapshotError::Corrupt("gmm: no components"));
+        }
+        let mut components = Vec::with_capacity(k);
+        for _ in 0..k {
+            let weight_ln = snapshot::read_f64(r)?;
+            let mean = snapshot::read_f64s(r, n_features)?;
+            snapshot::check_finite(&mean, "gmm: non-finite mean")?;
+            let precision = snapshot::read_matrix(r, "gmm precision matrix")?;
+            if precision.shape() != (n_features, n_features) {
+                return Err(SnapshotError::Corrupt("gmm: precision shape mismatch"));
+            }
+            snapshot::check_finite(precision.as_slice(), "gmm: non-finite precision")?;
+            let log_norm = snapshot::read_f64(r)?;
+            if !(weight_ln.is_finite() && log_norm.is_finite()) {
+                return Err(SnapshotError::Corrupt("gmm: non-finite component constant"));
+            }
+            components.push(Component { weight_ln, mean, precision, log_norm });
+        }
+        let defaults = Gmm::default();
+        Ok(Self {
+            n_components: components.len(),
+            max_iter: defaults.max_iter,
+            seed: defaults.seed,
+            components,
+            n_features,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -102,6 +102,80 @@ impl Detector for Hbos {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+impl DetectorSnapshot for Hbos {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Hbos
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.histograms.len()
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        if self.histograms.is_empty() {
+            return Err(SnapshotError::InvalidState("hbos: not fitted"));
+        }
+        if !self.alpha.is_finite() {
+            return Err(SnapshotError::InvalidState("hbos: non-finite alpha"));
+        }
+        for h in &self.histograms {
+            if !(h.lo.is_finite() && h.width.is_finite() && h.width > 0.0) {
+                return Err(SnapshotError::InvalidState("hbos: invalid bin geometry"));
+            }
+            snapshot::ensure_finite(&h.densities, "hbos: non-finite density")?;
+        }
+        let n_bins = self.histograms[0].densities.len();
+        snapshot::write_f64(w, self.alpha)?;
+        snapshot::write_u64(w, n_bins as u64)?;
+        snapshot::write_u64(w, self.histograms.len() as u64)?;
+        for h in &self.histograms {
+            snapshot::write_f64(w, h.lo)?;
+            snapshot::write_f64(w, h.width)?;
+            snapshot::write_f64s(w, &h.densities)?;
+        }
+        Ok(())
+    }
+}
+
+impl Hbos {
+    /// Restores the fitted histograms written by
+    /// [`DetectorSnapshot::write_fitted`].
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let alpha = snapshot::read_f64(r)?;
+        if !alpha.is_finite() {
+            return Err(SnapshotError::Corrupt("hbos: non-finite alpha"));
+        }
+        let n_bins = snapshot::read_len(r, 1 << 20, "hbos bin count")?;
+        if n_bins == 0 {
+            return Err(SnapshotError::Corrupt("hbos: zero bins"));
+        }
+        let d = snapshot::read_len(r, snapshot::MAX_DIM, "hbos dimension count")?;
+        if d == 0 {
+            return Err(SnapshotError::Corrupt("hbos: zero dimensions"));
+        }
+        let mut histograms = Vec::with_capacity(d.min(8192));
+        for _ in 0..d {
+            let lo = snapshot::read_f64(r)?;
+            let width = snapshot::read_f64(r)?;
+            // `density()` divides by `width`; a zero/NaN width would turn
+            // every score into NaN or inf.
+            if !(lo.is_finite() && width.is_finite() && width > 0.0) {
+                return Err(SnapshotError::Corrupt("hbos: invalid bin geometry"));
+            }
+            let densities = snapshot::read_f64s(r, n_bins)?;
+            snapshot::check_finite(&densities, "hbos: non-finite density")?;
+            histograms.push(DimHistogram { lo, width, densities });
+        }
+        Ok(Self { n_bins, alpha, histograms })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

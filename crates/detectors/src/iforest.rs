@@ -221,6 +221,140 @@ impl Detector for IForest {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+impl DetectorSnapshot for IForest {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::IForest
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.n_features
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        if self.trees.is_empty() {
+            return Err(SnapshotError::InvalidState("iforest: not fitted"));
+        }
+        if !self.c_psi.is_finite() {
+            return Err(SnapshotError::InvalidState("iforest: non-finite c(psi)"));
+        }
+        for tree in &self.trees {
+            for node in &tree.nodes {
+                if let Node::Internal { threshold, .. } = node {
+                    if !threshold.is_finite() {
+                        return Err(SnapshotError::InvalidState(
+                            "iforest: non-finite split threshold",
+                        ));
+                    }
+                }
+            }
+        }
+        snapshot::write_u64(w, self.n_features as u64)?;
+        snapshot::write_f64(w, self.c_psi)?;
+        snapshot::write_u64(w, self.trees.len() as u64)?;
+        for tree in &self.trees {
+            snapshot::write_u64(w, tree.nodes.len() as u64)?;
+            for node in &tree.nodes {
+                match node {
+                    Node::External { size } => {
+                        snapshot::write_u8(w, 0)?;
+                        snapshot::write_u64(w, *size as u64)?;
+                    }
+                    Node::Internal { feature, threshold, left, right } => {
+                        snapshot::write_u8(w, 1)?;
+                        snapshot::write_u64(w, *feature as u64)?;
+                        snapshot::write_f64(w, *threshold)?;
+                        snapshot::write_u64(w, *left as u64)?;
+                        snapshot::write_u64(w, *right as u64)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl IForest {
+    /// Restores the fitted forest written by
+    /// [`DetectorSnapshot::write_fitted`]. Config fields that scoring
+    /// never touches (`max_samples`, the RNG seed) come back as
+    /// defaults; the trees, `c(ψ)` and feature count are exact.
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let n_features = snapshot::read_len(r, snapshot::MAX_DIM, "iforest feature count")?;
+        if n_features == 0 {
+            return Err(SnapshotError::Corrupt("iforest: zero features"));
+        }
+        let c_psi = snapshot::read_f64(r)?;
+        if !c_psi.is_finite() {
+            return Err(SnapshotError::Corrupt("iforest: non-finite c(psi)"));
+        }
+        let n_trees = snapshot::read_len(r, 1 << 20, "iforest tree count")?;
+        if n_trees == 0 {
+            return Err(SnapshotError::Corrupt("iforest: empty forest"));
+        }
+        let mut trees = Vec::with_capacity(n_trees.min(1024));
+        for _ in 0..n_trees {
+            let n_nodes = snapshot::read_len(r, snapshot::MAX_LEN, "iforest node count")?;
+            if n_nodes == 0 {
+                return Err(SnapshotError::Corrupt("iforest: empty tree"));
+            }
+            let mut nodes = Vec::with_capacity(n_nodes.min(8192));
+            for i in 0..n_nodes {
+                match snapshot::read_u8(r)? {
+                    0 => {
+                        let size = snapshot::read_len(r, snapshot::MAX_LEN, "iforest leaf size")?;
+                        nodes.push(Node::External { size });
+                    }
+                    1 => {
+                        let feature =
+                            snapshot::read_len(r, snapshot::MAX_DIM, "iforest split feature")?;
+                        let threshold = snapshot::read_f64(r)?;
+                        let left = snapshot::read_len(r, snapshot::MAX_LEN, "iforest child")?;
+                        let right = snapshot::read_len(r, snapshot::MAX_LEN, "iforest child")?;
+                        // Scoring indexes query rows by `feature` and walks
+                        // to the children: bounds-check both, and require
+                        // strictly forward child pointers (the builder's
+                        // arena is laid out that way) so a corrupt file can
+                        // neither panic nor loop forever.
+                        if feature >= n_features {
+                            return Err(SnapshotError::Corrupt(
+                                "iforest: split feature out of range",
+                            ));
+                        }
+                        if !threshold.is_finite() {
+                            return Err(SnapshotError::Corrupt(
+                                "iforest: non-finite split threshold",
+                            ));
+                        }
+                        if left >= n_nodes || right >= n_nodes || left <= i || right <= i {
+                            return Err(SnapshotError::Corrupt(
+                                "iforest: child pointer not forward",
+                            ));
+                        }
+                        nodes.push(Node::Internal { feature, threshold, left, right });
+                    }
+                    _ => return Err(SnapshotError::Corrupt("iforest: unknown node tag")),
+                }
+            }
+            trees.push(ITree { nodes });
+        }
+        let defaults = IForest::default();
+        Ok(Self {
+            n_estimators: trees.len(),
+            max_samples: defaults.max_samples,
+            seed: defaults.seed,
+            trees,
+            c_psi,
+            n_features,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -119,6 +119,97 @@ pub fn kmeans(x: &Matrix, k: usize, max_iter: usize, seed: u64) -> KMeans {
     KMeans { centroids, assignment, sizes, inertia }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, SnapshotError};
+use std::io::{Read, Write};
+
+impl KMeans {
+    /// Serialises the fitted clustering (substrate form used by
+    /// cluster-backed detectors and available to future ones): centroids,
+    /// assignment, sizes and inertia, in the snapshot codec.
+    pub fn write_to(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        snapshot::ensure_finite(self.centroids.as_slice(), "kmeans: non-finite centroid")?;
+        if !self.inertia.is_finite() {
+            return Err(SnapshotError::InvalidState("kmeans: non-finite inertia"));
+        }
+        if self.sizes.len() != self.centroids.rows() {
+            return Err(SnapshotError::InvalidState("kmeans: sizes/centroids mismatch"));
+        }
+        snapshot::write_matrix(w, &self.centroids)?;
+        snapshot::write_u64(w, self.assignment.len() as u64)?;
+        for &a in &self.assignment {
+            snapshot::write_u64(w, a as u64)?;
+        }
+        for &s in &self.sizes {
+            snapshot::write_u64(w, s as u64)?;
+        }
+        snapshot::write_f64(w, self.inertia)
+    }
+
+    /// Restores a clustering written by [`KMeans::write_to`].
+    pub fn read_from(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let centroids = snapshot::read_matrix(r, "kmeans centroids")?;
+        if centroids.rows() == 0 || centroids.cols() == 0 {
+            return Err(SnapshotError::Corrupt("kmeans: empty centroids"));
+        }
+        snapshot::check_finite(centroids.as_slice(), "kmeans: non-finite centroid")?;
+        let k = centroids.rows();
+        let n = snapshot::read_len(r, snapshot::MAX_LEN, "kmeans assignment length")?;
+        let mut assignment = Vec::with_capacity(n.min(8192));
+        for _ in 0..n {
+            let a = snapshot::read_len(r, snapshot::MAX_LEN, "kmeans assignment")?;
+            if a >= k {
+                return Err(SnapshotError::Corrupt("kmeans: assignment out of range"));
+            }
+            assignment.push(a);
+        }
+        let mut sizes = Vec::with_capacity(k);
+        for _ in 0..k {
+            sizes.push(snapshot::read_len(r, snapshot::MAX_LEN, "kmeans cluster size")?);
+        }
+        let inertia = snapshot::read_f64(r)?;
+        if !inertia.is_finite() {
+            return Err(SnapshotError::Corrupt("kmeans: non-finite inertia"));
+        }
+        Ok(Self { centroids, assignment, sizes, inertia })
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_round_trips_exactly() {
+        let x = Matrix::from_vec(6, 1, vec![0.0, 0.1, 0.2, 9.0, 9.1, 9.2]).unwrap();
+        let km = kmeans(&x, 2, 50, 7);
+        let mut bytes = Vec::new();
+        km.write_to(&mut bytes).unwrap();
+        let back = KMeans::read_from(&mut &bytes[..]).unwrap();
+        assert_eq!(back.centroids.as_slice(), km.centroids.as_slice());
+        assert_eq!(back.assignment, km.assignment);
+        assert_eq!(back.sizes, km.sizes);
+        assert_eq!(back.inertia.to_bits(), km.inertia.to_bits());
+    }
+
+    #[test]
+    fn kmeans_corrupt_assignment_is_rejected() {
+        let x = Matrix::from_vec(4, 1, vec![0.0, 0.1, 9.0, 9.1]).unwrap();
+        let km = kmeans(&x, 2, 50, 3);
+        let mut bytes = Vec::new();
+        km.write_to(&mut bytes).unwrap();
+        // The first assignment slot sits after the centroid matrix
+        // header+data and the assignment length field.
+        let offset = 8 + 8 + 8 * km.centroids.as_slice().len() + 8;
+        bytes[offset..offset + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            KMeans::read_from(&mut &bytes[..]),
+            Err(SnapshotError::Corrupt("kmeans assignment"))
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,6 +48,47 @@ impl Detector for Knn {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+impl DetectorSnapshot for Knn {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Knn
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.train.as_ref().map_or(0, Matrix::cols)
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        let train = self.train.as_ref().ok_or(SnapshotError::InvalidState("knn: not fitted"))?;
+        snapshot::ensure_finite(train.as_slice(), "knn: non-finite training point")?;
+        snapshot::write_u64(w, self.n_neighbors as u64)?;
+        snapshot::write_matrix(w, train)
+    }
+}
+
+impl Knn {
+    /// Restores the stored training set written by
+    /// [`DetectorSnapshot::write_fitted`] (KNN's fitted state *is* the
+    /// training set).
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let n_neighbors = snapshot::read_len(r, snapshot::MAX_LEN, "knn neighbour count")?;
+        if n_neighbors == 0 {
+            return Err(SnapshotError::Corrupt("knn: zero neighbours"));
+        }
+        let train = snapshot::read_matrix(r, "knn training matrix")?;
+        if train.rows() == 0 || train.cols() == 0 {
+            return Err(SnapshotError::Corrupt("knn: empty training matrix"));
+        }
+        snapshot::check_finite(train.as_slice(), "knn: non-finite training point")?;
+        Ok(Self { n_neighbors, train: Some(train) })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,6 +21,11 @@
 //! Every model implements the [`Detector`] trait; the UADB framework is
 //! agnostic to which one it wraps (the paper's central design point).
 //! Shared substrates: brute-force [`neighbors`] queries and [`kmeans`].
+//!
+//! All 14 models also implement [`snapshot::DetectorSnapshot`]: their
+//! **fitted** state serialises to a compact binary payload and loads
+//! back into a detector that scores bit-identically — the substrate for
+//! serving frozen teachers next to the distilled booster.
 
 pub mod cblof;
 pub mod cof;
@@ -37,7 +42,9 @@ pub mod lof;
 pub mod neighbors;
 pub mod ocsvm;
 pub mod pca;
+pub mod snapshot;
 pub mod sod;
 pub mod traits;
 
+pub use snapshot::{DetectorSnapshot, SnapshotError};
 pub use traits::{Detector, DetectorError, DetectorKind};

@@ -135,6 +135,101 @@ impl Detector for Loda {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+impl DetectorSnapshot for Loda {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Loda
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.n_features
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        if self.cuts.is_empty() {
+            return Err(SnapshotError::InvalidState("loda: not fitted"));
+        }
+        for cut in &self.cuts {
+            if !(cut.lo.is_finite() && cut.width.is_finite() && cut.width > 0.0) {
+                return Err(SnapshotError::InvalidState("loda: invalid histogram geometry"));
+            }
+            if !cut.weights.iter().all(|(_, w)| w.is_finite()) {
+                return Err(SnapshotError::InvalidState("loda: non-finite projection weight"));
+            }
+            snapshot::ensure_finite(&cut.probs, "loda: non-finite bin probability")?;
+        }
+        snapshot::write_u64(w, self.n_features as u64)?;
+        snapshot::write_u64(w, self.cuts.len() as u64)?;
+        for cut in &self.cuts {
+            snapshot::write_u64(w, cut.weights.len() as u64)?;
+            for &(j, weight) in &cut.weights {
+                snapshot::write_u64(w, j as u64)?;
+                snapshot::write_f64(w, weight)?;
+            }
+            snapshot::write_f64(w, cut.lo)?;
+            snapshot::write_f64(w, cut.width)?;
+            snapshot::write_u64(w, cut.probs.len() as u64)?;
+            snapshot::write_f64s(w, &cut.probs)?;
+        }
+        Ok(())
+    }
+}
+
+impl Loda {
+    /// Restores the sparse projections and their histograms written by
+    /// [`DetectorSnapshot::write_fitted`].
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let n_features = snapshot::read_len(r, snapshot::MAX_DIM, "loda feature count")?;
+        if n_features == 0 {
+            return Err(SnapshotError::Corrupt("loda: zero features"));
+        }
+        let n_cuts = snapshot::read_len(r, 1 << 20, "loda cut count")?;
+        if n_cuts == 0 {
+            return Err(SnapshotError::Corrupt("loda: no projections"));
+        }
+        let mut cuts = Vec::with_capacity(n_cuts.min(8192));
+        for _ in 0..n_cuts {
+            let nnz = snapshot::read_len(r, n_features as u64, "loda weight count")?;
+            if nnz == 0 {
+                return Err(SnapshotError::Corrupt("loda: empty projection"));
+            }
+            let mut weights = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                // `project` indexes query rows by `j`; bounds-check it
+                // so a corrupt file cannot cause an OOB access.
+                let j = snapshot::read_len(r, snapshot::MAX_DIM, "loda feature index")?;
+                if j >= n_features {
+                    return Err(SnapshotError::Corrupt("loda: feature index out of range"));
+                }
+                let weight = snapshot::read_f64(r)?;
+                if !weight.is_finite() {
+                    return Err(SnapshotError::Corrupt("loda: non-finite projection weight"));
+                }
+                weights.push((j, weight));
+            }
+            let lo = snapshot::read_f64(r)?;
+            let width = snapshot::read_f64(r)?;
+            if !(lo.is_finite() && width.is_finite() && width > 0.0) {
+                return Err(SnapshotError::Corrupt("loda: invalid histogram geometry"));
+            }
+            let n_bins = snapshot::read_len(r, 1 << 20, "loda bin count")?;
+            if n_bins == 0 {
+                return Err(SnapshotError::Corrupt("loda: zero bins"));
+            }
+            let probs = snapshot::read_f64s(r, n_bins)?;
+            snapshot::check_finite(&probs, "loda: non-finite bin probability")?;
+            cuts.push(Cut { weights, lo, width, probs });
+        }
+        let n_bins = cuts[0].probs.len();
+        Ok(Self { n_random_cuts: cuts.len(), n_bins, seed: 0, cuts, n_features })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

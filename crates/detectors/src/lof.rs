@@ -105,6 +105,55 @@ impl Detector for Lof {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+impl DetectorSnapshot for Lof {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Lof
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.fitted.as_ref().map_or(0, |f| f.train.cols())
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        let f = self.fitted.as_ref().ok_or(SnapshotError::InvalidState("lof: not fitted"))?;
+        snapshot::ensure_finite(f.train.as_slice(), "lof: non-finite training point")?;
+        snapshot::ensure_finite(&f.k_dist, "lof: non-finite k-distance")?;
+        snapshot::ensure_finite(&f.lrd, "lof: non-finite lrd")?;
+        snapshot::write_u64(w, self.n_neighbors as u64)?;
+        snapshot::write_matrix(w, &f.train)?;
+        snapshot::write_f64s(w, &f.k_dist)?;
+        snapshot::write_f64s(w, &f.lrd)
+    }
+}
+
+impl Lof {
+    /// Restores the training set plus the per-point k-distances and
+    /// local reachability densities written by
+    /// [`DetectorSnapshot::write_fitted`].
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let n_neighbors = snapshot::read_len(r, snapshot::MAX_LEN, "lof neighbour count")?;
+        if n_neighbors == 0 {
+            return Err(SnapshotError::Corrupt("lof: zero neighbours"));
+        }
+        let train = snapshot::read_matrix(r, "lof training matrix")?;
+        if train.rows() < 2 || train.cols() == 0 {
+            return Err(SnapshotError::Corrupt("lof: degenerate training matrix"));
+        }
+        snapshot::check_finite(train.as_slice(), "lof: non-finite training point")?;
+        let k_dist = snapshot::read_f64s(r, train.rows())?;
+        snapshot::check_finite(&k_dist, "lof: non-finite k-distance")?;
+        let lrd = snapshot::read_f64s(r, train.rows())?;
+        snapshot::check_finite(&lrd, "lof: non-finite lrd")?;
+        Ok(Self { n_neighbors, fitted: Some(Fitted { train, k_dist, lrd }) })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

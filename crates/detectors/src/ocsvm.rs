@@ -185,6 +185,60 @@ impl Detector for OcSvm {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+impl DetectorSnapshot for OcSvm {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Ocsvm
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.fitted.as_ref().map_or(0, |f| f.support.cols())
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        let f = self.fitted.as_ref().ok_or(SnapshotError::InvalidState("ocsvm: not fitted"))?;
+        snapshot::ensure_finite(f.support.as_slice(), "ocsvm: non-finite support vector")?;
+        snapshot::ensure_finite(&f.alpha, "ocsvm: non-finite dual coefficient")?;
+        if !(f.gamma.is_finite() && f.gamma > 0.0 && f.rho.is_finite()) {
+            return Err(SnapshotError::InvalidState("ocsvm: invalid kernel constants"));
+        }
+        snapshot::write_matrix(w, &f.support)?;
+        snapshot::write_f64s(w, &f.alpha)?;
+        snapshot::write_f64(w, f.gamma)?;
+        snapshot::write_f64(w, f.rho)
+    }
+}
+
+impl OcSvm {
+    /// Restores the support vectors, dual coefficients and kernel
+    /// constants written by [`DetectorSnapshot::write_fitted`].
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let support = snapshot::read_matrix(r, "ocsvm support vectors")?;
+        if support.rows() == 0 || support.cols() == 0 {
+            return Err(SnapshotError::Corrupt("ocsvm: empty support set"));
+        }
+        snapshot::check_finite(support.as_slice(), "ocsvm: non-finite support vector")?;
+        let alpha = snapshot::read_f64s(r, support.rows())?;
+        snapshot::check_finite(&alpha, "ocsvm: non-finite dual coefficient")?;
+        let gamma = snapshot::read_f64(r)?;
+        let rho = snapshot::read_f64(r)?;
+        if !(gamma.is_finite() && gamma > 0.0 && rho.is_finite()) {
+            return Err(SnapshotError::Corrupt("ocsvm: invalid kernel constants"));
+        }
+        let defaults = OcSvm::default();
+        Ok(Self {
+            nu: defaults.nu,
+            max_iter: defaults.max_iter,
+            fitted: Some(Fitted { support, alpha, gamma, rho }),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

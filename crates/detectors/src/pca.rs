@@ -87,6 +87,65 @@ impl Detector for Pca {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+impl DetectorSnapshot for Pca {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Pca
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.fitted.as_ref().map_or(0, |f| f.means.len())
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        let f = self.fitted.as_ref().ok_or(SnapshotError::InvalidState("pca: not fitted"))?;
+        snapshot::ensure_finite(&f.means, "pca: non-finite mean")?;
+        snapshot::ensure_finite(f.components.as_slice(), "pca: non-finite component")?;
+        if !f.eigenvalues.iter().all(|v| v.is_finite() && *v > 0.0) {
+            return Err(SnapshotError::InvalidState("pca: non-positive eigenvalue"));
+        }
+        snapshot::write_u64(w, f.means.len() as u64)?;
+        snapshot::write_f64s(w, &f.means)?;
+        snapshot::write_matrix(w, &f.components)?;
+        snapshot::write_u64(w, f.eigenvalues.len() as u64)?;
+        snapshot::write_f64s(w, &f.eigenvalues)
+    }
+}
+
+impl Pca {
+    /// Restores the centring means, retained components and eigenvalues
+    /// written by [`DetectorSnapshot::write_fitted`].
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let d = snapshot::read_len(r, snapshot::MAX_DIM, "pca dimension count")?;
+        if d == 0 {
+            return Err(SnapshotError::Corrupt("pca: zero dimensions"));
+        }
+        let means = snapshot::read_f64s(r, d)?;
+        snapshot::check_finite(&means, "pca: non-finite mean")?;
+        let components = snapshot::read_matrix(r, "pca components")?;
+        if components.rows() != d {
+            return Err(SnapshotError::Corrupt("pca: component height mismatch"));
+        }
+        snapshot::check_finite(components.as_slice(), "pca: non-finite component")?;
+        let k = snapshot::read_len(r, snapshot::MAX_DIM, "pca eigenvalue count")?;
+        if k != components.cols() || k == 0 {
+            return Err(SnapshotError::Corrupt("pca: eigenvalue count mismatch"));
+        }
+        let eigenvalues = snapshot::read_f64s(r, k)?;
+        // Scoring divides by each eigenvalue; zero/negative/NaN would
+        // poison every score.
+        if !eigenvalues.iter().all(|v| v.is_finite() && *v > 0.0) {
+            return Err(SnapshotError::Corrupt("pca: non-positive eigenvalue"));
+        }
+        Ok(Self { fitted: Some(Fitted { means, components, eigenvalues }) })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -121,6 +121,76 @@ impl Detector for Sod {
     }
 }
 
+// ------------------------------ snapshot ------------------------------
+
+use crate::snapshot::{self, DetectorSnapshot, SnapshotError};
+use crate::traits::DetectorKind;
+use std::io::{Read, Write};
+
+impl DetectorSnapshot for Sod {
+    fn kind(&self) -> DetectorKind {
+        DetectorKind::Sod
+    }
+
+    fn fitted_dim(&self) -> usize {
+        self.fitted.as_ref().map_or(0, |f| f.train.cols())
+    }
+
+    fn write_fitted(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        let f = self.fitted.as_ref().ok_or(SnapshotError::InvalidState("sod: not fitted"))?;
+        snapshot::ensure_finite(f.train.as_slice(), "sod: non-finite training point")?;
+        if !self.alpha.is_finite() {
+            return Err(SnapshotError::InvalidState("sod: non-finite alpha"));
+        }
+        snapshot::write_u64(w, self.n_neighbors as u64)?;
+        snapshot::write_u64(w, self.ref_set as u64)?;
+        snapshot::write_f64(w, self.alpha)?;
+        snapshot::write_matrix(w, &f.train)?;
+        for list in &f.knn_lists {
+            snapshot::write_u64(w, list.len() as u64)?;
+            for &i in list {
+                snapshot::write_u64(w, i as u64)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Sod {
+    /// Restores the training set and its kNN index lists written by
+    /// [`DetectorSnapshot::write_fitted`].
+    pub(crate) fn read_fitted(r: &mut dyn Read) -> Result<Self, SnapshotError> {
+        let n_neighbors = snapshot::read_len(r, snapshot::MAX_LEN, "sod neighbour count")?;
+        let ref_set = snapshot::read_len(r, snapshot::MAX_LEN, "sod reference set size")?;
+        if n_neighbors == 0 || ref_set == 0 {
+            return Err(SnapshotError::Corrupt("sod: zero neighbourhood size"));
+        }
+        let alpha = snapshot::read_f64(r)?;
+        if !alpha.is_finite() {
+            return Err(SnapshotError::Corrupt("sod: non-finite alpha"));
+        }
+        let train = snapshot::read_matrix(r, "sod training matrix")?;
+        if train.rows() < 2 || train.cols() == 0 {
+            return Err(SnapshotError::Corrupt("sod: degenerate training matrix"));
+        }
+        snapshot::check_finite(train.as_slice(), "sod: non-finite training point")?;
+        let mut knn_lists = Vec::with_capacity(train.rows().min(8192));
+        for _ in 0..train.rows() {
+            let len = snapshot::read_len(r, train.rows() as u64, "sod knn list length")?;
+            let mut list = Vec::with_capacity(len);
+            for _ in 0..len {
+                let i = snapshot::read_len(r, snapshot::MAX_LEN, "sod knn index")?;
+                if i >= train.rows() {
+                    return Err(SnapshotError::Corrupt("sod: knn index out of range"));
+                }
+                list.push(i);
+            }
+            knn_lists.push(list);
+        }
+        Ok(Self { n_neighbors, ref_set, alpha, fitted: Some(Fitted { train, knn_lists }) })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,233 @@
+//! The detector-snapshot round-trip suite: for **every** detector,
+//! fit → save → load must reproduce held-out query scores
+//! **bit-identically** — raw floats travel as IEEE-754 bits, so not a
+//! single ULP may move. Alongside the per-kind bit-identity checks:
+//! canonical re-serialisation, randomised shapes/hyper-parameters for
+//! IForest/PCA/HBOS/ECOD, and the error paths (truncation, corruption,
+//! NaN-poisoned state) that must yield typed errors, never panics.
+
+use proptest::prelude::*;
+use uadb_detectors::snapshot::{self, SnapshotError};
+use uadb_detectors::{Detector, DetectorKind};
+use uadb_linalg::Matrix;
+
+/// Deterministic pseudo-random training cloud: a dense blob with a few
+/// far-out rows, enough structure for every detector family to fit.
+fn train_matrix(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rows = Vec::with_capacity(n);
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..n {
+        let mut row = Vec::with_capacity(d);
+        for j in 0..d {
+            let base = next() + (j as f64) * 0.25;
+            // Every 13th row drifts away from the blob: anomalies keep
+            // tree splits, tail tables and cluster structure non-trivial.
+            let offset = if i % 13 == 12 { 6.0 + next() } else { 0.0 };
+            row.push(base + offset);
+        }
+        rows.push(row);
+    }
+    Matrix::from_rows(&rows).unwrap()
+}
+
+/// Held-out queries spanning the blob, the anomaly shell and far space.
+fn query_matrix(d: usize, seed: u64) -> Matrix {
+    let mut rows = Vec::new();
+    for i in 0..9 {
+        let scale = [0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, -3.0, 0.0][i];
+        rows.push((0..d).map(|j| scale + j as f64 * 0.5 + (seed % 7) as f64 * 0.01).collect());
+    }
+    Matrix::from_rows(&rows).unwrap()
+}
+
+/// Fit, snapshot, reload, and demand bit-identical scores on held-out
+/// queries (and on the training rows themselves).
+fn assert_round_trip(kind: DetectorKind, x: &Matrix, q: &Matrix, seed: u64) {
+    let mut det = snapshot::build(kind, seed);
+    det.fit(x).unwrap_or_else(|e| panic!("{} failed to fit: {e}", kind.name()));
+    let bytes = snapshot::save_to_vec(det.as_ref())
+        .unwrap_or_else(|e| panic!("{} failed to save: {e}", kind.name()));
+    let loaded = snapshot::load(&bytes[..])
+        .unwrap_or_else(|e| panic!("{} failed to load: {e}", kind.name()));
+    assert_eq!(loaded.kind(), kind);
+    assert_eq!(loaded.fitted_dim(), x.cols(), "{}", kind.name());
+
+    for (label, batch) in [("query", q), ("train", x)] {
+        let a = det.score(batch).unwrap();
+        let b = loaded.score(batch).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{} {label} row {i}: {x} vs {y}", kind.name());
+        }
+    }
+
+    // Canonical encoding: saving the loaded detector reproduces the
+    // exact bytes (double round trips can never drift).
+    let again = snapshot::save_to_vec(loaded.as_ref()).unwrap();
+    assert_eq!(bytes, again, "{} re-serialisation drifted", kind.name());
+}
+
+#[test]
+fn every_detector_round_trips_bit_identically() {
+    let x = train_matrix(64, 3, 5);
+    let q = query_matrix(3, 5);
+    for kind in DetectorKind::ALL {
+        assert_round_trip(kind, &x, &q, 11);
+    }
+}
+
+#[test]
+fn every_detector_round_trips_in_one_dimension() {
+    // d = 1 exercises the degenerate subspace/projection paths.
+    let x = train_matrix(48, 1, 9);
+    let q = query_matrix(1, 9);
+    for kind in DetectorKind::ALL {
+        assert_round_trip(kind, &x, &q, 3);
+    }
+}
+
+#[test]
+fn truncated_snapshots_are_typed_errors_for_every_kind() {
+    let x = train_matrix(40, 2, 1);
+    for kind in DetectorKind::ALL {
+        let mut det = snapshot::build(kind, 2);
+        det.fit(&x).unwrap();
+        let bytes = snapshot::save_to_vec(det.as_ref()).unwrap();
+        // Cutting anywhere strictly inside the payload must error —
+        // never panic, hang, or return a half-detector. (Prime stride
+        // keeps the sweep fast while hitting every payload region.)
+        for cut in (0..bytes.len().saturating_sub(1)).step_by(131) {
+            assert!(
+                snapshot::load(&bytes[..cut]).is_err(),
+                "{} accepted a snapshot cut at {cut}/{}",
+                kind.name(),
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn nan_poisoned_fitted_state_is_rejected_at_save_time() {
+    // Training-set-carrying detectors snapshot their training rows
+    // verbatim; a NaN smuggled through fit() must be caught by save, not
+    // written to disk for every future load to reject.
+    let mut x = train_matrix(30, 2, 4);
+    x.set(3, 1, f64::NAN);
+    for kind in [DetectorKind::Knn, DetectorKind::Lof, DetectorKind::Cof, DetectorKind::Sod] {
+        let mut det = snapshot::build(kind, 0);
+        det.fit(&x).unwrap();
+        assert!(
+            matches!(snapshot::save_to_vec(det.as_ref()), Err(SnapshotError::InvalidState(_))),
+            "{} wrote NaN-bearing state",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn flipped_kind_tag_still_fails_closed() {
+    // Reinterpreting one detector's payload as another kind must yield
+    // an error (or at worst a validly-parsed detector, for kinds sharing
+    // a layout like ECOD/COPOD) — never a panic.
+    let x = train_matrix(40, 2, 8);
+    let mut det = snapshot::build(DetectorKind::Hbos, 0);
+    det.fit(&x).unwrap();
+    let bytes = snapshot::save_to_vec(det.as_ref()).unwrap();
+    for tag in 0u8..=20 {
+        let mut forged = bytes.clone();
+        forged[0] = tag;
+        let _ = snapshot::load(&forged[..]); // must not panic
+    }
+}
+
+#[test]
+fn corrupted_index_fields_cannot_cause_out_of_bounds() {
+    // IForest's child pointers and split features are the memory-unsafe
+    // corruption surface: flip bytes across the whole payload and demand
+    // that whatever loads still scores without panicking.
+    let x = train_matrix(50, 3, 6);
+    let q = query_matrix(3, 6);
+    let mut det = snapshot::build(DetectorKind::IForest, 7);
+    det.fit(&x).unwrap();
+    let bytes = snapshot::save_to_vec(det.as_ref()).unwrap();
+    for pos in (1..bytes.len()).step_by(97) {
+        let mut forged = bytes.clone();
+        forged[pos] ^= 0xff;
+        if let Ok(loaded) = snapshot::load(&forged[..]) {
+            let _ = loaded.score(&q); // may err, must not panic
+        }
+    }
+}
+
+fn bits_of(scores: &[f64]) -> Vec<u64> {
+    scores.iter().map(|s| s.to_bits()).collect()
+}
+
+proptest! {
+    #[test]
+    fn iforest_random_shapes_and_hyperparams(
+        n in 16usize..96,
+        d in 1usize..6,
+        n_estimators in 3usize..40,
+        max_samples in 4usize..80,
+        seed in 0u64..1000,
+    ) {
+        let x = train_matrix(n, d, seed);
+        let q = query_matrix(d, seed);
+        let mut det = uadb_detectors::iforest::IForest::with_seed(seed);
+        det.n_estimators = n_estimators;
+        det.max_samples = max_samples;
+        det.fit(&x).unwrap();
+        let bytes = snapshot::save_to_vec(&det).unwrap();
+        let loaded = snapshot::load(&bytes[..]).unwrap();
+        prop_assert_eq!(bits_of(&det.score(&q).unwrap()), bits_of(&loaded.score(&q).unwrap()));
+    }
+
+    #[test]
+    fn pca_random_shapes(n in 8usize..96, d in 1usize..8, seed in 0u64..1000) {
+        let x = train_matrix(n.max(d + 2), d, seed);
+        let q = query_matrix(d, seed);
+        let mut det = uadb_detectors::pca::Pca::default();
+        det.fit(&x).unwrap();
+        let bytes = snapshot::save_to_vec(&det).unwrap();
+        let loaded = snapshot::load(&bytes[..]).unwrap();
+        prop_assert_eq!(bits_of(&det.score(&q).unwrap()), bits_of(&loaded.score(&q).unwrap()));
+    }
+
+    #[test]
+    fn hbos_random_shapes_and_hyperparams(
+        n in 4usize..120,
+        d in 1usize..7,
+        n_bins in 1usize..25,
+        alpha in 0.0f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let x = train_matrix(n, d, seed);
+        let q = query_matrix(d, seed);
+        let mut det = uadb_detectors::hbos::Hbos::default();
+        det.n_bins = n_bins;
+        det.alpha = alpha;
+        det.fit(&x).unwrap();
+        let bytes = snapshot::save_to_vec(&det).unwrap();
+        let loaded = snapshot::load(&bytes[..]).unwrap();
+        prop_assert_eq!(bits_of(&det.score(&q).unwrap()), bits_of(&loaded.score(&q).unwrap()));
+    }
+
+    #[test]
+    fn ecod_random_shapes(n in 2usize..150, d in 1usize..9, seed in 0u64..1000) {
+        let x = train_matrix(n, d, seed);
+        let q = query_matrix(d, seed);
+        let mut det = uadb_detectors::ecod::Ecod::default();
+        det.fit(&x).unwrap();
+        let bytes = snapshot::save_to_vec(&det).unwrap();
+        let loaded = snapshot::load(&bytes[..]).unwrap();
+        prop_assert_eq!(bits_of(&det.score(&q).unwrap()), bits_of(&loaded.score(&q).unwrap()));
+    }
+}

@@ -26,30 +26,37 @@ pub const USAGE: &str = "\
 uadb-serve — persistence and batch-scoring server for UADB models
 
 USAGE:
-  uadb-serve train --out FILE [--dataset NAME | --synthetic TYPE | --csv FILE]
+  uadb-serve train --out FILE [--save-teacher FILE]
+                   [--dataset NAME | --synthetic TYPE | --csv FILE]
                    [--teacher KIND] [--seed N] [--steps N] [--scale quick|full]
                    [--label-last]
   uadb-serve score --model FILE (--csv FILE | --json JSON) [--label-last] [--out FILE]
-  uadb-serve serve --model [NAME=]FILE [--model NAME=FILE ...] [--default NAME]
+  uadb-serve serve --model [NAME=]FILE[,TEACHER_FILE] [--model ...] [--default NAME]
                    [--addr HOST:PORT] [--workers N] [--shard-rows N]
                    [--max-conns N] [--max-requests N] [--idle-timeout-ms N]
   uadb-serve info  --model FILE
 
 SUBCOMMANDS:
   train   Fit a teacher + UADB booster and write a versioned model file.
-          Datasets: a suite roster name (--dataset 39_thyroid), a synthetic
-          anomaly type (--synthetic local|global|clustered|dependency), or a
-          numeric CSV (--csv data.csv, --label-last if the last column is a
-          0/1 label used only for the AUC report).
+          --save-teacher FILE additionally snapshots the *fitted* teacher
+          (trees, bases, tail tables, …) so the server can A/B it against
+          the booster. Datasets: a suite roster name (--dataset 39_thyroid),
+          a synthetic anomaly type (--synthetic
+          local|global|clustered|dependency), or a numeric CSV (--csv
+          data.csv, --label-last if the last column is a 0/1 label used only
+          for the AUC report).
   score   Load a model file and score rows from a CSV file or an inline
           JSON array of rows; writes `row,score` CSV to stdout or --out.
   serve   Serve one or more model files over keep-alive HTTP/1.1.
           --model is repeatable; NAME=FILE registers FILE under NAME (a bare
-          FILE is registered as `default`). Bare POST /score routes to the
+          FILE is registered as `default`), and FILE,TEACHER_FILE attaches a
+          teacher snapshot so POST /score/NAME?variant=teacher|booster|both
+          serves the paper's comparison live. Bare POST /score routes to the
           default model (--default NAME overrides; otherwise the first
-          --model). Endpoints: POST /score[/NAME], GET /model[/NAME],
-          GET /models, POST /admin/reload/NAME, GET /healthz.
-  info    Print a model file's metadata as JSON.
+          --model). Endpoints: POST /score[/NAME][?variant=...],
+          GET /model[/NAME], GET /models, POST /admin/reload/NAME,
+          GET /healthz.
+  info    Print a model or teacher-snapshot file's metadata as JSON.
 
 Teachers: IForest HBOS LOF KNN PCA OCSVM CBLOF COF SOD ECOD GMM LODA COPOD
 DeepSVDD (case-insensitive; default IForest).
@@ -206,8 +213,8 @@ fn train(flags: &Flags) -> Result<(), CliError> {
         data.n_features(),
         teacher.name()
     );
-    let served =
-        ServedModel::train(&data, teacher, cfg).map_err(|e| err(format!("teacher failed: {e}")))?;
+    let (served, fitted_teacher) = ServedModel::train_with_teacher(&data, teacher, cfg)
+        .map_err(|e| err(format!("teacher failed: {e}")))?;
     // Ground-truth labels, when present, are used for reporting only.
     if data.n_anomalies() > 0 {
         let scores =
@@ -217,6 +224,11 @@ fn train(flags: &Flags) -> Result<(), CliError> {
     }
     persist::save_file(&served, out).map_err(|e| err(format!("writing {out}: {e}")))?;
     println!("wrote {out}");
+    if let Some(teacher_out) = flags.get("save-teacher") {
+        persist::save_teacher_file(&fitted_teacher, teacher_out)
+            .map_err(|e| err(format!("writing {teacher_out}: {e}")))?;
+        println!("wrote teacher snapshot {teacher_out}");
+    }
     Ok(())
 }
 
@@ -264,24 +276,35 @@ fn score(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Splits a `--model` value into `(name, path)`: `NAME=FILE` names the
-/// model explicitly, a bare `FILE` registers as `default`.
-fn parse_model_flag(value: &str) -> Result<(&str, &str), CliError> {
-    match value.split_once('=') {
-        Some((name, path)) => {
+/// Splits a `--model` value into `(name, path, teacher_path)`:
+/// `NAME=FILE` names the model explicitly, a bare `FILE` registers as
+/// `default`, and `FILE,TEACHER_FILE` attaches a teacher snapshot.
+fn parse_model_flag(value: &str) -> Result<(&str, &str, Option<&str>), CliError> {
+    let (name, files) = match value.split_once('=') {
+        Some((name, files)) => {
             if !registry::is_valid_name(name) {
                 return Err(err(format!(
                     "invalid model name `{name}` (want 1-{} chars of [A-Za-z0-9._-])",
                     registry::MAX_NAME_LEN
                 )));
             }
-            if path.is_empty() {
-                return Err(err(format!("--model {value}: empty path")));
-            }
-            Ok((name, path))
+            (name, files)
         }
-        None => Ok(("default", value)),
+        None => ("default", value),
+    };
+    let (path, teacher) = match files.split_once(',') {
+        Some((path, teacher)) => {
+            if teacher.is_empty() {
+                return Err(err(format!("--model {value}: empty teacher path")));
+            }
+            (path, Some(teacher))
+        }
+        None => (files, None),
+    };
+    if path.is_empty() {
+        return Err(err(format!("--model {value}: empty path")));
     }
+    Ok((name, path, teacher))
 }
 
 fn serve(flags: &Flags) -> Result<(), CliError> {
@@ -296,12 +319,12 @@ fn serve(flags: &Flags) -> Result<(), CliError> {
     let registry = Arc::new(ModelRegistry::new());
     let mut first_name: Option<String> = None;
     for value in model_flags {
-        let (name, path) = parse_model_flag(value)?;
+        let (name, path, teacher) = parse_model_flag(value)?;
         if registry.get(name).is_some() {
             return Err(err(format!("model name `{name}` given twice")));
         }
         registry
-            .insert_from_file(name, path, pool_cfg.clone())
+            .insert_from_files(name, path, teacher, pool_cfg.clone())
             .map_err(|e| err(format!("loading {path}: {e}")))?;
         first_name.get_or_insert_with(|| name.to_string());
     }
@@ -348,10 +371,17 @@ fn serve(flags: &Flags) -> Result<(), CliError> {
 }
 
 fn info(flags: &Flags) -> Result<(), CliError> {
-    let served = load_model(flags)?;
-    // Same serializer as `GET /model`, so the CLI and the server can
-    // never drift apart on what a model file contains.
-    println!("{}", json::to_string(&crate::http::model_info(&served, None)));
+    let path = flags.require("model")?;
+    // Same serializers as `GET /model`, so the CLI and the server can
+    // never drift apart on what a model file contains. `info` accepts
+    // either record type; `score`/`serve` stay booster-first.
+    let record =
+        persist::load_record_file(path).map_err(|e| err(format!("loading {path}: {e}")))?;
+    let doc = match &record {
+        persist::Record::Booster(served) => crate::http::model_info(served, None),
+        persist::Record::Teacher(teacher) => crate::http::teacher_info(teacher),
+    };
+    println!("{}", json::to_string(&doc));
     Ok(())
 }
 
@@ -383,14 +413,24 @@ mod tests {
 
     #[test]
     fn model_flag_values_parse() {
-        assert_eq!(parse_model_flag("m.uadb").unwrap(), ("default", "m.uadb"));
+        assert_eq!(parse_model_flag("m.uadb").unwrap(), ("default", "m.uadb", None));
         assert_eq!(
             parse_model_flag("fraud=models/fraud.uadb").unwrap(),
-            ("fraud", "models/fraud.uadb")
+            ("fraud", "models/fraud.uadb", None)
+        );
+        assert_eq!(
+            parse_model_flag("fraud=m.uadb,t.uadb").unwrap(),
+            ("fraud", "m.uadb", Some("t.uadb"))
+        );
+        assert_eq!(
+            parse_model_flag("m.uadb,t.uadb").unwrap(),
+            ("default", "m.uadb", Some("t.uadb"))
         );
         assert!(parse_model_flag("bad name=x.uadb").is_err());
         assert!(parse_model_flag("=x.uadb").is_err());
         assert!(parse_model_flag("a=").is_err());
+        assert!(parse_model_flag("a=x.uadb,").is_err());
+        assert!(parse_model_flag(",t.uadb").is_err());
         let args: Vec<String> =
             ["--model", "a=1.uadb", "--model", "b=2.uadb"].iter().map(|s| s.to_string()).collect();
         let f = Flags::parse(&args).unwrap();

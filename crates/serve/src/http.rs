@@ -8,7 +8,14 @@
 //!   Scores go through the model's shared [`ScoringPool`], so they match
 //!   in-process [`crate::model::ServedModel::score_rows`] bit for bit.
 //! * `POST /score/{name}` — same, against a named model (404 unknown).
-//! * `GET /model` / `GET /model/{name}` — model metadata.
+//!   `?variant=booster|teacher|both` picks the scoring side when the
+//!   model carries a frozen teacher snapshot: `teacher` scores the
+//!   fitted source detector, `both` returns paired
+//!   `{"booster": […], "teacher": […]}` scores for the same rows in one
+//!   response (online A/B). Requesting the teacher on a booster-only
+//!   model is a 404.
+//! * `GET /model` / `GET /model/{name}` — model metadata, including
+//!   which variants are loaded.
 //! * `GET /models` — names, default, and per-model metadata.
 //! * `POST /admin/reload/{name}` — hot-swap a model from its source file
 //!   (or from `{"path": "..."}` in the body) without dropping in-flight
@@ -27,7 +34,7 @@
 //! so handler threads stay I/O-bound.
 
 use crate::json::{self, Value};
-use crate::model::ServedModel;
+use crate::model::{ScoreError, ServedModel, Variant};
 use crate::pool::{PoolConfig, ScoringPool};
 use crate::registry::{ModelRegistry, RegistryError};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -521,8 +528,12 @@ fn trim_line_ending(line: &mut String) {
 }
 
 fn route(req: &Request, registry: &Arc<ModelRegistry>) -> Response {
-    // Ignore any query string; routing is purely path-based.
-    let path = req.path.split('?').next().unwrap_or("");
+    // Routing is path-based; the query string only carries options
+    // (currently `?variant=` on the score endpoints).
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (req.path.as_str(), None),
+    };
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => Response::json(
@@ -548,11 +559,11 @@ fn route(req: &Request, registry: &Arc<ModelRegistry>) -> Response {
             None => unknown_model(name),
         },
         ("POST", ["score"]) => match registry.default_pool() {
-            Some(pool) => score(req, &pool),
+            Some(pool) => score(req, &pool, query),
             None => Response::error(404, "Not Found", "no default model registered"),
         },
         ("POST", ["score", name]) => match registry.get(name) {
-            Some(pool) => score(req, &pool),
+            Some(pool) => score(req, &pool, query),
             None => unknown_model(name),
         },
         ("POST", ["admin", "reload", name]) => reload_model(req, registry, name),
@@ -629,9 +640,12 @@ fn reload_model(req: &Request, registry: &Arc<ModelRegistry>, name: &str) -> Res
         Err(e @ RegistryError::UnknownModel(_)) => {
             Response::error(404, "Not Found", &e.to_string())
         }
-        Err(e @ (RegistryError::NoSourcePath(_) | RegistryError::InvalidName(_))) => {
-            Response::error(409, "Conflict", &e.to_string())
-        }
+        Err(
+            e @ (RegistryError::NoSourcePath(_)
+            | RegistryError::InvalidName(_)
+            | RegistryError::TeacherMismatch { .. }
+            | RegistryError::TeacherKindMismatch { .. }),
+        ) => Response::error(409, "Conflict", &e.to_string()),
         Err(e @ RegistryError::Load(_)) => {
             Response::error(422, "Unprocessable Entity", &e.to_string())
         }
@@ -660,13 +674,98 @@ pub(crate) fn model_info(model: &ServedModel, workers: Option<usize>) -> Value {
         ),
         ("format_version", Value::Number(crate::persist::FORMAT_VERSION as f64)),
     ];
+    fields.push((
+        "variants",
+        Value::Array(model.variants().iter().map(|v| Value::String(v.to_string())).collect()),
+    ));
+    if let Some(teacher) = model.teacher() {
+        let tcal = teacher.calibration();
+        fields.push((
+            "teacher_snapshot",
+            json::object([
+                ("kind", Value::String(teacher.kind().name().to_string())),
+                (
+                    "calibration",
+                    json::object([
+                        ("min", Value::Number(tcal.min)),
+                        ("range", Value::Number(tcal.range)),
+                    ]),
+                ),
+            ]),
+        ));
+    }
     if let Some(n) = workers {
         fields.push(("workers", Value::Number(n as f64)));
     }
     json::object(fields)
 }
 
-fn score(req: &Request, pool: &ScoringPool) -> Response {
+/// Teacher-snapshot metadata document (the CLI `info` command on a
+/// teacher file; servers report teachers inline via `model_info`).
+pub(crate) fn teacher_info(teacher: &crate::model::TeacherModel) -> Value {
+    let meta = teacher.meta();
+    let cal = teacher.calibration();
+    json::object([
+        ("record", Value::String("teacher".to_string())),
+        ("dataset", Value::String(meta.dataset.clone())),
+        ("teacher", Value::String(meta.teacher.clone())),
+        ("kind", Value::String(teacher.kind().name().to_string())),
+        ("n_train", Value::Number(meta.n_train as f64)),
+        ("input_dim", Value::Number(teacher.input_dim() as f64)),
+        (
+            "calibration",
+            json::object([("min", Value::Number(cal.min)), ("range", Value::Number(cal.range))]),
+        ),
+        ("format_version", Value::Number(crate::persist::FORMAT_VERSION as f64)),
+    ])
+}
+
+/// The scoring target a request names via `?variant=`.
+enum VariantSelect {
+    Single(Variant),
+    Both,
+}
+
+/// Parses `?variant=` out of a query string; absent means booster.
+/// Unknown query keys are ignored; an unknown variant value is a 400.
+fn parse_variant(query: Option<&str>) -> Result<VariantSelect, String> {
+    let Some(query) = query else {
+        return Ok(VariantSelect::Single(Variant::Booster));
+    };
+    let mut select = VariantSelect::Single(Variant::Booster);
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if key != "variant" {
+            continue;
+        }
+        select = match value {
+            "both" => VariantSelect::Both,
+            other => match Variant::from_name(other) {
+                Some(v) => VariantSelect::Single(v),
+                None => {
+                    return Err(format!("unknown variant `{other}` (want booster|teacher|both)"))
+                }
+            },
+        };
+    }
+    Ok(select)
+}
+
+/// Maps a scoring failure to its HTTP shape: a missing teacher is a
+/// 404 (the variant does not exist on this model), everything else is
+/// a request-level 422.
+fn score_error(e: &ScoreError) -> Response {
+    match e {
+        ScoreError::TeacherNotLoaded => Response::error(404, "Not Found", &e.to_string()),
+        _ => Response::error(422, "Unprocessable Entity", &e.to_string()),
+    }
+}
+
+fn score(req: &Request, pool: &ScoringPool, query: Option<&str>) -> Response {
+    let select = match parse_variant(query) {
+        Ok(s) => s,
+        Err(msg) => return Response::error(400, "Bad Request", &msg),
+    };
     let text = match std::str::from_utf8(&req.body) {
         Ok(t) => t,
         Err(_) => return Response::error(400, "Bad Request", "body is not UTF-8"),
@@ -685,16 +784,43 @@ fn score(req: &Request, pool: &ScoringPool) -> Response {
     };
     // Hand the parsed batch to the pool as-is: shards borrow row ranges
     // from this one shared allocation instead of copying.
-    match pool.score_shared(&Arc::new(matrix)) {
-        Ok(scores) => Response::json(
-            200,
-            "OK",
-            &json::object([
-                ("scores", json::number_array(&scores)),
-                ("n", Value::Number(scores.len() as f64)),
-            ]),
-        ),
-        Err(e) => Response::error(422, "Unprocessable Entity", &e.to_string()),
+    let batch = Arc::new(matrix);
+    match select {
+        VariantSelect::Single(variant) => match pool.score_shared_variant(&batch, variant) {
+            Ok(scores) => Response::json(
+                200,
+                "OK",
+                &json::object([
+                    ("scores", json::number_array(&scores)),
+                    ("n", Value::Number(scores.len() as f64)),
+                    ("variant", Value::String(variant.name().to_string())),
+                ]),
+            ),
+            Err(e) => score_error(&e),
+        },
+        VariantSelect::Both => {
+            // Teacher first: a booster-only model 404s before any
+            // booster cycles are spent. Both sides score the same shared
+            // batch, so the pair is row-aligned by construction.
+            let teacher = match pool.score_shared_variant(&batch, Variant::Teacher) {
+                Ok(s) => s,
+                Err(e) => return score_error(&e),
+            };
+            let booster = match pool.score_shared_variant(&batch, Variant::Booster) {
+                Ok(s) => s,
+                Err(e) => return score_error(&e),
+            };
+            Response::json(
+                200,
+                "OK",
+                &json::object([
+                    ("booster", json::number_array(&booster)),
+                    ("teacher", json::number_array(&teacher)),
+                    ("n", Value::Number(booster.len() as f64)),
+                    ("variant", Value::String("both".to_string())),
+                ]),
+            )
+        }
     }
 }
 

@@ -21,6 +21,14 @@
 //! 4. **Multi-model routing** — [`registry::ModelRegistry`] holds N
 //!    named models, each with its own pool, behind one port, with
 //!    atomic hot reload that never drops in-flight connections.
+//! 5. **Teacher/booster A/B** — a served name can carry the *frozen
+//!    fitted teacher* next to its distilled booster:
+//!    [`model::TeacherModel`] wraps a detector snapshot (see
+//!    `uadb_detectors::snapshot`), [`persist`] stores it as its own
+//!    record type in the same versioned container, and
+//!    `POST /score/{name}?variant=teacher|booster|both` serves the
+//!    paper's comparison online (`both` returns paired scores for the
+//!    same rows in one response).
 //!
 //! ## Quick start
 //!
@@ -64,7 +72,10 @@ pub mod pool;
 pub mod registry;
 
 pub use http::{Server, ServerConfig, ServerHandle};
-pub use model::{ModelMeta, ScoreError, ScoreWorkspace, ServedModel};
-pub use persist::{load, load_file, save, save_file, PersistError, FORMAT_VERSION};
+pub use model::{ModelMeta, ScoreError, ScoreWorkspace, ServedModel, TeacherModel, Variant};
+pub use persist::{
+    load, load_file, load_record, load_record_file, load_teacher, load_teacher_file, save,
+    save_file, save_teacher, save_teacher_file, PersistError, Record, FORMAT_VERSION,
+};
 pub use pool::{PoolConfig, ScoringPool};
 pub use registry::{ModelRegistry, RegistryError};

@@ -7,11 +7,20 @@
 //! training features, and the score calibration. [`ServedModel`] bundles
 //! all of it so a request row travels the exact numeric path a training
 //! row did.
+//!
+//! The paper's *evaluation* story, though, is booster **versus**
+//! teacher — so a served name can optionally carry the frozen fitted
+//! teacher next to the booster ([`TeacherModel`], attached via
+//! [`ServedModel::attach_teacher`]) and requests pick a [`Variant`]:
+//! the distilled booster (default), the teacher, or both paired for
+//! online A/B.
 
 use std::fmt;
-use uadb::{ScoreScratch, Uadb, UadbConfig, UadbModel};
+use std::sync::Arc;
+use uadb::{ScoreCalibration, ScoreScratch, Uadb, UadbConfig, UadbModel};
 use uadb_data::preprocess::Standardizer;
 use uadb_data::Dataset;
+use uadb_detectors::snapshot::{self, DetectorSnapshot};
 use uadb_detectors::{DetectorError, DetectorKind};
 use uadb_linalg::Matrix;
 
@@ -37,13 +46,44 @@ pub struct ModelMeta {
     pub n_train: u64,
 }
 
+/// Which side of the teacher/booster pair a request scores against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The distilled booster ensemble (the default serving path).
+    Booster,
+    /// The frozen fitted teacher detector.
+    Teacher,
+}
+
+impl Variant {
+    /// Parses the `?variant=` query value ("both" is handled a level up:
+    /// it fans out into one request per variant).
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "booster" => Some(Variant::Booster),
+            "teacher" => Some(Variant::Teacher),
+            _ => None,
+        }
+    }
+
+    /// The wire name of the variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Booster => "booster",
+            Variant::Teacher => "teacher",
+        }
+    }
+}
+
 /// A deployable UADB model: booster ensemble + train-time feature
-/// standardisation + score calibration + provenance.
+/// standardisation + score calibration + provenance — and optionally
+/// the frozen teacher it was distilled from, for teacher/booster A/B.
 #[derive(Debug)]
 pub struct ServedModel {
     model: UadbModel,
     standardizer: Standardizer,
     meta: ModelMeta,
+    teacher: Option<Arc<TeacherModel>>,
 }
 
 /// Errors from scoring raw request rows.
@@ -61,6 +101,11 @@ pub enum ScoreError {
         /// Row index within the request.
         row: usize,
     },
+    /// The teacher variant was requested on a model serving only its
+    /// booster.
+    TeacherNotLoaded,
+    /// The frozen teacher itself failed to score.
+    Teacher(DetectorError),
 }
 
 impl fmt::Display for ScoreError {
@@ -72,11 +117,131 @@ impl fmt::Display for ScoreError {
             ScoreError::NonFiniteFeature { row } => {
                 write!(f, "row {row} contains a non-finite feature")
             }
+            ScoreError::TeacherNotLoaded => {
+                write!(f, "no teacher snapshot is loaded for this model")
+            }
+            ScoreError::Teacher(e) => write!(f, "teacher failed to score: {e}"),
         }
     }
 }
 
 impl std::error::Error for ScoreError {}
+
+/// A frozen fitted teacher, servable next to its distilled booster: the
+/// detector's snapshot-restored state, the train-time standardiser, and
+/// the min-max calibration fitted on the teacher's training scores (the
+/// paper's pseudo-label normalisation — so teacher and booster scores
+/// land on the same `[0,1]`-anchored scale and are directly comparable
+/// in an A/B response).
+pub struct TeacherModel {
+    detector: Box<dyn DetectorSnapshot>,
+    standardizer: Standardizer,
+    calibration: ScoreCalibration,
+    meta: ModelMeta,
+}
+
+impl fmt::Debug for TeacherModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TeacherModel")
+            .field("kind", &self.detector.kind().name())
+            .field("input_dim", &self.input_dim())
+            .field("meta", &self.meta)
+            .finish()
+    }
+}
+
+impl TeacherModel {
+    /// Bundles a fitted, snapshot-capable detector with its train-time
+    /// preprocessing and score calibration.
+    ///
+    /// # Panics
+    /// If the detector's fitted width differs from the standardiser's.
+    pub fn new(
+        detector: Box<dyn DetectorSnapshot>,
+        standardizer: Standardizer,
+        calibration: ScoreCalibration,
+        meta: ModelMeta,
+    ) -> Self {
+        assert_eq!(
+            standardizer.n_features(),
+            detector.fitted_dim(),
+            "standardizer width must match the teacher's fitted width"
+        );
+        Self { detector, standardizer, calibration, meta }
+    }
+
+    /// The wrapped fitted detector.
+    pub fn detector(&self) -> &dyn DetectorSnapshot {
+        self.detector.as_ref()
+    }
+
+    /// The teacher's detector kind.
+    pub fn kind(&self) -> DetectorKind {
+        self.detector.kind()
+    }
+
+    /// The stored train-time standardiser.
+    pub fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
+    /// The min-max calibration fitted on the teacher's training scores.
+    pub fn calibration(&self) -> ScoreCalibration {
+        self.calibration
+    }
+
+    /// Provenance metadata.
+    pub fn meta(&self) -> &ModelMeta {
+        &self.meta
+    }
+
+    /// Feature count a request row must have.
+    pub fn input_dim(&self) -> usize {
+        self.standardizer.n_features()
+    }
+
+    /// Scores the raw row range `lo..hi`: validates, standardises with
+    /// the stored constants, runs the frozen detector, and applies the
+    /// stored calibration. Per-row like the booster path, so results are
+    /// independent of batch composition and sharding.
+    /// [`ScoreError::NonFiniteFeature`] reports the **batch-global** row
+    /// index.
+    ///
+    /// # Panics
+    /// If the range is out of bounds.
+    pub fn score_range(&self, raw: &Matrix, lo: usize, hi: usize) -> Result<Vec<f64>, ScoreError> {
+        assert!(lo <= hi && hi <= raw.rows(), "row range {lo}..{hi} out of bounds");
+        let expected = self.standardizer.n_features();
+        if raw.cols() != expected && raw.rows() > 0 {
+            return Err(ScoreError::DimensionMismatch { expected, got: raw.cols() });
+        }
+        if raw.rows() == 0 || lo == hi {
+            return Ok(Vec::new());
+        }
+        for r in lo..hi {
+            if raw.row(r).iter().any(|v| !v.is_finite()) {
+                return Err(ScoreError::NonFiniteFeature { row: r });
+            }
+        }
+        let mut std_rows = Vec::new();
+        self.standardizer.transform_rows_into(raw, lo, hi, &mut std_rows);
+        let x = Matrix::from_vec(hi - lo, expected, std_rows)
+            .expect("standardised range has the declared shape");
+        let mut scores = self.detector.score(&x).map_err(|e| match e {
+            DetectorError::DimensionMismatch { expected, got } => {
+                ScoreError::DimensionMismatch { expected, got }
+            }
+            other => ScoreError::Teacher(other),
+        })?;
+        self.calibration.apply_vec(&mut scores);
+        Ok(scores)
+    }
+
+    /// Scores whole raw rows (wrapper over [`TeacherModel::score_range`]).
+    pub fn score_rows(&self, raw: &Matrix) -> Result<Vec<f64>, ScoreError> {
+        self.score_range(raw, 0, raw.rows())
+    }
+}
 
 impl ServedModel {
     /// Bundles a fitted model with its train-time preprocessing.
@@ -89,17 +254,34 @@ impl ServedModel {
             model.ensemble()[0].input_dim(),
             "standardizer width must match ensemble input width"
         );
-        Self { model, standardizer, meta }
+        Self { model, standardizer, meta, teacher: None }
     }
 
     /// Trains a booster end to end on a dataset's **raw** features:
     /// fits the standardiser, standardises, runs the teacher, distils
-    /// the booster, and returns the deployable bundle.
+    /// the booster, and returns the deployable bundle (teacher dropped).
     pub fn train(
         data: &Dataset,
         teacher: DetectorKind,
         cfg: UadbConfig,
     ) -> Result<Self, DetectorError> {
+        let (mut served, _) = Self::train_with_teacher(data, teacher, cfg)?;
+        served.teacher = None;
+        Ok(served)
+    }
+
+    /// Like [`ServedModel::train`], but keeps the fitted teacher: the
+    /// returned [`ServedModel`] has the teacher attached (so
+    /// `?variant=teacher|both` serve immediately) and the same teacher
+    /// is returned separately for snapshotting to its own file. The
+    /// teacher's calibration is min-max fitted on its training scores —
+    /// exactly the pseudo-label normalisation the booster was distilled
+    /// against, making the A/B scales comparable.
+    pub fn train_with_teacher(
+        data: &Dataset,
+        teacher: DetectorKind,
+        cfg: UadbConfig,
+    ) -> Result<(Self, Arc<TeacherModel>), DetectorError> {
         // Datasets with no rows or no feature columns (e.g. a 1-column
         // CSV whose only column was the label) must error cleanly, not
         // panic inside a teacher or the booster.
@@ -109,7 +291,8 @@ impl ServedModel {
         let standardizer = Standardizer::fit(&data.x);
         let x = standardizer.transform(&data.x);
         let seed = cfg.seed;
-        let teacher_scores = teacher.build(seed).fit_score(&x)?;
+        let mut detector = snapshot::build(teacher, seed);
+        let teacher_scores = detector.fit_score(&x)?;
         let model =
             Uadb::new(cfg).fit(&x, &teacher_scores).expect("teacher produced aligned scores");
         let meta = ModelMeta {
@@ -117,7 +300,44 @@ impl ServedModel {
             teacher: teacher.name().to_string(),
             n_train: data.n_samples() as u64,
         };
-        Ok(Self::new(model, standardizer, meta))
+        let teacher_model = Arc::new(TeacherModel::new(
+            detector,
+            standardizer.clone(),
+            ScoreCalibration::fit(&teacher_scores),
+            meta.clone(),
+        ));
+        let mut served = Self::new(model, standardizer, meta);
+        served.teacher = Some(Arc::clone(&teacher_model));
+        Ok((served, teacher_model))
+    }
+
+    /// Attaches a frozen teacher so `?variant=teacher|both` can serve.
+    /// Rejects a teacher whose feature width differs from the booster's
+    /// (scoring it would be meaningless and every request would fail).
+    pub fn attach_teacher(&mut self, teacher: Arc<TeacherModel>) -> Result<(), ScoreError> {
+        if teacher.input_dim() != self.input_dim() {
+            return Err(ScoreError::DimensionMismatch {
+                expected: self.input_dim(),
+                got: teacher.input_dim(),
+            });
+        }
+        self.teacher = Some(teacher);
+        Ok(())
+    }
+
+    /// The attached frozen teacher, if one is loaded.
+    pub fn teacher(&self) -> Option<&Arc<TeacherModel>> {
+        self.teacher.as_ref()
+    }
+
+    /// Names of the loaded variants (`booster` always; `teacher` when a
+    /// snapshot is attached) — what `GET /model/{name}` reports.
+    pub fn variants(&self) -> Vec<&'static str> {
+        if self.teacher.is_some() {
+            vec![Variant::Booster.name(), Variant::Teacher.name()]
+        } else {
+            vec![Variant::Booster.name()]
+        }
     }
 
     /// Scores raw (unstandardised) rows: applies the stored train-time

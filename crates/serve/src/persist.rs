@@ -1,10 +1,20 @@
-//! Versioned binary persistence for [`ServedModel`].
+//! Versioned binary persistence for [`ServedModel`] and
+//! [`TeacherModel`] snapshots.
 //!
-//! Layout (all integers and floats little-endian):
+//! Container layout (all integers and floats little-endian):
 //!
 //! ```text
 //! magic   b"UADB"
-//! version u32 (currently 1)
+//! version u32 (currently 2)
+//! record  u8 — 1 = booster, 2 = teacher snapshot (version ≥ 2 only)
+//! payload record-specific (below)
+//! trailer b"BDAU"
+//! ```
+//!
+//! Booster payload (record 1; also the entire body of legacy version-1
+//! files, which predate the record byte and still load):
+//!
+//! ```text
 //! meta    dataset: str, teacher: str, n_train: u64
 //! scaler  d: u64, means: d×f64, stds: d×f64
 //! calib   min: f64, range: f64
@@ -15,21 +25,33 @@
 //!           activation: u8, n_layers: u64, per layer:
 //!             in_dim: u64, out_dim: u64,
 //!             weights: (in·out)×f64 row-major, bias: out×f64
-//! trailer b"BDAU"
+//! ```
+//!
+//! Teacher payload (record 2):
+//!
+//! ```text
+//! meta     dataset: str, teacher: str, n_train: u64
+//! scaler   d: u64, means: d×f64, stds: d×f64
+//! calib    min: f64, range: f64   (min-max over teacher train scores)
+//! snapshot kind-tag: u8, then the detector's fitted-state payload
+//!          (see uadb_detectors::snapshot for per-detector layouts)
 //! ```
 //!
 //! Strings are `u64` byte length + UTF-8. Floats are stored as raw IEEE
 //! bits, so a load reproduces scoring **bit-identically** (asserted by
-//! the round-trip property test in `tests/persistence.rs`). The version
-//! field gates future layout changes; readers reject versions they do
-//! not know, and the trailer catches truncated writes.
+//! the round-trip property tests in `tests/persistence.rs` and
+//! `tests/teacher.rs`, and pinned against checked-in fixtures by
+//! `tests/golden.rs`). The version field gates layout changes; readers
+//! reject versions they do not know, and the trailer catches truncated
+//! writes.
 
-use crate::model::{ModelMeta, ServedModel};
+use crate::model::{ModelMeta, ServedModel, TeacherModel};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
 use uadb::{CorrectionScale, ScoreCalibration, UadbConfig, UadbModel};
 use uadb_data::preprocess::Standardizer;
+use uadb_detectors::snapshot::{self, SnapshotError};
 use uadb_linalg::Matrix;
 use uadb_nn::mlp::Activation;
 use uadb_nn::{linear::Linear, Mlp};
@@ -39,7 +61,12 @@ pub const MAGIC: [u8; 4] = *b"UADB";
 const TRAILER: [u8; 4] = *b"BDAU";
 
 /// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Record-type byte of a distilled booster bundle.
+pub const RECORD_BOOSTER: u8 = 1;
+/// Record-type byte of a fitted teacher snapshot.
+pub const RECORD_TEACHER: u8 = 2;
 
 /// Sanity caps while reading untrusted files: any length beyond these is
 /// treated as corruption rather than an allocation request.
@@ -59,10 +86,19 @@ pub enum PersistError {
     UnsupportedVersion(u32),
     /// Structurally invalid content (with a description of what).
     Corrupt(&'static str),
-    /// The in-memory model is not servable and [`save`] refused to write
-    /// it (e.g. non-finite calibration constants). Writing it anyway
+    /// The in-memory model is not servable and [`save`] /
+    /// [`save_teacher`] refused to write it (e.g. non-finite calibration
+    /// constants, NaN-bearing fitted teacher state). Writing it anyway
     /// would produce a file every loader rejects.
     InvalidModel(&'static str),
+    /// The file holds a different record type than the caller asked for
+    /// (e.g. a teacher snapshot passed where a booster is expected).
+    WrongRecord {
+        /// What the caller wanted (`"booster"` / `"teacher"`).
+        expected: &'static str,
+        /// What the file contains.
+        found: &'static str,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -76,6 +112,9 @@ impl fmt::Display for PersistError {
             PersistError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
             PersistError::InvalidModel(what) => {
                 write!(f, "model is not servable and was not written: {what}")
+            }
+            PersistError::WrongRecord { expected, found } => {
+                write!(f, "file holds a {found} record, expected a {expected}")
             }
         }
     }
@@ -96,6 +135,17 @@ impl From<io::Error> for PersistError {
     }
 }
 
+impl From<SnapshotError> for PersistError {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Io(io) => PersistError::Io(io),
+            SnapshotError::UnknownKind(_) => PersistError::Corrupt("unknown detector kind tag"),
+            SnapshotError::Corrupt(what) => PersistError::Corrupt(what),
+            SnapshotError::InvalidState(what) => PersistError::InvalidModel(what),
+        }
+    }
+}
+
 /// Writes a model in the current format.
 ///
 /// Refuses models that no loader would accept back — mirroring the
@@ -107,22 +157,12 @@ pub fn save<W: Write>(model: &ServedModel, mut w: W) -> Result<(), PersistError>
         return Err(PersistError::InvalidModel("non-finite calibration constants"));
     }
     let scaler = model.standardizer();
-    if !scaler.means().iter().all(|m| m.is_finite()) {
-        return Err(PersistError::InvalidModel("non-finite standardizer mean"));
-    }
-    if !scaler.stds().iter().all(|s| *s > 0.0 && s.is_finite()) {
-        return Err(PersistError::InvalidModel("non-positive standardizer std"));
-    }
+    validate_scaler_for_save(scaler)?;
     w.write_all(&MAGIC)?;
     write_u32(&mut w, FORMAT_VERSION)?;
-    // Meta.
-    write_str(&mut w, &model.meta().dataset)?;
-    write_str(&mut w, &model.meta().teacher)?;
-    write_u64(&mut w, model.meta().n_train)?;
-    // Standardizer.
-    write_u64(&mut w, scaler.n_features() as u64)?;
-    write_f64s(&mut w, scaler.means())?;
-    write_f64s(&mut w, scaler.stds())?;
+    w.write_all(&[RECORD_BOOSTER])?;
+    write_meta(&mut w, model.meta())?;
+    write_scaler(&mut w, scaler)?;
     // Calibration.
     let cal = model.model().calibration();
     write_f64(&mut w, cal.min)?;
@@ -171,41 +211,126 @@ pub fn save_file(model: &ServedModel, path: impl AsRef<Path>) -> Result<(), Pers
     save(model, io::BufWriter::new(file))
 }
 
-/// Reads a model written by any supported format version.
-pub fn load<R: Read>(mut r: R) -> Result<ServedModel, PersistError> {
+/// Writes a fitted teacher snapshot in the current format.
+///
+/// Mirrors [`save`]'s validation contract for the teacher record:
+/// non-finite standardiser constants, an invalid calibration, a
+/// teacher-name/kind mismatch, or NaN-bearing fitted detector state are
+/// all refused with [`PersistError::InvalidModel`] **before any byte is
+/// written** (the detector payload is staged in memory first), so a
+/// failed save never leaves a partial file.
+pub fn save_teacher<W: Write>(teacher: &TeacherModel, mut w: W) -> Result<(), PersistError> {
+    if !teacher.calibration().is_valid() {
+        return Err(PersistError::InvalidModel("non-finite calibration constants"));
+    }
+    validate_scaler_for_save(teacher.standardizer())?;
+    if teacher.meta().teacher != teacher.kind().name() {
+        return Err(PersistError::InvalidModel("teacher metadata does not name its kind"));
+    }
+    // Stage the detector payload first: a NaN-poisoned fitted state
+    // must abort the save with nothing written, and this is also where
+    // an unfitted detector is caught.
+    let mut detector_payload = Vec::new();
+    snapshot::save(teacher.detector(), &mut detector_payload)?;
+
+    w.write_all(&MAGIC)?;
+    write_u32(&mut w, FORMAT_VERSION)?;
+    w.write_all(&[RECORD_TEACHER])?;
+    write_meta(&mut w, teacher.meta())?;
+    write_scaler(&mut w, teacher.standardizer())?;
+    let cal = teacher.calibration();
+    write_f64(&mut w, cal.min)?;
+    write_f64(&mut w, cal.range)?;
+    w.write_all(&detector_payload)?;
+    w.write_all(&TRAILER)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a teacher snapshot to a file path.
+pub fn save_teacher_file(
+    teacher: &TeacherModel,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    save_teacher(teacher, io::BufWriter::new(file))
+}
+
+/// A decoded model file: whichever record type it holds.
+pub enum Record {
+    /// A distilled booster bundle.
+    Booster(ServedModel),
+    /// A fitted teacher snapshot.
+    Teacher(TeacherModel),
+}
+
+impl Record {
+    /// The record's wire name (matches the [`PersistError::WrongRecord`]
+    /// vocabulary).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Record::Booster(_) => "booster",
+            Record::Teacher(_) => "teacher",
+        }
+    }
+}
+
+/// Reads whichever record a model file holds, across all supported
+/// format versions (version-1 files are always boosters).
+pub fn load_record<R: Read>(mut r: R) -> Result<Record, PersistError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
         return Err(PersistError::BadMagic);
     }
     let version = read_u32(&mut r)?;
-    if version != FORMAT_VERSION {
+    if version == 0 || version > FORMAT_VERSION {
         return Err(PersistError::UnsupportedVersion(version));
     }
-    // Meta.
-    let dataset = read_str(&mut r)?;
-    let teacher = read_str(&mut r)?;
-    let n_train = read_u64(&mut r)?;
-    // Standardizer.
-    let d = read_len(&mut r, MAX_DIM, "feature count")?;
-    let means = read_f64s(&mut r, d)?;
-    let stds = read_f64s(&mut r, d)?;
-    if !means.iter().all(|m| m.is_finite()) {
-        // A NaN mean would silently turn every standardised feature —
-        // and therefore every served score — into NaN.
-        return Err(PersistError::Corrupt("non-finite standardizer mean"));
+    // Version 1 predates the record byte: the payload is a booster.
+    let record = if version == 1 { RECORD_BOOSTER } else { read_u8(&mut r)? };
+    match record {
+        RECORD_BOOSTER => Ok(Record::Booster(load_booster_payload(&mut r)?)),
+        RECORD_TEACHER => Ok(Record::Teacher(load_teacher_payload(&mut r)?)),
+        _ => Err(PersistError::Corrupt("unknown record type")),
     }
-    if !stds.iter().all(|s| *s > 0.0 && s.is_finite()) {
-        return Err(PersistError::Corrupt("non-positive standard deviation"));
+}
+
+/// Reads whichever record a model file holds, from a path.
+pub fn load_record_file(path: impl AsRef<Path>) -> Result<Record, PersistError> {
+    let file = std::fs::File::open(path)?;
+    load_record(io::BufReader::new(file))
+}
+
+/// Reads a booster model written by any supported format version.
+/// A teacher-snapshot file is refused with [`PersistError::WrongRecord`].
+pub fn load<R: Read>(r: R) -> Result<ServedModel, PersistError> {
+    match load_record(r)? {
+        Record::Booster(model) => Ok(model),
+        found => Err(PersistError::WrongRecord { expected: "booster", found: found.kind_name() }),
     }
-    let standardizer = Standardizer::from_parts(means, stds);
-    // Calibration.
-    let cal_min = read_f64(&mut r)?;
-    let cal_range = read_f64(&mut r)?;
-    if !(cal_min.is_finite() && cal_range > 0.0 && cal_range.is_finite()) {
-        return Err(PersistError::Corrupt("invalid calibration constants"));
+}
+
+/// Reads a teacher snapshot. A booster file is refused with
+/// [`PersistError::WrongRecord`].
+pub fn load_teacher<R: Read>(r: R) -> Result<TeacherModel, PersistError> {
+    match load_record(r)? {
+        Record::Teacher(teacher) => Ok(teacher),
+        found => Err(PersistError::WrongRecord { expected: "teacher", found: found.kind_name() }),
     }
-    let calibration = ScoreCalibration::from_parts(cal_min, cal_range);
+}
+
+/// Reads a teacher snapshot from a file path.
+pub fn load_teacher_file(path: impl AsRef<Path>) -> Result<TeacherModel, PersistError> {
+    let file = std::fs::File::open(path)?;
+    load_teacher(io::BufReader::new(file))
+}
+
+/// Reads the booster payload (everything between the record byte and
+/// the trailer).
+fn load_booster_payload<R: Read>(mut r: R) -> Result<ServedModel, PersistError> {
+    let (meta, standardizer) = read_meta_and_scaler(&mut r)?;
+    let calibration = read_calibration(&mut r)?;
     // Config.
     let t_steps = read_u64(&mut r)? as usize;
     let epochs_per_step = read_u64(&mut r)? as usize;
@@ -285,20 +410,91 @@ pub fn load<R: Read>(mut r: R) -> Result<ServedModel, PersistError> {
     if ensemble.iter().any(|m| m.input_dim() != dim0) || dim0 != standardizer.n_features() {
         return Err(PersistError::Corrupt("input widths disagree"));
     }
+    read_trailer(&mut r)?;
+    let model = UadbModel::from_parts(ensemble, cfg, calibration);
+    Ok(ServedModel::new(model, standardizer, meta))
+}
+
+/// Reads the teacher payload (everything between the record byte and
+/// the trailer).
+fn load_teacher_payload<R: Read>(mut r: R) -> Result<TeacherModel, PersistError> {
+    let (meta, standardizer) = read_meta_and_scaler(&mut r)?;
+    let cal = read_calibration(&mut r)?;
+    let detector = snapshot::load(&mut r)?;
+    if detector.fitted_dim() != standardizer.n_features() {
+        return Err(PersistError::Corrupt("teacher width differs from standardizer"));
+    }
+    if detector.kind().name() != meta.teacher {
+        return Err(PersistError::Corrupt("teacher metadata does not name its kind"));
+    }
+    read_trailer(&mut r)?;
+    Ok(TeacherModel::new(detector, standardizer, cal, meta))
+}
+
+/// Reads a booster model from a file path.
+pub fn load_file(path: impl AsRef<Path>) -> Result<ServedModel, PersistError> {
+    let file = std::fs::File::open(path)?;
+    load(io::BufReader::new(file))
+}
+
+// Shared record-section codecs -----------------------------------------
+
+fn validate_scaler_for_save(scaler: &Standardizer) -> Result<(), PersistError> {
+    if !scaler.means().iter().all(|m| m.is_finite()) {
+        return Err(PersistError::InvalidModel("non-finite standardizer mean"));
+    }
+    if !scaler.stds().iter().all(|s| *s > 0.0 && s.is_finite()) {
+        return Err(PersistError::InvalidModel("non-positive standardizer std"));
+    }
+    Ok(())
+}
+
+fn write_meta<W: Write>(w: &mut W, meta: &ModelMeta) -> io::Result<()> {
+    write_str(w, &meta.dataset)?;
+    write_str(w, &meta.teacher)?;
+    write_u64(w, meta.n_train)
+}
+
+fn write_scaler<W: Write>(w: &mut W, scaler: &Standardizer) -> io::Result<()> {
+    write_u64(w, scaler.n_features() as u64)?;
+    write_f64s(w, scaler.means())?;
+    write_f64s(w, scaler.stds())
+}
+
+fn read_meta_and_scaler<R: Read>(r: &mut R) -> Result<(ModelMeta, Standardizer), PersistError> {
+    let dataset = read_str(r)?;
+    let teacher = read_str(r)?;
+    let n_train = read_u64(r)?;
+    let d = read_len(r, MAX_DIM, "feature count")?;
+    let means = read_f64s(r, d)?;
+    let stds = read_f64s(r, d)?;
+    if !means.iter().all(|m| m.is_finite()) {
+        // A NaN mean would silently turn every standardised feature —
+        // and therefore every served score — into NaN.
+        return Err(PersistError::Corrupt("non-finite standardizer mean"));
+    }
+    if !stds.iter().all(|s| *s > 0.0 && s.is_finite()) {
+        return Err(PersistError::Corrupt("non-positive standard deviation"));
+    }
+    Ok((ModelMeta { dataset, teacher, n_train }, Standardizer::from_parts(means, stds)))
+}
+
+fn read_calibration<R: Read>(r: &mut R) -> Result<ScoreCalibration, PersistError> {
+    let cal_min = read_f64(r)?;
+    let cal_range = read_f64(r)?;
+    if !(cal_min.is_finite() && cal_range > 0.0 && cal_range.is_finite()) {
+        return Err(PersistError::Corrupt("invalid calibration constants"));
+    }
+    Ok(ScoreCalibration::from_parts(cal_min, cal_range))
+}
+
+fn read_trailer<R: Read>(r: &mut R) -> Result<(), PersistError> {
     let mut trailer = [0u8; 4];
     r.read_exact(&mut trailer)?;
     if trailer != TRAILER {
         return Err(PersistError::Corrupt("missing trailer (truncated write?)"));
     }
-    let model = UadbModel::from_parts(ensemble, cfg, calibration);
-    let meta = ModelMeta { dataset, teacher, n_train };
-    Ok(ServedModel::new(model, standardizer, meta))
-}
-
-/// Reads a model from a file path.
-pub fn load_file(path: impl AsRef<Path>) -> Result<ServedModel, PersistError> {
-    let file = std::fs::File::open(path)?;
-    load(io::BufReader::new(file))
+    Ok(())
 }
 
 fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
@@ -485,7 +681,7 @@ mod tests {
         // historically this path could reach from_parts' assertion.
         let m = tiny_model(15);
         let mut bytes = save_to_vec(&m);
-        let cal_offset = 4 + 4 // magic + version
+        let cal_offset = 4 + 4 + 1 // magic + version + record type
             + 8 + m.meta().dataset.len() + 8 + m.meta().teacher.len() + 8 // meta
             + 8 + 16 * m.input_dim(); // scaler: d + means + stds
         bytes[cal_offset..cal_offset + 8].copy_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
@@ -537,8 +733,8 @@ mod tests {
     fn absurd_lengths_are_corruption_not_allocation() {
         let m = tiny_model(10);
         let mut bytes = save_to_vec(&m);
-        // The dataset-name length sits right after magic+version.
-        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        // The dataset-name length sits right after magic+version+record.
+        bytes[9..17].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(matches!(load(&bytes[..]), Err(PersistError::Corrupt("string length"))));
     }
 
@@ -547,5 +743,38 @@ mod tests {
         assert!(PersistError::BadMagic.to_string().contains("magic"));
         assert!(PersistError::UnsupportedVersion(3).to_string().contains('3'));
         assert!(PersistError::Corrupt("x").to_string().contains('x'));
+        let wrong = PersistError::WrongRecord { expected: "booster", found: "teacher" };
+        assert!(wrong.to_string().contains("booster") && wrong.to_string().contains("teacher"));
+    }
+
+    #[test]
+    fn legacy_v1_booster_files_still_load() {
+        let m = tiny_model(16);
+        let v2 = save_to_vec(&m);
+        // Synthesise the version-1 layout: same payload, version field
+        // patched to 1, and no record byte (v1 predates it).
+        let mut v1 = Vec::with_capacity(v2.len() - 1);
+        v1.extend_from_slice(&v2[..4]);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&v2[9..]);
+        let loaded = load(&v1[..]).unwrap();
+        assert_eq!(loaded.meta(), m.meta());
+        let probe = Matrix::zeros(3, m.input_dim());
+        assert_eq!(loaded.score_rows(&probe).unwrap(), m.score_rows(&probe).unwrap());
+        // Re-saving a legacy file upgrades it to the current version.
+        let mut resaved = Vec::new();
+        save(&loaded, &mut resaved).unwrap();
+        assert_eq!(resaved, v2);
+    }
+
+    #[test]
+    fn unknown_record_type_is_corrupt_and_version_zero_rejected() {
+        let m = tiny_model(17);
+        let mut bytes = save_to_vec(&m);
+        bytes[8] = 99; // record byte
+        assert!(matches!(load(&bytes[..]), Err(PersistError::Corrupt("unknown record type"))));
+        let mut zeroed = save_to_vec(&m);
+        zeroed[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(load(&zeroed[..]), Err(PersistError::UnsupportedVersion(0))));
     }
 }

@@ -16,10 +16,13 @@
 //! request batch (one shared `Arc<Matrix>`, no per-shard copy), each
 //! worker owns a persistent [`ScoreWorkspace`] reused across jobs, and
 //! every shard writes its scores into a disjoint range of one
-//! preallocated output vector — steady state allocates nothing per
-//! request beyond the response buffer itself.
+//! preallocated output vector — on the **booster** variant, steady
+//! state allocates nothing per request beyond the response buffer
+//! itself. Teacher shards go through the frozen detector's own `score`
+//! path, which allocates its staging buffers per shard (A/B traffic is
+//! a comparison tool, not the production hot path).
 
-use crate::model::{ScoreError, ScoreWorkspace, ServedModel};
+use crate::model::{ScoreError, ScoreWorkspace, ServedModel, Variant};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -70,6 +73,10 @@ struct Job {
     batch: Arc<Matrix>,
     lo: usize,
     hi: usize,
+    /// Which side of the teacher/booster pair this shard scores with.
+    /// Teacher shards are per-row too, so shard-independence holds for
+    /// both variants.
+    variant: Variant,
     out: Arc<Mutex<Vec<f64>>>,
     /// Reports the shard's low row (for deterministic error selection)
     /// and its outcome.
@@ -144,10 +151,30 @@ impl ScoringPool {
     /// If a worker thread died (a scoring panic), which is a bug, not a
     /// request-level condition.
     pub fn score_shared(&self, raw: &Arc<Matrix>) -> Result<Vec<f64>, ScoreError> {
+        self.score_shared_variant(raw, Variant::Booster)
+    }
+
+    /// [`ScoringPool::score_shared`] with an explicit teacher/booster
+    /// [`Variant`]. Teacher shards run on the same fixed worker set —
+    /// the pool, not the connection handler, bounds CPU concurrency for
+    /// both sides of an A/B. Returns
+    /// [`ScoreError::TeacherNotLoaded`] when the teacher variant is
+    /// requested on a booster-only model.
+    pub fn score_shared_variant(
+        &self,
+        raw: &Arc<Matrix>,
+        variant: Variant,
+    ) -> Result<Vec<f64>, ScoreError> {
+        if variant == Variant::Teacher && self.model.teacher().is_none() {
+            return Err(ScoreError::TeacherNotLoaded);
+        }
         let n = raw.rows();
         if n == 0 {
             // Preserve the model's validation semantics on empty input.
-            return self.model.score_rows(raw);
+            return match variant {
+                Variant::Booster => self.model.score_rows(raw),
+                Variant::Teacher => self.model.teacher().expect("checked above").score_rows(raw),
+            };
         }
         // Even a single-shard batch goes through the queue: the fixed
         // worker set is what bounds CPU concurrency, and scoring on the
@@ -164,6 +191,7 @@ impl ScoringPool {
                 batch: Arc::clone(raw),
                 lo,
                 hi,
+                variant,
                 out: Arc::clone(&out),
                 reply: reply_tx.clone(),
             };
@@ -216,17 +244,30 @@ fn worker_loop(model: &ServedModel, rx: &Mutex<Receiver<Job>>) {
             Err(_) => return,
         };
         match job {
-            Ok(Job { batch, lo, hi, out, reply }) => {
-                let result = match model.score_range_into(&batch, lo, hi, &mut ws) {
-                    Ok(scores) => {
-                        // A poisoned output lock means another shard's
-                        // copy panicked; the recv-count assert surfaces
-                        // that, so just keep the data path moving.
-                        let mut guard = out.lock().unwrap_or_else(|e| e.into_inner());
-                        guard[lo..hi].copy_from_slice(scores);
-                        Ok(())
-                    }
-                    Err(e) => Err(e),
+            Ok(Job { batch, lo, hi, variant, out, reply }) => {
+                let result = match variant {
+                    Variant::Booster => match model.score_range_into(&batch, lo, hi, &mut ws) {
+                        Ok(scores) => {
+                            // A poisoned output lock means another shard's
+                            // copy panicked; the recv-count assert surfaces
+                            // that, so just keep the data path moving.
+                            let mut guard = out.lock().unwrap_or_else(|e| e.into_inner());
+                            guard[lo..hi].copy_from_slice(scores);
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    },
+                    Variant::Teacher => match model.teacher() {
+                        Some(teacher) => match teacher.score_range(&batch, lo, hi) {
+                            Ok(scores) => {
+                                let mut guard = out.lock().unwrap_or_else(|e| e.into_inner());
+                                guard[lo..hi].copy_from_slice(&scores);
+                                Ok(())
+                            }
+                            Err(e) => Err(e),
+                        },
+                        None => Err(ScoreError::TeacherNotLoaded),
+                    },
                 };
                 // A dropped reply receiver (caller bailed) is fine —
                 // discard.
@@ -292,6 +333,42 @@ mod tests {
         assert_eq!(pool.score(&bad), Err(ScoreError::NonFiniteFeature { row: 2 }));
         let wrong_width = Matrix::zeros(10, model.input_dim() + 2);
         assert!(matches!(pool.score(&wrong_width), Err(ScoreError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn teacher_variant_matches_serial_bit_for_bit_and_404s_when_absent() {
+        use uadb::UadbConfig;
+        use uadb_detectors::DetectorKind;
+
+        let data = fig5_dataset(AnomalyType::Clustered, 24);
+        let (served, _) = crate::model::ServedModel::train_with_teacher(
+            &data,
+            DetectorKind::Hbos,
+            UadbConfig::fast_for_tests(24),
+        )
+        .unwrap();
+        let model = Arc::new(served);
+        let serial = model.teacher().unwrap().score_rows(&data.x).unwrap();
+        for workers in [1, 3] {
+            let pool = ScoringPool::new(Arc::clone(&model), PoolConfig { workers, shard_rows: 7 });
+            let pooled =
+                pool.score_shared_variant(&Arc::new(data.x.clone()), Variant::Teacher).unwrap();
+            assert_eq!(pooled.len(), serial.len());
+            for (i, (a, b)) in pooled.iter().zip(&serial).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} with {workers} workers");
+            }
+            // The booster variant still scores the booster.
+            let boosted =
+                pool.score_shared_variant(&Arc::new(data.x.clone()), Variant::Booster).unwrap();
+            assert_eq!(boosted, model.score_rows(&data.x).unwrap());
+        }
+        // A booster-only model reports the teacher as unavailable.
+        let bare = Arc::new(tiny_model(24));
+        let pool = ScoringPool::new(bare, PoolConfig::default());
+        assert_eq!(
+            pool.score_shared_variant(&Arc::new(data.x.clone()), Variant::Teacher),
+            Err(ScoreError::TeacherNotLoaded)
+        );
     }
 
     #[test]

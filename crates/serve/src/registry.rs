@@ -30,6 +30,9 @@ struct Entry {
     /// Where the model was loaded from, when it came from a file;
     /// reload without an explicit path re-reads this.
     source: Option<PathBuf>,
+    /// Where the model's teacher snapshot was loaded from, if the entry
+    /// serves one; reload re-reads this alongside `source`.
+    teacher_source: Option<PathBuf>,
     pool_cfg: PoolConfig,
 }
 
@@ -51,6 +54,23 @@ pub enum RegistryError {
     NoSourcePath(String),
     /// Loading the model file failed.
     Load(PersistError),
+    /// The teacher snapshot's feature width differs from its booster's;
+    /// serving the pair would fail every `?variant=teacher` request.
+    TeacherMismatch {
+        /// The booster's feature width.
+        expected: usize,
+        /// The teacher snapshot's feature width.
+        got: usize,
+    },
+    /// The teacher snapshot holds a different detector kind than the
+    /// booster was distilled from; pairing them would serve a
+    /// meaningless A/B comparison.
+    TeacherKindMismatch {
+        /// The detector kind the booster's metadata names.
+        expected: String,
+        /// The snapshot's actual detector kind.
+        got: String,
+    },
 }
 
 impl fmt::Display for RegistryError {
@@ -65,6 +85,12 @@ impl fmt::Display for RegistryError {
                 write!(f, "model `{name}` has no source file to reload from")
             }
             RegistryError::Load(e) => write!(f, "loading model file: {e}"),
+            RegistryError::TeacherMismatch { expected, got } => {
+                write!(f, "teacher snapshot has {got} features, its booster expects {expected}")
+            }
+            RegistryError::TeacherKindMismatch { expected, got } => {
+                write!(f, "teacher snapshot is a {got}, the booster was distilled from {expected}")
+            }
         }
     }
 }
@@ -82,6 +108,29 @@ impl From<PersistError> for RegistryError {
     fn from(e: PersistError) -> Self {
         RegistryError::Load(e)
     }
+}
+
+/// Loads a booster file and, when given, attaches its teacher snapshot.
+/// The pair must actually belong together: the snapshot's detector kind
+/// must be the one the booster's metadata says it was distilled from,
+/// and the feature widths must agree — a teacher from an unrelated
+/// model would otherwise serve a silently meaningless A/B.
+fn load_pair(path: &Path, teacher: Option<&Path>) -> Result<ServedModel, RegistryError> {
+    let mut model = persist::load_file(path)?;
+    if let Some(tp) = teacher {
+        let t = persist::load_teacher_file(tp)?;
+        if t.kind().name() != model.meta().teacher {
+            return Err(RegistryError::TeacherKindMismatch {
+                expected: model.meta().teacher.clone(),
+                got: t.kind().name().to_string(),
+            });
+        }
+        let (expected, got) = (model.input_dim(), t.input_dim());
+        model
+            .attach_teacher(Arc::new(t))
+            .map_err(|_| RegistryError::TeacherMismatch { expected, got })?;
+    }
+    Ok(model)
 }
 
 /// Whether `name` can route in a URL path segment: non-empty, at most
@@ -124,7 +173,7 @@ impl ModelRegistry {
         model: Arc<ServedModel>,
         pool_cfg: PoolConfig,
     ) -> Result<(), RegistryError> {
-        self.insert_entry(name, model, None, pool_cfg)
+        self.insert_entry(name, model, None, None, pool_cfg)
     }
 
     /// Loads a model file and registers it under `name`, remembering the
@@ -135,9 +184,25 @@ impl ModelRegistry {
         path: impl AsRef<Path>,
         pool_cfg: PoolConfig,
     ) -> Result<(), RegistryError> {
+        self.insert_from_files(name, path, None::<&Path>, pool_cfg)
+    }
+
+    /// Loads a booster file — and, when given, its frozen teacher
+    /// snapshot — and registers the pair under `name`, remembering both
+    /// paths for hot reload. A teacher whose feature width differs from
+    /// the booster's is rejected with [`RegistryError::TeacherMismatch`]
+    /// at load time, before any pool exists to crash.
+    pub fn insert_from_files(
+        &self,
+        name: &str,
+        path: impl AsRef<Path>,
+        teacher_path: Option<impl AsRef<Path>>,
+        pool_cfg: PoolConfig,
+    ) -> Result<(), RegistryError> {
         let path = path.as_ref();
-        let model = Arc::new(persist::load_file(path)?);
-        self.insert_entry(name, model, Some(path.to_path_buf()), pool_cfg)
+        let teacher_path = teacher_path.map(|p| p.as_ref().to_path_buf());
+        let model = Arc::new(load_pair(path, teacher_path.as_deref())?);
+        self.insert_entry(name, model, Some(path.to_path_buf()), teacher_path, pool_cfg)
     }
 
     fn insert_entry(
@@ -145,6 +210,7 @@ impl ModelRegistry {
         name: &str,
         model: Arc<ServedModel>,
         source: Option<PathBuf>,
+        teacher_source: Option<PathBuf>,
         pool_cfg: PoolConfig,
     ) -> Result<(), RegistryError> {
         if !is_valid_name(name) {
@@ -152,7 +218,8 @@ impl ModelRegistry {
         }
         // Pool construction (thread spawning) happens outside the lock.
         let pool = Arc::new(ScoringPool::new(model, pool_cfg.clone()));
-        self.write_entries().insert(name.to_string(), Entry { pool, source, pool_cfg });
+        self.write_entries()
+            .insert(name.to_string(), Entry { pool, source, teacher_source, pool_cfg });
         let mut default = self.default_name.write().unwrap_or_else(|e| e.into_inner());
         if default.is_none() {
             *default = Some(name.to_string());
@@ -167,7 +234,7 @@ impl ModelRegistry {
     /// model finish undisturbed and a failed load leaves the entry
     /// untouched.
     pub fn reload(&self, name: &str, path: Option<&Path>) -> Result<(), RegistryError> {
-        let (resolved, pool_cfg) = {
+        let (resolved, teacher_source, pool_cfg) = {
             let entries = self.read_entries();
             let entry =
                 entries.get(name).ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
@@ -178,10 +245,11 @@ impl ModelRegistry {
                     .clone()
                     .ok_or_else(|| RegistryError::NoSourcePath(name.to_string()))?,
             };
-            (resolved, entry.pool_cfg.clone())
+            (resolved, entry.teacher_source.clone(), entry.pool_cfg.clone())
         };
-        // Load and spin up the replacement outside any lock.
-        let model = Arc::new(persist::load_file(&resolved)?);
+        // Load and spin up the replacement outside any lock; a teacher
+        // snapshot, when the entry serves one, is re-read alongside.
+        let model = Arc::new(load_pair(&resolved, teacher_source.as_deref())?);
         let pool = Arc::new(ScoringPool::new(model, pool_cfg.clone()));
         let mut entries = self.write_entries();
         match entries.get_mut(name) {
@@ -190,10 +258,14 @@ impl ModelRegistry {
             Some(entry) => {
                 entry.pool = pool;
                 entry.source = Some(resolved);
+                entry.teacher_source = teacher_source;
                 entry.pool_cfg = pool_cfg;
             }
             None => {
-                entries.insert(name.to_string(), Entry { pool, source: Some(resolved), pool_cfg });
+                entries.insert(
+                    name.to_string(),
+                    Entry { pool, source: Some(resolved), teacher_source, pool_cfg },
+                );
             }
         }
         Ok(())
@@ -234,6 +306,12 @@ impl ModelRegistry {
     /// The source file `name` was loaded from, if it came from disk.
     pub fn source(&self, name: &str) -> Option<PathBuf> {
         self.read_entries().get(name).and_then(|e| e.source.clone())
+    }
+
+    /// The teacher-snapshot file `name`'s teacher was loaded from, if
+    /// the entry serves one.
+    pub fn teacher_source(&self, name: &str) -> Option<PathBuf> {
+        self.read_entries().get(name).and_then(|e| e.teacher_source.clone())
     }
 
     /// Number of registered models.

@@ -1,0 +1,99 @@
+//! Golden-format tests: checked-in fixture files pin today's on-disk
+//! layout, so any future format drift breaks CI here instead of
+//! breaking production loads.
+//!
+//! The fixtures live in `tests/golden/` and were generated once by
+//! running this test with `UADB_REGEN_GOLDEN=1` (only needed again on a
+//! *deliberate*, version-bumped format change — regenerate, re-commit,
+//! and add a legacy-load test for the previous version). The assertions
+//! are pure byte-level decoding — no float math — so they hold on any
+//! platform:
+//!
+//! 1. the loader accepts the fixture and decodes the expected fields
+//!    bit-exactly (spot-checked constants below), and
+//! 2. re-serialising the loaded value reproduces the fixture **byte for
+//!    byte** (the format is canonical, so load∘save is the identity).
+
+use std::path::PathBuf;
+use uadb::UadbConfig;
+use uadb_data::Dataset;
+use uadb_detectors::DetectorKind;
+use uadb_linalg::Matrix;
+use uadb_serve::model::ServedModel;
+use uadb_serve::persist;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The deterministic tiny model the fixtures were generated from.
+fn fixture_pair() -> (ServedModel, std::sync::Arc<uadb_serve::model::TeacherModel>) {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..30 {
+        let t = i as f64;
+        let anomalous = i >= 27;
+        let off = if anomalous { 7.0 } else { 0.0 };
+        rows.push(vec![(t * 0.37).sin() + off, (t * 0.53).cos() * 0.5 - off]);
+        labels.push(u8::from(anomalous));
+    }
+    let data = Dataset::new("golden", Matrix::from_rows(&rows).unwrap(), labels, "Test");
+    let mut cfg = UadbConfig::fast_for_tests(42);
+    cfg.t_steps = 1;
+    cfg.epochs_per_step = 1;
+    ServedModel::train_with_teacher(&data, DetectorKind::Hbos, cfg).unwrap()
+}
+
+#[test]
+fn golden_fixtures_load_bit_exactly_and_reencode_canonically() {
+    let dir = golden_dir();
+    let booster_path = dir.join("booster.uadb");
+    let teacher_path = dir.join("teacher.uadb");
+
+    if std::env::var_os("UADB_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(&dir).unwrap();
+        let (served, teacher) = fixture_pair();
+        persist::save_file(&served, &booster_path).unwrap();
+        persist::save_teacher_file(&teacher, &teacher_path).unwrap();
+        eprintln!("regenerated {} and {}", booster_path.display(), teacher_path.display());
+    }
+
+    let booster_bytes = std::fs::read(&booster_path).expect(
+        "tests/golden/booster.uadb is checked in; regenerate with UADB_REGEN_GOLDEN=1 \
+         only on a deliberate format change",
+    );
+    let teacher_bytes = std::fs::read(&teacher_path).expect("tests/golden/teacher.uadb missing");
+
+    // Header: magic, current version, record byte.
+    assert_eq!(&booster_bytes[..4], b"UADB");
+    assert_eq!(
+        u32::from_le_bytes(booster_bytes[4..8].try_into().unwrap()),
+        persist::FORMAT_VERSION,
+        "fixture predates a version bump: regenerate it AND add a legacy-load test"
+    );
+    assert_eq!(booster_bytes[8], persist::RECORD_BOOSTER);
+    assert_eq!(&teacher_bytes[..4], b"UADB");
+    assert_eq!(teacher_bytes[8], persist::RECORD_TEACHER);
+
+    // Decode and spot-check fields (pure byte decoding, no float math).
+    let served = persist::load(&booster_bytes[..]).unwrap();
+    assert_eq!(served.meta().dataset, "golden");
+    assert_eq!(served.meta().teacher, "HBOS");
+    assert_eq!(served.meta().n_train, 30);
+    assert_eq!(served.input_dim(), 2);
+
+    let teacher = persist::load_teacher(&teacher_bytes[..]).unwrap();
+    assert_eq!(teacher.kind(), DetectorKind::Hbos);
+    assert_eq!(teacher.meta(), served.meta());
+    assert_eq!(teacher.input_dim(), 2);
+    assert_eq!(teacher.standardizer(), served.standardizer());
+
+    // Canonical re-encode: load∘save must be the identity on both
+    // records — a single drifted byte in any field fails here.
+    let mut booster_again = Vec::new();
+    persist::save(&served, &mut booster_again).unwrap();
+    assert_eq!(booster_again, booster_bytes, "booster re-encode drifted from fixture");
+    let mut teacher_again = Vec::new();
+    persist::save_teacher(&teacher, &mut teacher_again).unwrap();
+    assert_eq!(teacher_again, teacher_bytes, "teacher re-encode drifted from fixture");
+}

@@ -659,3 +659,147 @@ fn loaded_model_serves_identically_to_trained_model() {
     }
     handle.shutdown();
 }
+
+// ------------------- teacher/booster A/B serving ----------------------
+
+/// A server whose single model carries its frozen teacher snapshot.
+fn ab_server(seed: u64) -> (uadb_serve::ServerHandle, Arc<ServedModel>) {
+    let data = fig5_dataset(AnomalyType::Clustered, seed);
+    let (served, _) = ServedModel::train_with_teacher(
+        &data,
+        DetectorKind::Hbos,
+        UadbConfig::fast_for_tests(seed),
+    )
+    .unwrap();
+    let served = Arc::new(served);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("ab", Arc::clone(&served), PoolConfig { workers: 2, shard_rows: 16 }).unwrap();
+    let handle =
+        Server::bind("127.0.0.1:0", registry, ServerConfig::default()).unwrap().spawn().unwrap();
+    (handle, served)
+}
+
+fn parse_field_scores(body: &str, field: &str) -> Vec<f64> {
+    json::parse(body)
+        .expect("valid JSON response")
+        .get(field)
+        .unwrap_or_else(|| panic!("{field} field in {body}"))
+        .as_array()
+        .expect("array")
+        .iter()
+        .map(|v| v.as_f64().expect("numeric score"))
+        .collect()
+}
+
+#[test]
+fn variant_both_returns_paired_teacher_and_booster_scores() {
+    let (handle, served) = ab_server(61);
+    let addr = handle.addr();
+    let data = fig5_dataset(AnomalyType::Clustered, 61);
+    let slice: Vec<usize> = (0..45).collect();
+    let batch = data.x.select_rows(&slice);
+    let expected_booster = served.score_rows(&batch).unwrap();
+    let expected_teacher = served.teacher().unwrap().score_rows(&batch).unwrap();
+
+    // One request, both variants, paired for the same rows — the online
+    // A/B the paper's comparison implies. Bit-identical to in-process.
+    let (status, body) =
+        request(addr, "POST", "/score/ab?variant=both", Some(&rows_json(&data.x, &slice)));
+    assert_eq!(status, 200, "body: {body}");
+    let booster = parse_field_scores(&body, "booster");
+    let teacher = parse_field_scores(&body, "teacher");
+    assert_eq!(booster.len(), slice.len());
+    assert_eq!(teacher.len(), slice.len());
+    for i in 0..slice.len() {
+        assert_eq!(booster[i].to_bits(), expected_booster[i].to_bits(), "booster row {i}");
+        assert_eq!(teacher[i].to_bits(), expected_teacher[i].to_bits(), "teacher row {i}");
+    }
+
+    // Single-variant requests agree with the paired response.
+    let (status, body) =
+        request(addr, "POST", "/score/ab?variant=teacher", Some(&rows_json(&data.x, &slice)));
+    assert_eq!(status, 200);
+    let solo_teacher = parse_scores(&body);
+    assert_eq!(
+        solo_teacher.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        teacher.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+    );
+    // Default (no query) and explicit booster agree too.
+    let (_, body_default) = request(addr, "POST", "/score/ab", Some(&rows_json(&data.x, &slice)));
+    let (_, body_booster) =
+        request(addr, "POST", "/score/ab?variant=booster", Some(&rows_json(&data.x, &slice)));
+    assert_eq!(parse_scores(&body_default), parse_scores(&body_booster));
+
+    // GET /model reports both variants and the teacher snapshot info.
+    let (status, body) = request(addr, "GET", "/model/ab", None);
+    assert_eq!(status, 200);
+    let info = json::parse(&body).unwrap();
+    let variants: Vec<String> = info
+        .get("variants")
+        .expect("variants field")
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(variants, vec!["booster".to_string(), "teacher".to_string()]);
+    let snap = info.get("teacher_snapshot").expect("teacher_snapshot field");
+    assert_eq!(snap.get("kind").and_then(|v| v.as_str()), Some("HBOS"));
+    handle.shutdown();
+}
+
+#[test]
+fn teacher_variant_without_snapshot_is_404_and_bad_variant_400() {
+    // A booster-only model: teacher and both must 404, the connection
+    // must survive, and an unknown variant value is a 400.
+    let (handle, served) = single_model_server(62, ServerConfig::default());
+    let addr = handle.addr();
+    let data = fig5_dataset(AnomalyType::Clustered, 62);
+    let body_json = rows_json(&data.x, &[0, 1, 2]);
+
+    let mut client = Client::connect(addr);
+    let r = client.roundtrip("POST", "/score?variant=teacher", Some(&body_json));
+    assert_eq!(r.status, 404, "body: {}", r.body);
+    let r = client.roundtrip("POST", "/score?variant=both", Some(&body_json));
+    assert_eq!(r.status, 404, "body: {}", r.body);
+    let r = client.roundtrip("POST", "/score?variant=frobnicate", Some(&body_json));
+    assert_eq!(r.status, 400, "body: {}", r.body);
+    // Model info reports only the booster variant.
+    let r = client.roundtrip("GET", "/model", None);
+    assert!(r.body.contains("\"variants\":[\"booster\"]"), "body: {}", r.body);
+    // The same connection still scores fine (no pool crash, no close).
+    let r = client.roundtrip("POST", "/score", Some(&body_json));
+    assert_eq!(r.status, 200);
+    assert_eq!(parse_scores(&r.body).len(), 3);
+    drop(client);
+    let _ = &served;
+    handle.shutdown();
+}
+
+#[test]
+fn teacher_dimension_mismatch_is_4xx_not_a_crash() {
+    let (handle, served) = ab_server(63);
+    let addr = handle.addr();
+    let wide = Matrix::zeros(2, served.input_dim() + 3);
+    let wide_json = rows_json(&wide, &[0, 1]);
+
+    let mut client = Client::connect(addr);
+    for path in ["/score/ab?variant=teacher", "/score/ab?variant=both", "/score/ab"] {
+        let r = client.roundtrip("POST", path, Some(&wide_json));
+        assert_eq!(r.status, 422, "{path} body: {}", r.body);
+    }
+    // NaN features cannot even frame as JSON numbers: rejected 400 at
+    // parse time, before any pool is involved (the model-level NaN path
+    // is pinned by the pool unit tests).
+    let mut bad = Matrix::zeros(3, served.input_dim());
+    bad.set(2, 0, f64::NAN);
+    let r =
+        client.roundtrip("POST", "/score/ab?variant=teacher", Some(&rows_json(&bad, &[0, 1, 2])));
+    assert_eq!(r.status, 400, "body: {}", r.body);
+    assert!(r.body.contains("row 2"), "body: {}", r.body);
+    // Pool intact: a well-formed A/B request still succeeds afterwards.
+    let data = fig5_dataset(AnomalyType::Clustered, 63);
+    let r = client.roundtrip("POST", "/score/ab?variant=both", Some(&rows_json(&data.x, &[0, 1])));
+    assert_eq!(r.status, 200, "body: {}", r.body);
+    handle.shutdown();
+}
