@@ -228,7 +228,10 @@ pub struct Uadb {
 
 /// A fitted UADB booster: the CV ensemble plus the full iteration
 /// history needed by the paper's analyses (Tables V, Figs. 4/7/9).
-#[derive(Debug)]
+/// `Clone` duplicates the weights, which lets serving layers derive a
+/// modified bundle (e.g. attach a teacher) without mutating one that
+/// in-flight requests still score against.
+#[derive(Debug, Clone)]
 pub struct UadbModel {
     ensemble: Vec<Mlp>,
     cfg: UadbConfig,

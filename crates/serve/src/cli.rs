@@ -5,7 +5,7 @@
 //! the binary is a thin shell over [`crate::model`], [`crate::persist`]
 //! and [`crate::http`].
 
-use crate::http::{Server, ServerConfig};
+use crate::http::{IoMode, Server, ServerConfig};
 use crate::json;
 use crate::model::ServedModel;
 use crate::persist;
@@ -34,6 +34,7 @@ USAGE:
   uadb-serve serve --model [NAME=]FILE[,TEACHER_FILE] [--model ...] [--default NAME]
                    [--addr HOST:PORT] [--workers N] [--shard-rows N]
                    [--max-conns N] [--max-requests N] [--idle-timeout-ms N]
+                   [--io threads|epoll]
   uadb-serve info  --model FILE
 
 SUBCOMMANDS:
@@ -53,9 +54,15 @@ SUBCOMMANDS:
           teacher snapshot so POST /score/NAME?variant=teacher|booster|both
           serves the paper's comparison live. Bare POST /score routes to the
           default model (--default NAME overrides; otherwise the first
-          --model). Endpoints: POST /score[/NAME][?variant=...],
-          GET /model[/NAME], GET /models, POST /admin/reload/NAME,
-          GET /healthz.
+          --model). --io picks the connection backend: `epoll` (Linux
+          default) drives every socket from one event loop so --max-conns
+          can grow past thread counts; `threads` (non-Linux default) is
+          the portable one-thread-per-connection fallback. Endpoints:
+          POST /score[/NAME][?variant=...], GET /model[/NAME],
+          GET /models, POST /admin/reload/NAME,
+          POST|DELETE /admin/teacher/NAME (attach/detach a teacher
+          snapshot at runtime from {\"path\": ...}), GET /healthz (live
+          stats: backend, open connections, per-model request counts).
   info    Print a model or teacher-snapshot file's metadata as JSON.
 
 Teachers: IForest HBOS LOF KNN PCA OCSVM CBLOF COF SOD ECOD GMM LODA COPOD
@@ -338,6 +345,11 @@ fn serve(flags: &Flags) -> Result<(), CliError> {
         .map_err(|_| err(format!("--default {default_name} does not name a --model")))?;
 
     let defaults = ServerConfig::default();
+    let io = match flags.get("io") {
+        None => defaults.io,
+        Some(name) => IoMode::from_name(name)
+            .ok_or_else(|| err(format!("--io must be threads|epoll, got `{name}`")))?,
+    };
     let server_cfg = ServerConfig {
         max_connections: flags.parse_num("max-conns", defaults.max_connections)?,
         max_requests_per_conn: flags.parse_num("max-requests", defaults.max_requests_per_conn)?,
@@ -345,6 +357,7 @@ fn serve(flags: &Flags) -> Result<(), CliError> {
             flags.parse_num("idle-timeout-ms", defaults.idle_timeout.as_millis() as u64)?,
         ),
         io_timeout: defaults.io_timeout,
+        io,
     };
     if server_cfg.max_connections == 0 || server_cfg.max_requests_per_conn == 0 {
         return Err(err("--max-conns and --max-requests must be at least 1"));
@@ -359,13 +372,14 @@ fn serve(flags: &Flags) -> Result<(), CliError> {
     let server = Server::bind(addr, Arc::clone(&registry), server_cfg)
         .map_err(|e| err(format!("binding {addr}: {e}")))?;
     println!(
-        "serving {} model(s) [default: {default_name}] on http://{}",
+        "serving {} model(s) [default: {default_name}] on http://{} ({} backend)",
         registry.len(),
-        server.local_addr().map_err(|e| err(e.to_string()))?
+        server.local_addr().map_err(|e| err(e.to_string()))?,
+        io.name(),
     );
     println!(
         "endpoints: POST /score[/NAME], GET /model[/NAME], GET /models, \
-         POST /admin/reload/NAME, GET /healthz"
+         POST /admin/reload/NAME, POST|DELETE /admin/teacher/NAME, GET /healthz"
     );
     server.run().map_err(|e| err(format!("server failed: {e}")))
 }

@@ -1,5 +1,5 @@
-//! HTTP/1.1 scoring server with persistent connections and multi-model
-//! routing over `std::net::TcpListener`.
+//! HTTP/1.1 scoring server with persistent connections, multi-model
+//! routing, and pluggable I/O backends.
 //!
 //! Endpoints:
 //!
@@ -20,39 +20,120 @@
 //! * `POST /admin/reload/{name}` — hot-swap a model from its source file
 //!   (or from `{"path": "..."}` in the body) without dropping in-flight
 //!   connections.
-//! * `GET /healthz` — liveness probe.
+//! * `POST /admin/teacher/{name}` — attach (or replace) a frozen
+//!   teacher snapshot at runtime from `{"path": "..."}`; the same
+//!   kind/width validation as startup applies before any pool swaps.
+//! * `DELETE /admin/teacher/{name}` — detach the teacher again.
+//! * `GET /healthz` — liveness plus live serving stats: backend name,
+//!   open connections vs. budget, per-model score-request counters.
 //!
-//! Connection model: each accepted socket gets a handler thread running
-//! a **request loop** with HTTP/1.1 keep-alive semantics — `Connection:
+//! # Architecture: sans-io core, pluggable connection drivers
+//!
+//! Request parsing ([`parse_request`]) and response serialization
+//! ([`Response::serialize_into`]) are pure functions over byte buffers
+//! — no sockets, no blocking, no timeouts. Routing ([`route`]) maps a
+//! parsed request to either a finished [`Response`] or a [`ScoreTask`]
+//! that can run blocking (thread-per-connection backend) or be
+//! submitted to the scoring pool with a completion callback (epoll
+//! reactor). Everything socket-shaped lives in a [`ConnectionDriver`]:
+//!
+//! * [`IoMode::Threads`] — one handler thread per connection, blocking
+//!   reads with idle/io timeouts. Portable; the non-Linux default.
+//! * [`IoMode::Epoll`] — `crate::reactor`: a single-threaded epoll
+//!   readiness loop owning every client socket (Linux only, the Linux
+//!   default). Connection budgets are no longer bounded by how many
+//!   threads the host tolerates.
+//!
+//! Both drivers share the parser, the router, the serializer, the
+//! connection budget and the keep-alive/idle/max-requests semantics, so
+//! their responses are byte-identical — the invariant the integration
+//! suite pins by running against both.
+//!
+//! Connection model: HTTP/1.1 keep-alive semantics — `Connection:
 //! close` / `keep-alive` honoured per protocol version, a cap on
-//! requests per connection, and an idle timeout between requests. The
-//! number of concurrent connections is bounded ([`ServerConfig::
-//! max_connections`]); over-budget clients get an immediate `503` with
-//! `Connection: close` instead of an unbounded thread spawn. Request
-//! heads and bodies are size-capped before any allocation happens, and
-//! the CPU-heavy scoring itself runs on each model's fixed worker pool,
-//! so handler threads stay I/O-bound.
+//! requests per connection, and an idle timeout between requests.
+//! Pipelined requests are answered in order, with every response of a
+//! readable burst serialized into one write buffer and flushed at once.
+//! The number of concurrent connections is bounded
+//! ([`ServerConfig::max_connections`]); over-budget clients get an
+//! immediate `503` with `Connection: close`. Request heads and bodies
+//! are size-capped before any allocation happens, and the CPU-heavy
+//! scoring itself runs on each model's fixed worker pool, so the I/O
+//! layer stays I/O-bound.
 
 use crate::json::{self, Value};
 use crate::model::{ScoreError, ServedModel, Variant};
 use crate::pool::{PoolConfig, ScoringPool};
 use crate::registry::{ModelRegistry, RegistryError};
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use uadb_linalg::Matrix;
 
 /// Upper bound on request head (request line + headers).
-const MAX_HEAD: usize = 16 * 1024;
+pub(crate) const MAX_HEAD: usize = 16 * 1024;
 /// Upper bound on request body.
-const MAX_BODY: usize = 64 * 1024 * 1024;
+pub(crate) const MAX_BODY: usize = 64 * 1024 * 1024;
 /// Consecutive accept failures tolerated before the listener is declared
-/// dead and `run()` returns the error.
-const MAX_ACCEPT_FAILURES: u32 = 100;
+/// dead and the driver returns the error.
+pub(crate) const MAX_ACCEPT_FAILURES: u32 = 100;
+
+/// Which I/O backend drives client connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// One blocking handler thread per connection (portable).
+    Threads,
+    /// Single-threaded epoll readiness loop (Linux only).
+    Epoll,
+}
+
+impl IoMode {
+    /// The default backend for this host: epoll on Linux, threads
+    /// elsewhere.
+    pub fn default_for_host() -> Self {
+        if cfg!(target_os = "linux") {
+            IoMode::Epoll
+        } else {
+            IoMode::Threads
+        }
+    }
+
+    /// Parses a `--io` flag value.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "threads" => Some(IoMode::Threads),
+            "epoll" => Some(IoMode::Epoll),
+            _ => None,
+        }
+    }
+
+    /// The flag/metrics name of the backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoMode::Threads => "threads",
+            IoMode::Epoll => "epoll",
+        }
+    }
+
+    /// Instantiates the backend, or errors on hosts that lack it.
+    fn driver(self) -> io::Result<Box<dyn ConnectionDriver>> {
+        match self {
+            IoMode::Threads => Ok(Box::new(ThreadedDriver)),
+            #[cfg(target_os = "linux")]
+            IoMode::Epoll => Ok(Box::new(crate::reactor::EpollDriver)),
+            #[cfg(not(target_os = "linux"))]
+            IoMode::Epoll => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "the epoll backend requires Linux; use --io threads",
+            )),
+        }
+    }
+}
 
 /// Connection-layer tuning.
 #[derive(Debug, Clone)]
@@ -67,8 +148,11 @@ pub struct ServerConfig {
     /// before the server closes it.
     pub idle_timeout: Duration,
     /// Read/write timeout *within* a request (headers, body, response):
-    /// a stalled or silent client frees its thread instead of pinning it.
+    /// a stalled or silent client frees its resources instead of
+    /// pinning them.
     pub io_timeout: Duration,
+    /// Which I/O backend drives connections.
+    pub io: IoMode,
 }
 
 impl Default for ServerConfig {
@@ -78,8 +162,116 @@ impl Default for ServerConfig {
             max_requests_per_conn: 1000,
             idle_timeout: Duration::from_secs(30),
             io_timeout: Duration::from_secs(30),
+            io: IoMode::default_for_host(),
         }
     }
+}
+
+/// Cooperative stop flag with an optional backend-registered waker —
+/// the threaded backend polls the flag per request, the epoll reactor
+/// registers a closure that writes its wakeup pipe so a shutdown
+/// interrupts `epoll_wait` immediately.
+pub struct StopSignal {
+    flag: AtomicBool,
+    waker: Mutex<Option<Box<dyn Fn() + Send>>>,
+}
+
+impl Default for StopSignal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StopSignal {
+    /// A fresh, un-triggered signal.
+    pub fn new() -> Self {
+        Self { flag: AtomicBool::new(false), waker: Mutex::new(None) }
+    }
+
+    /// Whether the server should wind down.
+    pub fn is_stopped(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and pokes the registered waker, if any.
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        if let Some(waker) = &*self.waker.lock().unwrap_or_else(|e| e.into_inner()) {
+            waker();
+        }
+    }
+
+    /// Registers the closure `trigger` calls to interrupt a blocked
+    /// backend (e.g. writing the reactor's wakeup pipe).
+    pub fn set_waker(&self, waker: Box<dyn Fn() + Send>) {
+        *self.waker.lock().unwrap_or_else(|e| e.into_inner()) = Some(waker);
+    }
+}
+
+/// Live serving counters shared between the driver (which maintains
+/// them) and the router (which reports them on `GET /healthz`).
+pub struct ServerStats {
+    backend: &'static str,
+    max_connections: usize,
+    open: AtomicUsize,
+}
+
+impl ServerStats {
+    fn new(backend: &'static str, max_connections: usize) -> Self {
+        Self { backend, max_connections, open: AtomicUsize::new(0) }
+    }
+
+    /// The active backend's name (`"threads"` / `"epoll"`).
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// Currently open client connections.
+    pub fn open_connections(&self) -> usize {
+        self.open.load(Ordering::SeqCst)
+    }
+
+    /// The configured connection budget.
+    pub fn max_connections(&self) -> usize {
+        self.max_connections
+    }
+
+    /// Claims a connection slot; the driver calls this on accept.
+    pub(crate) fn conn_opened(&self) {
+        self.open.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Releases a connection slot; the driver calls this on close.
+    pub(crate) fn conn_closed(&self) {
+        self.open.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Everything a connection driver needs to serve: the routing registry,
+/// tuning, shared stats, and the stop signal.
+pub struct DriverCtx {
+    /// Models to route over.
+    pub registry: Arc<ModelRegistry>,
+    /// Connection-layer tuning.
+    pub cfg: ServerConfig,
+    /// Live counters, reported by `GET /healthz`.
+    pub stats: Arc<ServerStats>,
+    /// Cooperative shutdown.
+    pub stop: Arc<StopSignal>,
+}
+
+/// A connection I/O backend: owns the accept loop and every client
+/// socket, feeding bytes through the shared sans-io parser/router and
+/// writing the serialized responses back out. Implementations must
+/// honour the budget, keep-alive, idle-timeout and max-requests
+/// semantics of [`ServerConfig`] identically — the integration suite
+/// runs against every backend and expects byte-identical responses.
+pub trait ConnectionDriver: Send {
+    /// Backend name (matches [`IoMode::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Serves until the stop signal triggers or the listener dies.
+    fn run(&self, listener: TcpListener, ctx: DriverCtx) -> io::Result<()>;
 }
 
 /// A bound scoring server (not yet accepting).
@@ -94,7 +286,8 @@ pub struct Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     registry: Arc<ModelRegistry>,
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopSignal>,
+    stats: Arc<ServerStats>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -105,6 +298,9 @@ impl Server {
         registry: Arc<ModelRegistry>,
         cfg: ServerConfig,
     ) -> io::Result<Server> {
+        // Fail at bind time, not at run time, when the configured
+        // backend does not exist on this host.
+        cfg.io.driver()?;
         let listener = TcpListener::bind(addr)?;
         Ok(Server { listener, registry, cfg })
     }
@@ -131,53 +327,326 @@ impl Server {
         &self.registry
     }
 
+    fn parts(self) -> io::Result<(TcpListener, Box<dyn ConnectionDriver>, DriverCtx)> {
+        let driver = self.cfg.io.driver()?;
+        let stats = Arc::new(ServerStats::new(driver.name(), self.cfg.max_connections));
+        let ctx = DriverCtx {
+            registry: self.registry,
+            cfg: self.cfg,
+            stats,
+            stop: Arc::new(StopSignal::new()),
+        };
+        Ok((self.listener, driver, ctx))
+    }
+
     /// Accepts connections forever on the calling thread.
     pub fn run(self) -> io::Result<()> {
-        let stop = Arc::new(AtomicBool::new(false));
-        self.accept_loop(&stop)
+        let (listener, driver, ctx) = self.parts()?;
+        driver.run(listener, ctx)
     }
 
-    /// Runs the accept loop on a background thread and returns a handle
-    /// that can stop it.
+    /// Runs the configured backend on a background thread and returns a
+    /// handle that can stop it.
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
-        let registry = Arc::clone(&self.registry);
-        let stop = Arc::new(AtomicBool::new(false));
-        let loop_stop = Arc::clone(&stop);
+        let (listener, driver, ctx) = self.parts()?;
+        let registry = Arc::clone(&ctx.registry);
+        let stop = Arc::clone(&ctx.stop);
+        let stats = Arc::clone(&ctx.stats);
         let thread =
-            std::thread::Builder::new().name("uadb-serve-accept".to_string()).spawn(move || {
-                let _ = self.accept_loop(&loop_stop);
+            std::thread::Builder::new().name("uadb-serve-io".to_string()).spawn(move || {
+                if let Err(e) = driver.run(listener, ctx) {
+                    eprintln!("uadb-serve: I/O driver failed: {e}");
+                }
             })?;
-        Ok(ServerHandle { addr, registry, stop, thread: Some(thread) })
+        Ok(ServerHandle { addr, registry, stop, stats, thread: Some(thread) })
+    }
+}
+
+impl ServerHandle {
+    /// Address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
     }
 
-    fn accept_loop(&self, stop: &Arc<AtomicBool>) -> io::Result<()> {
+    /// The registry the running server routes over (hot reload, tests).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Live serving counters (what `GET /healthz` reports).
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// Stops the backend and joins the server thread. The threaded
+    /// backend answers at most one more request per connection with
+    /// `Connection: close`; the reactor tears down on its next wakeup.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.trigger();
+        // Unblock a backend stuck in accept/epoll_wait. Connecting to
+        // the *bound* address would hang forever for 0.0.0.0/::
+        // (unspecified addresses are not routable connect targets on
+        // every platform), so aim at the loopback of the same family
+        // and port instead.
+        let _ = TcpStream::connect_timeout(&unblock_addr(self.addr), Duration::from_secs(1));
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The address used to wake up the backend during shutdown: the bound
+/// address, with an unspecified IP (`0.0.0.0` / `::`) replaced by the
+/// loopback of the same family.
+fn unblock_addr(bound: SocketAddr) -> SocketAddr {
+    let ip = match bound.ip() {
+        IpAddr::V4(v4) if v4.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(v6) if v6.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, bound.port())
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+// ======================== sans-io wire layer ==========================
+
+/// A fully parsed request.
+pub(crate) struct Request {
+    pub(crate) method: String,
+    pub(crate) path: String,
+    pub(crate) body: Vec<u8>,
+    /// Whether the *client* allows the connection to stay open
+    /// (HTTP/1.1 without `Connection: close`, or HTTP/1.0 with an
+    /// explicit `Connection: keep-alive`).
+    pub(crate) keep_alive: bool,
+}
+
+/// A response ready to serialize.
+pub(crate) struct Response {
+    pub(crate) status: u16,
+    pub(crate) reason: &'static str,
+    pub(crate) body: String,
+}
+
+impl Response {
+    pub(crate) fn json(status: u16, reason: &'static str, value: &Value) -> Self {
+        Self { status, reason, body: json::to_string(value) }
+    }
+
+    pub(crate) fn error(status: u16, reason: &'static str, message: &str) -> Self {
+        Self::json(status, reason, &json::object([("error", Value::String(message.to_string()))]))
+    }
+
+    /// Appends the serialized response (status line, headers, body) to
+    /// `out` — pure buffer work, shared by every backend. Appending
+    /// rather than overwriting is what lets a pipelined burst batch all
+    /// its responses into one flush.
+    pub(crate) fn serialize_into(&self, out: &mut Vec<u8>, close: bool) {
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+                self.status,
+                self.reason,
+                self.body.len(),
+                if close { "close" } else { "keep-alive" },
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(self.body.as_bytes());
+    }
+}
+
+/// Outcome of attempting to parse one request off the front of a
+/// buffer.
+pub(crate) enum Parse {
+    /// The buffer does not yet hold a complete request; read more.
+    Partial,
+    /// One complete request, consuming the first `consumed` bytes.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer the request occupied.
+        consumed: usize,
+    },
+    /// Malformed request (answer `400`, then close).
+    Bad(String),
+    /// Well-formed but unimplemented framing, e.g. `Transfer-Encoding:
+    /// chunked` (answer `501`, then close).
+    Unsupported(String),
+}
+
+/// Incremental HTTP/1.1 request parser over a plain byte buffer — no
+/// sockets, no blocking. Call with everything unconsumed; on
+/// [`Parse::Complete`] drop `consumed` bytes and call again for the
+/// next pipelined request. Lines are `\n`-terminated with an optional
+/// `\r` (same tolerance as the historical reader-based parser); the
+/// head is capped at [`MAX_HEAD`], bodies at [`MAX_BODY`], both checked
+/// before any body allocation happens.
+pub(crate) fn parse_request(buf: &[u8]) -> Parse {
+    // Locate the end of the head: the first empty line.
+    let mut line_start = 0usize;
+    let mut head_end = None;
+    while let Some(rel) = buf[line_start..].iter().position(|&b| b == b'\n') {
+        let nl = line_start + rel;
+        let line = trim_cr(&buf[line_start..nl]);
+        if line.is_empty() {
+            if line_start == 0 {
+                return Parse::Bad("empty request line".into());
+            }
+            head_end = Some(nl + 1);
+            break;
+        }
+        line_start = nl + 1;
+        if line_start > MAX_HEAD {
+            return Parse::Bad("request head too large".into());
+        }
+    }
+    let Some(head_end) = head_end else {
+        if buf.len() > MAX_HEAD {
+            return Parse::Bad("request head too large".into());
+        }
+        return Parse::Partial;
+    };
+    if head_end > MAX_HEAD {
+        return Parse::Bad("request head too large".into());
+    }
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return Parse::Bad("request head is not valid UTF-8".into()),
+    };
+
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let Some(method) = parts.next() else {
+        return Parse::Bad("empty request line".into());
+    };
+    let Some(path) = parts.next() else {
+        return Parse::Bad("missing request path".into());
+    };
+    let Some(version) = parts.next() else {
+        return Parse::Bad("missing HTTP version".into());
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Parse::Bad(format!("unsupported protocol {other}")),
+    };
+
+    let mut content_length: Option<usize> = None;
+    let mut connection_close = false;
+    let mut connection_keep_alive = false;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            // RFC 9112 §6.3: duplicate or conflicting Content-Length
+            // headers are a framing attack vector (request smuggling);
+            // reject them outright rather than picking one.
+            let parsed: usize = match value.parse() {
+                Ok(v) => v,
+                Err(_) => return Parse::Bad(format!("invalid Content-Length `{value}`")),
+            };
+            if content_length.is_some() {
+                return Parse::Bad("duplicate Content-Length header".into());
+            }
+            content_length = Some(parsed);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // We never advertise chunked support; a body we cannot
+            // frame must be refused, not silently read as length 0.
+            return Parse::Unsupported(format!(
+                "Transfer-Encoding `{value}` is not supported; send a Content-Length body"
+            ));
+        } else if name.eq_ignore_ascii_case("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    connection_close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    connection_keep_alive = true;
+                }
+            }
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Parse::Bad(format!("body exceeds {MAX_BODY} bytes"));
+    }
+    // Only the bytes that actually arrived are ever held: a client
+    // declaring 64MB and then stalling grows nothing here.
+    let total = head_end + content_length;
+    if buf.len() < total {
+        return Parse::Partial;
+    }
+    let keep_alive =
+        if http11 { !connection_close } else { connection_keep_alive && !connection_close };
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body: buf[head_end..total].to_vec(),
+        keep_alive,
+    };
+    Parse::Complete { request, consumed: total }
+}
+
+fn trim_cr(line: &[u8]) -> &[u8] {
+    match line.split_last() {
+        Some((b'\r', rest)) => rest,
+        _ => line,
+    }
+}
+
+// ====================== threaded connection driver ====================
+
+/// The classic thread-per-connection backend: blocking reads with
+/// idle/io socket timeouts, one handler thread per client.
+pub(crate) struct ThreadedDriver;
+
+impl ConnectionDriver for ThreadedDriver {
+    fn name(&self) -> &'static str {
+        IoMode::Threads.name()
+    }
+
+    fn run(&self, listener: TcpListener, ctx: DriverCtx) -> io::Result<()> {
+        let ctx = Arc::new(ctx);
         let mut consecutive_failures = 0u32;
-        let active = Arc::new(AtomicUsize::new(0));
-        for conn in self.listener.incoming() {
-            if stop.load(Ordering::SeqCst) {
+        for conn in listener.incoming() {
+            if ctx.stop.is_stopped() {
                 break;
             }
             match conn {
                 Ok(stream) => {
                     consecutive_failures = 0;
-                    // Connection budget: never spawn more handler threads
-                    // than configured. Over-budget clients get a fast,
-                    // best-effort 503 on the accept thread (bounded by a
-                    // short write timeout) rather than a silent reset.
-                    if active.load(Ordering::SeqCst) >= self.cfg.max_connections {
+                    // Connection budget: never spawn more handler
+                    // threads than configured. Over-budget clients get
+                    // a fast, best-effort 503 on the accept thread
+                    // (bounded by a short write timeout) rather than a
+                    // silent reset.
+                    if ctx.stats.open_connections() >= ctx.cfg.max_connections {
                         reject_over_budget(stream);
                         continue;
                     }
-                    let guard = ConnGuard::enter(&active);
-                    let registry = Arc::clone(&self.registry);
-                    let cfg = self.cfg.clone();
-                    let conn_stop = Arc::clone(stop);
+                    let guard = ConnGuard::enter(&ctx.stats);
+                    let conn_ctx = Arc::clone(&ctx);
                     let spawned = std::thread::Builder::new()
                         .name("uadb-serve-conn".to_string())
                         .spawn(move || {
                             let _guard = guard;
-                            handle_connection(stream, &registry, &cfg, &conn_stop);
+                            handle_connection(stream, &conn_ctx);
                         });
                     // A failed spawn drops the guard, releasing the slot.
                     if let Err(e) = spawned {
@@ -206,177 +675,43 @@ impl Server {
 
 /// RAII slot in the connection budget.
 struct ConnGuard {
-    active: Arc<AtomicUsize>,
+    stats: Arc<ServerStats>,
 }
 
 impl ConnGuard {
-    fn enter(active: &Arc<AtomicUsize>) -> Self {
-        active.fetch_add(1, Ordering::SeqCst);
-        Self { active: Arc::clone(active) }
+    fn enter(stats: &Arc<ServerStats>) -> Self {
+        stats.conn_opened();
+        Self { stats: Arc::clone(stats) }
     }
 }
 
 impl Drop for ConnGuard {
     fn drop(&mut self) {
-        self.active.fetch_sub(1, Ordering::SeqCst);
+        self.stats.conn_closed();
     }
 }
 
-fn reject_over_budget(mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let response = Response::error(503, "Service Unavailable", "connection budget exhausted");
-    let _ = write_response(&mut stream, &response, true);
-}
-
-impl ServerHandle {
-    /// Address the server is listening on.
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// The registry the running server routes over (hot reload, tests).
-    pub fn registry(&self) -> &Arc<ModelRegistry> {
-        &self.registry
-    }
-
-    /// Stops the accept loop and joins the server thread. Connection
-    /// handler threads see the stop flag after at most one more request
-    /// and answer it with `Connection: close`.
-    pub fn shutdown(mut self) {
-        self.stop_and_join();
-    }
-
-    fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept call. Connecting to the *bound* address
-        // would hang forever for 0.0.0.0/:: (unspecified addresses are
-        // not routable connect targets on every platform), so aim at the
-        // loopback of the same family and port instead.
-        let _ = TcpStream::connect_timeout(&unblock_addr(self.addr), Duration::from_secs(1));
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+pub(crate) fn reject_over_budget(stream: TcpStream) {
+    // This runs inline on the accept thread, so it must not block on a
+    // hostile peer at all: ONE nonblocking read drains a typical
+    // already-arrived request so the close after the 503 sends a clean
+    // FIN (dropping a socket with unread input raises an RST that can
+    // race ahead of the response), and the ~130-byte 503 always fits a
+    // fresh socket's send buffer. A client still streaming gets its
+    // RST after all. If the socket cannot even be made nonblocking,
+    // just drop it.
+    let mut stream = stream;
+    if stream.set_nonblocking(true).is_ok() {
+        let mut scratch = [0u8; 16 * 1024];
+        let _ = stream.read(&mut scratch);
+        let mut out = Vec::new();
+        over_budget_response().serialize_into(&mut out, true);
+        let _ = stream.write(&out);
     }
 }
 
-/// The address used to wake up `accept` during shutdown: the bound
-/// address, with an unspecified IP (`0.0.0.0` / `::`) replaced by the
-/// loopback of the same family.
-fn unblock_addr(bound: SocketAddr) -> SocketAddr {
-    let ip = match bound.ip() {
-        IpAddr::V4(v4) if v4.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
-        IpAddr::V6(v6) if v6.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
-        ip => ip,
-    };
-    SocketAddr::new(ip, bound.port())
-}
-
-impl Drop for ServerHandle {
-    fn drop(&mut self) {
-        self.stop_and_join();
-    }
-}
-
-struct Request {
-    method: String,
-    path: String,
-    body: Vec<u8>,
-    /// Whether the *client* allows the connection to stay open
-    /// (HTTP/1.1 without `Connection: close`, or HTTP/1.0 with an
-    /// explicit `Connection: keep-alive`).
-    keep_alive: bool,
-}
-
-struct Response {
-    status: u16,
-    reason: &'static str,
-    body: String,
-}
-
-impl Response {
-    fn json(status: u16, reason: &'static str, value: &Value) -> Self {
-        Self { status, reason, body: json::to_string(value) }
-    }
-
-    fn error(status: u16, reason: &'static str, message: &str) -> Self {
-        Self::json(status, reason, &json::object([("error", Value::String(message.to_string()))]))
-    }
-}
-
-/// Why reading the next request off a connection stopped.
-enum ReadError {
-    /// Clean end: the peer closed the socket, or the idle timeout
-    /// expired, before any byte of a new request arrived. Not an error —
-    /// just close quietly.
-    Closed,
-    /// Malformed request (answered with `400`, then close).
-    Bad(String),
-    /// Well-formed but unimplemented framing, e.g. `Transfer-Encoding:
-    /// chunked` (answered with `501`, then close).
-    Unsupported(String),
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    registry: &Arc<ModelRegistry>,
-    cfg: &ServerConfig,
-    stop: &AtomicBool,
-) {
-    let peer = stream.peer_addr().ok();
-    let _ = stream.set_write_timeout(Some(effective_timeout(cfg.io_timeout)));
-    let reader_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(reader_stream);
-    let mut writer = stream;
-    let mut served = 0usize;
-    loop {
-        let request = match read_request(&mut reader, cfg) {
-            Ok(req) => req,
-            Err(ReadError::Closed) => break,
-            Err(ReadError::Bad(msg)) => {
-                let _ =
-                    write_response(&mut writer, &Response::error(400, "Bad Request", &msg), true);
-                break;
-            }
-            Err(ReadError::Unsupported(msg)) => {
-                let response = Response::error(501, "Not Implemented", &msg);
-                let _ = write_response(&mut writer, &response, true);
-                break;
-            }
-        };
-        served += 1;
-        // Close after this response if the client asked for it, the
-        // per-connection request budget is spent, or the server is
-        // shutting down.
-        let close = !request.keep_alive
-            || served >= cfg.max_requests_per_conn
-            || stop.load(Ordering::SeqCst);
-        let response = route(&request, registry);
-        if let Err(e) = write_response(&mut writer, &response, close) {
-            if let Some(p) = peer {
-                eprintln!("uadb-serve: write to {p} failed: {e}");
-            }
-            break;
-        }
-        if close {
-            break;
-        }
-    }
-}
-
-fn write_response(w: &mut TcpStream, response: &Response, close: bool) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        response.status,
-        response.reason,
-        response.body.len(),
-        if close { "close" } else { "keep-alive" },
-    );
-    w.write_all(head.as_bytes())?;
-    w.write_all(response.body.as_bytes())?;
-    w.flush()
+pub(crate) fn over_budget_response() -> Response {
+    Response::error(503, "Service Unavailable", "connection budget exhausted")
 }
 
 /// A socket timeout that is always *set*: `set_read_timeout(Some(ZERO))`
@@ -389,145 +724,233 @@ fn effective_timeout(d: Duration) -> Duration {
     d.max(Duration::from_millis(1))
 }
 
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    cfg: &ServerConfig,
-) -> Result<Request, ReadError> {
-    // Between requests the connection may idle up to `idle_timeout`;
-    // once the first byte of a request line lands, the stricter
-    // `io_timeout` governs the rest of the head and the body.
-    let _ = reader.get_ref().set_read_timeout(Some(effective_timeout(cfg.idle_timeout)));
-    let mut line = String::new();
-    take_request_line(reader, &mut line)?;
-    let _ = reader.get_ref().set_read_timeout(Some(effective_timeout(cfg.io_timeout)));
-
-    let mut parts = line.split_whitespace();
-    let method =
-        parts.next().ok_or_else(|| ReadError::Bad("empty request line".into()))?.to_string();
-    let path =
-        parts.next().ok_or_else(|| ReadError::Bad("missing request path".into()))?.to_string();
-    let version = parts.next().ok_or_else(|| ReadError::Bad("missing HTTP version".into()))?;
-    let http11 = match version {
-        "HTTP/1.1" => true,
-        "HTTP/1.0" => false,
-        other => return Err(ReadError::Bad(format!("unsupported protocol {other}"))),
-    };
-
-    let mut content_length: Option<usize> = None;
-    let mut connection_close = false;
-    let mut connection_keep_alive = false;
-    let mut head_bytes = line.len();
-    loop {
-        line.clear();
-        take_line(reader, &mut line)?;
-        head_bytes += line.len() + 2;
-        if head_bytes > MAX_HEAD {
-            return Err(ReadError::Bad("request head too large".into()));
-        }
-        if line.is_empty() {
-            break;
-        }
-        let Some((name, value)) = line.split_once(':') else { continue };
-        let name = name.trim();
-        let value = value.trim();
-        if name.eq_ignore_ascii_case("content-length") {
-            // RFC 9112 §6.3: duplicate or conflicting Content-Length
-            // headers are a framing attack vector (request smuggling);
-            // reject them outright rather than picking one.
-            let parsed: usize = value
-                .parse()
-                .map_err(|_| ReadError::Bad(format!("invalid Content-Length `{value}`")))?;
-            if content_length.is_some() {
-                return Err(ReadError::Bad("duplicate Content-Length header".into()));
+/// One connection, one thread: read into a buffer, drain every request
+/// the buffer holds through the shared parser/router, serialize all
+/// their responses into one write buffer, flush once per burst.
+fn handle_connection(mut stream: TcpStream, ctx: &DriverCtx) {
+    let cfg = &ctx.cfg;
+    let peer = stream.peer_addr().ok();
+    let _ = stream.set_write_timeout(Some(effective_timeout(cfg.io_timeout)));
+    let mut rbuf: Vec<u8> = Vec::with_capacity(4096);
+    let mut wbuf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut served = 0usize;
+    'conn: loop {
+        // Drain the pipelined burst already buffered: every complete
+        // request is routed and its response appended to one write
+        // buffer, flushed once below.
+        let mut rpos = 0usize;
+        loop {
+            match parse_request(&rbuf[rpos..]) {
+                Parse::Partial => break,
+                Parse::Bad(msg) => {
+                    Response::error(400, "Bad Request", &msg).serialize_into(&mut wbuf, true);
+                    let _ = stream.write_all(&wbuf);
+                    break 'conn;
+                }
+                Parse::Unsupported(msg) => {
+                    Response::error(501, "Not Implemented", &msg).serialize_into(&mut wbuf, true);
+                    let _ = stream.write_all(&wbuf);
+                    break 'conn;
+                }
+                Parse::Complete { request, consumed } => {
+                    rpos += consumed;
+                    served += 1;
+                    // Close after this response if the client asked for
+                    // it, the per-connection request budget is spent,
+                    // or the server is shutting down.
+                    let close = !request.keep_alive
+                        || served >= cfg.max_requests_per_conn
+                        || ctx.stop.is_stopped();
+                    let route_ctx = RouteCtx { registry: &ctx.registry, stats: &ctx.stats };
+                    let response = match route(&request, &route_ctx) {
+                        Routed::Ready(r) => r,
+                        Routed::Score(task) => task.run_blocking(),
+                    };
+                    response.serialize_into(&mut wbuf, close);
+                    if close {
+                        if let Err(e) = stream.write_all(&wbuf) {
+                            if let Some(p) = peer {
+                                eprintln!("uadb-serve: write to {p} failed: {e}");
+                            }
+                        }
+                        break 'conn;
+                    }
+                }
             }
-            content_length = Some(parsed);
-        } else if name.eq_ignore_ascii_case("transfer-encoding") {
-            // We never advertise chunked support; a body we cannot frame
-            // must be refused, not silently read as length 0.
-            return Err(ReadError::Unsupported(format!(
-                "Transfer-Encoding `{value}` is not supported; send a Content-Length body"
-            )));
-        } else if name.eq_ignore_ascii_case("connection") {
-            for token in value.split(',') {
-                let token = token.trim();
-                if token.eq_ignore_ascii_case("close") {
-                    connection_close = true;
-                } else if token.eq_ignore_ascii_case("keep-alive") {
-                    connection_keep_alive = true;
+        }
+        rbuf.drain(..rpos);
+        if !wbuf.is_empty() {
+            if let Err(e) = stream.write_all(&wbuf) {
+                if let Some(p) = peer {
+                    eprintln!("uadb-serve: write to {p} failed: {e}");
+                }
+                break;
+            }
+            wbuf.clear();
+        }
+        // Between requests the connection may idle up to `idle_timeout`;
+        // once the first bytes of a request have landed, the stricter
+        // `io_timeout` governs the rest of the head and the body.
+        let timeout = if rbuf.is_empty() { cfg.idle_timeout } else { cfg.io_timeout };
+        let _ = stream.set_read_timeout(Some(effective_timeout(timeout)));
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // Peer closed. Mid-request that is a truncated request,
+                // answered best-effort; between requests it is a clean
+                // close.
+                if !rbuf.is_empty() {
+                    let mut out = Vec::new();
+                    Response::error(400, "Bad Request", "truncated request")
+                        .serialize_into(&mut out, true);
+                    let _ = stream.write_all(&out);
+                }
+                break;
+            }
+            Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if rbuf.is_empty() {
+                    // Idle keep-alive connection ran out its grace
+                    // period: close quietly.
+                    break;
+                }
+                // Slow-loris: a request started but stalled mid-head or
+                // mid-body. Answer and close rather than pinning the
+                // thread.
+                let mut out = Vec::new();
+                stalled_response().serialize_into(&mut out, true);
+                let _ = stream.write_all(&out);
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// The answer both backends give a connection whose request stalled
+/// mid-transfer past the io timeout.
+pub(crate) fn stalled_response() -> Response {
+    Response::error(408, "Request Timeout", "request stalled mid-transfer")
+}
+
+// ============================ routing =================================
+
+/// What the router needs besides the request itself.
+pub(crate) struct RouteCtx<'a> {
+    pub(crate) registry: &'a Arc<ModelRegistry>,
+    pub(crate) stats: &'a ServerStats,
+}
+
+/// Routing outcome: either a finished response, or a scoring task the
+/// backend runs its own way (blocking thread vs. pool submission with a
+/// completion callback).
+pub(crate) enum Routed {
+    /// The response is ready now.
+    Ready(Response),
+    /// CPU-heavy scoring still has to happen.
+    Score(ScoreTask),
+}
+
+/// A validated scoring request: the target pool, the parsed shared
+/// batch, and which variant(s) to score.
+pub(crate) struct ScoreTask {
+    pool: Arc<ScoringPool>,
+    batch: Arc<Matrix>,
+    select: VariantSelect,
+}
+
+impl ScoreTask {
+    /// Scores on the calling thread (threaded backend): blocks on the
+    /// pool like any other in-process caller.
+    pub(crate) fn run_blocking(self) -> Response {
+        match self.select {
+            VariantSelect::Single(variant) => {
+                single_score_response(variant, self.pool.score_shared_variant(&self.batch, variant))
+            }
+            VariantSelect::Both => {
+                // Teacher first: a booster-only model 404s before any
+                // booster cycles are spent. Both sides score the same
+                // shared batch, so the pair is row-aligned by
+                // construction.
+                let teacher = match self.pool.score_shared_variant(&self.batch, Variant::Teacher) {
+                    Ok(s) => s,
+                    Err(e) => return score_error(&e),
+                };
+                match self.pool.score_shared_variant(&self.batch, Variant::Booster) {
+                    Ok(booster) => both_response(&booster, &teacher),
+                    Err(e) => score_error(&e),
                 }
             }
         }
     }
-    let content_length = content_length.unwrap_or(0);
-    if content_length > MAX_BODY {
-        return Err(ReadError::Bad(format!("body exceeds {MAX_BODY} bytes")));
-    }
-    // Grow the body buffer with the bytes that actually arrive instead
-    // of trusting Content-Length up front: a client declaring 64MB and
-    // then stalling holds only what it sent, not the declared size.
-    let mut body = Vec::new();
-    Read::by_ref(reader)
-        .take(content_length as u64)
-        .read_to_end(&mut body)
-        .map_err(|e| ReadError::Bad(format!("short body: {e}")))?;
-    if body.len() != content_length {
-        return Err(ReadError::Bad(format!(
-            "short body: got {} of {content_length} declared bytes",
-            body.len()
-        )));
-    }
-    let keep_alive =
-        if http11 { !connection_close } else { connection_keep_alive && !connection_close };
-    Ok(Request { method, path, body, keep_alive })
-}
 
-/// Reads the request line, mapping "nothing arrived" (peer closed, or
-/// idle timeout while keep-alive) to [`ReadError::Closed`].
-fn take_request_line(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-) -> Result<(), ReadError> {
-    let mut limited = Read::by_ref(reader).take(MAX_HEAD as u64 + 2);
-    match limited.read_line(line) {
-        Ok(0) => Err(ReadError::Closed),
-        Ok(_) if !line.ends_with('\n') => Err(ReadError::Bad("truncated request line".into())),
-        Ok(_) => {
-            trim_line_ending(line);
-            Ok(())
-        }
-        Err(e) => {
-            if line.is_empty()
-                && matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
-            {
-                // Idle keep-alive connection ran out its grace period.
-                Err(ReadError::Closed)
-            } else {
-                Err(ReadError::Bad(format!("read failure: {e}")))
+    /// Submits the scoring work to the pool and returns immediately;
+    /// `done` fires exactly once with the finished response, on a pool
+    /// worker thread (the reactor's completion callback enqueues it and
+    /// writes the wakeup pipe). `both` chains teacher → booster through
+    /// the pool without ever blocking a thread.
+    pub(crate) fn run_async(self, done: Box<dyn FnOnce(Response) + Send>) {
+        match self.select {
+            VariantSelect::Single(variant) => self.pool.submit(
+                &self.batch,
+                variant,
+                Box::new(move |result| done(single_score_response(variant, result))),
+            ),
+            VariantSelect::Both => {
+                let ScoreTask { pool, batch, .. } = self;
+                let pool2 = Arc::clone(&pool);
+                let batch2 = Arc::clone(&batch);
+                // Teacher first, exactly like the blocking path.
+                pool.submit(
+                    &batch,
+                    Variant::Teacher,
+                    Box::new(move |teacher| match teacher {
+                        Err(e) => done(score_error(&e)),
+                        Ok(teacher) => pool2.submit(
+                            &batch2,
+                            Variant::Booster,
+                            Box::new(move |booster| match booster {
+                                Err(e) => done(score_error(&e)),
+                                Ok(booster) => done(both_response(&booster, &teacher)),
+                            }),
+                        ),
+                    }),
+                );
             }
         }
     }
 }
 
-/// Reads a header line (after the request line); any failure here is a
-/// malformed request, not a clean close.
-fn take_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> Result<(), ReadError> {
-    // Cap the line read so a malicious peer cannot grow memory.
-    let mut limited = Read::by_ref(reader).take(MAX_HEAD as u64 + 2);
-    limited.read_line(line).map_err(|e| ReadError::Bad(format!("read failure: {e}")))?;
-    if !line.ends_with('\n') {
-        return Err(ReadError::Bad("truncated header line".into()));
-    }
-    trim_line_ending(line);
-    Ok(())
-}
-
-fn trim_line_ending(line: &mut String) {
-    while line.ends_with('\n') || line.ends_with('\r') {
-        line.pop();
+fn single_score_response(variant: Variant, result: Result<Vec<f64>, ScoreError>) -> Response {
+    match result {
+        Ok(scores) => Response::json(
+            200,
+            "OK",
+            &json::object([
+                ("scores", json::number_array(&scores)),
+                ("n", Value::Number(scores.len() as f64)),
+                ("variant", Value::String(variant.name().to_string())),
+            ]),
+        ),
+        Err(e) => score_error(&e),
     }
 }
 
-fn route(req: &Request, registry: &Arc<ModelRegistry>) -> Response {
+fn both_response(booster: &[f64], teacher: &[f64]) -> Response {
+    Response::json(
+        200,
+        "OK",
+        &json::object([
+            ("booster", json::number_array(booster)),
+            ("teacher", json::number_array(teacher)),
+            ("n", Value::Number(booster.len() as f64)),
+            ("variant", Value::String("both".to_string())),
+        ]),
+    )
+}
+
+pub(crate) fn route(req: &Request, ctx: &RouteCtx) -> Routed {
+    let registry = ctx.registry;
     // Routing is path-based; the query string only carries options
     // (currently `?variant=` on the score endpoints).
     let (path, query) = match req.path.split_once('?') {
@@ -535,16 +958,8 @@ fn route(req: &Request, registry: &Arc<ModelRegistry>) -> Response {
         None => (req.path.as_str(), None),
     };
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Response::json(
-            200,
-            "OK",
-            &json::object([
-                ("status", Value::String("ok".to_string())),
-                ("models", Value::Number(registry.len() as f64)),
-                ("default", registry.default_name().map(Value::String).unwrap_or(Value::Null)),
-            ]),
-        ),
+    let response = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => healthz(ctx),
         ("GET", ["models"]) => list_models(registry),
         ("GET", ["model"]) => match registry.default_pool() {
             Some(pool) => {
@@ -559,19 +974,52 @@ fn route(req: &Request, registry: &Arc<ModelRegistry>) -> Response {
             None => unknown_model(name),
         },
         ("POST", ["score"]) => match registry.default_pool() {
-            Some(pool) => score(req, &pool, query),
+            Some(pool) => {
+                if let Some(name) = registry.default_name() {
+                    registry.count_request(&name);
+                }
+                return score_routed(req, pool, query);
+            }
             None => Response::error(404, "Not Found", "no default model registered"),
         },
         ("POST", ["score", name]) => match registry.get(name) {
-            Some(pool) => score(req, &pool, query),
+            Some(pool) => {
+                registry.count_request(name);
+                return score_routed(req, pool, query);
+            }
             None => unknown_model(name),
         },
         ("POST", ["admin", "reload", name]) => reload_model(req, registry, name),
+        ("POST", ["admin", "teacher", name]) => attach_teacher(req, registry, name),
+        ("DELETE", ["admin", "teacher", name]) => detach_teacher(registry, name),
         ("GET", ["score"] | ["score", _]) => {
             Response::error(405, "Method Not Allowed", "use POST /score")
         }
         _ => Response::error(404, "Not Found", "unknown endpoint"),
-    }
+    };
+    Routed::Ready(response)
+}
+
+fn healthz(ctx: &RouteCtx) -> Response {
+    let requests: BTreeMap<String, Value> = ctx
+        .registry
+        .request_counts()
+        .into_iter()
+        .map(|(name, n)| (name, Value::Number(n as f64)))
+        .collect();
+    Response::json(
+        200,
+        "OK",
+        &json::object([
+            ("status", Value::String("ok".to_string())),
+            ("models", Value::Number(ctx.registry.len() as f64)),
+            ("default", ctx.registry.default_name().map(Value::String).unwrap_or(Value::Null)),
+            ("backend", Value::String(ctx.stats.backend().to_string())),
+            ("open_connections", Value::Number(ctx.stats.open_connections() as f64)),
+            ("max_connections", Value::Number(ctx.stats.max_connections() as f64)),
+            ("requests", Value::Object(requests)),
+        ]),
+    )
 }
 
 fn unknown_model(name: &str) -> Response {
@@ -605,25 +1053,42 @@ fn list_models(registry: &Arc<ModelRegistry>) -> Response {
     )
 }
 
+/// Pulls a required `{"path": "..."}` out of an admin request body.
+fn body_path(body: &[u8]) -> Result<Option<String>, Response> {
+    if body.is_empty() {
+        return Ok(None);
+    }
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::error(400, "Bad Request", "body is not UTF-8"))?;
+    let parsed =
+        json::parse(text).map_err(|e| Response::error(400, "Bad Request", &e.to_string()))?;
+    match parsed.get("path").map(|p| p.as_str()) {
+        Some(Some(p)) => Ok(Some(p.to_string())),
+        Some(None) => Err(Response::error(400, "Bad Request", "\"path\" must be a string")),
+        None => Err(Response::error(400, "Bad Request", "expected {\"path\": \"...\"}")),
+    }
+}
+
+fn registry_error(e: RegistryError) -> Response {
+    match e {
+        RegistryError::UnknownModel(_) | RegistryError::NoTeacher(_) => {
+            Response::error(404, "Not Found", &e.to_string())
+        }
+        RegistryError::NoSourcePath(_)
+        | RegistryError::InvalidName(_)
+        | RegistryError::TeacherMismatch { .. }
+        | RegistryError::TeacherKindMismatch { .. }
+        | RegistryError::ConcurrentSwap(_) => Response::error(409, "Conflict", &e.to_string()),
+        RegistryError::Load(_) => Response::error(422, "Unprocessable Entity", &e.to_string()),
+    }
+}
+
 fn reload_model(req: &Request, registry: &Arc<ModelRegistry>, name: &str) -> Response {
     // Optional body: {"path": "/new/model/file"}. An empty body reloads
     // from the entry's remembered source file.
-    let explicit_path = if req.body.is_empty() {
-        None
-    } else {
-        let text = match std::str::from_utf8(&req.body) {
-            Ok(t) => t,
-            Err(_) => return Response::error(400, "Bad Request", "body is not UTF-8"),
-        };
-        let parsed = match json::parse(text) {
-            Ok(v) => v,
-            Err(e) => return Response::error(400, "Bad Request", &e.to_string()),
-        };
-        match parsed.get("path").map(|p| p.as_str()) {
-            Some(Some(p)) => Some(p.to_string()),
-            Some(None) => return Response::error(400, "Bad Request", "\"path\" must be a string"),
-            None => return Response::error(400, "Bad Request", "expected {\"path\": \"...\"}"),
-        }
+    let explicit_path = match body_path(&req.body) {
+        Ok(p) => p,
+        Err(response) => return response,
     };
     match registry.reload(name, explicit_path.as_deref().map(Path::new)) {
         Ok(()) => {
@@ -637,18 +1102,54 @@ fn reload_model(req: &Request, registry: &Arc<ModelRegistry>, name: &str) -> Res
                 &json::object([("reloaded", Value::String(name.to_string())), ("model", info)]),
             )
         }
-        Err(e @ RegistryError::UnknownModel(_)) => {
-            Response::error(404, "Not Found", &e.to_string())
+        Err(e) => registry_error(e),
+    }
+}
+
+/// `POST /admin/teacher/{name}` — attach (or replace) a frozen teacher
+/// snapshot at runtime. The body names the snapshot file; the same
+/// kind/width validation as startup (`--model NAME=FILE,TEACHER`) runs
+/// before any pool is swapped, so a bad file can never break serving.
+fn attach_teacher(req: &Request, registry: &Arc<ModelRegistry>, name: &str) -> Response {
+    let path = match body_path(&req.body) {
+        Ok(Some(p)) => p,
+        Ok(None) => {
+            return Response::error(400, "Bad Request", "expected {\"path\": \"...\"} body")
         }
-        Err(
-            e @ (RegistryError::NoSourcePath(_)
-            | RegistryError::InvalidName(_)
-            | RegistryError::TeacherMismatch { .. }
-            | RegistryError::TeacherKindMismatch { .. }),
-        ) => Response::error(409, "Conflict", &e.to_string()),
-        Err(e @ RegistryError::Load(_)) => {
-            Response::error(422, "Unprocessable Entity", &e.to_string())
+        Err(response) => return response,
+    };
+    match registry.attach_teacher(name, Path::new(&path)) {
+        Ok(()) => {
+            let info = registry
+                .get(name)
+                .map(|pool| model_info(pool.model(), Some(pool.n_workers())))
+                .unwrap_or(Value::Null);
+            Response::json(
+                200,
+                "OK",
+                &json::object([("attached", Value::String(name.to_string())), ("model", info)]),
+            )
         }
+        Err(e) => registry_error(e),
+    }
+}
+
+/// `DELETE /admin/teacher/{name}` — detach the teacher snapshot;
+/// afterwards `?variant=teacher|both` are 404s again.
+fn detach_teacher(registry: &Arc<ModelRegistry>, name: &str) -> Response {
+    match registry.detach_teacher(name) {
+        Ok(()) => {
+            let info = registry
+                .get(name)
+                .map(|pool| model_info(pool.model(), Some(pool.n_workers())))
+                .unwrap_or(Value::Null);
+            Response::json(
+                200,
+                "OK",
+                &json::object([("detached", Value::String(name.to_string())), ("model", info)]),
+            )
+        }
+        Err(e) => registry_error(e),
     }
 }
 
@@ -752,76 +1253,48 @@ fn parse_variant(query: Option<&str>) -> Result<VariantSelect, String> {
 }
 
 /// Maps a scoring failure to its HTTP shape: a missing teacher is a
-/// 404 (the variant does not exist on this model), everything else is
-/// a request-level 422.
+/// 404 (the variant does not exist on this model), a dead worker is a
+/// 500 (server bug), everything else is a request-level 422.
 fn score_error(e: &ScoreError) -> Response {
     match e {
         ScoreError::TeacherNotLoaded => Response::error(404, "Not Found", &e.to_string()),
+        ScoreError::WorkerPanicked => Response::error(500, "Internal Server Error", &e.to_string()),
         _ => Response::error(422, "Unprocessable Entity", &e.to_string()),
     }
 }
 
-fn score(req: &Request, pool: &ScoringPool, query: Option<&str>) -> Response {
+/// Validates a score request (variant, UTF-8, JSON shape, matrix) into
+/// a [`ScoreTask`], or short-circuits with the error response.
+fn score_routed(req: &Request, pool: Arc<ScoringPool>, query: Option<&str>) -> Routed {
     let select = match parse_variant(query) {
         Ok(s) => s,
-        Err(msg) => return Response::error(400, "Bad Request", &msg),
+        Err(msg) => return Routed::Ready(Response::error(400, "Bad Request", &msg)),
     };
     let text = match std::str::from_utf8(&req.body) {
         Ok(t) => t,
-        Err(_) => return Response::error(400, "Bad Request", "body is not UTF-8"),
+        Err(_) => return Routed::Ready(Response::error(400, "Bad Request", "body is not UTF-8")),
     };
     let parsed = match json::parse(text) {
         Ok(v) => v,
-        Err(e) => return Response::error(400, "Bad Request", &e.to_string()),
+        Err(e) => return Routed::Ready(Response::error(400, "Bad Request", &e.to_string())),
     };
     let rows = match parsed.get("rows").and_then(Value::as_array) {
         Some(r) => r,
-        None => return Response::error(400, "Bad Request", "expected {\"rows\": [[...], ...]}"),
+        None => {
+            return Routed::Ready(Response::error(
+                400,
+                "Bad Request",
+                "expected {\"rows\": [[...], ...]}",
+            ))
+        }
     };
     let matrix = match rows_to_matrix(rows) {
         Ok(m) => m,
-        Err(msg) => return Response::error(400, "Bad Request", &msg),
+        Err(msg) => return Routed::Ready(Response::error(400, "Bad Request", &msg)),
     };
     // Hand the parsed batch to the pool as-is: shards borrow row ranges
     // from this one shared allocation instead of copying.
-    let batch = Arc::new(matrix);
-    match select {
-        VariantSelect::Single(variant) => match pool.score_shared_variant(&batch, variant) {
-            Ok(scores) => Response::json(
-                200,
-                "OK",
-                &json::object([
-                    ("scores", json::number_array(&scores)),
-                    ("n", Value::Number(scores.len() as f64)),
-                    ("variant", Value::String(variant.name().to_string())),
-                ]),
-            ),
-            Err(e) => score_error(&e),
-        },
-        VariantSelect::Both => {
-            // Teacher first: a booster-only model 404s before any
-            // booster cycles are spent. Both sides score the same shared
-            // batch, so the pair is row-aligned by construction.
-            let teacher = match pool.score_shared_variant(&batch, Variant::Teacher) {
-                Ok(s) => s,
-                Err(e) => return score_error(&e),
-            };
-            let booster = match pool.score_shared_variant(&batch, Variant::Booster) {
-                Ok(s) => s,
-                Err(e) => return score_error(&e),
-            };
-            Response::json(
-                200,
-                "OK",
-                &json::object([
-                    ("booster", json::number_array(&booster)),
-                    ("teacher", json::number_array(&teacher)),
-                    ("n", Value::Number(booster.len() as f64)),
-                    ("variant", Value::String("both".to_string())),
-                ]),
-            )
-        }
-    }
+    Routed::Score(ScoreTask { pool, batch: Arc::new(matrix), select })
 }
 
 pub(crate) fn rows_to_matrix(rows: &[Value]) -> Result<Matrix, String> {
@@ -849,4 +1322,115 @@ pub(crate) fn rows_to_matrix(rows: &[Value]) -> Result<Matrix, String> {
         return Err("rows are empty arrays".to_string());
     }
     Matrix::from_rows(&data).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(buf: &[u8]) -> (Request, usize) {
+        match parse_request(buf) {
+            Parse::Complete { request, consumed } => (request, consumed),
+            Parse::Partial => panic!("unexpectedly partial"),
+            Parse::Bad(m) => panic!("unexpectedly bad: {m}"),
+            Parse::Unsupported(m) => panic!("unexpectedly unsupported: {m}"),
+        }
+    }
+
+    #[test]
+    fn parser_handles_incremental_arrival() {
+        let wire = b"POST /score HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        // Every strict prefix is Partial; the full buffer completes.
+        for cut in 0..wire.len() {
+            assert!(
+                matches!(parse_request(&wire[..cut]), Parse::Partial),
+                "prefix of {cut} bytes should be partial"
+            );
+        }
+        let (req, consumed) = complete(wire);
+        assert_eq!(consumed, wire.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/score");
+        assert_eq!(req.body, b"body");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parser_consumes_pipelined_requests_one_at_a_time() {
+        let wire =
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /models HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (first, used) = complete(wire);
+        assert_eq!(first.path, "/healthz");
+        assert!(first.keep_alive);
+        let (second, used2) = complete(&wire[used..]);
+        assert_eq!(second.path, "/models");
+        assert!(!second.keep_alive);
+        assert_eq!(used + used2, wire.len());
+        assert!(matches!(parse_request(&wire[used + used2..]), Parse::Partial));
+    }
+
+    #[test]
+    fn parser_tolerates_bare_lf_and_http10_semantics() {
+        let (req, _) = complete(b"GET / HTTP/1.0\nConnection: keep-alive\n\n");
+        assert!(req.keep_alive);
+        let (req, _) = complete(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive);
+        let (req, _) = complete(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn parser_rejects_framing_attacks_and_oversize() {
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n"),
+            Parse::Bad(m) if m.contains("duplicate Content-Length")
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nContent-Length: 0, 0\r\n\r\n"),
+            Parse::Bad(m) if m.contains("invalid Content-Length")
+        ));
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Parse::Unsupported(_)
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/2\r\n\r\n"),
+            Parse::Bad(m) if m.contains("unsupported protocol")
+        ));
+        assert!(matches!(parse_request(b"\r\nGET / HTTP/1.1\r\n\r\n"), Parse::Bad(_)));
+        let huge = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(parse_request(huge.as_bytes()), Parse::Bad(m) if m.contains("exceeds")));
+        // An endless head is cut off at the cap even before the blank
+        // line ever arrives.
+        let mut endless = b"GET / HTTP/1.1\r\n".to_vec();
+        while endless.len() <= MAX_HEAD {
+            endless.extend_from_slice(b"X-Filler: yes\r\n");
+        }
+        assert!(matches!(parse_request(&endless), Parse::Bad(m) if m.contains("too large")));
+    }
+
+    #[test]
+    fn response_serialization_appends() {
+        let mut out = Vec::new();
+        Response::error(404, "Not Found", "nope").serialize_into(&mut out, false);
+        let first_len = out.len();
+        Response::error(400, "Bad Request", "also nope").serialize_into(&mut out, true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text[first_len..].starts_with("HTTP/1.1 400 Bad Request\r\n"));
+        assert!(text[first_len..].contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn io_mode_names_round_trip() {
+        for mode in [IoMode::Threads, IoMode::Epoll] {
+            assert_eq!(IoMode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(IoMode::from_name("uring"), None);
+        #[cfg(target_os = "linux")]
+        assert_eq!(IoMode::default_for_host(), IoMode::Epoll);
+        #[cfg(not(target_os = "linux"))]
+        assert_eq!(IoMode::default_for_host(), IoMode::Threads);
+    }
 }

@@ -13,11 +13,19 @@
 //!    the output independent of sharding and scheduling.
 //! 3. **Scoring server + CLI** — [`http::Server`] speaks HTTP/1.1 with
 //!    **persistent connections** (keep-alive, idle timeout, bounded
-//!    connection budget) over `std::net::TcpListener`, routing `POST
+//!    connection budget, pipelined-burst batched writes), routing `POST
 //!    /score[/{name}]`, `GET /model[/{name}]`, `GET /models`, `POST
-//!    /admin/reload/{name}` and `GET /healthz`; the `uadb-serve` binary
-//!    wires `train`/`score`/`serve`/`info` subcommands to the existing
-//!    teachers and datasets.
+//!    /admin/reload/{name}`, `POST`/`DELETE /admin/teacher/{name}` and
+//!    `GET /healthz`; the `uadb-serve` binary wires
+//!    `train`/`score`/`serve`/`info` subcommands to the existing
+//!    teachers and datasets. Request parsing and response
+//!    serialization are **sans-io** functions over byte buffers,
+//!    driven by one of two interchangeable [`http::ConnectionDriver`]
+//!    backends: classic thread-per-connection
+//!    ([`http::IoMode::Threads`]), or the [`reactor`] — a
+//!    single-threaded **epoll** readiness loop (Linux default,
+//!    `serve --io epoll`) that owns every client socket, so the
+//!    connection budget scales past thread counts.
 //! 4. **Multi-model routing** — [`registry::ModelRegistry`] holds N
 //!    named models, each with its own pool, behind one port, with
 //!    atomic hot reload that never drops in-flight connections.
@@ -69,13 +77,18 @@ pub mod json;
 pub mod model;
 pub mod persist;
 pub mod pool;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod registry;
 
-pub use http::{Server, ServerConfig, ServerHandle};
+pub use http::{
+    ConnectionDriver, DriverCtx, IoMode, Server, ServerConfig, ServerHandle, ServerStats,
+    StopSignal,
+};
 pub use model::{ModelMeta, ScoreError, ScoreWorkspace, ServedModel, TeacherModel, Variant};
 pub use persist::{
     load, load_file, load_record, load_record_file, load_teacher, load_teacher_file, save,
     save_file, save_teacher, save_teacher_file, PersistError, Record, FORMAT_VERSION,
 };
-pub use pool::{PoolConfig, ScoringPool};
+pub use pool::{PoolConfig, ScoreCallback, ScoringPool};
 pub use registry::{ModelRegistry, RegistryError};

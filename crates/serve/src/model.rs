@@ -78,7 +78,12 @@ impl Variant {
 /// A deployable UADB model: booster ensemble + train-time feature
 /// standardisation + score calibration + provenance — and optionally
 /// the frozen teacher it was distilled from, for teacher/booster A/B.
-#[derive(Debug)]
+///
+/// `Clone` copies the booster weights (the teacher snapshot is shared
+/// via `Arc`); the registry uses it to build a modified bundle — e.g.
+/// attach or detach a teacher at runtime — while requests in flight
+/// keep scoring against the original.
+#[derive(Debug, Clone)]
 pub struct ServedModel {
     model: UadbModel,
     standardizer: Standardizer,
@@ -106,6 +111,10 @@ pub enum ScoreError {
     TeacherNotLoaded,
     /// The frozen teacher itself failed to score.
     Teacher(DetectorError),
+    /// A scoring worker died (panicked) while the batch was in flight.
+    /// A server bug, not a request-level condition — reported as an
+    /// error instead of hanging or panicking the caller.
+    WorkerPanicked,
 }
 
 impl fmt::Display for ScoreError {
@@ -121,6 +130,9 @@ impl fmt::Display for ScoreError {
                 write!(f, "no teacher snapshot is loaded for this model")
             }
             ScoreError::Teacher(e) => write!(f, "teacher failed to score: {e}"),
+            ScoreError::WorkerPanicked => {
+                write!(f, "a scoring worker died while the batch was in flight")
+            }
         }
     }
 }
@@ -323,6 +335,12 @@ impl ServedModel {
         }
         self.teacher = Some(teacher);
         Ok(())
+    }
+
+    /// Detaches the frozen teacher, returning it if one was loaded;
+    /// afterwards `?variant=teacher|both` requests are 404s again.
+    pub fn detach_teacher(&mut self) -> Option<Arc<TeacherModel>> {
+        self.teacher.take()
     }
 
     /// The attached frozen teacher, if one is loaded.

@@ -9,8 +9,15 @@
 //!
 //! Workers are `std::thread`s living as long as the pool, pulling jobs
 //! from a shared queue (work stealing via `Mutex<Receiver>`); each job
-//! carries its own reply channel, so concurrent [`ScoringPool::score`]
-//! calls from different HTTP connections interleave safely.
+//! carries a shared batch-completion state, so concurrent requests from
+//! different HTTP connections interleave safely.
+//!
+//! Completion is **callback-driven**: the last shard to finish invokes
+//! the batch's completion callback on its worker thread. The blocking
+//! [`ScoringPool::score_shared_variant`] wraps that in a channel wait;
+//! the epoll reactor instead passes a callback that enqueues the result
+//! and writes its wakeup pipe ([`ScoringPool::submit`]), so scoring
+//! never blocks the event loop.
 //!
 //! Allocation discipline: a job *borrows* its row range from the
 //! request batch (one shared `Arc<Matrix>`, no per-shard copy), each
@@ -23,10 +30,16 @@
 //! a comparison tool, not the production hot path).
 
 use crate::model::{ScoreError, ScoreWorkspace, ServedModel, Variant};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use uadb_linalg::Matrix;
+
+/// Completion callback a scoring submission fires exactly once, on
+/// whichever worker thread finishes the batch's last shard (or inline,
+/// for batches that never reach the queue).
+pub type ScoreCallback = Box<dyn FnOnce(Result<Vec<f64>, ScoreError>) + Send>;
 
 /// Pool sizing.
 #[derive(Debug, Clone)]
@@ -67,8 +80,61 @@ impl PoolConfig {
     }
 }
 
+/// Shared per-batch completion state: the preallocated output vector,
+/// the count of shards still in flight, the deterministically chosen
+/// error (lowest shard low-row wins regardless of completion order),
+/// and the one-shot completion callback.
+struct BatchState {
+    out: Mutex<Vec<f64>>,
+    remaining: AtomicUsize,
+    first_err: Mutex<Option<(usize, ScoreError)>>,
+    done: Mutex<Option<ScoreCallback>>,
+}
+
+impl BatchState {
+    fn new(n: usize, n_shards: usize, done: ScoreCallback) -> Arc<Self> {
+        Arc::new(Self {
+            out: Mutex::new(vec![0.0; n]),
+            remaining: AtomicUsize::new(n_shards),
+            first_err: Mutex::new(None),
+            done: Mutex::new(Some(done)),
+        })
+    }
+
+    /// Records one shard's outcome; the call that drops `remaining` to
+    /// zero takes the callback and fires it outside every lock.
+    fn record(&self, lo: usize, result: Result<(), ScoreError>) {
+        if let Err(e) = result {
+            let mut guard = self.first_err.lock().unwrap_or_else(|p| p.into_inner());
+            if guard.as_ref().is_none_or(|(prev_lo, _)| lo < *prev_lo) {
+                *guard = Some((lo, e));
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let done = self.done.lock().unwrap_or_else(|p| p.into_inner()).take();
+            let err = self.first_err.lock().unwrap_or_else(|p| p.into_inner()).take();
+            let outcome = match err {
+                Some((_, e)) => Err(e),
+                None => {
+                    let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
+                    Ok(std::mem::take(&mut *out))
+                }
+            };
+            if let Some(done) = done {
+                done(outcome);
+            }
+        }
+    }
+}
+
 /// One shard of a scoring request: rows `lo..hi` of the shared batch,
-/// scored into `out[lo..hi]`.
+/// scored into the batch state's `out[lo..hi]`.
+///
+/// The `Drop` guard makes shard accounting panic-proof: a job dropped
+/// without reporting (worker panicked mid-score, or the queue was torn
+/// down with jobs still buffered) counts itself as a
+/// [`ScoreError::WorkerPanicked`] failure, so the batch completes with
+/// an error instead of hanging its caller forever.
 struct Job {
     batch: Arc<Matrix>,
     lo: usize,
@@ -77,10 +143,23 @@ struct Job {
     /// Teacher shards are per-row too, so shard-independence holds for
     /// both variants.
     variant: Variant,
-    out: Arc<Mutex<Vec<f64>>>,
-    /// Reports the shard's low row (for deterministic error selection)
-    /// and its outcome.
-    reply: Sender<(usize, Result<(), ScoreError>)>,
+    state: Arc<BatchState>,
+    reported: bool,
+}
+
+impl Job {
+    fn finish(mut self, result: Result<(), ScoreError>) {
+        self.reported = true;
+        self.state.record(self.lo, result);
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        if !self.reported {
+            self.state.record(self.lo, Err(ScoreError::WorkerPanicked));
+        }
+    }
 }
 
 /// A fixed pool of scoring workers over one loaded model.
@@ -145,11 +224,9 @@ impl ScoringPool {
     /// is copied or allocated. Output order matches input order and is
     /// independent of worker count and scheduling; on error, the error
     /// of the lowest-indexed failing shard is returned regardless of
-    /// completion order.
-    ///
-    /// # Panics
-    /// If a worker thread died (a scoring panic), which is a bug, not a
-    /// request-level condition.
+    /// completion order. A worker dying mid-batch (a scoring panic,
+    /// i.e. a server bug) reports [`ScoreError::WorkerPanicked`]
+    /// instead of hanging.
     pub fn score_shared(&self, raw: &Arc<Matrix>) -> Result<Vec<f64>, ScoreError> {
         self.score_shared_variant(raw, Variant::Booster)
     }
@@ -160,21 +237,50 @@ impl ScoringPool {
     /// both sides of an A/B. Returns
     /// [`ScoreError::TeacherNotLoaded`] when the teacher variant is
     /// requested on a booster-only model.
+    ///
+    /// Blocking wrapper over [`ScoringPool::submit`].
     pub fn score_shared_variant(
         &self,
         raw: &Arc<Matrix>,
         variant: Variant,
     ) -> Result<Vec<f64>, ScoreError> {
+        let (tx, rx) = channel();
+        self.submit(
+            raw,
+            variant,
+            Box::new(move |result| {
+                // A dropped receiver (caller bailed) is fine — discard.
+                let _ = tx.send(result);
+            }),
+        );
+        // The callback is guaranteed to fire (the Job drop guard covers
+        // even a worker panic), so a recv error can only mean the
+        // sender was dropped on a dead worker's stack mid-send.
+        rx.recv().unwrap_or(Err(ScoreError::WorkerPanicked))
+    }
+
+    /// Non-blocking scoring submission: shards the shared batch onto
+    /// the worker queue and returns immediately; `done` fires exactly
+    /// once with the assembled result, on whichever worker thread
+    /// completes the last shard (or inline on the calling thread for
+    /// batches that short-circuit, e.g. zero rows or a missing
+    /// teacher).
+    ///
+    /// This is the event-loop entry point: the epoll reactor passes a
+    /// callback that pushes the finished response onto its completion
+    /// queue and writes its wakeup pipe, so the reactor thread never
+    /// blocks on scoring.
+    pub fn submit(&self, raw: &Arc<Matrix>, variant: Variant, done: ScoreCallback) {
         if variant == Variant::Teacher && self.model.teacher().is_none() {
-            return Err(ScoreError::TeacherNotLoaded);
+            return done(Err(ScoreError::TeacherNotLoaded));
         }
         let n = raw.rows();
         if n == 0 {
             // Preserve the model's validation semantics on empty input.
-            return match variant {
+            return done(match variant {
                 Variant::Booster => self.model.score_rows(raw),
                 Variant::Teacher => self.model.teacher().expect("checked above").score_rows(raw),
-            };
+            });
         }
         // Even a single-shard batch goes through the queue: the fixed
         // worker set is what bounds CPU concurrency, and scoring on the
@@ -182,8 +288,7 @@ impl ScoringPool {
         // simultaneous forward passes.
         let n_shards = n.div_ceil(self.shard_rows);
         let queue = self.queue.as_ref().expect("pool not shut down");
-        let out = Arc::new(Mutex::new(vec![0.0; n]));
-        let (reply_tx, reply_rx) = channel();
+        let state = BatchState::new(n, n_shards, done);
         for shard_idx in 0..n_shards {
             let lo = shard_idx * self.shard_rows;
             let hi = (lo + self.shard_rows).min(n);
@@ -192,33 +297,20 @@ impl ScoringPool {
                 lo,
                 hi,
                 variant,
-                out: Arc::clone(&out),
-                reply: reply_tx.clone(),
+                state: Arc::clone(&state),
+                reported: false,
             };
-            queue.send(job).expect("scoring workers alive");
-        }
-        drop(reply_tx);
-        // Drain every shard before deciding the outcome so the reported
-        // error does not depend on scheduling order.
-        let mut received = 0;
-        let mut first_err: Option<(usize, ScoreError)> = None;
-        while let Ok((lo, result)) = reply_rx.recv() {
-            received += 1;
-            if let Err(e) = result {
-                if first_err.as_ref().is_none_or(|(prev_lo, _)| lo < *prev_lo) {
-                    first_err = Some((lo, e));
-                }
+            // The receiver lives inside the worker threads; if every
+            // worker has died (scoring panics — a server bug), the
+            // channel is closed and the send returns the job, whose
+            // drop guard records the shard as WorkerPanicked. The batch
+            // then still completes with a typed error instead of
+            // hanging its caller or panicking the submitting thread
+            // (which may be the reactor's event loop).
+            if let Err(returned) = queue.send(job) {
+                drop(returned);
             }
         }
-        assert_eq!(received, n_shards, "a scoring worker died mid-batch");
-        if let Some((_, e)) = first_err {
-            return Err(e);
-        }
-        // Workers may still hold their `Arc` clones for an instant
-        // after replying; move the buffer out under the lock instead of
-        // waiting for the reference count to settle.
-        let mut guard = out.lock().unwrap_or_else(|e| e.into_inner());
-        Ok(std::mem::take(&mut *guard))
     }
 }
 
@@ -244,23 +336,29 @@ fn worker_loop(model: &ServedModel, rx: &Mutex<Receiver<Job>>) {
             Err(_) => return,
         };
         match job {
-            Ok(Job { batch, lo, hi, variant, out, reply }) => {
-                let result = match variant {
-                    Variant::Booster => match model.score_range_into(&batch, lo, hi, &mut ws) {
-                        Ok(scores) => {
-                            // A poisoned output lock means another shard's
-                            // copy panicked; the recv-count assert surfaces
-                            // that, so just keep the data path moving.
-                            let mut guard = out.lock().unwrap_or_else(|e| e.into_inner());
-                            guard[lo..hi].copy_from_slice(scores);
-                            Ok(())
-                        }
-                        Err(e) => Err(e),
-                    },
-                    Variant::Teacher => match model.teacher() {
-                        Some(teacher) => match teacher.score_range(&batch, lo, hi) {
+            Ok(job) => {
+                let (lo, hi) = (job.lo, job.hi);
+                let result = match job.variant {
+                    Variant::Booster => {
+                        match model.score_range_into(&job.batch, lo, hi, &mut ws) {
                             Ok(scores) => {
-                                let mut guard = out.lock().unwrap_or_else(|e| e.into_inner());
+                                // A poisoned output lock means another
+                                // shard's copy panicked; the Job drop
+                                // guard surfaces that, so just keep the
+                                // data path moving.
+                                let mut guard =
+                                    job.state.out.lock().unwrap_or_else(|e| e.into_inner());
+                                guard[lo..hi].copy_from_slice(scores);
+                                Ok(())
+                            }
+                            Err(e) => Err(e),
+                        }
+                    }
+                    Variant::Teacher => match model.teacher() {
+                        Some(teacher) => match teacher.score_range(&job.batch, lo, hi) {
+                            Ok(scores) => {
+                                let mut guard =
+                                    job.state.out.lock().unwrap_or_else(|e| e.into_inner());
                                 guard[lo..hi].copy_from_slice(&scores);
                                 Ok(())
                             }
@@ -269,9 +367,7 @@ fn worker_loop(model: &ServedModel, rx: &Mutex<Receiver<Job>>) {
                         None => Err(ScoreError::TeacherNotLoaded),
                     },
                 };
-                // A dropped reply receiver (caller bailed) is fine —
-                // discard.
-                let _ = reply.send((lo, result));
+                job.finish(result);
             }
             Err(_) => return, // Pool dropped.
         }
@@ -333,6 +429,57 @@ mod tests {
         assert_eq!(pool.score(&bad), Err(ScoreError::NonFiniteFeature { row: 2 }));
         let wrong_width = Matrix::zeros(10, model.input_dim() + 2);
         assert!(matches!(pool.score(&wrong_width), Err(ScoreError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn submit_fires_callback_without_blocking_the_caller() {
+        // The async path assembles shard results exactly like the
+        // blocking path, and the callback runs off the calling thread
+        // for real batches.
+        let model = Arc::new(tiny_model(25));
+        let data = fig5_dataset(AnomalyType::Local, 25);
+        let serial = model.score_rows(&data.x).unwrap();
+        let pool = ScoringPool::new(Arc::clone(&model), PoolConfig { workers: 2, shard_rows: 9 });
+        let batch = Arc::new(data.x.clone());
+        let (tx, rx) = channel();
+        pool.submit(
+            &batch,
+            Variant::Booster,
+            Box::new(move |result| {
+                let _ = tx.send((std::thread::current().name().map(str::to_string), result));
+            }),
+        );
+        let (worker_name, result) = rx.recv().unwrap();
+        let scores = result.unwrap();
+        assert_eq!(scores.len(), serial.len());
+        for (i, (a, b)) in scores.iter().zip(&serial).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+        }
+        // Real batches complete on a pool worker, not the caller.
+        assert!(
+            worker_name.as_deref().is_some_and(|n| n.starts_with("uadb-score-")),
+            "callback ran on {worker_name:?}"
+        );
+        // Short-circuit paths (empty batch, missing teacher) complete
+        // inline and still fire exactly once.
+        let (tx, rx) = channel();
+        pool.submit(
+            &Arc::new(Matrix::zeros(0, 0)),
+            Variant::Booster,
+            Box::new(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+        assert_eq!(rx.recv().unwrap().unwrap(), Vec::<f64>::new());
+        let (tx, rx) = channel();
+        pool.submit(
+            &batch,
+            Variant::Teacher,
+            Box::new(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+        assert_eq!(rx.recv().unwrap(), Err(ScoreError::TeacherNotLoaded));
     }
 
     #[test]

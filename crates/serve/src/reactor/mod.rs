@@ -1,0 +1,640 @@
+//! Event-driven epoll backend: every client socket owned by one
+//! readiness loop.
+//!
+//! The threaded backend spends one OS thread per connection, so its
+//! connection budget is capped by how many mostly-idle threads the host
+//! tolerates. This module replaces that with the classic reactor shape
+//! (Linux only, the Linux default — `serve --io epoll`):
+//!
+//! * **One loop, all sockets.** A nonblocking listener plus every
+//!   accepted connection registered with one epoll instance
+//!   ([`sys::Epoll`], raw `extern "C"` bindings — no new dependencies).
+//!   A connection costs a [`Conn`] struct and two byte buffers, not a
+//!   thread, so budgets of thousands are routine.
+//! * **Per-connection state machine.** Bytes read on readiness feed the
+//!   shared sans-io parser (`http::parse_request`); every complete
+//!   request routes through the shared router; responses serialize into
+//!   a per-connection write buffer with EAGAIN-aware partial-write
+//!   resumption. All responses produced by one readable burst flush in
+//!   a single `write` (request pipelining batches for free).
+//! * **Scoring never blocks the loop.** A scoring request is submitted
+//!   to the model's [`crate::pool::ScoringPool`] with a completion
+//!   callback that pushes the finished response onto a queue and writes
+//!   the **wakeup pipe**; the loop drains completions on wakeup. While
+//!   a connection waits for its score, its read interest is dropped —
+//!   natural backpressure that also bounds buffer growth.
+//! * **Timer wheel.** Idle and mid-request deadlines live in a hashed
+//!   wheel ([`timer::TimerWheel`]) with lazy cancellation: O(1) arming
+//!   per request, one live entry per connection, coarse-grained sweeps.
+//!   Idle connections close silently; a request stalled mid-transfer
+//!   (slow-loris) gets the same best-effort `408` as the threaded
+//!   backend.
+//! * **Shutdown via the same pipe.** The server handle's stop signal
+//!   registers a waker that writes the wakeup pipe, so `epoll_wait`
+//!   returns immediately and the loop tears down.
+//!
+//! Keep-alive semantics, the `503` connection budget, request caps and
+//! response bytes are identical to the threaded backend — the
+//! integration suite runs against both and asserts bit-identical
+//! scoring responses.
+
+mod sys;
+mod timer;
+
+use crate::http::{
+    over_budget_response, parse_request, route, stalled_response, ConnectionDriver, DriverCtx,
+    IoMode, Parse, Response, RouteCtx, Routed, MAX_ACCEPT_FAILURES,
+};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use sys::{
+    Epoll, EpollEvent, WakePipe, WakeWriter, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+use timer::TimerWheel;
+
+/// Event token of the listening socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Event token of the wakeup pipe's read end.
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+/// Readiness events harvested per `epoll_wait`.
+const EVENT_BATCH: usize = 1024;
+/// Bytes read from one connection per readiness pass before yielding to
+/// the others (level-triggered epoll re-reports what remains).
+const MAX_READ_PER_PASS: usize = 256 * 1024;
+/// A partially flushed write buffer is compacted once the consumed
+/// prefix passes this size.
+const COMPACT_THRESHOLD: usize = 256 * 1024;
+
+/// Connection slots are addressed `(index, generation)`; the generation
+/// guards against a stale epoll event or timer entry touching a slot
+/// that was freed and reused for a newer connection.
+fn token(idx: u32, gen: u32) -> u64 {
+    (u64::from(gen) << 32) | u64::from(idx)
+}
+
+/// A finished scoring response travelling from a pool worker back to
+/// the reactor thread.
+struct Completion {
+    idx: u32,
+    gen: u32,
+    response: Response,
+    /// Whether this response closes the connection (decided at dispatch
+    /// time from keep-alive/max-requests/shutdown state).
+    close: bool,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    /// Unparsed request bytes (parsed requests are drained off the
+    /// front).
+    rbuf: Vec<u8>,
+    /// Serialized responses awaiting the socket.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has been written (partial-write resumption).
+    wpos: usize,
+    /// Requests served on this connection (max-requests cap).
+    served: usize,
+    /// Currently registered epoll interest.
+    interest: u32,
+    /// A scoring request is in flight; parsing and reading are paused
+    /// until its completion arrives.
+    waiting: bool,
+    /// Close once `wbuf` fully drains (error responses, `Connection:
+    /// close`, request cap, shutdown).
+    close_after_flush: bool,
+    /// Peer sent EOF; never read again, close once nothing is pending.
+    peer_eof: bool,
+    /// Authoritative deadline the timer wheel's lazy entries check.
+    deadline: Instant,
+    /// Sequence of the connection's one *live* wheel entry; entries
+    /// firing with an older sequence are stale and ignored.
+    timer_seq: u32,
+    /// When the live wheel entry fires. A deadline moving *later* is
+    /// handled lazily (the entry re-arms on fire); a deadline moving
+    /// *earlier* than this must arm a fresh entry, superseding the old
+    /// one via the sequence.
+    armed_for: Instant,
+}
+
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.wpos >= self.wbuf.len()
+    }
+}
+
+/// The epoll-backed [`ConnectionDriver`].
+pub struct EpollDriver;
+
+impl ConnectionDriver for EpollDriver {
+    fn name(&self) -> &'static str {
+        IoMode::Epoll.name()
+    }
+
+    fn run(&self, listener: TcpListener, ctx: DriverCtx) -> io::Result<()> {
+        Reactor::new(listener, ctx)?.run()
+    }
+}
+
+struct Reactor {
+    ep: Epoll,
+    listener: TcpListener,
+    pipe: WakePipe,
+    waker: Arc<WakeWriter>,
+    conns: Vec<Option<Conn>>,
+    /// Current generation per slot (bumped on free).
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    wheel: TimerWheel,
+    ctx: DriverCtx,
+    accept_failures: u32,
+}
+
+impl Reactor {
+    fn new(listener: TcpListener, ctx: DriverCtx) -> io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        let ep = Epoll::new()?;
+        ep.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        let (pipe, waker) = WakePipe::new()?;
+        ep.add(pipe.fd(), EPOLLIN, TOKEN_WAKE)?;
+        // Shutdown interrupts `epoll_wait` through the same pipe the
+        // scoring completions use.
+        let stop_waker = Arc::clone(&waker);
+        ctx.stop.set_waker(Box::new(move || stop_waker.wake()));
+        let now = Instant::now();
+        let span = ctx.cfg.idle_timeout.max(ctx.cfg.io_timeout);
+        Ok(Self {
+            ep,
+            listener,
+            pipe,
+            waker,
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            completions: Arc::new(Mutex::new(Vec::new())),
+            wheel: TimerWheel::new(now, span),
+            ctx,
+            accept_failures: 0,
+        })
+    }
+
+    fn open_conns(&self) -> usize {
+        self.conns.len() - self.free.len()
+    }
+
+    fn run(&mut self) -> io::Result<()> {
+        let mut events = vec![EpollEvent::zeroed(); EVENT_BATCH];
+        let mut expired = Vec::new();
+        loop {
+            if self.ctx.stop.is_stopped() {
+                break;
+            }
+            // With no connections there is nothing to time out: park
+            // until the listener or the wakeup pipe fires. Otherwise
+            // wake at the next wheel tick.
+            let timeout_ms =
+                if self.open_conns() == 0 { -1 } else { self.wheel.next_tick_ms(Instant::now()) };
+            let n = self.ep.wait(&mut events, timeout_ms)?;
+            if self.ctx.stop.is_stopped() {
+                break;
+            }
+            let now = Instant::now();
+            for ev in &events[..n] {
+                // Copies out of the (packed) event struct.
+                let (bits, data) = (ev.events, ev.data);
+                match data {
+                    TOKEN_LISTENER => self.accept_burst(now)?,
+                    TOKEN_WAKE => {
+                        self.pipe.drain();
+                        self.drain_completions();
+                    }
+                    tok => self.conn_event(tok, bits, now),
+                }
+            }
+            let now = Instant::now();
+            expired.clear();
+            self.wheel.advance(now, &mut expired);
+            for (idx, gen, seq) in expired.drain(..) {
+                self.timer_fired(idx, gen, seq, now);
+            }
+        }
+        // Teardown: close every connection so the budget counter ends
+        // balanced; sockets close on drop. Outstanding scoring
+        // completions harmlessly accumulate in the shared queue.
+        for idx in 0..self.conns.len() as u32 {
+            self.close_conn(idx);
+        }
+        Ok(())
+    }
+
+    // ------------------------- accept path ---------------------------
+
+    fn accept_burst(&mut self, now: Instant) -> io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.accept_failures = 0;
+                    if self.open_conns() >= self.ctx.cfg.max_connections {
+                        // Over budget: best-effort nonblocking 503 and
+                        // drop. ~130 bytes always fit a fresh socket's
+                        // send buffer. ONE bounded nonblocking read
+                        // first drains a typical already-arrived
+                        // request so the close sends a clean FIN
+                        // instead of an RST racing the 503 — never
+                        // more, because this runs on the event loop
+                        // and a client still streaming must not stall
+                        // every live connection. If the socket cannot
+                        // even be made nonblocking, just drop it.
+                        let mut stream = stream;
+                        if stream.set_nonblocking(true).is_ok() {
+                            let mut scratch = [0u8; 16 * 1024];
+                            let _ = stream.read(&mut scratch);
+                            let mut out = Vec::new();
+                            over_budget_response().serialize_into(&mut out, true);
+                            let _ = stream.write(&out);
+                        }
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let idx = self.alloc_slot();
+                    let gen = self.gens[idx as usize];
+                    let interest = EPOLLIN | EPOLLRDHUP;
+                    if self.ep.add(stream.as_raw_fd(), interest, token(idx, gen)).is_err() {
+                        self.free.push(idx);
+                        continue; // stream drops → closed
+                    }
+                    let deadline = now + self.ctx.cfg.idle_timeout;
+                    self.conns[idx as usize] = Some(Conn {
+                        stream,
+                        gen,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        wpos: 0,
+                        served: 0,
+                        interest,
+                        waiting: false,
+                        close_after_flush: false,
+                        peer_eof: false,
+                        deadline,
+                        timer_seq: 0,
+                        armed_for: deadline,
+                    });
+                    self.ctx.stats.conn_opened();
+                    // The one live wheel entry this connection has; it
+                    // re-arms itself against `deadline` until close.
+                    self.wheel.schedule(now, deadline, (idx, gen, 0));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) => {
+                    // Transient accept errors (aborted handshake, EMFILE
+                    // under fd pressure) shed the connection and keep
+                    // serving; a long unbroken run means the listener is
+                    // dead — exit so a supervisor can restart us.
+                    self.accept_failures += 1;
+                    if self.accept_failures >= MAX_ACCEPT_FAILURES {
+                        return Err(e);
+                    }
+                    eprintln!("uadb-serve: accept failed: {e}");
+                    return Ok(()); // re-armed by level-triggered epoll
+                }
+            }
+        }
+    }
+
+    fn alloc_slot(&mut self) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            idx
+        } else {
+            self.conns.push(None);
+            self.gens.push(0);
+            (self.conns.len() - 1) as u32
+        }
+    }
+
+    fn close_conn(&mut self, idx: u32) {
+        if let Some(conn) = self.conns[idx as usize].take() {
+            let _ = self.ep.delete(conn.stream.as_raw_fd());
+            // Invalidate in-flight events, timers and completions.
+            self.gens[idx as usize] = self.gens[idx as usize].wrapping_add(1);
+            self.free.push(idx);
+            self.ctx.stats.conn_closed();
+        }
+    }
+
+    // ------------------------ event dispatch -------------------------
+
+    fn conn_event(&mut self, tok: u64, bits: u32, now: Instant) {
+        let idx = (tok & u64::from(u32::MAX)) as u32;
+        let gen = (tok >> 32) as u32;
+        let Some(conn) = self.conns.get(idx as usize).and_then(|c| c.as_ref()) else {
+            return;
+        };
+        if conn.gen != gen {
+            return;
+        }
+        if bits & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close_conn(idx);
+            return;
+        }
+        if bits & (EPOLLIN | EPOLLRDHUP) != 0 {
+            self.readable(idx, now);
+        } else if bits & EPOLLOUT != 0 {
+            // `readable` ends in `sync`, which already flushes; only a
+            // pure write-readiness event needs an explicit pass.
+            self.sync(idx, now);
+        }
+    }
+
+    /// Pulls everything the socket has (bounded per pass), feeds the
+    /// parser/router, and flushes the burst's responses in one write.
+    fn readable(&mut self, idx: u32, now: Instant) {
+        let mut chunk = [0u8; 16 * 1024];
+        let mut eof = false;
+        let mut fatal = false;
+        {
+            let Some(conn) = self.conns[idx as usize].as_mut() else { return };
+            if conn.waiting || conn.close_after_flush || conn.peer_eof {
+                // Read interest is off in these states; a straggling
+                // level-triggered event changes nothing.
+                return;
+            }
+            let mut total = 0;
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&chunk[..n]);
+                        total += n;
+                        if total >= MAX_READ_PER_PASS {
+                            break; // level-triggered: the rest re-reports
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        fatal = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if fatal {
+            self.close_conn(idx);
+            return;
+        }
+        self.process(idx);
+        if eof {
+            if let Some(conn) = self.conns[idx as usize].as_mut() {
+                // The truncated-request 400 an EOF mid-request earns is
+                // issued by `sync` — which also runs after an in-flight
+                // score completes, so the answer is not lost when the
+                // EOF lands while a scoring request is still out.
+                conn.peer_eof = true;
+            }
+        }
+        self.sync(idx, now);
+    }
+
+    /// Parses and routes every complete request sitting in the read
+    /// buffer. Cheap endpoints respond inline (appended to the write
+    /// buffer); a scoring request pauses the connection until its pool
+    /// completion arrives. Stops early when a response demanded close.
+    fn process(&mut self, idx: u32) {
+        let completions = &self.completions;
+        let waker = &self.waker;
+        let ctx = &self.ctx;
+        let Some(conn) = self.conns[idx as usize].as_mut() else { return };
+        // Consumed bytes are tracked as an offset and drained ONCE when
+        // the loop exits — draining per request would memmove the rest
+        // of the buffer for every request of a pipelined burst, O(n²)
+        // on the event-loop thread.
+        let mut rpos = 0usize;
+        while !conn.waiting && !conn.close_after_flush {
+            match parse_request(&conn.rbuf[rpos..]) {
+                Parse::Partial => break,
+                Parse::Bad(msg) => {
+                    Response::error(400, "Bad Request", &msg).serialize_into(&mut conn.wbuf, true);
+                    conn.close_after_flush = true;
+                }
+                Parse::Unsupported(msg) => {
+                    Response::error(501, "Not Implemented", &msg)
+                        .serialize_into(&mut conn.wbuf, true);
+                    conn.close_after_flush = true;
+                }
+                Parse::Complete { request, consumed } => {
+                    rpos += consumed;
+                    conn.served += 1;
+                    // Close after this response if the client asked for
+                    // it, the per-connection request budget is spent, or
+                    // the server is shutting down.
+                    let close = !request.keep_alive
+                        || conn.served >= ctx.cfg.max_requests_per_conn
+                        || ctx.stop.is_stopped();
+                    let route_ctx = RouteCtx { registry: &ctx.registry, stats: &ctx.stats };
+                    match route(&request, &route_ctx) {
+                        Routed::Ready(response) => {
+                            response.serialize_into(&mut conn.wbuf, close);
+                            if close {
+                                conn.close_after_flush = true;
+                            }
+                        }
+                        Routed::Score(task) => {
+                            conn.waiting = true;
+                            let completions = Arc::clone(completions);
+                            let waker = Arc::clone(waker);
+                            let gen = conn.gen;
+                            task.run_async(Box::new(move |response| {
+                                completions
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .push(Completion { idx, gen, response, close });
+                                waker.wake();
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        conn.rbuf.drain(..rpos);
+    }
+
+    /// Applies finished scoring responses, resumes parsing of any
+    /// pipelined requests that queued up behind them, and flushes.
+    fn drain_completions(&mut self) {
+        let pending =
+            std::mem::take(&mut *self.completions.lock().unwrap_or_else(|e| e.into_inner()));
+        let now = Instant::now();
+        for Completion { idx, gen, response, close } in pending {
+            {
+                let Some(conn) = self.conns.get_mut(idx as usize).and_then(|c| c.as_mut()) else {
+                    continue; // connection died while scoring
+                };
+                if conn.gen != gen {
+                    continue;
+                }
+                conn.waiting = false;
+                response.serialize_into(&mut conn.wbuf, close);
+                if close {
+                    conn.close_after_flush = true;
+                }
+            }
+            if !close {
+                self.process(idx);
+            }
+            self.sync(idx, now);
+        }
+    }
+
+    /// Flushes what the socket will take, closes if the connection is
+    /// finished, and reconciles epoll interest and the deadline with
+    /// the connection's state.
+    fn sync(&mut self, idx: u32, now: Instant) {
+        {
+            let Some(conn) = self.conns[idx as usize].as_mut() else { return };
+            // A half-closed peer with leftover unparseable bytes sent a
+            // truncated request: answer it best-effort before closing,
+            // exactly like the threaded backend. This runs after
+            // `process`, so the leftovers are genuinely partial — and
+            // runs again once an in-flight score completes, so the
+            // answer is not lost when the EOF landed mid-score.
+            if conn.peer_eof && !conn.waiting && !conn.close_after_flush && !conn.rbuf.is_empty() {
+                Response::error(400, "Bad Request", "truncated request")
+                    .serialize_into(&mut conn.wbuf, true);
+                conn.close_after_flush = true;
+                conn.rbuf.clear();
+            }
+        }
+        if !self.flush(idx) {
+            return; // closed (fully drained + close_after_flush, or error)
+        }
+        let Some(conn) = self.conns[idx as usize].as_mut() else { return };
+        // A half-closed peer with nothing in flight can never produce
+        // another request: close as soon as output drains.
+        if conn.peer_eof && !conn.waiting && conn.flushed() {
+            self.close_conn(idx);
+            return;
+        }
+        let mut want = 0;
+        if !conn.waiting && !conn.close_after_flush && !conn.peer_eof {
+            want |= EPOLLIN | EPOLLRDHUP;
+        }
+        if !conn.flushed() {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest {
+            conn.interest = want;
+            let _ = self.ep.modify(conn.stream.as_raw_fd(), want, token(idx, conn.gen));
+        }
+        // Deadline: the strict io timeout while anything is mid-flight
+        // (partial request, unflushed output, in-flight score), the lax
+        // idle timeout between requests. A deadline moving later is
+        // picked up lazily when the armed entry fires; one moving
+        // *earlier* (idle → io on the first bytes of a request) must
+        // supersede the armed entry now, or a slow-loris would enjoy
+        // the idle grace period.
+        let busy = conn.waiting || !conn.flushed() || !conn.rbuf.is_empty();
+        let timeout = if busy { self.ctx.cfg.io_timeout } else { self.ctx.cfg.idle_timeout };
+        conn.deadline = now + timeout;
+        if conn.deadline < conn.armed_for {
+            conn.timer_seq = conn.timer_seq.wrapping_add(1);
+            conn.armed_for = conn.deadline;
+            self.wheel.schedule(now, conn.deadline, (idx, conn.gen, conn.timer_seq));
+        }
+    }
+
+    /// Writes as much of the pending output as the socket accepts.
+    /// Returns `false` if the connection was closed (finished or
+    /// failed).
+    fn flush(&mut self, idx: u32) -> bool {
+        let mut close = false;
+        {
+            let Some(conn) = self.conns[idx as usize].as_mut() else { return false };
+            while conn.wpos < conn.wbuf.len() {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => break,
+                    Ok(n) => conn.wpos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        close = true; // peer reset mid-response
+                        break;
+                    }
+                }
+            }
+            if !close {
+                if conn.flushed() {
+                    conn.wbuf.clear();
+                    conn.wpos = 0;
+                    close = conn.close_after_flush;
+                } else if conn.wpos >= COMPACT_THRESHOLD {
+                    // Partial flush of a large buffer: reclaim the
+                    // written prefix instead of growing unboundedly.
+                    conn.wbuf.drain(..conn.wpos);
+                    conn.wpos = 0;
+                }
+            }
+        }
+        if close {
+            self.close_conn(idx);
+            return false;
+        }
+        true
+    }
+
+    // --------------------------- timers ------------------------------
+
+    /// A wheel entry fired. Entries are lazy: a stale sequence means a
+    /// newer entry superseded this one (drop it); otherwise re-arm if
+    /// the authoritative deadline moved later or the connection is
+    /// waiting on the pool (the pool bounds scoring latency, not the
+    /// socket timeout); otherwise the connection is genuinely overdue.
+    fn timer_fired(&mut self, idx: u32, gen: u32, seq: u32, now: Instant) {
+        let verdict = {
+            let Some(conn) = self.conns.get(idx as usize).and_then(|c| c.as_ref()) else {
+                return; // stale entry for a freed slot
+            };
+            if conn.gen != gen || conn.timer_seq != seq {
+                return; // superseded by a newer, earlier arm
+            }
+            if conn.waiting {
+                // Never reap a connection the pool still owes a
+                // response; re-check one io-timeout later.
+                Some(now + self.ctx.cfg.io_timeout)
+            } else if now < conn.deadline {
+                Some(conn.deadline)
+            } else {
+                None
+            }
+        };
+        match verdict {
+            Some(rearm_at) => {
+                let conn = self.conns[idx as usize].as_mut().expect("checked above");
+                conn.timer_seq = conn.timer_seq.wrapping_add(1);
+                conn.armed_for = rearm_at;
+                self.wheel.schedule(now, rearm_at, (idx, gen, conn.timer_seq));
+            }
+            None => {
+                // Overdue. A request stalled mid-transfer (slow-loris)
+                // gets the best-effort 408 the threaded backend sends;
+                // idle or write-stalled connections just close.
+                let conn = self.conns[idx as usize].as_mut().expect("checked above");
+                if !conn.rbuf.is_empty() && conn.flushed() {
+                    let mut out = Vec::new();
+                    stalled_response().serialize_into(&mut out, true);
+                    let _ = conn.stream.write(&out); // single nonblocking try
+                }
+                self.close_conn(idx);
+            }
+        }
+    }
+}

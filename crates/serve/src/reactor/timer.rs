@@ -1,0 +1,141 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The reactor needs thousands of concurrently armed, constantly
+//! rescheduled timeouts (every request on every connection moves its
+//! deadline), but only coarse accuracy — an idle connection closed a
+//! few milliseconds late is indistinguishable from one closed on time.
+//! A wheel gives O(1) insert and O(slots) sweep with **lazy
+//! cancellation**: entries are never removed when a deadline moves;
+//! instead the reactor re-checks the connection's authoritative
+//! deadline when an entry fires and simply re-arms if it moved. Stale
+//! entries for dead connections are filtered by the generation check in
+//! the reactor.
+
+use std::time::{Duration, Instant};
+
+/// Timer keys are `(slot index, generation, sequence)` triples: index
+/// and generation identify the connection exactly like epoll tokens
+/// (a fired entry for a freed-and-reused slot is detected and
+/// dropped), and the per-connection sequence lets a *newer, earlier*
+/// arm supersede an entry already in the wheel — firing a stale
+/// sequence is a no-op, restoring the one-live-entry invariant without
+/// ever searching the wheel.
+pub type TimerKey = (u32, u32, u32);
+
+/// A single-level hashed timer wheel.
+pub struct TimerWheel {
+    slots: Vec<Vec<TimerKey>>,
+    tick: Duration,
+    cursor: usize,
+    /// The wall-clock instant the cursor's slot represents.
+    cursor_time: Instant,
+}
+
+impl TimerWheel {
+    /// Number of wheel slots; with `tick ≥ span / (SLOTS / 2)` the
+    /// wheel always covers the longest deadline without wrapping.
+    const SLOTS: usize = 512;
+
+    /// A wheel sized so `span` (the longest deadline in use, i.e. the
+    /// idle timeout) fits in half a rotation, with at least
+    /// 5ms resolution so short test timeouts stay cheap to sweep.
+    pub fn new(now: Instant, span: Duration) -> Self {
+        let tick = (span / (Self::SLOTS as u32 / 2)).max(Duration::from_millis(5));
+        Self { slots: vec![Vec::new(); Self::SLOTS], tick, cursor: 0, cursor_time: now }
+    }
+
+    /// Arms `key` to fire at `deadline`. Deadlines beyond the wheel's
+    /// horizon are clamped to the farthest slot — they fire early, and
+    /// the reactor's lazy re-check re-arms them (cheap: one wheel hop
+    /// per rotation, only for pathologically long deadlines).
+    pub fn schedule(&mut self, now: Instant, deadline: Instant, key: TimerKey) {
+        let delay = deadline.saturating_duration_since(now);
+        let ticks = (delay.as_nanos() / self.tick.as_nanos()).saturating_add(1);
+        let ticks = (ticks as usize).clamp(1, Self::SLOTS - 1);
+        let slot = (self.cursor + ticks) % Self::SLOTS;
+        self.slots[slot].push(key);
+    }
+
+    /// Sweeps every slot whose time has come, appending the fired keys
+    /// to `expired`. Bounded to one full rotation per call so a long
+    /// stall cannot spin the cursor unboundedly.
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<TimerKey>) {
+        let mut hops = 0;
+        while now.saturating_duration_since(self.cursor_time) >= self.tick && hops < Self::SLOTS {
+            self.cursor = (self.cursor + 1) % Self::SLOTS;
+            self.cursor_time += self.tick;
+            expired.append(&mut self.slots[self.cursor]);
+            hops += 1;
+        }
+    }
+
+    /// Milliseconds until the next slot boundary — the `epoll_wait`
+    /// timeout that keeps the wheel turning (always ≥ 1 so an
+    /// in-progress tick never busy-spins).
+    pub fn next_tick_ms(&self, now: Instant) -> i32 {
+        let next = self.cursor_time + self.tick;
+        let wait = next.saturating_duration_since(now);
+        wait.as_millis().clamp(1, i32::MAX as u128) as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_deadline_not_before() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0, Duration::from_secs(30));
+        let tick = wheel.tick;
+        wheel.schedule(t0, t0 + tick * 3, (1, 1, 0));
+        wheel.schedule(t0, t0 + tick * 10, (2, 1, 0));
+        let mut fired = Vec::new();
+        // One tick in: nothing fires.
+        wheel.advance(t0 + tick, &mut fired);
+        assert!(fired.is_empty());
+        // Past the first deadline (+1 slot rounding): the first fires.
+        wheel.advance(t0 + tick * 5, &mut fired);
+        assert_eq!(fired, vec![(1, 1, 0)]);
+        fired.clear();
+        wheel.advance(t0 + tick * 12, &mut fired);
+        assert_eq!(fired, vec![(2, 1, 0)]);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_tick() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0, Duration::from_millis(100));
+        wheel.schedule(t0, t0, (9, 2, 0)); // already due
+        let mut fired = Vec::new();
+        wheel.advance(t0 + wheel.tick * 2, &mut fired);
+        assert_eq!(fired, vec![(9, 2, 0)]);
+    }
+
+    #[test]
+    fn horizon_overflow_clamps_instead_of_wrapping_onto_near_slots() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0, Duration::from_millis(100));
+        let tick = wheel.tick;
+        // Far beyond the horizon: must not fire within the next few
+        // ticks (it lands on the farthest slot, not cursor+1).
+        wheel.schedule(t0, t0 + tick * 10_000, (3, 1, 0));
+        let mut fired = Vec::new();
+        wheel.advance(t0 + tick * 16, &mut fired);
+        assert!(fired.is_empty(), "far deadline fired early: {fired:?}");
+    }
+
+    #[test]
+    fn advance_is_bounded_per_call() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0, Duration::from_millis(100));
+        let tick = wheel.tick;
+        let mut fired = Vec::new();
+        // A huge stall sweeps at most one rotation per call and keeps
+        // time monotonic.
+        wheel.advance(t0 + tick * 100_000, &mut fired);
+        wheel.schedule(t0 + tick * 100_000, t0 + tick * 100_002, (5, 5, 0));
+        wheel.advance(t0 + tick * 100_004, &mut fired);
+        assert!(fired.contains(&(5, 5, 0)));
+    }
+}

@@ -20,6 +20,7 @@ use crate::pool::{PoolConfig, ScoringPool};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Longest accepted model name; names route in URLs, so they stay short.
@@ -40,6 +41,10 @@ struct Entry {
 pub struct ModelRegistry {
     entries: RwLock<BTreeMap<String, Entry>>,
     default_name: RwLock<Option<String>>,
+    /// Per-model score-request counters, kept *outside* the entries so
+    /// a hot reload or teacher attach/detach (which swaps the entry)
+    /// never resets a model's count.
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
 }
 
 /// Errors from registry operations.
@@ -52,6 +57,13 @@ pub enum RegistryError {
     /// Reload was requested for a model that was not loaded from a file
     /// and no replacement path was given.
     NoSourcePath(String),
+    /// Teacher detach was requested for a model that has no teacher
+    /// snapshot attached.
+    NoTeacher(String),
+    /// The entry was replaced (reload, re-insert) while a teacher
+    /// attach/detach was preparing its swap; the operation was
+    /// abandoned rather than re-publishing stale weights. Retry.
+    ConcurrentSwap(String),
     /// Loading the model file failed.
     Load(PersistError),
     /// The teacher snapshot's feature width differs from its booster's;
@@ -83,6 +95,12 @@ impl fmt::Display for RegistryError {
             RegistryError::UnknownModel(name) => write!(f, "no model named `{name}`"),
             RegistryError::NoSourcePath(name) => {
                 write!(f, "model `{name}` has no source file to reload from")
+            }
+            RegistryError::NoTeacher(name) => {
+                write!(f, "model `{name}` has no teacher snapshot attached")
+            }
+            RegistryError::ConcurrentSwap(name) => {
+                write!(f, "model `{name}` was replaced concurrently; retry the operation")
             }
             RegistryError::Load(e) => write!(f, "loading model file: {e}"),
             RegistryError::TeacherMismatch { expected, got } => {
@@ -118,19 +136,26 @@ impl From<PersistError> for RegistryError {
 fn load_pair(path: &Path, teacher: Option<&Path>) -> Result<ServedModel, RegistryError> {
     let mut model = persist::load_file(path)?;
     if let Some(tp) = teacher {
-        let t = persist::load_teacher_file(tp)?;
-        if t.kind().name() != model.meta().teacher {
-            return Err(RegistryError::TeacherKindMismatch {
-                expected: model.meta().teacher.clone(),
-                got: t.kind().name().to_string(),
-            });
-        }
-        let (expected, got) = (model.input_dim(), t.input_dim());
-        model
-            .attach_teacher(Arc::new(t))
-            .map_err(|_| RegistryError::TeacherMismatch { expected, got })?;
+        attach_validated(&mut model, tp)?;
     }
     Ok(model)
+}
+
+/// Loads a teacher snapshot file and attaches it to `model` after the
+/// shared validation: the snapshot's detector kind must be the one the
+/// booster's metadata says it was distilled from, and the feature
+/// widths must agree. Used by startup loading, hot reload, and the
+/// runtime `POST /admin/teacher/{name}` attach alike.
+fn attach_validated(model: &mut ServedModel, teacher_path: &Path) -> Result<(), RegistryError> {
+    let t = persist::load_teacher_file(teacher_path)?;
+    if t.kind().name() != model.meta().teacher {
+        return Err(RegistryError::TeacherKindMismatch {
+            expected: model.meta().teacher.clone(),
+            got: t.kind().name().to_string(),
+        });
+    }
+    let (expected, got) = (model.input_dim(), t.input_dim());
+    model.attach_teacher(Arc::new(t)).map_err(|_| RegistryError::TeacherMismatch { expected, got })
 }
 
 /// Whether `name` can route in a URL path segment: non-empty, at most
@@ -151,7 +176,11 @@ impl ModelRegistry {
     /// An empty registry. The first inserted model becomes the default
     /// unless [`ModelRegistry::set_default`] chooses otherwise.
     pub fn new() -> Self {
-        Self { entries: RwLock::new(BTreeMap::new()), default_name: RwLock::new(None) }
+        Self {
+            entries: RwLock::new(BTreeMap::new()),
+            default_name: RwLock::new(None),
+            counters: RwLock::new(BTreeMap::new()),
+        }
     }
 
     fn read_entries(&self) -> RwLockReadGuard<'_, BTreeMap<String, Entry>> {
@@ -220,11 +249,117 @@ impl ModelRegistry {
         let pool = Arc::new(ScoringPool::new(model, pool_cfg.clone()));
         self.write_entries()
             .insert(name.to_string(), Entry { pool, source, teacher_source, pool_cfg });
+        self.counters
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(name.to_string())
+            .or_default();
         let mut default = self.default_name.write().unwrap_or_else(|e| e.into_inner());
         if default.is_none() {
             *default = Some(name.to_string());
         }
         Ok(())
+    }
+
+    /// Attaches (or replaces) a frozen teacher snapshot on a live
+    /// entry, loaded from `path`, with the same kind/width validation
+    /// as startup. Like [`ModelRegistry::reload`], the replacement pool
+    /// is fully built before the swap: requests in flight keep their
+    /// old pool, a failed load leaves the entry untouched, and the new
+    /// teacher path is remembered so a later reload re-reads it.
+    /// Unlike a reload, the swapped-in bundle is *derived from* the
+    /// snapshotted entry, so the swap is conditional: if a concurrent
+    /// reload replaced the entry in between, the attach aborts with
+    /// [`RegistryError::ConcurrentSwap`] instead of silently
+    /// re-publishing the pre-reload weights.
+    pub fn attach_teacher(&self, name: &str, path: &Path) -> Result<(), RegistryError> {
+        let (seen_pool, pool_cfg, source) = self.entry_snapshot(name)?;
+        // Clone the bundle outside every lock: the original keeps
+        // serving until the swap below.
+        let mut new_model = (*Arc::clone(seen_pool.model())).clone();
+        attach_validated(&mut new_model, path)?;
+        self.swap_entry(
+            name,
+            &seen_pool,
+            Arc::new(new_model),
+            source,
+            Some(path.to_path_buf()),
+            pool_cfg,
+        )
+    }
+
+    /// Detaches the teacher snapshot from a live entry; afterwards
+    /// `?variant=teacher|both` requests 404 again. In-flight requests
+    /// finish against the old pool (which still holds the teacher).
+    /// Conditional on the entry not having been replaced concurrently,
+    /// like [`ModelRegistry::attach_teacher`].
+    pub fn detach_teacher(&self, name: &str) -> Result<(), RegistryError> {
+        let (seen_pool, pool_cfg, source) = self.entry_snapshot(name)?;
+        if seen_pool.model().teacher().is_none() {
+            return Err(RegistryError::NoTeacher(name.to_string()));
+        }
+        let mut new_model = (*Arc::clone(seen_pool.model())).clone();
+        new_model.detach_teacher();
+        self.swap_entry(name, &seen_pool, Arc::new(new_model), source, None, pool_cfg)
+    }
+
+    /// `(pool, pool config, source path)` of a live entry; the pool
+    /// `Arc` doubles as the identity witness for the conditional swap.
+    fn entry_snapshot(
+        &self,
+        name: &str,
+    ) -> Result<(Arc<ScoringPool>, PoolConfig, Option<PathBuf>), RegistryError> {
+        let entries = self.read_entries();
+        let entry =
+            entries.get(name).ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        Ok((Arc::clone(&entry.pool), entry.pool_cfg.clone(), entry.source.clone()))
+    }
+
+    /// Builds a pool for `model` outside the lock, then swaps it in —
+    /// but only if the entry still holds `seen_pool`. The swapped
+    /// bundle was derived from that pool's model, so if anything
+    /// replaced the entry in the meantime (reload, re-insert), applying
+    /// the swap would resurrect stale weights; abort instead.
+    fn swap_entry(
+        &self,
+        name: &str,
+        seen_pool: &Arc<ScoringPool>,
+        model: Arc<ServedModel>,
+        source: Option<PathBuf>,
+        teacher_source: Option<PathBuf>,
+        pool_cfg: PoolConfig,
+    ) -> Result<(), RegistryError> {
+        let pool = Arc::new(ScoringPool::new(model, pool_cfg.clone()));
+        let mut entries = self.write_entries();
+        match entries.get_mut(name) {
+            Some(entry) if Arc::ptr_eq(&entry.pool, seen_pool) => {
+                *entry = Entry { pool, source, teacher_source, pool_cfg };
+                Ok(())
+            }
+            _ => Err(RegistryError::ConcurrentSwap(name.to_string())),
+        }
+    }
+
+    /// Bumps the score-request counter for `name` (the HTTP router
+    /// calls this per scoring request).
+    pub fn count_request(&self, name: &str) {
+        // Names are counted even before/after their entry exists only
+        // if a counter was created by insert; unknown names are a 404
+        // upstream and never reach here.
+        if let Some(counter) = self.counters.read().unwrap_or_else(|e| e.into_inner()).get(name) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-model score-request counts since startup (survives hot
+    /// reloads and teacher attach/detach), sorted by name.
+    pub fn request_counts(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, counter)| (name.clone(), counter.load(Ordering::Relaxed)))
+            .collect()
     }
 
     /// Atomically replaces `name`'s model with one freshly loaded from

@@ -330,3 +330,226 @@ fn reload_rereads_the_teacher_snapshot() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn runtime_attach_detach_swaps_pools_without_touching_inflight_ones() {
+    let dir = std::env::temp_dir().join(format!("uadb_attach_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let booster_path = dir.join("b.uadb");
+    let teacher_path = dir.join("t.uadb");
+
+    let data = tiny_dataset(44, 2, 12);
+    let (served, teacher) =
+        ServedModel::train_with_teacher(&data, DetectorKind::Hbos, UadbConfig::fast_for_tests(12))
+            .unwrap();
+    persist::save_file(&served, &booster_path).unwrap();
+    persist::save_teacher_file(&teacher, &teacher_path).unwrap();
+    let q = queries(2);
+    let expected_teacher = teacher.score_rows(&q).unwrap();
+    let expected_booster = served.score_rows(&q).unwrap();
+
+    // Registered booster-only: no teacher variant.
+    let reg = ModelRegistry::new();
+    reg.insert_from_file("m", &booster_path, PoolConfig { workers: 1, shard_rows: 64 }).unwrap();
+    let before = reg.get("m").unwrap();
+    assert!(before.model().teacher().is_none());
+
+    // Attach at runtime: new pool serves both variants bit-identically…
+    reg.attach_teacher("m", &teacher_path).unwrap();
+    let attached = reg.get("m").unwrap();
+    assert!(!Arc::ptr_eq(&before, &attached), "attach must swap the pool");
+    let teacher_scores = attached.model().teacher().unwrap().score_rows(&q).unwrap();
+    for (a, b) in teacher_scores.iter().zip(&expected_teacher) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    let booster_scores = attached.score(&q).unwrap();
+    for (a, b) in booster_scores.iter().zip(&expected_booster) {
+        assert_eq!(a.to_bits(), b.to_bits(), "attach must not disturb the booster weights");
+    }
+    // …while the pool held from before the attach still has no teacher
+    // (in-flight requests are undisturbed).
+    assert!(before.model().teacher().is_none());
+    // The teacher path is remembered for hot reload.
+    assert_eq!(reg.teacher_source("m").as_deref(), Some(teacher_path.as_path()));
+
+    // Detach: the teacher variant is gone again; detaching twice errors.
+    reg.detach_teacher("m").unwrap();
+    assert!(reg.get("m").unwrap().model().teacher().is_none());
+    assert!(reg.teacher_source("m").is_none());
+    assert!(matches!(reg.detach_teacher("m"), Err(RegistryError::NoTeacher(_))));
+
+    // Error paths leave the entry untouched: unknown model, a teacher
+    // of the wrong kind, a teacher of the wrong width, garbage bytes.
+    assert!(matches!(
+        reg.attach_teacher("nope", &teacher_path),
+        Err(RegistryError::UnknownModel(_))
+    ));
+    let (_, iforest) = ServedModel::train_with_teacher(
+        &data,
+        DetectorKind::IForest,
+        UadbConfig::fast_for_tests(12),
+    )
+    .unwrap();
+    let iforest_path = dir.join("iforest.uadb");
+    persist::save_teacher_file(&iforest, &iforest_path).unwrap();
+    assert!(matches!(
+        reg.attach_teacher("m", &iforest_path),
+        Err(RegistryError::TeacherKindMismatch { .. })
+    ));
+    let (_, wide) = ServedModel::train_with_teacher(
+        &tiny_dataset(44, 3, 12),
+        DetectorKind::Hbos,
+        UadbConfig::fast_for_tests(12),
+    )
+    .unwrap();
+    let wide_path = dir.join("wide.uadb");
+    persist::save_teacher_file(&wide, &wide_path).unwrap();
+    assert!(matches!(
+        reg.attach_teacher("m", &wide_path),
+        Err(RegistryError::TeacherMismatch { expected: 2, got: 3 })
+    ));
+    let garbage = dir.join("garbage.uadb");
+    std::fs::write(&garbage, b"not a container").unwrap();
+    assert!(matches!(reg.attach_teacher("m", &garbage), Err(RegistryError::Load(_))));
+    assert!(reg.get("m").unwrap().model().teacher().is_none(), "failed attaches must not stick");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admin_teacher_attach_detach_over_http() {
+    use std::io::{Read as _, Write as _};
+
+    let dir = std::env::temp_dir().join(format!("uadb_attach_http_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let booster_path = dir.join("b.uadb");
+    let teacher_path = dir.join("t.uadb");
+
+    let data = tiny_dataset(44, 2, 13);
+    let (served, teacher) =
+        ServedModel::train_with_teacher(&data, DetectorKind::Hbos, UadbConfig::fast_for_tests(13))
+            .unwrap();
+    persist::save_file(&served, &booster_path).unwrap();
+    persist::save_teacher_file(&teacher, &teacher_path).unwrap();
+    let q = queries(2);
+    let expected_teacher = teacher.score_rows(&q).unwrap();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .insert_from_file("m", &booster_path, PoolConfig { workers: 1, shard_rows: 64 })
+        .unwrap();
+    let handle =
+        uadb_serve::Server::bind("127.0.0.1:0", registry, uadb_serve::ServerConfig::default())
+            .unwrap()
+            .spawn()
+            .unwrap();
+
+    // One keep-alive connection drives the whole lifecycle.
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+    let mut roundtrip = move |method: &str, path: &str, body: &str| -> (u16, String) {
+        use std::io::BufRead as _;
+        writer
+            .write_all(
+                format!(
+                    "{method} {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.trim_end().is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.trim_end().split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap();
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    };
+
+    let rows_body = {
+        let rows: Vec<uadb_serve::json::Value> =
+            (0..q.rows()).map(|r| uadb_serve::json::number_array(q.row(r))).collect();
+        uadb_serve::json::to_string(&uadb_serve::json::object([(
+            "rows",
+            uadb_serve::json::Value::Array(rows),
+        )]))
+    };
+
+    // Booster-only: the teacher variant does not exist.
+    let (status, _) = roundtrip("POST", "/score/m?variant=teacher", &rows_body);
+    assert_eq!(status, 404);
+
+    // Attach needs a body naming the file.
+    let (status, _) = roundtrip("POST", "/admin/teacher/m", "");
+    assert_eq!(status, 400);
+    let (status, body) = roundtrip(
+        "POST",
+        "/admin/teacher/m",
+        &format!("{{\"path\": {:?}}}", teacher_path.display().to_string()),
+    );
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.contains("\"attached\":\"m\""), "body: {body}");
+    assert!(body.contains("\"teacher\""), "body: {body}");
+
+    // The teacher variant now scores bit-identically to in-process.
+    let (status, body) = roundtrip("POST", "/score/m?variant=teacher", &rows_body);
+    assert_eq!(status, 200, "body: {body}");
+    let parsed = uadb_serve::json::parse(&body).unwrap();
+    let scores: Vec<f64> = parsed
+        .get("scores")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    for (i, (a, b)) in scores.iter().zip(&expected_teacher).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+    }
+
+    // Attach validation reuses the startup checks: wrong-kind files 409.
+    let (_, iforest) = ServedModel::train_with_teacher(
+        &data,
+        DetectorKind::IForest,
+        UadbConfig::fast_for_tests(13),
+    )
+    .unwrap();
+    let iforest_path = dir.join("iforest.uadb");
+    persist::save_teacher_file(&iforest, &iforest_path).unwrap();
+    let (status, _) = roundtrip(
+        "POST",
+        "/admin/teacher/m",
+        &format!("{{\"path\": {:?}}}", iforest_path.display().to_string()),
+    );
+    assert_eq!(status, 409);
+    let (status, _) = roundtrip("POST", "/admin/teacher/ghost", "{\"path\": \"x\"}");
+    assert_eq!(status, 404);
+
+    // Detach on the same connection: the variant 404s again; detaching
+    // twice is a 404 too.
+    let (status, body) = roundtrip("DELETE", "/admin/teacher/m", "");
+    assert_eq!(status, 200, "body: {body}");
+    assert!(body.contains("\"detached\":\"m\""));
+    let (status, _) = roundtrip("POST", "/score/m?variant=teacher", &rows_body);
+    assert_eq!(status, 404);
+    let (status, _) = roundtrip("DELETE", "/admin/teacher/m", "");
+    assert_eq!(status, 404);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
