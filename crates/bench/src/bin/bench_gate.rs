@@ -1,0 +1,149 @@
+//! Regression gate over `BENCH_matmul.json`.
+//!
+//! Two layers of checks, designed so CI can run the hot-path bench with
+//! telemetry instrumentation compiled in (`--features kernel-stats`) and
+//! fail if the instrumentation — or any other change — costs real speed:
+//!
+//! 1. **Machine-independent invariants** (always on): within a single
+//!    run, the blocked `dense_into` kernel must still beat the naive
+//!    kernel at batch sizes ≥ 256, and the scratch-buffer forward pass
+//!    must not lose to the allocating one at the 8192-row batch. These
+//!    hold on any hardware, so they gate even when the baseline was
+//!    produced on a different machine.
+//! 2. **Baseline comparison** (`--baseline <path>`): every case present
+//!    in both files must satisfy `candidate.min_ns <= baseline.min_ns *
+//!    tolerance`. The tolerance (`--tolerance`, default 3.0) absorbs
+//!    cross-machine and smoke-mode noise while still catching
+//!    order-of-magnitude regressions (a lock or allocation sneaking into
+//!    the hot path).
+//!
+//! Usage: `bench_gate --candidate BENCH_matmul.json
+//!         [--baseline baseline.json] [--tolerance 3.0]`
+
+use std::collections::BTreeMap;
+use std::process::exit;
+
+/// Extracts `name -> min_ns` from the bench harness's own JSON emission.
+///
+/// The file is produced by `crates/bench/benches/matmul.rs` with one
+/// result object per line, so a line-oriented scan is exact for this
+/// format (this is not a general JSON parser and does not need to be).
+fn parse_results(path: &str) -> BTreeMap<String, f64> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            exit(2);
+        }
+    };
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "\"name\": \"") else { continue };
+        let Some(min_ns) = field_num(line, "\"min_ns\": ") else { continue };
+        out.insert(name.to_string(), min_ns);
+    }
+    if out.is_empty() {
+        eprintln!("bench_gate: no results parsed from {path}");
+        exit(2);
+    }
+    out
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end =
+        rest.find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `(fast case, slow case, allowed fast/slow ratio)` — `fast` must take
+/// at most `ratio` of `slow`'s time within the same run.
+const INVARIANTS: &[(&str, &str, f64)] = &[
+    ("dense_into_256x16x128", "naive_256x16x128", 1.0),
+    ("dense_into_256x128x128", "naive_256x128x128", 1.0),
+    ("dense_into_1024x64x64", "naive_1024x64x64", 1.0),
+    ("scratch_8192x32", "alloc_8192x32", 1.1),
+];
+
+fn main() {
+    let mut candidate_path = String::from("BENCH_matmul.json");
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance = 3.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("bench_gate: {what} expects a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--candidate" => candidate_path = take("--candidate"),
+            "--baseline" => baseline_path = Some(take("--baseline")),
+            "--tolerance" => {
+                tolerance = take("--tolerance").parse().unwrap_or_else(|_| {
+                    eprintln!("bench_gate: --tolerance expects a number");
+                    exit(2);
+                })
+            }
+            other => {
+                eprintln!("bench_gate: unknown argument {other}");
+                exit(2);
+            }
+        }
+    }
+
+    let candidate = parse_results(&candidate_path);
+    let mut failures = 0usize;
+
+    println!("bench_gate: {} cases in {candidate_path}", candidate.len());
+    for &(fast, slow, ratio) in INVARIANTS {
+        let (Some(&f), Some(&s)) = (candidate.get(fast), candidate.get(slow)) else {
+            println!("  SKIP invariant {fast} vs {slow}: case missing");
+            continue;
+        };
+        let ok = f <= s * ratio;
+        println!(
+            "  {} {fast} ({f:.0} ns) <= {ratio} x {slow} ({s:.0} ns)",
+            if ok { "ok  " } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    if let Some(path) = baseline_path {
+        let baseline = parse_results(&path);
+        println!("bench_gate: comparing against {path} (tolerance {tolerance}x)");
+        for (name, &b) in &baseline {
+            let Some(&c) = candidate.get(name) else {
+                println!("  FAIL {name}: present in baseline, missing from candidate");
+                failures += 1;
+                continue;
+            };
+            let ok = c <= b * tolerance;
+            println!(
+                "  {} {name}: {c:.0} ns vs baseline {b:.0} ns ({:.2}x)",
+                if ok { "ok  " } else { "FAIL" },
+                c / b.max(1.0)
+            );
+            if !ok {
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench_gate: {failures} check(s) failed");
+        exit(1);
+    }
+    println!("bench_gate: all checks passed");
+}

@@ -71,6 +71,7 @@ impl GemmScratch {
     pub fn precomputed(rhs: &Matrix) -> Self {
         let mut pack = Vec::new();
         pack_rhs(rhs.rows(), rhs.cols(), rhs.as_slice(), &mut pack);
+        stats::pack_built();
         Self { finite: Some(row_finiteness(rhs)), pack, packed: true }
     }
 
@@ -86,8 +87,89 @@ impl GemmScratch {
         if !self.packed {
             pack_rhs(rhs.rows(), rhs.cols(), rhs.as_slice(), &mut self.pack);
             self.packed = true;
+            stats::pack_built();
+        } else {
+            stats::pack_reused();
         }
         &self.pack
+    }
+}
+
+/// Feature-gated kernel counters (`--features kernel-stats`).
+///
+/// Counts are bumped once per `gemm_into` call (ISA path taken) and
+/// once per pack decision (panel rebuilt vs. served from a scratch) —
+/// never inside the strip loops, so the instrumented kernel's inner
+/// loops are byte-for-byte the uninstrumented ones. With the feature
+/// off every recording function is an empty inline stub and the
+/// counters compile out entirely.
+pub mod stats {
+    #[cfg(feature = "kernel-stats")]
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Whether the counters are compiled in.
+    pub const ENABLED: bool = cfg!(feature = "kernel-stats");
+
+    #[cfg(feature = "kernel-stats")]
+    static PACKS_BUILT: AtomicU64 = AtomicU64::new(0);
+    #[cfg(feature = "kernel-stats")]
+    static PACKS_REUSED: AtomicU64 = AtomicU64::new(0);
+    #[cfg(feature = "kernel-stats")]
+    static CALLS_AVX512: AtomicU64 = AtomicU64::new(0);
+    #[cfg(feature = "kernel-stats")]
+    static CALLS_AVX: AtomicU64 = AtomicU64::new(0);
+    #[cfg(feature = "kernel-stats")]
+    static CALLS_PORTABLE: AtomicU64 = AtomicU64::new(0);
+
+    /// Point-in-time copy of the kernel counters (all zero when the
+    /// feature is disabled).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct KernelStats {
+        /// Rhs panels packed (scratch builds plus `precomputed`).
+        pub packs_built: u64,
+        /// `matmul_into` calls served by an already-packed panel.
+        pub packs_reused: u64,
+        pub calls_avx512: u64,
+        pub calls_avx: u64,
+        pub calls_portable: u64,
+    }
+
+    #[inline(always)]
+    pub(super) fn pack_built() {
+        #[cfg(feature = "kernel-stats")]
+        PACKS_BUILT.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    pub(super) fn pack_reused() {
+        #[cfg(feature = "kernel-stats")]
+        PACKS_REUSED.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    #[cfg_attr(not(feature = "kernel-stats"), allow(unused_variables))]
+    pub(super) fn isa_call(isa: super::simd::Isa) {
+        #[cfg(feature = "kernel-stats")]
+        match isa {
+            super::simd::Isa::Avx512 => CALLS_AVX512.fetch_add(1, Ordering::Relaxed),
+            super::simd::Isa::Avx => CALLS_AVX.fetch_add(1, Ordering::Relaxed),
+            super::simd::Isa::Portable => CALLS_PORTABLE.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    pub fn snapshot() -> KernelStats {
+        #[cfg(feature = "kernel-stats")]
+        {
+            KernelStats {
+                packs_built: PACKS_BUILT.load(Ordering::Relaxed),
+                packs_reused: PACKS_REUSED.load(Ordering::Relaxed),
+                calls_avx512: CALLS_AVX512.load(Ordering::Relaxed),
+                calls_avx: CALLS_AVX.load(Ordering::Relaxed),
+                calls_portable: CALLS_PORTABLE.load(Ordering::Relaxed),
+            }
+        }
+        #[cfg(not(feature = "kernel-stats"))]
+        KernelStats::default()
     }
 }
 
@@ -183,6 +265,7 @@ pub fn gemm_into(
         return;
     }
     let isa = simd::detect();
+    stats::isa_call(isa);
     for jc in (0..n).step_by(NC.max(1)) {
         let jc_end = (jc + NC).min(n);
         for ic in (0..m).step_by(MC) {
@@ -540,6 +623,30 @@ mod tests {
         scratch.clear();
         a.matmul_into(&b, &mut scratch, &mut out).unwrap();
         assert!(out[0].is_nan(), "cleared scratch must re-scan the poisoned rhs");
+    }
+
+    /// Counters are process-global, so the test asserts deltas (other
+    /// tests in the binary may bump them concurrently, but only this
+    /// one runs these exact calls between its two snapshots' deltas
+    /// being *at least* what it contributed).
+    #[cfg(feature = "kernel-stats")]
+    #[test]
+    fn kernel_stats_track_pack_lifecycle() {
+        let rows = PACK_MIN_ROWS.max(8);
+        let a = Matrix::zeros(rows, 4);
+        let b = Matrix::zeros(4, NR);
+        let mut out = vec![0.0; rows * NR];
+
+        let before = stats::snapshot();
+        let mut scratch = GemmScratch::new();
+        a.matmul_into(&b, &mut scratch, &mut out).unwrap(); // builds the panel
+        a.matmul_into(&b, &mut scratch, &mut out).unwrap(); // reuses it
+        let after = stats::snapshot();
+
+        assert!(after.packs_built > before.packs_built);
+        assert!(after.packs_reused > before.packs_reused);
+        let calls = |s: stats::KernelStats| s.calls_avx512 + s.calls_avx + s.calls_portable;
+        assert!(calls(after) >= calls(before) + 2, "each gemm call records its ISA path");
     }
 
     #[test]

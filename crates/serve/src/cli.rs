@@ -11,6 +11,7 @@ use crate::model::ServedModel;
 use crate::persist;
 use crate::pool::PoolConfig;
 use crate::registry::{self, ModelRegistry};
+use crate::telemetry;
 use std::sync::Arc;
 use std::time::Duration;
 use uadb::UadbConfig;
@@ -20,6 +21,7 @@ use uadb_data::synth::{fig5_dataset, AnomalyType};
 use uadb_data::Dataset;
 use uadb_detectors::DetectorKind;
 use uadb_metrics::roc_auc;
+use uadb_telemetry::{log::logger, Level};
 
 /// Usage text shown on `--help` or argument errors.
 pub const USAGE: &str = "\
@@ -34,7 +36,8 @@ USAGE:
   uadb-serve serve --model [NAME=]FILE[,TEACHER_FILE] [--model ...] [--default NAME]
                    [--addr HOST:PORT] [--workers N] [--shard-rows N]
                    [--max-conns N] [--max-requests N] [--idle-timeout-ms N]
-                   [--io threads|epoll]
+                   [--io threads|epoll] [--log-level error|warn|info|debug]
+                   [--log-json] [--slow-ms N]
   uadb-serve info  --model FILE
 
 SUBCOMMANDS:
@@ -62,7 +65,14 @@ SUBCOMMANDS:
           GET /models, POST /admin/reload/NAME,
           POST|DELETE /admin/teacher/NAME (attach/detach a teacher
           snapshot at runtime from {\"path\": ...}), GET /healthz (live
-          stats: backend, open connections, per-model request counts).
+          stats: backend, open connections, per-model request counts,
+          latency percentiles), GET /metrics (Prometheus text
+          exposition: stage histograms, pool gauges, per-model
+          counters, teacher/booster divergence), GET /admin/slow (the
+          last requests slower than --slow-ms, with per-stage
+          breakdowns). --log-level sets stderr verbosity (default
+          warn), --log-json switches log lines to JSON, --slow-ms sets
+          the slow-request capture threshold (default 100).
   info    Print a model or teacher-snapshot file's metadata as JSON.
 
 Teachers: IForest HBOS LOF KNN PCA OCSVM CBLOF COF SOD ECOD GMM LODA COPOD
@@ -129,7 +139,7 @@ impl Flags {
                 .strip_prefix("--")
                 .ok_or_else(|| err(format!("expected --flag, got `{name}`")))?;
             // Boolean flags take no value.
-            if name == "label-last" {
+            if name == "label-last" || name == "log-json" {
                 pairs.push((name.to_string(), "true".to_string()));
                 continue;
             }
@@ -368,6 +378,20 @@ fn serve(flags: &Flags) -> Result<(), CliError> {
         return Err(err("--idle-timeout-ms must be at least 1"));
     }
 
+    // Telemetry plane knobs: stderr verbosity/format and the slow-request
+    // capture threshold.
+    if let Some(name) = flags.get("log-level") {
+        let level = Level::parse(name).ok_or_else(|| {
+            err(format!("--log-level must be error|warn|info|debug, got `{name}`"))
+        })?;
+        logger().set_level(level);
+    }
+    if flags.get("log-json").is_some() {
+        logger().set_json(true);
+    }
+    let slow_ms = flags.parse_num("slow-ms", 100u64)?;
+    telemetry::metrics().set_slow_threshold_ms(slow_ms);
+
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
     let server = Server::bind(addr, Arc::clone(&registry), server_cfg)
         .map_err(|e| err(format!("binding {addr}: {e}")))?;
@@ -379,7 +403,8 @@ fn serve(flags: &Flags) -> Result<(), CliError> {
     );
     println!(
         "endpoints: POST /score[/NAME], GET /model[/NAME], GET /models, \
-         POST /admin/reload/NAME, POST|DELETE /admin/teacher/NAME, GET /healthz"
+         POST /admin/reload/NAME, POST|DELETE /admin/teacher/NAME, GET /healthz, \
+         GET /metrics, GET /admin/slow"
     );
     server.run().map_err(|e| err(format!("server failed: {e}")))
 }

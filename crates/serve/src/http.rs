@@ -63,17 +63,20 @@
 
 use crate::json::{self, Value};
 use crate::model::{ScoreError, ServedModel, Variant};
-use crate::pool::{PoolConfig, ScoringPool};
+use crate::pool::{PoolConfig, ScoreTiming, ScoringPool};
 use crate::registry::{ModelRegistry, RegistryError};
+use crate::telemetry::{metrics, ModelStats, RejectReason, RequestTimer, Stage, VariantTag};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use uadb_linalg::Matrix;
+use uadb_telemetry::{log::logger, now_ns, Level};
 
 /// Upper bound on request head (request line + headers).
 pub(crate) const MAX_HEAD: usize = 16 * 1024;
@@ -239,11 +242,17 @@ impl ServerStats {
     /// Claims a connection slot; the driver calls this on accept.
     pub(crate) fn conn_opened(&self) {
         self.open.fetch_add(1, Ordering::SeqCst);
+        let m = metrics();
+        m.connections_opened.inc();
+        m.open_connections.inc();
     }
 
     /// Releases a connection slot; the driver calls this on close.
     pub(crate) fn conn_closed(&self) {
         self.open.fetch_sub(1, Ordering::SeqCst);
+        let m = metrics();
+        m.connections_closed.inc();
+        m.open_connections.dec();
     }
 }
 
@@ -356,7 +365,8 @@ impl Server {
         let thread =
             std::thread::Builder::new().name("uadb-serve-io".to_string()).spawn(move || {
                 if let Err(e) = driver.run(listener, ctx) {
-                    eprintln!("uadb-serve: I/O driver failed: {e}");
+                    let err = e.to_string();
+                    logger().log(Level::Error, "http", "I/O driver failed", &[("error", &err)]);
                 }
             })?;
         Ok(ServerHandle { addr, registry, stop, stats, thread: Some(thread) })
@@ -435,12 +445,23 @@ pub(crate) struct Request {
 pub(crate) struct Response {
     pub(crate) status: u16,
     pub(crate) reason: &'static str,
+    pub(crate) content_type: &'static str,
     pub(crate) body: String,
 }
 
 impl Response {
     pub(crate) fn json(status: u16, reason: &'static str, value: &Value) -> Self {
-        Self { status, reason, body: json::to_string(value) }
+        Self { status, reason, content_type: "application/json", body: json::to_string(value) }
+    }
+
+    /// A non-JSON response (the Prometheus exposition on `/metrics`).
+    pub(crate) fn text(
+        status: u16,
+        reason: &'static str,
+        content_type: &'static str,
+        body: String,
+    ) -> Self {
+        Self { status, reason, content_type, body }
     }
 
     pub(crate) fn error(status: u16, reason: &'static str, message: &str) -> Self {
@@ -454,9 +475,10 @@ impl Response {
     pub(crate) fn serialize_into(&self, out: &mut Vec<u8>, close: bool) {
         out.extend_from_slice(
             format!(
-                "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
                 self.status,
                 self.reason,
+                self.content_type,
                 self.body.len(),
                 if close { "close" } else { "keep-alive" },
             )
@@ -470,7 +492,14 @@ impl Response {
 /// buffer.
 pub(crate) enum Parse {
     /// The buffer does not yet hold a complete request; read more.
-    Partial,
+    /// `head_complete` reports whether the header block has fully
+    /// arrived (the remaining wait is body bytes) — what lets the
+    /// connection layers split read latency into head-read vs.
+    /// body-read stages without re-scanning the buffer.
+    Partial {
+        /// The header block is complete; only body bytes are missing.
+        head_complete: bool,
+    },
     /// One complete request, consuming the first `consumed` bytes.
     Complete {
         /// The parsed request.
@@ -515,7 +544,7 @@ pub(crate) fn parse_request(buf: &[u8]) -> Parse {
         if buf.len() > MAX_HEAD {
             return Parse::Bad("request head too large".into());
         }
-        return Parse::Partial;
+        return Parse::Partial { head_complete: false };
     };
     if head_end > MAX_HEAD {
         return Parse::Bad("request head too large".into());
@@ -590,7 +619,7 @@ pub(crate) fn parse_request(buf: &[u8]) -> Parse {
     // declaring 64MB and then stalling grows nothing here.
     let total = head_end + content_length;
     if buf.len() < total {
-        return Parse::Partial;
+        return Parse::Partial { head_complete: true };
     }
     let keep_alive =
         if http11 { !connection_close } else { connection_keep_alive && !connection_close };
@@ -650,7 +679,13 @@ impl ConnectionDriver for ThreadedDriver {
                         });
                     // A failed spawn drops the guard, releasing the slot.
                     if let Err(e) = spawned {
-                        eprintln!("uadb-serve: spawning connection handler failed: {e}");
+                        let err = e.to_string();
+                        logger().log(
+                            Level::Error,
+                            "http",
+                            "spawning connection handler failed",
+                            &[("error", &err)],
+                        );
                     }
                 }
                 Err(e) => {
@@ -664,7 +699,8 @@ impl ConnectionDriver for ThreadedDriver {
                     if consecutive_failures >= MAX_ACCEPT_FAILURES {
                         return Err(e);
                     }
-                    eprintln!("uadb-serve: accept failed: {e}");
+                    let err = e.to_string();
+                    logger().log(Level::Warn, "http", "accept failed", &[("error", &err)]);
                     std::thread::sleep(Duration::from_millis(10));
                 }
             }
@@ -710,8 +746,19 @@ pub(crate) fn reject_over_budget(stream: TcpStream) {
     }
 }
 
+/// The 503 an over-budget client gets. Constructing it *is* the
+/// rejection — both backends build it only on that path — so the
+/// rejection counter lives here rather than at each call site.
 pub(crate) fn over_budget_response() -> Response {
+    metrics().reject(RejectReason::OverBudget);
     Response::error(503, "Service Unavailable", "connection budget exhausted")
+}
+
+/// The 400 a connection gets when its peer closed mid-request. Counted
+/// as an `early_close` rejection, like the 503/408 constructors.
+pub(crate) fn truncated_response() -> Response {
+    metrics().reject(RejectReason::EarlyClose);
+    Response::error(400, "Bad Request", "truncated request")
 }
 
 /// A socket timeout that is always *set*: `set_read_timeout(Some(ZERO))`
@@ -730,11 +777,24 @@ fn effective_timeout(d: Duration) -> Duration {
 fn handle_connection(mut stream: TcpStream, ctx: &DriverCtx) {
     let cfg = &ctx.cfg;
     let peer = stream.peer_addr().ok();
+    let log_write_failed = |e: &io::Error| {
+        if let Some(p) = peer {
+            let peer = p.to_string();
+            let err = e.to_string();
+            logger().log(Level::Debug, "http", "write failed", &[("peer", &peer), ("error", &err)]);
+        }
+    };
     let _ = stream.set_write_timeout(Some(effective_timeout(cfg.io_timeout)));
     let mut rbuf: Vec<u8> = Vec::with_capacity(4096);
     let mut wbuf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
     let mut served = 0usize;
+    // Read-stage timestamps of the request currently arriving (0 =
+    // unset): when its first byte landed, and when its header block
+    // completed. Maintained at the existing read/parse transitions, so
+    // the stage split costs two clock reads per request.
+    let mut t_first = 0u64;
+    let mut t_head = 0u64;
     'conn: loop {
         // Drain the pipelined burst already buffered: every complete
         // request is routed and its response appended to one write
@@ -742,7 +802,12 @@ fn handle_connection(mut stream: TcpStream, ctx: &DriverCtx) {
         let mut rpos = 0usize;
         loop {
             match parse_request(&rbuf[rpos..]) {
-                Parse::Partial => break,
+                Parse::Partial { head_complete } => {
+                    if head_complete && t_head == 0 {
+                        t_head = now_ns();
+                    }
+                    break;
+                }
                 Parse::Bad(msg) => {
                     Response::error(400, "Bad Request", &msg).serialize_into(&mut wbuf, true);
                     let _ = stream.write_all(&wbuf);
@@ -756,6 +821,18 @@ fn handle_connection(mut stream: TcpStream, ctx: &DriverCtx) {
                 Parse::Complete { request, consumed } => {
                     rpos += consumed;
                     served += 1;
+                    let t_parsed = now_ns();
+                    let mut timer =
+                        RequestTimer::start(if t_first != 0 { t_first } else { t_parsed });
+                    if t_first != 0 {
+                        let head_done = if t_head != 0 { t_head } else { t_parsed };
+                        timer.add(Stage::HeadRead, head_done.saturating_sub(t_first));
+                        timer.add(Stage::BodyRead, t_parsed.saturating_sub(head_done));
+                    }
+                    // The next pipelined request (if the buffer holds
+                    // one) is considered to start now.
+                    t_first = t_parsed;
+                    t_head = 0;
                     // Close after this response if the client asked for
                     // it, the per-connection request budget is spent,
                     // or the server is shutting down.
@@ -763,30 +840,41 @@ fn handle_connection(mut stream: TcpStream, ctx: &DriverCtx) {
                         || served >= cfg.max_requests_per_conn
                         || ctx.stop.is_stopped();
                     let route_ctx = RouteCtx { registry: &ctx.registry, stats: &ctx.stats };
-                    let response = match route(&request, &route_ctx) {
+                    let routed = route(&request, &route_ctx);
+                    timer.add(Stage::Parse, now_ns().saturating_sub(t_parsed));
+                    let response = match routed {
                         Routed::Ready(r) => r,
-                        Routed::Score(task) => task.run_blocking(),
+                        Routed::Score(task) => task.run_blocking(&mut timer),
                     };
+                    let t_ser = now_ns();
                     response.serialize_into(&mut wbuf, close);
+                    timer.add(Stage::Serialize, now_ns().saturating_sub(t_ser));
+                    timer.finish(response.status);
                     if close {
+                        let t_flush = now_ns();
                         if let Err(e) = stream.write_all(&wbuf) {
-                            if let Some(p) = peer {
-                                eprintln!("uadb-serve: write to {p} failed: {e}");
-                            }
+                            log_write_failed(&e);
                         }
+                        metrics().record_stage(Stage::WriteFlush, now_ns().saturating_sub(t_flush));
                         break 'conn;
                     }
                 }
             }
         }
         rbuf.drain(..rpos);
+        if rbuf.is_empty() {
+            // No partial request pending: the next request's first-byte
+            // clock starts at its actual read.
+            t_first = 0;
+            t_head = 0;
+        }
         if !wbuf.is_empty() {
+            let t_flush = now_ns();
             if let Err(e) = stream.write_all(&wbuf) {
-                if let Some(p) = peer {
-                    eprintln!("uadb-serve: write to {p} failed: {e}");
-                }
+                log_write_failed(&e);
                 break;
             }
+            metrics().record_stage(Stage::WriteFlush, now_ns().saturating_sub(t_flush));
             wbuf.clear();
         }
         // Between requests the connection may idle up to `idle_timeout`;
@@ -801,13 +889,17 @@ fn handle_connection(mut stream: TcpStream, ctx: &DriverCtx) {
                 // close.
                 if !rbuf.is_empty() {
                     let mut out = Vec::new();
-                    Response::error(400, "Bad Request", "truncated request")
-                        .serialize_into(&mut out, true);
+                    truncated_response().serialize_into(&mut out, true);
                     let _ = stream.write_all(&out);
                 }
                 break;
             }
-            Ok(n) => rbuf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                if t_first == 0 {
+                    t_first = now_ns();
+                }
+                rbuf.extend_from_slice(&chunk[..n]);
+            }
             Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
                 if rbuf.is_empty() {
                     // Idle keep-alive connection ran out its grace
@@ -828,8 +920,9 @@ fn handle_connection(mut stream: TcpStream, ctx: &DriverCtx) {
 }
 
 /// The answer both backends give a connection whose request stalled
-/// mid-transfer past the io timeout.
+/// mid-transfer past the io timeout. Counted as a `stalled` rejection.
 pub(crate) fn stalled_response() -> Response {
+    metrics().reject(RejectReason::Stalled);
     Response::error(408, "Request Timeout", "request stalled mid-transfer")
 }
 
@@ -852,68 +945,152 @@ pub(crate) enum Routed {
 }
 
 /// A validated scoring request: the target pool, the parsed shared
-/// batch, and which variant(s) to score.
+/// batch, which variant(s) to score, and the telemetry identity of the
+/// model being scored (per-request counters were bumped at routing).
 pub(crate) struct ScoreTask {
     pool: Arc<ScoringPool>,
     batch: Arc<Matrix>,
     select: VariantSelect,
+    stats: Arc<ModelStats>,
+    tag: VariantTag,
+}
+
+/// Blocks on one pool submission and hands back both the result and
+/// the pool's queue/score timing split.
+fn score_blocking(
+    pool: &ScoringPool,
+    batch: &Arc<Matrix>,
+    variant: Variant,
+) -> (Result<Vec<f64>, ScoreError>, ScoreTiming) {
+    let (tx, rx) = channel();
+    pool.submit(
+        batch,
+        variant,
+        Box::new(move |result, timing| {
+            let _ = tx.send((result, timing));
+        }),
+    );
+    rx.recv().unwrap_or((Err(ScoreError::WorkerPanicked), ScoreTiming::default()))
 }
 
 impl ScoreTask {
     /// Scores on the calling thread (threaded backend): blocks on the
-    /// pool like any other in-process caller.
-    pub(crate) fn run_blocking(self) -> Response {
-        match self.select {
+    /// pool like any other in-process caller. Queue-wait and scoring
+    /// time are folded into `timer` (for `both`, the two submissions
+    /// accumulate).
+    pub(crate) fn run_blocking(self, timer: &mut RequestTimer) -> Response {
+        let ScoreTask { pool, batch, select, stats, tag } = self;
+        timer.set_scored(Arc::clone(&stats.name), tag, batch.rows());
+        match select {
             VariantSelect::Single(variant) => {
-                single_score_response(variant, self.pool.score_shared_variant(&self.batch, variant))
+                let (result, timing) = score_blocking(&pool, &batch, variant);
+                timer.add(Stage::QueueWait, timing.queue_ns);
+                timer.add(Stage::Score, timing.score_ns);
+                match result {
+                    Ok(scores) => single_ok_response(variant, &scores),
+                    Err(e) => {
+                        metrics().record_score_error(&stats, tag, &e, timer.trace_id);
+                        score_error(&e)
+                    }
+                }
             }
             VariantSelect::Both => {
                 // Teacher first: a booster-only model 404s before any
                 // booster cycles are spent. Both sides score the same
                 // shared batch, so the pair is row-aligned by
                 // construction.
-                let teacher = match self.pool.score_shared_variant(&self.batch, Variant::Teacher) {
+                let (teacher, t_timing) = score_blocking(&pool, &batch, Variant::Teacher);
+                timer.add(Stage::QueueWait, t_timing.queue_ns);
+                timer.add(Stage::Score, t_timing.score_ns);
+                let teacher = match teacher {
                     Ok(s) => s,
-                    Err(e) => return score_error(&e),
+                    Err(e) => {
+                        metrics().record_score_error(&stats, tag, &e, timer.trace_id);
+                        return score_error(&e);
+                    }
                 };
-                match self.pool.score_shared_variant(&self.batch, Variant::Booster) {
+                let (booster, b_timing) = score_blocking(&pool, &batch, Variant::Booster);
+                timer.add(Stage::QueueWait, b_timing.queue_ns);
+                timer.add(Stage::Score, b_timing.score_ns);
+                match booster {
                     Ok(booster) => both_response(&booster, &teacher),
-                    Err(e) => score_error(&e),
+                    Err(e) => {
+                        metrics().record_score_error(&stats, tag, &e, timer.trace_id);
+                        score_error(&e)
+                    }
                 }
             }
         }
     }
 
     /// Submits the scoring work to the pool and returns immediately;
-    /// `done` fires exactly once with the finished response, on a pool
-    /// worker thread (the reactor's completion callback enqueues it and
-    /// writes the wakeup pipe). `both` chains teacher → booster through
-    /// the pool without ever blocking a thread.
-    pub(crate) fn run_async(self, done: Box<dyn FnOnce(Response) + Send>) {
-        match self.select {
-            VariantSelect::Single(variant) => self.pool.submit(
-                &self.batch,
+    /// `done` fires exactly once with the finished response and the
+    /// request's timer (queue/score stages already folded in), on a
+    /// pool worker thread (the reactor's completion callback enqueues
+    /// it and writes the wakeup pipe). `both` chains teacher → booster
+    /// through the pool without ever blocking a thread.
+    pub(crate) fn run_async(
+        self,
+        mut timer: RequestTimer,
+        done: Box<dyn FnOnce(Response, RequestTimer) + Send>,
+    ) {
+        let ScoreTask { pool, batch, select, stats, tag } = self;
+        timer.set_scored(Arc::clone(&stats.name), tag, batch.rows());
+        match select {
+            VariantSelect::Single(variant) => pool.submit(
+                &batch,
                 variant,
-                Box::new(move |result| done(single_score_response(variant, result))),
+                Box::new(move |result, timing| {
+                    timer.add(Stage::QueueWait, timing.queue_ns);
+                    timer.add(Stage::Score, timing.score_ns);
+                    let response = match result {
+                        Ok(scores) => single_ok_response(variant, &scores),
+                        Err(e) => {
+                            metrics().record_score_error(&stats, tag, &e, timer.trace_id);
+                            score_error(&e)
+                        }
+                    };
+                    done(response, timer);
+                }),
             ),
             VariantSelect::Both => {
-                let ScoreTask { pool, batch, .. } = self;
                 let pool2 = Arc::clone(&pool);
                 let batch2 = Arc::clone(&batch);
                 // Teacher first, exactly like the blocking path.
                 pool.submit(
                     &batch,
                     Variant::Teacher,
-                    Box::new(move |teacher| match teacher {
-                        Err(e) => done(score_error(&e)),
-                        Ok(teacher) => pool2.submit(
-                            &batch2,
-                            Variant::Booster,
-                            Box::new(move |booster| match booster {
-                                Err(e) => done(score_error(&e)),
-                                Ok(booster) => done(both_response(&booster, &teacher)),
-                            }),
-                        ),
+                    Box::new(move |teacher, t_timing| {
+                        timer.add(Stage::QueueWait, t_timing.queue_ns);
+                        timer.add(Stage::Score, t_timing.score_ns);
+                        match teacher {
+                            Err(e) => {
+                                metrics().record_score_error(&stats, tag, &e, timer.trace_id);
+                                done(score_error(&e), timer);
+                            }
+                            Ok(teacher) => pool2.submit(
+                                &batch2,
+                                Variant::Booster,
+                                Box::new(move |booster, b_timing| {
+                                    timer.add(Stage::QueueWait, b_timing.queue_ns);
+                                    timer.add(Stage::Score, b_timing.score_ns);
+                                    match booster {
+                                        Err(e) => {
+                                            metrics().record_score_error(
+                                                &stats,
+                                                tag,
+                                                &e,
+                                                timer.trace_id,
+                                            );
+                                            done(score_error(&e), timer);
+                                        }
+                                        Ok(booster) => {
+                                            done(both_response(&booster, &teacher), timer)
+                                        }
+                                    }
+                                }),
+                            ),
+                        }
                     }),
                 );
             }
@@ -921,22 +1098,22 @@ impl ScoreTask {
     }
 }
 
-fn single_score_response(variant: Variant, result: Result<Vec<f64>, ScoreError>) -> Response {
-    match result {
-        Ok(scores) => Response::json(
-            200,
-            "OK",
-            &json::object([
-                ("scores", json::number_array(&scores)),
-                ("n", Value::Number(scores.len() as f64)),
-                ("variant", Value::String(variant.name().to_string())),
-            ]),
-        ),
-        Err(e) => score_error(&e),
-    }
+fn single_ok_response(variant: Variant, scores: &[f64]) -> Response {
+    Response::json(
+        200,
+        "OK",
+        &json::object([
+            ("scores", json::number_array(scores)),
+            ("n", Value::Number(scores.len() as f64)),
+            ("variant", Value::String(variant.name().to_string())),
+        ]),
+    )
 }
 
 fn both_response(booster: &[f64], teacher: &[f64]) -> Response {
+    // Paired scores for the same rows are exactly the stream the
+    // teacher–booster divergence gauges summarise.
+    metrics().observe_divergence(booster, teacher);
     Response::json(
         200,
         "OK",
@@ -950,6 +1127,7 @@ fn both_response(booster: &[f64], teacher: &[f64]) -> Response {
 }
 
 pub(crate) fn route(req: &Request, ctx: &RouteCtx) -> Routed {
+    metrics().requests_total.inc();
     let registry = ctx.registry;
     // Routing is path-based; the query string only carries options
     // (currently `?variant=` on the score endpoints).
@@ -960,6 +1138,8 @@ pub(crate) fn route(req: &Request, ctx: &RouteCtx) -> Routed {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let response = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => healthz(ctx),
+        ("GET", ["metrics"]) => metrics_response(),
+        ("GET", ["admin", "slow"]) => slow_response(),
         ("GET", ["models"]) => list_models(registry),
         ("GET", ["model"]) => match registry.default_pool() {
             Some(pool) => {
@@ -975,17 +1155,16 @@ pub(crate) fn route(req: &Request, ctx: &RouteCtx) -> Routed {
         },
         ("POST", ["score"]) => match registry.default_pool() {
             Some(pool) => {
-                if let Some(name) = registry.default_name() {
-                    registry.count_request(&name);
-                }
-                return score_routed(req, pool, query);
+                let name = registry.default_name().unwrap_or_else(|| "default".to_string());
+                registry.count_request(&name);
+                return score_routed(req, pool, query, &name);
             }
             None => Response::error(404, "Not Found", "no default model registered"),
         },
         ("POST", ["score", name]) => match registry.get(name) {
             Some(pool) => {
                 registry.count_request(name);
-                return score_routed(req, pool, query);
+                return score_routed(req, pool, query, name);
             }
             None => unknown_model(name),
         },
@@ -1007,6 +1186,10 @@ fn healthz(ctx: &RouteCtx) -> Response {
         .into_iter()
         .map(|(name, n)| (name, Value::Number(n as f64)))
         .collect();
+    let m = metrics();
+    let lat = m.latency_snapshot();
+    let pct =
+        |q: f64| lat.quantile(q).map(|ns| Value::Number(ns as f64 / 1e6)).unwrap_or(Value::Null);
     Response::json(
         200,
         "OK",
@@ -1018,8 +1201,51 @@ fn healthz(ctx: &RouteCtx) -> Response {
             ("open_connections", Value::Number(ctx.stats.open_connections() as f64)),
             ("max_connections", Value::Number(ctx.stats.max_connections() as f64)),
             ("requests", Value::Object(requests)),
+            (
+                "latency_ms",
+                json::object([("p50", pct(0.50)), ("p95", pct(0.95)), ("p99", pct(0.99))]),
+            ),
+            ("rejected_total", Value::Number(m.rejected_total() as f64)),
+            ("worker_panics_total", Value::Number(m.worker_panics.get() as f64)),
         ]),
     )
+}
+
+/// `GET /metrics` — the whole telemetry plane in Prometheus text
+/// exposition format 0.0.4.
+fn metrics_response() -> Response {
+    Response::text(200, "OK", "text/plain; version=0.0.4", metrics().render())
+}
+
+/// `GET /admin/slow` — the last captured slow requests, oldest first.
+fn slow_response() -> Response {
+    let entries: Vec<Value> = metrics()
+        .slow_snapshot()
+        .into_iter()
+        .map(|e| {
+            let stages: BTreeMap<String, Value> = Stage::all()
+                .iter()
+                .filter(|s| e.stages[**s as usize] != 0)
+                .map(|s| (s.name().to_string(), Value::Number(e.stages[*s as usize] as f64 / 1e6)))
+                .collect();
+            json::object([
+                ("trace", Value::Number(e.trace_id as f64)),
+                ("total_ms", Value::Number(e.total_ns as f64 / 1e6)),
+                ("status", Value::Number(e.status as f64)),
+                (
+                    "model",
+                    e.model.as_deref().map(|m| Value::String(m.to_string())).unwrap_or(Value::Null),
+                ),
+                (
+                    "variant",
+                    e.variant.map(|v| Value::String(v.name().to_string())).unwrap_or(Value::Null),
+                ),
+                ("rows", Value::Number(e.rows as f64)),
+                ("stages_ms", Value::Object(stages)),
+            ])
+        })
+        .collect();
+    Response::json(200, "OK", &json::object([("slow", Value::Array(entries))]))
 }
 
 fn unknown_model(name: &str) -> Response {
@@ -1264,8 +1490,9 @@ fn score_error(e: &ScoreError) -> Response {
 }
 
 /// Validates a score request (variant, UTF-8, JSON shape, matrix) into
-/// a [`ScoreTask`], or short-circuits with the error response.
-fn score_routed(req: &Request, pool: Arc<ScoringPool>, query: Option<&str>) -> Routed {
+/// a [`ScoreTask`], or short-circuits with the error response. `name`
+/// keys the per-model × per-variant telemetry counters.
+fn score_routed(req: &Request, pool: Arc<ScoringPool>, query: Option<&str>, name: &str) -> Routed {
     let select = match parse_variant(query) {
         Ok(s) => s,
         Err(msg) => return Routed::Ready(Response::error(400, "Bad Request", &msg)),
@@ -1292,9 +1519,17 @@ fn score_routed(req: &Request, pool: Arc<ScoringPool>, query: Option<&str>) -> R
         Ok(m) => m,
         Err(msg) => return Routed::Ready(Response::error(400, "Bad Request", &msg)),
     };
+    let tag = match select {
+        VariantSelect::Single(v) => VariantTag::from_variant(v),
+        VariantSelect::Both => VariantTag::Both,
+    };
+    let stats = metrics().model_stats(name);
+    let counters = stats.variant(tag);
+    counters.requests.inc();
+    counters.rows.add(matrix.rows() as u64);
     // Hand the parsed batch to the pool as-is: shards borrow row ranges
     // from this one shared allocation instead of copying.
-    Routed::Score(ScoreTask { pool, batch: Arc::new(matrix), select })
+    Routed::Score(ScoreTask { pool, batch: Arc::new(matrix), select, stats, tag })
 }
 
 pub(crate) fn rows_to_matrix(rows: &[Value]) -> Result<Matrix, String> {
@@ -1331,7 +1566,7 @@ mod tests {
     fn complete(buf: &[u8]) -> (Request, usize) {
         match parse_request(buf) {
             Parse::Complete { request, consumed } => (request, consumed),
-            Parse::Partial => panic!("unexpectedly partial"),
+            Parse::Partial { .. } => panic!("unexpectedly partial"),
             Parse::Bad(m) => panic!("unexpectedly bad: {m}"),
             Parse::Unsupported(m) => panic!("unexpectedly unsupported: {m}"),
         }
@@ -1340,12 +1575,23 @@ mod tests {
     #[test]
     fn parser_handles_incremental_arrival() {
         let wire = b"POST /score HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
-        // Every strict prefix is Partial; the full buffer completes.
+        let head_len = wire.len() - 4;
+        // Every strict prefix is Partial — and the parser reports the
+        // head/body boundary so callers can split read-stage timings.
         for cut in 0..wire.len() {
-            assert!(
-                matches!(parse_request(&wire[..cut]), Parse::Partial),
-                "prefix of {cut} bytes should be partial"
-            );
+            match parse_request(&wire[..cut]) {
+                Parse::Partial { head_complete } => {
+                    assert_eq!(
+                        head_complete,
+                        cut >= head_len,
+                        "prefix of {cut} bytes: wrong head_complete"
+                    );
+                }
+                other => panic!(
+                    "prefix of {cut} bytes should be partial, got {:?}",
+                    std::mem::discriminant(&other)
+                ),
+            }
         }
         let (req, consumed) = complete(wire);
         assert_eq!(consumed, wire.len());
@@ -1366,7 +1612,7 @@ mod tests {
         assert_eq!(second.path, "/models");
         assert!(!second.keep_alive);
         assert_eq!(used + used2, wire.len());
-        assert!(matches!(parse_request(&wire[used + used2..]), Parse::Partial));
+        assert!(matches!(parse_request(&wire[used + used2..]), Parse::Partial { .. }));
     }
 
     #[test]

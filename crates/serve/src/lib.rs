@@ -15,8 +15,10 @@
 //!    **persistent connections** (keep-alive, idle timeout, bounded
 //!    connection budget, pipelined-burst batched writes), routing `POST
 //!    /score[/{name}]`, `GET /model[/{name}]`, `GET /models`, `POST
-//!    /admin/reload/{name}`, `POST`/`DELETE /admin/teacher/{name}` and
-//!    `GET /healthz`; the `uadb-serve` binary wires
+//!    /admin/reload/{name}`, `POST`/`DELETE /admin/teacher/{name}`,
+//!    `GET /healthz`, `GET /metrics` (Prometheus text exposition from
+//!    the process-global [`telemetry`] plane) and `GET /admin/slow`
+//!    (the last captured slow requests); the `uadb-serve` binary wires
 //!    `train`/`score`/`serve`/`info` subcommands to the existing
 //!    teachers and datasets. Request parsing and response
 //!    serialization are **sans-io** functions over byte buffers,
@@ -80,6 +82,7 @@ pub mod pool;
 #[cfg(target_os = "linux")]
 pub mod reactor;
 pub mod registry;
+pub mod telemetry;
 
 pub use http::{
     ConnectionDriver, DriverCtx, IoMode, Server, ServerConfig, ServerHandle, ServerStats,
@@ -90,5 +93,6 @@ pub use persist::{
     load, load_file, load_record, load_record_file, load_teacher, load_teacher_file, save,
     save_file, save_teacher, save_teacher_file, PersistError, Record, FORMAT_VERSION,
 };
-pub use pool::{PoolConfig, ScoreCallback, ScoringPool};
+pub use pool::{PoolConfig, ScoreCallback, ScoreTiming, ScoringPool};
 pub use registry::{ModelRegistry, RegistryError};
+pub use telemetry::{metrics, RequestTimer, ServeMetrics, Stage};

@@ -117,6 +117,22 @@ pub enum ScoreError {
     WorkerPanicked,
 }
 
+impl ScoreError {
+    /// Stable, low-cardinality name for this error class — what the
+    /// structured logs and per-model error counters tag failures with
+    /// (the `Display` text carries request-specific numbers and would
+    /// explode label cardinality).
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            ScoreError::DimensionMismatch { .. } => "dimension_mismatch",
+            ScoreError::NonFiniteFeature { .. } => "non_finite_feature",
+            ScoreError::TeacherNotLoaded => "teacher_not_loaded",
+            ScoreError::Teacher(_) => "teacher_failed",
+            ScoreError::WorkerPanicked => "worker_panicked",
+        }
+    }
+}
+
 impl fmt::Display for ScoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

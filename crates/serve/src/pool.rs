@@ -30,16 +30,30 @@
 //! a comparison tool, not the production hot path).
 
 use crate::model::{ScoreError, ScoreWorkspace, ServedModel, Variant};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::telemetry;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use uadb_linalg::Matrix;
+use uadb_telemetry::now_ns;
 
 /// Completion callback a scoring submission fires exactly once, on
 /// whichever worker thread finishes the batch's last shard (or inline,
-/// for batches that never reach the queue).
-pub type ScoreCallback = Box<dyn FnOnce(Result<Vec<f64>, ScoreError>) + Send>;
+/// for batches that never reach the queue). The [`ScoreTiming`] is the
+/// batch's measured pool timings, so the HTTP layer can attribute the
+/// wait to its request without any shared lookup.
+pub type ScoreCallback = Box<dyn FnOnce(Result<Vec<f64>, ScoreError>, ScoreTiming) + Send>;
+
+/// Where a batch's wall time in the pool went: sitting in the queue
+/// (submission until a worker dequeued the first shard) versus being
+/// scored (first dequeue until the last shard finished). Both zero for
+/// batches that short-circuit without reaching the queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScoreTiming {
+    pub queue_ns: u64,
+    pub score_ns: u64,
+}
 
 /// Pool sizing.
 #[derive(Debug, Clone)]
@@ -89,6 +103,10 @@ struct BatchState {
     remaining: AtomicUsize,
     first_err: Mutex<Option<(usize, ScoreError)>>,
     done: Mutex<Option<ScoreCallback>>,
+    /// When the batch hit the queue ([`now_ns`] at submission).
+    submitted_ns: u64,
+    /// When a worker dequeued the batch's first shard (0 = not yet).
+    first_dequeue_ns: AtomicU64,
 }
 
 impl BatchState {
@@ -98,7 +116,16 @@ impl BatchState {
             remaining: AtomicUsize::new(n_shards),
             first_err: Mutex::new(None),
             done: Mutex::new(Some(done)),
+            submitted_ns: now_ns(),
+            first_dequeue_ns: AtomicU64::new(0),
         })
+    }
+
+    /// Marks the moment a worker first picked up a shard of this batch
+    /// — the end of the batch's queue wait. Relaxed CAS: only the first
+    /// caller wins, later shards are already in the scoring phase.
+    fn mark_dequeued(&self, t: u64) {
+        let _ = self.first_dequeue_ns.compare_exchange(0, t, Ordering::Relaxed, Ordering::Relaxed);
     }
 
     /// Records one shard's outcome; the call that drops `remaining` to
@@ -121,8 +148,24 @@ impl BatchState {
                 }
             };
             if let Some(done) = done {
-                done(outcome);
+                done(outcome, self.timing());
             }
+        }
+    }
+
+    fn timing(&self) -> ScoreTiming {
+        let dequeued = self.first_dequeue_ns.load(Ordering::Relaxed);
+        if dequeued == 0 {
+            // Never reached a worker (e.g. queue torn down): everything
+            // was queue wait.
+            return ScoreTiming {
+                queue_ns: now_ns().saturating_sub(self.submitted_ns),
+                score_ns: 0,
+            };
+        }
+        ScoreTiming {
+            queue_ns: dequeued.saturating_sub(self.submitted_ns),
+            score_ns: now_ns().saturating_sub(dequeued),
         }
     }
 }
@@ -156,7 +199,18 @@ impl Job {
 
 impl Drop for Job {
     fn drop(&mut self) {
+        // Every constructed shard leaves the queue-depth gauge exactly
+        // once, however it dies (scored, torn down, or panicked).
+        telemetry::metrics().pool_queue_depth.dec();
         if !self.reported {
+            telemetry::metrics().worker_panics.inc();
+            let range = format!("{}..{}", self.lo, self.hi);
+            uadb_telemetry::log::logger().log(
+                uadb_telemetry::Level::Error,
+                "pool",
+                "scoring shard lost to a worker panic",
+                &[("rows", &range), ("variant", self.variant.name())],
+            );
             self.state.record(self.lo, Err(ScoreError::WorkerPanicked));
         }
     }
@@ -175,10 +229,14 @@ impl ScoringPool {
     pub fn new(model: Arc<ServedModel>, cfg: PoolConfig) -> Self {
         let (n_workers, detect_err) = cfg.resolve_workers();
         if let Some(e) = detect_err {
-            eprintln!(
-                "uadb-serve: available_parallelism failed ({e}); \
-                 falling back to {n_workers} scoring workers — set \
-                 PoolConfig.workers (CLI --workers) to size the pool explicitly"
+            let err = e.to_string();
+            let n = n_workers.to_string();
+            uadb_telemetry::log::logger().log(
+                uadb_telemetry::Level::Warn,
+                "pool",
+                "available_parallelism failed; falling back — set PoolConfig.workers \
+                 (CLI --workers) to size the pool explicitly",
+                &[("error", &err), ("workers", &n)],
             );
         }
         let shard_rows = cfg.shard_rows.max(1);
@@ -248,7 +306,7 @@ impl ScoringPool {
         self.submit(
             raw,
             variant,
-            Box::new(move |result| {
+            Box::new(move |result, _timing| {
                 // A dropped receiver (caller bailed) is fine — discard.
                 let _ = tx.send(result);
             }),
@@ -272,15 +330,20 @@ impl ScoringPool {
     /// blocks on scoring.
     pub fn submit(&self, raw: &Arc<Matrix>, variant: Variant, done: ScoreCallback) {
         if variant == Variant::Teacher && self.model.teacher().is_none() {
-            return done(Err(ScoreError::TeacherNotLoaded));
+            return done(Err(ScoreError::TeacherNotLoaded), ScoreTiming::default());
         }
         let n = raw.rows();
         if n == 0 {
             // Preserve the model's validation semantics on empty input.
-            return done(match variant {
-                Variant::Booster => self.model.score_rows(raw),
-                Variant::Teacher => self.model.teacher().expect("checked above").score_rows(raw),
-            });
+            return done(
+                match variant {
+                    Variant::Booster => self.model.score_rows(raw),
+                    Variant::Teacher => {
+                        self.model.teacher().expect("checked above").score_rows(raw)
+                    }
+                },
+                ScoreTiming::default(),
+            );
         }
         // Even a single-shard batch goes through the queue: the fixed
         // worker set is what bounds CPU concurrency, and scoring on the
@@ -289,6 +352,9 @@ impl ScoringPool {
         let n_shards = n.div_ceil(self.shard_rows);
         let queue = self.queue.as_ref().expect("pool not shut down");
         let state = BatchState::new(n, n_shards, done);
+        // Balanced by the Job drop guard, which fires exactly once per
+        // shard however the shard ends.
+        telemetry::metrics().pool_queue_depth.add(n_shards as i64);
         for shard_idx in 0..n_shards {
             let lo = shard_idx * self.shard_rows;
             let hi = (lo + self.shard_rows).min(n);
@@ -337,6 +403,8 @@ fn worker_loop(model: &ServedModel, rx: &Mutex<Receiver<Job>>) {
         };
         match job {
             Ok(job) => {
+                let t_dequeue = now_ns();
+                job.state.mark_dequeued(t_dequeue);
                 let (lo, hi) = (job.lo, job.hi);
                 let result = match job.variant {
                     Variant::Booster => {
@@ -367,6 +435,11 @@ fn worker_loop(model: &ServedModel, rx: &Mutex<Receiver<Job>>) {
                         None => Err(ScoreError::TeacherNotLoaded),
                     },
                 };
+                let busy = now_ns().saturating_sub(t_dequeue);
+                let m = telemetry::metrics();
+                m.pool_shards_total.inc();
+                m.pool_shard_duration.record(busy);
+                m.pool_busy_ns.add(busy);
                 job.finish(result);
             }
             Err(_) => return, // Pool dropped.
@@ -445,11 +518,12 @@ mod tests {
         pool.submit(
             &batch,
             Variant::Booster,
-            Box::new(move |result| {
-                let _ = tx.send((std::thread::current().name().map(str::to_string), result));
+            Box::new(move |result, timing| {
+                let _ =
+                    tx.send((std::thread::current().name().map(str::to_string), result, timing));
             }),
         );
-        let (worker_name, result) = rx.recv().unwrap();
+        let (worker_name, result, timing) = rx.recv().unwrap();
         let scores = result.unwrap();
         assert_eq!(scores.len(), serial.len());
         for (i, (a, b)) in scores.iter().zip(&serial).enumerate() {
@@ -460,22 +534,27 @@ mod tests {
             worker_name.as_deref().is_some_and(|n| n.starts_with("uadb-score-")),
             "callback ran on {worker_name:?}"
         );
+        // A batch that went through the queue reports where its wall
+        // time went.
+        assert!(timing.score_ns > 0, "scored batches measure scoring time");
         // Short-circuit paths (empty batch, missing teacher) complete
-        // inline and still fire exactly once.
+        // inline, still fire exactly once, and report zero pool time.
         let (tx, rx) = channel();
         pool.submit(
             &Arc::new(Matrix::zeros(0, 0)),
             Variant::Booster,
-            Box::new(move |r| {
-                let _ = tx.send(r);
+            Box::new(move |r, t| {
+                let _ = tx.send((r, t));
             }),
         );
-        assert_eq!(rx.recv().unwrap().unwrap(), Vec::<f64>::new());
+        let (r, t) = rx.recv().unwrap();
+        assert_eq!(r.unwrap(), Vec::<f64>::new());
+        assert_eq!(t, ScoreTiming::default());
         let (tx, rx) = channel();
         pool.submit(
             &batch,
             Variant::Teacher,
-            Box::new(move |r| {
+            Box::new(move |r, _| {
                 let _ = tx.send(r);
             }),
         );

@@ -42,9 +42,10 @@ mod sys;
 mod timer;
 
 use crate::http::{
-    over_budget_response, parse_request, route, stalled_response, ConnectionDriver, DriverCtx,
-    IoMode, Parse, Response, RouteCtx, Routed, MAX_ACCEPT_FAILURES,
+    over_budget_response, parse_request, route, stalled_response, truncated_response,
+    ConnectionDriver, DriverCtx, IoMode, Parse, Response, RouteCtx, Routed, MAX_ACCEPT_FAILURES,
 };
+use crate::telemetry::{metrics, RequestTimer, Stage};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -54,6 +55,7 @@ use sys::{
     Epoll, EpollEvent, WakePipe, WakeWriter, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
 use timer::TimerWheel;
+use uadb_telemetry::{log::logger, now_ns, Level};
 
 /// Event token of the listening socket.
 const TOKEN_LISTENER: u64 = u64::MAX;
@@ -84,6 +86,9 @@ struct Completion {
     /// Whether this response closes the connection (decided at dispatch
     /// time from keep-alive/max-requests/shutdown state).
     close: bool,
+    /// The request's stage timer, carried through the pool round-trip;
+    /// finished once the response is serialized on the reactor thread.
+    timer: RequestTimer,
 }
 
 /// Per-connection state machine.
@@ -119,6 +124,12 @@ struct Conn {
     /// *earlier* than this must arm a fresh entry, superseding the old
     /// one via the sequence.
     armed_for: Instant,
+    /// When the first byte of the request currently arriving landed
+    /// (0 = no request in flight) — start of its head-read stage.
+    t_first: u64,
+    /// When that request's header block completed (0 = not yet) — the
+    /// head-read / body-read boundary.
+    t_head: u64,
 }
 
 impl Conn {
@@ -285,6 +296,8 @@ impl Reactor {
                         deadline,
                         timer_seq: 0,
                         armed_for: deadline,
+                        t_first: 0,
+                        t_head: 0,
                     });
                     self.ctx.stats.conn_opened();
                     // The one live wheel entry this connection has; it
@@ -301,7 +314,8 @@ impl Reactor {
                     if self.accept_failures >= MAX_ACCEPT_FAILURES {
                         return Err(e);
                     }
-                    eprintln!("uadb-serve: accept failed: {e}");
+                    let err = e.to_string();
+                    logger().log(Level::Warn, "reactor", "accept failed", &[("error", &err)]);
                     return Ok(()); // re-armed by level-triggered epoll
                 }
             }
@@ -373,6 +387,9 @@ impl Reactor {
                         break;
                     }
                     Ok(n) => {
+                        if conn.t_first == 0 {
+                            conn.t_first = now_ns();
+                        }
                         conn.rbuf.extend_from_slice(&chunk[..n]);
                         total += n;
                         if total >= MAX_READ_PER_PASS {
@@ -421,7 +438,12 @@ impl Reactor {
         let mut rpos = 0usize;
         while !conn.waiting && !conn.close_after_flush {
             match parse_request(&conn.rbuf[rpos..]) {
-                Parse::Partial => break,
+                Parse::Partial { head_complete } => {
+                    if head_complete && conn.t_head == 0 {
+                        conn.t_head = now_ns();
+                    }
+                    break;
+                }
                 Parse::Bad(msg) => {
                     Response::error(400, "Bad Request", &msg).serialize_into(&mut conn.wbuf, true);
                     conn.close_after_flush = true;
@@ -434,6 +456,20 @@ impl Reactor {
                 Parse::Complete { request, consumed } => {
                     rpos += consumed;
                     conn.served += 1;
+                    let t_parsed = now_ns();
+                    let mut timer = RequestTimer::start(if conn.t_first != 0 {
+                        conn.t_first
+                    } else {
+                        t_parsed
+                    });
+                    if conn.t_first != 0 {
+                        let head_done = if conn.t_head != 0 { conn.t_head } else { t_parsed };
+                        timer.add(Stage::HeadRead, head_done.saturating_sub(conn.t_first));
+                        timer.add(Stage::BodyRead, t_parsed.saturating_sub(head_done));
+                    }
+                    // The next pipelined request (if buffered) starts now.
+                    conn.t_first = t_parsed;
+                    conn.t_head = 0;
                     // Close after this response if the client asked for
                     // it, the per-connection request budget is spent, or
                     // the server is shutting down.
@@ -441,9 +477,14 @@ impl Reactor {
                         || conn.served >= ctx.cfg.max_requests_per_conn
                         || ctx.stop.is_stopped();
                     let route_ctx = RouteCtx { registry: &ctx.registry, stats: &ctx.stats };
-                    match route(&request, &route_ctx) {
+                    let routed = route(&request, &route_ctx);
+                    timer.add(Stage::Parse, now_ns().saturating_sub(t_parsed));
+                    match routed {
                         Routed::Ready(response) => {
+                            let t_ser = now_ns();
                             response.serialize_into(&mut conn.wbuf, close);
+                            timer.add(Stage::Serialize, now_ns().saturating_sub(t_ser));
+                            timer.finish(response.status);
                             if close {
                                 conn.close_after_flush = true;
                             }
@@ -453,19 +494,28 @@ impl Reactor {
                             let completions = Arc::clone(completions);
                             let waker = Arc::clone(waker);
                             let gen = conn.gen;
-                            task.run_async(Box::new(move |response| {
-                                completions
-                                    .lock()
-                                    .unwrap_or_else(|e| e.into_inner())
-                                    .push(Completion { idx, gen, response, close });
-                                waker.wake();
-                            }));
+                            task.run_async(
+                                timer,
+                                Box::new(move |response, timer| {
+                                    completions
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .push(Completion { idx, gen, response, close, timer });
+                                    waker.wake();
+                                }),
+                            );
                         }
                     }
                 }
             }
         }
         conn.rbuf.drain(..rpos);
+        if conn.rbuf.is_empty() {
+            // No partial request pending: the next request's first-byte
+            // clock starts at its actual read.
+            conn.t_first = 0;
+            conn.t_head = 0;
+        }
     }
 
     /// Applies finished scoring responses, resumes parsing of any
@@ -474,7 +524,7 @@ impl Reactor {
         let pending =
             std::mem::take(&mut *self.completions.lock().unwrap_or_else(|e| e.into_inner()));
         let now = Instant::now();
-        for Completion { idx, gen, response, close } in pending {
+        for Completion { idx, gen, response, close, mut timer } in pending {
             {
                 let Some(conn) = self.conns.get_mut(idx as usize).and_then(|c| c.as_mut()) else {
                     continue; // connection died while scoring
@@ -483,7 +533,10 @@ impl Reactor {
                     continue;
                 }
                 conn.waiting = false;
+                let t_ser = now_ns();
                 response.serialize_into(&mut conn.wbuf, close);
+                timer.add(Stage::Serialize, now_ns().saturating_sub(t_ser));
+                timer.finish(response.status);
                 if close {
                     conn.close_after_flush = true;
                 }
@@ -508,8 +561,7 @@ impl Reactor {
             // runs again once an in-flight score completes, so the
             // answer is not lost when the EOF landed mid-score.
             if conn.peer_eof && !conn.waiting && !conn.close_after_flush && !conn.rbuf.is_empty() {
-                Response::error(400, "Bad Request", "truncated request")
-                    .serialize_into(&mut conn.wbuf, true);
+                truncated_response().serialize_into(&mut conn.wbuf, true);
                 conn.close_after_flush = true;
                 conn.rbuf.clear();
             }
@@ -559,6 +611,8 @@ impl Reactor {
         let mut close = false;
         {
             let Some(conn) = self.conns[idx as usize].as_mut() else { return false };
+            let had_pending = conn.wpos < conn.wbuf.len();
+            let t_flush = if had_pending { now_ns() } else { 0 };
             while conn.wpos < conn.wbuf.len() {
                 match conn.stream.write(&conn.wbuf[conn.wpos..]) {
                     Ok(0) => break,
@@ -570,6 +624,9 @@ impl Reactor {
                         break;
                     }
                 }
+            }
+            if had_pending {
+                metrics().record_stage(Stage::WriteFlush, now_ns().saturating_sub(t_flush));
             }
             if !close {
                 if conn.flushed() {

@@ -22,6 +22,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use uadb_telemetry::{log::logger, Level};
 
 /// Longest accepted model name; names route in URLs, so they stay short.
 pub const MAX_NAME_LEN: usize = 64;
@@ -246,6 +247,13 @@ impl ModelRegistry {
             return Err(RegistryError::InvalidName(name.to_string()));
         }
         // Pool construction (thread spawning) happens outside the lock.
+        let teacher = if model.teacher().is_some() { "yes" } else { "no" };
+        logger().log(
+            Level::Info,
+            "registry",
+            "model registered",
+            &[("model", name), ("teacher", teacher)],
+        );
         let pool = Arc::new(ScoringPool::new(model, pool_cfg.clone()));
         self.write_entries()
             .insert(name.to_string(), Entry { pool, source, teacher_source, pool_cfg });
@@ -330,10 +338,14 @@ impl ModelRegistry {
         pool_cfg: PoolConfig,
     ) -> Result<(), RegistryError> {
         let pool = Arc::new(ScoringPool::new(model, pool_cfg.clone()));
+        let attached = teacher_source.is_some();
         let mut entries = self.write_entries();
         match entries.get_mut(name) {
             Some(entry) if Arc::ptr_eq(&entry.pool, seen_pool) => {
                 *entry = Entry { pool, source, teacher_source, pool_cfg };
+                drop(entries);
+                let action = if attached { "teacher attached" } else { "teacher detached" };
+                logger().log(Level::Info, "registry", action, &[("model", name)]);
                 Ok(())
             }
             _ => Err(RegistryError::ConcurrentSwap(name.to_string())),
@@ -403,6 +415,8 @@ impl ModelRegistry {
                 );
             }
         }
+        drop(entries);
+        logger().log(Level::Info, "registry", "model reloaded", &[("model", name)]);
         Ok(())
     }
 

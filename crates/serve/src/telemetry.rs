@@ -1,0 +1,622 @@
+//! Process-global serving telemetry: the single place every layer of
+//! the server reports into, and the single place `/metrics`,
+//! `/healthz` summaries, and `/admin/slow` read from.
+//!
+//! The handles live in one lazily-initialised [`ServeMetrics`] struct
+//! so pool workers, the epoll reactor, and the HTTP router all record
+//! without threading references through constructors. Recording is the
+//! `uadb_telemetry` hot-path budget — relaxed atomics, monotonic clock
+//! reads at state-machine transitions the server already makes, no
+//! allocation; only genuinely slow paths (a request over the slowness
+//! threshold, an operator scrape) take a lock.
+//!
+//! Metrics are **process**-scoped: two servers in one test process
+//! share one registry, so tests assert presence and monotonicity, not
+//! exact counts.
+
+use crate::model::{ScoreError, Variant};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use uadb_telemetry::{
+    now_ns, Counter, DecayStat, FloatGauge, Gauge, Histogram, HistogramSnapshot, Registry, SlowRing,
+};
+
+/// Stages of a request's life, in order. Each gets its own latency
+/// histogram series (`uadb_stage_duration_seconds{stage=...}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// First request byte to complete header block.
+    HeadRead = 0,
+    /// Complete header block to complete body.
+    BodyRead = 1,
+    /// Routing and request validation (JSON parse, matrix build).
+    Parse = 2,
+    /// Batch submitted to the pool until the first shard is dequeued.
+    QueueWait = 3,
+    /// First shard dequeued until the last shard finished.
+    Score = 4,
+    /// Response serialization.
+    Serialize = 5,
+    /// Socket write/flush of buffered response bytes.
+    WriteFlush = 6,
+}
+
+/// Number of [`Stage`] values (array sizing).
+pub const STAGE_COUNT: usize = 7;
+
+impl Stage {
+    /// The `stage` label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::HeadRead => "head_read",
+            Stage::BodyRead => "body_read",
+            Stage::Parse => "parse",
+            Stage::QueueWait => "queue_wait",
+            Stage::Score => "score",
+            Stage::Serialize => "serialize",
+            Stage::WriteFlush => "write_flush",
+        }
+    }
+
+    /// All stages, in pipeline order.
+    pub fn all() -> [Stage; STAGE_COUNT] {
+        [
+            Stage::HeadRead,
+            Stage::BodyRead,
+            Stage::Parse,
+            Stage::QueueWait,
+            Stage::Score,
+            Stage::Serialize,
+            Stage::WriteFlush,
+        ]
+    }
+}
+
+/// Why a request or connection was turned away — the `reason` label on
+/// `uadb_http_rejected_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// 503: connection budget exhausted at accept time.
+    OverBudget = 0,
+    /// 400: peer closed mid-request (truncated request).
+    EarlyClose = 1,
+    /// 408: idle deadline expired mid-request.
+    Stalled = 2,
+}
+
+impl RejectReason {
+    fn name(self) -> &'static str {
+        match self {
+            RejectReason::OverBudget => "over_budget",
+            RejectReason::EarlyClose => "early_close",
+            RejectReason::Stalled => "stalled",
+        }
+    }
+}
+
+/// Which variant selection a request asked for (the `variant` label on
+/// the per-model counters). Unlike [`Variant`] this includes the paired
+/// A/B selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariantTag {
+    Booster = 0,
+    Teacher = 1,
+    Both = 2,
+}
+
+impl VariantTag {
+    pub fn name(self) -> &'static str {
+        match self {
+            VariantTag::Booster => "booster",
+            VariantTag::Teacher => "teacher",
+            VariantTag::Both => "both",
+        }
+    }
+
+    pub fn from_variant(v: Variant) -> Self {
+        match v {
+            Variant::Booster => VariantTag::Booster,
+            Variant::Teacher => VariantTag::Teacher,
+        }
+    }
+}
+
+/// Request/error/row counters for one `(model, variant)` pair.
+#[derive(Debug)]
+pub struct VariantCounters {
+    pub requests: Arc<Counter>,
+    pub errors: Arc<Counter>,
+    pub rows: Arc<Counter>,
+}
+
+/// Per-model counter block: one [`VariantCounters`] per variant tag,
+/// plus the model name as a shared `Arc<str>` so hot-path consumers
+/// (trace records, slow-ring entries) can carry the name without
+/// allocating.
+#[derive(Debug)]
+pub struct ModelStats {
+    pub name: Arc<str>,
+    variants: [VariantCounters; 3],
+}
+
+impl ModelStats {
+    pub fn variant(&self, tag: VariantTag) -> &VariantCounters {
+        &self.variants[tag as usize]
+    }
+}
+
+/// One captured slow request, served by `GET /admin/slow`.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    pub trace_id: u64,
+    /// First request byte to end of serialization.
+    pub total_ns: u64,
+    /// Per-stage durations, indexed by [`Stage`]. `WriteFlush` is
+    /// always zero here: flushes are accounted per-socket-write, after
+    /// the request has already been captured.
+    pub stages: [u64; STAGE_COUNT],
+    /// Scored model, when the request reached scoring.
+    pub model: Option<Arc<str>>,
+    pub variant: Option<VariantTag>,
+    pub rows: usize,
+    pub status: u16,
+}
+
+/// Accumulates one request's stage timings as it moves through the
+/// server; [`RequestTimer::finish`] records everything in one shot.
+/// Plain value type — it travels with the request (into pool callbacks
+/// and reactor completions) rather than living in shared state.
+#[derive(Debug, Clone)]
+pub struct RequestTimer {
+    pub trace_id: u64,
+    /// Timestamp of the request's first byte.
+    pub t0: u64,
+    stages: [u64; STAGE_COUNT],
+    model: Option<Arc<str>>,
+    variant: Option<VariantTag>,
+    rows: usize,
+}
+
+impl RequestTimer {
+    /// Starts a timer for a request whose first byte arrived at `t0`
+    /// (monotonic ns, from [`now_ns`]).
+    pub fn start(t0: u64) -> Self {
+        Self {
+            trace_id: uadb_telemetry::next_trace_id(),
+            t0,
+            stages: [0; STAGE_COUNT],
+            model: None,
+            variant: None,
+            rows: 0,
+        }
+    }
+
+    /// Adds `ns` to a stage (stages touched twice — e.g. the two pool
+    /// submissions of a `?variant=both` request — accumulate).
+    #[inline]
+    pub fn add(&mut self, stage: Stage, ns: u64) {
+        self.stages[stage as usize] += ns;
+    }
+
+    pub fn stage(&self, stage: Stage) -> u64 {
+        self.stages[stage as usize]
+    }
+
+    /// Tags the timer with what it ended up scoring.
+    pub fn set_scored(&mut self, model: Arc<str>, variant: VariantTag, rows: usize) {
+        self.model = Some(model);
+        self.variant = Some(variant);
+        self.rows = rows;
+    }
+
+    /// Records the finished request: per-stage histograms, the
+    /// end-to-end latency histogram, and — when over the slowness
+    /// threshold — a slow-ring entry. `total` spans first byte to end
+    /// of serialization (write/flush is accounted separately, per
+    /// socket write).
+    pub fn finish(self, status: u16) {
+        let m = metrics();
+        let total = now_ns().saturating_sub(self.t0);
+        for stage in Stage::all() {
+            let ns = self.stages[stage as usize];
+            // Zero means the stage never ran for this request (e.g. no
+            // body, or a non-scoring route) — skip, so each stage
+            // histogram counts only requests that exercised it.
+            if ns > 0 {
+                m.stage_hist[stage as usize].record(ns);
+            }
+        }
+        m.request_duration.record(total);
+        if total >= m.slow_threshold_ns.load(Ordering::Relaxed) {
+            m.slow_ring.push(SlowEntry {
+                trace_id: self.trace_id,
+                total_ns: total,
+                stages: self.stages,
+                model: self.model,
+                variant: self.variant,
+                rows: self.rows,
+                status,
+            });
+        }
+    }
+}
+
+/// All serving metrics, registered once into one [`Registry`].
+pub struct ServeMetrics {
+    registry: Registry,
+    /// Indexed by [`Stage`].
+    stage_hist: [Arc<Histogram>; STAGE_COUNT],
+    pub request_duration: Arc<Histogram>,
+    pub requests_total: Arc<Counter>,
+    /// Indexed by [`RejectReason`].
+    rejected: [Arc<Counter>; 3],
+    pub connections_opened: Arc<Counter>,
+    pub connections_closed: Arc<Counter>,
+    pub open_connections: Arc<Gauge>,
+
+    pub pool_queue_depth: Arc<Gauge>,
+    pub pool_shards_total: Arc<Counter>,
+    pub pool_shard_duration: Arc<Histogram>,
+    pub pool_busy_ns: Arc<Counter>,
+    pub worker_panics: Arc<Counter>,
+
+    divergence: DecayStat,
+    div_mean: Arc<FloatGauge>,
+    div_max: Arc<FloatGauge>,
+    div_samples: Arc<Counter>,
+
+    model_stats: RwLock<BTreeMap<String, Arc<ModelStats>>>,
+    slow_ring: SlowRing<SlowEntry>,
+    slow_threshold_ns: AtomicU64,
+}
+
+/// Slow-request capture threshold when `--slow-ms` is not given.
+pub const DEFAULT_SLOW_THRESHOLD_NS: u64 = 100_000_000; // 100ms
+
+/// Slow-ring capacity: the last N slow requests an operator can pull
+/// back out of `/admin/slow`.
+pub const SLOW_RING_CAP: usize = 32;
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let bounds = Histogram::latency_bounds();
+        let stage_hist = Stage::all().map(|s| {
+            registry.histogram(
+                "uadb_stage_duration_seconds",
+                "Per-stage request latency.",
+                &[("stage", s.name())],
+                &bounds,
+                9,
+            )
+        });
+        let request_duration = registry.histogram(
+            "uadb_request_duration_seconds",
+            "End-to-end request latency (first byte to serialized response).",
+            &[],
+            &bounds,
+            9,
+        );
+        let requests_total =
+            registry.counter("uadb_http_requests_total", "HTTP requests routed.", &[]);
+        let rejected = [RejectReason::OverBudget, RejectReason::EarlyClose, RejectReason::Stalled]
+            .map(|r| {
+                registry.counter(
+                    "uadb_http_rejected_total",
+                    "Requests/connections turned away, by reason.",
+                    &[("reason", r.name())],
+                )
+            });
+        let connections_opened =
+            registry.counter("uadb_http_connections_opened_total", "Connections accepted.", &[]);
+        let connections_closed =
+            registry.counter("uadb_http_connections_closed_total", "Connections closed.", &[]);
+        let open_connections =
+            registry.gauge("uadb_http_open_connections", "Connections currently open.", &[]);
+
+        let pool_queue_depth = registry.gauge(
+            "uadb_pool_queue_depth",
+            "Scoring shards queued or in flight in the pool.",
+            &[],
+        );
+        let pool_shards_total =
+            registry.counter("uadb_pool_shards_total", "Scoring shards executed.", &[]);
+        let pool_shard_duration = registry.histogram(
+            "uadb_pool_shard_duration_seconds",
+            "Per-shard latency from dequeue to scored.",
+            &[],
+            &bounds,
+            9,
+        );
+        let pool_busy_ns = registry.counter(
+            "uadb_pool_worker_busy_nanoseconds_total",
+            "Cumulative wall time pool workers spent scoring shards.",
+            &[],
+        );
+        let worker_panics = registry.counter(
+            "uadb_pool_worker_panics_total",
+            "Scoring shards lost to a worker panic.",
+            &[],
+        );
+
+        let div_mean = registry.float_gauge(
+            "uadb_divergence_mean_abs",
+            "Decayed mean |teacher - booster| over paired A/B scores.",
+            &[],
+        );
+        let div_max = registry.float_gauge(
+            "uadb_divergence_max_abs",
+            "Decayed max |teacher - booster| over paired A/B scores.",
+            &[],
+        );
+        let div_samples = registry.counter(
+            "uadb_divergence_samples_total",
+            "Paired scores folded into the divergence estimate.",
+            &[],
+        );
+
+        Self {
+            registry,
+            stage_hist,
+            request_duration,
+            requests_total,
+            rejected,
+            connections_opened,
+            connections_closed,
+            open_connections,
+            pool_queue_depth,
+            pool_shards_total,
+            pool_shard_duration,
+            pool_busy_ns,
+            worker_panics,
+            // ~1/0.002 = 500-sample effective window: long enough to
+            // smooth batch noise, short enough that drift shows within
+            // a few requests' worth of rows.
+            divergence: DecayStat::new(0.002),
+            div_mean,
+            div_max,
+            div_samples,
+            model_stats: RwLock::new(BTreeMap::new()),
+            slow_ring: SlowRing::new(SLOW_RING_CAP),
+            slow_threshold_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_NS),
+        }
+    }
+
+    /// Records a per-stage duration outside a [`RequestTimer`] (used
+    /// for `WriteFlush`, which is per socket write, not per request).
+    #[inline]
+    pub fn record_stage(&self, stage: Stage, ns: u64) {
+        self.stage_hist[stage as usize].record(ns);
+    }
+
+    /// Bumps a rejection counter.
+    #[inline]
+    pub fn reject(&self, reason: RejectReason) {
+        self.rejected[reason as usize].inc();
+    }
+
+    /// Sum over all rejection reasons.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.iter().map(|c| c.get()).sum()
+    }
+
+    /// The counter block for one model, registering its nine series
+    /// (3 variants × requests/errors/rows) on first sight. Steady state
+    /// is a read-lock and a map probe.
+    pub fn model_stats(&self, name: &str) -> Arc<ModelStats> {
+        if let Some(stats) = self.model_stats.read().unwrap().get(name) {
+            return Arc::clone(stats);
+        }
+        let mut map = self.model_stats.write().unwrap();
+        // Double-checked: another thread may have registered between
+        // the read unlock and the write lock.
+        if let Some(stats) = map.get(name) {
+            return Arc::clone(stats);
+        }
+        let variants = [VariantTag::Booster, VariantTag::Teacher, VariantTag::Both].map(|tag| {
+            let labels = [("model", name), ("variant", tag.name())];
+            VariantCounters {
+                requests: self.registry.counter(
+                    "uadb_model_requests_total",
+                    "Scoring requests, by model and variant.",
+                    &labels,
+                ),
+                errors: self.registry.counter(
+                    "uadb_model_errors_total",
+                    "Failed scoring requests, by model and variant.",
+                    &labels,
+                ),
+                rows: self.registry.counter(
+                    "uadb_model_rows_total",
+                    "Rows scored, by model and variant.",
+                    &labels,
+                ),
+            }
+        });
+        let stats = Arc::new(ModelStats { name: Arc::from(name), variants });
+        map.insert(name.to_string(), Arc::clone(&stats));
+        stats
+    }
+
+    /// Folds one A/B response's paired scores into the streaming
+    /// divergence estimate and refreshes the exported gauges.
+    pub fn observe_divergence(&self, booster: &[f64], teacher: &[f64]) {
+        let n = booster.len().min(teacher.len());
+        if n == 0 {
+            return;
+        }
+        let mut sum = 0.0f64;
+        let mut max = 0.0f64;
+        for i in 0..n {
+            let d = (booster[i] - teacher[i]).abs();
+            sum += d;
+            if d > max {
+                max = d;
+            }
+        }
+        self.divergence.observe_batch(sum / n as f64, max, n);
+        self.div_mean.set(self.divergence.mean());
+        self.div_max.set(self.divergence.max());
+        self.div_samples.add(n as u64);
+    }
+
+    /// Current decayed (mean |Δ|, max |Δ|, samples) divergence view.
+    pub fn divergence_summary(&self) -> (f64, f64, u64) {
+        (self.divergence.mean(), self.divergence.max(), self.divergence.samples())
+    }
+
+    /// End-to-end latency snapshot (drives the `/healthz` quantiles).
+    pub fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.request_duration.snapshot()
+    }
+
+    /// Last captured slow requests, oldest first.
+    pub fn slow_snapshot(&self) -> Vec<SlowEntry> {
+        self.slow_ring.snapshot()
+    }
+
+    pub fn set_slow_threshold_ms(&self, ms: u64) {
+        self.slow_threshold_ns.store(ms.saturating_mul(1_000_000), Ordering::Relaxed);
+    }
+
+    /// Bumps the per-model error counter and emits the structured error
+    /// log every scoring failure gets (worker panics are server bugs
+    /// and log at error level; request-shape failures at debug).
+    pub fn record_score_error(
+        &self,
+        stats: &ModelStats,
+        tag: VariantTag,
+        err: &ScoreError,
+        trace_id: u64,
+    ) {
+        stats.variant(tag).errors.inc();
+        let level = match err {
+            ScoreError::WorkerPanicked => uadb_telemetry::Level::Error,
+            _ => uadb_telemetry::Level::Debug,
+        };
+        let trace = trace_id.to_string();
+        uadb_telemetry::log::logger().log(
+            level,
+            "score",
+            "scoring failed",
+            &[
+                ("trace", &trace),
+                ("model", &stats.name),
+                ("variant", tag.name()),
+                ("error", err.metric_label()),
+            ],
+        );
+    }
+
+    /// Renders the full exposition: every registered family, then the
+    /// GEMM kernel counters (feature-gated in `uadb_linalg`; all-zero
+    /// when compiled out) and the logger's suppression counter, which
+    /// live outside the registry.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        self.registry.render_into(&mut out);
+
+        let ks = uadb_linalg::gemm::stats::snapshot();
+        out.push_str("# HELP uadb_gemm_packs_built_total GEMM weight packings built.\n");
+        out.push_str("# TYPE uadb_gemm_packs_built_total counter\n");
+        out.push_str(&format!("uadb_gemm_packs_built_total {}\n", ks.packs_built));
+        out.push_str(
+            "# HELP uadb_gemm_packs_reused_total GEMM calls served from a cached packing.\n",
+        );
+        out.push_str("# TYPE uadb_gemm_packs_reused_total counter\n");
+        out.push_str(&format!("uadb_gemm_packs_reused_total {}\n", ks.packs_reused));
+        out.push_str("# HELP uadb_gemm_calls_total GEMM kernel invocations, by ISA path.\n");
+        out.push_str("# TYPE uadb_gemm_calls_total counter\n");
+        out.push_str(&format!("uadb_gemm_calls_total{{isa=\"avx512\"}} {}\n", ks.calls_avx512));
+        out.push_str(&format!("uadb_gemm_calls_total{{isa=\"avx\"}} {}\n", ks.calls_avx));
+        out.push_str(&format!("uadb_gemm_calls_total{{isa=\"portable\"}} {}\n", ks.calls_portable));
+
+        out.push_str(
+            "# HELP uadb_log_dropped_total Log messages suppressed by the rate limiter.\n",
+        );
+        out.push_str("# TYPE uadb_log_dropped_total counter\n");
+        out.push_str(&format!(
+            "uadb_log_dropped_total {}\n",
+            uadb_telemetry::log::logger().dropped()
+        ));
+        out
+    }
+}
+
+static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+
+/// The process-global serving metrics.
+pub fn metrics() -> &'static ServeMetrics {
+    METRICS.get_or_init(ServeMetrics::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_stats_registered_once_and_shared() {
+        let m = metrics();
+        let a = m.model_stats("telemetry-test-model");
+        let b = m.model_stats("telemetry-test-model");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.variant(VariantTag::Booster).requests.inc();
+        a.variant(VariantTag::Booster).rows.add(5);
+        let text = m.render();
+        assert!(text.contains(
+            "uadb_model_requests_total{model=\"telemetry-test-model\",variant=\"booster\"}"
+        ));
+        assert!(text.contains(
+            "uadb_model_rows_total{model=\"telemetry-test-model\",variant=\"teacher\"} 0"
+        ));
+    }
+
+    #[test]
+    fn render_includes_gemm_and_log_sections() {
+        let text = metrics().render();
+        assert!(text.contains("# TYPE uadb_gemm_calls_total counter"));
+        assert!(text.contains("uadb_gemm_calls_total{isa=\"portable\"}"));
+        assert!(text.contains("# TYPE uadb_log_dropped_total counter"));
+    }
+
+    #[test]
+    fn divergence_updates_gauges() {
+        let m = metrics();
+        let before = m.divergence_summary().2;
+        m.observe_divergence(&[0.5, 0.5], &[0.5, 0.7]);
+        let (mean, max, samples) = m.divergence_summary();
+        assert!(mean > 0.0);
+        assert!(max >= 0.2 - 1e-12);
+        assert_eq!(samples, before + 2);
+    }
+
+    #[test]
+    fn timer_records_slow_entry() {
+        let m = metrics();
+        // Threshold 0: every finished request is captured.
+        m.set_slow_threshold_ms(0);
+        let mut t = RequestTimer::start(now_ns());
+        t.add(Stage::Parse, 1_000);
+        t.add(Stage::Score, 2_000);
+        t.set_scored(Arc::from("slow-model"), VariantTag::Both, 3);
+        let id = t.trace_id;
+        t.finish(200);
+        m.set_slow_threshold_ms(DEFAULT_SLOW_THRESHOLD_NS / 1_000_000);
+        let snap = m.slow_snapshot();
+        let entry = snap.iter().rev().find(|e| e.trace_id == id).expect("captured");
+        assert_eq!(entry.rows, 3);
+        assert_eq!(entry.status, 200);
+        assert_eq!(entry.stages[Stage::Score as usize], 2_000);
+        assert_eq!(entry.model.as_deref(), Some("slow-model"));
+    }
+
+    #[test]
+    fn reject_reasons_accumulate() {
+        let m = metrics();
+        let before = m.rejected_total();
+        m.reject(RejectReason::OverBudget);
+        m.reject(RejectReason::Stalled);
+        assert_eq!(m.rejected_total(), before + 2);
+    }
+}

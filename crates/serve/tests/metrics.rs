@@ -1,0 +1,441 @@
+//! Telemetry-plane integration: a live server scraped over HTTP on
+//! every available I/O backend.
+//!
+//! Pins three properties end to end:
+//!
+//! 1. `GET /metrics` emits **well-formed Prometheus text exposition**
+//!    (every line parses, histogram bucket invariants hold) containing
+//!    the stage histograms, pool gauges and per-model counters — while
+//!    concurrent scoring traffic returns scores **bit-identical** to
+//!    in-process scoring (instrumentation never perturbs the math).
+//! 2. Over-budget connections surface as `rejected_total` on both
+//!    `/healthz` and `/metrics`.
+//! 3. `GET /admin/slow` captures requests past the slow threshold with
+//!    per-stage breakdowns.
+//!
+//! The metrics plane is process-global (`uadb_serve::metrics()`), and
+//! all tests in this binary share one process: assertions are
+//! presence/monotonicity-based, never exact-count, so tests compose in
+//! any order and across backends.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use uadb::UadbConfig;
+use uadb_data::synth::{fig5_dataset, AnomalyType};
+use uadb_detectors::DetectorKind;
+use uadb_linalg::Matrix;
+use uadb_serve::json::{self, Value};
+use uadb_serve::model::ServedModel;
+use uadb_serve::pool::PoolConfig;
+use uadb_serve::{IoMode, ModelRegistry, Server, ServerConfig, ServerHandle};
+
+fn trained_model(seed: u64) -> ServedModel {
+    let data = fig5_dataset(AnomalyType::Clustered, seed);
+    ServedModel::train(&data, DetectorKind::Hbos, UadbConfig::fast_for_tests(seed)).unwrap()
+}
+
+/// The I/O backends this host can run, or the one `UADB_SERVE_IO` pins.
+fn backends() -> Vec<IoMode> {
+    match std::env::var("UADB_SERVE_IO").as_deref() {
+        Ok("threads") => vec![IoMode::Threads],
+        Ok("epoll") => vec![IoMode::Epoll],
+        Ok(other) => panic!("UADB_SERVE_IO must be threads|epoll, got `{other}`"),
+        Err(_) => {
+            let mut all = vec![IoMode::Threads];
+            if cfg!(target_os = "linux") {
+                all.push(IoMode::Epoll);
+            }
+            all
+        }
+    }
+}
+
+fn spawn_with(model: &Arc<ServedModel>, config: ServerConfig) -> ServerHandle {
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .insert("default", Arc::clone(model), PoolConfig { workers: 2, shard_rows: 16 })
+        .unwrap();
+    Server::bind("127.0.0.1:0", registry, config).unwrap().spawn().unwrap()
+}
+
+/// One-shot `Connection: close` request; returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let payload = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len(),
+    );
+    writer.write_all(req.as_bytes()).expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line.split_whitespace().nth(1).expect("code").parse().expect("u16");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("numeric Content-Length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("UTF-8"))
+}
+
+fn rows_json(x: &Matrix, rows: &[usize]) -> String {
+    let rows: Vec<Value> = rows.iter().map(|&r| json::number_array(x.row(r))).collect();
+    json::to_string(&json::object([("rows", Value::Array(rows))]))
+}
+
+fn parse_scores(body: &str) -> Vec<f64> {
+    json::parse(body)
+        .expect("valid JSON")
+        .get("scores")
+        .expect("scores")
+        .as_array()
+        .expect("array")
+        .iter()
+        .map(|v| v.as_f64().expect("numeric"))
+        .collect()
+}
+
+/// Parses a text-exposition body into `series{labels} → value`,
+/// asserting every line is well-formed along the way. This is the same
+/// validation the CI scrape job performs.
+fn parse_exposition(body: &str) -> BTreeMap<String, f64> {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.bytes().enumerate().all(|(i, b)| {
+                b.is_ascii_alphabetic() || b == b'_' || b == b':' || (i > 0 && b.is_ascii_digit())
+            })
+    }
+    let mut series = BTreeMap::new();
+    let mut typed: BTreeMap<&str, &str> = BTreeMap::new();
+    for line in body.lines() {
+        assert!(!line.is_empty(), "exposition must not contain blank lines");
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap();
+            let name = parts.next().unwrap_or_else(|| panic!("malformed comment: {line}"));
+            assert!(valid_name(name), "bad metric name in comment: {line}");
+            match keyword {
+                "HELP" => {
+                    assert!(parts.next().is_some(), "HELP without text: {line}");
+                }
+                "TYPE" => {
+                    let ty = parts.next().unwrap_or_else(|| panic!("TYPE without type: {line}"));
+                    assert!(
+                        matches!(ty, "counter" | "gauge" | "histogram"),
+                        "unknown TYPE `{ty}`: {line}"
+                    );
+                    typed.insert(name, ty);
+                }
+                other => panic!("unknown comment keyword `{other}`: {line}"),
+            }
+            continue;
+        }
+        let (key, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("no value: {line}"));
+        let value: f64 =
+            value.parse().unwrap_or_else(|_| panic!("unparsable value `{value}`: {line}"));
+        let name = key.split('{').next().unwrap();
+        assert!(valid_name(name), "bad series name `{name}`: {line}");
+        if key.contains('{') {
+            assert!(key.ends_with('}'), "unterminated label set: {line}");
+        }
+        // Every series belongs to a family announced by a TYPE line.
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed.contains_key(f))
+            .unwrap_or(name);
+        assert!(typed.contains_key(family), "series `{name}` has no TYPE line");
+        let prior = series.insert(key.to_string(), value);
+        assert!(prior.is_none(), "duplicate series: {key}");
+    }
+    // Histogram invariants: per family+label-set, cumulative buckets
+    // are monotonic in numeric `le` order, end at +Inf, and the +Inf
+    // bucket agrees with that label-set's `_count`.
+    let mut by_hist: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for (key, value) in &series {
+        let name = key.split('{').next().unwrap();
+        if name.strip_suffix("_bucket").is_some() {
+            let labels = key.split_once('{').map(|(_, l)| l).unwrap_or("");
+            let le_start =
+                labels.find("le=\"").unwrap_or_else(|| panic!("bucket without le: {key}"));
+            let le = &labels[le_start + 4..];
+            let le = &le[..le.find('"').unwrap()];
+            let le: f64 = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().unwrap_or_else(|_| panic!("unparsable le `{le}`: {key}"))
+            };
+            // `le` is always the last label, so everything before it
+            // (family + the other labels) identifies the label-set.
+            let group = key[..key.find("le=\"").unwrap()].trim_end_matches(',').to_string();
+            by_hist.entry(group).or_default().push((le, *value));
+        }
+    }
+    for (group, mut buckets) in by_hist {
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut prev = 0.0;
+        for (le, v) in &buckets {
+            assert!(*v >= prev, "{group}: bucket le={le} not cumulative");
+            prev = *v;
+        }
+        let (last_le, last_v) = *buckets.last().unwrap();
+        assert_eq!(last_le, f64::INFINITY, "{group}: last bucket must be +Inf");
+        // `group` is `family_bucket{other_labels...`; the matching
+        // count series is `family_count{other_labels...}`.
+        let count_key = {
+            let k = group.replacen("_bucket", "_count", 1);
+            if let Some(stripped) = k.strip_suffix('{') {
+                stripped.to_string() // no labels besides le
+            } else {
+                format!("{k}}}")
+            }
+        };
+        let count = series
+            .get(&count_key)
+            .unwrap_or_else(|| panic!("{group}: missing count series `{count_key}`"));
+        assert_eq!(*count, last_v, "{group}: +Inf bucket != _count");
+    }
+    series
+}
+
+/// The value of the first series whose name+labels start with `prefix`.
+fn series_with_prefix<'a>(
+    series: &'a BTreeMap<String, f64>,
+    prefix: &str,
+) -> Option<(&'a String, f64)> {
+    series.iter().find(|(k, _)| k.starts_with(prefix)).map(|(k, v)| (k, *v))
+}
+
+#[test]
+fn metrics_scrape_under_load_is_valid_and_scores_stay_bit_identical() {
+    let served = Arc::new(trained_model(71));
+    let data = fig5_dataset(AnomalyType::Clustered, 71);
+    let expected = served.score_rows(&data.x).unwrap();
+    for io in backends() {
+        let handle = spawn_with(&served, ServerConfig { io, ..ServerConfig::default() });
+        let addr = handle.addr();
+
+        // Concurrent scoring load; every response must match in-process
+        // scoring bit for bit even with the telemetry plane recording
+        // every stage.
+        let slices: Vec<Vec<usize>> = vec![
+            (0..data.n_samples()).collect(),
+            (0..40).collect(),
+            vec![7],
+            (0..data.n_samples()).step_by(7).collect(),
+        ];
+        let mut threads = Vec::new();
+        for slice in slices {
+            let x = data.x.clone();
+            let expected = expected.clone();
+            threads.push(std::thread::spawn(move || {
+                for _ in 0..3 {
+                    let (status, payload) =
+                        request(addr, "POST", "/score", Some(&rows_json(&x, &slice)));
+                    assert_eq!(status, 200, "body: {payload}");
+                    let scores = parse_scores(&payload);
+                    for (pos, &row) in slice.iter().enumerate() {
+                        assert_eq!(scores[pos].to_bits(), expected[row].to_bits(), "row {row}");
+                    }
+                    // Interleave scrapes with the scoring load.
+                    let (status, body) = request(addr, "GET", "/metrics", None);
+                    assert_eq!(status, 200);
+                    parse_exposition(&body);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().expect("client thread");
+        }
+
+        // A final scrape must carry every required series.
+        let (status, body) = request(addr, "GET", "/metrics", None);
+        assert_eq!(status, 200, "[{}]", io.name());
+        let series = parse_exposition(&body);
+        for required in [
+            "uadb_request_duration_seconds_count",
+            "uadb_stage_duration_seconds_bucket{stage=\"parse\"",
+            "uadb_stage_duration_seconds_bucket{stage=\"score\"",
+            "uadb_stage_duration_seconds_bucket{stage=\"queue_wait\"",
+            "uadb_stage_duration_seconds_bucket{stage=\"serialize\"",
+            "uadb_stage_duration_seconds_bucket{stage=\"write_flush\"",
+            "uadb_http_requests_total",
+            "uadb_http_connections_opened_total",
+            "uadb_http_open_connections",
+            "uadb_pool_queue_depth",
+            "uadb_pool_shards_total",
+            "uadb_pool_worker_busy_nanoseconds_total",
+            "uadb_model_requests_total{model=\"default\",variant=\"booster\"}",
+            "uadb_model_rows_total{model=\"default\",variant=\"booster\"}",
+            "uadb_gemm_packs_built_total",
+            "uadb_gemm_calls_total",
+            "uadb_log_dropped_total",
+        ] {
+            assert!(
+                series_with_prefix(&series, required).is_some(),
+                "[{}] missing series `{required}` in:\n{body}",
+                io.name()
+            );
+        }
+        // The scoring load left its marks: requests counted, shards
+        // scored, the queue drained back to a small steady state.
+        let (_, reqs) =
+            series_with_prefix(&series, "uadb_model_requests_total{model=\"default\"").unwrap();
+        assert!(reqs >= 12.0, "[{}] model requests {reqs}", io.name());
+        let (_, shards) = series_with_prefix(&series, "uadb_pool_shards_total").unwrap();
+        assert!(shards >= 1.0, "[{}] pool shards {shards}", io.name());
+
+        // /healthz grew latency percentiles and rejection counters.
+        let (_, body) = request(addr, "GET", "/healthz", None);
+        let health = json::parse(&body).unwrap();
+        let p50 = health.get("latency_ms").and_then(|l| l.get("p50")).and_then(Value::as_f64);
+        assert!(p50.is_some(), "[{}] /healthz latency_ms.p50 missing: {body}", io.name());
+        let p99 = health.get("latency_ms").and_then(|l| l.get("p99")).and_then(Value::as_f64);
+        assert!(p99.unwrap() >= p50.unwrap(), "[{}] p99 < p50", io.name());
+        assert!(health.get("rejected_total").and_then(Value::as_f64).is_some());
+        assert!(health.get("worker_panics_total").and_then(Value::as_f64).is_some());
+
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn over_budget_connections_count_as_rejections() {
+    let served = Arc::new(trained_model(72));
+    for io in backends() {
+        let config = ServerConfig {
+            max_connections: 1,
+            max_requests_per_conn: 100,
+            idle_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(5),
+            io,
+        };
+        let handle = spawn_with(&served, config);
+        let addr = handle.addr();
+
+        let (_, body) = request(addr, "GET", "/healthz", None);
+        let before =
+            json::parse(&body).unwrap().get("rejected_total").and_then(Value::as_f64).unwrap();
+
+        // Hold the whole budget with one idle keep-alive connection,
+        // then connect again: 503, counted as an over-budget rejection.
+        // The slot freed by the probe above may lag a moment, so retry
+        // until a holder actually gets a 200 (rejected holders just add
+        // to the over-budget count this test asserts on).
+        let mut holder = None;
+        for _ in 0..50 {
+            let mut candidate = TcpStream::connect(addr).unwrap();
+            candidate.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            candidate
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+                .unwrap();
+            let mut first = [0u8; 16];
+            let n = candidate.read(&mut first).unwrap();
+            if first[..n].starts_with(b"HTTP/1.1 200") {
+                holder = Some(candidate);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let holder = holder.expect("budget slot never admitted the holder");
+        let (status, _) = request(addr, "GET", "/healthz", None);
+        assert_eq!(status, 503, "[{}]", io.name());
+        drop(holder);
+
+        // Poll until the freed slot admits us again, then check both
+        // surfaces. (>= +1: other tests in this process may reject too.)
+        let mut after = None;
+        for _ in 0..50 {
+            std::thread::sleep(Duration::from_millis(20));
+            let stream = TcpStream::connect(addr);
+            let Ok(mut s) = stream else { continue };
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            if s.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nConnection: close\r\n\r\n").is_err() {
+                continue;
+            }
+            let mut body = String::new();
+            if BufReader::new(s).read_to_string(&mut body).is_err() {
+                continue;
+            }
+            if !body.starts_with("HTTP/1.1 200") {
+                continue;
+            }
+            let json_start = body.find("\r\n\r\n").unwrap() + 4;
+            after = json::parse(&body[json_start..])
+                .ok()
+                .and_then(|d| d.get("rejected_total").and_then(Value::as_f64));
+            break;
+        }
+        let after = after.expect("budget slot never released");
+        assert!(after >= before + 1.0, "[{}] rejected_total {before} -> {after}", io.name());
+
+        let (_, body) = request(addr, "GET", "/metrics", None);
+        let series = parse_exposition(&body);
+        let (_, rejected) =
+            series_with_prefix(&series, "uadb_http_rejected_total{reason=\"over_budget\"}")
+                .expect("over_budget series");
+        assert!(rejected >= 1.0);
+
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn slow_ring_captures_requests_with_stage_breakdowns() {
+    let served = Arc::new(trained_model(73));
+    let data = fig5_dataset(AnomalyType::Clustered, 73);
+    // Process-global knob: capture everything. Concurrent tests in this
+    // binary will also land in the ring; assertions only require OUR
+    // entries to show up with sane shapes.
+    uadb_serve::metrics().set_slow_threshold_ms(0);
+    for io in backends() {
+        let handle = spawn_with(&served, ServerConfig { io, ..ServerConfig::default() });
+        let addr = handle.addr();
+
+        let rows: Vec<usize> = (0..64).collect();
+        let (status, _) = request(addr, "POST", "/score", Some(&rows_json(&data.x, &rows)));
+        assert_eq!(status, 200);
+
+        let (status, body) = request(addr, "GET", "/admin/slow", None);
+        assert_eq!(status, 200, "[{}]", io.name());
+        let doc = json::parse(&body).unwrap();
+        let entries = doc.get("slow").and_then(Value::as_array).expect("slow array");
+        assert!(!entries.is_empty(), "[{}] ring empty: {body}", io.name());
+        // At least one captured entry is a scoring request against our
+        // model with per-stage timings that sum to at most the total.
+        let scored = entries.iter().find(|e| {
+            e.get("model").and_then(Value::as_str) == Some("default")
+                && e.get("rows").and_then(Value::as_f64) == Some(64.0)
+        });
+        let entry = scored.unwrap_or_else(|| panic!("[{}] no scored entry: {body}", io.name()));
+        assert_eq!(entry.get("variant").and_then(Value::as_str), Some("booster"));
+        assert_eq!(entry.get("status").and_then(Value::as_f64), Some(200.0));
+        assert!(entry.get("trace").and_then(Value::as_f64).unwrap() >= 1.0);
+        let total = entry.get("total_ms").and_then(Value::as_f64).unwrap();
+        let stages = entry.get("stages_ms").expect("stages_ms");
+        let score_ms = stages.get("score").and_then(Value::as_f64).unwrap_or(0.0);
+        assert!(score_ms <= total, "[{}] score {score_ms} > total {total}", io.name());
+
+        handle.shutdown();
+    }
+    // Restore the default so other tests' rings don't churn.
+    uadb_serve::metrics().set_slow_threshold_ms(100);
+}

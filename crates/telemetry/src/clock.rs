@@ -1,0 +1,31 @@
+//! Monotonic nanosecond clock.
+//!
+//! All stage timings are durations between two [`now_ns`] reads, so
+//! the epoch is arbitrary; anchoring to the first call keeps values
+//! small enough that `u64` nanoseconds last centuries.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-local monotonic epoch.
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,40 @@
+//! Lock-free telemetry core for the UADB serving plane.
+//!
+//! Provides the primitives every layer of the server instruments
+//! itself with, and nothing else — no external dependencies, no
+//! background threads, no allocation on any record path:
+//!
+//! - [`metrics`]: relaxed-atomic [`Counter`]s, integer/float gauges,
+//!   and fixed-bucket log-scale [`Histogram`]s whose bucket bounds are
+//!   precomputed at registration time.
+//! - [`registry`]: a [`Registry`] that owns registered series and
+//!   renders the Prometheus text exposition format.
+//! - [`stream`]: a streaming exponential-decay estimator
+//!   ([`DecayStat`]) for the teacher/booster divergence signal.
+//! - [`ring`]: a bounded ring buffer ([`SlowRing`]) for slow-request
+//!   capture (locks only on the already-slow path).
+//! - [`log`]: a leveled, rate-limited stderr logger with an optional
+//!   JSON-lines format.
+//! - [`clock`] / [`trace`]: monotonic nanosecond timestamps and
+//!   process-unique trace ids.
+//!
+//! The hot-path budget is explicit: recording a counter is one relaxed
+//! `fetch_add`; recording a histogram sample is a short binary search
+//! over precomputed bounds plus two relaxed `fetch_add`s. Reads
+//! (rendering, quantiles) are snapshot-based and never block writers.
+
+pub mod clock;
+pub mod log;
+pub mod metrics;
+pub mod registry;
+pub mod ring;
+pub mod stream;
+pub mod trace;
+
+pub use clock::now_ns;
+pub use log::{Level, Logger};
+pub use metrics::{Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot};
+pub use registry::Registry;
+pub use ring::SlowRing;
+pub use stream::DecayStat;
+pub use trace::next_trace_id;

@@ -1,0 +1,284 @@
+//! Leveled, rate-limited stderr logger.
+//!
+//! One process-global [`Logger`] replaces ad-hoc `eprintln!` calls:
+//! messages carry a level, a component tag, and structured key/value
+//! fields, rendered either as human-readable text or JSON lines. A
+//! fixed one-second window caps emission volume so a failing peer
+//! cannot turn the log into a denial of service; suppressed messages
+//! are counted and summarized when the window rolls over.
+//!
+//! Level and format checks are single relaxed atomic loads, so a
+//! disabled `debug!`-style call costs one load and one branch.
+
+use crate::clock::now_ns;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+/// Log severity, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        }
+    }
+}
+
+const WINDOW_NS: u64 = 1_000_000_000;
+const DEFAULT_PER_WINDOW: u64 = 200;
+
+#[derive(Debug)]
+pub struct Logger {
+    level: AtomicU8,
+    json: AtomicBool,
+    window_start: AtomicU64,
+    window_count: AtomicU64,
+    per_window: AtomicU64,
+    dropped_total: AtomicU64,
+}
+
+impl Logger {
+    pub const fn new() -> Self {
+        Self {
+            level: AtomicU8::new(Level::Info as u8),
+            json: AtomicBool::new(false),
+            window_start: AtomicU64::new(0),
+            window_count: AtomicU64::new(0),
+            per_window: AtomicU64::new(DEFAULT_PER_WINDOW),
+            dropped_total: AtomicU64::new(0),
+        }
+    }
+
+    pub fn set_level(&self, level: Level) {
+        self.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    pub fn level(&self) -> Level {
+        Level::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    pub fn set_json(&self, json: bool) {
+        self.json.store(json, Ordering::Relaxed);
+    }
+
+    /// Messages allowed per one-second window before suppression.
+    pub fn set_rate_limit(&self, per_second: u64) {
+        self.per_window.store(per_second.max(1), Ordering::Relaxed);
+    }
+
+    /// Total messages suppressed by the rate limiter.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_total.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn enabled(&self, level: Level) -> bool {
+        level as u8 <= self.level.load(Ordering::Relaxed)
+    }
+
+    /// Emit one message; `fields` are structured key/value pairs
+    /// appended after the text (or embedded in the JSON object).
+    pub fn log(&self, level: Level, component: &str, msg: &str, fields: &[(&str, &str)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        match self.admit() {
+            Admit::Pass => {}
+            Admit::Drop => return,
+            Admit::PassWithSummary(dropped) => {
+                let d = dropped.to_string();
+                let line = format_line(
+                    self.json.load(Ordering::Relaxed),
+                    Level::Warn,
+                    "log",
+                    "rate limit: messages suppressed",
+                    &[("dropped", &d)],
+                );
+                eprintln!("{line}");
+            }
+        }
+        let line = format_line(self.json.load(Ordering::Relaxed), level, component, msg, fields);
+        eprintln!("{line}");
+    }
+
+    /// Window-based admission: allow `per_window` messages per second,
+    /// count the rest. The CAS races are benign — worst case a handful
+    /// of extra messages pass at a window boundary.
+    fn admit(&self) -> Admit {
+        let now = now_ns();
+        let start = self.window_start.load(Ordering::Relaxed);
+        if now.saturating_sub(start) >= WINDOW_NS
+            && self
+                .window_start
+                .compare_exchange(start, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            let missed = self.window_count.swap(1, Ordering::Relaxed);
+            let limit = self.per_window.load(Ordering::Relaxed);
+            let dropped = missed.saturating_sub(limit);
+            if dropped > 0 {
+                return Admit::PassWithSummary(dropped);
+            }
+            return Admit::Pass;
+        }
+        let seen = self.window_count.fetch_add(1, Ordering::Relaxed);
+        if seen < self.per_window.load(Ordering::Relaxed) {
+            Admit::Pass
+        } else {
+            self.dropped_total.fetch_add(1, Ordering::Relaxed);
+            Admit::Drop
+        }
+    }
+}
+
+impl Default for Logger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum Admit {
+    Pass,
+    Drop,
+    PassWithSummary(u64),
+}
+
+static GLOBAL: Logger = Logger::new();
+
+/// The process-global logger.
+pub fn logger() -> &'static Logger {
+    &GLOBAL
+}
+
+/// Render one log line. Public so the exact wire format is testable.
+pub fn format_line(
+    json: bool,
+    level: Level,
+    component: &str,
+    msg: &str,
+    fields: &[(&str, &str)],
+) -> String {
+    let mut out = String::with_capacity(64 + msg.len());
+    if json {
+        let _ = write!(
+            out,
+            "{{\"ts_ns\":{},\"level\":\"{}\",\"component\":\"{}\",\"msg\":\"{}\"",
+            now_ns(),
+            level.as_str(),
+            escape_json(component),
+            escape_json(msg)
+        );
+        for (k, v) in fields {
+            let _ = write!(out, ",\"{}\":\"{}\"", escape_json(k), escape_json(v));
+        }
+        out.push('}');
+    } else {
+        let _ = write!(out, "[{}] {}: {}", level.as_str(), component, msg);
+        for (k, v) in fields {
+            let _ = write!(out, " {k}={v}");
+        }
+    }
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_gating() {
+        let lg = Logger::new();
+        lg.set_level(Level::Warn);
+        assert!(lg.enabled(Level::Error));
+        assert!(lg.enabled(Level::Warn));
+        assert!(!lg.enabled(Level::Info));
+        assert!(!lg.enabled(Level::Debug));
+    }
+
+    #[test]
+    fn level_parse_roundtrip() {
+        for l in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("trace"), None);
+    }
+
+    #[test]
+    fn text_format() {
+        let line = format_line(false, Level::Warn, "pool", "worker panicked", &[("trace", "42")]);
+        assert_eq!(line, "[warn] pool: worker panicked trace=42");
+    }
+
+    #[test]
+    fn json_format_escapes() {
+        let line = format_line(true, Level::Error, "http", "bad \"request\"", &[("path", "/a\nb")]);
+        assert!(line.starts_with("{\"ts_ns\":"));
+        assert!(line.contains("\"level\":\"error\""));
+        assert!(line.contains("\"msg\":\"bad \\\"request\\\"\""));
+        assert!(line.contains("\"path\":\"/a\\nb\""));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn rate_limit_counts_drops() {
+        let lg = Logger::new();
+        lg.set_level(Level::Debug);
+        lg.set_rate_limit(5);
+        // First call initializes the window; subsequent calls admit up
+        // to the limit then count drops.
+        for _ in 0..50 {
+            match lg.admit() {
+                Admit::Pass | Admit::PassWithSummary(_) => {}
+                Admit::Drop => {}
+            }
+        }
+        assert!(lg.dropped() > 0, "excess messages were counted as dropped");
+    }
+}

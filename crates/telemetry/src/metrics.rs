@@ -1,0 +1,267 @@
+//! Lock-free metric primitives.
+//!
+//! Every write path is wait-free (relaxed atomic RMW); the only loop is
+//! the CAS retry in [`FloatGauge::add`], which is off the request hot
+//! path. Histograms use fixed bucket bounds precomputed at
+//! construction, so recording a sample is a binary search over a
+//! `Box<[u64]>` (≤7 comparisons for the standard latency layout) plus
+//! two relaxed `fetch_add`s — no allocation, no locks, no branches on
+//! shared state.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Signed integer gauge (queue depths, open connections).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Self(AtomicI64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Floating-point gauge, stored as `f64` bits in an `AtomicU64`.
+#[derive(Debug)]
+pub struct FloatGauge(AtomicU64);
+
+impl Default for FloatGauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FloatGauge {
+    pub const fn new() -> Self {
+        // 0.0f64 is all-zero bits, so `to_bits` is not needed in const.
+        Self(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// CAS-loop accumulate (used off the hot path).
+    pub fn add(&self, d: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// Fixed-bucket histogram over `u64` samples (nanoseconds, by
+/// convention). Bucket `i` counts samples `<= bounds[i]`; one extra
+/// overflow bucket counts the rest (`+Inf`).
+///
+/// Reads are snapshot-consistent in the sense that the rendered
+/// `_count` is derived by summing the bucket reads themselves, so the
+/// invariant `sum(buckets) == count` holds in every exposition even
+/// while writers race; `_sum` is tracked separately and may trail the
+/// bucket counts by in-flight samples.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Build a histogram from strictly increasing upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self { bounds: bounds.into(), buckets, sum: AtomicU64::new(0) }
+    }
+
+    /// Standard latency layout: power-of-1.25 bounds from 1µs to >60s
+    /// (80 buckets), in nanoseconds.
+    pub fn latency_bounds() -> Vec<u64> {
+        let mut bounds = Vec::with_capacity(80);
+        let mut b = 1_000f64; // 1µs
+        while b < 60_000_000_000f64 {
+            bounds.push(b as u64);
+            b *= 1.25;
+        }
+        bounds.push(b as u64);
+        bounds
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| v > b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Read every bucket once; the snapshot's count is the sum of those
+    /// reads, so it is internally consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            count,
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Upper bounds; `buckets` has one more entry (the overflow bucket).
+    pub bounds: Vec<u64>,
+    pub buckets: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (0 ≤ q ≤ 1): the upper
+    /// bound of the first bucket at which the cumulative count reaches
+    /// `ceil(q * count)`. Returns `None` when empty. Samples landing in
+    /// the overflow bucket report the last finite bound.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(self.bounds[i.min(self.bounds.len() - 1)]);
+            }
+        }
+        Some(self.bounds[self.bounds.len() - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauges() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+
+        let f = FloatGauge::new();
+        assert_eq!(f.get(), 0.0);
+        f.set(1.5);
+        f.add(0.25);
+        assert_eq!(f.get(), 1.75);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        h.record(5); // <= 10
+        h.record(10); // <= 10 (bounds are inclusive)
+        h.record(11); // <= 100
+        h.record(1000); // <= 1000
+        h.record(5000); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 5 + 10 + 11 + 1000 + 5000);
+    }
+
+    #[test]
+    fn latency_bounds_shape() {
+        let b = Histogram::latency_bounds();
+        assert_eq!(b[0], 1_000);
+        assert!(*b.last().unwrap() >= 60_000_000_000);
+        assert!(b.len() <= 90, "bucket count stays bounded: {}", b.len());
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn quantiles() {
+        let h = Histogram::new(&[10, 20, 30, 40]);
+        for v in [1, 2, 12, 22, 23, 24, 31, 32, 33, 50] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), Some(10));
+        assert_eq!(s.quantile(0.5), Some(30));
+        assert_eq!(s.quantile(1.0), Some(40)); // overflow reports last bound
+        assert_eq!(Histogram::new(&[1]).snapshot().quantile(0.5), None);
+    }
+}

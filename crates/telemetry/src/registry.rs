@@ -1,0 +1,305 @@
+//! Metric registry and Prometheus text exposition rendering.
+//!
+//! Series are registered once (at startup or first use of a dynamic
+//! label set) and handed back as `Arc` handles; the hot path touches
+//! only the atomic inside the handle, never the registry lock.
+//! Rendering takes the lock briefly to walk the family list, then reads
+//! each atomic once.
+
+use crate::metrics::{Counter, FloatGauge, Gauge, Histogram};
+use std::fmt::Write as _;
+use std::sync::{Arc, RwLock};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    FloatGauge(Arc<FloatGauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Series {
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    /// Decimal right-shift applied to histogram bounds and sums at
+    /// render time (e.g. 9 to expose nanosecond samples in seconds).
+    /// Integer math keeps the exposition exact — no float noise.
+    shift: u32,
+    series: Vec<Series>,
+}
+
+/// Owns registered metric families and renders them as Prometheus text
+/// exposition format (version 0.0.4).
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: RwLock<Vec<Family>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a counter series; repeated calls with the same name
+    /// append a new labeled series to the existing family.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let c = Arc::new(Counter::new());
+        self.push(name, help, Kind::Counter, 0, labels, Metric::Counter(c.clone()));
+        c
+    }
+
+    /// Register an integer gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::new());
+        self.push(name, help, Kind::Gauge, 0, labels, Metric::Gauge(g.clone()));
+        g
+    }
+
+    /// Register a floating-point gauge series.
+    pub fn float_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<FloatGauge> {
+        let g = Arc::new(FloatGauge::new());
+        self.push(name, help, Kind::Gauge, 0, labels, Metric::FloatGauge(g.clone()));
+        g
+    }
+
+    /// Register a histogram series. `shift` divides raw `u64` samples
+    /// by `10^shift` at render time (use `9` for nanosecond samples
+    /// exposed as seconds, per Prometheus convention).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+        shift: u32,
+    ) -> Arc<Histogram> {
+        let h = Arc::new(Histogram::new(bounds));
+        self.push(name, help, Kind::Histogram, shift, labels, Metric::Histogram(h.clone()));
+        h
+    }
+
+    fn push(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        shift: u32,
+        labels: &[(&str, &str)],
+        metric: Metric,
+    ) {
+        let series = Series {
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            metric,
+        };
+        let mut fams = self.families.write().unwrap();
+        if let Some(fam) = fams.iter_mut().find(|f| f.name == name) {
+            assert_eq!(fam.kind, kind, "metric {name} re-registered with a different type");
+            fam.series.push(series);
+        } else {
+            fams.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind,
+                shift,
+                series: vec![series],
+            });
+        }
+    }
+
+    /// Render every registered family in registration order.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        self.render_into(&mut out);
+        out
+    }
+
+    pub fn render_into(&self, out: &mut String) {
+        let fams = self.families.read().unwrap();
+        for fam in fams.iter() {
+            let _ = writeln!(out, "# HELP {} {}", fam.name, escape_help(&fam.help));
+            let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+            for series in &fam.series {
+                match &series.metric {
+                    Metric::Counter(c) => {
+                        write_labels(out, &fam.name, &series.labels, None);
+                        let _ = writeln!(out, " {}", c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        write_labels(out, &fam.name, &series.labels, None);
+                        let _ = writeln!(out, " {}", g.get());
+                    }
+                    Metric::FloatGauge(g) => {
+                        write_labels(out, &fam.name, &series.labels, None);
+                        let _ = writeln!(out, " {}", fmt_f64(g.get()));
+                    }
+                    Metric::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        for (i, &bucket) in snap.buckets.iter().enumerate() {
+                            cum += bucket;
+                            let le = if i < snap.bounds.len() {
+                                fmt_shifted(snap.bounds[i], fam.shift)
+                            } else {
+                                "+Inf".to_string()
+                            };
+                            let bucket_name = format!("{}_bucket", fam.name);
+                            write_labels(out, &bucket_name, &series.labels, Some(&le));
+                            let _ = writeln!(out, " {cum}");
+                        }
+                        write_labels(out, &format!("{}_sum", fam.name), &series.labels, None);
+                        let _ = writeln!(out, " {}", fmt_shifted(snap.sum, fam.shift));
+                        write_labels(out, &format!("{}_count", fam.name), &series.labels, None);
+                        let _ = writeln!(out, " {}", snap.count);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Format `v / 10^shift` as an exact decimal string (e.g. `11999`
+/// shifted by 9 → `0.000011999`).
+fn fmt_shifted(v: u64, shift: u32) -> String {
+    if shift == 0 {
+        return v.to_string();
+    }
+    let div = 10u64.pow(shift);
+    let int = v / div;
+    let frac = v % div;
+    if frac == 0 {
+        return int.to_string();
+    }
+    let mut s = format!("{int}.{frac:0width$}", width = shift as usize);
+    while s.ends_with('0') {
+        s.pop();
+    }
+    s
+}
+
+/// Format an `f64` the way Prometheus expects: plain decimal (Rust's
+/// `Display` for `f64` never produces scientific notation), with NaN
+/// and infinities spelled out.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_labels(out: &mut String, name: &str, labels: &[(String, String)], le: Option<&str>) {
+    out.push_str(name);
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counter_and_gauge() {
+        let reg = Registry::new();
+        let c = reg.counter("uadb_requests_total", "Total requests.", &[("model", "m")]);
+        let g = reg.gauge("uadb_queue_depth", "Queued shards.", &[]);
+        c.add(3);
+        g.set(2);
+        let text = reg.render();
+        assert!(text.contains("# HELP uadb_requests_total Total requests."));
+        assert!(text.contains("# TYPE uadb_requests_total counter"));
+        assert!(text.contains("uadb_requests_total{model=\"m\"} 3"));
+        assert!(text.contains("# TYPE uadb_queue_depth gauge"));
+        assert!(text.contains("uadb_queue_depth 2"));
+    }
+
+    #[test]
+    fn histogram_cumulative_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", "Latency.", &[], &[1_000, 2_000], 9);
+        h.record(500);
+        h.record(1_500);
+        h.record(9_999);
+        let text = reg.render();
+        assert!(text.contains("lat_bucket{le=\"0.000001\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"0.000002\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_count 3"));
+        assert!(text.contains("lat_sum 0.000011999"));
+    }
+
+    #[test]
+    fn same_family_multiple_series() {
+        let reg = Registry::new();
+        let a = reg.counter("hits_total", "Hits.", &[("variant", "booster")]);
+        let b = reg.counter("hits_total", "Hits.", &[("variant", "teacher")]);
+        a.inc();
+        b.add(2);
+        let text = reg.render();
+        // HELP/TYPE emitted once per family.
+        assert_eq!(text.matches("# TYPE hits_total counter").count(), 1);
+        assert!(text.contains("hits_total{variant=\"booster\"} 1"));
+        assert!(text.contains("hits_total{variant=\"teacher\"} 2"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        let reg = Registry::new();
+        reg.counter("c_total", "C.", &[("path", "a\"b\\c")]);
+        let text = reg.render();
+        assert!(text.contains("c_total{path=\"a\\\"b\\\\c\"} 0"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Bounded ring buffer for slow-request capture.
+//!
+//! The ring is mutex-guarded, but by construction it is only touched
+//! when a request has already blown the slowness threshold (or when an
+//! operator hits `/admin/slow`), so the lock never sits on the hot
+//! path. Pushing past capacity evicts the oldest entry.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+#[derive(Debug)]
+pub struct SlowRing<T> {
+    cap: usize,
+    buf: Mutex<VecDeque<T>>,
+}
+
+impl<T: Clone> SlowRing<T> {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        Self { cap, buf: Mutex::new(VecDeque::with_capacity(cap)) }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Append an entry, evicting the oldest when full.
+    pub fn push(&self, entry: T) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(entry);
+    }
+
+    /// Entries oldest-first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_oldest_in_order() {
+        let ring = SlowRing::new(3);
+        for i in 0..5 {
+            ring.push(i);
+        }
+        assert_eq!(ring.snapshot(), vec![2, 3, 4]);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn under_capacity_keeps_all() {
+        let ring = SlowRing::new(4);
+        ring.push("a");
+        ring.push("b");
+        assert_eq!(ring.snapshot(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Streaming exponential-decay statistics.
+//!
+//! [`DecayStat`] maintains a sliding-window view of a scalar signal
+//! (teacher/booster score divergence) without storing samples: the mean
+//! is an EWMA and the max decays geometrically, so old extremes fade
+//! instead of pinning the estimate forever.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Exponential-decay mean and max over batched observations.
+///
+/// Each observed sample carries weight `alpha`; a batch of `n` samples
+/// with mean `m` folds in as
+/// `mean ← mean·(1-α)^n + m·(1 - (1-α)^n)`, which equals applying the
+/// per-sample EWMA update `n` times with the batch mean. The max decays
+/// by `(1-α)^n` per batch before being compared with the batch max.
+///
+/// Updates are CAS loops on `f64` bits — lock-free, and off the
+/// per-row hot path (one update per scored batch).
+#[derive(Debug)]
+pub struct DecayStat {
+    alpha: f64,
+    mean_bits: AtomicU64,
+    max_bits: AtomicU64,
+    samples: AtomicU64,
+}
+
+impl DecayStat {
+    /// `alpha` is the per-sample weight in `(0, 1]`; `1/alpha` is the
+    /// effective window length in samples.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            alpha,
+            mean_bits: AtomicU64::new(0),
+            max_bits: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+        }
+    }
+
+    /// Fold in a batch of `n` samples with the given mean and max.
+    pub fn observe_batch(&self, batch_mean: f64, batch_max: f64, n: usize) {
+        if n == 0 || !batch_mean.is_finite() || !batch_max.is_finite() {
+            return;
+        }
+        let keep = (1.0 - self.alpha).powi(n.min(i32::MAX as usize) as i32);
+        let first = self.samples.fetch_add(n as u64, Ordering::Relaxed) == 0;
+        cas_f64(&self.mean_bits, |cur| {
+            // Seed from the first batch rather than decaying toward a
+            // fictitious zero history.
+            if first {
+                batch_mean
+            } else {
+                cur * keep + batch_mean * (1.0 - keep)
+            }
+        });
+        cas_f64(&self.max_bits, |cur| {
+            let decayed = if first { 0.0 } else { cur * keep };
+            decayed.max(batch_max)
+        });
+    }
+
+    pub fn mean(&self) -> f64 {
+        f64::from_bits(self.mean_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Total samples folded in since construction.
+    pub fn samples(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+}
+
+fn cas_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_batch_seeds() {
+        let d = DecayStat::new(0.01);
+        d.observe_batch(0.5, 0.9, 10);
+        assert!((d.mean() - 0.5).abs() < 1e-12);
+        assert!((d.max() - 0.9).abs() < 1e-12);
+        assert_eq!(d.samples(), 10);
+    }
+
+    #[test]
+    fn converges_to_constant_signal() {
+        let d = DecayStat::new(0.05);
+        d.observe_batch(1.0, 1.0, 1);
+        for _ in 0..200 {
+            d.observe_batch(3.0, 3.0, 4);
+        }
+        assert!((d.mean() - 3.0).abs() < 1e-6, "mean {}", d.mean());
+        assert!((d.max() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_decays() {
+        let d = DecayStat::new(0.1);
+        d.observe_batch(0.0, 10.0, 1);
+        for _ in 0..100 {
+            d.observe_batch(0.0, 1.0, 5);
+        }
+        assert!(d.max() < 1.0 + 1e-9, "old spike fades: {}", d.max());
+        assert!(d.max() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn empty_and_nonfinite_batches_ignored() {
+        let d = DecayStat::new(0.5);
+        d.observe_batch(1.0, 1.0, 0);
+        d.observe_batch(f64::NAN, 1.0, 3);
+        d.observe_batch(1.0, f64::INFINITY, 3);
+        assert_eq!(d.samples(), 0);
+        assert_eq!(d.mean(), 0.0);
+    }
+}

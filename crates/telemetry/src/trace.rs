@@ -1,0 +1,33 @@
+//! Process-unique monotonic trace ids.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate the next trace id. Ids are unique within the process and
+/// strictly increasing in allocation order; id `0` is reserved as
+/// "untraced".
+#[inline]
+pub fn next_trace_id() -> u64 {
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_unique_across_threads() {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles
+                .push(std::thread::spawn(|| (0..256).map(|_| next_trace_id()).collect::<Vec<_>>()));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+        assert!(!all.contains(&0));
+    }
+}

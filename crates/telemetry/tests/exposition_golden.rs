@@ -1,0 +1,51 @@
+//! Golden test for the Prometheus text exposition format: a registry
+//! with one of each metric kind renders byte-for-byte as expected.
+
+use uadb_telemetry::Registry;
+
+#[test]
+fn exposition_golden() {
+    let reg = Registry::new();
+    let requests = reg.counter(
+        "uadb_requests_total",
+        "Requests received.",
+        &[("model", "demo"), ("variant", "booster")],
+    );
+    let depth = reg.gauge("uadb_pool_queue_depth", "Shards queued for scoring.", &[]);
+    let div = reg.float_gauge("uadb_divergence_mean", "Decayed mean |teacher - booster|.", &[]);
+    let lat = reg.histogram(
+        "uadb_stage_seconds",
+        "Stage latency.",
+        &[("stage", "score")],
+        &[1_000, 1_000_000, 1_000_000_000],
+        9,
+    );
+
+    requests.add(7);
+    depth.set(3);
+    div.set(0.125);
+    lat.record(500); // le 1µs
+    lat.record(250_000); // le 1ms
+    lat.record(2_000_000_000); // overflow
+
+    let expected = "\
+# HELP uadb_requests_total Requests received.
+# TYPE uadb_requests_total counter
+uadb_requests_total{model=\"demo\",variant=\"booster\"} 7
+# HELP uadb_pool_queue_depth Shards queued for scoring.
+# TYPE uadb_pool_queue_depth gauge
+uadb_pool_queue_depth 3
+# HELP uadb_divergence_mean Decayed mean |teacher - booster|.
+# TYPE uadb_divergence_mean gauge
+uadb_divergence_mean 0.125
+# HELP uadb_stage_seconds Stage latency.
+# TYPE uadb_stage_seconds histogram
+uadb_stage_seconds_bucket{stage=\"score\",le=\"0.000001\"} 1
+uadb_stage_seconds_bucket{stage=\"score\",le=\"0.001\"} 2
+uadb_stage_seconds_bucket{stage=\"score\",le=\"1\"} 2
+uadb_stage_seconds_bucket{stage=\"score\",le=\"+Inf\"} 3
+uadb_stage_seconds_sum{stage=\"score\"} 2.0002505
+uadb_stage_seconds_count{stage=\"score\"} 3
+";
+    assert_eq!(reg.render(), expected);
+}

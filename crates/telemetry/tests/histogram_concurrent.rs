@@ -1,0 +1,54 @@
+//! Concurrent-writer histogram correctness: samples recorded from many
+//! threads produce exactly the snapshot a serial reference would.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use uadb_telemetry::Histogram;
+
+/// Serial reference: bucket each sample by the same inclusive-upper-
+/// bound rule, independently of the atomic implementation.
+fn reference(bounds: &[u64], samples: &[u64]) -> (Vec<u64>, u64, u64) {
+    let mut buckets = vec![0u64; bounds.len() + 1];
+    let mut sum = 0u64;
+    for &s in samples {
+        let idx = bounds.iter().position(|&b| s <= b).unwrap_or(bounds.len());
+        buckets[idx] += 1;
+        sum += s;
+    }
+    (buckets, sum, samples.len() as u64)
+}
+
+proptest! {
+    #[test]
+    fn merged_snapshot_equals_serial_reference(
+        samples in prop::collection::vec(0u64..5_000_000, 0..400),
+        threads in 1usize..6,
+    ) {
+        let bounds = Histogram::latency_bounds();
+        let hist = Arc::new(Histogram::new(&bounds));
+
+        let chunk = samples.len() / threads + 1;
+        let mut handles = Vec::new();
+        for part in samples.chunks(chunk.max(1)) {
+            let hist = Arc::clone(&hist);
+            let part = part.to_vec();
+            handles.push(std::thread::spawn(move || {
+                for s in part {
+                    hist.record(s);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let snap = hist.snapshot();
+        let (ref_buckets, ref_sum, ref_count) = reference(&bounds, &samples);
+        prop_assert_eq!(&snap.buckets, &ref_buckets);
+        prop_assert_eq!(snap.sum, ref_sum);
+        prop_assert_eq!(snap.count, ref_count);
+        // Snapshot internal consistency: count is the bucket total.
+        let bucket_total: u64 = snap.buckets.iter().sum();
+        prop_assert_eq!(snap.count, bucket_total);
+    }
+}
