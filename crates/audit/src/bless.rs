@@ -1,0 +1,237 @@
+//! The blessed-atomics table (`audit/atomics.toml`) and its parser.
+//!
+//! The table is TOML by convention, but the parser is a hand-rolled
+//! subset (the build is offline; no `toml` crate): `[[bless]]` array
+//! tables whose entries are `key = "string"` or `key = integer` pairs,
+//! with `#` comments and blank lines. Anything else is a hard error —
+//! a bless entry that silently failed to parse would un-bless nothing
+//! and bless nothing, the worst possible failure mode for an audit
+//! input.
+
+/// One blessed (file, op, ordering) row with its expected use count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlessEntry {
+    /// `/`-separated path relative to the audited root.
+    pub file: String,
+    /// The receiving call: `load`, `store`, `fetch_add`,
+    /// `compare_exchange`, … The orderings of a `compare_exchange(…,
+    /// success, failure)` both count under the one op.
+    pub op: String,
+    /// `Relaxed` | `Acquire` | `Release` | `AcqRel` | `SeqCst`.
+    pub ordering: String,
+    /// Exactly how many `Ordering::<ordering>` tokens appear inside
+    /// `op(…)` calls in `file`. A new atomic in a blessed file shows up
+    /// as a count mismatch, so it still cannot land unreviewed.
+    pub count: u32,
+    /// Line of the entry's `[[bless]]` header in the table file.
+    pub line: u32,
+}
+
+#[derive(Debug)]
+pub struct BlessTable {
+    pub entries: Vec<BlessEntry>,
+}
+
+#[derive(Debug, Clone)]
+pub struct BlessParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl BlessTable {
+    pub fn parse(src: &str) -> Result<Self, BlessParseError> {
+        let mut entries: Vec<BlessEntry> = Vec::new();
+        let mut current: Option<(BlessEntry, [bool; 4])> = None;
+        for (i, raw) in src.lines().enumerate() {
+            let lineno = (i + 1) as u32;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[bless]]" {
+                finish(&mut current, &mut entries)?;
+                current = Some((
+                    BlessEntry {
+                        file: String::new(),
+                        op: String::new(),
+                        ordering: String::new(),
+                        count: 0,
+                        line: lineno,
+                    },
+                    [false; 4],
+                ));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(BlessParseError {
+                    line: lineno,
+                    message: format!("unexpected table header `{line}` (only [[bless]] entries)"),
+                });
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BlessParseError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let Some((entry, seen)) = current.as_mut() else {
+                return Err(BlessParseError {
+                    line: lineno,
+                    message: "key outside a [[bless]] entry".to_string(),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "file" | "op" | "ordering" => {
+                    let s = parse_string(value).ok_or_else(|| BlessParseError {
+                        line: lineno,
+                        message: format!("`{key}` must be a double-quoted string"),
+                    })?;
+                    let slot = match key {
+                        "file" => {
+                            seen[0] = true;
+                            &mut entry.file
+                        }
+                        "op" => {
+                            seen[1] = true;
+                            &mut entry.op
+                        }
+                        _ => {
+                            seen[2] = true;
+                            &mut entry.ordering
+                        }
+                    };
+                    *slot = s;
+                }
+                "count" => {
+                    entry.count = value.parse().map_err(|_| BlessParseError {
+                        line: lineno,
+                        message: format!("`count` must be a non-negative integer, got `{value}`"),
+                    })?;
+                    seen[3] = true;
+                }
+                other => {
+                    return Err(BlessParseError {
+                        line: lineno,
+                        message: format!("unknown key `{other}` (file/op/ordering/count)"),
+                    });
+                }
+            }
+        }
+        finish(&mut current, &mut entries)?;
+        // Duplicate (file, op, ordering) rows would make counts
+        // ambiguous; reject them outright.
+        for (i, a) in entries.iter().enumerate() {
+            for b in &entries[i + 1..] {
+                if a.file == b.file && a.op == b.op && a.ordering == b.ordering {
+                    return Err(BlessParseError {
+                        line: b.line,
+                        message: format!(
+                            "duplicate bless entry for ({}, {}, {})",
+                            b.file, b.op, b.ordering
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(Self { entries })
+    }
+}
+
+fn finish(
+    current: &mut Option<(BlessEntry, [bool; 4])>,
+    entries: &mut Vec<BlessEntry>,
+) -> Result<(), BlessParseError> {
+    if let Some((entry, seen)) = current.take() {
+        let names = ["file", "op", "ordering", "count"];
+        for (i, &got) in seen.iter().enumerate() {
+            if !got {
+                return Err(BlessParseError {
+                    line: entry.line,
+                    message: format!("[[bless]] entry is missing `{}`", names[i]),
+                });
+            }
+        }
+        entries.push(entry);
+    }
+    Ok(())
+}
+
+/// Strips a `#` comment that is not inside a double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    // The subset forbids escapes: paths and ordering names never need
+    // them, and silently mis-unescaping would corrupt the key.
+    if inner.contains('\\') || inner.contains('"') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_comments() {
+        let src = "\
+# blessed atomics
+[[bless]]
+file = \"crates/telemetry/src/metrics.rs\"  # counters
+op = \"fetch_add\"
+ordering = \"Relaxed\"
+count = 4
+
+[[bless]]
+file = \"crates/serve/src/pool.rs\"
+op = \"fetch_sub\"
+ordering = \"AcqRel\"
+count = 1
+";
+        let t = BlessTable::parse(src).unwrap();
+        assert_eq!(t.entries.len(), 2);
+        assert_eq!(t.entries[0].op, "fetch_add");
+        assert_eq!(t.entries[0].count, 4);
+        assert_eq!(t.entries[1].ordering, "AcqRel");
+        assert_eq!(t.entries[1].line, 8);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for (src, frag) in [
+            ("[[bless]]\nfile = \"a\"\nop = \"load\"\nordering = \"Relaxed\"", "missing `count`"),
+            ("file = \"a\"", "outside"),
+            ("[[bless]]\nbogus = 1", "unknown key"),
+            ("[[bless]]\nfile = unquoted", "double-quoted"),
+            ("[bless]", "unexpected table header"),
+            ("[[bless]]\ncount = -1", "non-negative"),
+        ] {
+            let err = BlessTable::parse(src).unwrap_err();
+            assert!(err.message.contains(frag), "{src:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let one = "[[bless]]\nfile = \"a\"\nop = \"load\"\nordering = \"Relaxed\"\ncount = 1\n";
+        let err = BlessTable::parse(&format!("{one}{one}")).unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Check 2: every atomic-ordering use site matches the blessed table.
+//!
+//! The lock-free core (telemetry counters, the reactor, the pool
+//! completion path) is exactly the code where a quietly weakened or
+//! strengthened ordering is invisible in review. So orderings are not
+//! linted heuristically — they are *enumerated*: each `Ordering::X`
+//! token inside an `op(…)` call must correspond to a checked-in
+//! `[[bless]]` entry in `audit/atomics.toml`, and the per-(file, op,
+//! ordering) **count** must match, so a new atomic in an
+//! already-blessed file still fails until a human re-blesses it.
+
+use crate::bless::BlessTable;
+use crate::diagnostics::{Check, Diagnostic};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One `Ordering::X` token and the call it appears in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicSite {
+    /// Name of the innermost enclosing call (`load`, `fetch_add`,
+    /// `compare_exchange`, …), or `"<none>"` outside any call.
+    pub op: String,
+    pub ordering: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Keywords that look like callees when followed by `(` but aren't.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while" | "match" | "for" | "return" | "in" | "move" | "loop" | "else" | "fn"
+    )
+}
+
+/// Collects every ordering use site in a file. Includes `#[cfg(test)]`
+/// code deliberately: test-only atomics coordinate real threads and
+/// deserve the same review.
+pub fn collect(file: &SourceFile) -> Vec<AtomicSite> {
+    if file.allows(Check::Atomics) {
+        return Vec::new();
+    }
+    let mut sites = Vec::new();
+    // Stack of enclosing `(` frames, each with the callee name if the
+    // paren was a call.
+    let mut stack: Vec<Option<String>> = Vec::new();
+    for (i, tok) in file.tokens.iter().enumerate() {
+        match &tok.kind {
+            TokKind::Punct(b'(') => {
+                let callee = file
+                    .prev_code(i)
+                    .and_then(|p| file.tokens[p].kind.ident())
+                    .filter(|s| !is_keyword(s))
+                    .map(str::to_string);
+                stack.push(callee);
+            }
+            TokKind::Punct(b')') => {
+                stack.pop();
+            }
+            TokKind::Ident(s) if s == "Ordering" => {
+                // Ordering :: <X>
+                let Some(c1) = file.next_code(i + 1) else { continue };
+                if !file.tokens[c1].kind.is_punct(b':') {
+                    continue;
+                }
+                let Some(c2) = file.next_code(c1 + 1) else { continue };
+                if !file.tokens[c2].kind.is_punct(b':') {
+                    continue;
+                }
+                let Some(o) = file.next_code(c2 + 1) else { continue };
+                let Some(ord) = file.tokens[o].kind.ident() else { continue };
+                if !ORDERINGS.contains(&ord) {
+                    continue;
+                }
+                let op = stack
+                    .iter()
+                    .rev()
+                    .find_map(|f| f.clone())
+                    .unwrap_or_else(|| "<none>".to_string());
+                sites.push(AtomicSite {
+                    op,
+                    ordering: ord.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                });
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+/// Compares every file's observed sites against the blessed table.
+/// `all_sites` maps display path → sites; files with zero sites may be
+/// omitted.
+pub fn compare(
+    table: &BlessTable,
+    table_path: &str,
+    all_sites: &BTreeMap<String, Vec<AtomicSite>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Observed (file, op, ordering) → (count, first site).
+    let mut observed: BTreeMap<(String, String, String), (u32, u32, u32)> = BTreeMap::new();
+    for (file, sites) in all_sites {
+        for s in sites {
+            let e = observed
+                .entry((file.clone(), s.op.clone(), s.ordering.clone()))
+                .or_insert((0, s.line, s.col));
+            e.0 += 1;
+        }
+    }
+    for ((file, op, ordering), (count, line, col)) in &observed {
+        match table
+            .entries
+            .iter()
+            .find(|e| &e.file == file && &e.op == op && &e.ordering == ordering)
+        {
+            None => out.push(Diagnostic::new(
+                Check::Atomics,
+                file.clone(),
+                *line,
+                *col,
+                format!(
+                    "unblessed atomic ordering: {op}(Ordering::{ordering}) ×{count} — \
+                     review and add a [[bless]] entry to {table_path}"
+                ),
+            )),
+            Some(e) if e.count != *count => out.push(Diagnostic::new(
+                Check::Atomics,
+                file.clone(),
+                *line,
+                *col,
+                format!(
+                    "blessed count mismatch for {op}(Ordering::{ordering}): \
+                     table says {}, source has {count} — re-review and update {table_path}",
+                    e.count
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for e in &table.entries {
+        let key = (e.file.clone(), e.op.clone(), e.ordering.clone());
+        if !observed.contains_key(&key) {
+            out.push(Diagnostic::new(
+                Check::Atomics,
+                table_path.to_string(),
+                e.line,
+                1,
+                format!(
+                    "stale bless entry: no {}(Ordering::{}) sites found in {}",
+                    e.op, e.ordering, e.file
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(src: &str) -> Vec<AtomicSite> {
+        collect(&SourceFile::new("t.rs".into(), src))
+    }
+
+    #[test]
+    fn sites_get_their_enclosing_op() {
+        let src = "\
+fn f(a: &AtomicU64) -> u64 {
+    a.fetch_add(1, Ordering::Relaxed);
+    a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).ok();
+    a.load(Ordering::SeqCst)
+}
+";
+        let got = sites(src);
+        let ops: Vec<(&str, &str)> =
+            got.iter().map(|s| (s.op.as_str(), s.ordering.as_str())).collect();
+        assert_eq!(
+            ops,
+            vec![
+                ("fetch_add", "Relaxed"),
+                ("compare_exchange", "AcqRel"),
+                ("compare_exchange", "Acquire"),
+                ("load", "SeqCst"),
+            ]
+        );
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn keyword_parens_are_not_calls() {
+        let got = sites("fn f() { if (x) { a.store(1, Ordering::Release); } }");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].op, "store");
+    }
+
+    #[test]
+    fn compare_flags_unblessed_mismatch_and_stale() {
+        let table = BlessTable::parse(
+            "[[bless]]\nfile = \"a.rs\"\nop = \"load\"\nordering = \"Relaxed\"\ncount = 2\n\
+             [[bless]]\nfile = \"gone.rs\"\nop = \"store\"\nordering = \"Release\"\ncount = 1\n",
+        )
+        .unwrap();
+        let mut all = BTreeMap::new();
+        all.insert(
+            "a.rs".to_string(),
+            vec![
+                AtomicSite { op: "load".into(), ordering: "Relaxed".into(), line: 3, col: 10 },
+                AtomicSite { op: "fetch_add".into(), ordering: "Relaxed".into(), line: 5, col: 1 },
+            ],
+        );
+        let mut out = Vec::new();
+        compare(&table, "audit/atomics.toml", &all, &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out
+            .iter()
+            .any(|d| d.message.contains("unblessed") && d.message.contains("fetch_add")));
+        assert!(out.iter().any(|d| d.message.contains("count mismatch")
+            && d.message.contains("table says 2, source has 1")));
+        assert!(out.iter().any(|d| d.message.contains("stale") && d.file == "audit/atomics.toml"));
+    }
+
+    #[test]
+    fn allow_file_suppresses_collection() {
+        let got =
+            sites("// audit: allow-file(atomics, shim)\nfn f() { a.load(Ordering::SeqCst); }");
+        assert!(got.is_empty());
+    }
+}

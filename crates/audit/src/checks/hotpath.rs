@@ -1,0 +1,310 @@
+//! Checks 3 & 4: hot-path allocation and panic freedom.
+//!
+//! Functions annotated `// audit: no_alloc` / `// audit: no_panic`
+//! promise lexical properties of their bodies:
+//!
+//! * **no_alloc** — no allocating constructor paths (`Vec::new`,
+//!   `Box::new`, …), no allocating methods (`.push(…)`, `.clone()`,
+//!   `.to_vec()`, …), no `vec!`/`format!` macros.
+//! * **no_panic** — no `.unwrap()`/`.expect(…)`, no panicking macros
+//!   (`panic!`, `assert!`, … — `debug_assert*` is exempt: it is
+//!   compiled out of the release hot path), no indexing by integer
+//!   literal (`x[0]` — use `get`/pattern matching or carry a proof).
+//!
+//! Both lints are lexical, so false positives are possible by design;
+//! each has a per-site escape: `// audit: allow(alloc, <reason>)` /
+//! `// audit: allow(panic, <reason>)` covering the pragma's line and
+//! the next source line. The reason string is mandatory and lands in
+//! review diffs, which is the point.
+
+use crate::diagnostics::{Check, Diagnostic};
+use crate::lexer::TokKind;
+use crate::pragma::allow_lines;
+use crate::source::SourceFile;
+
+/// `Type::method` constructor paths that allocate.
+const ALLOC_PATHS: [(&str, &str); 10] = [
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("Rc", "new"),
+    ("Arc", "new"),
+    ("VecDeque", "new"),
+];
+
+/// `.method(` calls that (may) allocate.
+const ALLOC_METHODS: [&str; 13] = [
+    "push",
+    "push_str",
+    "extend",
+    "insert",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "append",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "clone",
+    "collect",
+];
+
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+const PANIC_MACROS: [&str; 7] =
+    ["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
+
+/// Runs both hot-path lints over a file's annotated functions.
+/// Returns the number of annotated functions examined.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) -> usize {
+    let alloc_ok = allow_lines(&file.pragmas, Check::NoAlloc);
+    let panic_ok = allow_lines(&file.pragmas, Check::NoPanic);
+    let file_alloc = file.allows(Check::NoAlloc);
+    let file_panic = file.allows(Check::NoPanic);
+    for f in &file.annotated_fns {
+        let no_alloc = f.no_alloc && !file_alloc;
+        let no_panic = f.no_panic && !file_panic;
+        if !no_alloc && !no_panic {
+            continue;
+        }
+        let (open, close) = f.body;
+        let mut i = open;
+        while i < close {
+            let tok = &file.tokens[i];
+            if tok.kind.is_comment() {
+                i += 1;
+                continue;
+            }
+            if no_alloc && !alloc_ok.contains(&tok.line) {
+                if let Some(msg) = alloc_violation(file, i, close) {
+                    out.push(Diagnostic::new(
+                        Check::NoAlloc,
+                        file.path.clone(),
+                        tok.line,
+                        tok.col,
+                        format!("{msg} in `// audit: no_alloc` fn `{}`", f.name),
+                    ));
+                }
+            }
+            if no_panic && !panic_ok.contains(&tok.line) {
+                if let Some(msg) = panic_violation(file, i, close) {
+                    out.push(Diagnostic::new(
+                        Check::NoPanic,
+                        file.path.clone(),
+                        tok.line,
+                        tok.col,
+                        format!("{msg} in `// audit: no_panic` fn `{}`", f.name),
+                    ));
+                }
+            }
+            i += 1;
+        }
+    }
+    file.annotated_fns.len()
+}
+
+/// Is the token at `i` a `.method(` call with `method` in `set`?
+fn method_call(file: &SourceFile, i: usize, end: usize, set: &[&str]) -> Option<String> {
+    let name = file.tokens[i].kind.ident()?;
+    if !set.contains(&name) {
+        return None;
+    }
+    let prev = file.prev_code(i)?;
+    if !file.tokens[prev].kind.is_punct(b'.') {
+        return None;
+    }
+    let next = file.next_code(i + 1)?;
+    if next >= end || !file.tokens[next].kind.is_punct(b'(') {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Is the token at `i` a bare `name!` macro invocation with `name` in
+/// `set`? (A preceding `.` or `::` would mean something else.)
+fn macro_call(file: &SourceFile, i: usize, end: usize, set: &[&str]) -> Option<String> {
+    let name = file.tokens[i].kind.ident()?;
+    if !set.contains(&name) {
+        return None;
+    }
+    let next = file.next_code(i + 1)?;
+    if next >= end || !file.tokens[next].kind.is_punct(b'!') {
+        return None;
+    }
+    if let Some(prev) = file.prev_code(i) {
+        if file.tokens[prev].kind.is_punct(b'.') || file.tokens[prev].kind.is_punct(b':') {
+            return None;
+        }
+    }
+    Some(name.to_string())
+}
+
+fn alloc_violation(file: &SourceFile, i: usize, end: usize) -> Option<String> {
+    let tok = &file.tokens[i];
+    if let Some(m) = method_call(file, i, end, &ALLOC_METHODS) {
+        return Some(format!("allocating call `.{m}(…)`"));
+    }
+    if let Some(m) = macro_call(file, i, end, &ALLOC_MACROS) {
+        return Some(format!("allocating macro `{m}!`"));
+    }
+    // Type::ctor( paths.
+    if let Some(ty) = tok.kind.ident() {
+        if ALLOC_PATHS.iter().any(|(t, _)| *t == ty) {
+            let c1 = file.next_code(i + 1)?;
+            let c2 = file.next_code(c1 + 1)?;
+            let m = file.next_code(c2 + 1)?;
+            let p = file.next_code(m + 1)?;
+            if p < end
+                && file.tokens[c1].kind.is_punct(b':')
+                && file.tokens[c2].kind.is_punct(b':')
+                && file.tokens[p].kind.is_punct(b'(')
+            {
+                if let Some(method) = file.tokens[m].kind.ident() {
+                    if ALLOC_PATHS.contains(&(ty, method)) {
+                        return Some(format!("allocating constructor `{ty}::{method}(…)`"));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn panic_violation(file: &SourceFile, i: usize, end: usize) -> Option<String> {
+    if let Some(m) = method_call(file, i, end, &PANIC_METHODS) {
+        return Some(format!("panicking call `.{m}(…)`"));
+    }
+    if let Some(m) = macro_call(file, i, end, &PANIC_MACROS) {
+        return Some(format!("panicking macro `{m}!`"));
+    }
+    // expr [ <int-literal> ]
+    let tok = &file.tokens[i];
+    if tok.kind.is_punct(b'[') {
+        let prev = file.prev_code(i)?;
+        let expr_end = match &file.tokens[prev].kind {
+            TokKind::Ident(s) => !is_non_expr_keyword(s),
+            TokKind::Punct(b')') | TokKind::Punct(b']') => true,
+            _ => false,
+        };
+        if expr_end {
+            let lit = file.next_code(i + 1)?;
+            let close = file.next_code(lit + 1)?;
+            if close < end
+                && matches!(file.tokens[lit].kind, TokKind::Int(_))
+                && file.tokens[close].kind.is_punct(b']')
+            {
+                return Some("indexing by integer literal".to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Keywords that can precede `[` without it being an index expression.
+fn is_non_expr_keyword(s: &str) -> bool {
+    matches!(s, "return" | "in" | "mut" | "const" | "static" | "let" | "ref" | "as" | "dyn")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("t.rs".into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_hot_fn_passes() {
+        let src = "\
+// audit: no_alloc
+// audit: no_panic
+fn hot(xs: &[f32], acc: &mut f32) {
+    for x in xs {
+        *acc += x;
+    }
+    debug_assert!(acc.is_finite());
+    let _ = xs.get(0);
+    let _ = xs.first().unwrap_or(&0.0);
+}
+";
+        assert_eq!(diags(src), vec![]);
+    }
+
+    #[test]
+    fn alloc_sites_flagged() {
+        let src = "\
+// audit: no_alloc
+fn hot(v: &mut Vec<u32>) {
+    v.push(1);
+    let s = format!(\"x\");
+    let b = Vec::with_capacity(4);
+}
+";
+        let d = diags(src);
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d[0].message.contains(".push(…)"));
+        assert_eq!(d[0].line, 3);
+        assert!(d[1].message.contains("format!"));
+        assert!(d[2].message.contains("Vec::with_capacity"));
+    }
+
+    #[test]
+    fn panic_sites_flagged() {
+        let src = "\
+// audit: no_panic
+fn hot(v: &[u32], m: Option<u32>) -> u32 {
+    let a = m.unwrap();
+    let b = v[0];
+    assert!(a > 0);
+    a + b
+}
+";
+        let d = diags(src);
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d[0].message.contains(".unwrap(…)"));
+        assert!(d[1].message.contains("indexing by integer literal"));
+        assert_eq!(d[1].line, 4);
+        assert!(d[2].message.contains("assert!"));
+    }
+
+    #[test]
+    fn variable_index_and_types_not_flagged() {
+        let src = "\
+// audit: no_panic
+fn hot(v: &[u32], i: usize, w: &[u8; 4]) -> u32 {
+    v[i] + u32::from(w.len() as u8)
+}
+";
+        assert_eq!(diags(src), vec![]);
+    }
+
+    #[test]
+    fn allow_escape_covers_next_line() {
+        let src = "\
+// audit: no_alloc
+fn hot(out: &mut Vec<f32>, n: usize) {
+    // audit: allow(alloc, resize to request size once per call)
+    out.resize(n, 0.0);
+    out.push(1.0);
+}
+";
+        let d = diags(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains(".push(…)"));
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn unannotated_fns_ignored() {
+        assert_eq!(diags("fn free() { let v = vec![1]; v[0]; }"), vec![]);
+    }
+}

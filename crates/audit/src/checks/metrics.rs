@@ -1,0 +1,309 @@
+//! Check 5: metric-name consistency.
+//!
+//! Three views of the metric inventory must agree exactly:
+//!
+//! 1. **Code** — every family registered on the serve registry
+//!    (`registry.counter("uadb_…")`, `gauge`, `float_gauge`,
+//!    `histogram`) plus every family rendered via a hardcoded
+//!    `"# TYPE uadb_… "` exposition string, collected from production
+//!    sources (`src/` trees, `#[cfg(test)]` modules excluded).
+//! 2. **README** — the names listed between
+//!    `<!-- audit:metrics:begin -->` and `<!-- audit:metrics:end -->`.
+//! 3. **Inventory test** — the string literals between
+//!    `// audit: metrics-inventory begin` / `end` markers in the
+//!    exposition-inventory golden test.
+//!
+//! A metric renamed in code without updating the operator docs, or a
+//! dashboard-facing name dropped from the exposition, fails the audit
+//! with the exact site of the disagreement.
+
+use crate::diagnostics::{Check, Diagnostic};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+const REGISTER_METHODS: [&str; 4] = ["counter", "gauge", "float_gauge", "histogram"];
+const TYPE_PREFIX: &str = "# TYPE ";
+const README_BEGIN: &str = "<!-- audit:metrics:begin -->";
+const README_END: &str = "<!-- audit:metrics:end -->";
+
+/// Name → first site, for stable diagnostics.
+pub type Names = BTreeMap<String, (String, u32, u32)>;
+
+fn is_metric_name(s: &str) -> bool {
+    s.starts_with("uadb_")
+        && s.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// Collects registered / rendered family names from one production
+/// source file into `names`.
+pub fn collect_code(file: &SourceFile, names: &mut Names) {
+    if file.allows(Check::Metrics) {
+        return;
+    }
+    let mut add = |name: &str, line: u32, col: u32| {
+        names.entry(name.to_string()).or_insert_with(|| (file.path.clone(), line, col));
+    };
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if file.in_cfg_test(i) {
+            continue;
+        }
+        match &tok.kind {
+            // . <method> ( "uadb_…"
+            TokKind::Ident(m) if REGISTER_METHODS.contains(&m.as_str()) => {
+                let Some(prev) = file.prev_code(i) else { continue };
+                if !file.tokens[prev].kind.is_punct(b'.') {
+                    continue;
+                }
+                let Some(paren) = file.next_code(i + 1) else { continue };
+                if !file.tokens[paren].kind.is_punct(b'(') {
+                    continue;
+                }
+                let Some(arg) = file.next_code(paren + 1) else { continue };
+                if let TokKind::Str(s) = &file.tokens[arg].kind {
+                    if is_metric_name(s) {
+                        add(s, file.tokens[arg].line, file.tokens[arg].col);
+                    }
+                }
+            }
+            // Hardcoded exposition sections: "# TYPE uadb_x counter\n".
+            TokKind::Str(s) if s.contains(TYPE_PREFIX) => {
+                for (off, _) in s.match_indices(TYPE_PREFIX) {
+                    let rest = &s[off + TYPE_PREFIX.len()..];
+                    let name: String = rest
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    if is_metric_name(&name) {
+                        add(&name, tok.line, tok.col);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extracts the marker-bracketed inventory from the exposition test.
+pub fn collect_inventory(file: &SourceFile) -> Result<Names, Diagnostic> {
+    use crate::pragma::Pragma;
+    let mut begin = None;
+    let mut end = None;
+    for p in &file.pragmas {
+        match p.pragma {
+            Pragma::InventoryBegin if begin.is_none() => begin = Some(p.line),
+            Pragma::InventoryEnd if end.is_none() => end = Some(p.line),
+            _ => {}
+        }
+    }
+    let (Some(b), Some(e)) = (begin, end) else {
+        return Err(Diagnostic::new(
+            Check::Metrics,
+            file.path.clone(),
+            1,
+            1,
+            "inventory test is missing `// audit: metrics-inventory begin`/`end` markers",
+        ));
+    };
+    if e <= b {
+        return Err(Diagnostic::new(
+            Check::Metrics,
+            file.path.clone(),
+            e,
+            1,
+            "`metrics-inventory end` marker precedes `begin`",
+        ));
+    }
+    let mut names = Names::new();
+    for tok in &file.tokens {
+        if tok.line <= b || tok.line >= e {
+            continue;
+        }
+        if let TokKind::Str(s) = &tok.kind {
+            if is_metric_name(s) {
+                names.entry(s.clone()).or_insert((file.path.clone(), tok.line, tok.col));
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Extracts backtick-quoted names from the README's marked region.
+pub fn collect_readme(path: &str, src: &str) -> Result<Names, Diagnostic> {
+    let mut names = Names::new();
+    let mut inside = false;
+    let mut saw_begin = false;
+    let mut saw_end = false;
+    for (i, line) in src.lines().enumerate() {
+        let lineno = (i + 1) as u32;
+        if line.contains(README_BEGIN) {
+            inside = true;
+            saw_begin = true;
+            continue;
+        }
+        if line.contains(README_END) {
+            inside = false;
+            saw_end = true;
+            continue;
+        }
+        if !inside {
+            continue;
+        }
+        // `uadb_…` occurrences, backtick-delimited.
+        let mut rest = line;
+        let mut col_base = 0u32;
+        while let Some(open) = rest.find('`') {
+            let after = &rest[open + 1..];
+            let Some(close) = after.find('`') else { break };
+            let candidate = &after[..close];
+            if is_metric_name(candidate) {
+                names.entry(candidate.to_string()).or_insert((
+                    path.to_string(),
+                    lineno,
+                    col_base + open as u32 + 2,
+                ));
+            }
+            col_base += (open + 1 + close + 1) as u32;
+            rest = &after[close + 1..];
+        }
+    }
+    if !saw_begin || !saw_end {
+        return Err(Diagnostic::new(
+            Check::Metrics,
+            path.to_string(),
+            1,
+            1,
+            format!("README is missing the `{README_BEGIN}` / `{README_END}` markers"),
+        ));
+    }
+    Ok(names)
+}
+
+/// Pairwise set comparison; every disagreement gets a diagnostic at
+/// the most actionable site.
+pub fn compare(code: &Names, readme: &Names, inventory: &Names, out: &mut Vec<Diagnostic>) {
+    let views: [(&Names, &str); 2] = [(readme, "README inventory"), (inventory, "inventory test")];
+    for (name, (file, line, col)) in code {
+        for (view, what) in views {
+            if !view.contains_key(name) {
+                let (vf, vl, _) =
+                    view.values().next().cloned().unwrap_or((file.clone(), *line, *col));
+                out.push(Diagnostic::new(
+                    Check::Metrics,
+                    file.clone(),
+                    *line,
+                    *col,
+                    format!("metric `{name}` is in code but missing from the {what} ({vf}:{vl})"),
+                ));
+            }
+        }
+    }
+    for (view, what) in views {
+        for (name, (file, line, col)) in view {
+            if !code.contains_key(name) {
+                out.push(Diagnostic::new(
+                    Check::Metrics,
+                    file.clone(),
+                    *line,
+                    *col,
+                    format!("{what} lists `{name}`, which no production code registers or renders"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: &[&str]) -> Names {
+        n.iter().map(|s| (s.to_string(), ("x".to_string(), 1, 1))).collect()
+    }
+
+    #[test]
+    fn code_collection_registrations_and_type_strings() {
+        let src = r##"
+fn build(registry: &Registry) {
+    let c = registry.counter("uadb_requests_total", "help");
+    let h = registry.histogram("uadb_latency_seconds", "help", &BOUNDS);
+    out.push_str("# TYPE uadb_gemm_calls_total counter\n");
+}
+#[cfg(test)]
+mod tests {
+    fn t(r: &Registry) { r.counter("uadb_test_only_total", "x"); }
+}
+"##;
+        let f = SourceFile::new("telemetry.rs".into(), src);
+        let mut got = Names::new();
+        collect_code(&f, &mut got);
+        let keys: Vec<&str> = got.keys().map(String::as_str).collect();
+        assert_eq!(
+            keys,
+            vec!["uadb_gemm_calls_total", "uadb_latency_seconds", "uadb_requests_total"]
+        );
+        assert_eq!(got["uadb_requests_total"].1, 3);
+    }
+
+    #[test]
+    fn inventory_markers_and_strings() {
+        let src = "\
+// audit: metrics-inventory begin
+const INVENTORY: &[&str] = &[
+    \"uadb_requests_total\",
+    \"uadb_latency_seconds\",
+];
+// audit: metrics-inventory end
+const OTHER: &str = \"uadb_not_in_inventory\";
+";
+        let f = SourceFile::new("inv.rs".into(), src);
+        let got = collect_inventory(&f).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(got.contains_key("uadb_requests_total"));
+
+        let bare = SourceFile::new("inv.rs".into(), "const X: u8 = 0;");
+        let err = collect_inventory(&bare).unwrap_err();
+        assert!(err.message.contains("missing"));
+    }
+
+    #[test]
+    fn readme_markers_and_backticks() {
+        let src = "\
+# metrics
+<!-- audit:metrics:begin -->
+| `uadb_requests_total` | counter | per-request |
+| `uadb_latency_seconds` | histogram | with `backend` label |
+<!-- audit:metrics:end -->
+stray `uadb_outside_total` is ignored
+";
+        let got = collect_readme("README.md", src).unwrap();
+        let keys: Vec<&str> = got.keys().map(String::as_str).collect();
+        assert_eq!(keys, vec!["uadb_latency_seconds", "uadb_requests_total"]);
+        assert_eq!(got["uadb_requests_total"].1, 3);
+
+        let err = collect_readme("README.md", "no markers").unwrap_err();
+        assert!(err.message.contains("missing"));
+    }
+
+    #[test]
+    fn compare_flags_all_disagreements() {
+        let code = names(&["uadb_a", "uadb_b"]);
+        let readme = names(&["uadb_a", "uadb_stale"]);
+        let inv = names(&["uadb_a", "uadb_b"]);
+        let mut out = Vec::new();
+        compare(&code, &readme, &inv, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().any(
+            |d| d.message.contains("`uadb_b`") && d.message.contains("missing from the README")
+        ));
+        assert!(out.iter().any(|d| d.message.contains("`uadb_stale`")));
+    }
+
+    #[test]
+    fn agreement_is_silent() {
+        let all = names(&["uadb_a"]);
+        let mut out = Vec::new();
+        compare(&all, &all, &all, &mut out);
+        assert!(out.is_empty());
+    }
+}

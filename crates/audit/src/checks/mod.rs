@@ -1,0 +1,9 @@
+//! The five project invariants, one module each. `safety` and
+//! `hotpath` are per-file; `atomics` and `metrics` collect per-file
+//! sites that [`crate::run`] aggregates against the blessed table /
+//! the README and inventory-test views.
+
+pub mod atomics;
+pub mod hotpath;
+pub mod metrics;
+pub mod safety;

@@ -1,0 +1,205 @@
+//! Check 1: every `unsafe` block, function, impl, or trait carries a
+//! written safety rationale.
+//!
+//! Accepted evidence, matching the workspace's existing conventions:
+//!
+//! * a comment containing `SAFETY:` on the same line as the `unsafe`
+//!   keyword, or on a contiguous run of comment/attribute-only lines
+//!   directly above it;
+//! * for `unsafe fn` declarations additionally a `# Safety` section in
+//!   the doc comment block above the item.
+//!
+//! The attachment rule is deliberately strict — an intervening blank
+//! or code line breaks it — because a SAFETY comment that has drifted
+//! away from its unsafe block is a rationale nobody can audit.
+
+use crate::diagnostics::{Check, Diagnostic};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// What an `unsafe` keyword introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Site {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+    ExternBlock,
+}
+
+impl Site {
+    fn describe(self) -> &'static str {
+        match self {
+            Site::Block => "unsafe block",
+            Site::Fn => "unsafe fn",
+            Site::Impl => "unsafe impl",
+            Site::Trait => "unsafe trait",
+            Site::ExternBlock => "unsafe extern block",
+        }
+    }
+}
+
+/// Per-line view: comment tokens and whether any code token exists.
+struct LineInfo {
+    comments: Vec<(String, bool)>, // (text, is_doc)
+    has_code: bool,
+    starts_attr: bool,
+}
+
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) -> usize {
+    if file.allows(Check::Safety) {
+        return 0;
+    }
+    let mut lines: BTreeMap<u32, LineInfo> = BTreeMap::new();
+    for tok in &file.tokens {
+        let info = lines.entry(tok.line).or_insert(LineInfo {
+            comments: Vec::new(),
+            has_code: false,
+            starts_attr: false,
+        });
+        match &tok.kind {
+            TokKind::LineComment { text, doc } | TokKind::BlockComment { text, doc } => {
+                info.comments.push((text.clone(), *doc));
+            }
+            kind => {
+                if !info.has_code && kind.is_punct(b'#') {
+                    info.starts_attr = true;
+                }
+                info.has_code = true;
+            }
+        }
+    }
+
+    let mut sites = 0usize;
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if tok.kind.ident() != Some("unsafe") {
+            continue;
+        }
+        let Some(next) = file.next_code(i + 1) else { continue };
+        let site = match &file.tokens[next].kind {
+            TokKind::Punct(b'{') => Site::Block,
+            TokKind::Ident(s) if s == "fn" => {
+                // `unsafe fn(…)` as a *type* needs no rationale; a
+                // declaration has a name first.
+                match file.next_code(next + 1) {
+                    Some(n2) if file.tokens[n2].kind.is_punct(b'(') => continue,
+                    _ => Site::Fn,
+                }
+            }
+            TokKind::Ident(s) if s == "impl" => Site::Impl,
+            TokKind::Ident(s) if s == "trait" => Site::Trait,
+            TokKind::Ident(s) if s == "extern" => Site::ExternBlock,
+            // `r#unsafe`-style oddities or qualifiers we don't model.
+            _ => continue,
+        };
+        sites += 1;
+        if has_rationale(&lines, tok.line, site) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            Check::Safety,
+            file.path.clone(),
+            tok.line,
+            tok.col,
+            format!(
+                "{} without an attached `// SAFETY:` comment{}",
+                site.describe(),
+                if site == Site::Fn { " (or a `# Safety` doc section)" } else { "" }
+            ),
+        ));
+    }
+    sites
+}
+
+fn has_rationale(lines: &BTreeMap<u32, LineInfo>, line: u32, site: Site) -> bool {
+    let accept = |text: &str, doc: bool| -> bool {
+        text.contains("SAFETY:") || (site == Site::Fn && doc && text.contains("# Safety"))
+    };
+    // Same line (leading or trailing comment).
+    if let Some(info) = lines.get(&line) {
+        if info.comments.iter().any(|(t, d)| accept(t, *d)) {
+            return true;
+        }
+    }
+    // Contiguous comment/attribute-only lines directly above.
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        match lines.get(&l) {
+            None => return false, // blank line breaks attachment
+            Some(info) if info.has_code && !info.starts_attr => return false,
+            Some(info) => {
+                if info.comments.iter().any(|(t, d)| accept(t, *d)) {
+                    return true;
+                }
+                // attribute or plain comment line: keep walking up
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new("t.rs".into(), src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn annotated_sites_pass() {
+        let src = r#"
+fn f() {
+    // SAFETY: the fd is owned.
+    let x = unsafe { close(fd) };
+    let y = unsafe { dup(fd) }; // SAFETY: trailing form is fine too
+}
+
+/// Does things.
+///
+/// # Safety
+/// Caller must uphold the contract.
+#[target_feature(enable = "avx")]
+pub unsafe fn kernel() {}
+
+// SAFETY: no shared state.
+unsafe impl Send for X {}
+"#;
+        assert_eq!(diags(src), vec![]);
+    }
+
+    #[test]
+    fn missing_rationales_flagged_with_spans() {
+        let src = "fn f() {\n    let x = unsafe { deref(p) };\n}\n\npub unsafe fn k() {}\n";
+        let d = diags(src);
+        assert_eq!(d.len(), 2);
+        assert_eq!((d[0].line, d[0].col), (2, 13));
+        assert!(d[0].message.contains("unsafe block"));
+        assert_eq!(d[1].line, 5);
+        assert!(d[1].message.contains("unsafe fn"));
+    }
+
+    #[test]
+    fn blank_or_code_line_breaks_attachment() {
+        let src = "// SAFETY: stale, drifted away\n\nfn f() { unsafe { x() } }\n";
+        assert_eq!(diags(src).len(), 1);
+        let src2 = "// SAFETY: for the first\nlet a = unsafe { x() };\nlet b = unsafe { y() };\n";
+        assert_eq!(diags(src2).len(), 1);
+    }
+
+    #[test]
+    fn fn_pointer_type_is_exempt() {
+        assert_eq!(diags("type H = unsafe fn(i32) -> i32;\n"), vec![]);
+    }
+
+    #[test]
+    fn file_allow_suppresses() {
+        let src = "// audit: allow-file(safety, vetted by hand)\nfn f() { unsafe { x() } }\n";
+        assert_eq!(diags(src), vec![]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Diagnostic records and their human/JSON renderings.
+
+use std::fmt;
+use std::path::Path;
+
+/// Which invariant a diagnostic belongs to. The names double as the
+/// file-level pragma keys (`// audit: allow-file(atomics, reason)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Check {
+    /// Every `unsafe` block/fn/impl carries a SAFETY rationale.
+    Safety,
+    /// Every atomic-ordering use site matches the blessed table.
+    Atomics,
+    /// `// audit: no_alloc` functions do not allocate.
+    NoAlloc,
+    /// `// audit: no_panic` functions cannot panic via
+    /// unwrap/expect/literal indexing.
+    NoPanic,
+    /// Registered metric names, the README inventory, and the
+    /// exposition-inventory test agree exactly.
+    Metrics,
+    /// The audit's own configuration surface: malformed `// audit:`
+    /// comments and annotations attached to nothing. Always fatal — a
+    /// typo'd pragma that silently did nothing would defeat the check
+    /// it was meant to configure.
+    Pragma,
+}
+
+impl Check {
+    pub fn name(self) -> &'static str {
+        match self {
+            Check::Safety => "safety",
+            Check::Atomics => "atomics",
+            Check::NoAlloc => "no_alloc",
+            Check::NoPanic => "no_panic",
+            Check::Metrics => "metrics",
+            Check::Pragma => "pragma",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "safety" => Check::Safety,
+            "atomics" => Check::Atomics,
+            "no_alloc" => Check::NoAlloc,
+            "no_panic" => Check::NoPanic,
+            "metrics" => Check::Metrics,
+            _ => return None,
+        })
+    }
+
+    pub fn all() -> [Check; 6] {
+        [
+            Check::Safety,
+            Check::Atomics,
+            Check::NoAlloc,
+            Check::NoPanic,
+            Check::Metrics,
+            Check::Pragma,
+        ]
+    }
+}
+
+/// One finding: a file:line:col span plus what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub check: Check,
+    /// Path relative to the audited root, `/`-separated.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        check: Check,
+        file: impl Into<String>,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+    ) -> Self {
+        Self { check, file: file.into(), line, col, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.col,
+            self.check.name(),
+            self.message
+        )
+    }
+}
+
+/// Normalises a path for diagnostics: relative to `root` when possible,
+/// always `/`-separated.
+pub fn display_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let s = rel.to_string_lossy();
+    if std::path::MAIN_SEPARATOR == '/' {
+        s.into_owned()
+    } else {
+        s.replace(std::path::MAIN_SEPARATOR, "/")
+    }
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Machine-readable report: a stable JSON document with per-check
+/// counts and every diagnostic's span, for CI annotation tooling.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::with_capacity(256 + diags.len() * 128);
+    out.push_str("{\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"check\": \"");
+        out.push_str(d.check.name());
+        out.push_str("\", \"file\": \"");
+        json_escape(&d.file, &mut out);
+        out.push_str(&format!("\", \"line\": {}, \"col\": {}, \"message\": \"", d.line, d.col));
+        json_escape(&d.message, &mut out);
+        out.push_str("\"}");
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"counts\": {");
+    for (i, check) in Check::all().into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let n = diags.iter().filter(|d| d.check == check).count();
+        out.push_str(&format!("\"{}\": {}", check.name(), n));
+    }
+    out.push_str(&format!("}},\n  \"total\": {}\n}}\n", diags.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_json() {
+        let d = Diagnostic::new(Check::Safety, "src/a.rs", 3, 7, "unsafe block without SAFETY");
+        assert_eq!(d.to_string(), "src/a.rs:3:7: [safety] unsafe block without SAFETY");
+        let json = render_json(&[d]);
+        assert!(json.contains("\"check\": \"safety\""));
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\"total\": 1"));
+        assert!(json.contains("\"no_alloc\": 0"));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let d = Diagnostic::new(Check::Metrics, "a.rs", 1, 1, "quote \" back \\ tab\t");
+        let json = render_json(&[d]);
+        assert!(json.contains("quote \\\" back \\\\ tab\\t"));
+    }
+}

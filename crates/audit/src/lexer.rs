@@ -1,0 +1,508 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The audit checks are lexical: they need identifiers, punctuation,
+//! string literals, and — unusually for a lexer — **comments**, because
+//! `// SAFETY:` comments and `// audit:` pragmas are part of the
+//! language this tool checks. The lexer therefore keeps comments in the
+//! token stream (tagged with whether they are doc comments) instead of
+//! discarding them.
+//!
+//! It is deliberately not a full Rust lexer: nested generics, pattern
+//! syntax and the like all come out as plain punctuation, which is all
+//! the checks need. The two genuinely tricky corners it does handle are
+//! raw strings (`r#"…"#`, any hash depth, byte variants) and the
+//! lifetime-vs-char-literal ambiguity (`'a` vs `'a'`), because
+//! misreading either would silently desynchronise every downstream
+//! check.
+
+/// One lexical token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+    /// 1-based column of the token's first byte.
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `Ordering`, …).
+    Ident(String),
+    /// Lifetime (`'a`), without the quote.
+    Lifetime(String),
+    /// String literal: the raw source text **between** the delimiters,
+    /// escapes unprocessed. Covers `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// and the raw-byte combinations.
+    Str(String),
+    /// Character or byte literal (contents irrelevant to the checks).
+    Char,
+    /// Integer literal, as written (`42`, `0x10`, `1_000u64`).
+    Int(String),
+    /// Float literal, as written.
+    Float(String),
+    /// A single punctuation byte (`::` arrives as two `:` tokens).
+    Punct(u8),
+    /// `//` comment. `text` excludes the slashes; `doc` is true for
+    /// `///` and `//!` forms.
+    LineComment { text: String, doc: bool },
+    /// `/* … */` comment (nesting handled), delimiters excluded.
+    BlockComment { text: String, doc: bool },
+}
+
+impl TokKind {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Comment text, for either comment form.
+    pub fn comment_text(&self) -> Option<&str> {
+        match self {
+            TokKind::LineComment { text, .. } | TokKind::BlockComment { text, .. } => Some(text),
+            _ => None,
+        }
+    }
+
+    /// True for `///`, `//!`, `/** … */`, `/*! … */`.
+    pub fn is_doc_comment(&self) -> bool {
+        matches!(
+            self,
+            TokKind::LineComment { doc: true, .. } | TokKind::BlockComment { doc: true, .. }
+        )
+    }
+
+    pub fn is_comment(&self) -> bool {
+        matches!(self, TokKind::LineComment { .. } | TokKind::BlockComment { .. })
+    }
+
+    pub fn is_punct(&self, b: u8) -> bool {
+        matches!(self, TokKind::Punct(p) if *p == b)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.bytes.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) -> usize {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if !pred(b) {
+                break;
+            }
+            self.bump();
+        }
+        self.pos - start
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes a whole source file. Never fails: unterminated constructs run
+/// to end-of-file, which keeps the checks usable on half-written code.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { bytes: src.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut toks = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                let start = cur.pos;
+                cur.eat_while(|b| b != b'\n');
+                let full = &src[start..cur.pos];
+                let body = &full[2..];
+                let doc = body.starts_with('/') && !body.starts_with("//") || body.starts_with('!');
+                toks.push(Token {
+                    kind: TokKind::LineComment { text: body.to_string(), doc },
+                    line,
+                    col,
+                });
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let full = &src[start..cur.pos];
+                let inner =
+                    full.strip_prefix("/*").unwrap_or(full).strip_suffix("*/").unwrap_or(full);
+                let doc =
+                    inner.starts_with('*') && !inner.starts_with("**") || inner.starts_with('!');
+                toks.push(Token {
+                    kind: TokKind::BlockComment { text: inner.to_string(), doc },
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                toks.push(Token { kind: lex_string(&mut cur, src), line, col });
+            }
+            b'r' | b'b' if starts_string_prefix(&cur) => {
+                // r"…", r#"…"#, b"…", br"…", rb… — consume the prefix
+                // letters and hashes, then the string body.
+                toks.push(Token { kind: lex_prefixed_string(&mut cur, src), line, col });
+            }
+            b'\'' => {
+                // Lifetime or char literal. After the quote: an escape
+                // means char; an identifier immediately closed by
+                // another quote means char ('a'); otherwise lifetime.
+                if cur.peek(1) == Some(b'\\') {
+                    lex_char_body(&mut cur);
+                    toks.push(Token { kind: TokKind::Char, line, col });
+                } else if cur.peek(1).is_some_and(is_ident_start) {
+                    // Find the end of the identifier run.
+                    let mut ahead = 2;
+                    while cur.peek(ahead).is_some_and(is_ident_continue) {
+                        ahead += 1;
+                    }
+                    if cur.peek(ahead) == Some(b'\'') && ahead == 2 {
+                        lex_char_body(&mut cur);
+                        toks.push(Token { kind: TokKind::Char, line, col });
+                    } else {
+                        cur.bump(); // the quote
+                        let start = cur.pos;
+                        cur.eat_while(is_ident_continue);
+                        toks.push(Token {
+                            kind: TokKind::Lifetime(src[start..cur.pos].to_string()),
+                            line,
+                            col,
+                        });
+                    }
+                } else {
+                    // ' followed by punctuation or a quote: char-ish;
+                    // consume through the closing quote.
+                    lex_char_body(&mut cur);
+                    toks.push(Token { kind: TokKind::Char, line, col });
+                }
+            }
+            b'0'..=b'9' => {
+                toks.push(Token { kind: lex_number(&mut cur, src), line, col });
+            }
+            _ if is_ident_start(b) => {
+                let start = cur.pos;
+                cur.eat_while(is_ident_continue);
+                toks.push(Token {
+                    kind: TokKind::Ident(src[start..cur.pos].to_string()),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                cur.bump();
+                toks.push(Token { kind: TokKind::Punct(b), line, col });
+            }
+        }
+    }
+    toks
+}
+
+/// Is the `r`/`b` at the cursor the start of a (raw/byte) string or
+/// char prefix rather than a plain identifier?
+fn starts_string_prefix(cur: &Cursor<'_>) -> bool {
+    // Longest prefix runs are two letters (`br`, `rb`) plus hashes.
+    let mut ahead = 0;
+    let mut letters = 0;
+    while letters < 2 {
+        match cur.peek(ahead) {
+            Some(b'r') | Some(b'b') => {
+                ahead += 1;
+                letters += 1;
+            }
+            _ => break,
+        }
+    }
+    if letters == 0 {
+        return false;
+    }
+    loop {
+        match cur.peek(ahead) {
+            Some(b'#') => ahead += 1,
+            Some(b'"') => return true,
+            Some(b'\'') => return letters == 1 && cur.peek(0) == Some(b'b'),
+            _ => return false,
+        }
+    }
+}
+
+fn lex_prefixed_string(cur: &mut Cursor<'_>, src: &str) -> TokKind {
+    let mut raw = false;
+    while let Some(b) = cur.peek(0) {
+        match b {
+            b'r' => {
+                raw = true;
+                cur.bump();
+            }
+            b'b' => {
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+    if cur.peek(0) == Some(b'\'') {
+        // Byte char literal b'x'.
+        lex_char_body(cur);
+        return TokKind::Char;
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    if raw {
+        // Scan for `"` followed by `hashes` hash marks.
+        loop {
+            match cur.peek(0) {
+                None => return TokKind::Str(src[start..cur.pos].to_string()),
+                Some(b'"') => {
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if cur.peek(1 + i) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        let body = src[start..cur.pos].to_string();
+                        cur.bump();
+                        for _ in 0..hashes {
+                            cur.bump();
+                        }
+                        return TokKind::Str(body);
+                    }
+                    cur.bump();
+                }
+                Some(_) => {
+                    cur.bump();
+                }
+            }
+        }
+    } else {
+        lex_cooked_string_body(cur, src, start)
+    }
+}
+
+fn lex_string(cur: &mut Cursor<'_>, src: &str) -> TokKind {
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    lex_cooked_string_body(cur, src, start)
+}
+
+fn lex_cooked_string_body(cur: &mut Cursor<'_>, src: &str, start: usize) -> TokKind {
+    loop {
+        match cur.peek(0) {
+            None => return TokKind::Str(src[start..cur.pos].to_string()),
+            Some(b'\\') => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(b'"') => {
+                let body = src[start..cur.pos].to_string();
+                cur.bump();
+                return TokKind::Str(body);
+            }
+            Some(_) => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Consumes a char/byte-char literal starting at the opening quote.
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.peek(0) {
+            None => return,
+            Some(b'\\') => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(b'\'') => {
+                cur.bump();
+                return;
+            }
+            Some(_) => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>, src: &str) -> TokKind {
+    let start = cur.pos;
+    let mut float = false;
+    // Hex/octal/binary prefixes take a simple alphanumeric run.
+    if cur.peek(0) == Some(b'0')
+        && matches!(cur.peek(1), Some(b'x') | Some(b'o') | Some(b'b') | Some(b'X'))
+    {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        return TokKind::Int(src[start..cur.pos].to_string());
+    }
+    cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+    // A dot continues the number only when followed by a digit — `0..n`
+    // and `1.max(x)` must leave the dot alone.
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        float = true;
+        cur.bump();
+        cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some(b'e') | Some(b'E')) {
+        let sign = matches!(cur.peek(1), Some(b'+') | Some(b'-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|b| b.is_ascii_digit()) {
+            float = true;
+            cur.bump();
+            if sign {
+                cur.bump();
+            }
+            cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        }
+    }
+    // Type suffix (u64, f32, usize, …).
+    cur.eat_while(is_ident_continue);
+    let text = src[start..cur.pos].to_string();
+    if float || text.contains("f32") || text.contains("f64") {
+        TokKind::Float(text)
+    } else {
+        TokKind::Int(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = lex("fn main() {\n    x.y();\n}");
+        assert_eq!(toks[0].kind, TokKind::Ident("fn".into()));
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        let dot = toks.iter().find(|t| t.kind.is_punct(b'.')).unwrap();
+        assert_eq!((dot.line, dot.col), (2, 6));
+    }
+
+    #[test]
+    fn comments_kept_with_doc_flag() {
+        let toks = kinds("// plain\n/// doc\n//! inner\n//// not doc\n/* block */\n/** bdoc */");
+        assert_eq!(
+            toks,
+            vec![
+                TokKind::LineComment { text: " plain".into(), doc: false },
+                TokKind::LineComment { text: "/ doc".into(), doc: true },
+                TokKind::LineComment { text: "! inner".into(), doc: true },
+                TokKind::LineComment { text: "// not doc".into(), doc: false },
+                TokKind::BlockComment { text: " block ".into(), doc: false },
+                TokKind::BlockComment { text: "* bdoc ".into(), doc: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], TokKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn strings_raw_and_escaped() {
+        assert_eq!(kinds(r#""a\"b""#), vec![TokKind::Str(r#"a\"b"#.into())]);
+        assert_eq!(
+            kinds(r###"r#"raw "quoted" text"#"###),
+            vec![TokKind::Str(r#"raw "quoted" text"#.into())]
+        );
+        assert_eq!(kinds(r#"b"bytes""#), vec![TokKind::Str("bytes".into())]);
+        // A comment marker inside a string stays a string.
+        assert_eq!(kinds(r#""// not a comment""#), vec![TokKind::Str("// not a comment".into())]);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        assert_eq!(kinds("'a"), vec![TokKind::Lifetime("a".into())]);
+        assert_eq!(kinds("'static"), vec![TokKind::Lifetime("static".into())]);
+        assert_eq!(kinds("'a'"), vec![TokKind::Char]);
+        assert_eq!(kinds(r"'\n'"), vec![TokKind::Char]);
+        assert_eq!(kinds("b'x'"), vec![TokKind::Char]);
+        let toks = kinds("&'a str");
+        assert_eq!(toks[1], TokKind::Lifetime("a".into()));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(kinds("1.5e-3"), vec![TokKind::Float("1.5e-3".into())]);
+        assert_eq!(kinds("0x2000"), vec![TokKind::Int("0x2000".into())]);
+        let toks = kinds("0..n");
+        assert_eq!(toks[0], TokKind::Int("0".into()));
+        assert_eq!(toks[1], TokKind::Punct(b'.'));
+        assert_eq!(toks[2], TokKind::Punct(b'.'));
+        // Method call on a literal keeps the dot separate.
+        let toks = kinds("1.max(x)");
+        assert_eq!(toks[0], TokKind::Int("1".into()));
+        assert_eq!(toks[1], TokKind::Punct(b'.'));
+    }
+
+    #[test]
+    fn r_identifier_is_not_a_string() {
+        let toks = kinds("let r = rb(1); br_x");
+        assert!(toks.iter().all(|t| !matches!(t, TokKind::Str(_))));
+    }
+}

@@ -1,0 +1,211 @@
+//! `uadb-audit` — project-invariant static analysis for the UADB
+//! workspace.
+//!
+//! The serving core deliberately uses `unsafe` (SIMD kernels, raw
+//! epoll) and lock-free atomics (telemetry, the batching pool). Those
+//! are exactly the constructs where a small unreviewed edit — a
+//! dropped SAFETY argument, a weakened ordering, an allocation on the
+//! reactor path — ships a latent bug that no unit test catches. This
+//! crate enforces five invariants *as CI gates*, with file:line spans
+//! and a JSON report:
+//!
+//! 1. `safety` — every `unsafe` block/fn/impl carries a rationale.
+//! 2. `atomics` — every `Ordering::*` use site matches the blessed
+//!    table in `audit/atomics.toml`, including per-file counts.
+//! 3. `no_alloc` — `// audit: no_alloc` functions do not allocate.
+//! 4. `no_panic` — `// audit: no_panic` functions cannot panic via
+//!    unwrap/expect/panicking macros/literal indexing.
+//! 5. `metrics` — metric names in code, the README inventory, and the
+//!    exposition-inventory test agree exactly.
+//!
+//! Everything is dependency-free: a hand-rolled lexer instead of
+//! `syn`, a hand-rolled TOML subset instead of `toml`. The build must
+//! work offline and the audit must never be the thing that breaks
+//! first.
+
+pub mod bless;
+pub mod checks;
+pub mod diagnostics;
+pub mod lexer;
+pub mod pragma;
+pub mod source;
+pub mod walk;
+
+use bless::BlessTable;
+use checks::{atomics, hotpath, metrics, safety};
+use diagnostics::{display_path, Check, Diagnostic};
+use source::SourceFile;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Where the audit reads its inputs from. All paths default relative
+/// to `root`, so `uadb-audit --root .` needs no further flags.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    pub root: PathBuf,
+    /// The blessed-atomics table.
+    pub atomics: PathBuf,
+    /// The operator-facing metrics inventory (markdown).
+    pub readme: PathBuf,
+    /// The exposition-inventory golden test.
+    pub inventory: PathBuf,
+}
+
+impl AuditConfig {
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        let root = root.into();
+        Self {
+            atomics: root.join("audit/atomics.toml"),
+            readme: root.join("README.md"),
+            inventory: root.join("crates/serve/tests/exposition_inventory.rs"),
+            root,
+        }
+    }
+}
+
+/// What the run actually exercised — so the self-run test can assert
+/// the checks saw real sites rather than vacuously passing.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Stats {
+    pub files_scanned: usize,
+    pub unsafe_sites: usize,
+    pub atomic_sites: usize,
+    pub annotated_fns: usize,
+    pub metric_families: usize,
+}
+
+/// Runs all checks. `Err` is reserved for I/O-level failure (unreadable
+/// root); everything else — including unparseable audit inputs — comes
+/// back as diagnostics so CI shows it with a span.
+pub fn run(cfg: &AuditConfig) -> std::io::Result<(Vec<Diagnostic>, Stats)> {
+    let mut out = Vec::new();
+    let mut stats = Stats::default();
+
+    let table = match std::fs::read_to_string(&cfg.atomics) {
+        Ok(src) => match BlessTable::parse(&src) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                out.push(Diagnostic::new(
+                    Check::Atomics,
+                    display_path(&cfg.root, &cfg.atomics),
+                    e.line,
+                    1,
+                    format!("cannot parse blessed-atomics table: {}", e.message),
+                ));
+                None
+            }
+        },
+        Err(e) => {
+            out.push(Diagnostic::new(
+                Check::Atomics,
+                display_path(&cfg.root, &cfg.atomics),
+                1,
+                1,
+                format!("cannot read blessed-atomics table: {e}"),
+            ));
+            None
+        }
+    };
+
+    let mut all_sites: BTreeMap<String, Vec<atomics::AtomicSite>> = BTreeMap::new();
+    let mut code_names = metrics::Names::new();
+    let mut inventory_file: Option<SourceFile> = None;
+
+    for path in walk::rust_files(&cfg.root)? {
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            // Non-UTF-8 or vanished mid-walk: nothing lexical to check.
+            Err(_) => continue,
+        };
+        let rel = display_path(&cfg.root, &path);
+        let file = SourceFile::new(rel.clone(), &src);
+        stats.files_scanned += 1;
+
+        for e in &file.pragma_errors {
+            out.push(Diagnostic::new(Check::Pragma, rel.clone(), e.line, e.col, e.message.clone()));
+        }
+        for (p, line, col) in &file.dangling {
+            let name = match p {
+                pragma::Pragma::NoAlloc => "no_alloc",
+                pragma::Pragma::NoPanic => "no_panic",
+                _ => "annotation",
+            };
+            out.push(Diagnostic::new(
+                Check::Pragma,
+                rel.clone(),
+                *line,
+                *col,
+                format!("dangling `// audit: {name}` — not followed by a fn with a body"),
+            ));
+        }
+
+        stats.unsafe_sites += safety::check(&file, &mut out);
+        stats.annotated_fns += hotpath::check(&file, &mut out);
+
+        let sites = atomics::collect(&file);
+        stats.atomic_sites += sites.len();
+        if !sites.is_empty() {
+            all_sites.insert(rel.clone(), sites);
+        }
+
+        // Production sources only: `src/` trees feed the metric-name
+        // set; test binaries echo names without owning them.
+        if rel.contains("/src/") || rel.starts_with("src/") {
+            metrics::collect_code(&file, &mut code_names);
+        }
+
+        if path == cfg.inventory {
+            inventory_file = Some(file);
+        }
+    }
+
+    if let Some(table) = &table {
+        atomics::compare(table, &display_path(&cfg.root, &cfg.atomics), &all_sites, &mut out);
+    }
+
+    stats.metric_families = code_names.len();
+    let readme_names = match std::fs::read_to_string(&cfg.readme) {
+        Ok(src) => match metrics::collect_readme(&display_path(&cfg.root, &cfg.readme), &src) {
+            Ok(n) => Some(n),
+            Err(d) => {
+                out.push(d);
+                None
+            }
+        },
+        Err(e) => {
+            out.push(Diagnostic::new(
+                Check::Metrics,
+                display_path(&cfg.root, &cfg.readme),
+                1,
+                1,
+                format!("cannot read README inventory: {e}"),
+            ));
+            None
+        }
+    };
+    let inventory_names = match &inventory_file {
+        Some(f) => match metrics::collect_inventory(f) {
+            Ok(n) => Some(n),
+            Err(d) => {
+                out.push(d);
+                None
+            }
+        },
+        None => {
+            out.push(Diagnostic::new(
+                Check::Metrics,
+                display_path(&cfg.root, &cfg.inventory),
+                1,
+                1,
+                "exposition-inventory test not found under the audited root",
+            ));
+            None
+        }
+    };
+    if let (Some(readme), Some(inventory)) = (readme_names, inventory_names) {
+        metrics::compare(&code_names, &readme, &inventory, &mut out);
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line, a.col, a.check).cmp(&(&b.file, b.line, b.col, b.check)));
+    Ok((out, stats))
+}

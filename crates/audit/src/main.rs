@@ -1,0 +1,109 @@
+//! CLI for the workspace audit. Exit status: 0 clean, 1 diagnostics,
+//! 2 usage error.
+//!
+//! ```text
+//! uadb-audit [--root DIR] [--atomics FILE] [--readme FILE]
+//!            [--inventory FILE] [--json]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use uadb_audit::{diagnostics, AuditConfig};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut atomics = None;
+    let mut readme = None;
+    let mut inventory = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut path_flag = |slot: &mut Option<PathBuf>, name: &str| -> Result<(), String> {
+            match args.next() {
+                Some(v) => {
+                    *slot = Some(PathBuf::from(v));
+                    Ok(())
+                }
+                None => Err(format!("{name} requires a path argument")),
+            }
+        };
+        let r = match arg.as_str() {
+            "--root" => {
+                let mut slot = None;
+                let r = path_flag(&mut slot, "--root");
+                if let Some(p) = slot {
+                    root = p;
+                }
+                r
+            }
+            "--atomics" => path_flag(&mut atomics, "--atomics"),
+            "--readme" => path_flag(&mut readme, "--readme"),
+            "--inventory" => path_flag(&mut inventory, "--inventory"),
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                println!(
+                    "uadb-audit: static analysis gates for the UADB workspace\n\n\
+                     USAGE: uadb-audit [--root DIR] [--atomics FILE] [--readme FILE]\n\
+                            [--inventory FILE] [--json]\n\n\
+                     Checks: safety, atomics, no_alloc, no_panic, metrics (+ pragma\n\
+                     hygiene). Exits 1 if any diagnostic is produced."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument `{other}` (see --help)")),
+        };
+        if let Err(msg) = r {
+            eprintln!("uadb-audit: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut cfg = AuditConfig::new(root);
+    if let Some(p) = atomics {
+        cfg.atomics = p;
+    }
+    if let Some(p) = readme {
+        cfg.readme = p;
+    }
+    if let Some(p) = inventory {
+        cfg.inventory = p;
+    }
+
+    let (diags, stats) = match uadb_audit::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("uadb-audit: cannot audit {}: {e}", cfg.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", diagnostics::render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        println!(
+            "uadb-audit: {} file(s), {} unsafe site(s), {} atomic site(s), \
+             {} annotated fn(s), {} metric families — {}",
+            stats.files_scanned,
+            stats.unsafe_sites,
+            stats.atomic_sites,
+            stats.annotated_fns,
+            stats.metric_families,
+            if diags.is_empty() {
+                "clean".to_string()
+            } else {
+                format!("{} diagnostic(s)", diags.len())
+            }
+        );
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

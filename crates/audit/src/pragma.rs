@@ -1,0 +1,208 @@
+//! `// audit:` pragma parsing.
+//!
+//! Pragmas are **plain** line comments (doc comments never carry
+//! pragmas, so documentation can show examples without activating
+//! them). Four forms exist:
+//!
+//! * `// audit: no_alloc` — the next `fn` item's body must not
+//!   allocate.
+//! * `// audit: no_panic` — the next `fn` item's body must not contain
+//!   unwrap/expect/panicking macros/indexing by integer literal.
+//! * `// audit: allow(alloc, <reason>)` / `// audit: allow(panic,
+//!   <reason>)` — suppress hot-path findings on the next source line
+//!   (or the same line, for trailing comments). The reason is
+//!   mandatory.
+//! * `// audit: allow-file(<check>, <reason>)` — suppress one whole
+//!   check for this file. `<check>` is a [`Check`] name.
+//! * `// audit: metrics-inventory begin` / `… end` — bracket the
+//!   string-literal inventory the metrics check reads from the
+//!   exposition test.
+
+use crate::diagnostics::Check;
+use crate::lexer::{TokKind, Token};
+
+/// One parsed pragma and where it appeared.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pragma {
+    NoAlloc,
+    NoPanic,
+    /// `allow(alloc, reason)` / `allow(panic, reason)`.
+    Allow {
+        check: Check,
+        reason: String,
+    },
+    /// `allow-file(check, reason)`.
+    AllowFile {
+        check: Check,
+        reason: String,
+    },
+    /// `metrics-inventory begin` — opens the marker region the metrics
+    /// check reads string literals from (exposition inventory test).
+    InventoryBegin,
+    /// `metrics-inventory end`.
+    InventoryEnd,
+}
+
+#[derive(Debug, Clone)]
+pub struct SitedPragma {
+    pub pragma: Pragma,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A malformed `// audit:` comment — always an error, never silently
+/// ignored: a typo'd pragma that quietly did nothing would defeat the
+/// audit it was meant to configure.
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// Extracts every pragma from a token stream.
+pub fn parse_pragmas(tokens: &[Token]) -> (Vec<SitedPragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for tok in tokens {
+        let TokKind::LineComment { text, doc: false } = &tok.kind else { continue };
+        let trimmed = text.trim_start();
+        let Some(rest) = trimmed.strip_prefix("audit:") else { continue };
+        match parse_body(rest.trim()) {
+            Ok(p) => pragmas.push(SitedPragma { pragma: p, line: tok.line, col: tok.col }),
+            Err(msg) => errors.push(PragmaError { line: tok.line, col: tok.col, message: msg }),
+        }
+    }
+    (pragmas, errors)
+}
+
+fn parse_body(body: &str) -> Result<Pragma, String> {
+    if body == "no_alloc" {
+        return Ok(Pragma::NoAlloc);
+    }
+    if body == "no_panic" {
+        return Ok(Pragma::NoPanic);
+    }
+    if body == "metrics-inventory begin" {
+        return Ok(Pragma::InventoryBegin);
+    }
+    if body == "metrics-inventory end" {
+        return Ok(Pragma::InventoryEnd);
+    }
+    for (prefix, file_scoped) in [("allow-file(", true), ("allow(", false)] {
+        if let Some(inner) = body.strip_prefix(prefix) {
+            let Some(inner) = inner.strip_suffix(')') else {
+                return Err(format!("unclosed `{prefix}…`: expected `)`"));
+            };
+            let Some((what, reason)) = inner.split_once(',') else {
+                return Err(format!(
+                    "`{}{})` needs a reason: `{}<check>, <why this is fine>)`",
+                    prefix, inner, prefix
+                ));
+            };
+            let what = what.trim();
+            let reason = reason.trim();
+            if reason.is_empty() {
+                return Err(format!("empty reason in `{prefix}{what}, …)`"));
+            }
+            let check = if file_scoped {
+                Check::from_name(what)
+                    .ok_or_else(|| format!("unknown check `{what}` in allow-file"))?
+            } else {
+                match what {
+                    "alloc" => Check::NoAlloc,
+                    "panic" => Check::NoPanic,
+                    other => {
+                        return Err(format!(
+                            "site-level allow takes `alloc` or `panic`, got `{other}` \
+                             (file-wide suppression is `allow-file(<check>, <reason>)`)"
+                        ))
+                    }
+                }
+            };
+            return Ok(if file_scoped {
+                Pragma::AllowFile { check, reason: reason.to_string() }
+            } else {
+                Pragma::Allow { check, reason: reason.to_string() }
+            });
+        }
+    }
+    Err(format!(
+        "unrecognised audit pragma `{body}` \
+         (expected no_alloc, no_panic, allow(...), or allow-file(...))"
+    ))
+}
+
+/// The set of checks a file opted out of, with the pragma lines.
+pub fn file_allows(pragmas: &[SitedPragma]) -> Vec<Check> {
+    pragmas
+        .iter()
+        .filter_map(|p| match &p.pragma {
+            Pragma::AllowFile { check, .. } => Some(*check),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Lines on which hot-path findings of `check` are suppressed: a
+/// site-level `allow` covers its own line and the next source line.
+pub fn allow_lines(pragmas: &[SitedPragma], check: Check) -> Vec<u32> {
+    let mut lines = Vec::new();
+    for p in pragmas {
+        if let Pragma::Allow { check: c, .. } = &p.pragma {
+            if *c == check {
+                lines.push(p.line);
+                lines.push(p.line + 1);
+            }
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_all_forms() {
+        let src = "\
+// audit: no_alloc
+// audit: no_panic
+// audit: allow(alloc, scratch grows once)
+// audit: allow-file(atomics, shim code)
+/// audit: no_alloc
+";
+        let (pragmas, errors) = parse_pragmas(&lex(src));
+        assert!(errors.is_empty(), "{errors:?}");
+        // The doc-comment form on the last line is NOT a pragma.
+        assert_eq!(pragmas.len(), 4);
+        assert_eq!(pragmas[0].pragma, Pragma::NoAlloc);
+        assert_eq!(pragmas[1].pragma, Pragma::NoPanic);
+        assert_eq!(
+            pragmas[2].pragma,
+            Pragma::Allow { check: Check::NoAlloc, reason: "scratch grows once".into() }
+        );
+        assert_eq!(
+            pragmas[3].pragma,
+            Pragma::AllowFile { check: Check::Atomics, reason: "shim code".into() }
+        );
+        assert_eq!(file_allows(&pragmas), vec![Check::Atomics]);
+        assert_eq!(allow_lines(&pragmas, Check::NoAlloc), vec![3, 4]);
+    }
+
+    #[test]
+    fn malformed_pragmas_error() {
+        for bad in [
+            "// audit: allow(alloc)",         // missing reason
+            "// audit: allow(alloc, )",       // empty reason
+            "// audit: allow(frobnicate, x)", // unknown site check
+            "// audit: allow-file(bogus, x)", // unknown file check
+            "// audit: nonsense",             // unknown pragma
+            "// audit: allow(alloc, reason",  // unclosed
+        ] {
+            let (_, errors) = parse_pragmas(&lex(bad));
+            assert_eq!(errors.len(), 1, "expected error for {bad:?}");
+        }
+    }
+}

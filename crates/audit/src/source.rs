@@ -1,0 +1,314 @@
+//! Per-file source model shared by the checks: the token stream, its
+//! pragmas, per-line structure, `#[cfg(test)]` regions, and the
+//! bodies of `// audit:`-annotated functions.
+
+use crate::diagnostics::Check;
+use crate::lexer::{lex, TokKind, Token};
+use crate::pragma::{parse_pragmas, Pragma, PragmaError, SitedPragma};
+
+/// One lexed source file plus everything the checks ask about it.
+pub struct SourceFile {
+    /// `/`-separated path relative to the audited root.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub pragmas: Vec<SitedPragma>,
+    pub pragma_errors: Vec<PragmaError>,
+    /// Checks suppressed for the whole file via `allow-file`.
+    pub file_allows: Vec<Check>,
+    /// Token-index ranges (`start..end`, exclusive) lying inside
+    /// `#[cfg(test)] mod … { … }` bodies.
+    pub cfg_test_regions: Vec<(usize, usize)>,
+    /// Bodies of `// audit: no_alloc` / `no_panic` functions.
+    pub annotated_fns: Vec<AnnotatedFn>,
+    /// Misplaced annotations (pragma not followed by a `fn` with a
+    /// body) — reported rather than silently dropped.
+    pub dangling: Vec<(Pragma, u32, u32)>,
+}
+
+/// A function body subject to hot-path lint(s).
+#[derive(Debug)]
+pub struct AnnotatedFn {
+    pub name: String,
+    pub no_alloc: bool,
+    pub no_panic: bool,
+    /// Token-index range of the body, *including* the braces.
+    pub body: (usize, usize),
+    pub line: u32,
+}
+
+impl SourceFile {
+    pub fn new(path: String, src: &str) -> Self {
+        let tokens = lex(src);
+        let (pragmas, pragma_errors) = parse_pragmas(&tokens);
+        let file_allows = crate::pragma::file_allows(&pragmas);
+        let cfg_test_regions = find_cfg_test_regions(&tokens);
+        let (annotated_fns, dangling) = find_annotated_fns(&tokens);
+        Self {
+            path,
+            tokens,
+            pragmas,
+            pragma_errors,
+            file_allows,
+            cfg_test_regions,
+            annotated_fns,
+            dangling,
+        }
+    }
+
+    pub fn allows(&self, check: Check) -> bool {
+        self.file_allows.contains(&check)
+    }
+
+    pub fn in_cfg_test(&self, tok_idx: usize) -> bool {
+        self.cfg_test_regions.iter().any(|&(s, e)| tok_idx >= s && tok_idx < e)
+    }
+
+    /// Index of the next non-comment token at or after `i`.
+    pub fn next_code(&self, mut i: usize) -> Option<usize> {
+        while let Some(t) = self.tokens.get(i) {
+            if !t.kind.is_comment() {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Index of the previous non-comment token strictly before `i`.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        self.tokens[..i].iter().rposition(|t| !t.kind.is_comment())
+    }
+}
+
+/// Finds `#[cfg(test)]` followed by `mod <name> {` and returns the
+/// token range of each such body. (A `#[cfg(test)]` on an individual
+/// item is not a region; the convention in this workspace is test
+/// modules, which is what metric-name collection must skip.)
+fn find_cfg_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let code: Vec<usize> = (0..tokens.len()).filter(|&i| !tokens[i].kind.is_comment()).collect();
+    let at = |ci: usize| -> Option<&TokKind> { code.get(ci).map(|&i| &tokens[i].kind) };
+    for w in 0..code.len() {
+        // # [ cfg ( test ) ] mod <ident> {
+        let pat_ok = at(w).is_some_and(|k| k.is_punct(b'#'))
+            && at(w + 1).is_some_and(|k| k.is_punct(b'['))
+            && at(w + 2).and_then(|k| k.ident()) == Some("cfg")
+            && at(w + 3).is_some_and(|k| k.is_punct(b'('))
+            && at(w + 4).and_then(|k| k.ident()) == Some("test")
+            && at(w + 5).is_some_and(|k| k.is_punct(b')'))
+            && at(w + 6).is_some_and(|k| k.is_punct(b']'))
+            && at(w + 7).and_then(|k| k.ident()) == Some("mod")
+            && at(w + 9).is_some_and(|k| k.is_punct(b'{'));
+        if !pat_ok {
+            continue;
+        }
+        let open = code[w + 9];
+        if let Some(close) = match_brace(tokens, open) {
+            regions.push((open, close + 1));
+        }
+    }
+    regions
+}
+
+/// Given the index of a `{` token, returns the index of its matching
+/// `}` (None if the file ends first).
+pub fn match_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Tokens that may legitimately sit between an annotation pragma and
+/// its `fn`: visibility and qualifiers (attributes are skipped whole
+/// before this is consulted).
+fn is_fn_prelude(kind: &TokKind) -> bool {
+    match kind {
+        TokKind::Ident(s) => {
+            matches!(s.as_str(), "pub" | "crate" | "in" | "const" | "async" | "unsafe" | "extern")
+        }
+        TokKind::Str(_) => true,             // extern "C"
+        TokKind::Punct(b'(' | b')') => true, // pub(crate)
+        _ => kind.is_comment(),
+    }
+}
+
+fn self_next_code(tokens: &[Token], mut i: usize) -> Option<usize> {
+    while let Some(t) = tokens.get(i) {
+        if !t.kind.is_comment() {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+fn find_annotated_fns(tokens: &[Token]) -> (Vec<AnnotatedFn>, Vec<(Pragma, u32, u32)>) {
+    let mut fns: Vec<AnnotatedFn> = Vec::new();
+    let mut dangling = Vec::new();
+    let mut pending: Vec<(Pragma, u32, u32)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        if let TokKind::LineComment { text, doc: false } = &tok.kind {
+            let t = text.trim_start();
+            if let Some(rest) = t.strip_prefix("audit:") {
+                match rest.trim() {
+                    "no_alloc" => pending.push((Pragma::NoAlloc, tok.line, tok.col)),
+                    "no_panic" => pending.push((Pragma::NoPanic, tok.line, tok.col)),
+                    _ => {}
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if pending.is_empty() {
+            i += 1;
+            continue;
+        }
+        if tok.kind.is_punct(b'#') {
+            // Skip a whole attribute: its argument tokens are arbitrary
+            // and must not be mistaken for the annotated item.
+            if let Some(open) = self_next_code(tokens, i + 1) {
+                if tokens[open].kind.is_punct(b'[') {
+                    let mut depth = 0i64;
+                    let mut j = open;
+                    while j < tokens.len() {
+                        match &tokens[j].kind {
+                            TokKind::Punct(b'[') => depth += 1,
+                            TokKind::Punct(b']') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+        if tok.kind.ident() == Some("fn") {
+            // Name, then body: the first `{` with all signature
+            // brackets closed. A `;` first means a bodyless signature.
+            let name = tokens[i + 1..]
+                .iter()
+                .find_map(|t| t.kind.ident())
+                .unwrap_or("<anonymous>")
+                .to_string();
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            let mut body = None;
+            while j < tokens.len() {
+                match &tokens[j].kind {
+                    TokKind::Punct(b'(' | b'[') => depth += 1,
+                    TokKind::Punct(b')' | b']') => depth -= 1,
+                    TokKind::Punct(b'{') if depth == 0 => {
+                        body = match_brace(tokens, j).map(|close| (j, close + 1));
+                        break;
+                    }
+                    TokKind::Punct(b';') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            match body {
+                Some(body) => fns.push(AnnotatedFn {
+                    name,
+                    no_alloc: pending.iter().any(|(p, ..)| *p == Pragma::NoAlloc),
+                    no_panic: pending.iter().any(|(p, ..)| *p == Pragma::NoPanic),
+                    body,
+                    line: tok.line,
+                }),
+                None => dangling.append(&mut pending),
+            }
+            pending.clear();
+            i = j + 1;
+            continue;
+        }
+        if !is_fn_prelude(&tok.kind) {
+            // The annotation was attached to something that is not a
+            // function — surface it instead of silently ignoring.
+            dangling.append(&mut pending);
+        }
+        i += 1;
+    }
+    dangling.extend(pending);
+    (fns, dangling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_region_found() {
+        let src = "\
+fn a() {}
+#[cfg(test)]
+mod tests {
+    fn b() {}
+}
+fn c() {}
+";
+        let f = SourceFile::new("x.rs".into(), src);
+        assert_eq!(f.cfg_test_regions.len(), 1);
+        let b_idx = f.tokens.iter().position(|t| t.kind.ident() == Some("b")).unwrap();
+        let c_idx = f.tokens.iter().position(|t| t.kind.ident() == Some("c")).unwrap();
+        assert!(f.in_cfg_test(b_idx));
+        assert!(!f.in_cfg_test(c_idx));
+    }
+
+    #[test]
+    fn annotated_fn_bodies() {
+        let src = "\
+// audit: no_alloc
+// audit: no_panic
+#[inline]
+pub fn hot(x: &[u8; 4]) -> u8 {
+    x[0]
+}
+
+// audit: no_alloc
+struct NotAFn;
+";
+        let f = SourceFile::new("x.rs".into(), src);
+        assert_eq!(f.annotated_fns.len(), 1);
+        let a = &f.annotated_fns[0];
+        assert_eq!(a.name, "hot");
+        assert!(a.no_alloc && a.no_panic);
+        assert_eq!(f.dangling.len(), 1);
+    }
+
+    #[test]
+    fn fn_with_where_and_nested_braces() {
+        let src = "\
+// audit: no_panic
+fn generic<T: Clone>(v: Vec<T>) -> usize
+where
+    T: Send,
+{
+    let inner = { v.len() };
+    inner
+}
+";
+        let f = SourceFile::new("x.rs".into(), src);
+        assert_eq!(f.annotated_fns.len(), 1);
+        let (open, close) = f.annotated_fns[0].body;
+        assert!(f.tokens[open].kind.is_punct(b'{'));
+        assert_eq!(close, f.tokens.len());
+    }
+}

@@ -1,0 +1,86 @@
+//! Integration tests over the seeded fixture trees: the violations
+//! fixture must produce exactly the expected diagnostics (spans and
+//! all), and the clean fixture must produce none. Exactness matters in
+//! both directions — a drifted span means the analyzer is attributing
+//! findings to the wrong code, and an extra diagnostic on the clean
+//! tree means a false positive that would block an innocent PR.
+
+use std::path::{Path, PathBuf};
+use uadb_audit::diagnostics::Check;
+use uadb_audit::AuditConfig;
+
+fn fixture_config(name: &str) -> AuditConfig {
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let mut cfg = AuditConfig::new(&root);
+    cfg.inventory = root.join("tests/inventory.rs");
+    cfg
+}
+
+#[test]
+fn violations_fixture_produces_exact_spans() {
+    let (diags, stats) = uadb_audit::run(&fixture_config("violations")).unwrap();
+    let got: Vec<(Check, &str, u32, u32)> =
+        diags.iter().map(|d| (d.check, d.file.as_str(), d.line, d.col)).collect();
+    let want = vec![
+        (Check::Metrics, "README.md", 3, 4),
+        (Check::Atomics, "audit/atomics.toml", 14, 1),
+        (Check::Safety, "src/lib.rs", 5, 5),
+        (Check::Atomics, "src/lib.rs", 13, 16),
+        (Check::Atomics, "src/lib.rs", 14, 12),
+        (Check::NoAlloc, "src/lib.rs", 19, 9),
+        (Check::NoPanic, "src/lib.rs", 24, 6),
+        (Check::NoPanic, "src/lib.rs", 24, 31),
+        (Check::Pragma, "src/lib.rs", 27, 1),
+        (Check::Metrics, "src/lib.rs", 29, 23),
+    ];
+    assert_eq!(got, want, "full diagnostics:\n{:#?}", diags);
+
+    // Message spot-checks: each finding says what is wrong, not just
+    // where.
+    let msg = |check: Check, line: u32| {
+        &diags
+            .iter()
+            .find(|d| d.check == check && d.line == line && d.file == "src/lib.rs")
+            .unwrap()
+            .message
+    };
+    assert!(msg(Check::Safety, 5).contains("unsafe block"));
+    assert!(msg(Check::Atomics, 13).contains("unblessed"));
+    assert!(msg(Check::Atomics, 13).contains("store(Ordering::Release)"));
+    assert!(msg(Check::Atomics, 14).contains("table says 2, source has 1"));
+    assert!(msg(Check::NoAlloc, 19).contains(".push(…)"));
+    assert!(msg(Check::NoAlloc, 19).contains("hot_alloc"));
+    assert!(msg(Check::NoPanic, 24).contains("indexing by integer literal"));
+    assert!(msg(Check::Pragma, 27).contains("reason"));
+    assert!(msg(Check::Metrics, 29).contains("missing from the README"));
+
+    // The stale bless entry is attributed to the table, not to code.
+    let stale = diags.iter().find(|d| d.file == "audit/atomics.toml").unwrap();
+    assert!(stale.message.contains("stale"), "{stale}");
+
+    assert_eq!(stats.unsafe_sites, 2);
+    assert_eq!(stats.atomic_sites, 3);
+    assert_eq!(stats.annotated_fns, 2);
+    assert_eq!(stats.metric_families, 1);
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let (diags, stats) = uadb_audit::run(&fixture_config("clean")).unwrap();
+    assert_eq!(diags, vec![], "clean fixture must produce no diagnostics");
+    assert_eq!(stats.unsafe_sites, 1);
+    assert_eq!(stats.atomic_sites, 2);
+    assert_eq!(stats.annotated_fns, 1);
+    assert_eq!(stats.metric_families, 1);
+}
+
+#[test]
+fn json_report_carries_counts_and_spans() {
+    let (diags, _) = uadb_audit::run(&fixture_config("violations")).unwrap();
+    let json = uadb_audit::diagnostics::render_json(&diags);
+    assert!(json.contains("\"total\": 10"), "{json}");
+    assert!(json.contains("\"atomics\": 3"));
+    assert!(json.contains("\"no_panic\": 2"));
+    assert!(json.contains("\"file\": \"src/lib.rs\""));
+    assert!(json.contains("\"line\": 5"));
+}

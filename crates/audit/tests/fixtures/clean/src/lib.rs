@@ -1,0 +1,22 @@
+//! Fully compliant fixture: the analyzer must stay silent here.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn deref(p: *const u32) -> u32 {
+    // SAFETY: fixture pointer is always valid.
+    unsafe { *p }
+}
+
+pub fn counters(a: &AtomicU64) -> u64 {
+    a.fetch_add(1, Ordering::Relaxed);
+    a.load(Ordering::Relaxed)
+}
+
+// audit: no_alloc
+pub fn hot(out: &mut Vec<f64>, n: usize) {
+    // audit: allow(alloc, fixture demonstrates a reviewed escape)
+    out.resize(n, 0.0);
+}
+
+pub fn registers(r: &Registry) {
+    let _ = r.counter("uadb_ok_total", "help", &[]);
+}

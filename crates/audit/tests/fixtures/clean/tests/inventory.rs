@@ -1,0 +1,3 @@
+// audit: metrics-inventory begin
+const INVENTORY: &[&str] = &["uadb_ok_total"];
+// audit: metrics-inventory end

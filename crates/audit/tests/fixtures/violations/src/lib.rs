@@ -1,0 +1,30 @@
+//! Seeded violations for the audit integration tests. Never compiled.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn no_safety(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+// SAFETY: the fixture's one compliant site.
+pub unsafe fn with_safety() {}
+
+pub fn atomics(a: &AtomicU64) -> u64 {
+    a.fetch_add(1, Ordering::Relaxed);
+    a.store(0, Ordering::Release);
+    a.load(Ordering::Relaxed)
+}
+
+// audit: no_alloc
+fn hot_alloc(out: &mut Vec<u32>) {
+    out.push(1);
+}
+
+// audit: no_panic
+fn hot_panic(v: &[u32]) -> u32 {
+    v[0] + v.first().copied().unwrap()
+}
+
+// audit: allow(alloc)
+pub fn registers(r: &Registry) {
+    let _ = r.counter("uadb_real_total", "help", &[]);
+}

@@ -1,0 +1,3 @@
+// audit: metrics-inventory begin
+const INVENTORY: &[&str] = &["uadb_real_total"];
+// audit: metrics-inventory end

@@ -1,0 +1,24 @@
+//! The analyzer's own CI gate, inverted: the real workspace must audit
+//! clean, and the run must have genuinely exercised the checks — a
+//! walker bug that silently skipped every file would otherwise "pass".
+
+use std::path::Path;
+use uadb_audit::AuditConfig;
+
+#[test]
+fn workspace_audits_clean_and_nonvacuously() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (diags, stats) = uadb_audit::run(&AuditConfig::new(root)).unwrap();
+    assert_eq!(
+        diags,
+        vec![],
+        "the workspace must audit clean; fix the finding or bless/annotate it"
+    );
+    // Floors, not exact counts: the workspace grows, but the audit must
+    // never quietly stop seeing it.
+    assert!(stats.files_scanned >= 100, "only scanned {} files", stats.files_scanned);
+    assert!(stats.unsafe_sites >= 10, "only saw {} unsafe sites", stats.unsafe_sites);
+    assert!(stats.atomic_sites >= 60, "only saw {} atomic sites", stats.atomic_sites);
+    assert!(stats.annotated_fns >= 8, "only saw {} annotated fns", stats.annotated_fns);
+    assert!(stats.metric_families >= 20, "only saw {} metric families", stats.metric_families);
+}

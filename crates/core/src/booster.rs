@@ -475,6 +475,7 @@ impl UadbModel {
     /// [`UadbModel::score_into`] over a raw row-major slice of `n_rows`
     /// rows — the serving path's form, so standardised feature buffers
     /// never need a `Matrix` wrapper.
+    // audit: no_alloc
     pub fn score_rows_into(
         &self,
         rows: &[f64],
@@ -483,6 +484,7 @@ impl UadbModel {
         out: &mut Vec<f64>,
     ) {
         out.clear();
+        // audit: allow(alloc, grows the reused output buffer to batch size once; steady-state it is a no-op)
         out.resize(n_rows, 0.0);
         for mlp in &self.ensemble {
             let p = mlp.forward_rows(rows, n_rows, &mut scratch.forward);

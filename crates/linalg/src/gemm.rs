@@ -241,6 +241,7 @@ pub fn pack_rhs(k: usize, n: usize, b: &[f64], pack: &mut Vec<f64>) {
 ///
 /// # Panics
 /// If any slice length disagrees with the given dimensions.
+// audit: no_alloc
 #[allow(clippy::too_many_arguments)] // a GEMM is its dimensions + operands
 pub fn gemm_into(
     m: usize,
@@ -325,6 +326,7 @@ pub fn gemm_into(
 /// portable fallback — produce bit-identical strips. With no zero
 /// coefficients the zero-skip never fires, so skipping logic is absent
 /// rather than replayed.
+// audit: no_alloc
 #[inline]
 fn strip16_dense(isa: simd::Isa, a_row: &[f64], bs: &[f64], stride: usize, out: &mut [f64]) {
     debug_assert_eq!(out.len(), NR);
@@ -334,6 +336,7 @@ fn strip16_dense(isa: simd::Isa, a_row: &[f64], bs: &[f64], stride: usize, out: 
         // SAFETY: `detect` proved the feature; the debug asserts above
         // state the bounds contract the callers uphold.
         simd::Isa::Avx512 => return unsafe { simd::strip16_avx512(a_row, bs, stride, out) },
+        // SAFETY: same contract as the AVX-512 arm, with AVX proved.
         simd::Isa::Avx => return unsafe { simd::strip16_avx(a_row, bs, stride, out) },
         simd::Isa::Portable => {}
     }
@@ -353,6 +356,7 @@ fn strip16_dense(isa: simd::Isa, a_row: &[f64], bs: &[f64], stride: usize, out: 
 /// contribution when the rhs row is finite (ReLU-sparse activations
 /// skip roughly half the work). Stays scalar: the skip branch defeats
 /// SIMD anyway, and the closure inlines to a mask lookup.
+// audit: no_alloc
 fn strip16_sparse(
     a_row: &[f64],
     bs: &[f64],
@@ -443,6 +447,9 @@ mod simd {
         use std::arch::x86_64::*;
         debug_assert!(a_row.is_empty() || (a_row.len() - 1) * stride + super::NR <= bs.len());
         debug_assert_eq!(out.len(), super::NR);
+        // SAFETY: the fn's contract (asserted above in debug) makes
+        // every `bp` load and `op` store in-bounds; unaligned intrinsics
+        // are used throughout, so no alignment requirement exists.
         unsafe {
             let mut acc0 = _mm256_setzero_pd();
             let mut acc1 = _mm256_setzero_pd();
@@ -473,6 +480,8 @@ mod simd {
         use std::arch::x86_64::*;
         debug_assert!(a_row.is_empty() || (a_row.len() - 1) * stride + super::NR <= bs.len());
         debug_assert_eq!(out.len(), super::NR);
+        // SAFETY: as in `strip16_avx` — contract-bounded unaligned
+        // loads/stores only.
         unsafe {
             let mut acc0 = _mm512_setzero_pd();
             let mut acc1 = _mm512_setzero_pd();

@@ -124,12 +124,16 @@ impl BatchState {
     /// Marks the moment a worker first picked up a shard of this batch
     /// — the end of the batch's queue wait. Relaxed CAS: only the first
     /// caller wins, later shards are already in the scoring phase.
+    // audit: no_panic
     fn mark_dequeued(&self, t: u64) {
         let _ = self.first_dequeue_ns.compare_exchange(0, t, Ordering::Relaxed, Ordering::Relaxed);
     }
 
     /// Records one shard's outcome; the call that drops `remaining` to
     /// zero takes the callback and fires it outside every lock.
+    /// Panic-free even under poison (`unwrap_or_else(into_inner)`): a
+    /// completion that panicked would leak the caller's oneshot forever.
+    // audit: no_panic
     fn record(&self, lo: usize, result: Result<(), ScoreError>) {
         if let Err(e) = result {
             let mut guard = self.first_err.lock().unwrap_or_else(|p| p.into_inner());
@@ -191,6 +195,7 @@ struct Job {
 }
 
 impl Job {
+    // audit: no_panic
     fn finish(mut self, result: Result<(), ScoreError>) {
         self.reported = true;
         self.state.record(self.lo, result);

@@ -344,6 +344,8 @@ impl Reactor {
 
     // ------------------------ event dispatch -------------------------
 
+    // audit: no_alloc
+    // audit: no_panic
     fn conn_event(&mut self, tok: u64, bits: u32, now: Instant) {
         let idx = (tok & u64::from(u32::MAX)) as u32;
         let gen = (tok >> 32) as u32;
@@ -607,6 +609,8 @@ impl Reactor {
     /// Writes as much of the pending output as the socket accepts.
     /// Returns `false` if the connection was closed (finished or
     /// failed).
+    // audit: no_alloc
+    // audit: no_panic
     fn flush(&mut self, idx: u32) -> bool {
         let mut close = false;
         {

@@ -196,6 +196,8 @@ fn tiny_rcvbuf_client(addr: SocketAddr) -> TcpStream {
     // the server-side stall still happens reliably.
     let stream = TcpStream::connect(addr).unwrap();
     let val: i32 = 4096;
+    // SAFETY: `stream` keeps the fd alive across the call; `optval`
+    // points at a live i32 whose exact size is passed as `optlen`.
     let rc = unsafe {
         setsockopt(
             stream.as_raw_fd(),

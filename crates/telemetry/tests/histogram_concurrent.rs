@@ -18,11 +18,25 @@ fn reference(bounds: &[u64], samples: &[u64]) -> (Vec<u64>, u64, u64) {
     (buckets, sum, samples.len() as u64)
 }
 
+// Miri interprets every access and serialises real threads, so the
+// native sizes (≤400 samples × ≤5 writer threads, 64 cases via the
+// proptest shim) would run for minutes. The shrunken envelope still
+// crosses the interesting boundaries: multiple writers, chunk
+// remainders, and the overflow bucket.
+#[cfg(miri)]
+const MAX_SAMPLES: usize = 24;
+#[cfg(not(miri))]
+const MAX_SAMPLES: usize = 400;
+#[cfg(miri)]
+const MAX_THREADS: usize = 3;
+#[cfg(not(miri))]
+const MAX_THREADS: usize = 6;
+
 proptest! {
     #[test]
     fn merged_snapshot_equals_serial_reference(
-        samples in prop::collection::vec(0u64..5_000_000, 0..400),
-        threads in 1usize..6,
+        samples in prop::collection::vec(0u64..5_000_000, 0..MAX_SAMPLES),
+        threads in 1usize..MAX_THREADS,
     ) {
         let bounds = Histogram::latency_bounds();
         let hist = Arc::new(Histogram::new(&bounds));

@@ -18,9 +18,12 @@ pub mod test_runner;
 
 /// Number of cases each property runs (`PROPTEST_CASES` overrides; the
 /// default keeps full-workspace test time reasonable while exercising
-/// each property well beyond its boundary conditions).
+/// each property well beyond its boundary conditions). Under Miri every
+/// basic block costs ~100× native, so the default drops to a handful of
+/// cases — the interpreter is hunting UB, not statistical coverage.
 pub fn cases() -> usize {
-    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+    let default = if cfg!(miri) { 4 } else { 64 };
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// A failed property-case assertion (early-returned by the
