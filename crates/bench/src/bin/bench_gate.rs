@@ -1,4 +1,5 @@
-//! Regression gate over `BENCH_matmul.json`.
+//! Regression gate over the bench harness JSON emissions
+//! (`BENCH_matmul.json`, `BENCH_serve.json`).
 //!
 //! Two layers of checks, designed so CI can run the hot-path bench with
 //! telemetry instrumentation compiled in (`--features kernel-stats`) and
@@ -7,9 +8,13 @@
 //! 1. **Machine-independent invariants** (always on): within a single
 //!    run, the blocked `dense_into` kernel must still beat the naive
 //!    kernel at batch sizes ≥ 256, and the scratch-buffer forward pass
-//!    must not lose to the allocating one at the 8192-row batch. These
+//!    must not lose to the allocating one at the 8192-row batch; on the
+//!    serving plane, the binary `application/x-uadb-rows` request must
+//!    beat the equivalent JSON request at the 8192-row batch. These
 //!    hold on any hardware, so they gate even when the baseline was
-//!    produced on a different machine.
+//!    produced on a different machine. Invariants whose cases are
+//!    absent from the candidate file are skipped, so one binary gates
+//!    both bench suites.
 //! 2. **Baseline comparison** (`--baseline <path>`): every case present
 //!    in both files must satisfy `candidate.min_ns <= baseline.min_ns *
 //!    tolerance`. The tolerance (`--tolerance`, default 3.0) absorbs
@@ -70,6 +75,12 @@ const INVARIANTS: &[(&str, &str, f64)] = &[
     ("dense_into_256x128x128", "naive_256x128x128", 1.0),
     ("dense_into_1024x64x64", "naive_1024x64x64", 1.0),
     ("scratch_8192x32", "alloc_8192x32", 1.1),
+    // Serving plane (BENCH_serve.json): at the 8192-row batch the binary
+    // wire format must beat JSON regardless of shard count — parsing
+    // decimal float text must never be the fast path again.
+    ("binary_rows8192_shards1", "json_rows8192_shards1", 1.0),
+    ("binary_rows8192_shards2", "json_rows8192_shards2", 1.0),
+    ("binary_rows8192_shards4", "json_rows8192_shards4", 1.0),
 ];
 
 fn main() {

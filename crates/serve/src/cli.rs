@@ -36,7 +36,8 @@ USAGE:
   uadb-serve serve --model [NAME=]FILE[,TEACHER_FILE] [--model ...] [--default NAME]
                    [--addr HOST:PORT] [--workers N] [--shard-rows N]
                    [--max-conns N] [--max-requests N] [--idle-timeout-ms N]
-                   [--io threads|epoll] [--log-level error|warn|info|debug]
+                   [--io threads|epoll] [--shards N]
+                   [--log-level error|warn|info|debug]
                    [--log-json] [--slow-ms N]
   uadb-serve info  --model FILE
 
@@ -58,9 +59,14 @@ SUBCOMMANDS:
           serves the paper's comparison live. Bare POST /score routes to the
           default model (--default NAME overrides; otherwise the first
           --model). --io picks the connection backend: `epoll` (Linux
-          default) drives every socket from one event loop so --max-conns
-          can grow past thread counts; `threads` (non-Linux default) is
-          the portable one-thread-per-connection fallback. Endpoints:
+          default) drives every socket from N sharded event loops so
+          --max-conns can grow past thread counts; `threads` (non-Linux
+          default) is the portable one-thread-per-connection fallback.
+          --shards N runs N epoll reactor shards (default: min(cores,
+          scoring workers); ignored by --io threads). POST /score also
+          accepts the binary row payload (Content-Type:
+          application/x-uadb-rows; see README wire-protocol spec) and
+          answers with raw little-endian scores. Endpoints:
           POST /score[/NAME][?variant=...], GET /model[/NAME],
           GET /models, POST /admin/reload/NAME,
           POST|DELETE /admin/teacher/NAME (attach/detach a teacher
@@ -360,6 +366,18 @@ fn serve(flags: &Flags) -> Result<(), CliError> {
         Some(name) => IoMode::from_name(name)
             .ok_or_else(|| err(format!("--io must be threads|epoll, got `{name}`")))?,
     };
+    // `--shards 0` (the default) auto-sizes to min(cores, scoring
+    // workers): more reactor loops than cores just contend, and more
+    // than scoring workers cannot be fed. Explicit values are taken
+    // as-is. The threaded backend ignores the knob.
+    let shards = match flags.parse_num("shards", 0usize)? {
+        0 => {
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            let workers = if pool_cfg.workers == 0 { cores } else { pool_cfg.workers };
+            cores.min(workers).max(1)
+        }
+        n => n,
+    };
     let server_cfg = ServerConfig {
         max_connections: flags.parse_num("max-conns", defaults.max_connections)?,
         max_requests_per_conn: flags.parse_num("max-requests", defaults.max_requests_per_conn)?,
@@ -368,6 +386,7 @@ fn serve(flags: &Flags) -> Result<(), CliError> {
         ),
         io_timeout: defaults.io_timeout,
         io,
+        shards,
     };
     if server_cfg.max_connections == 0 || server_cfg.max_requests_per_conn == 0 {
         return Err(err("--max-conns and --max-requests must be at least 1"));
@@ -395,11 +414,14 @@ fn serve(flags: &Flags) -> Result<(), CliError> {
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
     let server = Server::bind(addr, Arc::clone(&registry), server_cfg)
         .map_err(|e| err(format!("binding {addr}: {e}")))?;
+    let backend_desc = match io {
+        IoMode::Epoll => format!("{} backend, {} shard(s)", io.name(), shards),
+        IoMode::Threads => format!("{} backend", io.name()),
+    };
     println!(
-        "serving {} model(s) [default: {default_name}] on http://{} ({} backend)",
+        "serving {} model(s) [default: {default_name}] on http://{} ({backend_desc})",
         registry.len(),
         server.local_addr().map_err(|e| err(e.to_string()))?,
-        io.name(),
     );
     println!(
         "endpoints: POST /score[/NAME], GET /model[/NAME], GET /models, \

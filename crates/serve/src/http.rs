@@ -7,6 +7,13 @@
 //!   `{"rows": [[f64, …], …]}`, response `{"scores": [f64, …], "n": k}`.
 //!   Scores go through the model's shared [`ScoringPool`], so they match
 //!   in-process [`crate::model::ServedModel::score_rows`] bit for bit.
+//!   With `Content-Type: application/x-uadb-rows` the body is instead
+//!   the length-prefixed binary row payload ([`wire`]): a 16-byte
+//!   header (magic `UROW`, version, dtype f32/f64, row/col counts) and
+//!   row-major little-endian floats, decoded straight into one
+//!   row-major matrix — no per-row allocation, no decimal text. The
+//!   response is then raw little-endian scores in the request's dtype
+//!   (`application/x-uadb-scores`); errors stay JSON.
 //! * `POST /score/{name}` — same, against a named model (404 unknown).
 //!   `?variant=booster|teacher|both` picks the scoring side when the
 //!   model carries a frozen teacher snapshot: `teacher` scores the
@@ -39,10 +46,14 @@
 //!
 //! * [`IoMode::Threads`] — one handler thread per connection, blocking
 //!   reads with idle/io timeouts. Portable; the non-Linux default.
-//! * [`IoMode::Epoll`] — `crate::reactor`: a single-threaded epoll
-//!   readiness loop owning every client socket (Linux only, the Linux
-//!   default). Connection budgets are no longer bounded by how many
-//!   threads the host tolerates.
+//! * [`IoMode::Epoll`] — `crate::reactor`: N independent edge-triggered
+//!   epoll shard loops (`ServerConfig::shards`, Linux only, the Linux
+//!   default), each owning its accepted sockets, slab, timer wheel and
+//!   wakeup pipe. With `SO_REUSEPORT` every shard gets its own
+//!   listener on the shared address and the kernel load-balances
+//!   accepts; without it, shard 0 accepts and hands connections off
+//!   round-robin over the other shards' wake pipes. Connection budgets
+//!   are no longer bounded by how many threads the host tolerates.
 //!
 //! Both drivers share the parser, the router, the serializer, the
 //! connection budget and the keep-alive/idle/max-requests semantics, so
@@ -156,6 +167,13 @@ pub struct ServerConfig {
     pub io_timeout: Duration,
     /// Which I/O backend drives connections.
     pub io: IoMode,
+    /// Epoll reactor shards: independent event loops, each with its own
+    /// epoll instance, accept path (`SO_REUSEPORT` when available) and
+    /// timer wheel, all sharing the connection budget and scoring
+    /// pools. `0`/`1` means one loop (the pre-shard behaviour); the
+    /// threaded backend ignores the field. The CLI defaults this to
+    /// `min(cores, workers)`.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -166,17 +184,18 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             io_timeout: Duration::from_secs(30),
             io: IoMode::default_for_host(),
+            shards: 1,
         }
     }
 }
 
-/// Cooperative stop flag with an optional backend-registered waker —
-/// the threaded backend polls the flag per request, the epoll reactor
-/// registers a closure that writes its wakeup pipe so a shutdown
-/// interrupts `epoll_wait` immediately.
+/// Cooperative stop flag with backend-registered wakers — the threaded
+/// backend polls the flag per request, each epoll reactor shard
+/// registers a closure that writes its own wakeup pipe so a shutdown
+/// interrupts every shard's `epoll_wait` immediately.
 pub struct StopSignal {
     flag: AtomicBool,
-    waker: Mutex<Option<Box<dyn Fn() + Send>>>,
+    wakers: Mutex<Vec<Box<dyn Fn() + Send>>>,
 }
 
 impl Default for StopSignal {
@@ -188,7 +207,7 @@ impl Default for StopSignal {
 impl StopSignal {
     /// A fresh, un-triggered signal.
     pub fn new() -> Self {
-        Self { flag: AtomicBool::new(false), waker: Mutex::new(None) }
+        Self { flag: AtomicBool::new(false), wakers: Mutex::new(Vec::new()) }
     }
 
     /// Whether the server should wind down.
@@ -196,18 +215,19 @@ impl StopSignal {
         self.flag.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown and pokes the registered waker, if any.
+    /// Requests shutdown and pokes every registered waker.
     pub fn trigger(&self) {
         self.flag.store(true, Ordering::SeqCst);
-        if let Some(waker) = &*self.waker.lock().unwrap_or_else(|e| e.into_inner()) {
+        for waker in &*self.wakers.lock().unwrap_or_else(|e| e.into_inner()) {
             waker();
         }
     }
 
-    /// Registers the closure `trigger` calls to interrupt a blocked
-    /// backend (e.g. writing the reactor's wakeup pipe).
-    pub fn set_waker(&self, waker: Box<dyn Fn() + Send>) {
-        *self.waker.lock().unwrap_or_else(|e| e.into_inner()) = Some(waker);
+    /// Registers a closure `trigger` calls to interrupt a blocked
+    /// backend (e.g. writing a reactor shard's wakeup pipe). Every
+    /// registered waker fires; shards each register their own.
+    pub fn add_waker(&self, waker: Box<dyn Fn() + Send>) {
+        self.wakers.lock().unwrap_or_else(|e| e.into_inner()).push(waker);
     }
 }
 
@@ -216,17 +236,23 @@ impl StopSignal {
 pub struct ServerStats {
     backend: &'static str,
     max_connections: usize,
+    shards: usize,
     open: AtomicUsize,
 }
 
 impl ServerStats {
-    fn new(backend: &'static str, max_connections: usize) -> Self {
-        Self { backend, max_connections, open: AtomicUsize::new(0) }
+    fn new(backend: &'static str, max_connections: usize, shards: usize) -> Self {
+        Self { backend, max_connections, shards, open: AtomicUsize::new(0) }
     }
 
     /// The active backend's name (`"threads"` / `"epoll"`).
     pub fn backend(&self) -> &'static str {
         self.backend
+    }
+
+    /// Reactor shard count (1 on the threaded backend).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Currently open client connections.
@@ -280,12 +306,17 @@ pub trait ConnectionDriver: Send {
     fn name(&self) -> &'static str;
 
     /// Serves until the stop signal triggers or the listener dies.
-    fn run(&self, listener: TcpListener, ctx: DriverCtx) -> io::Result<()>;
+    /// `listeners` is never empty; the epoll backend may receive one
+    /// listener per shard (an `SO_REUSEPORT` group bound to the same
+    /// address), the threaded backend only ever uses the first.
+    fn run(&self, listeners: Vec<TcpListener>, ctx: DriverCtx) -> io::Result<()>;
 }
 
-/// A bound scoring server (not yet accepting).
+/// A bound scoring server (not yet accepting). `listeners[0]` is the
+/// primary socket; extra listeners (one per additional reactor shard)
+/// exist only when the whole group could be bound with `SO_REUSEPORT`.
 pub struct Server {
-    listener: TcpListener,
+    listeners: Vec<TcpListener>,
     registry: Arc<ModelRegistry>,
     cfg: ServerConfig,
 }
@@ -301,7 +332,16 @@ pub struct ServerHandle {
 }
 
 impl Server {
-    /// Binds the listener over a model registry.
+    /// Binds the listener(s) over a model registry.
+    ///
+    /// A multi-shard epoll config tries to bind one `SO_REUSEPORT`
+    /// listener per shard so the kernel load-balances accepts across
+    /// the shard loops. Every socket in the group — including the
+    /// first — must set the option *before* bind, which is why the
+    /// primary goes through the raw-socket helper too. If the option
+    /// is unavailable (or any bind in the group fails), serving falls
+    /// back to a single listener; shard 0 then hands accepted
+    /// connections off round-robin.
     pub fn bind(
         addr: impl ToSocketAddrs,
         registry: Arc<ModelRegistry>,
@@ -310,8 +350,18 @@ impl Server {
         // Fail at bind time, not at run time, when the configured
         // backend does not exist on this host.
         cfg.io.driver()?;
-        let listener = TcpListener::bind(addr)?;
-        Ok(Server { listener, registry, cfg })
+        let mut listeners = Vec::new();
+        #[cfg(target_os = "linux")]
+        if cfg.io == IoMode::Epoll
+            && cfg.shards > 1
+            && std::env::var_os("UADB_SERVE_NO_REUSEPORT").is_none()
+        {
+            listeners = bind_reuseport_group(&addr, cfg.shards);
+        }
+        if listeners.is_empty() {
+            listeners.push(TcpListener::bind(addr)?);
+        }
+        Ok(Server { listeners, registry, cfg })
     }
 
     /// Convenience: binds a single-model server, registering `model`
@@ -328,7 +378,7 @@ impl Server {
 
     /// The bound address (useful after binding port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.listener.local_addr()
+        self.listeners[0].local_addr()
     }
 
     /// The registry this server routes over.
@@ -336,35 +386,36 @@ impl Server {
         &self.registry
     }
 
-    fn parts(self) -> io::Result<(TcpListener, Box<dyn ConnectionDriver>, DriverCtx)> {
+    fn parts(self) -> io::Result<(Vec<TcpListener>, Box<dyn ConnectionDriver>, DriverCtx)> {
         let driver = self.cfg.io.driver()?;
-        let stats = Arc::new(ServerStats::new(driver.name(), self.cfg.max_connections));
+        let shards = if self.cfg.io == IoMode::Epoll { self.cfg.shards.max(1) } else { 1 };
+        let stats = Arc::new(ServerStats::new(driver.name(), self.cfg.max_connections, shards));
         let ctx = DriverCtx {
             registry: self.registry,
             cfg: self.cfg,
             stats,
             stop: Arc::new(StopSignal::new()),
         };
-        Ok((self.listener, driver, ctx))
+        Ok((self.listeners, driver, ctx))
     }
 
     /// Accepts connections forever on the calling thread.
     pub fn run(self) -> io::Result<()> {
-        let (listener, driver, ctx) = self.parts()?;
-        driver.run(listener, ctx)
+        let (listeners, driver, ctx) = self.parts()?;
+        driver.run(listeners, ctx)
     }
 
     /// Runs the configured backend on a background thread and returns a
     /// handle that can stop it.
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
-        let (listener, driver, ctx) = self.parts()?;
+        let (listeners, driver, ctx) = self.parts()?;
         let registry = Arc::clone(&ctx.registry);
         let stop = Arc::clone(&ctx.stop);
         let stats = Arc::clone(&ctx.stats);
         let thread =
             std::thread::Builder::new().name("uadb-serve-io".to_string()).spawn(move || {
-                if let Err(e) = driver.run(listener, ctx) {
+                if let Err(e) = driver.run(listeners, ctx) {
                     let err = e.to_string();
                     logger().log(Level::Error, "http", "I/O driver failed", &[("error", &err)]);
                 }
@@ -428,6 +479,30 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Binds `shards` `SO_REUSEPORT` listeners to one address, or an empty
+/// vec if the group cannot be completed (caller falls back to a single
+/// std listener + round-robin handoff). All-or-nothing: a partial group
+/// would silently skew the kernel's accept distribution.
+#[cfg(target_os = "linux")]
+fn bind_reuseport_group(addr: &impl ToSocketAddrs, shards: usize) -> Vec<TcpListener> {
+    let Ok(addrs) = addr.to_socket_addrs() else { return Vec::new() };
+    for candidate in addrs {
+        let Ok(primary) = crate::reactor::bind_reuseport(candidate) else { continue };
+        // Port 0 resolved at the first bind; the rest of the group
+        // must join the *concrete* port.
+        let Ok(concrete) = primary.local_addr() else { continue };
+        let mut group = vec![primary];
+        for _ in 1..shards {
+            match crate::reactor::bind_reuseport(concrete) {
+                Ok(l) => group.push(l),
+                Err(_) => return Vec::new(),
+            }
+        }
+        return group;
+    }
+    Vec::new()
+}
+
 // ======================== sans-io wire layer ==========================
 
 /// A fully parsed request.
@@ -435,37 +510,68 @@ pub(crate) struct Request {
     pub(crate) method: String,
     pub(crate) path: String,
     pub(crate) body: Vec<u8>,
+    /// The request's `Content-Type` header, verbatim (selects the
+    /// binary scoring payload on the score endpoints).
+    pub(crate) content_type: Option<String>,
     /// Whether the *client* allows the connection to stay open
     /// (HTTP/1.1 without `Connection: close`, or HTTP/1.0 with an
     /// explicit `Connection: keep-alive`).
     pub(crate) keep_alive: bool,
 }
 
-/// A response ready to serialize.
+/// A response ready to serialize. The body is raw bytes so binary
+/// score payloads and JSON documents share one serialization path.
 pub(crate) struct Response {
     pub(crate) status: u16,
     pub(crate) reason: &'static str,
     pub(crate) content_type: &'static str,
-    pub(crate) body: String,
+    pub(crate) body: Vec<u8>,
 }
+
+/// Response bodies up to this size are copied into the write buffer's
+/// current chunk; larger bodies are queued as their own chunk (moved,
+/// not copied) for the reactor's vectored flush.
+pub(crate) const INLINE_BODY_MAX: usize = 4096;
 
 impl Response {
     pub(crate) fn json(status: u16, reason: &'static str, value: &Value) -> Self {
-        Self { status, reason, content_type: "application/json", body: json::to_string(value) }
+        Self {
+            status,
+            reason,
+            content_type: "application/json",
+            body: json::to_string(value).into_bytes(),
+        }
     }
 
-    /// A non-JSON response (the Prometheus exposition on `/metrics`).
+    /// A non-JSON text response (the Prometheus exposition on
+    /// `/metrics`).
     pub(crate) fn text(
         status: u16,
         reason: &'static str,
         content_type: &'static str,
         body: String,
     ) -> Self {
-        Self { status, reason, content_type, body }
+        Self { status, reason, content_type, body: body.into_bytes() }
+    }
+
+    /// A raw binary score payload ([`wire`] encoding).
+    pub(crate) fn binary(body: Vec<u8>) -> Self {
+        Self { status: 200, reason: "OK", content_type: wire::CONTENT_TYPE_SCORES, body }
     }
 
     pub(crate) fn error(status: u16, reason: &'static str, message: &str) -> Self {
         Self::json(status, reason, &json::object([("error", Value::String(message.to_string()))]))
+    }
+
+    fn head(&self, close: bool) -> String {
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        )
     }
 
     /// Appends the serialized response (status line, headers, body) to
@@ -473,18 +579,176 @@ impl Response {
     /// rather than overwriting is what lets a pipelined burst batch all
     /// its responses into one flush.
     pub(crate) fn serialize_into(&self, out: &mut Vec<u8>, close: bool) {
-        out.extend_from_slice(
-            format!(
-                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-                self.status,
-                self.reason,
-                self.content_type,
-                self.body.len(),
-                if close { "close" } else { "keep-alive" },
-            )
-            .as_bytes(),
-        );
-        out.extend_from_slice(self.body.as_bytes());
+        out.extend_from_slice(self.head(close).as_bytes());
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Queues the response onto a chunked write buffer (the reactor's
+    /// vectored-flush path). Small bodies are appended to the current
+    /// chunk so a pipelined burst of cheap responses stays one iovec;
+    /// a large body (big binary/JSON score payloads) is *moved* in as
+    /// its own chunk — zero copies between serialization and `writev`.
+    pub(crate) fn queue_into(self, out: &mut std::collections::VecDeque<Vec<u8>>, close: bool) {
+        let head = self.head(close);
+        if out.back().is_none() {
+            out.push_back(Vec::with_capacity(head.len() + self.body.len().min(INLINE_BODY_MAX)));
+        }
+        let back = out.back_mut().expect("pushed above");
+        back.extend_from_slice(head.as_bytes());
+        if self.body.len() <= INLINE_BODY_MAX {
+            back.extend_from_slice(&self.body);
+        } else {
+            out.push_back(self.body);
+        }
+    }
+}
+
+/// The length-prefixed binary scoring payload, negotiated with
+/// `Content-Type: application/x-uadb-rows`.
+///
+/// Request body layout (all integers little-endian):
+///
+/// ```text
+/// offset  size  field
+/// 0       4     magic  b"UROW"
+/// 4       1     version (1)
+/// 5       1     dtype   (1 = f32, 2 = f64)
+/// 6       2     reserved (must be 0)
+/// 8       4     n_rows  u32
+/// 12      4     n_cols  u32
+/// 16      …     n_rows × n_cols row-major little-endian floats
+/// ```
+///
+/// The response is headerless: `n_rows` raw little-endian floats in
+/// the request's dtype (for `variant=both`, the booster stream then
+/// the teacher stream, `2 × n_rows` floats), with `Content-Type:
+/// application/x-uadb-scores`. Errors are regular JSON responses.
+pub(crate) mod wire {
+    use uadb_linalg::Matrix;
+
+    pub(crate) const MAGIC: [u8; 4] = *b"UROW";
+    pub(crate) const VERSION: u8 = 1;
+    pub(crate) const HEADER_LEN: usize = 16;
+    pub(crate) const CONTENT_TYPE_ROWS: &str = "application/x-uadb-rows";
+    pub(crate) const CONTENT_TYPE_SCORES: &str = "application/x-uadb-scores";
+
+    /// Element type of the rows in a binary payload; the response
+    /// mirrors the request's choice.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(crate) enum Dtype {
+        F32,
+        F64,
+    }
+
+    impl Dtype {
+        pub(crate) fn from_code(code: u8) -> Option<Self> {
+            match code {
+                1 => Some(Dtype::F32),
+                2 => Some(Dtype::F64),
+                _ => None,
+            }
+        }
+
+        fn width(self) -> usize {
+            match self {
+                Dtype::F32 => 4,
+                Dtype::F64 => 8,
+            }
+        }
+    }
+
+    /// Whether a `Content-Type` header value selects the binary rows
+    /// payload (parameters after `;` are ignored, match is
+    /// case-insensitive per RFC 9110).
+    pub(crate) fn is_binary_content_type(value: &str) -> bool {
+        value.split(';').next().unwrap_or("").trim().eq_ignore_ascii_case(CONTENT_TYPE_ROWS)
+    }
+
+    /// Decodes a binary rows payload into a row-major [`Matrix`].
+    /// Every framing defect — truncated header, truncated or oversized
+    /// row payload, declared size past the body cap, bad magic /
+    /// version / dtype — is a `400`-shaped error string, never a
+    /// panic. The floats land in one row-major `Vec<f64>` feeding
+    /// `Matrix::from_vec`: no per-row allocation.
+    pub(crate) fn decode_rows(body: &[u8], max_body: usize) -> Result<(Matrix, Dtype), String> {
+        if body.len() < HEADER_LEN {
+            return Err(format!(
+                "truncated binary header: {} bytes, need {HEADER_LEN}",
+                body.len()
+            ));
+        }
+        if body[0..4] != MAGIC {
+            return Err("bad magic: binary rows payload must start with `UROW`".to_string());
+        }
+        if body[4] != VERSION {
+            return Err(format!("unsupported binary payload version {} (want {VERSION})", body[4]));
+        }
+        let Some(dtype) = Dtype::from_code(body[5]) else {
+            return Err(format!("unknown dtype code {} (1 = f32, 2 = f64)", body[5]));
+        };
+        if body[6] != 0 || body[7] != 0 {
+            return Err("reserved header bytes must be zero".to_string());
+        }
+        let n_rows = u32::from_le_bytes([body[8], body[9], body[10], body[11]]) as usize;
+        let n_cols = u32::from_le_bytes([body[12], body[13], body[14], body[15]]) as usize;
+        if n_rows > 0 && n_cols == 0 {
+            return Err("rows declared with zero columns".to_string());
+        }
+        let cells = n_rows
+            .checked_mul(n_cols)
+            .and_then(|c| c.checked_mul(dtype.width()))
+            .ok_or_else(|| "declared row payload size overflows".to_string())?;
+        if cells > max_body {
+            return Err(format!("declared row payload of {cells} bytes exceeds {max_body}"));
+        }
+        let payload = &body[HEADER_LEN..];
+        if payload.len() < cells {
+            return Err(format!(
+                "truncated row payload: {} bytes, header declares {cells}",
+                payload.len()
+            ));
+        }
+        if payload.len() > cells {
+            return Err(format!(
+                "{} trailing bytes after the declared row payload",
+                payload.len() - cells
+            ));
+        }
+        if n_rows == 0 {
+            return Ok((Matrix::zeros(0, 0), dtype));
+        }
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        match dtype {
+            Dtype::F32 => {
+                for c in payload.chunks_exact(4) {
+                    data.push(f32::from_le_bytes([c[0], c[1], c[2], c[3]]) as f64);
+                }
+            }
+            Dtype::F64 => {
+                for c in payload.chunks_exact(8) {
+                    data.push(f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]));
+                }
+            }
+        }
+        let matrix = Matrix::from_vec(n_rows, n_cols, data).map_err(|e| e.to_string())?;
+        Ok((matrix, dtype))
+    }
+
+    /// Encodes score streams as raw little-endian floats in the
+    /// request's dtype. `variant=both` passes `[booster, teacher]`;
+    /// the streams concatenate in that order.
+    pub(crate) fn encode_scores(dtype: Dtype, streams: &[&[f64]]) -> Vec<u8> {
+        let n: usize = streams.iter().map(|s| s.len()).sum();
+        let mut out = Vec::with_capacity(n * dtype.width());
+        for stream in streams {
+            for &x in *stream {
+                match dtype {
+                    Dtype::F32 => out.extend_from_slice(&(x as f32).to_le_bytes()),
+                    Dtype::F64 => out.extend_from_slice(&x.to_le_bytes()),
+                }
+            }
+        }
+        out
     }
 }
 
@@ -573,6 +837,7 @@ pub(crate) fn parse_request(buf: &[u8]) -> Parse {
     };
 
     let mut content_length: Option<usize> = None;
+    let mut content_type: Option<String> = None;
     let mut connection_close = false;
     let mut connection_keep_alive = false;
     for line in lines {
@@ -600,6 +865,8 @@ pub(crate) fn parse_request(buf: &[u8]) -> Parse {
             return Parse::Unsupported(format!(
                 "Transfer-Encoding `{value}` is not supported; send a Content-Length body"
             ));
+        } else if name.eq_ignore_ascii_case("content-type") {
+            content_type = Some(value.to_string());
         } else if name.eq_ignore_ascii_case("connection") {
             for token in value.split(',') {
                 let token = token.trim();
@@ -627,6 +894,7 @@ pub(crate) fn parse_request(buf: &[u8]) -> Parse {
         method: method.to_string(),
         path: path.to_string(),
         body: buf[head_end..total].to_vec(),
+        content_type,
         keep_alive,
     };
     Parse::Complete { request, consumed: total }
@@ -650,7 +918,12 @@ impl ConnectionDriver for ThreadedDriver {
         IoMode::Threads.name()
     }
 
-    fn run(&self, listener: TcpListener, ctx: DriverCtx) -> io::Result<()> {
+    fn run(&self, listeners: Vec<TcpListener>, ctx: DriverCtx) -> io::Result<()> {
+        // The threaded backend never shards accepts: one blocking
+        // listener. Extra listeners are only ever created for epoll.
+        let Some(listener) = listeners.into_iter().next() else {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "no listener"));
+        };
         let ctx = Arc::new(ctx);
         let mut consecutive_failures = 0u32;
         for conn in listener.incoming() {
@@ -944,13 +1217,26 @@ pub(crate) enum Routed {
     Score(ScoreTask),
 }
 
+/// Which wire format the scoring response must use — decided at
+/// routing from the request's `Content-Type`, carried through the pool
+/// round-trip so completion callbacks build the right body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WireFormat {
+    /// The default JSON document (`{"scores": […], …}`).
+    Json,
+    /// Raw little-endian floats in the request's dtype ([`wire`]).
+    Binary(wire::Dtype),
+}
+
 /// A validated scoring request: the target pool, the parsed shared
-/// batch, which variant(s) to score, and the telemetry identity of the
-/// model being scored (per-request counters were bumped at routing).
+/// batch, which variant(s) to score, the response wire format, and the
+/// telemetry identity of the model being scored (per-request counters
+/// were bumped at routing).
 pub(crate) struct ScoreTask {
     pool: Arc<ScoringPool>,
     batch: Arc<Matrix>,
     select: VariantSelect,
+    format: WireFormat,
     stats: Arc<ModelStats>,
     tag: VariantTag,
 }
@@ -979,7 +1265,7 @@ impl ScoreTask {
     /// time are folded into `timer` (for `both`, the two submissions
     /// accumulate).
     pub(crate) fn run_blocking(self, timer: &mut RequestTimer) -> Response {
-        let ScoreTask { pool, batch, select, stats, tag } = self;
+        let ScoreTask { pool, batch, select, format, stats, tag } = self;
         timer.set_scored(Arc::clone(&stats.name), tag, batch.rows());
         match select {
             VariantSelect::Single(variant) => {
@@ -987,7 +1273,7 @@ impl ScoreTask {
                 timer.add(Stage::QueueWait, timing.queue_ns);
                 timer.add(Stage::Score, timing.score_ns);
                 match result {
-                    Ok(scores) => single_ok_response(variant, &scores),
+                    Ok(scores) => single_ok_response(format, variant, &scores),
                     Err(e) => {
                         metrics().record_score_error(&stats, tag, &e, timer.trace_id);
                         score_error(&e)
@@ -1013,7 +1299,7 @@ impl ScoreTask {
                 timer.add(Stage::QueueWait, b_timing.queue_ns);
                 timer.add(Stage::Score, b_timing.score_ns);
                 match booster {
-                    Ok(booster) => both_response(&booster, &teacher),
+                    Ok(booster) => both_response(format, &booster, &teacher),
                     Err(e) => {
                         metrics().record_score_error(&stats, tag, &e, timer.trace_id);
                         score_error(&e)
@@ -1034,7 +1320,7 @@ impl ScoreTask {
         mut timer: RequestTimer,
         done: Box<dyn FnOnce(Response, RequestTimer) + Send>,
     ) {
-        let ScoreTask { pool, batch, select, stats, tag } = self;
+        let ScoreTask { pool, batch, select, format, stats, tag } = self;
         timer.set_scored(Arc::clone(&stats.name), tag, batch.rows());
         match select {
             VariantSelect::Single(variant) => pool.submit(
@@ -1044,7 +1330,7 @@ impl ScoreTask {
                     timer.add(Stage::QueueWait, timing.queue_ns);
                     timer.add(Stage::Score, timing.score_ns);
                     let response = match result {
-                        Ok(scores) => single_ok_response(variant, &scores),
+                        Ok(scores) => single_ok_response(format, variant, &scores),
                         Err(e) => {
                             metrics().record_score_error(&stats, tag, &e, timer.trace_id);
                             score_error(&e)
@@ -1085,7 +1371,7 @@ impl ScoreTask {
                                             done(score_error(&e), timer);
                                         }
                                         Ok(booster) => {
-                                            done(both_response(&booster, &teacher), timer)
+                                            done(both_response(format, &booster, &teacher), timer)
                                         }
                                     }
                                 }),
@@ -1098,32 +1384,41 @@ impl ScoreTask {
     }
 }
 
-fn single_ok_response(variant: Variant, scores: &[f64]) -> Response {
-    Response::json(
-        200,
-        "OK",
-        &json::object([
-            ("scores", json::number_array(scores)),
-            ("n", Value::Number(scores.len() as f64)),
-            ("variant", Value::String(variant.name().to_string())),
-        ]),
-    )
+fn single_ok_response(format: WireFormat, variant: Variant, scores: &[f64]) -> Response {
+    match format {
+        WireFormat::Json => Response::json(
+            200,
+            "OK",
+            &json::object([
+                ("scores", json::number_array(scores)),
+                ("n", Value::Number(scores.len() as f64)),
+                ("variant", Value::String(variant.name().to_string())),
+            ]),
+        ),
+        WireFormat::Binary(dtype) => Response::binary(wire::encode_scores(dtype, &[scores])),
+    }
 }
 
-fn both_response(booster: &[f64], teacher: &[f64]) -> Response {
+fn both_response(format: WireFormat, booster: &[f64], teacher: &[f64]) -> Response {
     // Paired scores for the same rows are exactly the stream the
-    // teacher–booster divergence gauges summarise.
+    // teacher–booster divergence gauges summarise — fed on both wire
+    // formats.
     metrics().observe_divergence(booster, teacher);
-    Response::json(
-        200,
-        "OK",
-        &json::object([
-            ("booster", json::number_array(booster)),
-            ("teacher", json::number_array(teacher)),
-            ("n", Value::Number(booster.len() as f64)),
-            ("variant", Value::String("both".to_string())),
-        ]),
-    )
+    match format {
+        WireFormat::Json => Response::json(
+            200,
+            "OK",
+            &json::object([
+                ("booster", json::number_array(booster)),
+                ("teacher", json::number_array(teacher)),
+                ("n", Value::Number(booster.len() as f64)),
+                ("variant", Value::String("both".to_string())),
+            ]),
+        ),
+        WireFormat::Binary(dtype) => {
+            Response::binary(wire::encode_scores(dtype, &[booster, teacher]))
+        }
+    }
 }
 
 pub(crate) fn route(req: &Request, ctx: &RouteCtx) -> Routed {
@@ -1198,6 +1493,7 @@ fn healthz(ctx: &RouteCtx) -> Response {
             ("models", Value::Number(ctx.registry.len() as f64)),
             ("default", ctx.registry.default_name().map(Value::String).unwrap_or(Value::Null)),
             ("backend", Value::String(ctx.stats.backend().to_string())),
+            ("shards", Value::Number(ctx.stats.shards() as f64)),
             ("open_connections", Value::Number(ctx.stats.open_connections() as f64)),
             ("max_connections", Value::Number(ctx.stats.max_connections() as f64)),
             ("requests", Value::Object(requests)),
@@ -1489,35 +1785,48 @@ fn score_error(e: &ScoreError) -> Response {
     }
 }
 
-/// Validates a score request (variant, UTF-8, JSON shape, matrix) into
-/// a [`ScoreTask`], or short-circuits with the error response. `name`
-/// keys the per-model × per-variant telemetry counters.
+/// Validates a score request (variant, body decode, matrix) into a
+/// [`ScoreTask`], or short-circuits with the error response. The
+/// request's `Content-Type` selects between the default JSON body and
+/// the binary rows payload ([`wire`]); the response mirrors the
+/// request's format. `name` keys the per-model × per-variant telemetry
+/// counters.
 fn score_routed(req: &Request, pool: Arc<ScoringPool>, query: Option<&str>, name: &str) -> Routed {
     let select = match parse_variant(query) {
         Ok(s) => s,
         Err(msg) => return Routed::Ready(Response::error(400, "Bad Request", &msg)),
     };
-    let text = match std::str::from_utf8(&req.body) {
-        Ok(t) => t,
-        Err(_) => return Routed::Ready(Response::error(400, "Bad Request", "body is not UTF-8")),
-    };
-    let parsed = match json::parse(text) {
-        Ok(v) => v,
-        Err(e) => return Routed::Ready(Response::error(400, "Bad Request", &e.to_string())),
-    };
-    let rows = match parsed.get("rows").and_then(Value::as_array) {
-        Some(r) => r,
-        None => {
-            return Routed::Ready(Response::error(
-                400,
-                "Bad Request",
-                "expected {\"rows\": [[...], ...]}",
-            ))
+    let binary = req.content_type.as_deref().map(wire::is_binary_content_type).unwrap_or(false);
+    let (matrix, format) = if binary {
+        match wire::decode_rows(&req.body, MAX_BODY) {
+            Ok((m, dtype)) => (m, WireFormat::Binary(dtype)),
+            Err(msg) => return Routed::Ready(Response::error(400, "Bad Request", &msg)),
         }
-    };
-    let matrix = match rows_to_matrix(rows) {
-        Ok(m) => m,
-        Err(msg) => return Routed::Ready(Response::error(400, "Bad Request", &msg)),
+    } else {
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(_) => {
+                return Routed::Ready(Response::error(400, "Bad Request", "body is not UTF-8"))
+            }
+        };
+        let parsed = match json::parse(text) {
+            Ok(v) => v,
+            Err(e) => return Routed::Ready(Response::error(400, "Bad Request", &e.to_string())),
+        };
+        let rows = match parsed.get("rows").and_then(Value::as_array) {
+            Some(r) => r,
+            None => {
+                return Routed::Ready(Response::error(
+                    400,
+                    "Bad Request",
+                    "expected {\"rows\": [[...], ...]}",
+                ))
+            }
+        };
+        match rows_to_matrix(rows) {
+            Ok(m) => (m, WireFormat::Json),
+            Err(msg) => return Routed::Ready(Response::error(400, "Bad Request", &msg)),
+        }
     };
     let tag = match select {
         VariantSelect::Single(v) => VariantTag::from_variant(v),
@@ -1529,7 +1838,7 @@ fn score_routed(req: &Request, pool: Arc<ScoringPool>, query: Option<&str>, name
     counters.rows.add(matrix.rows() as u64);
     // Hand the parsed batch to the pool as-is: shards borrow row ranges
     // from this one shared allocation instead of copying.
-    Routed::Score(ScoreTask { pool, batch: Arc::new(matrix), select, stats, tag })
+    Routed::Score(ScoreTask { pool, batch: Arc::new(matrix), select, format, stats, tag })
 }
 
 pub(crate) fn rows_to_matrix(rows: &[Value]) -> Result<Matrix, String> {

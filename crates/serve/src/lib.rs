@@ -95,4 +95,4 @@ pub use persist::{
 };
 pub use pool::{PoolConfig, ScoreCallback, ScoreTiming, ScoringPool};
 pub use registry::{ModelRegistry, RegistryError};
-pub use telemetry::{metrics, RequestTimer, ServeMetrics, Stage};
+pub use telemetry::{metrics, RequestTimer, ServeMetrics, ShardStats, Stage};

@@ -1,58 +1,73 @@
-//! Event-driven epoll backend: every client socket owned by one
-//! readiness loop.
+//! Event-driven epoll backend: N reactor shards, each owning a slice
+//! of the client sockets.
 //!
 //! The threaded backend spends one OS thread per connection, so its
 //! connection budget is capped by how many mostly-idle threads the host
 //! tolerates. This module replaces that with the classic reactor shape
 //! (Linux only, the Linux default — `serve --io epoll`):
 //!
-//! * **One loop, all sockets.** A nonblocking listener plus every
-//!   accepted connection registered with one epoll instance
-//!   ([`sys::Epoll`], raw `extern "C"` bindings — no new dependencies).
-//!   A connection costs a [`Conn`] struct and two byte buffers, not a
-//!   thread, so budgets of thousands are routine.
+//! * **One loop per shard, all sockets sharded.** `--shards N` runs N
+//!   independent epoll loops ([`sys::Epoll`], raw `extern "C"`
+//!   bindings — no new dependencies), each with its own slab, timer
+//!   wheel and wakeup pipe, all submitting to the one shared scoring
+//!   pool. Shards normally each own a `SO_REUSEPORT` listener so the
+//!   kernel spreads accepts; when that bind fails, shard 0 owns the
+//!   sole listener and hands accepted sockets to its siblings
+//!   round-robin over their wakeup pipes. A connection costs a
+//!   [`Conn`] struct and byte buffers, not a thread, so budgets of
+//!   thousands are routine.
+//! * **Edge-triggered sockets.** Connections register with `EPOLLET`
+//!   and every read/write loop drains to `EAGAIN`, so the kernel
+//!   reports each readiness transition once instead of re-reporting
+//!   level state on every tick. The listener and wakeup pipe stay
+//!   level-triggered: the accept burst cap ([`ACCEPT_BURST`]) relies
+//!   on the remainder re-reporting next tick.
 //! * **Per-connection state machine.** Bytes read on readiness feed the
 //!   shared sans-io parser (`http::parse_request`); every complete
-//!   request routes through the shared router; responses serialize into
-//!   a per-connection write buffer with EAGAIN-aware partial-write
-//!   resumption. All responses produced by one readable burst flush in
-//!   a single `write` (request pipelining batches for free).
+//!   request routes through the shared router; responses queue as
+//!   iovec chunks (`Response::queue_into`) and flush with vectored
+//!   `writev` — a pipelined burst of K responses costs O(1) syscalls.
 //! * **Scoring never blocks the loop.** A scoring request is submitted
 //!   to the model's [`crate::pool::ScoringPool`] with a completion
-//!   callback that pushes the finished response onto a queue and writes
-//!   the **wakeup pipe**; the loop drains completions on wakeup. While
-//!   a connection waits for its score, its read interest is dropped —
-//!   natural backpressure that also bounds buffer growth.
-//! * **Timer wheel.** Idle and mid-request deadlines live in a hashed
-//!   wheel ([`timer::TimerWheel`]) with lazy cancellation: O(1) arming
-//!   per request, one live entry per connection, coarse-grained sweeps.
-//!   Idle connections close silently; a request stalled mid-transfer
-//!   (slow-loris) gets the same best-effort `408` as the threaded
-//!   backend.
-//! * **Shutdown via the same pipe.** The server handle's stop signal
-//!   registers a waker that writes the wakeup pipe, so `epoll_wait`
-//!   returns immediately and the loop tears down.
+//!   callback that pushes the finished response onto the shard's queue
+//!   and writes its **wakeup pipe**; the loop drains completions on
+//!   wakeup. While a connection waits for its score, its read interest
+//!   is dropped — natural backpressure that also bounds buffer growth.
+//! * **Timer wheel.** Idle and mid-request deadlines live in a
+//!   per-shard hashed wheel ([`timer::TimerWheel`]) with lazy
+//!   cancellation: O(1) arming per request, one live entry per
+//!   connection, coarse-grained sweeps. Idle connections close
+//!   silently; a request stalled mid-transfer (slow-loris) gets the
+//!   same best-effort `408` as the threaded backend.
+//! * **Shutdown via the same pipes.** The server handle's stop signal
+//!   registers one waker per shard that writes that shard's wakeup
+//!   pipe, so every `epoll_wait` returns immediately and the loops
+//!   tear down.
 //!
-//! Keep-alive semantics, the `503` connection budget, request caps and
-//! response bytes are identical to the threaded backend — the
-//! integration suite runs against both and asserts bit-identical
-//! scoring responses.
+//! Keep-alive semantics, the `503` connection budget (global across
+//! shards), request caps and response bytes are identical to the
+//! threaded backend — the integration suite runs against both and
+//! asserts bit-identical scoring responses.
 
 mod sys;
 mod timer;
+
+pub(crate) use sys::bind_reuseport;
 
 use crate::http::{
     over_budget_response, parse_request, route, stalled_response, truncated_response,
     ConnectionDriver, DriverCtx, IoMode, Parse, Response, RouteCtx, Routed, MAX_ACCEPT_FAILURES,
 };
-use crate::telemetry::{metrics, RequestTimer, Stage};
-use std::io::{self, Read, Write};
+use crate::telemetry::{metrics, RequestTimer, ShardStats, Stage};
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use sys::{
-    Epoll, EpollEvent, WakePipe, WakeWriter, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+    Epoll, EpollEvent, WakePipe, WakeWriter, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT,
+    EPOLLRDHUP,
 };
 use timer::TimerWheel;
 use uadb_telemetry::{log::logger, now_ns, Level};
@@ -63,12 +78,13 @@ const TOKEN_LISTENER: u64 = u64::MAX;
 const TOKEN_WAKE: u64 = u64::MAX - 1;
 /// Readiness events harvested per `epoll_wait`.
 const EVENT_BATCH: usize = 1024;
-/// Bytes read from one connection per readiness pass before yielding to
-/// the others (level-triggered epoll re-reports what remains).
-const MAX_READ_PER_PASS: usize = 256 * 1024;
-/// A partially flushed write buffer is compacted once the consumed
-/// prefix passes this size.
-const COMPACT_THRESHOLD: usize = 256 * 1024;
+/// Connections accepted per reactor tick before yielding back to the
+/// event loop, so a connect flood cannot starve in-flight connection
+/// I/O. The listener is level-triggered: the remainder of the backlog
+/// re-reports on the next `epoll_wait`.
+const ACCEPT_BURST: usize = 64;
+/// Queued response chunks gathered into one `writev` call.
+const MAX_IOV: usize = 64;
 
 /// Connection slots are addressed `(index, generation)`; the generation
 /// guards against a stale epoll event or timer entry touching a slot
@@ -78,7 +94,7 @@ fn token(idx: u32, gen: u32) -> u64 {
 }
 
 /// A finished scoring response travelling from a pool worker back to
-/// the reactor thread.
+/// the owning reactor shard.
 struct Completion {
     idx: u32,
     gen: u32,
@@ -91,6 +107,14 @@ struct Completion {
     timer: RequestTimer,
 }
 
+/// A listener-less sibling shard's intake, held by the shard that owns
+/// the sole listener when `SO_REUSEPORT` is unavailable: accepted
+/// sockets are pushed into `inbox` and the sibling is woken to drain.
+struct Handoff {
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    waker: Arc<WakeWriter>,
+}
+
 /// Per-connection state machine.
 struct Conn {
     stream: TcpStream,
@@ -98,19 +122,23 @@ struct Conn {
     /// Unparsed request bytes (parsed requests are drained off the
     /// front).
     rbuf: Vec<u8>,
-    /// Serialized responses awaiting the socket.
-    wbuf: Vec<u8>,
-    /// How much of `wbuf` has been written (partial-write resumption).
+    /// Serialized responses awaiting the socket, as `writev` chunks:
+    /// heads and small bodies coalesce into shared chunks, large score
+    /// payloads sit as their own chunk (moved, never copied).
+    wqueue: VecDeque<Vec<u8>>,
+    /// How much of the front chunk has been written (partial-write
+    /// resumption).
     wpos: usize,
     /// Requests served on this connection (max-requests cap).
     served: usize,
-    /// Currently registered epoll interest.
+    /// Currently registered epoll interest (sans `EPOLLET`, which every
+    /// connection registration adds).
     interest: u32,
     /// A scoring request is in flight; parsing and reading are paused
     /// until its completion arrives.
     waiting: bool,
-    /// Close once `wbuf` fully drains (error responses, `Connection:
-    /// close`, request cap, shutdown).
+    /// Close once the write queue fully drains (error responses,
+    /// `Connection: close`, request cap, shutdown).
     close_after_flush: bool,
     /// Peer sent EOF; never read again, close once nothing is pending.
     peer_eof: bool,
@@ -134,7 +162,7 @@ struct Conn {
 
 impl Conn {
     fn flushed(&self) -> bool {
-        self.wpos >= self.wbuf.len()
+        self.wqueue.is_empty()
     }
 }
 
@@ -146,16 +174,109 @@ impl ConnectionDriver for EpollDriver {
         IoMode::Epoll.name()
     }
 
-    fn run(&self, listener: TcpListener, ctx: DriverCtx) -> io::Result<()> {
-        Reactor::new(listener, ctx)?.run()
+    fn run(&self, listeners: Vec<TcpListener>, ctx: DriverCtx) -> io::Result<()> {
+        run_sharded(listeners, ctx)
     }
+}
+
+/// Builds one [`Reactor`] per shard, spawns shards 1..N on their own
+/// threads and runs shard 0 on the calling thread. Shard `i` owns
+/// `listeners[i]` when the `SO_REUSEPORT` group bound; otherwise shard
+/// 0 owns the sole listener and feeds the rest through their inboxes.
+/// Any shard exiting triggers stop so the whole backend winds down
+/// together; shard 0's verdict is the backend's.
+fn run_sharded(listeners: Vec<TcpListener>, ctx: DriverCtx) -> io::Result<()> {
+    let shards = ctx.cfg.shards.max(1);
+    let n_listeners = listeners.len();
+    // Pipes and inboxes exist before any shard runs: shard 0 needs
+    // every listener-less sibling's handoff endpoints up front.
+    let mut slots = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (pipe, waker) = WakePipe::new()?;
+        let inbox = Arc::new(Mutex::new(Vec::new()));
+        slots.push((pipe, waker, inbox));
+    }
+    let mut peers: Vec<Handoff> = slots
+        .iter()
+        .skip(n_listeners.max(1))
+        .map(|(_, waker, inbox)| Handoff { inbox: Arc::clone(inbox), waker: Arc::clone(waker) })
+        .collect();
+    let mut listeners = listeners.into_iter();
+    let mut reactors = Vec::with_capacity(shards);
+    for (shard, (pipe, waker, inbox)) in slots.into_iter().enumerate() {
+        let shard_peers = if shard == 0 { std::mem::take(&mut peers) } else { Vec::new() };
+        let shard_ctx = DriverCtx {
+            registry: Arc::clone(&ctx.registry),
+            cfg: ctx.cfg.clone(),
+            stats: Arc::clone(&ctx.stats),
+            stop: Arc::clone(&ctx.stop),
+        };
+        reactors.push(Reactor::new(
+            shard,
+            listeners.next(),
+            pipe,
+            waker,
+            inbox,
+            shard_peers,
+            shard_ctx,
+        )?);
+    }
+    let mut reactors = reactors.into_iter();
+    let Some(mut shard0) = reactors.next() else {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "no reactor shards"));
+    };
+    let mut handles = Vec::new();
+    for (i, mut reactor) in reactors.enumerate() {
+        let spawned = std::thread::Builder::new()
+            .name(format!("uadb-serve-shard-{}", i + 1))
+            .spawn(move || {
+                if let Err(e) = reactor.run() {
+                    let shard = (i + 1).to_string();
+                    let err = e.to_string();
+                    logger().log(
+                        Level::Error,
+                        "reactor",
+                        "shard exited with error",
+                        &[("shard", &shard), ("error", &err)],
+                    );
+                }
+            });
+        match spawned {
+            Ok(handle) => handles.push(handle),
+            Err(e) => {
+                ctx.stop.trigger();
+                for handle in handles {
+                    let _ = handle.join();
+                }
+                return Err(e);
+            }
+        }
+    }
+    let result = shard0.run();
+    // Shard 0 returning — listener death or stop — takes the whole
+    // backend down: wake the siblings and wait for them to drain.
+    ctx.stop.trigger();
+    for handle in handles {
+        let _ = handle.join();
+    }
+    result
 }
 
 struct Reactor {
     ep: Epoll,
-    listener: TcpListener,
+    /// `None` on listener-less shards (REUSEPORT-unavailable fallback):
+    /// connections arrive through `inbox` instead.
+    listener: Option<TcpListener>,
     pipe: WakePipe,
     waker: Arc<WakeWriter>,
+    /// Sockets handed off by the listener-owning shard; drained on
+    /// wakeup.
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    /// Listener-less siblings this shard feeds round-robin (only ever
+    /// non-empty on shard 0, only in the fallback mode).
+    peers: Vec<Handoff>,
+    /// Round-robin cursor over `1 + peers.len()` targets (0 = self).
+    rr: usize,
     conns: Vec<Option<Conn>>,
     /// Current generation per slot (bumped on free).
     gens: Vec<u32>,
@@ -164,19 +285,32 @@ struct Reactor {
     wheel: TimerWheel,
     ctx: DriverCtx,
     accept_failures: u32,
+    /// This shard's telemetry block, cached so the hot paths never
+    /// touch the registry lock.
+    stats: Arc<ShardStats>,
 }
 
 impl Reactor {
-    fn new(listener: TcpListener, ctx: DriverCtx) -> io::Result<Self> {
-        listener.set_nonblocking(true)?;
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        shard: usize,
+        listener: Option<TcpListener>,
+        pipe: WakePipe,
+        waker: Arc<WakeWriter>,
+        inbox: Arc<Mutex<Vec<TcpStream>>>,
+        peers: Vec<Handoff>,
+        ctx: DriverCtx,
+    ) -> io::Result<Self> {
         let ep = Epoll::new()?;
-        ep.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
-        let (pipe, waker) = WakePipe::new()?;
+        if let Some(l) = &listener {
+            l.set_nonblocking(true)?;
+            ep.add(l.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        }
         ep.add(pipe.fd(), EPOLLIN, TOKEN_WAKE)?;
         // Shutdown interrupts `epoll_wait` through the same pipe the
-        // scoring completions use.
+        // scoring completions use; every shard registers its own waker.
         let stop_waker = Arc::clone(&waker);
-        ctx.stop.set_waker(Box::new(move || stop_waker.wake()));
+        ctx.stop.add_waker(Box::new(move || stop_waker.wake()));
         let now = Instant::now();
         let span = ctx.cfg.idle_timeout.max(ctx.cfg.io_timeout);
         Ok(Self {
@@ -184,6 +318,9 @@ impl Reactor {
             listener,
             pipe,
             waker,
+            inbox,
+            peers,
+            rr: 0,
             conns: Vec::new(),
             gens: Vec::new(),
             free: Vec::new(),
@@ -191,6 +328,7 @@ impl Reactor {
             wheel: TimerWheel::new(now, span),
             ctx,
             accept_failures: 0,
+            stats: metrics().shard_stats(shard),
         })
     }
 
@@ -214,6 +352,7 @@ impl Reactor {
             if self.ctx.stop.is_stopped() {
                 break;
             }
+            self.stats.events.add(n as u64);
             let now = Instant::now();
             for ev in &events[..n] {
                 // Copies out of the (packed) event struct.
@@ -222,6 +361,7 @@ impl Reactor {
                     TOKEN_LISTENER => self.accept_burst(now)?,
                     TOKEN_WAKE => {
                         self.pipe.drain();
+                        self.drain_inbox(now);
                         self.drain_completions();
                     }
                     tok => self.conn_event(tok, bits, now),
@@ -236,7 +376,8 @@ impl Reactor {
         }
         // Teardown: close every connection so the budget counter ends
         // balanced; sockets close on drop. Outstanding scoring
-        // completions harmlessly accumulate in the shared queue.
+        // completions harmlessly accumulate in the shared queue, as do
+        // handed-off sockets never drained from the inbox.
         for idx in 0..self.conns.len() as u32 {
             self.close_conn(idx);
         }
@@ -246,11 +387,23 @@ impl Reactor {
     // ------------------------- accept path ---------------------------
 
     fn accept_burst(&mut self, now: Instant) -> io::Result<()> {
-        loop {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
+        // Bounded burst: the listener is level-triggered, so anything
+        // past the cap re-reports next tick instead of starving the
+        // connections already being served.
+        for _ in 0..ACCEPT_BURST {
+            let accepted = match &self.listener {
+                Some(l) => l.accept(),
+                None => return Ok(()),
+            };
+            match accepted {
+                Ok((mut stream, _peer)) => {
                     self.accept_failures = 0;
-                    if self.open_conns() >= self.ctx.cfg.max_connections {
+                    // The budget is global across shards. Sockets
+                    // handed to a sibling count only once that shard
+                    // registers them, so a burst can overshoot by the
+                    // handful of handoffs in flight — bounded by
+                    // ACCEPT_BURST, never compounding.
+                    if self.ctx.stats.open_connections() >= self.ctx.cfg.max_connections {
                         // Over budget: best-effort nonblocking 503 and
                         // drop. ~130 bytes always fit a fresh socket's
                         // send buffer. ONE bounded nonblocking read
@@ -261,7 +414,6 @@ impl Reactor {
                         // and a client still streaming must not stall
                         // every live connection. If the socket cannot
                         // even be made nonblocking, just drop it.
-                        let mut stream = stream;
                         if stream.set_nonblocking(true).is_ok() {
                             let mut scratch = [0u8; 16 * 1024];
                             let _ = stream.read(&mut scratch);
@@ -274,35 +426,7 @@ impl Reactor {
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
-                    let idx = self.alloc_slot();
-                    let gen = self.gens[idx as usize];
-                    let interest = EPOLLIN | EPOLLRDHUP;
-                    if self.ep.add(stream.as_raw_fd(), interest, token(idx, gen)).is_err() {
-                        self.free.push(idx);
-                        continue; // stream drops → closed
-                    }
-                    let deadline = now + self.ctx.cfg.idle_timeout;
-                    self.conns[idx as usize] = Some(Conn {
-                        stream,
-                        gen,
-                        rbuf: Vec::new(),
-                        wbuf: Vec::new(),
-                        wpos: 0,
-                        served: 0,
-                        interest,
-                        waiting: false,
-                        close_after_flush: false,
-                        peer_eof: false,
-                        deadline,
-                        timer_seq: 0,
-                        armed_for: deadline,
-                        t_first: 0,
-                        t_head: 0,
-                    });
-                    self.ctx.stats.conn_opened();
-                    // The one live wheel entry this connection has; it
-                    // re-arms itself against `deadline` until close.
-                    self.wheel.schedule(now, deadline, (idx, gen, 0));
+                    self.dispatch_accepted(stream, now);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) => {
@@ -320,6 +444,80 @@ impl Reactor {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Routes a freshly accepted (already nonblocking) socket to a
+    /// shard: round-robin over self + the listener-less siblings when
+    /// running in handoff mode, straight to self otherwise.
+    // audit: no_panic
+    fn dispatch_accepted(&mut self, stream: TcpStream, now: Instant) {
+        if self.peers.is_empty() {
+            self.register_conn(stream, now);
+            return;
+        }
+        let targets = 1 + self.peers.len();
+        let target = self.rr % targets;
+        self.rr = (self.rr + 1) % targets;
+        if target == 0 {
+            self.register_conn(stream, now);
+        } else {
+            let peer = &self.peers[target - 1];
+            peer.inbox.lock().unwrap_or_else(|e| e.into_inner()).push(stream);
+            peer.waker.wake();
+        }
+    }
+
+    /// Adopts sockets a sibling shard accepted on this shard's behalf.
+    fn drain_inbox(&mut self, now: Instant) {
+        loop {
+            let Some(stream) = self.inbox.lock().unwrap_or_else(|e| e.into_inner()).pop() else {
+                return;
+            };
+            self.register_conn(stream, now);
+        }
+    }
+
+    /// Registers a nonblocking socket with this shard's epoll and slab.
+    fn register_conn(&mut self, stream: TcpStream, now: Instant) {
+        let idx = self.alloc_slot();
+        let gen = self.gens[idx as usize];
+        let interest = EPOLLIN | EPOLLRDHUP;
+        // Connections are edge-triggered: the read/write paths drain to
+        // EAGAIN, and interest changes go through `epoll_ctl(MOD)`,
+        // which re-delivers an edge for already-pending readiness.
+        if self.ep.add(stream.as_raw_fd(), interest | EPOLLET, token(idx, gen)).is_err() {
+            self.free.push(idx);
+            return; // stream drops → closed
+        }
+        let deadline = now + self.ctx.cfg.idle_timeout;
+        self.conns[idx as usize] = Some(Conn {
+            stream,
+            gen,
+            rbuf: Vec::new(),
+            wqueue: VecDeque::new(),
+            wpos: 0,
+            served: 0,
+            interest,
+            waiting: false,
+            close_after_flush: false,
+            peer_eof: false,
+            deadline,
+            timer_seq: 0,
+            armed_for: deadline,
+            t_first: 0,
+            t_head: 0,
+        });
+        self.ctx.stats.conn_opened();
+        self.stats.accepted.inc();
+        // The one live wheel entry this connection has; it re-arms
+        // itself against `deadline` until close.
+        self.wheel.schedule(now, deadline, (idx, gen, 0));
+        // A handed-off socket may already hold a request; the MOD-free
+        // initial registration delivers the pending-read edge, but only
+        // for bytes that arrived before `epoll_ctl(ADD)`. Reading once
+        // now closes the window for bytes that landed in between.
+        self.readable(idx, now);
     }
 
     fn alloc_slot(&mut self) -> u32 {
@@ -368,8 +566,11 @@ impl Reactor {
         }
     }
 
-    /// Pulls everything the socket has (bounded per pass), feeds the
-    /// parser/router, and flushes the burst's responses in one write.
+    /// Pulls everything the socket has — to EOF or `EAGAIN`, as
+    /// edge-triggered registration demands — feeds the parser/router,
+    /// and flushes the burst's responses in one `writev`. Growth stays
+    /// bounded: one pass reads at most the socket receive buffer, and
+    /// a scoring request drops read interest until its completion.
     fn readable(&mut self, idx: u32, now: Instant) {
         let mut chunk = [0u8; 16 * 1024];
         let mut eof = false;
@@ -377,11 +578,11 @@ impl Reactor {
         {
             let Some(conn) = self.conns[idx as usize].as_mut() else { return };
             if conn.waiting || conn.close_after_flush || conn.peer_eof {
-                // Read interest is off in these states; a straggling
-                // level-triggered event changes nothing.
+                // Read interest is off in these states; the resume path
+                // re-arms through `epoll_ctl(MOD)`, which re-delivers
+                // the edge for anything still pending.
                 return;
             }
-            let mut total = 0;
             loop {
                 match conn.stream.read(&mut chunk) {
                     Ok(0) => {
@@ -393,10 +594,6 @@ impl Reactor {
                             conn.t_first = now_ns();
                         }
                         conn.rbuf.extend_from_slice(&chunk[..n]);
-                        total += n;
-                        if total >= MAX_READ_PER_PASS {
-                            break; // level-triggered: the rest re-reports
-                        }
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -425,8 +622,8 @@ impl Reactor {
     }
 
     /// Parses and routes every complete request sitting in the read
-    /// buffer. Cheap endpoints respond inline (appended to the write
-    /// buffer); a scoring request pauses the connection until its pool
+    /// buffer. Cheap endpoints respond inline (queued on the write
+    /// queue); a scoring request pauses the connection until its pool
     /// completion arrives. Stops early when a response demanded close.
     fn process(&mut self, idx: u32) {
         let completions = &self.completions;
@@ -447,12 +644,12 @@ impl Reactor {
                     break;
                 }
                 Parse::Bad(msg) => {
-                    Response::error(400, "Bad Request", &msg).serialize_into(&mut conn.wbuf, true);
+                    Response::error(400, "Bad Request", &msg).queue_into(&mut conn.wqueue, true);
                     conn.close_after_flush = true;
                 }
                 Parse::Unsupported(msg) => {
                     Response::error(501, "Not Implemented", &msg)
-                        .serialize_into(&mut conn.wbuf, true);
+                        .queue_into(&mut conn.wqueue, true);
                     conn.close_after_flush = true;
                 }
                 Parse::Complete { request, consumed } => {
@@ -484,9 +681,10 @@ impl Reactor {
                     match routed {
                         Routed::Ready(response) => {
                             let t_ser = now_ns();
-                            response.serialize_into(&mut conn.wbuf, close);
+                            let status = response.status;
+                            response.queue_into(&mut conn.wqueue, close);
                             timer.add(Stage::Serialize, now_ns().saturating_sub(t_ser));
-                            timer.finish(response.status);
+                            timer.finish(status);
                             if close {
                                 conn.close_after_flush = true;
                             }
@@ -536,9 +734,10 @@ impl Reactor {
                 }
                 conn.waiting = false;
                 let t_ser = now_ns();
-                response.serialize_into(&mut conn.wbuf, close);
+                let status = response.status;
+                response.queue_into(&mut conn.wqueue, close);
                 timer.add(Stage::Serialize, now_ns().saturating_sub(t_ser));
-                timer.finish(response.status);
+                timer.finish(status);
                 if close {
                     conn.close_after_flush = true;
                 }
@@ -563,7 +762,7 @@ impl Reactor {
             // runs again once an in-flight score completes, so the
             // answer is not lost when the EOF landed mid-score.
             if conn.peer_eof && !conn.waiting && !conn.close_after_flush && !conn.rbuf.is_empty() {
-                truncated_response().serialize_into(&mut conn.wbuf, true);
+                truncated_response().queue_into(&mut conn.wqueue, true);
                 conn.close_after_flush = true;
                 conn.rbuf.clear();
             }
@@ -587,7 +786,10 @@ impl Reactor {
         }
         if want != conn.interest {
             conn.interest = want;
-            let _ = self.ep.modify(conn.stream.as_raw_fd(), want, token(idx, conn.gen));
+            // MOD re-evaluates readiness under EPOLLET and delivers a
+            // fresh edge for anything already pending — this is what
+            // resumes a connection whose reads paused during scoring.
+            let _ = self.ep.modify(conn.stream.as_raw_fd(), want | EPOLLET, token(idx, conn.gen));
         }
         // Deadline: the strict io timeout while anything is mid-flight
         // (partial request, unflushed output, in-flight score), the lax
@@ -606,21 +808,51 @@ impl Reactor {
         }
     }
 
-    /// Writes as much of the pending output as the socket accepts.
-    /// Returns `false` if the connection was closed (finished or
-    /// failed).
+    /// Writes as much of the pending output as the socket accepts,
+    /// gathering up to [`MAX_IOV`] queued chunks per `writev` — a
+    /// pipelined burst of responses leaves in O(1) syscalls — and
+    /// always running to `EAGAIN` (or empty), as edge-triggered
+    /// registration demands. Returns `false` if the connection was
+    /// closed (finished or failed).
     // audit: no_alloc
     // audit: no_panic
     fn flush(&mut self, idx: u32) -> bool {
         let mut close = false;
         {
             let Some(conn) = self.conns[idx as usize].as_mut() else { return false };
-            let had_pending = conn.wpos < conn.wbuf.len();
+            let close_after_flush = conn.close_after_flush;
+            let Conn { stream, wqueue, wpos, .. } = conn;
+            let had_pending = !wqueue.is_empty();
             let t_flush = if had_pending { now_ns() } else { 0 };
-            while conn.wpos < conn.wbuf.len() {
-                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            while !wqueue.is_empty() {
+                let mut iov = [IoSlice::new(&[]); MAX_IOV];
+                let mut n_iov = 0;
+                for (i, chunk) in wqueue.iter().enumerate() {
+                    if n_iov == MAX_IOV {
+                        break;
+                    }
+                    iov[n_iov] = IoSlice::new(if i == 0 { &chunk[*wpos..] } else { &chunk[..] });
+                    n_iov += 1;
+                }
+                match stream.write_vectored(&iov[..n_iov]) {
                     Ok(0) => break,
-                    Ok(n) => conn.wpos += n,
+                    Ok(mut n) => {
+                        // Consume `n` across the queue: fully written
+                        // front chunks pop (and free), a partial write
+                        // leaves its offset in `wpos`.
+                        while n > 0 {
+                            let front_len = wqueue.front().map(|c| c.len()).unwrap_or(0);
+                            let remaining = front_len - *wpos;
+                            if n >= remaining {
+                                n -= remaining;
+                                wqueue.pop_front();
+                                *wpos = 0;
+                            } else {
+                                *wpos += n;
+                                n = 0;
+                            }
+                        }
+                    }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                     Err(_) => {
@@ -632,17 +864,9 @@ impl Reactor {
             if had_pending {
                 metrics().record_stage(Stage::WriteFlush, now_ns().saturating_sub(t_flush));
             }
-            if !close {
-                if conn.flushed() {
-                    conn.wbuf.clear();
-                    conn.wpos = 0;
-                    close = conn.close_after_flush;
-                } else if conn.wpos >= COMPACT_THRESHOLD {
-                    // Partial flush of a large buffer: reclaim the
-                    // written prefix instead of growing unboundedly.
-                    conn.wbuf.drain(..conn.wpos);
-                    conn.wpos = 0;
-                }
+            if !close && wqueue.is_empty() {
+                *wpos = 0;
+                close = close_after_flush;
             }
         }
         if close {

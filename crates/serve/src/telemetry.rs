@@ -146,6 +146,17 @@ impl ModelStats {
     }
 }
 
+/// Per-reactor-shard counters, labeled `shard=N`. Each epoll shard
+/// caches its own block at construction so the hot accept/event paths
+/// touch plain atomic counters, never the registry lock.
+#[derive(Debug)]
+pub struct ShardStats {
+    /// Connections this shard accepted (or received via handoff).
+    pub accepted: Arc<Counter>,
+    /// Readiness events this shard's `epoll_wait` delivered.
+    pub events: Arc<Counter>,
+}
+
 /// One captured slow request, served by `GET /admin/slow`.
 #[derive(Debug, Clone)]
 pub struct SlowEntry {
@@ -267,6 +278,7 @@ pub struct ServeMetrics {
     div_samples: Arc<Counter>,
 
     model_stats: RwLock<BTreeMap<String, Arc<ModelStats>>>,
+    shard_stats: RwLock<BTreeMap<usize, Arc<ShardStats>>>,
     slow_ring: SlowRing<SlowEntry>,
     slow_threshold_ns: AtomicU64,
 }
@@ -378,6 +390,7 @@ impl ServeMetrics {
             div_max,
             div_samples,
             model_stats: RwLock::new(BTreeMap::new()),
+            shard_stats: RwLock::new(BTreeMap::new()),
             slow_ring: SlowRing::new(SLOW_RING_CAP),
             slow_threshold_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_NS),
         }
@@ -436,6 +449,37 @@ impl ServeMetrics {
         });
         let stats = Arc::new(ModelStats { name: Arc::from(name), variants });
         map.insert(name.to_string(), Arc::clone(&stats));
+        stats
+    }
+
+    /// The counter block for one reactor shard, registering its two
+    /// series (`shard=N` accepted/events) on first sight. Shards call
+    /// this once at construction and cache the `Arc`.
+    pub fn shard_stats(&self, shard: usize) -> Arc<ShardStats> {
+        if let Some(stats) = self.shard_stats.read().unwrap().get(&shard) {
+            return Arc::clone(stats);
+        }
+        let mut map = self.shard_stats.write().unwrap();
+        // Double-checked: another thread may have registered between
+        // the read unlock and the write lock.
+        if let Some(stats) = map.get(&shard) {
+            return Arc::clone(stats);
+        }
+        let label = shard.to_string();
+        let labels = [("shard", label.as_str())];
+        let stats = Arc::new(ShardStats {
+            accepted: self.registry.counter(
+                "uadb_reactor_accepted_total",
+                "Connections accepted, by reactor shard.",
+                &labels,
+            ),
+            events: self.registry.counter(
+                "uadb_reactor_events_total",
+                "Epoll readiness events delivered, by reactor shard.",
+                &labels,
+            ),
+        });
+        map.insert(shard, Arc::clone(&stats));
         stats
     }
 

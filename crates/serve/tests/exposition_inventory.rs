@@ -31,6 +31,8 @@ const INVENTORY: &[&str] = &[
     "uadb_pool_shards_total",
     "uadb_pool_worker_busy_nanoseconds_total",
     "uadb_pool_worker_panics_total",
+    "uadb_reactor_accepted_total",
+    "uadb_reactor_events_total",
     "uadb_request_duration_seconds",
     "uadb_stage_duration_seconds",
 ];
@@ -47,9 +49,11 @@ fn exposed_families(text: &str) -> BTreeSet<String> {
 #[test]
 fn exposition_matches_inventory_exactly() {
     let m = uadb_serve::metrics();
-    // The per-model families register on first use; touch one model so
-    // the exposition carries them like a serving process would.
+    // The per-model and per-shard families register on first use; touch
+    // one model and one shard so the exposition carries them like a
+    // serving process would.
     let _ = m.model_stats("inventory-probe");
+    let _ = m.shard_stats(0);
     let exposed = exposed_families(&m.render());
     let want: BTreeSet<String> = INVENTORY.iter().map(|s| s.to_string()).collect();
 

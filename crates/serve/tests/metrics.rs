@@ -327,6 +327,7 @@ fn over_budget_connections_count_as_rejections() {
             idle_timeout: Duration::from_secs(5),
             io_timeout: Duration::from_secs(5),
             io,
+            shards: 1,
         };
         let handle = spawn_with(&served, config);
         let addr = handle.addr();

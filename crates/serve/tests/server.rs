@@ -458,6 +458,7 @@ fn idle_timeout_and_max_requests_close_the_socket() {
             idle_timeout: Duration::from_millis(150),
             io_timeout: Duration::from_secs(5),
             io,
+            shards: 1,
         };
         let handle = spawn_with(&served, config);
         let addr = handle.addr();
@@ -602,6 +603,7 @@ fn connection_budget_rejects_excess_clients_with_503() {
             idle_timeout: Duration::from_secs(5),
             io_timeout: Duration::from_secs(5),
             io,
+            shards: 1,
         };
         let handle = spawn_with(&served, config);
         let addr = handle.addr();
@@ -920,5 +922,73 @@ fn teacher_dimension_mismatch_is_4xx_not_a_crash() {
             client.roundtrip("POST", "/score/ab?variant=both", Some(&rows_json(&data.x, &[0, 1])));
         assert_eq!(r.status, 200, "body: {}", r.body);
         handle.shutdown();
+    }
+}
+
+// --------------------- sharded epoll reactor -------------------------
+
+/// The sharded reactor serves correctly in both accept modes: one
+/// `SO_REUSEPORT` listener per shard (the normal path), and
+/// single-listener round-robin handoff (`UADB_SERVE_NO_REUSEPORT`
+/// forces the fallback). Whatever shard a connection lands on, scores
+/// must come back bit-identical.
+#[cfg(target_os = "linux")]
+#[test]
+fn sharded_reactor_scores_in_reuseport_and_handoff_modes() {
+    let served = Arc::new(trained_model(91));
+    let data = fig5_dataset(AnomalyType::Clustered, 91);
+    let rows: Vec<usize> = (0..8).collect();
+    let expected = served.score_rows(&data.x.select_rows(&rows)).unwrap();
+    let body = rows_json(&data.x, &rows);
+    for fallback in [false, true] {
+        if fallback {
+            // Only servers binding with shards > 1 consult this knob,
+            // and this test is the binary's only one that does.
+            std::env::set_var("UADB_SERVE_NO_REUSEPORT", "1");
+        }
+        let config = ServerConfig { io: IoMode::Epoll, shards: 3, ..ServerConfig::default() };
+        let handle = spawn_with(&served, config);
+        let addr = handle.addr();
+
+        // healthz reports the shard plan.
+        let (status, health) = request(addr, "GET", "/healthz", None);
+        assert_eq!(status, 200);
+        let doc = json::parse(&health).unwrap();
+        assert_eq!(doc.get("shards").and_then(Value::as_f64), Some(3.0), "fallback={fallback}");
+
+        // More keep-alive connections than shards, several interleaved
+        // rounds each.
+        let mut clients: Vec<Client> = (0..9).map(|_| Client::connect(addr)).collect();
+        for round in 0..3 {
+            for (ci, client) in clients.iter_mut().enumerate() {
+                let r = client.roundtrip("POST", "/score", Some(&body));
+                assert_eq!(r.status, 200, "fallback={fallback} client {ci} round {round}");
+                let scores = parse_scores(&r.body);
+                for (i, (a, b)) in scores.iter().zip(&expected).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "fallback={fallback} client {ci} round {round} row {i}"
+                    );
+                }
+            }
+        }
+
+        // Every shard registered its telemetry block (labels 0..2).
+        let (status, metrics_text) = request(addr, "GET", "/metrics", None);
+        assert_eq!(status, 200);
+        for shard in 0..3 {
+            let series = format!("uadb_reactor_accepted_total{{shard=\"{shard}\"}}");
+            assert!(
+                metrics_text.contains(&series),
+                "fallback={fallback}: missing {series} in /metrics"
+            );
+        }
+
+        drop(clients);
+        handle.shutdown();
+        if fallback {
+            std::env::remove_var("UADB_SERVE_NO_REUSEPORT");
+        }
     }
 }
