@@ -1,0 +1,203 @@
+//! Training-loop benchmarks: the legacy `forward_cached` +
+//! `backward_and_step` loop against the zero-allocation `TrainScratch`
+//! engine, serial and data-parallel.
+//!
+//! `legacy_b256` reconstructs the pre-scratch training loop verbatim
+//! (per-chunk `select_rows`, per-batch grad matrix, cache cloning the
+//! batch) from the still-public `forward_cached`/`backward_and_step`
+//! API; the other cases run the shipping `train_regression` at 1/2/4
+//! workers. Before timing anything, `main` asserts all four paths land
+//! on bit-identical weights — the determinism contract the parallel
+//! decomposition guarantees for any `--train-workers` value.
+//!
+//! Environment knobs:
+//! * `UADB_BENCH_SMOKE=1` — 3 samples per case (CI smoke mode);
+//! * `UADB_BENCH_JSON=path` — where to write the machine-readable
+//!   summary (default: `<workspace>/BENCH_train.json`).
+
+use criterion::{black_box, criterion_group, Criterion};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use uadb_linalg::Matrix;
+use uadb_nn::{train_regression, Activation, Mlp, MlpConfig, TrainConfig};
+
+/// Deterministic pseudo-random fill (no timing entropy; xorshift64*).
+fn filled_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let bits = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        (bits >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    };
+    let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+    Matrix::from_vec(rows, cols, data).expect("shape matches data")
+}
+
+fn samples() -> usize {
+    if std::env::var("UADB_BENCH_SMOKE").is_ok_and(|v| v == "1") {
+        3
+    } else {
+        30
+    }
+}
+
+/// The §IV-A booster shape at a 32-feature dataset.
+fn booster(seed: u64) -> Mlp {
+    Mlp::new(&MlpConfig {
+        input_dim: 32,
+        hidden: vec![128, 128],
+        output_dim: 1,
+        activation: Activation::Sigmoid,
+        seed,
+    })
+}
+
+fn targets_for(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 13 + 5) % 97) as f64 / 96.0).collect()
+}
+
+/// The historic training loop, reconstructed from the public API: one
+/// `select_rows` allocation per chunk, a fresh grad matrix per batch,
+/// and the allocating `forward_cached` path. Same shuffle stream as
+/// `train_regression`, so weights stay comparable bit-for-bit.
+fn legacy_train_regression(mlp: &mut Mlp, x: &Matrix, targets: &[f64], cfg: &TrainConfig) {
+    let n = x.rows();
+    let batch = cfg.batch_size.max(1);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.shuffle_seed);
+    for _epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(batch) {
+            let xb = x.select_rows(chunk);
+            let cache = mlp.forward_cached(&xb);
+            let b = chunk.len() as f64;
+            let mut grad = Matrix::zeros(chunk.len(), 1);
+            for (row, (&idx, g)) in chunk.iter().zip(grad.as_mut_slice().iter_mut()).enumerate() {
+                let o = cache.output().get(row, 0);
+                *g = 2.0 * (o - targets[idx]) / b;
+            }
+            mlp.backward_and_step(&cache, &grad, &cfg.adam);
+        }
+    }
+}
+
+fn weight_bits(mlp: &Mlp) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for l in mlp.layers() {
+        bits.extend(l.weights().as_slice().iter().map(|v| v.to_bits()));
+        bits.extend(l.bias().iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+/// Refuses to time anything if the scratch/parallel paths do not land
+/// on exactly the legacy loop's weights (ragged 300/64 split included).
+fn assert_bit_identity() {
+    let x = filled_matrix(300, 32, 23);
+    let t = targets_for(300);
+    let cfg = TrainConfig { batch_size: 64, epochs: 2, shuffle_seed: 9, ..TrainConfig::default() };
+    let mut reference = booster(3);
+    legacy_train_regression(&mut reference, &x, &t, &cfg);
+    let want = weight_bits(&reference);
+    for workers in [1usize, 2, 4] {
+        let mut mlp = booster(3);
+        let cfg = TrainConfig { workers, ..cfg.clone() };
+        train_regression(&mut mlp, &x, &t, &cfg);
+        assert_eq!(weight_bits(&mlp), want, "workers={workers} diverged from the legacy loop");
+    }
+    println!("bit-identity: legacy == scratch == parallel(2) == parallel(4)");
+}
+
+fn bench(c: &mut Criterion) {
+    let sample_size = samples();
+
+    // One epoch over 1024 rows at the paper's batch 256 per sample; each
+    // case trains its own persistent network so Adam state and the
+    // scratch/pack reuse stay warm across samples (the steady state the
+    // zero-allocation claim is about).
+    let n = 1024usize;
+    let x = filled_matrix(n, 32, 41);
+    let t = targets_for(n);
+    let base =
+        TrainConfig { batch_size: 256, epochs: 1, shuffle_seed: 17, ..TrainConfig::default() };
+
+    let mut g = c.benchmark_group("train");
+    g.sample_size(sample_size);
+
+    let mut legacy_mlp = booster(7);
+    let legacy_cfg = base.clone();
+    g.bench_function("legacy_b256", |bch| {
+        bch.iter(|| {
+            legacy_train_regression(&mut legacy_mlp, &x, &t, &legacy_cfg);
+            black_box(legacy_mlp.layer(0).bias()[0])
+        })
+    });
+
+    for workers in [1usize, 2, 4] {
+        let mut mlp = booster(7);
+        let cfg = TrainConfig { workers, ..base.clone() };
+        let name = if workers == 1 {
+            "scratch_b256".to_string()
+        } else {
+            format!("parallel{workers}_b256")
+        };
+        g.bench_function(name, |bch| {
+            bch.iter(|| black_box(train_regression(&mut mlp, &x, &t, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+/// JSON escape for benchmark names (they are ASCII identifiers, but be
+/// strict anyway).
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Custom main: proves the determinism contract, runs the groups, then
+/// persists every recorded timing as `BENCH_train.json` so the training
+/// perf trajectory is tracked across PRs.
+fn main() {
+    assert_bit_identity();
+    benches();
+    let results = criterion::take_results();
+    let epoch_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"bench\": \"train\",\n  \"unix_time\": {epoch_secs},\n"));
+    json.push_str(&format!("  \"smoke\": {},\n  \"results\": [\n", samples() == 3));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"min_ns\": {:.0}, \
+             \"mean_ns\": {:.0}, \"samples\": {}}}{}\n",
+            esc(&r.group),
+            esc(&r.name),
+            r.min_ns,
+            r.mean_ns,
+            r.samples,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::env::var("UADB_BENCH_JSON").unwrap_or_else(|_| {
+        // Bench binaries run with the package as cwd; anchor the file
+        // at the workspace root regardless.
+        format!("{}/../../BENCH_train.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("bench results written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

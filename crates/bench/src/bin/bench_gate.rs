@@ -81,6 +81,13 @@ const INVARIANTS: &[(&str, &str, f64)] = &[
     ("binary_rows8192_shards1", "json_rows8192_shards1", 1.0),
     ("binary_rows8192_shards2", "json_rows8192_shards2", 1.0),
     ("binary_rows8192_shards4", "json_rows8192_shards4", 1.0),
+    // Training plane (BENCH_train.json): the zero-allocation scratch
+    // engine must never lose to the reconstructed legacy loop at the
+    // paper's batch 256, and fanning out to 2 workers must cost at most
+    // noise over the legacy loop even on a single-core box (on
+    // multi-core hardware it is expected to be well under 1.0).
+    ("scratch_b256", "legacy_b256", 1.05),
+    ("parallel2_b256", "legacy_b256", 1.15),
 ];
 
 fn main() {

@@ -253,6 +253,22 @@ impl Uadb {
     /// teacher's raw decision scores (any scale — they are min-max
     /// normalised into `[0,1]` pseudo labels here, as the paper does).
     pub fn fit(&self, x: &Matrix, teacher_scores: &[f64]) -> Result<UadbModel, UadbError> {
+        self.fit_with(x, teacher_scores, 1)
+    }
+
+    /// [`Uadb::fit`] with `train_workers` data-parallel threads inside
+    /// each booster fit (`1` = serial, `0` = all available cores). The
+    /// trained model is bit-identical for every worker count — the
+    /// parallel decomposition in `uadb_nn` never reorders a
+    /// floating-point reduction — so this is purely a throughput knob
+    /// and deliberately not part of [`UadbConfig`] (which is persisted
+    /// with the model).
+    pub fn fit_with(
+        &self,
+        x: &Matrix,
+        teacher_scores: &[f64],
+        train_workers: usize,
+    ) -> Result<UadbModel, UadbError> {
         let n = x.rows();
         if n == 0 || x.cols() == 0 {
             return Err(UadbError::EmptyInput);
@@ -303,6 +319,7 @@ impl Uadb {
                         .seed
                         .wrapping_add((t * 31 + f) as u64)
                         .wrapping_mul(0x0100_0000_01b3),
+                    workers: train_workers,
                 };
                 train_regression(mlp, &fold_x[f], &fold_targets, &tc);
             }
@@ -334,6 +351,7 @@ impl Uadb {
                     batch_size: cfg.effective_batch(fold_x[fold].rows()),
                     epochs: cfg.epochs_per_step,
                     shuffle_seed: cfg.seed.wrapping_add((t * 101) as u64),
+                    workers: train_workers,
                 };
                 train_regression(&mut probe, &fold_x[fold], &fold_targets, &tc);
                 member_preds.push(probe.predict_vec(x));

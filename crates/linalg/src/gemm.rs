@@ -179,6 +179,16 @@ pub fn row_finiteness(m: &Matrix) -> Vec<bool> {
     m.row_iter().map(|row| row.iter().all(|v| v.is_finite())).collect()
 }
 
+/// [`row_finiteness`] into a caller-owned buffer. `mask` is cleared and
+/// refilled (grow-once: no allocation once its capacity has reached the
+/// row count), so a training loop that re-derives the mask after every
+/// optimiser step never reallocates it — the buffer half of the rhs-pack
+/// double-buffering that keeps `apply_adam` allocation-free.
+pub fn row_finiteness_into(m: &Matrix, mask: &mut Vec<bool>) {
+    mask.clear();
+    mask.extend(m.row_iter().map(|row| row.iter().all(|v| v.is_finite())));
+}
+
 /// The pre-refactor `Matrix::matmul` kernel, kept **verbatim** (naive
 /// i/k/j triple loop, fresh output allocation, lazily-built rhs-row
 /// finiteness mask gating the zero-coefficient skip) as the blocked

@@ -13,9 +13,11 @@
 pub mod adam;
 pub mod linear;
 pub mod mlp;
+pub mod scratch;
 pub mod train;
 
 pub use adam::AdamParams;
 pub use linear::Linear;
 pub use mlp::{Activation, ForwardScratch, Mlp, MlpConfig};
+pub use scratch::TrainScratch;
 pub use train::{train_regression, train_svdd, TrainConfig};

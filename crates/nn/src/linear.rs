@@ -14,10 +14,25 @@ use uadb_linalg::Matrix;
 /// shared by every thread scoring the same layer and are dropped
 /// whenever the weights change — repeated scoring of one model never
 /// re-scans or re-packs its weights.
-#[derive(Debug, Clone)]
+///
+/// Training double-buffers the panel: [`Linear::apply_adam`] takes the
+/// live cache out of the `OnceLock`, repacks it **in place** from the
+/// stepped weights and publishes it again, so steady-state training
+/// recycles one warm buffer pair instead of dropping the cache cold
+/// and reallocating it on the next forward pass.
+#[derive(Debug, Clone, Default)]
 struct WeightCache {
     row_finite: Vec<bool>,
     pack: Vec<f64>,
+}
+
+impl WeightCache {
+    /// Rebuilds both artifacts from `w`, reusing the existing
+    /// allocations (grow-once, like the kernels they feed).
+    fn repack(&mut self, w: &Matrix) {
+        gemm::pack_rhs(w.rows(), w.cols(), w.as_slice(), &mut self.pack);
+        gemm::row_finiteness_into(w, &mut self.row_finite);
+    }
 }
 
 /// A fully-connected layer `y = x W + b`.
@@ -33,6 +48,11 @@ pub struct Linear {
     adam_w: AdamState,
     adam_b: AdamState,
     cache: OnceLock<WeightCache>,
+    /// Retired cache buffers awaiting recycling (see [`WeightCache`]):
+    /// populated by [`Linear::invalidate_cache`], consumed by the next
+    /// [`Linear::refresh_cache`] so panel allocations survive weight
+    /// mutations instead of being rebuilt from scratch.
+    spare: Option<WeightCache>,
 }
 
 impl Linear {
@@ -52,22 +72,39 @@ impl Linear {
             w,
             b,
             cache: OnceLock::new(),
+            spare: None,
         }
     }
 
     /// The weight cache, built on first use after any weight change.
     fn weight_cache(&self) -> &WeightCache {
         self.cache.get_or_init(|| {
-            let mut pack = Vec::new();
-            gemm::pack_rhs(self.w.rows(), self.w.cols(), self.w.as_slice(), &mut pack);
-            WeightCache { row_finite: gemm::row_finiteness(&self.w), pack }
+            let mut wc = WeightCache::default();
+            wc.repack(&self.w);
+            wc
         })
     }
 
     /// Drops weight-derived caches; must run after every weight
-    /// mutation.
+    /// mutation. The retired buffers are parked in the spare slot so
+    /// the next [`Linear::refresh_cache`] recycles them.
     fn invalidate_cache(&mut self) {
-        self.cache = OnceLock::new();
+        if let Some(wc) = self.cache.take() {
+            self.spare = Some(wc);
+        }
+    }
+
+    /// Re-derives the weight cache after a weight step by swapping the
+    /// warm panel pair back in: takes the live cache (or the spare left
+    /// by an earlier invalidation), repacks it in place from the
+    /// current weights and republishes it. The `OnceLock` is never left
+    /// cold, so a training loop alternating forward passes with Adam
+    /// steps performs zero pack/mask allocation at steady state.
+    fn refresh_cache(&mut self) {
+        let mut wc = self.cache.take().or_else(|| self.spare.take()).unwrap_or_default();
+        wc.repack(&self.w);
+        // The lock was just emptied by `take`, so `set` cannot fail.
+        let _ = self.cache.set(wc);
     }
 
     /// Input width.
@@ -162,11 +199,47 @@ impl Linear {
         grad_x
     }
 
-    /// Applies one Adam step with the accumulated gradients.
+    /// Gradient w.r.t. the input over raw row-major slices:
+    /// `grad_in = grad_out · Wᵀ`, written row by row. Bit-identical to
+    /// the `grad_x` half of [`Linear::backward`] (same per-element
+    /// dot-product order), shareable across threads (`&self`), and
+    /// allocation-free — the row-split parallel backward runs this on
+    /// disjoint row ranges.
+    ///
+    /// # Panics
+    /// If either slice length disagrees with `batch` and the layer
+    /// dimensions.
+    // audit: no_alloc
+    pub fn backward_input_into(&self, grad_out: &[f64], batch: usize, grad_in: &mut [f64]) {
+        let (in_dim, out_dim) = self.w.shape();
+        assert_eq!(grad_out.len(), batch * out_dim, "grad_out length must be batch*out");
+        assert_eq!(grad_in.len(), batch * in_dim, "grad_in length must be batch*in");
+        let w = self.w.as_slice();
+        for r in 0..batch {
+            let gr = &grad_out[r * out_dim..(r + 1) * out_dim];
+            let dst = &mut grad_in[r * in_dim..(r + 1) * in_dim];
+            for (i, slot) in dst.iter_mut().enumerate() {
+                let w_row = &w[i * out_dim..(i + 1) * out_dim];
+                *slot = w_row.iter().zip(gr).map(|(w, g)| w * g).sum();
+            }
+        }
+    }
+
+    /// Mutable access to the accumulated gradient buffers
+    /// `(grad_w, grad_b)` for the scratch training engine, which fills
+    /// them with kernels that partition `grad_w` by weight row.
+    pub(crate) fn grads_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        (&mut self.grad_w, &mut self.grad_b)
+    }
+
+    /// Applies one Adam step with the accumulated gradients, then swaps
+    /// the recycled weight-cache panel back in (see
+    /// [`Linear::refresh_cache`]) so the next forward pass finds a warm
+    /// cache without allocating.
     pub fn apply_adam(&mut self, hp: &AdamParams) {
         self.adam_w.step(self.w.as_mut_slice(), &self.grad_w, hp);
         self.adam_b.step(&mut self.b, &self.grad_b, hp);
-        self.invalidate_cache();
+        self.refresh_cache();
     }
 
     /// Rebuilds a layer from persisted parameters (fresh optimiser
@@ -186,6 +259,7 @@ impl Linear {
             w,
             b,
             cache: OnceLock::new(),
+            spare: None,
         }
     }
 

@@ -53,18 +53,34 @@ pub struct Mlp {
 }
 
 /// Intermediate activations retained for the backward pass.
-pub struct ForwardCache {
-    /// `inputs[i]` is the input to layer `i`; the final entry is the
-    /// pre-activation output of the last layer.
-    inputs: Vec<Matrix>,
+///
+/// The caller's batch is *borrowed* as the input to layer 0 — the
+/// historic cache cloned `x` twice per step (once into the cache, once
+/// as the working activation); now only the hidden activations are
+/// owned, each allocated exactly once.
+pub struct ForwardCache<'a> {
+    /// The caller's batch: input to layer 0, borrowed uncopied.
+    x0: &'a Matrix,
+    /// `inners[i]` is the post-ReLU output of layer `i`, i.e. the
+    /// input to layer `i + 1`.
+    inners: Vec<Matrix>,
     /// Post-activation network output.
     output: Matrix,
 }
 
-impl ForwardCache {
+impl ForwardCache<'_> {
     /// The network output after the output activation.
     pub fn output(&self) -> &Matrix {
         &self.output
+    }
+
+    /// The input that was fed to layer `i`.
+    fn input(&self, i: usize) -> &Matrix {
+        if i == 0 {
+            self.x0
+        } else {
+            &self.inners[i - 1]
+        }
     }
 }
 
@@ -118,6 +134,11 @@ impl Mlp {
         self.layers[0].input_dim()
     }
 
+    /// Output width of the network head.
+    pub fn output_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].output_dim()
+    }
+
     /// Output activation applied by the final layer.
     pub fn activation(&self) -> Activation {
         self.activation
@@ -128,27 +149,33 @@ impl Mlp {
         &self.layers
     }
 
-    /// Forward pass retaining activations for backprop.
-    pub fn forward_cached(&self, x: &Matrix) -> ForwardCache {
-        let mut inputs = Vec::with_capacity(self.layers.len());
-        let mut cur = x.clone();
+    /// Mutable layer slice for the scratch training engine.
+    pub(crate) fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
+    /// Forward pass retaining activations for backprop. The cache
+    /// borrows `x` as the layer-0 input; each hidden activation is
+    /// allocated exactly once (no clones of the caller's batch).
+    pub fn forward_cached<'a>(&self, x: &'a Matrix) -> ForwardCache<'a> {
         let last = self.layers.len() - 1;
+        let mut inners = Vec::with_capacity(last);
+        let mut output = None;
         for (i, layer) in self.layers.iter().enumerate() {
-            inputs.push(cur.clone());
-            cur = layer.forward(&cur);
+            let input: &Matrix = if i == 0 { x } else { &inners[i - 1] };
+            let mut y = layer.forward(input);
             if i < last {
-                relu_slice(cur.as_mut_slice());
+                relu_slice(y.as_mut_slice());
+                inners.push(y);
+            } else {
+                output = Some(y);
             }
         }
-        let output = match self.activation {
-            Activation::Sigmoid => {
-                let mut o = cur;
-                sigmoid_slice(o.as_mut_slice());
-                o
-            }
-            Activation::Identity => cur,
-        };
-        ForwardCache { inputs, output }
+        let mut output = output.expect("network has at least one layer");
+        if self.activation == Activation::Sigmoid {
+            sigmoid_slice(output.as_mut_slice());
+        }
+        ForwardCache { x0: x, inners, output }
     }
 
     /// Inference-only forward pass.
@@ -238,7 +265,7 @@ impl Mlp {
     /// *post-activation* output) and one Adam step on every layer.
     pub fn backward_and_step(
         &mut self,
-        cache: &ForwardCache,
+        cache: &ForwardCache<'_>,
         grad_output: &Matrix,
         hp: &AdamParams,
     ) {
@@ -259,14 +286,14 @@ impl Mlp {
             if i < last {
                 // The input to layer i+1 is relu(pre-activation of layer i);
                 // the ReLU derivative gates on that stored input.
-                let gate = &cache.inputs[i + 1];
+                let gate = cache.input(i + 1);
                 for (gv, &a) in grad.as_mut_slice().iter_mut().zip(gate.as_slice()) {
                     if a <= 0.0 {
                         *gv = 0.0;
                     }
                 }
             }
-            grad = self.layers[i].backward(&cache.inputs[i], &grad);
+            grad = self.layers[i].backward(cache.input(i), &grad);
         }
         for layer in &mut self.layers {
             layer.apply_adam(hp);

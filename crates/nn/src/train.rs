@@ -1,8 +1,16 @@
 //! Mini-batch training loops: pseudo-supervised regression (the UADB
 //! booster objective) and the DeepSVDD one-class objective.
+//!
+//! Both loops run on the zero-allocation [`TrainScratch`] engine
+//! (`crate::scratch`): batch rows are gathered once into a reusable
+//! buffer (no per-chunk `select_rows` allocation), activations and
+//! gradients live in persistent buffers, and `workers > 1` splits the
+//! row-local phases across scoped threads with a fixed-order reduction
+//! that keeps trained weights bit-identical for any worker count.
 
 use crate::adam::AdamParams;
 use crate::mlp::Mlp;
+use crate::scratch::{train_batch_step, Objective, TrainScratch};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use uadb_linalg::Matrix;
@@ -20,103 +28,105 @@ pub struct TrainConfig {
     /// Shuffle seed (re-seeded per call so repeated calls differ only via
     /// this value).
     pub shuffle_seed: u64,
+    /// Data-parallel training workers. `1` (the default) trains on the
+    /// calling thread; `0` means all available cores. Trained weights are
+    /// bit-identical for every value — the parallel decomposition never
+    /// reorders a floating-point reduction (see `crate::scratch`).
+    pub workers: usize,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { adam: AdamParams::default(), batch_size: 256, epochs: 10, shuffle_seed: 0 }
+        Self {
+            adam: AdamParams::default(),
+            batch_size: 256,
+            epochs: 10,
+            shuffle_seed: 0,
+            workers: 1,
+        }
+    }
+}
+
+/// Resolves the configured worker count (`0` = all available cores).
+fn resolve_workers(cfg: &TrainConfig) -> usize {
+    if cfg.workers == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        cfg.workers
     }
 }
 
 /// Trains `mlp` to regress `targets` from `x` under MSE, returning the
-/// mean loss of the final epoch.
+/// row-weighted mean loss of the final epoch (`Σ squared error / n` —
+/// every row counts equally, regardless of how the epoch splits into
+/// batches).
 ///
 /// The gradient of the per-batch mean-squared error w.r.t. the sigmoid
 /// output is `2 (o - t) / B`; the network applies the chain rule inward.
 ///
 /// # Panics
-/// If `targets.len() != x.rows()` or the network output is not 1-wide.
+/// If `targets.len() != x.rows()` or (debug builds) the network output
+/// is not 1-wide — both checked before the empty-input early return.
 pub fn train_regression(mlp: &mut Mlp, x: &Matrix, targets: &[f64], cfg: &TrainConfig) -> f64 {
     assert_eq!(x.rows(), targets.len(), "target count must match rows");
-    let n = x.rows();
-    if n == 0 {
-        return 0.0;
-    }
-    let batch = cfg.batch_size.max(1);
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.shuffle_seed);
-    let mut last_epoch_loss = 0.0;
-    for _epoch in 0..cfg.epochs {
-        order.shuffle(&mut rng);
-        let mut epoch_loss = 0.0;
-        let mut batches = 0usize;
-        for chunk in order.chunks(batch) {
-            let xb = x.select_rows(chunk);
-            let cache = mlp.forward_cached(&xb);
-            let out = cache.output();
-            debug_assert_eq!(out.cols(), 1, "regression head must be 1-wide");
-            let b = chunk.len() as f64;
-            let mut grad = Matrix::zeros(chunk.len(), 1);
-            let mut loss = 0.0;
-            for (row, (&idx, g)) in chunk.iter().zip(grad.as_mut_slice().iter_mut()).enumerate() {
-                let o = out.get(row, 0);
-                let t = targets[idx];
-                let diff = o - t;
-                loss += diff * diff;
-                *g = 2.0 * diff / b;
-            }
-            epoch_loss += loss / b;
-            batches += 1;
-            mlp.backward_and_step(&cache, &grad, &cfg.adam);
-        }
-        last_epoch_loss = epoch_loss / batches.max(1) as f64;
-    }
-    last_epoch_loss
+    debug_assert_eq!(mlp.output_dim(), 1, "regression head must be 1-wide");
+    train_loop(mlp, x, cfg, Some(targets), None)
 }
 
 /// Trains `mlp` under the DeepSVDD objective: minimise the mean squared
-/// distance of embeddings to a fixed `center`. Returns the mean distance
-/// of the final epoch.
+/// distance of embeddings to a fixed `center`. Returns the row-weighted
+/// mean distance of the final epoch (`Σ squared distance / n`).
 ///
 /// # Panics
-/// If `center.len()` differs from the network output width.
+/// If `center.len()` differs from the network output width — checked
+/// before the empty-input early return, so the contract holds for
+/// zero-row inputs too.
 pub fn train_svdd(mlp: &mut Mlp, x: &Matrix, center: &[f64], cfg: &TrainConfig) -> f64 {
+    assert_eq!(mlp.output_dim(), center.len(), "center width must match output");
+    train_loop(mlp, x, cfg, None, Some(center))
+}
+
+/// Shared epoch/batch driver. Exactly one of `targets` (MSE) or
+/// `center` (SVDD) must be `Some`.
+fn train_loop(
+    mlp: &mut Mlp,
+    x: &Matrix,
+    cfg: &TrainConfig,
+    targets: Option<&[f64]>,
+    center: Option<&[f64]>,
+) -> f64 {
     let n = x.rows();
     if n == 0 {
         return 0.0;
     }
     let batch = cfg.batch_size.max(1);
+    let workers = resolve_workers(cfg);
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.shuffle_seed);
-    let mut last = 0.0;
+    let mut scratch = TrainScratch::default();
+    let mut last_epoch_loss = 0.0;
     for _epoch in 0..cfg.epochs {
         order.shuffle(&mut rng);
-        let mut epoch_loss = 0.0;
-        let mut batches = 0usize;
+        let mut epoch_sum = 0.0;
         for chunk in order.chunks(batch) {
-            let xb = x.select_rows(chunk);
-            let cache = mlp.forward_cached(&xb);
-            let out = cache.output();
-            assert_eq!(out.cols(), center.len(), "center width must match output");
-            let b = chunk.len() as f64;
-            let mut grad = Matrix::zeros(out.rows(), out.cols());
-            let mut loss = 0.0;
-            for r in 0..out.rows() {
-                let orow = out.row(r);
-                let grow = grad.row_mut(r);
-                for ((g, &o), &c) in grow.iter_mut().zip(orow).zip(center) {
-                    let diff = o - c;
-                    loss += diff * diff;
-                    *g = 2.0 * diff / b;
+            // Grow-only: after the first epoch every buffer is sized and
+            // the steady-state loop allocates nothing.
+            scratch.prepare(mlp, chunk.len());
+            scratch.gather(x, chunk);
+            let objective = match (targets, center) {
+                (Some(t), None) => {
+                    scratch.gather_targets(t, chunk);
+                    Objective::Mse
                 }
-            }
-            epoch_loss += loss / b;
-            batches += 1;
-            mlp.backward_and_step(&cache, &grad, &cfg.adam);
+                (None, Some(c)) => Objective::Svdd { center: c },
+                _ => unreachable!("exactly one objective"),
+            };
+            epoch_sum +=
+                train_batch_step(mlp, &mut scratch, chunk.len(), &objective, &cfg.adam, workers);
         }
-        last = epoch_loss / batches.max(1) as f64;
+        last_epoch_loss = epoch_sum / n as f64;
     }
-    last
+    last_epoch_loss
 }
 
 #[cfg(test)]
@@ -149,6 +159,7 @@ mod tests {
             batch_size: 8,
             adam: AdamParams { lr: 0.01, ..AdamParams::default() },
             shuffle_seed: 1,
+            workers: 1,
         };
         let loss = train_regression(&mut mlp, &x, &t, &cfg);
         assert!(loss < 0.01, "final loss {loss} too high");
@@ -192,6 +203,7 @@ mod tests {
             batch_size: 12,
             adam: AdamParams { lr: 0.01, ..AdamParams::default() },
             shuffle_seed: 0,
+            workers: 1,
         };
         let final_dist = train_svdd(&mut mlp, &x, &center, &cfg);
         assert!(final_dist < 0.05, "embeddings should collapse: {final_dist}");
@@ -210,6 +222,21 @@ mod tests {
         assert_eq!(loss, 0.0);
         let loss = train_svdd(&mut mlp, &Matrix::zeros(0, 2), &[0.0], &TrainConfig::default());
         assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "center width must match output")]
+    fn svdd_center_width_checked_even_for_empty_input() {
+        // Regression test: the width validation used to live inside the
+        // batch loop, so a zero-row input silently skipped it.
+        let mut mlp = Mlp::new(&MlpConfig {
+            input_dim: 2,
+            hidden: vec![4],
+            output_dim: 2,
+            activation: Activation::Identity,
+            seed: 0,
+        });
+        let _ = train_svdd(&mut mlp, &Matrix::zeros(0, 2), &[0.0], &TrainConfig::default());
     }
 
     #[test]
@@ -242,5 +269,68 @@ mod tests {
             mlp.predict_vec(&x)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ragged_batch_loss_is_row_weighted_mean() {
+        // 10 rows with batch 4 splits 4/4/2. With lr = 0 the weights
+        // never move, so the reported final-epoch loss must equal
+        // Σ (f(x_r) - t_r)² / n computed independently — the historic
+        // mean-of-batch-means over-weighted the trailing 2-row batch.
+        let x = Matrix::from_vec(10, 2, (0..20).map(|i| i as f64 * 0.17 - 1.5).collect()).unwrap();
+        let t: Vec<f64> = (0..10).map(|i| (i % 3) as f64 * 0.4).collect();
+        let mut mlp = Mlp::new(&MlpConfig {
+            input_dim: 2,
+            hidden: vec![5],
+            output_dim: 1,
+            activation: Activation::Sigmoid,
+            seed: 21,
+        });
+        let expect = {
+            let pred = mlp.predict_vec(&x);
+            pred.iter().zip(&t).map(|(o, tv)| (o - tv) * (o - tv)).sum::<f64>() / 10.0
+        };
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            adam: AdamParams { lr: 0.0, ..AdamParams::default() },
+            shuffle_seed: 7,
+            workers: 1,
+        };
+        let got = train_regression(&mut mlp, &x, &t, &cfg);
+        assert!((got - expect).abs() < 1e-12, "loss {got} should be row-weighted mean {expect}");
+    }
+
+    #[test]
+    fn ragged_batch_svdd_loss_is_row_weighted_mean() {
+        // Same invariant for the SVDD objective: 7 rows, batch 3 → 3/3/1.
+        let x = Matrix::from_vec(7, 2, (0..14).map(|i| i as f64 * 0.11 - 0.6).collect()).unwrap();
+        let center = vec![0.3, -0.2];
+        let mut mlp = Mlp::new(&MlpConfig {
+            input_dim: 2,
+            hidden: vec![6],
+            output_dim: 2,
+            activation: Activation::Identity,
+            seed: 4,
+        });
+        let expect = {
+            let out = mlp.forward(&x);
+            let mut sum = 0.0;
+            for r in 0..7 {
+                for (o, c) in out.row(r).iter().zip(&center) {
+                    sum += (o - c) * (o - c);
+                }
+            }
+            sum / 7.0
+        };
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 3,
+            adam: AdamParams { lr: 0.0, ..AdamParams::default() },
+            shuffle_seed: 2,
+            workers: 1,
+        };
+        let got = train_svdd(&mut mlp, &x, &center, &cfg);
+        assert!((got - expect).abs() < 1e-12, "loss {got} should be row-weighted mean {expect}");
     }
 }

@@ -1,12 +1,77 @@
 //! Property-based tests for the neural-network substrate.
 
 use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 use uadb_linalg::Matrix;
-use uadb_nn::{train_regression, Activation, Mlp, MlpConfig, TrainConfig};
+use uadb_nn::{train_regression, train_svdd, Activation, AdamParams, Mlp, MlpConfig, TrainConfig};
 
 /// The crate exposes its numerically-stable sigmoid via `mlp::sigmoid`.
 fn sigmoid_of(x: f64) -> f64 {
     uadb_nn::mlp::sigmoid(x)
+}
+
+/// Every weight and bias of the network as raw `f64` bits — the
+/// comparison currency for the bit-identity properties below.
+fn weight_bits(mlp: &Mlp) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for l in mlp.layers() {
+        bits.extend(l.weights().as_slice().iter().map(|v| v.to_bits()));
+        bits.extend(l.bias().iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+/// The pre-scratch training loop, reconstructed from the public
+/// `forward_cached`/`backward_and_step` API exactly as `train.rs`
+/// historically drove it (per-chunk `select_rows`, per-batch grad
+/// matrix). It is the bit-identity *reference*: the scratch engine must
+/// land on exactly these weights.
+fn legacy_train_regression(mlp: &mut Mlp, x: &Matrix, targets: &[f64], cfg: &TrainConfig) {
+    let n = x.rows();
+    let batch = cfg.batch_size.max(1);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.shuffle_seed);
+    for _epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(batch) {
+            let xb = x.select_rows(chunk);
+            let cache = mlp.forward_cached(&xb);
+            let b = chunk.len() as f64;
+            let mut grad = Matrix::zeros(chunk.len(), 1);
+            for (row, (&idx, g)) in chunk.iter().zip(grad.as_mut_slice().iter_mut()).enumerate() {
+                let o = cache.output().get(row, 0);
+                *g = 2.0 * (o - targets[idx]) / b;
+            }
+            mlp.backward_and_step(&cache, &grad, &cfg.adam);
+        }
+    }
+}
+
+/// Legacy reference for the SVDD objective (same construction).
+fn legacy_train_svdd(mlp: &mut Mlp, x: &Matrix, center: &[f64], cfg: &TrainConfig) {
+    let n = x.rows();
+    let batch = cfg.batch_size.max(1);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.shuffle_seed);
+    for _epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(batch) {
+            let xb = x.select_rows(chunk);
+            let cache = mlp.forward_cached(&xb);
+            let out = cache.output();
+            let b = chunk.len() as f64;
+            let mut grad = Matrix::zeros(out.rows(), out.cols());
+            for r in 0..out.rows() {
+                let orow = out.row(r);
+                let grow = grad.row_mut(r);
+                for ((g, &o), &c) in grow.iter_mut().zip(orow).zip(center) {
+                    *g = 2.0 * (o - c) / b;
+                }
+            }
+            mlp.backward_and_step(&cache, &grad, &cfg.adam);
+        }
+    }
 }
 
 proptest! {
@@ -58,5 +123,93 @@ proptest! {
         prop_assert!(loss.is_finite());
         let pred = mlp.predict_vec(&x);
         prop_assert!(pred.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)));
+    }
+
+    /// The tentpole determinism contract: the scratch engine, serial or
+    /// parallel at any worker count, lands on *bit-identical* weights to
+    /// the legacy `forward_cached`/`backward_and_step` loop — including
+    /// ragged final batches.
+    #[test]
+    fn scratch_training_bit_matches_legacy_any_workers(
+        seed in 0u64..64,
+        n in 5usize..21,
+        batch in 1usize..9,
+    ) {
+        let x = Matrix::from_vec(
+            n,
+            3,
+            (0..n * 3).map(|i| ((i as f64) * 0.37 + seed as f64 * 0.11).sin()).collect(),
+        )
+        .unwrap();
+        let targets: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 10) as f64 / 10.0).collect();
+        let build = || Mlp::new(&MlpConfig {
+            input_dim: 3,
+            hidden: vec![6, 5],
+            output_dim: 1,
+            activation: Activation::Sigmoid,
+            seed,
+        });
+        let cfg = TrainConfig {
+            adam: AdamParams::default(),
+            batch_size: batch,
+            epochs: 3,
+            shuffle_seed: seed ^ 0xabcd,
+            workers: 1,
+        };
+        let mut reference = build();
+        legacy_train_regression(&mut reference, &x, &targets, &cfg);
+        let want = weight_bits(&reference);
+        for workers in [1usize, 2, 4] {
+            let mut mlp = build();
+            let cfg = TrainConfig { workers, ..cfg.clone() };
+            train_regression(&mut mlp, &x, &targets, &cfg);
+            prop_assert_eq!(
+                &weight_bits(&mlp), &want,
+                "workers={} diverged from legacy loop", workers
+            );
+        }
+    }
+
+    /// Same contract for the SVDD objective (multi-column output
+    /// exercises the grad-row layout and the identity head).
+    #[test]
+    fn svdd_scratch_training_bit_matches_legacy_any_workers(
+        seed in 0u64..48,
+        n in 4usize..17,
+        batch in 1usize..7,
+    ) {
+        let x = Matrix::from_vec(
+            n,
+            2,
+            (0..n * 2).map(|i| ((i as f64) * 0.23 - seed as f64 * 0.05).cos()).collect(),
+        )
+        .unwrap();
+        let center = vec![0.25, -0.4, 0.1];
+        let build = || Mlp::new(&MlpConfig {
+            input_dim: 2,
+            hidden: vec![5],
+            output_dim: 3,
+            activation: Activation::Identity,
+            seed,
+        });
+        let cfg = TrainConfig {
+            adam: AdamParams::default(),
+            batch_size: batch,
+            epochs: 2,
+            shuffle_seed: seed.wrapping_mul(31),
+            workers: 1,
+        };
+        let mut reference = build();
+        legacy_train_svdd(&mut reference, &x, &center, &cfg);
+        let want = weight_bits(&reference);
+        for workers in [1usize, 2, 4] {
+            let mut mlp = build();
+            let cfg = TrainConfig { workers, ..cfg.clone() };
+            train_svdd(&mut mlp, &x, &center, &cfg);
+            prop_assert_eq!(
+                &weight_bits(&mlp), &want,
+                "workers={} diverged from legacy loop", workers
+            );
+        }
     }
 }

@@ -31,7 +31,7 @@ USAGE:
   uadb-serve train --out FILE [--save-teacher FILE]
                    [--dataset NAME | --synthetic TYPE | --csv FILE]
                    [--teacher KIND] [--seed N] [--steps N] [--scale quick|full]
-                   [--label-last]
+                   [--train-workers N] [--label-last]
   uadb-serve score --model FILE (--csv FILE | --json JSON) [--label-last] [--out FILE]
   uadb-serve serve --model [NAME=]FILE[,TEACHER_FILE] [--model ...] [--default NAME]
                    [--addr HOST:PORT] [--workers N] [--shard-rows N]
@@ -49,7 +49,9 @@ SUBCOMMANDS:
           a synthetic anomaly type (--synthetic
           local|global|clustered|dependency), or a numeric CSV (--csv
           data.csv, --label-last if the last column is a 0/1 label used only
-          for the AUC report).
+          for the AUC report). --train-workers N splits each booster fit
+          across N threads (default 1; 0 = all cores) with bit-identical
+          trained weights for every value.
   score   Load a model file and score rows from a CSV file or an inline
           JSON array of rows; writes `row,score` CSV to stdout or --out.
   serve   Serve one or more model files over keep-alive HTTP/1.1.
@@ -223,6 +225,7 @@ fn train(flags: &Flags) -> Result<(), CliError> {
         }
     };
     let seed = flags.parse_num("seed", 0u64)?;
+    let train_workers = flags.parse_num("train-workers", 1usize)?;
     let data = load_training_data(flags)?;
     let mut cfg = UadbConfig::with_seed(seed);
     cfg.t_steps = flags.parse_num("steps", cfg.t_steps)?;
@@ -236,8 +239,9 @@ fn train(flags: &Flags) -> Result<(), CliError> {
         data.n_features(),
         teacher.name()
     );
-    let (served, fitted_teacher) = ServedModel::train_with_teacher(&data, teacher, cfg)
-        .map_err(|e| err(format!("teacher failed: {e}")))?;
+    let (served, fitted_teacher) =
+        ServedModel::train_with_teacher_workers(&data, teacher, cfg, train_workers)
+            .map_err(|e| err(format!("teacher failed: {e}")))?;
     // Ground-truth labels, when present, are used for reporting only.
     if data.n_anomalies() > 0 {
         let scores =

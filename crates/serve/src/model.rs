@@ -310,6 +310,19 @@ impl ServedModel {
         teacher: DetectorKind,
         cfg: UadbConfig,
     ) -> Result<(Self, Arc<TeacherModel>), DetectorError> {
+        Self::train_with_teacher_workers(data, teacher, cfg, 1)
+    }
+
+    /// [`ServedModel::train_with_teacher`] with `train_workers`
+    /// data-parallel threads inside each booster fit (`1` = serial,
+    /// `0` = all available cores). The trained model is bit-identical
+    /// for every worker count, so the flag never needs persisting.
+    pub fn train_with_teacher_workers(
+        data: &Dataset,
+        teacher: DetectorKind,
+        cfg: UadbConfig,
+        train_workers: usize,
+    ) -> Result<(Self, Arc<TeacherModel>), DetectorError> {
         // Datasets with no rows or no feature columns (e.g. a 1-column
         // CSV whose only column was the label) must error cleanly, not
         // panic inside a teacher or the booster.
@@ -321,8 +334,9 @@ impl ServedModel {
         let seed = cfg.seed;
         let mut detector = snapshot::build(teacher, seed);
         let teacher_scores = detector.fit_score(&x)?;
-        let model =
-            Uadb::new(cfg).fit(&x, &teacher_scores).expect("teacher produced aligned scores");
+        let model = Uadb::new(cfg)
+            .fit_with(&x, &teacher_scores, train_workers)
+            .expect("teacher produced aligned scores");
         let meta = ModelMeta {
             dataset: data.name.clone(),
             teacher: teacher.name().to_string(),
