@@ -22,8 +22,17 @@
 //!    order-of-magnitude regressions (a lock or allocation sneaking into
 //!    the hot path).
 //!
+//! 3. **Reference comparison** (`--reference <path>`): a small set of
+//!    pinned cases (currently the binary-scoring 8192-row batches) must
+//!    stay within 5% of the checked-in reference emission — the gate
+//!    that the drift-sketch instrumentation on the scoring hot path is
+//!    actually free. Unlike `--baseline`, a missing file or case is a
+//!    SKIP, not a failure, so the gate degrades gracefully on machines
+//!    without the reference.
+//!
 //! Usage: `bench_gate --candidate BENCH_matmul.json
-//!         [--baseline baseline.json] [--tolerance 3.0]`
+//!         [--baseline baseline.json] [--tolerance 3.0]
+//!         [--reference BENCH_serve.json]`
 
 use std::collections::BTreeMap;
 use std::process::exit;
@@ -52,6 +61,22 @@ fn parse_results(path: &str) -> BTreeMap<String, f64> {
         exit(2);
     }
     out
+}
+
+/// `parse_results` that tolerates a missing/empty file: the reference
+/// gate is advisory on machines that never produced the emission.
+fn try_parse_results(path: &str) -> Option<BTreeMap<String, f64>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "\"name\": \"") else { continue };
+        let Some(min_ns) = field_num(line, "\"min_ns\": ") else { continue };
+        out.insert(name.to_string(), min_ns);
+    }
+    if out.is_empty() {
+        return None;
+    }
+    Some(out)
 }
 
 fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -90,9 +115,20 @@ const INVARIANTS: &[(&str, &str, f64)] = &[
     ("parallel2_b256", "legacy_b256", 1.15),
 ];
 
+/// `(case, allowed candidate/reference ratio)` — pinned cases gated
+/// against the checked-in reference emission (`--reference`). The
+/// binary-scoring path carries the drift-sketch instrumentation, so a
+/// sketch record that allocates or locks shows up here first.
+const REFERENCE_INVARIANTS: &[(&str, f64)] = &[
+    ("binary_rows8192_shards1", 1.05),
+    ("binary_rows8192_shards2", 1.05),
+    ("binary_rows8192_shards4", 1.05),
+];
+
 fn main() {
     let mut candidate_path = String::from("BENCH_matmul.json");
     let mut baseline_path: Option<String> = None;
+    let mut reference_path: Option<String> = None;
     let mut tolerance = 3.0f64;
 
     let mut args = std::env::args().skip(1);
@@ -106,6 +142,7 @@ fn main() {
         match arg.as_str() {
             "--candidate" => candidate_path = take("--candidate"),
             "--baseline" => baseline_path = Some(take("--baseline")),
+            "--reference" => reference_path = Some(take("--reference")),
             "--tolerance" => {
                 tolerance = take("--tolerance").parse().unwrap_or_else(|_| {
                     eprintln!("bench_gate: --tolerance expects a number");
@@ -155,6 +192,30 @@ fn main() {
             );
             if !ok {
                 failures += 1;
+            }
+        }
+    }
+
+    if let Some(path) = reference_path {
+        match try_parse_results(&path) {
+            None => println!("bench_gate: SKIP reference gate ({path} missing or empty)"),
+            Some(reference) => {
+                println!("bench_gate: reference gate against {path}");
+                for &(name, ratio) in REFERENCE_INVARIANTS {
+                    let (Some(&c), Some(&r)) = (candidate.get(name), reference.get(name)) else {
+                        println!("  SKIP reference {name}: case missing");
+                        continue;
+                    };
+                    let ok = c <= r * ratio;
+                    println!(
+                        "  {} {name}: {c:.0} ns <= {ratio} x reference {r:.0} ns ({:.2}x)",
+                        if ok { "ok  " } else { "FAIL" },
+                        c / r.max(1.0)
+                    );
+                    if !ok {
+                        failures += 1;
+                    }
+                }
             }
         }
     }

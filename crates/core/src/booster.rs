@@ -5,7 +5,7 @@ use std::fmt;
 use uadb_data::preprocess::minmax_vec;
 use uadb_data::splits::kfold;
 use uadb_linalg::Matrix;
-use uadb_nn::{train_regression, AdamParams, ForwardScratch, Mlp, MlpConfig, TrainConfig};
+use uadb_nn::{train_regression, AdamParams, ForwardScratch, Mlp, MlpConfig, ProgressHook, TrainConfig};
 
 /// Scale on which the per-instance dispersion enters the pseudo-label
 /// update `ŷ(t+1) = MinMaxScale(ŷ(t) + v̂)`.
@@ -54,6 +54,10 @@ pub struct UadbConfig {
     pub correction: CorrectionScale,
     /// Master seed for weight init, fold splits and batch shuffling.
     pub seed: u64,
+    /// Optional per-epoch training observer, forwarded into every
+    /// member/probe fit's [`TrainConfig`]. Observational only — weights
+    /// are bit-identical with or without it — and never persisted.
+    pub progress: Option<ProgressHook>,
 }
 
 impl Default for UadbConfig {
@@ -68,6 +72,7 @@ impl Default for UadbConfig {
             warm_start: true,
             correction: CorrectionScale::StdDev,
             seed: 0,
+            progress: None,
         }
     }
 }
@@ -320,6 +325,7 @@ impl Uadb {
                         .wrapping_add((t * 31 + f) as u64)
                         .wrapping_mul(0x0100_0000_01b3),
                     workers: train_workers,
+                    progress: cfg.progress.clone(),
                 };
                 train_regression(mlp, &fold_x[f], &fold_targets, &tc);
             }
@@ -352,6 +358,7 @@ impl Uadb {
                     epochs: cfg.epochs_per_step,
                     shuffle_seed: cfg.seed.wrapping_add((t * 101) as u64),
                     workers: train_workers,
+                    progress: cfg.progress.clone(),
                 };
                 train_regression(&mut probe, &fold_x[fold], &fold_targets, &tc);
                 member_preds.push(probe.predict_vec(x));

@@ -157,6 +157,7 @@ fn train_static(
                 epochs: cfg.epochs_per_step,
                 shuffle_seed: cfg.seed.wrapping_add((t * 31 + f) as u64),
                 workers: 1,
+                progress: cfg.progress.clone(),
             };
             train_regression(mlp, &fold_x[f], &targets, &tc);
         }
@@ -180,6 +181,7 @@ fn train_self(x: &Matrix, teacher_scores: &[f64], cfg: &UadbConfig) -> Result<Ve
                 epochs: cfg.epochs_per_step,
                 shuffle_seed: cfg.seed.wrapping_add((t * 37 + f) as u64),
                 workers: 1,
+                progress: cfg.progress.clone(),
             };
             train_regression(mlp, &fold_x[f], &targets, &tc);
         }

@@ -20,4 +20,4 @@ pub use adam::AdamParams;
 pub use linear::Linear;
 pub use mlp::{Activation, ForwardScratch, Mlp, MlpConfig};
 pub use scratch::TrainScratch;
-pub use train::{train_regression, train_svdd, TrainConfig};
+pub use train::{train_regression, train_svdd, ProgressHook, TrainConfig};

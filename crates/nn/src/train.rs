@@ -15,6 +15,31 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use uadb_linalg::Matrix;
 
+/// Per-epoch training observer: called once after every completed
+/// epoch with `(epoch index, row-weighted mean loss, epoch wall-clock
+/// ms)`. Purely observational — the hook cannot influence training, so
+/// trained weights stay bit-identical whether or not one is installed.
+#[derive(Clone)]
+pub struct ProgressHook(std::sync::Arc<dyn Fn(usize, f64, u64) + Send + Sync>);
+
+impl ProgressHook {
+    /// Wraps a callback as a progress hook.
+    pub fn new(f: impl Fn(usize, f64, u64) + Send + Sync + 'static) -> Self {
+        Self(std::sync::Arc::new(f))
+    }
+
+    /// Invokes the hook for one completed epoch.
+    pub fn call(&self, epoch: usize, mean_loss: f64, elapsed_ms: u64) {
+        (self.0)(epoch, mean_loss, elapsed_ms);
+    }
+}
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
 /// Mini-batch schedule. Defaults follow the paper's §IV-A: Adam lr 1e-3,
 /// batch 256, 10 epochs per UADB step.
 #[derive(Debug, Clone)]
@@ -33,6 +58,8 @@ pub struct TrainConfig {
     /// bit-identical for every value — the parallel decomposition never
     /// reorders a floating-point reduction (see `crate::scratch`).
     pub workers: usize,
+    /// Optional per-epoch observer (`None` trains silently).
+    pub progress: Option<ProgressHook>,
 }
 
 impl Default for TrainConfig {
@@ -43,6 +70,7 @@ impl Default for TrainConfig {
             epochs: 10,
             shuffle_seed: 0,
             workers: 1,
+            progress: None,
         }
     }
 }
@@ -105,7 +133,8 @@ fn train_loop(
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.shuffle_seed);
     let mut scratch = TrainScratch::default();
     let mut last_epoch_loss = 0.0;
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let epoch_started = std::time::Instant::now();
         order.shuffle(&mut rng);
         let mut epoch_sum = 0.0;
         for chunk in order.chunks(batch) {
@@ -125,6 +154,9 @@ fn train_loop(
                 train_batch_step(mlp, &mut scratch, chunk.len(), &objective, &cfg.adam, workers);
         }
         last_epoch_loss = epoch_sum / n as f64;
+        if let Some(hook) = &cfg.progress {
+            hook.call(epoch, last_epoch_loss, epoch_started.elapsed().as_millis() as u64);
+        }
     }
     last_epoch_loss
 }
@@ -160,6 +192,7 @@ mod tests {
             adam: AdamParams { lr: 0.01, ..AdamParams::default() },
             shuffle_seed: 1,
             workers: 1,
+            progress: None,
         };
         let loss = train_regression(&mut mlp, &x, &t, &cfg);
         assert!(loss < 0.01, "final loss {loss} too high");
@@ -204,6 +237,7 @@ mod tests {
             adam: AdamParams { lr: 0.01, ..AdamParams::default() },
             shuffle_seed: 0,
             workers: 1,
+            progress: None,
         };
         let final_dist = train_svdd(&mut mlp, &x, &center, &cfg);
         assert!(final_dist < 0.05, "embeddings should collapse: {final_dist}");
@@ -253,6 +287,47 @@ mod tests {
     }
 
     #[test]
+    fn progress_hook_sees_every_epoch_and_final_loss() {
+        let x = Matrix::from_vec(12, 1, (0..12).map(|i| i as f64 / 12.0).collect()).unwrap();
+        let t: Vec<f64> = (0..12).map(|i| (i % 2) as f64).collect();
+        let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&seen);
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 5,
+            progress: Some(ProgressHook::new(move |epoch, loss, ms| {
+                sink.lock().unwrap().push((epoch, loss, ms));
+            })),
+            ..TrainConfig::default()
+        };
+        let mut mlp = Mlp::new(&MlpConfig {
+            input_dim: 1,
+            hidden: vec![4],
+            output_dim: 1,
+            activation: Activation::Sigmoid,
+            seed: 11,
+        });
+        let final_loss = train_regression(&mut mlp, &x, &t, &cfg);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen.iter().map(|e| e.0).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(seen.last().unwrap().1, final_loss);
+
+        // The hook is observational: weights are bit-identical without it.
+        let mut silent = Mlp::new(&MlpConfig {
+            input_dim: 1,
+            hidden: vec![4],
+            output_dim: 1,
+            activation: Activation::Sigmoid,
+            seed: 11,
+        });
+        let quiet_cfg = TrainConfig { epochs: 4, batch_size: 5, ..TrainConfig::default() };
+        let quiet_loss = train_regression(&mut silent, &x, &t, &quiet_cfg);
+        assert_eq!(quiet_loss, final_loss);
+        assert_eq!(silent.predict_vec(&x), mlp.predict_vec(&x));
+    }
+
+    #[test]
     fn deterministic_given_seeds() {
         let x = Matrix::from_vec(10, 2, (0..20).map(|i| i as f64 * 0.05).collect()).unwrap();
         let t: Vec<f64> = (0..10).map(|i| (i % 2) as f64).collect();
@@ -296,6 +371,7 @@ mod tests {
             adam: AdamParams { lr: 0.0, ..AdamParams::default() },
             shuffle_seed: 7,
             workers: 1,
+            progress: None,
         };
         let got = train_regression(&mut mlp, &x, &t, &cfg);
         assert!((got - expect).abs() < 1e-12, "loss {got} should be row-weighted mean {expect}");
@@ -329,6 +405,7 @@ mod tests {
             adam: AdamParams { lr: 0.0, ..AdamParams::default() },
             shuffle_seed: 2,
             workers: 1,
+            progress: None,
         };
         let got = train_svdd(&mut mlp, &x, &center, &cfg);
         assert!((got - expect).abs() < 1e-12, "loss {got} should be row-weighted mean {expect}");

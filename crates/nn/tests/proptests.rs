@@ -155,6 +155,7 @@ proptest! {
             epochs: 3,
             shuffle_seed: seed ^ 0xabcd,
             workers: 1,
+            progress: None,
         };
         let mut reference = build();
         legacy_train_regression(&mut reference, &x, &targets, &cfg);
@@ -198,6 +199,7 @@ proptest! {
             epochs: 2,
             shuffle_seed: seed.wrapping_mul(31),
             workers: 1,
+            progress: None,
         };
         let mut reference = build();
         legacy_train_svdd(&mut reference, &x, &center, &cfg);

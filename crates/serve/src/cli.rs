@@ -38,7 +38,7 @@ USAGE:
                    [--max-conns N] [--max-requests N] [--idle-timeout-ms N]
                    [--io threads|epoll] [--shards N]
                    [--log-level error|warn|info|debug]
-                   [--log-json] [--slow-ms N]
+                   [--log-json] [--slow-ms N] [--drift-warn-psi T]
   uadb-serve info  --model FILE
 
 SUBCOMMANDS:
@@ -76,11 +76,17 @@ SUBCOMMANDS:
           stats: backend, open connections, per-model request counts,
           latency percentiles), GET /metrics (Prometheus text
           exposition: stage histograms, pool gauges, per-model
-          counters, teacher/booster divergence), GET /admin/slow (the
-          last requests slower than --slow-ms, with per-stage
-          breakdowns). --log-level sets stderr verbosity (default
-          warn), --log-json switches log lines to JSON, --slow-ms sets
-          the slow-request capture threshold (default 100).
+          counters, teacher/booster divergence, score/feature drift),
+          GET /admin/slow (the last requests slower than --slow-ms,
+          with per-stage breakdowns), GET /admin/drift[/NAME] (live
+          model-quality report: PSI vs. the training baseline,
+          per-feature standardized mean shifts, anomaly rates) and
+          POST /admin/drift/NAME/reset (start a fresh live window).
+          --log-level sets stderr verbosity (default warn), --log-json
+          switches log lines to JSON, --slow-ms sets the slow-request
+          capture threshold (default 100), --drift-warn-psi T emits a
+          rate-limited warn log when any model's score PSI exceeds T
+          (default: off).
   info    Print a model or teacher-snapshot file's metadata as JSON.
 
 Teachers: IForest HBOS LOF KNN PCA OCSVM CBLOF COF SOD ECOD GMM LODA COPOD
@@ -414,6 +420,13 @@ fn serve(flags: &Flags) -> Result<(), CliError> {
     }
     let slow_ms = flags.parse_num("slow-ms", 100u64)?;
     telemetry::metrics().set_slow_threshold_ms(slow_ms);
+    let drift_warn = flags.parse_num("drift-warn-psi", f64::INFINITY)?;
+    if drift_warn.is_finite() {
+        if !(drift_warn > 0.0) {
+            return Err(err("--drift-warn-psi must be positive (PSI alert bands start ~0.1)"));
+        }
+        telemetry::metrics().set_drift_warn_psi(drift_warn);
+    }
 
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878");
     let server = Server::bind(addr, Arc::clone(&registry), server_cfg)
@@ -430,7 +443,8 @@ fn serve(flags: &Flags) -> Result<(), CliError> {
     println!(
         "endpoints: POST /score[/NAME], GET /model[/NAME], GET /models, \
          POST /admin/reload/NAME, POST|DELETE /admin/teacher/NAME, GET /healthz, \
-         GET /metrics, GET /admin/slow"
+         GET /metrics, GET /admin/slow, GET /admin/drift[/NAME], \
+         POST /admin/drift/NAME/reset"
     );
     server.run().map_err(|e| err(format!("server failed: {e}")))
 }
@@ -513,6 +527,46 @@ mod tests {
         // load succeeds, so here the missing file errors first; both are
         // rejections either way.
         assert!(serve(&Flags::parse(&dup).unwrap()).is_err());
+    }
+
+    #[test]
+    fn info_document_reports_the_train_baseline() {
+        let data = fig5_dataset(AnomalyType::Clustered, 17);
+        let model =
+            ServedModel::train(&data, DetectorKind::Hbos, UadbConfig::fast_for_tests(17)).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("uadb-info-baseline-{}.uadb", std::process::id()));
+        persist::save_file(&model, &path).unwrap();
+
+        // The exact document `info --model FILE` prints: fresh training
+        // always captures a baseline, and `info` must surface it.
+        let record = persist::load_record_file(&path).unwrap();
+        let persist::Record::Booster(served) = &record else { panic!("expected booster record") };
+        let doc = crate::http::model_info(served, None);
+        let baseline = doc.get("baseline").expect("info output lost the baseline summary");
+        let samples = baseline.get("samples").and_then(json::Value::as_f64).unwrap();
+        assert_eq!(samples, data.n_samples() as f64);
+        assert_eq!(baseline.get("threshold").and_then(json::Value::as_f64), Some(0.5));
+        let rate = baseline.get("anomaly_rate").and_then(json::Value::as_f64).unwrap();
+        assert!((0.0..=1.0).contains(&rate), "anomaly rate {rate}");
+        let q = baseline.get("score_quantiles").expect("quantile summary");
+        let p50 = q.get("p50").and_then(json::Value::as_f64).unwrap();
+        let p99 = q.get("p99").and_then(json::Value::as_f64).unwrap();
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        // The rendered JSON (what actually lands on stdout) carries it.
+        assert!(json::to_string(&doc).contains("\"baseline\""));
+
+        // Piggy-back on the saved file: `serve` must reject a
+        // non-positive PSI warn threshold after loading the model.
+        let args: Vec<String> =
+            ["--model", &format!("infotest={}", path.display()), "--drift-warn-psi", "0"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let e = serve(&Flags::parse(&args).unwrap()).unwrap_err();
+        assert!(e.0.contains("--drift-warn-psi"), "message: {}", e.0);
+
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

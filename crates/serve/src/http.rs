@@ -76,7 +76,9 @@ use crate::json::{self, Value};
 use crate::model::{ScoreError, ServedModel, Variant};
 use crate::pool::{PoolConfig, ScoreTiming, ScoringPool};
 use crate::registry::{ModelRegistry, RegistryError};
-use crate::telemetry::{metrics, ModelStats, RejectReason, RequestTimer, Stage, VariantTag};
+use crate::telemetry::{
+    metrics, DriftReport, ModelDrift, ModelStats, RejectReason, RequestTimer, Stage, VariantTag,
+};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -1239,6 +1241,11 @@ pub(crate) struct ScoreTask {
     format: WireFormat,
     stats: Arc<ModelStats>,
     tag: VariantTag,
+    /// The model's live drift window, resolved at routing so completion
+    /// callbacks feed the window of the model that actually scored —
+    /// a concurrent reload installs a fresh window for *new* requests
+    /// while this one keeps pointing at the instance it started with.
+    drift: Option<Arc<ModelDrift>>,
 }
 
 /// Blocks on one pool submission and hands back both the result and
@@ -1265,15 +1272,21 @@ impl ScoreTask {
     /// time are folded into `timer` (for `both`, the two submissions
     /// accumulate).
     pub(crate) fn run_blocking(self, timer: &mut RequestTimer) -> Response {
-        let ScoreTask { pool, batch, select, format, stats, tag } = self;
+        let ScoreTask { pool, batch, select, format, stats, tag, drift } = self;
         timer.set_scored(Arc::clone(&stats.name), tag, batch.rows());
+        // Raw feature rows feed the drift window regardless of variant
+        // or outcome: the question "what traffic is this model seeing"
+        // is independent of which scores the caller asked for.
+        if let Some(d) = &drift {
+            d.record_rows(&batch);
+        }
         match select {
             VariantSelect::Single(variant) => {
                 let (result, timing) = score_blocking(&pool, &batch, variant);
                 timer.add(Stage::QueueWait, timing.queue_ns);
                 timer.add(Stage::Score, timing.score_ns);
                 match result {
-                    Ok(scores) => single_ok_response(format, variant, &scores),
+                    Ok(scores) => single_ok_response(format, variant, &scores, drift.as_deref()),
                     Err(e) => {
                         metrics().record_score_error(&stats, tag, &e, timer.trace_id);
                         score_error(&e)
@@ -1299,7 +1312,7 @@ impl ScoreTask {
                 timer.add(Stage::QueueWait, b_timing.queue_ns);
                 timer.add(Stage::Score, b_timing.score_ns);
                 match booster {
-                    Ok(booster) => both_response(format, &booster, &teacher),
+                    Ok(booster) => both_response(format, &booster, &teacher, drift.as_deref()),
                     Err(e) => {
                         metrics().record_score_error(&stats, tag, &e, timer.trace_id);
                         score_error(&e)
@@ -1320,8 +1333,11 @@ impl ScoreTask {
         mut timer: RequestTimer,
         done: Box<dyn FnOnce(Response, RequestTimer) + Send>,
     ) {
-        let ScoreTask { pool, batch, select, format, stats, tag } = self;
+        let ScoreTask { pool, batch, select, format, stats, tag, drift } = self;
         timer.set_scored(Arc::clone(&stats.name), tag, batch.rows());
+        if let Some(d) = &drift {
+            d.record_rows(&batch);
+        }
         match select {
             VariantSelect::Single(variant) => pool.submit(
                 &batch,
@@ -1330,7 +1346,7 @@ impl ScoreTask {
                     timer.add(Stage::QueueWait, timing.queue_ns);
                     timer.add(Stage::Score, timing.score_ns);
                     let response = match result {
-                        Ok(scores) => single_ok_response(format, variant, &scores),
+                        Ok(scores) => single_ok_response(format, variant, &scores, drift.as_deref()),
                         Err(e) => {
                             metrics().record_score_error(&stats, tag, &e, timer.trace_id);
                             score_error(&e)
@@ -1370,9 +1386,15 @@ impl ScoreTask {
                                             );
                                             done(score_error(&e), timer);
                                         }
-                                        Ok(booster) => {
-                                            done(both_response(format, &booster, &teacher), timer)
-                                        }
+                                        Ok(booster) => done(
+                                            both_response(
+                                                format,
+                                                &booster,
+                                                &teacher,
+                                                drift.as_deref(),
+                                            ),
+                                            timer,
+                                        ),
                                     }
                                 }),
                             ),
@@ -1384,7 +1406,20 @@ impl ScoreTask {
     }
 }
 
-fn single_ok_response(format: WireFormat, variant: Variant, scores: &[f64]) -> Response {
+fn single_ok_response(
+    format: WireFormat,
+    variant: Variant,
+    scores: &[f64],
+    drift: Option<&ModelDrift>,
+) -> Response {
+    // Only booster scores feed the live drift sketch: the training
+    // baseline was built from booster-calibrated scores, so teacher
+    // scores would shift PSI without any actual model drift.
+    if variant == Variant::Booster {
+        if let Some(d) = drift {
+            d.record_scores(scores);
+        }
+    }
     match format {
         WireFormat::Json => Response::json(
             200,
@@ -1399,11 +1434,23 @@ fn single_ok_response(format: WireFormat, variant: Variant, scores: &[f64]) -> R
     }
 }
 
-fn both_response(format: WireFormat, booster: &[f64], teacher: &[f64]) -> Response {
+fn both_response(
+    format: WireFormat,
+    booster: &[f64],
+    teacher: &[f64],
+    drift: Option<&ModelDrift>,
+) -> Response {
     // Paired scores for the same rows are exactly the stream the
     // teacher–booster divergence gauges summarise — fed on both wire
-    // formats.
-    metrics().observe_divergence(booster, teacher);
+    // formats, into the process-global gauges and (when a window is
+    // installed) the per-model drift report.
+    let batch_stats = metrics().observe_divergence(booster, teacher);
+    if let Some(d) = drift {
+        d.record_scores(booster);
+        if let Some((mean_abs, max_abs, n)) = batch_stats {
+            d.observe_divergence(mean_abs, max_abs, n);
+        }
+    }
     match format {
         WireFormat::Json => Response::json(
             200,
@@ -1435,6 +1482,9 @@ pub(crate) fn route(req: &Request, ctx: &RouteCtx) -> Routed {
         ("GET", ["healthz"]) => healthz(ctx),
         ("GET", ["metrics"]) => metrics_response(),
         ("GET", ["admin", "slow"]) => slow_response(),
+        ("GET", ["admin", "drift"]) => drift_response(None),
+        ("GET", ["admin", "drift", name]) => drift_response(Some(name)),
+        ("POST", ["admin", "drift", name, "reset"]) => drift_reset(name),
         ("GET", ["models"]) => list_models(registry),
         ("GET", ["model"]) => match registry.default_pool() {
             Some(pool) => {
@@ -1508,9 +1558,89 @@ fn healthz(ctx: &RouteCtx) -> Response {
 }
 
 /// `GET /metrics` — the whole telemetry plane in Prometheus text
-/// exposition format 0.0.4.
+/// exposition format 0.0.4. Drift gauges are derived values, so they
+/// are recomputed from the live sketches on every scrape rather than
+/// on every scored batch.
 fn metrics_response() -> Response {
+    metrics().refresh_drift_gauges();
     Response::text(200, "OK", "text/plain; version=0.0.4", metrics().render())
+}
+
+/// One drift report as its `/admin/drift` JSON document.
+fn drift_report_json(r: &DriftReport) -> Value {
+    let num_array = |xs: &[f64]| Value::Array(xs.iter().map(|&x| Value::Number(x)).collect());
+    let opt_num = |x: Option<f64>| x.map(Value::Number).unwrap_or(Value::Null);
+    let quantile_obj = |q: &[f64; 3]| {
+        json::object([
+            ("p50", Value::Number(q[0])),
+            ("p90", Value::Number(q[1])),
+            ("p99", Value::Number(q[2])),
+        ])
+    };
+    let (div_mean, div_max, div_n) = r.divergence;
+    json::object([
+        ("model", Value::String(r.name.to_string())),
+        ("psi", opt_num(r.psi)),
+        ("live_samples", Value::Number(r.live_samples as f64)),
+        (
+            "baseline_samples",
+            r.baseline_samples.map(|n| Value::Number(n as f64)).unwrap_or(Value::Null),
+        ),
+        ("live_anomaly_rate", Value::Number(r.live_anomaly_rate)),
+        ("train_anomaly_rate", opt_num(r.train_anomaly_rate)),
+        ("threshold", Value::Number(r.threshold)),
+        ("live_quantiles", quantile_obj(&r.live_quantiles)),
+        (
+            "baseline_quantiles",
+            r.baseline_quantiles.as_ref().map(quantile_obj).unwrap_or(Value::Null),
+        ),
+        ("feature_shifts", num_array(&r.feature_shifts)),
+        ("live_means", num_array(&r.live_means)),
+        ("train_means", num_array(&r.train_means)),
+        ("train_stds", num_array(&r.train_stds)),
+        ("feature_rows", Value::Number(r.feature_rows as f64)),
+        ("feature_drift_max", Value::Number(r.feature_max)),
+        (
+            "feature_drift_argmax",
+            r.feature_argmax.map(|j| Value::Number(j as f64)).unwrap_or(Value::Null),
+        ),
+        (
+            "divergence",
+            json::object([
+                ("mean", Value::Number(div_mean)),
+                ("max", Value::Number(div_max)),
+                ("samples", Value::Number(div_n as f64)),
+            ]),
+        ),
+        ("window_age_seconds", Value::Number(r.window_age_seconds)),
+    ])
+}
+
+/// `GET /admin/drift` (all models) and `GET /admin/drift/{name}` — the
+/// model-quality view: live-vs-training score distribution (PSI,
+/// quantiles, anomaly rates) and per-feature standardized mean shifts.
+fn drift_response(name: Option<&str>) -> Response {
+    let reports = metrics().drift_reports();
+    match name {
+        Some(name) => match reports.iter().find(|r| r.name.as_ref() == name) {
+            Some(r) => Response::json(200, "OK", &drift_report_json(r)),
+            None => unknown_model(name),
+        },
+        None => {
+            let models: Vec<Value> = reports.iter().map(drift_report_json).collect();
+            Response::json(200, "OK", &json::object([("models", Value::Array(models))]))
+        }
+    }
+}
+
+/// `POST /admin/drift/{name}/reset` — start a fresh live window for
+/// `name` (the training baseline is kept; only streaming state clears).
+fn drift_reset(name: &str) -> Response {
+    if metrics().reset_drift(name) {
+        Response::json(200, "OK", &json::object([("reset", Value::String(name.to_string()))]))
+    } else {
+        unknown_model(name)
+    }
 }
 
 /// `GET /admin/slow` — the last captured slow requests, oldest first.
@@ -1717,6 +1847,25 @@ pub(crate) fn model_info(model: &ServedModel, workers: Option<usize>) -> Value {
             ]),
         ));
     }
+    if let Some(b) = model.baseline() {
+        let snap = b.snapshot();
+        fields.push((
+            "baseline",
+            json::object([
+                ("samples", Value::Number(b.n as f64)),
+                ("threshold", Value::Number(b.threshold)),
+                ("anomaly_rate", Value::Number(b.anomaly_rate)),
+                (
+                    "score_quantiles",
+                    json::object([
+                        ("p50", Value::Number(snap.quantile(0.5))),
+                        ("p90", Value::Number(snap.quantile(0.9))),
+                        ("p99", Value::Number(snap.quantile(0.99))),
+                    ]),
+                ),
+            ]),
+        ));
+    }
     if let Some(n) = workers {
         fields.push(("workers", Value::Number(n as f64)));
     }
@@ -1836,9 +1985,10 @@ fn score_routed(req: &Request, pool: Arc<ScoringPool>, query: Option<&str>, name
     let counters = stats.variant(tag);
     counters.requests.inc();
     counters.rows.add(matrix.rows() as u64);
+    let drift = metrics().drift(name);
     // Hand the parsed batch to the pool as-is: shards borrow row ranges
     // from this one shared allocation instead of copying.
-    Routed::Score(ScoreTask { pool, batch: Arc::new(matrix), select, format, stats, tag })
+    Routed::Score(ScoreTask { pool, batch: Arc::new(matrix), select, format, stats, tag, drift })
 }
 
 pub(crate) fn rows_to_matrix(rows: &[Value]) -> Result<Matrix, String> {

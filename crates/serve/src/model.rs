@@ -23,6 +23,7 @@ use uadb_data::Dataset;
 use uadb_detectors::snapshot::{self, DetectorSnapshot};
 use uadb_detectors::{DetectorError, DetectorKind};
 use uadb_linalg::Matrix;
+use uadb_telemetry::{ScoreSketch, SketchSnapshot};
 
 /// Per-worker reusable scoring workspace: standardised-feature buffer,
 /// output staging, and the booster's forward scratch. Grown once, then
@@ -44,6 +45,55 @@ pub struct ModelMeta {
     pub teacher: String,
     /// Number of training rows.
     pub n_train: u64,
+}
+
+/// Train-time model-quality baseline: what the calibrated score
+/// distribution looked like on the training set, and the anomaly rate
+/// at the calibration threshold. The drift plane compares live traffic
+/// against this; per-feature train means/variances come from the
+/// persisted [`Standardizer`], so the baseline only carries what the
+/// standardiser doesn't already hold.
+///
+/// Captured automatically by every `train*` path and persisted as an
+/// optional trailing section of the model container (format v3) —
+/// models loaded from older files simply have no baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelBaseline {
+    /// Calibrated training-score counts over
+    /// [`uadb_telemetry::SCORE_BUCKETS`] uniform `[0, 1]` buckets.
+    pub score_counts: Vec<u64>,
+    /// Fraction of training scores at or above `threshold`.
+    pub anomaly_rate: f64,
+    /// The anomaly threshold the rate was measured at.
+    pub threshold: f64,
+    /// Training rows the baseline was computed over.
+    pub n: u64,
+}
+
+impl ModelBaseline {
+    /// The calibration-space anomaly threshold baselines are measured
+    /// at: the midpoint of the calibrated `[0, 1]` score range, which
+    /// lands exactly on a sketch bucket edge.
+    pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+    /// Sketches a calibrated training-score slice into a baseline.
+    pub fn from_scores(calibrated: &[f64]) -> Self {
+        let sketch = ScoreSketch::new();
+        sketch.record_batch(calibrated);
+        let snap = sketch.snapshot();
+        Self {
+            anomaly_rate: snap.fraction_at_or_above(Self::DEFAULT_THRESHOLD),
+            threshold: Self::DEFAULT_THRESHOLD,
+            n: snap.total(),
+            score_counts: snap.counts,
+        }
+    }
+
+    /// The baseline score distribution as a sketch snapshot (what PSI
+    /// is computed against).
+    pub fn snapshot(&self) -> SketchSnapshot {
+        SketchSnapshot::from_counts(self.score_counts.clone())
+    }
 }
 
 /// Which side of the teacher/booster pair a request scores against.
@@ -89,6 +139,7 @@ pub struct ServedModel {
     standardizer: Standardizer,
     meta: ModelMeta,
     teacher: Option<Arc<TeacherModel>>,
+    baseline: Option<ModelBaseline>,
 }
 
 /// Errors from scoring raw request rows.
@@ -282,7 +333,7 @@ impl ServedModel {
             model.ensemble()[0].input_dim(),
             "standardizer width must match ensemble input width"
         );
-        Self { model, standardizer, meta, teacher: None }
+        Self { model, standardizer, meta, teacher: None, baseline: None }
     }
 
     /// Trains a booster end to end on a dataset's **raw** features:
@@ -334,6 +385,28 @@ impl ServedModel {
         let seed = cfg.seed;
         let mut detector = snapshot::build(teacher, seed);
         let teacher_scores = detector.fit_score(&x)?;
+        // Training-loop observability: every epoch of every member fit
+        // bumps the process epoch counter, refreshes the per-model
+        // last-loss gauge, and emits a debug-level structured log line.
+        // A hook the caller already installed is chained, not replaced.
+        let mut cfg = cfg;
+        let caller_hook = cfg.progress.take();
+        let model_name: Arc<str> = Arc::from(data.name.as_str());
+        cfg.progress = Some(uadb_nn::ProgressHook::new(move |epoch, loss, ms| {
+            crate::telemetry::metrics().observe_train_epoch(&model_name, loss);
+            let epoch_s = epoch.to_string();
+            let loss_s = format!("{loss:.6}");
+            let ms_s = ms.to_string();
+            uadb_telemetry::log::logger().log(
+                uadb_telemetry::Level::Debug,
+                "train",
+                "epoch finished",
+                &[("model", &model_name), ("epoch", &epoch_s), ("loss", &loss_s), ("ms", &ms_s)],
+            );
+            if let Some(hook) = &caller_hook {
+                hook.call(epoch, loss, ms);
+            }
+        }));
         let model = Uadb::new(cfg)
             .fit_with(&x, &teacher_scores, train_workers)
             .expect("teacher produced aligned scores");
@@ -349,6 +422,12 @@ impl ServedModel {
             meta.clone(),
         ));
         let mut served = Self::new(model, standardizer, meta);
+        // Capture the model-quality baseline while the training scores
+        // are still in hand: the calibrated score distribution live
+        // traffic will be PSI-compared against.
+        let mut calibrated = served.model.scores().to_vec();
+        served.model.calibration().apply_vec(&mut calibrated);
+        served.baseline = Some(ModelBaseline::from_scores(&calibrated));
         served.teacher = Some(Arc::clone(&teacher_model));
         Ok((served, teacher_model))
     }
@@ -453,6 +532,19 @@ impl ServedModel {
         &self.meta
     }
 
+    /// The train-time model-quality baseline, if this model carries one
+    /// (fresh training always captures it; files persisted before
+    /// format v3 load without one until re-saved).
+    pub fn baseline(&self) -> Option<&ModelBaseline> {
+        self.baseline.as_ref()
+    }
+
+    /// Installs (or clears) the persisted baseline — the load path's
+    /// counterpart to the capture in `train_with_teacher_workers`.
+    pub fn set_baseline(&mut self, baseline: Option<ModelBaseline>) {
+        self.baseline = baseline;
+    }
+
     /// Feature count a request row must have.
     pub fn input_dim(&self) -> usize {
         self.standardizer.n_features()
@@ -491,6 +583,21 @@ pub(crate) mod tests {
             let single = served.score_rows(&data.x.select_rows(&[i])).unwrap();
             assert_eq!(single[0].to_bits(), batch[i].to_bits(), "row {i}");
         }
+    }
+
+    #[test]
+    fn training_captures_a_baseline() {
+        let served = tiny_model(5);
+        let b = served.baseline().expect("fresh training captures a baseline");
+        assert_eq!(b.n, served.meta().n_train, "every training row is sketched");
+        assert_eq!(b.score_counts.iter().sum::<u64>(), b.n);
+        assert_eq!(b.threshold, ModelBaseline::DEFAULT_THRESHOLD);
+        assert!((0.0..=1.0).contains(&b.anomaly_rate));
+        // The sketch matches a from-scratch sketch of the calibrated
+        // training scores (capture is deterministic).
+        let mut cal = served.model().scores().to_vec();
+        served.model().calibration().apply_vec(&mut cal);
+        assert_eq!(b, &ModelBaseline::from_scores(&cal));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic   b"UADB"
-//! version u32 (currently 2)
+//! version u32 (currently 3)
 //! record  u8 — 1 = booster, 2 = teacher snapshot (version ≥ 2 only)
 //! payload record-specific (below)
 //! trailer b"BDAU"
@@ -15,17 +15,28 @@
 //! files, which predate the record byte and still load):
 //!
 //! ```text
-//! meta    dataset: str, teacher: str, n_train: u64
-//! scaler  d: u64, means: d×f64, stds: d×f64
-//! calib   min: f64, range: f64
-//! config  t_steps, epochs_per_step, batch_size, cv_folds, seed: u64,
-//!         learning_rate: f64, hidden: u64-len + u64s,
-//!         warm_start: u8, correction: u8
-//! models  n_members: u64, then per member:
-//!           activation: u8, n_layers: u64, per layer:
-//!             in_dim: u64, out_dim: u64,
-//!             weights: (in·out)×f64 row-major, bias: out×f64
+//! meta     dataset: str, teacher: str, n_train: u64
+//! scaler   d: u64, means: d×f64, stds: d×f64
+//! calib    min: f64, range: f64
+//! config   t_steps, epochs_per_step, batch_size, cv_folds, seed: u64,
+//!          learning_rate: f64, hidden: u64-len + u64s,
+//!          warm_start: u8, correction: u8
+//! models   n_members: u64, then per member:
+//!            activation: u8, n_layers: u64, per layer:
+//!              in_dim: u64, out_dim: u64,
+//!              weights: (in·out)×f64 row-major, bias: out×f64
+//! baseline (version ≥ 3) present: u8, then when 1:
+//!            n_buckets: u64, counts: n_buckets×u64,
+//!            threshold: f64, anomaly_rate: f64, n: u64
 //! ```
+//!
+//! The baseline section holds the train-time model-quality baseline
+//! (calibrated score distribution + anomaly rate at the calibration
+//! threshold) the drift plane compares live traffic against. It sits
+//! **after** the ensemble so every earlier field keeps its version-2
+//! offset; version ≤ 2 files load with no baseline and re-saving such a
+//! model upgrades the file to version 3 (still baseline-less — a
+//! baseline can only be captured at training time).
 //!
 //! Teacher payload (record 2):
 //!
@@ -45,7 +56,7 @@
 //! reject versions they do not know, and the trailer catches truncated
 //! writes.
 
-use crate::model::{ModelMeta, ServedModel, TeacherModel};
+use crate::model::{ModelBaseline, ModelMeta, ServedModel, TeacherModel};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -61,7 +72,7 @@ pub const MAGIC: [u8; 4] = *b"UADB";
 const TRAILER: [u8; 4] = *b"BDAU";
 
 /// Current format version.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Record-type byte of a distilled booster bundle.
 pub const RECORD_BOOSTER: u8 = 1;
@@ -74,6 +85,7 @@ const MAX_STR: u64 = 1 << 20;
 const MAX_DIM: u64 = 1 << 24;
 const MAX_MEMBERS: u64 = 1 << 12;
 const MAX_LAYERS: u64 = 1 << 8;
+const MAX_BASELINE_BUCKETS: u64 = 1 << 10;
 
 /// Errors from [`save`] / [`load`].
 #[derive(Debug)]
@@ -158,6 +170,7 @@ pub fn save<W: Write>(model: &ServedModel, mut w: W) -> Result<(), PersistError>
     }
     let scaler = model.standardizer();
     validate_scaler_for_save(scaler)?;
+    validate_baseline_for_save(model.baseline())?;
     w.write_all(&MAGIC)?;
     write_u32(&mut w, FORMAT_VERSION)?;
     w.write_all(&[RECORD_BOOSTER])?;
@@ -198,6 +211,20 @@ pub fn save<W: Write>(model: &ServedModel, mut w: W) -> Result<(), PersistError>
             write_u64(&mut w, layer.output_dim() as u64)?;
             write_f64s(&mut w, layer.weights().as_slice())?;
             write_f64s(&mut w, layer.bias())?;
+        }
+    }
+    // Baseline (version ≥ 3).
+    match model.baseline() {
+        None => w.write_all(&[0u8])?,
+        Some(b) => {
+            w.write_all(&[1u8])?;
+            write_u64(&mut w, b.score_counts.len() as u64)?;
+            for &c in &b.score_counts {
+                write_u64(&mut w, c)?;
+            }
+            write_f64(&mut w, b.threshold)?;
+            write_f64(&mut w, b.anomaly_rate)?;
+            write_u64(&mut w, b.n)?;
         }
     }
     w.write_all(&TRAILER)?;
@@ -290,7 +317,7 @@ pub fn load_record<R: Read>(mut r: R) -> Result<Record, PersistError> {
     // Version 1 predates the record byte: the payload is a booster.
     let record = if version == 1 { RECORD_BOOSTER } else { read_u8(&mut r)? };
     match record {
-        RECORD_BOOSTER => Ok(Record::Booster(load_booster_payload(&mut r)?)),
+        RECORD_BOOSTER => Ok(Record::Booster(load_booster_payload(&mut r, version)?)),
         RECORD_TEACHER => Ok(Record::Teacher(load_teacher_payload(&mut r)?)),
         _ => Err(PersistError::Corrupt("unknown record type")),
     }
@@ -327,8 +354,9 @@ pub fn load_teacher_file(path: impl AsRef<Path>) -> Result<TeacherModel, Persist
 }
 
 /// Reads the booster payload (everything between the record byte and
-/// the trailer).
-fn load_booster_payload<R: Read>(mut r: R) -> Result<ServedModel, PersistError> {
+/// the trailer). `version` gates the trailing sections added after
+/// format v2.
+fn load_booster_payload<R: Read>(mut r: R, version: u32) -> Result<ServedModel, PersistError> {
     let (meta, standardizer) = read_meta_and_scaler(&mut r)?;
     let calibration = read_calibration(&mut r)?;
     // Config.
@@ -359,6 +387,7 @@ fn load_booster_payload<R: Read>(mut r: R) -> Result<ServedModel, PersistError> 
         warm_start,
         correction,
         seed,
+        progress: None,
     };
     // Ensemble.
     let n_members = read_len(&mut r, MAX_MEMBERS, "ensemble size")?;
@@ -410,9 +439,38 @@ fn load_booster_payload<R: Read>(mut r: R) -> Result<ServedModel, PersistError> 
     if ensemble.iter().any(|m| m.input_dim() != dim0) || dim0 != standardizer.n_features() {
         return Err(PersistError::Corrupt("input widths disagree"));
     }
+    // Baseline (version ≥ 3; earlier files simply have none).
+    let baseline = if version >= 3 { read_baseline(&mut r)? } else { None };
     read_trailer(&mut r)?;
     let model = UadbModel::from_parts(ensemble, cfg, calibration);
-    Ok(ServedModel::new(model, standardizer, meta))
+    let mut served = ServedModel::new(model, standardizer, meta);
+    served.set_baseline(baseline);
+    Ok(served)
+}
+
+/// Reads the optional model-quality baseline section.
+fn read_baseline<R: Read>(r: &mut R) -> Result<Option<ModelBaseline>, PersistError> {
+    if !read_bool(r).map_err(|_| PersistError::Corrupt("invalid baseline presence byte"))? {
+        return Ok(None);
+    }
+    let n_buckets = read_len(r, MAX_BASELINE_BUCKETS, "baseline bucket count")?;
+    if n_buckets == 0 {
+        return Err(PersistError::Corrupt("baseline with no buckets"));
+    }
+    let mut score_counts = Vec::with_capacity(n_buckets);
+    for _ in 0..n_buckets {
+        score_counts.push(read_u64(r)?);
+    }
+    let threshold = read_f64(r)?;
+    let anomaly_rate = read_f64(r)?;
+    let n = read_u64(r)?;
+    if !(0.0..=1.0).contains(&threshold) || !(0.0..=1.0).contains(&anomaly_rate) {
+        return Err(PersistError::Corrupt("baseline rates out of range"));
+    }
+    if score_counts.iter().sum::<u64>() != n {
+        return Err(PersistError::Corrupt("baseline counts disagree with sample total"));
+    }
+    Ok(Some(ModelBaseline { score_counts, anomaly_rate, threshold, n }))
 }
 
 /// Reads the teacher payload (everything between the record byte and
@@ -438,6 +496,20 @@ pub fn load_file(path: impl AsRef<Path>) -> Result<ServedModel, PersistError> {
 }
 
 // Shared record-section codecs -----------------------------------------
+
+fn validate_baseline_for_save(baseline: Option<&ModelBaseline>) -> Result<(), PersistError> {
+    let Some(b) = baseline else { return Ok(()) };
+    if b.score_counts.is_empty() || b.score_counts.len() as u64 > MAX_BASELINE_BUCKETS {
+        return Err(PersistError::InvalidModel("baseline bucket count out of range"));
+    }
+    if !(0.0..=1.0).contains(&b.threshold) || !(0.0..=1.0).contains(&b.anomaly_rate) {
+        return Err(PersistError::InvalidModel("baseline rates out of range"));
+    }
+    if b.score_counts.iter().sum::<u64>() != b.n {
+        return Err(PersistError::InvalidModel("baseline counts disagree with sample total"));
+    }
+    Ok(())
+}
 
 fn validate_scaler_for_save(scaler: &Standardizer) -> Result<(), PersistError> {
     if !scaler.means().iter().all(|m| m.is_finite()) {
@@ -594,6 +666,7 @@ mod tests {
         let bytes = save_to_vec(&m);
         let loaded = load(&bytes[..]).unwrap();
         assert_eq!(loaded.meta(), m.meta());
+        assert_eq!(loaded.baseline(), m.baseline());
         assert_eq!(loaded.standardizer(), m.standardizer());
         assert_eq!(loaded.model().calibration(), m.model().calibration());
         assert_eq!(loaded.model().config().hidden, m.model().config().hidden);
@@ -747,24 +820,125 @@ mod tests {
         assert!(wrong.to_string().contains("booster") && wrong.to_string().contains("teacher"));
     }
 
+    /// Strips the version-3 baseline section (presence byte + optional
+    /// payload, sitting just before the trailer) from a saved file —
+    /// used to synthesise the older layouts, which end at the ensemble.
+    fn strip_baseline_section(v3: &[u8]) -> Vec<u8> {
+        let body_end = v3.len() - TRAILER.len();
+        // present: u8 + n_buckets u64 + counts + threshold +
+        // anomaly_rate + n.
+        let section = 1 + 8 + 8 * uadb_telemetry::SCORE_BUCKETS + 8 + 8 + 8;
+        let start = body_end - section;
+        assert_eq!(v3[start], 1, "helper expects a baseline-bearing file");
+        let mut out = v3[..start].to_vec();
+        out.extend_from_slice(&TRAILER);
+        out
+    }
+
     #[test]
     fn legacy_v1_booster_files_still_load() {
         let m = tiny_model(16);
-        let v2 = save_to_vec(&m);
-        // Synthesise the version-1 layout: same payload, version field
-        // patched to 1, and no record byte (v1 predates it).
-        let mut v1 = Vec::with_capacity(v2.len() - 1);
-        v1.extend_from_slice(&v2[..4]);
+        let v3 = save_to_vec(&m);
+        // Synthesise the version-1 layout: version field patched to 1,
+        // no record byte, and no baseline section (both postdate v1).
+        let stripped = strip_baseline_section(&v3);
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&stripped[..4]);
         v1.extend_from_slice(&1u32.to_le_bytes());
-        v1.extend_from_slice(&v2[9..]);
+        v1.extend_from_slice(&stripped[9..]);
         let loaded = load(&v1[..]).unwrap();
         assert_eq!(loaded.meta(), m.meta());
+        assert!(loaded.baseline().is_none(), "v1 files carry no baseline");
         let probe = Matrix::zeros(3, m.input_dim());
         assert_eq!(loaded.score_rows(&probe).unwrap(), m.score_rows(&probe).unwrap());
-        // Re-saving a legacy file upgrades it to the current version.
+        // Re-saving a legacy file upgrades it to the current version —
+        // byte-for-byte the v3 layout with an absent-baseline marker in
+        // place of the baseline it never had.
         let mut resaved = Vec::new();
         save(&loaded, &mut resaved).unwrap();
-        assert_eq!(resaved, v2);
+        let mut expected = stripped[..stripped.len() - TRAILER.len()].to_vec();
+        expected.push(0); // baseline absent
+        expected.extend_from_slice(&TRAILER);
+        assert_eq!(resaved, expected);
+        assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), FORMAT_VERSION);
+    }
+
+    #[test]
+    fn v2_files_load_without_baseline_and_resave_upgrades() {
+        let m = tiny_model(18);
+        assert!(m.baseline().is_some());
+        let v3 = save_to_vec(&m);
+        // Synthesise the version-2 layout: record byte present, no
+        // baseline section, version field 2.
+        let mut v2 = strip_baseline_section(&v3);
+        v2[4..8].copy_from_slice(&2u32.to_le_bytes());
+        let loaded = load(&v2[..]).unwrap();
+        assert!(loaded.baseline().is_none(), "v2 files carry no baseline");
+        let probe = Matrix::zeros(3, m.input_dim());
+        assert_eq!(loaded.score_rows(&probe).unwrap(), m.score_rows(&probe).unwrap());
+        // Re-save upgrades the container version; the model still has
+        // no baseline (one can only be captured at training time).
+        let mut resaved = Vec::new();
+        save(&loaded, &mut resaved).unwrap();
+        assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), FORMAT_VERSION);
+        assert!(load(&resaved[..]).unwrap().baseline().is_none());
+    }
+
+    #[test]
+    fn v3_round_trips_baseline_bit_identically() {
+        let m = tiny_model(19);
+        let bytes = save_to_vec(&m);
+        let loaded = load(&bytes[..]).unwrap();
+        assert_eq!(loaded.baseline(), m.baseline());
+        assert!(loaded.baseline().is_some());
+        // save → load → save is byte-identical.
+        let mut again = Vec::new();
+        save(&loaded, &mut again).unwrap();
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn corrupt_baseline_sections_are_rejected() {
+        let m = tiny_model(20);
+        let bytes = save_to_vec(&m);
+        let presence_at = bytes.len()
+            - TRAILER.len()
+            - (1 + 8 + 8 * uadb_telemetry::SCORE_BUCKETS + 8 + 8 + 8);
+        assert_eq!(bytes[presence_at], 1);
+        // Absurd bucket count: corruption, not an allocation request.
+        let mut absurd = bytes.clone();
+        absurd[presence_at + 1..presence_at + 9].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            load(&absurd[..]),
+            Err(PersistError::Corrupt("baseline bucket count"))
+        ));
+        // Invalid presence byte.
+        let mut badflag = bytes.clone();
+        badflag[presence_at] = 7;
+        assert!(matches!(
+            load(&badflag[..]),
+            Err(PersistError::Corrupt("invalid baseline presence byte"))
+        ));
+        // A doctored anomaly rate outside [0, 1] is refused.
+        let rate_at = bytes.len() - TRAILER.len() - 16;
+        let mut badrate = bytes.clone();
+        badrate[rate_at..rate_at + 8].copy_from_slice(&2.5f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            load(&badrate[..]),
+            Err(PersistError::Corrupt("baseline rates out of range"))
+        ));
+        // And save refuses an in-memory baseline that would be rejected
+        // on load (mirror-validation contract).
+        let mut poisoned = m.clone();
+        let mut b = poisoned.baseline().unwrap().clone();
+        b.n += 1;
+        poisoned.set_baseline(Some(b));
+        let mut sink = Vec::new();
+        assert!(matches!(
+            save(&poisoned, &mut sink),
+            Err(PersistError::InvalidModel("baseline counts disagree with sample total"))
+        ));
+        assert!(sink.is_empty());
     }
 
     #[test]

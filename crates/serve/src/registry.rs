@@ -159,6 +159,16 @@ fn attach_validated(model: &mut ServedModel, teacher_path: &Path) -> Result<(), 
     model.attach_teacher(Arc::new(t)).map_err(|_| RegistryError::TeacherMismatch { expected, got })
 }
 
+/// Starts a fresh drift window for `name` from the model about to serve
+/// under it. Every entry mutation — insert, hot reload, teacher
+/// attach/detach — funnels through this, so streaming drift sketches
+/// never survive a model swap: the live window always describes traffic
+/// scored by the *current* weights against *their* training baseline.
+fn install_drift(name: &str, model: &ServedModel) {
+    let s = model.standardizer();
+    crate::telemetry::metrics().install_drift(name, s.means(), s.stds(), model.baseline());
+}
+
 /// Whether `name` can route in a URL path segment: non-empty, at most
 /// [`MAX_NAME_LEN`] bytes, only ASCII alphanumerics and `.`/`_`/`-`.
 pub fn is_valid_name(name: &str) -> bool {
@@ -254,6 +264,7 @@ impl ModelRegistry {
             "model registered",
             &[("model", name), ("teacher", teacher)],
         );
+        install_drift(name, &model);
         let pool = Arc::new(ScoringPool::new(model, pool_cfg.clone()));
         self.write_entries()
             .insert(name.to_string(), Entry { pool, source, teacher_source, pool_cfg });
@@ -337,6 +348,7 @@ impl ModelRegistry {
         teacher_source: Option<PathBuf>,
         pool_cfg: PoolConfig,
     ) -> Result<(), RegistryError> {
+        let drift_model = Arc::clone(&model);
         let pool = Arc::new(ScoringPool::new(model, pool_cfg.clone()));
         let attached = teacher_source.is_some();
         let mut entries = self.write_entries();
@@ -344,6 +356,9 @@ impl ModelRegistry {
             Some(entry) if Arc::ptr_eq(&entry.pool, seen_pool) => {
                 *entry = Entry { pool, source, teacher_source, pool_cfg };
                 drop(entries);
+                // Only after the swap actually lands: an aborted swap
+                // must not reset the serving model's drift window.
+                install_drift(name, &drift_model);
                 let action = if attached { "teacher attached" } else { "teacher detached" };
                 logger().log(Level::Info, "registry", action, &[("model", name)]);
                 Ok(())
@@ -397,6 +412,7 @@ impl ModelRegistry {
         // Load and spin up the replacement outside any lock; a teacher
         // snapshot, when the entry serves one, is re-read alongside.
         let model = Arc::new(load_pair(&resolved, teacher_source.as_deref())?);
+        let drift_model = Arc::clone(&model);
         let pool = Arc::new(ScoringPool::new(model, pool_cfg.clone()));
         let mut entries = self.write_entries();
         match entries.get_mut(name) {
@@ -416,6 +432,7 @@ impl ModelRegistry {
             }
         }
         drop(entries);
+        install_drift(name, &drift_model);
         logger().log(Level::Info, "registry", "model reloaded", &[("model", name)]);
         Ok(())
     }

@@ -14,12 +14,14 @@
 //! share one registry, so tests assert presence and monotonicity, not
 //! exact counts.
 
-use crate::model::{ScoreError, Variant};
+use crate::model::{ModelBaseline, ScoreError, Variant};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+use uadb_linalg::Matrix;
 use uadb_telemetry::{
-    now_ns, Counter, DecayStat, FloatGauge, Gauge, Histogram, HistogramSnapshot, Registry, SlowRing,
+    now_ns, Counter, DecayStat, FeatureStats, FloatGauge, Gauge, Histogram, HistogramSnapshot,
+    Registry, ScoreSketch, SketchSnapshot, SlowRing,
 };
 
 /// Stages of a request's life, in order. Each gets its own latency
@@ -157,6 +159,187 @@ pub struct ShardStats {
     pub events: Arc<Counter>,
 }
 
+/// Row-sampling cap for the per-feature drift accumulators: at most
+/// this many rows of a batch feed [`FeatureStats`] (uniform stride, so
+/// the mean estimate is unbiased). Score-sketch recording covers every
+/// row — it is two relaxed `fetch_add`s — but feature recording costs
+/// a CAS pair per feature per row, and the scoring hot path must stay
+/// within its bench budget at the 8192-row batch.
+const FEATURE_SAMPLE_CAP: usize = 64;
+
+/// The drift gauges for one model name. Registered once per name and
+/// kept across model swaps (like the request counters): the *series*
+/// is a property of the name, the *window* behind it is not.
+#[derive(Debug)]
+struct DriftGauges {
+    psi: Arc<FloatGauge>,
+    feature_max: Arc<FloatGauge>,
+    anomaly_live: Arc<FloatGauge>,
+    anomaly_train: Arc<FloatGauge>,
+}
+
+/// Live drift window for one served model: the score sketch and
+/// per-feature accumulators fed from scoring batches, the per-model
+/// teacher/booster divergence, and the frozen train-time reference it
+/// is all compared against.
+///
+/// An instance is **immutable in shape** once installed — a model swap
+/// (`/admin/reload`, teacher attach/detach) installs a *fresh* one so
+/// the new model never inherits the old model's window (in-flight
+/// requests may still record into the discarded instance; those rows
+/// vanish with it, which is exactly the reset semantics).
+#[derive(Debug)]
+pub struct ModelDrift {
+    name: Arc<str>,
+    live: ScoreSketch,
+    features: FeatureStats,
+    divergence: DecayStat,
+    baseline: Option<ModelBaseline>,
+    train_means: Vec<f64>,
+    train_stds: Vec<f64>,
+    window_start_ns: u64,
+}
+
+/// Everything the drift scorer derives from one model's window — feeds
+/// both the gauge refresh and the `/admin/drift` JSON.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    pub name: Arc<str>,
+    /// PSI of the live score distribution against the baseline; `None`
+    /// when the model has no baseline or the window is empty.
+    pub psi: Option<f64>,
+    pub live_samples: u64,
+    pub baseline_samples: Option<u64>,
+    /// Live / train anomaly rate at `threshold` (train `None` without
+    /// a baseline).
+    pub live_anomaly_rate: f64,
+    pub train_anomaly_rate: Option<f64>,
+    pub threshold: f64,
+    /// Live / baseline score quantiles at p50/p90/p99.
+    pub live_quantiles: [f64; 3],
+    pub baseline_quantiles: Option<[f64; 3]>,
+    /// Per-feature standardized mean shift:
+    /// `|live_mean_j − train_mean_j| / train_std_j`.
+    pub feature_shifts: Vec<f64>,
+    pub live_means: Vec<f64>,
+    pub train_means: Vec<f64>,
+    pub train_stds: Vec<f64>,
+    /// Rows sampled into the feature accumulators this window.
+    pub feature_rows: u64,
+    pub feature_max: f64,
+    pub feature_argmax: Option<usize>,
+    /// Per-model decayed teacher/booster divergence (mean, max, n).
+    pub divergence: (f64, f64, u64),
+    pub window_age_seconds: f64,
+}
+
+impl ModelDrift {
+    fn new(
+        name: Arc<str>,
+        means: &[f64],
+        stds: &[f64],
+        baseline: Option<&ModelBaseline>,
+    ) -> Self {
+        Self {
+            name,
+            live: ScoreSketch::new(),
+            features: FeatureStats::new(means.len()),
+            // Same ~500-sample effective window as the process-global
+            // divergence estimate.
+            divergence: DecayStat::new(0.002),
+            baseline: baseline.cloned(),
+            train_means: means.to_vec(),
+            train_stds: stds.to_vec(),
+            window_start_ns: now_ns(),
+        }
+    }
+
+    /// The model name this window belongs to.
+    pub fn name(&self) -> &Arc<str> {
+        &self.name
+    }
+
+    /// Folds a batch of calibrated **booster** scores into the live
+    /// sketch (teacher-variant scores are not comparable to the
+    /// booster's training baseline and must not be recorded).
+    // audit: no_alloc
+    pub fn record_scores(&self, scores: &[f64]) {
+        self.live.record_batch(scores);
+    }
+
+    /// Samples raw request rows into the per-feature accumulators at a
+    /// uniform stride capped at [`FEATURE_SAMPLE_CAP`] rows per batch.
+    // audit: no_alloc
+    pub fn record_rows(&self, batch: &Matrix) {
+        let rows = batch.rows();
+        if rows == 0 || batch.cols() != self.features.dim() {
+            return;
+        }
+        let stride = rows.div_ceil(FEATURE_SAMPLE_CAP).max(1);
+        let mut r = 0;
+        while r < rows {
+            self.features.record_row(batch.row(r));
+            r += stride;
+        }
+    }
+
+    /// Folds one A/B response's paired scores into this model's
+    /// divergence estimate.
+    pub fn observe_divergence(&self, mean_abs: f64, max_abs: f64, n: usize) {
+        self.divergence.observe_batch(mean_abs, max_abs, n);
+    }
+
+    /// Computes the full drift report for this window.
+    pub fn report(&self) -> DriftReport {
+        let live = self.live.snapshot();
+        let live_samples = live.total();
+        let threshold =
+            self.baseline.as_ref().map_or(ModelBaseline::DEFAULT_THRESHOLD, |b| b.threshold);
+        let baseline_snap = self.baseline.as_ref().map(|b| b.snapshot());
+        let psi = match &baseline_snap {
+            Some(b) if live_samples > 0 => Some(live.psi(b)),
+            _ => None,
+        };
+        let quantiles = |s: &SketchSnapshot| [s.quantile(0.5), s.quantile(0.9), s.quantile(0.99)];
+        let feats = self.features.snapshot();
+        let mut feature_shifts = Vec::with_capacity(self.train_means.len());
+        let mut feature_max = 0.0f64;
+        let mut feature_argmax = None;
+        for j in 0..self.train_means.len() {
+            let shift = if feats.rows == 0 || self.train_stds[j] <= 0.0 {
+                0.0
+            } else {
+                (feats.means[j] - self.train_means[j]).abs() / self.train_stds[j]
+            };
+            if shift > feature_max {
+                feature_max = shift;
+                feature_argmax = Some(j);
+            }
+            feature_shifts.push(shift);
+        }
+        DriftReport {
+            name: Arc::clone(&self.name),
+            psi,
+            live_samples,
+            baseline_samples: self.baseline.as_ref().map(|b| b.n),
+            live_anomaly_rate: live.fraction_at_or_above(threshold),
+            train_anomaly_rate: self.baseline.as_ref().map(|b| b.anomaly_rate),
+            threshold,
+            live_quantiles: quantiles(&live),
+            baseline_quantiles: baseline_snap.as_ref().map(|b| quantiles(b)),
+            feature_shifts,
+            live_means: feats.means,
+            train_means: self.train_means.clone(),
+            train_stds: self.train_stds.clone(),
+            feature_rows: feats.rows,
+            feature_max,
+            feature_argmax,
+            divergence: (self.divergence.mean(), self.divergence.max(), self.divergence.samples()),
+            window_age_seconds: now_ns().saturating_sub(self.window_start_ns) as f64 / 1e9,
+        }
+    }
+}
+
 /// One captured slow request, served by `GET /admin/slow`.
 #[derive(Debug, Clone)]
 pub struct SlowEntry {
@@ -279,6 +462,17 @@ pub struct ServeMetrics {
 
     model_stats: RwLock<BTreeMap<String, Arc<ModelStats>>>,
     shard_stats: RwLock<BTreeMap<usize, Arc<ShardStats>>>,
+    /// Live drift windows by model name — entries are *replaced* on
+    /// model swap (unlike `model_stats`, which deliberately survives).
+    drift: RwLock<BTreeMap<String, Arc<ModelDrift>>>,
+    /// Drift gauge series by model name — these do survive swaps, the
+    /// refreshed values just come from whichever window is installed.
+    drift_gauges: RwLock<BTreeMap<String, DriftGauges>>,
+    /// PSI warn threshold (`--drift-warn-psi`) as `f64` bits;
+    /// `+inf` disables the warning.
+    drift_warn_psi_bits: AtomicU64,
+    pub train_epochs: Arc<Counter>,
+    train_loss: RwLock<BTreeMap<String, Arc<FloatGauge>>>,
     slow_ring: SlowRing<SlowEntry>,
     slow_threshold_ns: AtomicU64,
 }
@@ -368,6 +562,12 @@ impl ServeMetrics {
             &[],
         );
 
+        let train_epochs = registry.counter(
+            "uadb_train_epochs_total",
+            "Booster training epochs completed in this process.",
+            &[],
+        );
+
         Self {
             registry,
             stage_hist,
@@ -391,6 +591,11 @@ impl ServeMetrics {
             div_samples,
             model_stats: RwLock::new(BTreeMap::new()),
             shard_stats: RwLock::new(BTreeMap::new()),
+            drift: RwLock::new(BTreeMap::new()),
+            drift_gauges: RwLock::new(BTreeMap::new()),
+            drift_warn_psi_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            train_epochs,
+            train_loss: RwLock::new(BTreeMap::new()),
             slow_ring: SlowRing::new(SLOW_RING_CAP),
             slow_threshold_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_NS),
         }
@@ -483,12 +688,146 @@ impl ServeMetrics {
         stats
     }
 
+    /// Installs a **fresh** drift window for `name`, replacing any
+    /// existing one: called whenever a model is registered, reloaded,
+    /// or has its teacher attached/detached, so streaming stats never
+    /// leak across model swaps. The gauge series for the name are
+    /// registered on first sight and survive swaps.
+    pub fn install_drift(
+        &self,
+        name: &str,
+        means: &[f64],
+        stds: &[f64],
+        baseline: Option<&ModelBaseline>,
+    ) -> Arc<ModelDrift> {
+        {
+            let mut gauges = self.drift_gauges.write().unwrap();
+            gauges.entry(name.to_string()).or_insert_with(|| {
+                let labels = [("model", name)];
+                DriftGauges {
+                    psi: self.registry.float_gauge(
+                        "uadb_score_drift_psi",
+                        "PSI of the live calibrated score distribution vs. the training baseline.",
+                        &labels,
+                    ),
+                    feature_max: self.registry.float_gauge(
+                        "uadb_feature_drift_max",
+                        "Max standardized per-feature mean shift of live traffic vs. training.",
+                        &labels,
+                    ),
+                    anomaly_live: self.registry.float_gauge(
+                        "uadb_anomaly_rate",
+                        "Fraction of scores at or above the anomaly threshold, by window.",
+                        &[("model", name), ("window", "live")],
+                    ),
+                    anomaly_train: self.registry.float_gauge(
+                        "uadb_anomaly_rate",
+                        "Fraction of scores at or above the anomaly threshold, by window.",
+                        &[("model", name), ("window", "train")],
+                    ),
+                }
+            });
+        }
+        let drift = Arc::new(ModelDrift::new(Arc::from(name), means, stds, baseline));
+        self.drift.write().unwrap().insert(name.to_string(), Arc::clone(&drift));
+        // A fresh window means the last-refreshed gauge values are
+        // stale; re-derive them now rather than at the next scrape.
+        self.refresh_drift_gauges();
+        drift
+    }
+
+    /// The installed drift window for `name`, if any.
+    pub fn drift(&self, name: &str) -> Option<Arc<ModelDrift>> {
+        self.drift.read().unwrap().get(name).map(Arc::clone)
+    }
+
+    /// Starts a fresh drift window for `name` (same baseline, empty
+    /// sketches) — the `/admin/drift/{name}/reset` operation. Returns
+    /// `false` when no window is installed under that name.
+    pub fn reset_drift(&self, name: &str) -> bool {
+        let Some(old) = self.drift(name) else { return false };
+        self.install_drift(name, &old.train_means, &old.train_stds, old.baseline.as_ref());
+        true
+    }
+
+    /// Drift reports for every installed window, by name.
+    pub fn drift_reports(&self) -> Vec<DriftReport> {
+        let windows: Vec<Arc<ModelDrift>> =
+            self.drift.read().unwrap().values().map(Arc::clone).collect();
+        windows.iter().map(|d| d.report()).collect()
+    }
+
+    /// Recomputes every model's drift signals and pushes them into the
+    /// exported gauges — called on scrape, so gauge values are current
+    /// as of the request that reads them. Emits the rate-limited
+    /// `--drift-warn-psi` warning for any model over the threshold.
+    pub fn refresh_drift_gauges(&self) {
+        let warn_at = f64::from_bits(self.drift_warn_psi_bits.load(Ordering::Relaxed));
+        for report in self.drift_reports() {
+            let gauges = self.drift_gauges.read().unwrap();
+            let Some(g) = gauges.get(report.name.as_ref()) else { continue };
+            let psi = report.psi.unwrap_or(0.0);
+            g.psi.set(psi);
+            g.feature_max.set(report.feature_max);
+            g.anomaly_live.set(report.live_anomaly_rate);
+            g.anomaly_train.set(report.train_anomaly_rate.unwrap_or(0.0));
+            drop(gauges);
+            if psi > warn_at {
+                let psi_s = format!("{psi:.4}");
+                let warn_s = format!("{warn_at:.4}");
+                let samples = report.live_samples.to_string();
+                uadb_telemetry::log::logger().log(
+                    uadb_telemetry::Level::Warn,
+                    "drift",
+                    "live score distribution drifted past the PSI threshold",
+                    &[
+                        ("model", &report.name),
+                        ("psi", &psi_s),
+                        ("threshold", &warn_s),
+                        ("live_samples", &samples),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Sets the PSI warn threshold (`--drift-warn-psi`).
+    pub fn set_drift_warn_psi(&self, threshold: f64) {
+        self.drift_warn_psi_bits.store(threshold.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Registers (on first sight) and returns the per-model last-loss
+    /// gauge, and bumps nothing — pair with [`ServeMetrics::train_epochs`].
+    pub fn train_loss_gauge(&self, model: &str) -> Arc<FloatGauge> {
+        if let Some(g) = self.train_loss.read().unwrap().get(model) {
+            return Arc::clone(g);
+        }
+        let mut map = self.train_loss.write().unwrap();
+        if let Some(g) = map.get(model) {
+            return Arc::clone(g);
+        }
+        let g = self.registry.float_gauge(
+            "uadb_train_last_loss",
+            "Mean training loss of the most recent completed epoch, by model.",
+            &[("model", model)],
+        );
+        map.insert(model.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Records one completed training epoch: bumps the process epoch
+    /// counter and refreshes the per-model last-loss gauge.
+    pub fn observe_train_epoch(&self, model: &str, loss: f64) {
+        self.train_epochs.inc();
+        self.train_loss_gauge(model).set(loss);
+    }
+
     /// Folds one A/B response's paired scores into the streaming
     /// divergence estimate and refreshes the exported gauges.
-    pub fn observe_divergence(&self, booster: &[f64], teacher: &[f64]) {
+    pub fn observe_divergence(&self, booster: &[f64], teacher: &[f64]) -> Option<(f64, f64, usize)> {
         let n = booster.len().min(teacher.len());
         if n == 0 {
-            return;
+            return None;
         }
         let mut sum = 0.0f64;
         let mut max = 0.0f64;
@@ -503,6 +842,9 @@ impl ServeMetrics {
         self.div_mean.set(self.divergence.mean());
         self.div_max.set(self.divergence.max());
         self.div_samples.add(n as u64);
+        // The per-batch stats are returned so callers can fan the same
+        // pair into a per-model divergence window without re-scanning.
+        Some((sum / n as f64, max, n))
     }
 
     /// Current decayed (mean |Δ|, max |Δ|, samples) divergence view.
@@ -653,6 +995,74 @@ mod tests {
         assert_eq!(entry.status, 200);
         assert_eq!(entry.stages[Stage::Score as usize], 2_000);
         assert_eq!(entry.model.as_deref(), Some("slow-model"));
+    }
+
+    #[test]
+    fn drift_window_tracks_shift_and_resets_clean() {
+        let m = metrics();
+        // Baseline: scores clustered low, feature means at 0 with unit std.
+        let train_scores: Vec<f64> = (0..200).map(|i| 0.1 + (i % 10) as f64 * 0.02).collect();
+        let baseline = ModelBaseline::from_scores(&train_scores);
+        let d = m.install_drift("drift-test-model", &[0.0, 0.0], &[1.0, 1.0], Some(&baseline));
+
+        // Live traffic: scores shifted high, feature 0 shifted by +5σ.
+        let live: Vec<f64> = (0..200).map(|i| 0.8 + (i % 10) as f64 * 0.01).collect();
+        d.record_scores(&live);
+        let rows: Vec<Vec<f64>> = (0..32).map(|_| vec![5.0, 0.0]).collect();
+        d.record_rows(&Matrix::from_rows(&rows).unwrap());
+
+        let report = d.report();
+        assert_eq!(report.live_samples, 200);
+        assert!(report.psi.unwrap() > 0.25, "shifted scores must exceed the PSI alert band");
+        assert!(report.live_anomaly_rate > 0.9);
+        assert_eq!(report.feature_argmax, Some(0));
+        assert!((report.feature_max - 5.0).abs() < 1e-9);
+
+        m.refresh_drift_gauges();
+        let text = m.render();
+        assert!(text.contains("uadb_score_drift_psi{model=\"drift-test-model\"}"));
+        assert!(text.contains("uadb_feature_drift_max{model=\"drift-test-model\"} 5"));
+        assert!(text.contains("uadb_anomaly_rate{model=\"drift-test-model\",window=\"live\"}"));
+        assert!(text.contains("uadb_anomaly_rate{model=\"drift-test-model\",window=\"train\"}"));
+
+        // Reset: fresh window, same baseline, handle map re-pointed.
+        assert!(m.reset_drift("drift-test-model"));
+        let fresh = m.drift("drift-test-model").unwrap();
+        assert!(!Arc::ptr_eq(&d, &fresh));
+        let report = fresh.report();
+        assert_eq!(report.live_samples, 0);
+        assert_eq!(report.feature_rows, 0);
+        assert!(report.psi.is_none(), "empty window has no PSI yet");
+        assert_eq!(report.baseline_samples, Some(200));
+        assert!(!m.reset_drift("no-such-model"));
+    }
+
+    #[test]
+    fn install_drift_replaces_window_but_keeps_gauge_series() {
+        let m = metrics();
+        let a = m.install_drift("drift-swap-model", &[0.0], &[1.0], None);
+        a.record_scores(&[0.9; 50]);
+        // Simulate /admin/reload: a new model install starts a clean window.
+        let b = m.install_drift("drift-swap-model", &[1.0], &[2.0], None);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(b.report().live_samples, 0);
+        // No baseline → PSI gauge reads 0, not stale pre-swap data.
+        m.refresh_drift_gauges();
+        assert!(m.render().contains("uadb_score_drift_psi{model=\"drift-swap-model\"} 0"));
+    }
+
+    #[test]
+    fn train_epoch_observations_feed_counter_and_loss_gauge() {
+        let m = metrics();
+        let before = m.train_epochs.get();
+        m.observe_train_epoch("train-obs-model", 0.75);
+        m.observe_train_epoch("train-obs-model", 0.5);
+        assert_eq!(m.train_epochs.get(), before + 2);
+        let text = m.render();
+        assert!(text.contains("uadb_train_last_loss{model=\"train-obs-model\"} 0.5"));
+        assert!(text.contains("# TYPE uadb_train_epochs_total counter"));
+        // Gauge registration is idempotent per model name.
+        assert!(Arc::ptr_eq(&m.train_loss_gauge("train-obs-model"), &m.train_loss_gauge("train-obs-model")));
     }
 
     #[test]

@@ -11,9 +11,11 @@ use std::collections::BTreeSet;
 
 // audit: metrics-inventory begin
 const INVENTORY: &[&str] = &[
+    "uadb_anomaly_rate",
     "uadb_divergence_max_abs",
     "uadb_divergence_mean_abs",
     "uadb_divergence_samples_total",
+    "uadb_feature_drift_max",
     "uadb_gemm_calls_total",
     "uadb_gemm_packs_built_total",
     "uadb_gemm_packs_reused_total",
@@ -34,7 +36,10 @@ const INVENTORY: &[&str] = &[
     "uadb_reactor_accepted_total",
     "uadb_reactor_events_total",
     "uadb_request_duration_seconds",
+    "uadb_score_drift_psi",
     "uadb_stage_duration_seconds",
+    "uadb_train_epochs_total",
+    "uadb_train_last_loss",
 ];
 // audit: metrics-inventory end
 
@@ -54,6 +59,8 @@ fn exposition_matches_inventory_exactly() {
     // serving process would.
     let _ = m.model_stats("inventory-probe");
     let _ = m.shard_stats(0);
+    let _ = m.install_drift("inventory-probe", &[0.0], &[1.0], None);
+    let _ = m.train_loss_gauge("inventory-probe");
     let exposed = exposed_families(&m.render());
     let want: BTreeSet<String> = INVENTORY.iter().map(|s| s.to_string()).collect();
 

@@ -97,3 +97,33 @@ fn golden_fixtures_load_bit_exactly_and_reencode_canonically() {
     persist::save_teacher(&teacher, &mut teacher_again).unwrap();
     assert_eq!(teacher_again, teacher_bytes, "teacher re-encode drifted from fixture");
 }
+
+/// The version-2 fixtures (checked in before the v3 baseline section
+/// existed) must keep loading forever: they are the committed proof
+/// that old production files survive the format bump. A v2 booster has
+/// no baseline; re-saving upgrades the container to the current
+/// version.
+#[test]
+fn golden_v2_fixtures_still_load() {
+    let dir = golden_dir();
+    let booster_bytes = std::fs::read(dir.join("booster_v2.uadb"))
+        .expect("tests/golden/booster_v2.uadb is a frozen legacy fixture; never regenerate it");
+    let teacher_bytes = std::fs::read(dir.join("teacher_v2.uadb"))
+        .expect("tests/golden/teacher_v2.uadb is a frozen legacy fixture; never regenerate it");
+    assert_eq!(u32::from_le_bytes(booster_bytes[4..8].try_into().unwrap()), 2);
+
+    let served = persist::load(&booster_bytes[..]).unwrap();
+    assert_eq!(served.meta().dataset, "golden");
+    assert_eq!(served.meta().n_train, 30);
+    assert!(served.baseline().is_none(), "v2 files carry no model-quality baseline");
+    let teacher = persist::load_teacher(&teacher_bytes[..]).unwrap();
+    assert_eq!(teacher.kind(), DetectorKind::Hbos);
+
+    // Re-save upgrades to the current container version and loads back.
+    let mut upgraded = Vec::new();
+    persist::save(&served, &mut upgraded).unwrap();
+    assert_eq!(u32::from_le_bytes(upgraded[4..8].try_into().unwrap()), persist::FORMAT_VERSION);
+    let reloaded = persist::load(&upgraded[..]).unwrap();
+    assert_eq!(reloaded.meta(), served.meta());
+    assert!(reloaded.baseline().is_none());
+}

@@ -11,6 +11,10 @@
 //!   renders the Prometheus text exposition format.
 //! - [`stream`]: a streaming exponential-decay estimator
 //!   ([`DecayStat`]) for the teacher/booster divergence signal.
+//! - [`sketch`]: model-quality sketches — a fixed-bucket calibrated
+//!   score distribution ([`ScoreSketch`]) and per-feature streaming
+//!   moments ([`FeatureStats`]) — backing PSI and feature-shift drift
+//!   signals against a training-time baseline.
 //! - [`ring`]: a bounded ring buffer ([`SlowRing`]) for slow-request
 //!   capture (locks only on the already-slow path).
 //! - [`log`]: a leveled, rate-limited stderr logger with an optional
@@ -28,6 +32,7 @@ pub mod log;
 pub mod metrics;
 pub mod registry;
 pub mod ring;
+pub mod sketch;
 pub mod stream;
 pub mod trace;
 
@@ -36,5 +41,6 @@ pub use log::{Level, Logger};
 pub use metrics::{Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot};
 pub use registry::Registry;
 pub use ring::SlowRing;
+pub use sketch::{FeatureSnapshot, FeatureStats, ScoreSketch, SketchSnapshot, SCORE_BUCKETS};
 pub use stream::DecayStat;
 pub use trace::next_trace_id;

@@ -1,0 +1,412 @@
+//! Lock-free model-quality sketches.
+//!
+//! Two primitives back the drift plane, both writable from pool workers
+//! without allocation or locks:
+//!
+//! - [`ScoreSketch`]: a fixed-bucket distribution sketch over the
+//!   calibrated score space `[0, 1]`. Bucket edges are uniform, so the
+//!   record path is one multiply + clamp + two relaxed `fetch_add`s —
+//!   no binary search. Snapshots feed PSI (population stability index)
+//!   computations against a training-time baseline.
+//! - [`FeatureStats`]: per-feature streaming first/second moments
+//!   (Σx, Σx²) maintained by CAS-over-`f64`-bits, the same discipline
+//!   as [`FloatGauge`](crate::metrics::FloatGauge) and
+//!   [`DecayStat`](crate::stream::DecayStat). Each add is a CAS loop,
+//!   so sums are exact up to floating-point commutativity; the derived
+//!   mean/variance back the standardized per-feature shift signal.
+//!
+//! Readers are snapshot-based and never block writers; `reset` is a
+//! plain relaxed store per cell (a racing record may land on either
+//! side of the window boundary, which is fine for a drift window).
+
+use crate::stream::cas_f64;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of uniform buckets a [`ScoreSketch`] divides `[0, 1]` into.
+///
+/// 20 buckets of width 0.05 is the conventional PSI resolution: fine
+/// enough that a shifted score pile-up moves mass across several edges,
+/// coarse enough that a few thousand live samples populate every bucket
+/// a healthy distribution touches. The anomaly threshold 0.5 falls
+/// exactly on a bucket edge, so threshold rates are exact.
+pub const SCORE_BUCKETS: usize = 20;
+
+/// Lock-free fixed-bucket sketch of a calibrated score distribution.
+///
+/// Scores are clamped into `[0, 1]` (calibration already maps there;
+/// the clamp only defends against numerical spill) and counted into
+/// `SCORE_BUCKETS` uniform buckets. All updates are relaxed atomics:
+/// buckets are independent counters and the total is advisory, so no
+/// ordering between cells is required.
+#[derive(Debug)]
+pub struct ScoreSketch {
+    buckets: [AtomicU64; SCORE_BUCKETS],
+    count: AtomicU64,
+}
+
+impl Default for ScoreSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScoreSketch {
+    pub fn new() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)), count: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    fn bucket_index(score: f64) -> usize {
+        // `as usize` saturates: negative → 0, > B → clamped below.
+        ((score * SCORE_BUCKETS as f64) as usize).min(SCORE_BUCKETS - 1)
+    }
+
+    /// Fold one calibrated score into the sketch.
+    ///
+    /// Non-finite scores are dropped rather than polluting an edge
+    /// bucket — a NaN score is a scoring bug, not a distribution shift.
+    // audit: no_alloc
+    // audit: no_panic
+    pub fn record(&self, score: f64) {
+        if !score.is_finite() {
+            return;
+        }
+        self.buckets[Self::bucket_index(score)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold a batch of scores with a single shared total update.
+    // audit: no_alloc
+    // audit: no_panic
+    pub fn record_batch(&self, scores: &[f64]) {
+        let mut n = 0u64;
+        for &s in scores {
+            if !s.is_finite() {
+                continue;
+            }
+            self.buckets[Self::bucket_index(s)].fetch_add(1, Ordering::Relaxed);
+            n += 1;
+        }
+        if n > 0 {
+            self.count.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the bucket counts.
+    ///
+    /// Buckets are read independently, so a snapshot taken while
+    /// writers race may be off by the in-flight samples — exact
+    /// consistency returns once writers quiesce, which is all a scrape
+    /// needs.
+    pub fn snapshot(&self) -> SketchSnapshot {
+        let counts = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        SketchSnapshot { counts }
+    }
+
+    /// Zero every bucket, starting a fresh drift window.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable bucket counts over uniform `[0, 1]` score buckets —
+/// either a [`ScoreSketch`] snapshot or a persisted training baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchSnapshot {
+    /// Per-bucket sample counts; bucket `i` covers
+    /// `[i/B, (i+1)/B)` with the last bucket closed at 1.
+    pub counts: Vec<u64>,
+}
+
+/// Proportion floor used when computing PSI, so an empty bucket on one
+/// side contributes a large-but-finite term instead of ±∞.
+const PSI_FLOOR: f64 = 1e-4;
+
+impl SketchSnapshot {
+    /// Wrap persisted baseline counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Self { counts }
+    }
+
+    /// Total samples across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of samples in buckets whose lower edge is ≥ `threshold`
+    /// — exact when the threshold lies on a bucket edge (the anomaly
+    /// threshold 0.5 does).
+    pub fn fraction_at_or_above(&self, threshold: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let b = self.counts.len() as f64;
+        let above: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i as f64 / b >= threshold - 1e-12)
+            .map(|(_, &c)| c)
+            .sum();
+        above as f64 / total as f64
+    }
+
+    /// Approximate quantile by linear interpolation within the bucket
+    /// containing the `q`-th sample. Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.total();
+        if total == 0 || self.counts.is_empty() {
+            return 0.0;
+        }
+        let width = 1.0 / self.counts.len() as f64;
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                let within = ((target - cum) / c as f64).clamp(0.0, 1.0);
+                return (i as f64 + within) * width;
+            }
+            cum = next;
+        }
+        1.0
+    }
+
+    /// Population stability index of this (live) distribution against a
+    /// `baseline`: `Σ (pᵢ − qᵢ)·ln(pᵢ/qᵢ)` over matched buckets, with
+    /// proportions floored at `1e-4`. Conventional reading: < 0.1
+    /// stable, 0.1–0.25 moderate shift, > 0.25 significant shift.
+    /// Returns 0 when either side is empty (no evidence is not drift).
+    pub fn psi(&self, baseline: &SketchSnapshot) -> f64 {
+        let (lt, bt) = (self.total(), baseline.total());
+        if lt == 0 || bt == 0 {
+            return 0.0;
+        }
+        let mut psi = 0.0;
+        for (&lc, &bc) in self.counts.iter().zip(&baseline.counts) {
+            let p = (lc as f64 / lt as f64).max(PSI_FLOOR);
+            let q = (bc as f64 / bt as f64).max(PSI_FLOOR);
+            psi += (p - q) * (p / q).ln();
+        }
+        psi
+    }
+}
+
+/// Per-feature streaming moments over raw (pre-standardization) rows.
+///
+/// Holds Σx and Σx² per feature as CAS-maintained `f64` bits plus a
+/// shared row count. Exact under concurrency up to floating-point
+/// commutativity (each add retries until it lands).
+#[derive(Debug)]
+pub struct FeatureStats {
+    rows: AtomicU64,
+    sums: Box<[AtomicU64]>,
+    sumsqs: Box<[AtomicU64]>,
+}
+
+impl FeatureStats {
+    pub fn new(dim: usize) -> Self {
+        Self {
+            rows: AtomicU64::new(0),
+            sums: (0..dim).map(|_| AtomicU64::new(0)).collect(),
+            sumsqs: (0..dim).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Rows folded in since construction or the last reset.
+    pub fn rows(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Fold one raw feature row in. Rows of the wrong width are dropped
+    /// whole (a dimension mismatch is a caller bug, not a sample);
+    /// non-finite cells are skipped but the row still counts.
+    // audit: no_alloc
+    // audit: no_panic
+    pub fn record_row(&self, row: &[f64]) {
+        if row.len() != self.sums.len() {
+            return;
+        }
+        self.rows.fetch_add(1, Ordering::Relaxed);
+        for (j, &x) in row.iter().enumerate() {
+            if !x.is_finite() {
+                continue;
+            }
+            cas_f64(&self.sums[j], |c| c + x);
+            cas_f64(&self.sumsqs[j], |c| c + x * x);
+        }
+    }
+
+    /// Point-in-time per-feature means and (population) variances.
+    pub fn snapshot(&self) -> FeatureSnapshot {
+        let n = self.rows.load(Ordering::Relaxed);
+        let dim = self.sums.len();
+        let mut means = vec![0.0; dim];
+        let mut vars = vec![0.0; dim];
+        if n > 0 {
+            for j in 0..dim {
+                let s = f64::from_bits(self.sums[j].load(Ordering::Relaxed));
+                let ss = f64::from_bits(self.sumsqs[j].load(Ordering::Relaxed));
+                let m = s / n as f64;
+                means[j] = m;
+                vars[j] = (ss / n as f64 - m * m).max(0.0);
+            }
+        }
+        FeatureSnapshot { rows: n, means, vars }
+    }
+
+    /// Zero all accumulators, starting a fresh window.
+    pub fn reset(&self) {
+        self.rows.store(0, Ordering::Relaxed);
+        for j in 0..self.sums.len() {
+            self.sums[j].store(0, Ordering::Relaxed);
+            self.sumsqs[j].store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time view of a [`FeatureStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureSnapshot {
+    pub rows: u64,
+    pub means: Vec<f64>,
+    pub vars: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_land_in_expected_buckets() {
+        let s = ScoreSketch::new();
+        s.record(0.0); // bucket 0
+        s.record(0.049); // bucket 0
+        s.record(0.05); // bucket 1
+        s.record(0.5); // bucket 10
+        s.record(1.0); // clamped into last bucket
+        s.record(1.7); // clamped into last bucket
+        s.record(-0.3); // clamped into bucket 0
+        s.record(f64::NAN); // dropped
+        let snap = s.snapshot();
+        assert_eq!(snap.counts[0], 3);
+        assert_eq!(snap.counts[1], 1);
+        assert_eq!(snap.counts[10], 1);
+        assert_eq!(snap.counts[SCORE_BUCKETS - 1], 2);
+        assert_eq!(s.samples(), 7);
+        assert_eq!(snap.total(), 7);
+    }
+
+    #[test]
+    fn record_batch_matches_singles() {
+        let a = ScoreSketch::new();
+        let b = ScoreSketch::new();
+        let scores: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        a.record_batch(&scores);
+        for &x in &scores {
+            b.record(x);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn reset_clears_window() {
+        let s = ScoreSketch::new();
+        s.record_batch(&[0.1, 0.9, 0.5]);
+        s.reset();
+        assert_eq!(s.samples(), 0);
+        assert_eq!(s.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn anomaly_fraction_exact_at_bucket_edge() {
+        let s = ScoreSketch::new();
+        for _ in 0..3 {
+            s.record(0.2);
+        }
+        s.record(0.5);
+        s.record(0.9);
+        let snap = s.snapshot();
+        assert!((snap.fraction_at_or_above(0.5) - 0.4).abs() < 1e-12);
+        assert!((snap.fraction_at_or_above(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = ScoreSketch::new();
+        // 100 samples uniform over [0, 1): quantiles ≈ identity.
+        for i in 0..100 {
+            s.record(i as f64 / 100.0 + 0.005);
+        }
+        let snap = s.snapshot();
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert!((snap.quantile(q) - q).abs() < 0.06, "q={q} got {}", snap.quantile(q));
+        }
+        assert_eq!(SketchSnapshot::from_counts(vec![0; SCORE_BUCKETS]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn psi_zero_for_identical_and_large_for_shifted() {
+        let a = ScoreSketch::new();
+        let b = ScoreSketch::new();
+        for i in 0..1000 {
+            let x = (i % 100) as f64 / 100.0;
+            a.record(x);
+            b.record(x);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert!(sa.psi(&sb).abs() < 1e-12);
+
+        // Shift the live distribution hard to the right.
+        let c = ScoreSketch::new();
+        for _ in 0..1000 {
+            c.record(0.95);
+        }
+        assert!(c.snapshot().psi(&sb) > 1.0);
+        // Empty side → no evidence → zero.
+        assert_eq!(SketchSnapshot::from_counts(vec![0; SCORE_BUCKETS]).psi(&sb), 0.0);
+    }
+
+    #[test]
+    fn feature_stats_moments() {
+        let f = FeatureStats::new(2);
+        f.record_row(&[1.0, 10.0]);
+        f.record_row(&[3.0, 10.0]);
+        f.record_row(&[1.0, 2.0, 3.0]); // wrong width: dropped
+        let snap = f.snapshot();
+        assert_eq!(snap.rows, 2);
+        assert!((snap.means[0] - 2.0).abs() < 1e-12);
+        assert!((snap.means[1] - 10.0).abs() < 1e-12);
+        assert!((snap.vars[0] - 1.0).abs() < 1e-12);
+        assert!(snap.vars[1].abs() < 1e-12);
+        f.reset();
+        assert_eq!(f.snapshot().rows, 0);
+        assert_eq!(f.snapshot().means, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn non_finite_cells_skipped_but_row_counts() {
+        let f = FeatureStats::new(2);
+        f.record_row(&[f64::NAN, 4.0]);
+        f.record_row(&[2.0, 4.0]);
+        let snap = f.snapshot();
+        assert_eq!(snap.rows, 2);
+        // NaN cell skipped: sum 2.0 over 2 rows.
+        assert!((snap.means[0] - 1.0).abs() < 1e-12);
+        assert!((snap.means[1] - 4.0).abs() < 1e-12);
+    }
+}

@@ -74,7 +74,9 @@ impl DecayStat {
     }
 }
 
-fn cas_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+/// Lock-free read-modify-write of an `f64` stored as raw bits —
+/// shared by [`DecayStat`] and the sketch accumulators.
+pub(crate) fn cas_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let next = f(f64::from_bits(cur)).to_bits();

@@ -1,0 +1,104 @@
+//! Concurrent-writer sketch correctness: scores and feature rows
+//! recorded from many racing threads produce exactly the snapshot a
+//! serial reference would (bucket counts and row counts are integer
+//! `fetch_add`s; feature sums are CAS loops, exact up to FP
+//! commutativity).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use uadb_telemetry::{FeatureStats, ScoreSketch, SCORE_BUCKETS};
+
+/// Serial reference bucketing by the same uniform-edge rule.
+fn reference_buckets(samples: &[f64]) -> Vec<u64> {
+    let mut buckets = vec![0u64; SCORE_BUCKETS];
+    for &s in samples {
+        let idx = ((s * SCORE_BUCKETS as f64) as usize).min(SCORE_BUCKETS - 1);
+        buckets[idx] += 1;
+    }
+    buckets
+}
+
+// Same Miri envelope rationale as histogram_concurrent.rs: the
+// interpreter serialises threads and costs ~100× per access, so shrink
+// the native sizes while keeping multiple writers and chunk remainders.
+#[cfg(miri)]
+const MAX_SAMPLES: usize = 24;
+#[cfg(not(miri))]
+const MAX_SAMPLES: usize = 400;
+#[cfg(miri)]
+const MAX_THREADS: usize = 3;
+#[cfg(not(miri))]
+const MAX_THREADS: usize = 6;
+
+proptest! {
+    #[test]
+    fn racing_score_records_match_serial_reference(
+        samples in prop::collection::vec(0.0f64..1.0, 0..MAX_SAMPLES),
+        threads in 1usize..MAX_THREADS,
+    ) {
+        let sketch = Arc::new(ScoreSketch::new());
+        let chunk = samples.len() / threads + 1;
+        let mut handles = Vec::new();
+        for (i, part) in samples.chunks(chunk.max(1)).enumerate() {
+            let sketch = Arc::clone(&sketch);
+            let part = part.to_vec();
+            handles.push(std::thread::spawn(move || {
+                // Alternate batch and single-record paths so both stay
+                // covered under real interleavings.
+                if i % 2 == 0 {
+                    sketch.record_batch(&part);
+                } else {
+                    for s in part {
+                        sketch.record(s);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let snap = sketch.snapshot();
+        prop_assert_eq!(&snap.counts, &reference_buckets(&samples));
+        prop_assert_eq!(sketch.samples(), samples.len() as u64);
+        // Internal consistency: advisory total equals the bucket sum.
+        prop_assert_eq!(snap.total(), samples.len() as u64);
+    }
+
+    #[test]
+    fn racing_feature_rows_match_serial_moments(
+        rows in prop::collection::vec(
+            (0.0f64..10.0).prop_flat_map(|a| (-5.0f64..5.0).prop_map(move |b| vec![a, b])),
+            1..MAX_SAMPLES / 4 + 2,
+        ),
+        threads in 1usize..MAX_THREADS,
+    ) {
+        let stats = Arc::new(FeatureStats::new(2));
+        let chunk = rows.len() / threads + 1;
+        let mut handles = Vec::new();
+        for part in rows.chunks(chunk.max(1)) {
+            let stats = Arc::clone(&stats);
+            let part = part.to_vec();
+            handles.push(std::thread::spawn(move || {
+                for row in &part {
+                    stats.record_row(row);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let snap = stats.snapshot();
+        prop_assert_eq!(snap.rows, rows.len() as u64);
+        let n = rows.len() as f64;
+        for j in 0..2 {
+            let mean = rows.iter().map(|r| r[j]).sum::<f64>() / n;
+            let var = rows.iter().map(|r| (r[j] - mean) * (r[j] - mean)).sum::<f64>() / n;
+            // CAS adds are exact per-add but commute in arbitrary order,
+            // so allow FP reassociation slack.
+            prop_assert!((snap.means[j] - mean).abs() < 1e-9, "mean[{}]: {} vs {}", j, snap.means[j], mean);
+            prop_assert!((snap.vars[j] - var).abs() < 1e-6, "var[{}]: {} vs {}", j, snap.vars[j], var);
+        }
+    }
+}
